@@ -1,0 +1,50 @@
+-- A guided tour of ivdb's SQL surface. Run with:
+--   dune exec bin/ivdb_repl.exe < examples/tour.sql
+
+-- Schema: an order-entry table with a secondary index and a uniqueness
+-- constraint.
+CREATE TABLE sales (id INT NOT NULL, product TEXT NOT NULL, qty INT NOT NULL)
+CREATE UNIQUE INDEX pk_sales ON sales (id)
+CREATE INDEX ix_qty ON sales (qty)
+
+-- The paper's core object: an indexed view, maintained with escrow
+-- (increment) locks so concurrent writers to the same product never block.
+CREATE VIEW by_product AS SELECT product, COUNT(*), SUM(qty) FROM sales GROUP BY product USING ESCROW
+
+INSERT INTO sales VALUES (1, 'apple', 3), (2, 'pear', 2), (3, 'apple', 4), (4, 'fig', 9)
+
+-- The view is read directly: no aggregation at query time.
+SELECT * FROM by_product
+
+-- The optimizer also answers matching ad-hoc aggregations from the view:
+EXPLAIN SELECT product, SUM(qty) FROM sales GROUP BY product
+SELECT product, SUM(qty) FROM sales GROUP BY product
+
+-- Aggregates the view cannot store fall back to on-demand aggregation:
+EXPLAIN SELECT product, MIN(qty) FROM sales GROUP BY product
+SELECT product, AVG(qty) FROM sales GROUP BY product HAVING COUNT(*) > 1
+
+-- Predicates use indexes where they can:
+EXPLAIN SELECT id FROM sales WHERE qty > 2 AND qty <= 5
+SELECT id, qty FROM sales WHERE qty > 2 AND qty <= 5 ORDER BY qty DESC
+
+-- Transactions, savepoints, and rollback — the view follows along.
+BEGIN
+INSERT INTO sales VALUES (5, 'apple', 100)
+SAVEPOINT before_fig
+INSERT INTO sales VALUES (6, 'fig', 50)
+ROLLBACK TO before_fig
+COMMIT
+SELECT * FROM by_product
+
+-- Uniqueness is enforced transactionally:
+INSERT INTO sales VALUES (1, 'dup', 1)
+
+-- Crash the engine; committed state (view included) survives recovery.
+.crash
+SELECT * FROM by_product
+
+CHECKPOINT
+SHOW TABLES
+SHOW VIEWS
+.quit

@@ -1,0 +1,682 @@
+(* Benchmark harness: regenerates every experiment table/figure of the
+   reproduction (E1-E8, see DESIGN.md / EXPERIMENTS.md) plus the bechamel
+   micro-benchmarks (M0).
+
+   Usage: main.exe [e1|e2|...|e8|micro]...; no arguments runs everything. *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Workload = Ivdb.Workload
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Row = Ivdb_relation.Row
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+module Group_gc = Ivdb_core.Group_gc
+module Txn = Ivdb_txn.Txn
+module Wal = Ivdb_wal.Wal
+module Metrics = Ivdb_util.Metrics
+module Rng = Ivdb_util.Rng
+module Zipf = Ivdb_util.Zipf
+
+(* --- table printing -------------------------------------------------------- *)
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%*s" (List.nth widths i) cell)
+         row)
+  in
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun r -> print_endline (line r)) rows;
+  flush stdout
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i = string_of_int
+
+let strategy_name = Maintain.strategy_to_string
+
+(* --- E1: read benefit of indexed views -------------------------------------- *)
+
+(* Query latency: indexed-view point lookup vs aggregation on demand,
+   growing the base table. The paper's motivation: the view turns an O(N)
+   aggregation into an O(log N) lookup. *)
+let e1 () =
+  let rows_of n =
+    let config =
+      { Database.default_config with read_cost = 0; write_cost = 0; pool_capacity = 4096 }
+    in
+    let db = Database.create ~config () in
+    let t =
+      Database.create_table db ~name:"sales"
+        ~cols:
+          [
+            { Schema.name = "id"; ty = Value.TInt; nullable = false };
+            { Schema.name = "product"; ty = Value.TInt; nullable = false };
+            { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+          ]
+    in
+    let rng = Rng.create 7 in
+    Database.transact db (fun tx ->
+        for k = 1 to n do
+          ignore
+            (Table.insert db tx t
+               [| Value.Int k; Value.Int (Rng.int rng 100); Value.Int (1 + Rng.int rng 9) |])
+        done);
+    let v =
+      Database.create_view db ~name:"by_product" ~group_by:[ "product" ]
+        ~aggs:[ View_def.Sum (Expr.col (Database.schema db t) "qty") ]
+        ~source:(Database.From (t, None))
+        ~strategy:Maintain.Escrow ()
+    in
+    let time_it iters f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    in
+    let lookup_us =
+      time_it 2000 (fun () ->
+          ignore (Query.view_lookup db None v [| Value.Int (Rng.int rng 100) |]))
+    in
+    let ondemand_us =
+      time_it (max 3 (20000 / n)) (fun () ->
+          ignore (Query.on_demand_aggregate db None (Database.view_def db v)))
+    in
+    [ i n; f2 lookup_us; f2 ondemand_us; f1 (ondemand_us /. lookup_us) ]
+  in
+  print_table
+    ~title:"E1  Indexed view vs on-demand aggregation (100 groups, point query)"
+    ~header:[ "base rows"; "view lookup (us)"; "on-demand agg (us)"; "speedup" ]
+    (List.map rows_of [ 1_000; 5_000; 20_000; 50_000 ])
+
+(* --- E2: writer throughput under contention ---------------------------------- *)
+
+let e2 () =
+  let cell strategy mpl =
+    let spec =
+      {
+        Workload.default with
+        seed = 2;
+        strategy;
+        mpl;
+        txns_per_worker = max 1 (256 / mpl);
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+      }
+    in
+    let r = Workload.run spec in
+    let per_txn x = float_of_int x /. float_of_int (max 1 r.Workload.committed) in
+    [
+      strategy_name strategy;
+      i mpl;
+      i r.Workload.committed;
+      f2 r.Workload.throughput;
+      f2 (per_txn r.Workload.lock_waits);
+      i r.Workload.deadlocks;
+      i r.Workload.retries;
+      f1 r.Workload.mean_latency;
+      f1 r.Workload.p95_latency;
+    ]
+  in
+  let mpls = [ 1; 2; 4; 8; 16; 32 ] in
+  print_table
+    ~title:
+      "E2  Writer scalability on a hot skewed view (zipf 0.99 over 20 groups, ~256 txns)"
+    ~header:
+      [ "strategy"; "mpl"; "commits"; "tput/1k ticks"; "waits/txn"; "deadlocks";
+        "retries"; "lat mean"; "lat p95" ]
+    (List.concat_map
+       (fun s -> List.map (cell s) mpls)
+       [ Maintain.Exclusive; Maintain.Escrow ])
+
+(* --- E3: conflicts vs skew ----------------------------------------------------- *)
+
+let e3 () =
+  let cell strategy theta =
+    let spec =
+      {
+        Workload.default with
+        seed = 3;
+        strategy;
+        mpl = 16;
+        txns_per_worker = 16;
+        n_groups = 50;
+        theta;
+        delete_fraction = 0.1;
+      }
+    in
+    let r = Workload.run spec in
+    let per100 x = 100. *. float_of_int x /. float_of_int (max 1 r.Workload.committed) in
+    [
+      strategy_name strategy;
+      f2 theta;
+      i r.Workload.committed;
+      f2 (per100 r.Workload.deadlocks);
+      f2 (per100 r.Workload.retries);
+      f2 (per100 r.Workload.lock_waits);
+      f1 r.Workload.p95_latency;
+    ]
+  in
+  let thetas = [ 0.0; 0.5; 0.9; 0.99; 1.2 ] in
+  print_table
+    ~title:"E3  Conflict rate vs access skew (mpl 16, 50 groups)"
+    ~header:
+      [ "strategy"; "theta"; "commits"; "deadlocks/100"; "retries/100";
+        "waits/100"; "lat p95" ]
+    (List.concat_map
+       (fun s -> List.map (cell s) thetas)
+       [ Maintain.Exclusive; Maintain.Escrow ])
+
+(* --- E4: maintenance overhead per view ------------------------------------------ *)
+
+let e4 () =
+  let cell strategy n_views =
+    let spec =
+      {
+        Workload.default with
+        seed = 4;
+        strategy;
+        mpl = 1;
+        txns_per_worker = 200;
+        ops_per_txn = 4;
+        delete_fraction = 0.;
+        n_views;
+        initial_rows = 100;
+        config = Database.default_config (* real I/O costs *);
+      }
+    in
+    let r = Workload.run spec in
+    let per_txn x = float_of_int x /. float_of_int (max 1 r.Workload.committed) in
+    let get n = match List.assoc_opt n r.Workload.metrics with Some v -> v | None -> 0 in
+    [
+      (if n_views = 0 then "none" else strategy_name strategy);
+      i n_views;
+      i r.Workload.committed;
+      f1 (float_of_int r.Workload.ticks /. float_of_int (max 1 r.Workload.committed));
+      f1 (per_txn (get "log.bytes"));
+      f2 (per_txn (get "disk.read" + get "disk.write"));
+    ]
+  in
+  let rows =
+    cell Maintain.Escrow 0
+    :: List.concat_map
+         (fun s -> List.map (cell s) [ 1; 2; 4 ])
+         [ Maintain.Escrow; Maintain.Deferred ]
+  in
+  print_table
+    ~title:"E4  Writer-side cost of immediate vs deferred maintenance (mpl 1, 200 txns)"
+    ~header:[ "strategy"; "views"; "commits"; "ticks/txn"; "log B/txn"; "IOs/txn" ]
+    rows
+
+(* --- E5: deferred refresh amortization -------------------------------------------- *)
+
+let e5 () =
+  let cell batch =
+    let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+    let spec =
+      { Workload.default with seed = 5; strategy = Maintain.Deferred; config }
+    in
+    let db, sales, views = Workload.setup spec in
+    let v = List.hd views in
+    (* fold the preload's deltas away so only the batch is measured *)
+    Database.transact db (fun tx -> ignore (Query.refresh db tx v));
+    let rng = Rng.create 55 in
+    for k = 1 to batch do
+      Database.transact db (fun tx ->
+          ignore
+            (Table.insert db tx sales
+               [|
+                 Value.Int (1000 + k);
+                 Value.Int (Rng.int rng 20);
+                 Value.Int 1;
+                 Value.Float 1.0;
+               |]))
+    done;
+    let pending = Query.staleness db v in
+    let m = Database.metrics db in
+    let touched_before = Metrics.get m "view.exclusive_update" in
+    let t0 = Unix.gettimeofday () in
+    let applied = Database.transact db (fun tx -> Query.refresh db tx v) in
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    let touched = Metrics.get m "view.exclusive_update" - touched_before in
+    [
+      i batch;
+      i pending;
+      i applied;
+      i touched;
+      f1 us;
+      f2 (us /. float_of_int (max 1 applied));
+    ]
+  in
+  print_table
+    ~title:"E5  Deferred maintenance: refresh cost amortizes with batch size (20 groups)"
+    ~header:
+      [ "batch"; "staleness"; "deltas applied"; "view rows touched"; "refresh us";
+        "us/delta" ]
+    (List.map cell [ 1; 10; 100; 1000 ])
+
+(* --- E6: recovery ------------------------------------------------------------------- *)
+
+let e6 () =
+  let cell ?(ckpt = false) txns =
+    let spec =
+      {
+        Workload.default with
+        seed = 6;
+        strategy = Maintain.Escrow;
+        mpl = 4;
+        txns_per_worker = txns / 4;
+        delete_fraction = 0.15;
+      }
+    in
+    let db, sales, views = Workload.setup spec in
+    let _ = Workload.run_on db sales views spec in
+    if ckpt then Database.checkpoint db (* sharp checkpoint + log truncation *);
+    (* leave some losers in flight, force their records, crash *)
+    let mgr = Database.mgr db in
+    let losers =
+      List.init 5 (fun k ->
+          let tx = Txn.begin_txn mgr in
+          ignore
+            (Table.insert db tx sales
+               [| Value.Int (-k - 1); Value.Int 1; Value.Int 1; Value.Float 1. |]);
+          tx)
+    in
+    ignore losers;
+    Wal.force (Database.wal db) (Wal.last_lsn (Database.wal db));
+    let t0 = Unix.gettimeofday () in
+    let db' = Database.crash db in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let m = Database.metrics db' in
+    let rows_after = Table.row_count db' (Database.table db' "sales") in
+    [
+      (if ckpt then i txns ^ " +ckpt" else i txns);
+      i (Metrics.get m "recovery.stable_records");
+      i (Metrics.get m "recovery.redo_applied");
+      i (Metrics.get m "recovery.losers");
+      f2 ms;
+      i rows_after;
+      string_of_bool
+        (Workload.check_consistency db' (Database.view db' "sales_by_product_0"));
+    ]
+  in
+  print_table
+    ~title:"E6  Restart recovery vs log length (crash with 5 in-flight losers)"
+    ~header:
+      [ "txns"; "stable log recs"; "redo applied"; "losers undone"; "recovery ms";
+        "rows after"; "view consistent" ]
+    (List.concat_map (fun n -> [ cell n; cell ~ckpt:true n ]) [ 200; 1000; 3000 ])
+
+(* --- E7: reader locking granularity -------------------------------------------------- *)
+
+let e7 () =
+  let cell locking =
+    let spec =
+      {
+        Workload.default with
+        seed = 7;
+        strategy = Maintain.Escrow;
+        mpl = 8;
+        txns_per_worker = 40;
+        read_fraction = 0.5;
+        reader_scan = false;
+        reader_locking = locking;
+        n_groups = 50;
+        theta = 0.5;
+      }
+    in
+    let r = Workload.run spec in
+    let writers = r.Workload.committed - r.Workload.committed_readers in
+    [
+      (match locking with
+      | Workload.Key_range -> "key-range"
+      | Workload.Coarse_table -> "table S lock");
+      i r.Workload.committed;
+      i r.Workload.committed_readers;
+      i writers;
+      i r.Workload.lock_waits;
+      i r.Workload.deadlocks;
+      f1 r.Workload.mean_latency;
+      f1 r.Workload.p95_latency;
+    ]
+  in
+  print_table
+    ~title:
+      "E7  Serializable view readers vs writers: key-range locks vs coarse table locks"
+    ~header:
+      [ "reader locking"; "commits"; "readers"; "writers"; "lock waits";
+        "deadlocks"; "lat mean"; "lat p95" ]
+    (List.map cell [ Workload.Key_range; Workload.Coarse_table ])
+
+(* --- E8: group lifecycle churn --------------------------------------------------------- *)
+
+let e8 () =
+  let cell create_mode =
+    let spec =
+      {
+        Workload.default with
+        seed = 8;
+        strategy = Maintain.Escrow;
+        create_mode;
+        mpl = 12;
+        txns_per_worker = 40;
+        ops_per_txn = 3;
+        delete_fraction = 0.5;
+        n_groups = 24;
+        theta = 0.0;
+        initial_rows = 0;
+        gc_every = Some 5;
+      }
+    in
+    let db, sales, views = Workload.setup spec in
+    let r = Workload.run_on db sales views spec in
+    let removed = Database.gc db in
+    let zero_left =
+      Group_gc.zero_count_rows
+        (Database.Internal.view_rt db (Database.Internal.view_id (List.hd views)))
+    in
+    let get n = match List.assoc_opt n r.Workload.metrics with Some v -> v | None -> 0 in
+    [
+      (match create_mode with
+      | Maintain.System_txn -> "system txn"
+      | Maintain.User_txn -> "user txn");
+      i r.Workload.committed;
+      i (get "view.group_create" + get "view.group_create_user");
+      i (get "view.gc_removed" + removed);
+      i zero_left;
+      i r.Workload.lock_waits;
+      i r.Workload.deadlocks;
+      f1 r.Workload.p95_latency;
+    ]
+  in
+  print_table
+    ~title:"E8  Group create/delete churn: system-transaction vs user-transaction creation"
+    ~header:
+      [ "creation"; "commits"; "creates"; "gc removed"; "zero rows left";
+        "lock waits"; "deadlocks"; "lat p95" ]
+    (List.map cell [ Maintain.System_txn; Maintain.User_txn ])
+
+(* --- E9: lock escalation --------------------------------------------------------------- *)
+
+let e9 () =
+  let cell threshold rows_n =
+    let config =
+      {
+        Database.default_config with
+        read_cost = 0;
+        write_cost = 0;
+        pool_capacity = 2048;
+        escalation_threshold = threshold;
+      }
+    in
+    let db = Database.create ~config () in
+    let t =
+      Database.create_table db ~name:"bulk"
+        ~cols:
+          [
+            { Schema.name = "id"; ty = Value.TInt; nullable = false };
+            { Schema.name = "v"; ty = Value.TInt; nullable = false };
+          ]
+    in
+    let t0 = Unix.gettimeofday () in
+    Database.transact db (fun tx ->
+        for k = 1 to rows_n do
+          ignore (Table.insert db tx t [| Value.Int k; Value.Int k |])
+        done);
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let m = Database.metrics db in
+    [
+      (match threshold with None -> "off" | Some n -> string_of_int n);
+      i rows_n;
+      i (Metrics.get m "lock.acquire");
+      i (Metrics.get m "lock.escalation");
+      f2 ms;
+    ]
+  in
+  print_table
+    ~title:"E9  Lock escalation: bulk-load lock footprint (single transaction)"
+    ~header:[ "threshold"; "rows"; "lock acquisitions"; "escalations"; "wall ms" ]
+    (List.concat_map
+       (fun n -> [ cell None n; cell (Some 100) n ])
+       [ 1_000; 5_000; 20_000 ])
+
+(* --- E10: bounds reads vs blocking reads ------------------------------------------------- *)
+
+let e10 () =
+  let run mode =
+    let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+    let db = Database.create ~config () in
+    let t =
+      Database.create_table db ~name:"sales"
+        ~cols:
+          [
+            { Schema.name = "id"; ty = Value.TInt; nullable = false };
+            { Schema.name = "product"; ty = Value.TInt; nullable = false };
+            { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+          ]
+    in
+    let v =
+      Database.create_view db ~name:"v" ~group_by:[ "product" ]
+        ~aggs:[ View_def.Sum (Expr.col (Database.schema db t) "qty") ]
+        ~source:(Database.From (t, None))
+        ~strategy:Maintain.Escrow ()
+    in
+    Database.transact db (fun tx ->
+        ignore (Table.insert db tx t [| Value.Int 0; Value.Int 1; Value.Int 1 |]));
+    let lat = Ivdb_util.Stats.create () in
+    let widths = Ivdb_util.Stats.create () in
+    let reads = 60 in
+    Ivdb_sched.Sched.run ~seed:10 (fun () ->
+        (* writers hammer group 1, holding E locks across yields *)
+        for w = 1 to 6 do
+          ignore
+            (Ivdb_sched.Sched.spawn (fun () ->
+                 for k = 1 to 40 do
+                   Database.transact db (fun tx ->
+                       ignore
+                         (Table.insert db tx t
+                            [| Value.Int ((w * 1000) + k); Value.Int 1; Value.Int 1 |]);
+                       Ivdb_sched.Sched.yield ();
+                       Ivdb_sched.Sched.yield ())
+                 done))
+        done;
+        (* one reader samples the hot group *)
+        ignore
+          (Ivdb_sched.Sched.spawn (fun () ->
+               for _ = 1 to reads do
+                 let t0 = Ivdb_sched.Sched.now () in
+                 (match mode with
+                 | `Blocking ->
+                     Database.transact db (fun tx ->
+                         ignore (Query.view_lookup db (Some tx) v [| Value.Int 1 |]))
+                 | `Bounds -> (
+                     match Query.view_lookup_bounds db v [| Value.Int 1 |] with
+                     | Some (lo, hi) ->
+                         Ivdb_util.Stats.add widths
+                           (Value.to_float hi.(1) -. Value.to_float lo.(1))
+                     | None -> ()));
+                 Ivdb_util.Stats.add lat (float_of_int (Ivdb_sched.Sched.now () - t0));
+                 Ivdb_sched.Sched.yield ()
+               done)))
+    ;
+    let mean = Ivdb_util.Stats.mean lat in
+    let p95 = if Ivdb_util.Stats.count lat = 0 then 0. else Ivdb_util.Stats.percentile lat 95. in
+    let width = if Ivdb_util.Stats.count widths = 0 then 0. else Ivdb_util.Stats.mean widths in
+    [
+      (match mode with `Blocking -> "serializable lookup" | `Bounds -> "escrow bounds");
+      i reads;
+      f1 mean;
+      f1 p95;
+      f2 width;
+    ]
+  in
+  print_table
+    ~title:"E10  Reading a hot escrow group: blocking lookup vs bounds read"
+    ~header:[ "reader mode"; "reads"; "lat mean (ticks)"; "lat p95"; "avg interval width" ]
+    [ run `Blocking; run `Bounds ]
+
+(* --- M0: bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  (* shared fixtures, built once *)
+  let h_metrics = Metrics.create () in
+  let disk = Ivdb_storage.Disk.create ~read_cost:0 ~write_cost:0 h_metrics in
+  let pool = Ivdb_storage.Bufpool.create disk ~capacity:1024 h_metrics in
+  let wal = Wal.create h_metrics in
+  Ivdb_storage.Bufpool.set_wal_force pool (fun lsn -> Wal.force wal (Int64.to_int lsn));
+  let locks = Ivdb_lock.Lock_mgr.create h_metrics in
+  let mgr = Txn.create_mgr ~wal ~locks ~pool h_metrics in
+  let tree = Ivdb_btree.Btree.create mgr ~index_id:1 in
+  let stx = Txn.begin_system mgr in
+  let key k = Ivdb_relation.Key_codec.encode [| Value.Int k |] in
+  for k = 1 to 10_000 do
+    Ivdb_btree.Btree.insert stx tree ~key:(key k) ~value:(Printf.sprintf "v%06d" k)
+  done;
+  Txn.commit mgr stx;
+  let rng = Rng.create 99 in
+  let sample_row =
+    [| Value.Int 42; Value.Str "payload"; Value.Float 3.14; Value.Bool true |]
+  in
+  let sample_encoded = Row.encode sample_row in
+  let def =
+    {
+      View_def.name = "m";
+      group_cols = [| 0 |];
+      aggs = [| View_def.Sum (Expr.Col 1) |];
+      source = View_def.Single { table = 1; where = None };
+    }
+  in
+  let stored = Ivdb_core.Aggregate.zero_row def in
+  let delta =
+    match Ivdb_core.Aggregate.delta_of_row def ~sign:1 [| Value.Int 1; Value.Int 5 |] with
+    | Some (_, d) -> d
+    | None -> assert false
+  in
+  let counter = ref 100_000 in
+  let tests =
+    [
+      Test.make ~name:"btree.search (10k)"
+        (Staged.stage (fun () ->
+             ignore (Ivdb_btree.Btree.search tree (key (1 + Rng.int rng 10_000)))));
+      Test.make ~name:"btree.insert+delete"
+        (Staged.stage (fun () ->
+             incr counter;
+             let k = key !counter in
+             Ivdb_btree.Btree.insert_raw tree ~key:k ~value:"x" |> ignore;
+             Ivdb_btree.Btree.delete_raw tree ~key:k |> ignore));
+      Test.make ~name:"btree.next_key"
+        (Staged.stage (fun () ->
+             ignore (Ivdb_btree.Btree.next_key tree (key (Rng.int rng 10_000)))));
+      Test.make ~name:"row.encode"
+        (Staged.stage (fun () -> ignore (Row.encode sample_row)));
+      Test.make ~name:"row.decode"
+        (Staged.stage (fun () -> ignore (Row.decode sample_encoded)));
+      Test.make ~name:"key_codec.encode"
+        (Staged.stage (fun () ->
+             ignore (Ivdb_relation.Key_codec.encode sample_row)));
+      Test.make ~name:"lock.acquire+release"
+        (Staged.stage (fun () ->
+             Ivdb_lock.Lock_mgr.acquire locks ~txn:1 (Ivdb_lock.Lock_name.Table 9)
+               Ivdb_lock.Lock_mode.S;
+             Ivdb_lock.Lock_mgr.release_all locks ~txn:1));
+      Test.make ~name:"escrow.apply_delta"
+        (Staged.stage (fun () ->
+             ignore (Ivdb_core.Aggregate.apply def stored delta)));
+      Test.make ~name:"wal.append"
+        (Staged.stage (fun () ->
+             ignore (Wal.append wal ~txn:1 ~prev:0 Ivdb_wal.Log_record.Commit)));
+      Test.make ~name:"sql.parse select"
+        (Staged.stage (fun () ->
+             ignore
+               (Ivdb_sql.Sql_parser.parse
+                  "SELECT a, b FROM t WHERE a = 1 AND b > 2 ORDER BY b DESC LIMIT 3")));
+      Test.make ~name:"log_record.encode"
+        (Staged.stage
+           (let r =
+              {
+                Ivdb_wal.Log_record.lsn = 1;
+                txn = 7;
+                prev = 0;
+                body =
+                  Ivdb_wal.Log_record.Update
+                    {
+                      redo = [ (3, [ (100, "0123456789abcdef") ]) ];
+                      undo =
+                        Ivdb_wal.Log_record.Undo_escrow
+                          { view = 9; key = "k"; inverse = "xyz" };
+                    };
+              }
+            in
+            fun () -> ignore (Ivdb_wal.Log_record.encode r)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:None () in
+  let rows =
+    List.map
+      (fun test ->
+        let results =
+          Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"g" [ test ])
+        in
+        Hashtbl.fold
+          (fun name bench acc ->
+            let ols =
+              Analyze.one
+                (Analyze.ols ~r_square:false ~bootstrap:0
+                   ~predictors:[| Measure.run |])
+                Instance.monotonic_clock bench
+            in
+            let ns =
+              match Analyze.OLS.estimates ols with
+              | Some (x :: _) -> x
+              | _ -> nan
+            in
+            [ name; f1 ns ] :: acc)
+          results []
+        |> List.hd)
+      tests
+  in
+  print_table ~title:"M0  Substrate micro-benchmarks (bechamel)"
+    ~header:[ "operation"; "ns/op" ] rows
+
+(* --- driver ------------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s (known: %s)\n" n
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) chosen

@@ -1,0 +1,55 @@
+(* Interactive SQL shell over an in-memory ivdb instance.
+
+   Extra dot-commands beyond SQL:
+     .crash    simulate a crash and recover
+     .gc       run garbage collection (ghosts, zero-count groups, vacuum)
+     .help     this text
+     .quit     exit
+
+   Run with: dune exec bin/ivdb_repl.exe
+   or pipe a script: dune exec bin/ivdb_repl.exe < script.sql *)
+
+module Sql = Ivdb_sql.Sql
+module Database = Ivdb.Database
+
+let help =
+  {|statements: CREATE TABLE/INDEX/VIEW, INSERT, DELETE, UPDATE, SELECT,
+            BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SHOW TABLES/VIEWS/METRICS
+dot commands: .crash .gc .help .quit|}
+
+let () =
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then
+    print_endline "ivdb SQL shell — .help for help, .quit to exit";
+  let session = ref (Sql.session (Database.create ())) in
+  let rec loop () =
+    if interactive then begin
+      print_string (if Sql.in_transaction !session then "ivdb*> " else "ivdb> ");
+      flush stdout
+    end;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        (if line = "" then ()
+         else if line = ".quit" || line = ".exit" then exit 0
+         else if line = ".help" then print_endline help
+         else if line = ".gc" then
+           Printf.printf "gc reclaimed %d item(s)\n" (Database.gc (Sql.db !session))
+         else if line = ".crash" then begin
+           let db' = Database.crash (Sql.db !session) in
+           session := Sql.session db';
+           print_endline "crashed and recovered"
+         end
+         else if Ivdb_sql.Sql_lexer.tokenize line = [ Ivdb_sql.Sql_lexer.Eof ] then
+           () (* comment-only line *)
+         else
+           try print_endline (Sql.render (Sql.exec !session line)) with
+           | Sql.Sql_error m -> Printf.printf "error: %s\n" m
+           | Ivdb_sql.Sql_parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+           | Ivdb_sql.Sql_lexer.Lex_error m -> Printf.printf "lex error: %s\n" m
+           | Database.Constraint_violation m -> Printf.printf "constraint violation: %s\n" m
+           | Ivdb_txn.Txn.Conflict _ -> print_endline "error: deadlock victim, retry");
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,146 @@
+(* Command-line driver for the order-entry workload: explore the
+   contention behaviour of the three maintenance strategies without
+   writing any code.
+
+   Examples:
+     ivdb_workload --strategy exclusive --mpl 16 --theta 0.99
+     ivdb_workload --strategy escrow --mpl 16 --theta 0.99 --verbose
+     ivdb_workload --strategy deferred --reads 0.3 --check *)
+
+module Workload = Ivdb.Workload
+module Database = Ivdb.Database
+module Query = Ivdb.Query
+module Maintain = Ivdb_core.Maintain
+
+open Cmdliner
+
+let strategy_conv =
+  let parse = function
+    | "exclusive" -> Ok Maintain.Exclusive
+    | "escrow" -> Ok Maintain.Escrow
+    | "deferred" -> Ok Maintain.Deferred
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Maintain.strategy_to_string s))
+
+let create_mode_conv =
+  let parse = function
+    | "system" -> Ok Maintain.System_txn
+    | "user" -> Ok Maintain.User_txn
+    | s -> Error (`Msg (Printf.sprintf "unknown create mode %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with Maintain.System_txn -> "system" | Maintain.User_txn -> "user") )
+
+let run seed groups theta mpl txns ops deletes reads scan coarse strategy
+    create_mode views initial gc_every checkpoint_every verbose check =
+  let spec =
+    {
+      Workload.default with
+      seed;
+      n_groups = groups;
+      theta;
+      mpl;
+      txns_per_worker = txns;
+      ops_per_txn = ops;
+      delete_fraction = deletes;
+      read_fraction = reads;
+      reader_scan = scan;
+      reader_locking = (if coarse then Workload.Coarse_table else Workload.Key_range);
+      strategy;
+      create_mode;
+      n_views = views;
+      initial_rows = initial;
+      gc_every;
+      checkpoint_every;
+    }
+  in
+  let db, sales, views_l = Workload.setup spec in
+  let r = Workload.run_on db sales views_l spec in
+  Printf.printf "strategy          %s (create: %s)\n"
+    (Maintain.strategy_to_string strategy)
+    (match create_mode with Maintain.System_txn -> "system txn" | Maintain.User_txn -> "user txn");
+  Printf.printf "committed         %d (%d readers)\n" r.Workload.committed
+    r.Workload.committed_readers;
+  Printf.printf "gave up           %d\n" r.Workload.given_up;
+  Printf.printf "retries           %d\n" r.Workload.retries;
+  Printf.printf "deadlocks         %d\n" r.Workload.deadlocks;
+  Printf.printf "lock waits        %d\n" r.Workload.lock_waits;
+  Printf.printf "simulated ticks   %d\n" r.Workload.ticks;
+  Printf.printf "throughput        %.2f txns / 1k ticks\n" r.Workload.throughput;
+  Printf.printf "latency           mean %.1f, p95 %.1f ticks\n" r.Workload.mean_latency
+    r.Workload.p95_latency;
+  Printf.printf "wall time         %.3f s\n" r.Workload.wall_s;
+  if verbose then begin
+    Printf.printf "\ncounters:\n";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" k v)
+      r.Workload.metrics
+  end;
+  if check then begin
+    List.iter
+      (fun v ->
+        (match Database.view_strategy db v with
+        | Maintain.Deferred ->
+            Database.transact db (fun tx -> ignore (Query.refresh db tx v))
+        | Maintain.Exclusive | Maintain.Escrow -> ());
+        Printf.printf "consistency %-22s %b\n" (Database.view_name db v)
+          (Workload.check_consistency db v))
+      views_l
+  end
+
+let cmd =
+  let open Term in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let groups = Arg.(value & opt int 20 & info [ "groups" ] ~doc:"Distinct view groups.") in
+  let theta = Arg.(value & opt float 0.99 & info [ "theta" ] ~doc:"Zipf skew (0 = uniform).") in
+  let mpl = Arg.(value & opt int 8 & info [ "mpl" ] ~doc:"Concurrent workers.") in
+  let txns = Arg.(value & opt int 50 & info [ "txns" ] ~doc:"Transactions per worker.") in
+  let ops = Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Operations per transaction.") in
+  let deletes =
+    Arg.(value & opt float 0.1 & info [ "deletes" ] ~doc:"Per-op delete probability.")
+  in
+  let reads =
+    Arg.(value & opt float 0. & info [ "reads" ] ~doc:"Per-txn reader probability.")
+  in
+  let scan = Arg.(value & flag & info [ "scan" ] ~doc:"Readers scan the view.") in
+  let coarse =
+    Arg.(value & flag & info [ "coarse" ] ~doc:"Readers use a table S lock (D4 ablation).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Maintain.Escrow
+      & info [ "strategy" ] ~doc:"View maintenance: exclusive | escrow | deferred.")
+  in
+  let create_mode =
+    Arg.(
+      value
+      & opt create_mode_conv Maintain.System_txn
+      & info [ "create-mode" ] ~doc:"Group creation: system | user (D3 ablation).")
+  in
+  let views = Arg.(value & opt int 1 & info [ "views" ] ~doc:"Indexed views on the table.") in
+  let initial = Arg.(value & opt int 200 & info [ "initial" ] ~doc:"Preloaded rows.") in
+  let gc_every =
+    Arg.(value & opt (some int) None & info [ "gc-every" ] ~doc:"Run GC every N commits.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~doc:"Sharp checkpoint every N commits.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump all counters.") in
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify view consistency afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
+    (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
+   $ scan $ coarse $ strategy $ create_mode $ views $ initial $ gc_every
+   $ checkpoint_every $ verbose $ check)
+
+let () = exit (Cmd.eval cmd)

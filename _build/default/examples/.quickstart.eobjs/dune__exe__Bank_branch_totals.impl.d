@@ -1,0 +1,1 @@
+examples/bank_branch_totals.ml: Array Ivdb Ivdb_core Ivdb_relation Ivdb_sched Ivdb_txn Ivdb_util Ivdb_wal Printf Seq

@@ -1,0 +1,1 @@
+examples/bank_branch_totals.mli:

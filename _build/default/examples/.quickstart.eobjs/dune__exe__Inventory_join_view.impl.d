@@ -1,0 +1,1 @@
+examples/inventory_join_view.ml: Array Ivdb Ivdb_core Ivdb_relation Ivdb_util Printf Seq

@@ -1,0 +1,1 @@
+examples/inventory_join_view.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ivdb Ivdb_core Ivdb_relation Printf Seq

@@ -1,0 +1,1 @@
+examples/retail_dashboard.ml: Array Ivdb Ivdb_core Ivdb_relation Ivdb_sched Ivdb_util List Printf Seq

@@ -1,0 +1,1 @@
+examples/savepoints_and_bounds.ml: Array Ivdb Ivdb_core Ivdb_relation Ivdb_txn Printf

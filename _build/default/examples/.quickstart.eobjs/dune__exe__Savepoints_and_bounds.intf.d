@@ -1,0 +1,1 @@
+examples/savepoints_and_bounds.mli:

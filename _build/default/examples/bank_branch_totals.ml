@@ -1,0 +1,130 @@
+(* Bank branch totals: the classic escrow scenario. Transfers move money
+   between accounts; an indexed view maintains per-branch totals. The sum
+   over the view is an invariant (money is conserved), checked live, after
+   an abort, and after a crash.
+
+   Run with: dune exec examples/bank_branch_totals.exe *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Txn = Ivdb_txn.Txn
+module Sched = Ivdb_sched.Sched
+module Rng = Ivdb_util.Rng
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+
+let n_branches = 4
+let accounts_per_branch = 5
+let initial_balance = 1000
+
+let () =
+  let db =
+    Database.create
+      ~config:{ Database.default_config with read_cost = 0; write_cost = 0 }
+      ()
+  in
+  let accounts =
+    Database.create_table db ~name:"accounts"
+      ~cols:
+        [
+          { Schema.name = "acct"; ty = Value.TInt; nullable = false };
+          { Schema.name = "branch"; ty = Value.TInt; nullable = false };
+          { Schema.name = "balance"; ty = Value.TInt; nullable = false };
+        ]
+  in
+  let schema = Database.schema db accounts in
+  let totals =
+    Database.create_view db ~name:"branch_totals" ~group_by:[ "branch" ]
+      ~aggs:[ View_def.Sum (Expr.col schema "balance") ]
+      ~source:(Database.From (accounts, None))
+      ~strategy:Maintain.Escrow ()
+  in
+  (* an index on the account number lets transfers find a row's current
+     rid even after updates have relocated it *)
+  Database.create_index db accounts ~col:"acct" ~name:"ix_accounts_acct";
+  Database.transact db (fun tx ->
+      for b = 0 to n_branches - 1 do
+        for a = 0 to accounts_per_branch - 1 do
+          let acct = (b * 100) + a in
+          ignore
+            (Table.insert db tx accounts
+               [| Value.Int acct; Value.Int b; Value.Int initial_balance |])
+        done
+      done);
+  let grand_total () =
+    Seq.fold_left
+      (fun acc (_, aggs) -> acc + Value.to_int aggs.(1))
+      0
+      (Query.view_scan db None totals Query.Dirty)
+  in
+  let expected = n_branches * accounts_per_branch * initial_balance in
+  Printf.printf "opened %d accounts, grand total %d (expected %d)\n"
+    (Table.row_count db accounts) (grand_total ()) expected;
+
+  (* A transfer debits one account and credits another: the base rows move
+     (delete + insert), and the branch totals follow transactionally. *)
+  let transfer tx ~from_acct ~to_acct ~amount =
+    let move acct delta =
+      match Table.find db (Some tx) accounts ~col:"acct" (Value.Int acct) with
+      | [ (rid, row) ] ->
+          let balance = Value.to_int row.(2) + delta in
+          ignore
+            (Table.update db tx accounts rid [| row.(0); row.(1); Value.Int balance |])
+      | _ -> failwith "account row missing"
+    in
+    move from_acct (-amount);
+    Sched.yield ();
+    move to_acct amount
+  in
+
+  (* concurrent random transfers, some crossing branches *)
+  Sched.run ~seed:7 (fun () ->
+      for w = 1 to 6 do
+        ignore
+          (Sched.spawn (fun () ->
+               let rng = Rng.create (w * 17) in
+               for _ = 1 to 20 do
+                 let a = ((Rng.int rng n_branches) * 100) + Rng.int rng accounts_per_branch in
+                 let b = ((Rng.int rng n_branches) * 100) + Rng.int rng accounts_per_branch in
+                 if a <> b then
+                   Database.transact db (fun tx ->
+                       transfer tx ~from_acct:a ~to_acct:b ~amount:(1 + Rng.int rng 50));
+                 Sched.yield ()
+               done))
+      done);
+  Printf.printf "after 120 concurrent transfers: grand total %d (conserved: %b)\n"
+    (grand_total ()) (grand_total () = expected);
+
+  (* an abort half-way through a transfer leaves totals intact *)
+  let mgr = Database.mgr db in
+  let tx = Txn.begin_txn mgr in
+  transfer tx ~from_acct:0 ~to_acct:101 ~amount:500;
+  Txn.abort mgr tx;
+  Printf.printf "after aborted transfer:        grand total %d (conserved: %b)\n"
+    (grand_total ()) (grand_total () = expected);
+
+  (* a crash in the middle of a transfer: recovery rolls the loser back *)
+  let tx = Txn.begin_txn mgr in
+  transfer tx ~from_acct:0 ~to_acct:301 ~amount:999;
+  Ivdb_wal.Wal.force (Database.wal db) (Ivdb_wal.Wal.last_lsn (Database.wal db));
+  let db = Database.crash db in
+  let totals = Database.view db "branch_totals" in
+  let grand_total () =
+    Seq.fold_left
+      (fun acc (_, aggs) -> acc + Value.to_int aggs.(1))
+      0
+      (Query.view_scan db None totals Query.Dirty)
+  in
+  Printf.printf "after crash mid-transfer:      grand total %d (conserved: %b)\n"
+    (grand_total ()) (grand_total () = expected);
+  Printf.printf "branch totals:\n";
+  Seq.iter
+    (fun (group, aggs) ->
+      Printf.printf "  branch %s: %s\n"
+        (Value.to_string group.(0))
+        (Value.to_string aggs.(1)))
+    (Query.view_scan db None totals Query.Dirty)

@@ -1,0 +1,86 @@
+(* Two of the engine's finer transactional features in one scenario:
+
+   - savepoints: a multi-leg order books legs one by one; a failing leg
+     rolls back to the savepoint instead of aborting the whole order;
+   - escrow bounds reads: a monitoring fiber reads revenue intervals
+     without ever blocking behind the in-flight writers.
+
+   Run with: dune exec examples/savepoints_and_bounds.exe *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Txn = Ivdb_txn.Txn
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+
+let () =
+  let db =
+    Database.create
+      ~config:{ Database.default_config with read_cost = 0; write_cost = 0 }
+      ()
+  in
+  let legs =
+    Database.create_table db ~name:"legs"
+      ~cols:
+        [
+          { Schema.name = "order_id"; ty = Value.TInt; nullable = false };
+          { Schema.name = "desk"; ty = Value.TStr; nullable = false };
+          { Schema.name = "notional"; ty = Value.TInt; nullable = false };
+        ]
+  in
+  let schema = Database.schema db legs in
+  let by_desk =
+    Database.create_view db ~name:"notional_by_desk" ~group_by:[ "desk" ]
+      ~aggs:[ View_def.Sum (Expr.col schema "notional") ]
+      ~source:(Database.From (legs, None))
+      ~strategy:Maintain.Escrow ()
+  in
+  let show_desk label desk =
+    match Query.view_lookup db None by_desk [| Value.Str desk |] with
+    | Some r ->
+        Printf.printf "%-28s %-6s legs=%-3s notional=%s\n" label desk
+          (Value.to_string r.(0))
+          (Value.to_string r.(1))
+    | None -> Printf.printf "%-28s %-6s (empty)\n" label desk
+  in
+
+  (* an order with three legs; the third violates a risk limit and only it
+     is rolled back, thanks to the savepoint *)
+  let mgr = Database.mgr db in
+  let tx = Txn.begin_txn mgr in
+  ignore (Table.insert db tx legs [| Value.Int 1; Value.Str "rates"; Value.Int 100 |]);
+  ignore (Table.insert db tx legs [| Value.Int 1; Value.Str "fx"; Value.Int 250 |]);
+  let sp = Txn.savepoint tx in
+  ignore (Table.insert db tx legs [| Value.Int 1; Value.Str "fx"; Value.Int 9000 |]);
+  Printf.printf "third leg booked (uncommitted): fx notional inside txn is 9250\n";
+  (* risk check fails: 9250 > limit. Roll the leg back, keep the order. *)
+  Txn.rollback_to mgr tx sp;
+  Txn.commit mgr tx;
+  show_desk "after savepoint rollback:" "fx";
+  show_desk "" "rates";
+
+  (* the monitoring fiber reads bounds while writers are mid-flight *)
+  let w1 = Txn.begin_txn mgr in
+  ignore (Table.insert db w1 legs [| Value.Int 2; Value.Str "fx"; Value.Int 40 |]);
+  let w2 = Txn.begin_txn mgr in
+  ignore (Table.insert db w2 legs [| Value.Int 3; Value.Str "fx"; Value.Int 60 |]);
+  (match Query.view_lookup_bounds db by_desk [| Value.Str "fx" |] with
+  | Some (lo, hi) ->
+      Printf.printf
+        "\nwith two writers in flight, fx notional is somewhere in [%s, %s]\n"
+        (Value.to_string lo.(1))
+        (Value.to_string hi.(1))
+  | None -> print_endline "fx group missing");
+  Txn.commit mgr w1;
+  Txn.abort mgr w2;
+  (match Query.view_lookup_bounds db by_desk [| Value.Str "fx" |] with
+  | Some (lo, hi) ->
+      Printf.printf "after one commit and one abort, the interval collapses: [%s, %s]\n"
+        (Value.to_string lo.(1))
+        (Value.to_string hi.(1))
+  | None -> print_endline "fx group missing");
+  show_desk "final:" "fx"

@@ -1,0 +1,1 @@
+lib/btree/bt_node.ml: Bytes Ivdb_storage Ivdb_util List String

@@ -1,0 +1,1 @@
+lib/btree/bt_node.mli:

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Bt_node Ivdb_storage Ivdb_txn Ivdb_util Ivdb_wal List String

@@ -1,0 +1,1 @@
+lib/btree/btree.mli: Ivdb_txn Ivdb_wal

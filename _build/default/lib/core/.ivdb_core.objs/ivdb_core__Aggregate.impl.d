@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Array Ivdb_relation Seq View_def

@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Ivdb_relation Seq View_def

@@ -1,0 +1,1 @@
+lib/core/deferred.ml: Aggregate Buffer Char Hashtbl Ivdb_lock Ivdb_storage Ivdb_txn Ivdb_wal List String

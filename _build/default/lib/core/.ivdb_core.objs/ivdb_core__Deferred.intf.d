@@ -1,0 +1,1 @@
+lib/core/deferred.mli: Aggregate Ivdb_storage Ivdb_txn Ivdb_wal

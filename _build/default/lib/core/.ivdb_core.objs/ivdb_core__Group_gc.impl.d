@@ -1,0 +1,1 @@
+lib/core/group_gc.ml: Aggregate Ivdb_btree Ivdb_lock Ivdb_relation Ivdb_txn Ivdb_util List Maintain

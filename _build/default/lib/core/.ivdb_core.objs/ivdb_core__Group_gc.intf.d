@@ -1,0 +1,1 @@
+lib/core/group_gc.mli: Ivdb_txn Maintain

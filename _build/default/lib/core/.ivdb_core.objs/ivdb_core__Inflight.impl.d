@@ -1,0 +1,1 @@
+lib/core/inflight.ml: Aggregate Array Hashtbl Ivdb_relation List

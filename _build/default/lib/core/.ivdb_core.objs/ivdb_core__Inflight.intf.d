@@ -1,0 +1,1 @@
+lib/core/inflight.mli: Aggregate Ivdb_relation View_def

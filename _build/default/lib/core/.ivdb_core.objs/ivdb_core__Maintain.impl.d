@@ -1,0 +1,1 @@
+lib/core/maintain.ml: Aggregate Deferred Inflight Ivdb_btree Ivdb_lock Ivdb_relation Ivdb_txn Ivdb_util Ivdb_wal View_def

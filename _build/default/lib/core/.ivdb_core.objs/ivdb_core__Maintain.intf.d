@@ -1,0 +1,1 @@
+lib/core/maintain.mli: Aggregate Deferred Inflight Ivdb_btree Ivdb_relation Ivdb_txn Ivdb_wal View_def

@@ -1,0 +1,1 @@
+lib/core/view_def.ml: Array Format Ivdb_relation

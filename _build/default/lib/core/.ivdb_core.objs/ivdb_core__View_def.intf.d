@@ -1,0 +1,1 @@
+lib/core/view_def.mli: Format Ivdb_relation

@@ -1,0 +1,33 @@
+module Txn = Ivdb_txn.Txn
+module Btree = Ivdb_btree.Btree
+module Row = Ivdb_relation.Row
+module Lock_name = Ivdb_lock.Lock_name
+module Lock_mgr = Ivdb_lock.Lock_mgr
+
+let zero_keys rt =
+  let acc = ref [] in
+  Btree.iter rt.Maintain.tree (fun key value ->
+      if Aggregate.count_of (Row.decode value) = 0 then acc := key :: !acc);
+  List.rev !acc
+
+let zero_count_rows rt = List.length (zero_keys rt)
+
+let run mgr rt =
+  let locks = Txn.locks mgr in
+  let removed = ref 0 in
+  List.iter
+    (fun key ->
+      (* reclaim only rows no transaction is touching or awaiting; the
+         cooperative scheduler makes the probe + delete atomic *)
+      if Lock_mgr.unlocked locks (Lock_name.Key (rt.Maintain.vid, key)) then begin
+        match Btree.search rt.Maintain.tree key with
+        | Some value when Aggregate.count_of (Row.decode value) = 0 ->
+            let stx = Txn.begin_system mgr in
+            Btree.delete stx rt.Maintain.tree ~key;
+            Txn.commit mgr stx;
+            incr removed;
+            Ivdb_util.Metrics.incr (Txn.metrics mgr) "view.gc_removed"
+        | Some _ | None -> ()
+      end)
+    (zero_keys rt);
+  !removed

@@ -1,0 +1,14 @@
+(** Garbage collection of logically-deleted view groups.
+
+    Under escrow maintenance, a group whose COUNT( * ) returns to zero is not
+    deleted by the decrementing transaction (that would need an X lock and
+    reintroduce the hot spot). The row stays — invisible to readers — until
+    this collector removes it in a system transaction, and only when no
+    transaction holds or awaits a lock on it. *)
+
+val run : Ivdb_txn.Txn.mgr -> Maintain.runtime -> int
+(** Remove every reclaimable zero-count row; returns how many were removed.
+    Counts [view.gc_removed]. *)
+
+val zero_count_rows : Maintain.runtime -> int
+(** Zero-count rows currently present (reclaimable or not). *)

@@ -1,0 +1,178 @@
+module Txn = Ivdb_txn.Txn
+module Btree = Ivdb_btree.Btree
+module Row = Ivdb_relation.Row
+module Log_record = Ivdb_wal.Log_record
+module Lock_name = Ivdb_lock.Lock_name
+module Lock_mode = Ivdb_lock.Lock_mode
+module Metrics = Ivdb_util.Metrics
+
+type strategy = Exclusive | Escrow | Deferred
+
+let strategy_to_string = function
+  | Exclusive -> "exclusive"
+  | Escrow -> "escrow"
+  | Deferred -> "deferred"
+
+type create_mode = System_txn | User_txn
+
+type runtime = {
+  vid : int;
+  def : View_def.t;
+  tree : Btree.t;
+  strategy : strategy;
+  create_mode : create_mode;
+  inflight : Inflight.t;
+  deferred : Deferred.t option;
+  recompute_group : Txn.t -> string -> Row.t;
+}
+
+let key_name rt key = Lock_name.Key (rt.vid, key)
+
+(* The lock name guarding the gap a new key falls into: the next existing
+   key, or the index's +infinity when inserting past the end. *)
+let gap_name rt key =
+  match Btree.next_key rt.tree key with
+  | Some (nk, _) -> Lock_name.Key (rt.vid, nk)
+  | None -> Lock_name.Eof rt.vid
+
+(* Create the group row empty (count 0) in a system transaction that
+   commits immediately: the row becomes physically present — and visible to
+   the lock protocol — without the user transaction holding any X lock.
+   The instant RangeI_N on the gap keeps serializable scans phantom-safe. *)
+let create_zero_group mgr txn rt ~key =
+  Txn.lock_instant mgr txn (gap_name rt key) Lock_mode.RangeI_N;
+  let stx = Txn.begin_system mgr in
+  (match
+     Btree.insert stx rt.tree ~key ~value:(Row.encode (Aggregate.zero_row rt.def))
+   with
+  | () -> Txn.commit mgr stx
+  | exception Btree.Duplicate_key _ ->
+      (* another transaction created it first: fine, it exists *)
+      Txn.commit mgr stx);
+  Metrics.incr (Txn.metrics mgr) "view.group_create"
+
+(* D3 ablation: create the group inside the user transaction instead,
+   holding an X key lock until commit. Every other transaction touching the
+   newborn group — escrow writers included — then blocks behind the
+   creator, which is precisely the contention the system-transaction
+   protocol avoids. *)
+let create_group_user mgr txn rt ~key =
+  Txn.lock_instant mgr txn (gap_name rt key) Lock_mode.RangeI_N;
+  Txn.lock mgr txn (key_name rt key) Lock_mode.X;
+  (try
+     Btree.insert txn rt.tree ~key ~value:(Row.encode (Aggregate.zero_row rt.def))
+   with Btree.Duplicate_key _ -> ());
+  Metrics.incr (Txn.metrics mgr) "view.group_create_user"
+
+let create_group mgr txn rt ~key =
+  match rt.create_mode with
+  | System_txn -> create_zero_group mgr txn rt ~key
+  | User_txn -> create_group_user mgr txn rt ~key
+
+let update_row mgr txn rt ~key ~undo row' =
+  Btree.update ?undo txn rt.tree ~key ~value:(Row.encode row');
+  ignore mgr
+
+(* --- exclusive ----------------------------------------------------------- *)
+
+let rec exclusive mgr txn rt ~key delta =
+  Txn.lock mgr txn (Lock_name.Table rt.vid) Lock_mode.IX;
+  Txn.lock mgr txn (key_name rt key) Lock_mode.X;
+  match Btree.search rt.tree key with
+  | None ->
+      create_group mgr txn rt ~key;
+      exclusive mgr txn rt ~key delta
+  | Some stored ->
+      Metrics.incr (Txn.metrics mgr) "view.exclusive_update";
+      let row = Row.decode stored in
+      let row' =
+        match Aggregate.apply rt.def row delta with
+        | `Ok r -> r
+        | `Recompute ->
+            Metrics.incr (Txn.metrics mgr) "view.recompute";
+            (* the retiring row is already gone from the base, so a fresh
+               fold gives the post-delete aggregates *)
+            rt.recompute_group txn key
+      in
+      if Aggregate.count_of row' = 0 then begin
+        (* physically remove, keeping the gap protected until commit *)
+        Txn.lock mgr txn (gap_name rt key) Lock_mode.RangeX_X;
+        Btree.delete txn rt.tree ~key;
+        Metrics.incr (Txn.metrics mgr) "view.group_delete"
+      end
+      else update_row mgr txn rt ~key ~undo:None row'
+
+(* --- escrow --------------------------------------------------------------- *)
+
+let rec escrow mgr txn rt ~key delta =
+  assert (Aggregate.is_additive delta);
+  Txn.lock mgr txn (Lock_name.Table rt.vid) Lock_mode.IX;
+  Txn.lock mgr txn (key_name rt key) Lock_mode.E;
+  match Btree.search rt.tree key with
+  | None ->
+      create_group mgr txn rt ~key;
+      escrow mgr txn rt ~key delta
+  | Some stored ->
+      Metrics.incr (Txn.metrics mgr) "view.escrow_update";
+      let row = Row.decode stored in
+      let row' =
+        match Aggregate.apply rt.def row delta with
+        | `Ok r -> r
+        | `Recompute -> assert false (* additive deltas never recompute *)
+      in
+      let inverse = Aggregate.encode (Aggregate.negate delta) in
+      update_row mgr txn rt ~key
+        ~undo:(Some (Log_record.Undo_escrow { view = rt.vid; key; inverse }))
+        row';
+      Inflight.record rt.inflight ~txn:(Txn.id txn) ~vid:rt.vid ~key delta
+      (* count 0 rows are left in place: logically absent, reclaimed later
+         by the garbage-collection system transaction *)
+
+(* --- dispatch -------------------------------------------------------------- *)
+
+let apply_delta_exclusive mgr txn rt ~key delta = exclusive mgr txn rt ~key delta
+
+let apply_delta mgr txn rt ~key delta =
+  Metrics.incr (Txn.metrics mgr) "view.delta";
+  match rt.strategy with
+  | Exclusive -> exclusive mgr txn rt ~key delta
+  | Escrow ->
+      if Aggregate.is_additive delta then escrow mgr txn rt ~key delta
+      else exclusive mgr txn rt ~key delta
+  | Deferred -> (
+      match rt.deferred with
+      | None -> invalid_arg "Maintain: deferred strategy without a queue"
+      | Some q ->
+          Metrics.incr (Txn.metrics mgr) "view.deferred_append";
+          Deferred.append txn q ~key delta)
+
+(* --- reads ------------------------------------------------------------------ *)
+
+let read_group mgr txn rt ~key =
+  (match txn with
+  | Some tx ->
+      Txn.lock mgr tx (Lock_name.Table rt.vid) Lock_mode.IS;
+      Txn.lock mgr tx (key_name rt key) Lock_mode.S
+  | None -> ());
+  match Btree.search rt.tree key with
+  | None -> None
+  | Some stored ->
+      let row = Row.decode stored in
+      if Aggregate.count_of row = 0 then None else Some row
+
+(* --- logical undo ------------------------------------------------------------ *)
+
+let undo_escrow _mgr rt ~key ~inverse =
+  let delta = Aggregate.decode inverse in
+  match Btree.search rt.tree key with
+  | None ->
+      invalid_arg
+        "Maintain.undo_escrow: group row vanished under an escrow lock"
+  | Some stored ->
+      let row = Row.decode stored in
+      let row' =
+        match Aggregate.apply rt.def row delta with
+        | `Ok r -> r
+        | `Recompute -> assert false
+      in
+      Btree.update_raw rt.tree ~key ~value:(Row.encode row')

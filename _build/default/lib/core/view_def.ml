@@ -1,0 +1,65 @@
+module Expr = Ivdb_relation.Expr
+module Row = Ivdb_relation.Row
+module Key_codec = Ivdb_relation.Key_codec
+
+type agg =
+  | Count_star
+  | Count of Expr.t
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+
+type source =
+  | Single of { table : int; where : Expr.t option }
+  | Join of {
+      left : int;
+      right : int;
+      left_col : int;
+      right_col : int;
+      where : Expr.t option;
+    }
+
+type t = {
+  name : string;
+  group_cols : int array;
+  aggs : agg array;
+  source : source;
+}
+
+let escrow_compatible t =
+  Array.for_all
+    (function Count_star | Count _ | Sum _ -> true | Min _ | Max _ -> false)
+    t.aggs
+
+let tables_of t =
+  match t.source with
+  | Single { table; _ } -> [ table ]
+  | Join { left; right; _ } -> [ left; right ]
+
+let where_of t =
+  match t.source with Single { where; _ } -> where | Join { where; _ } -> where
+
+let group_key t row = Key_codec.encode (Row.project row t.group_cols)
+let stored_arity t = 1 + Array.length t.aggs
+
+let pp_agg ppf = function
+  | Count_star -> Format.fprintf ppf "COUNT( * )"
+  | Count e -> Format.fprintf ppf "COUNT(%a)" Expr.pp e
+  | Sum e -> Format.fprintf ppf "SUM(%a)" Expr.pp e
+  | Min e -> Format.fprintf ppf "MIN(%a)" Expr.pp e
+  | Max e -> Format.fprintf ppf "MAX(%a)" Expr.pp e
+
+let pp ppf t =
+  let src ppf = function
+    | Single { table; _ } -> Format.fprintf ppf "table %d" table
+    | Join { left; right; left_col; right_col; _ } ->
+        Format.fprintf ppf "table %d JOIN table %d ON $%d = $%d" left right
+          left_col right_col
+  in
+  Format.fprintf ppf "VIEW %s: GROUP BY %a, aggs [%a] FROM %a" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t.group_cols)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_agg)
+    (Array.to_list t.aggs) src t.source

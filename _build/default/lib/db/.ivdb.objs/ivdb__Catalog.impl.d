@@ -1,0 +1,1 @@
+lib/db/catalog.ml: Array Ivdb_core Ivdb_relation List Marshal Printf String

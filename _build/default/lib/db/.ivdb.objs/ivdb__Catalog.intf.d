@@ -1,0 +1,1 @@
+lib/db/catalog.mli: Ivdb_core Ivdb_relation

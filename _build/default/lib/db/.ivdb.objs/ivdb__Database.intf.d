@@ -1,0 +1,1 @@
+lib/db/database.mli: Ivdb_btree Ivdb_core Ivdb_lock Ivdb_relation Ivdb_storage Ivdb_txn Ivdb_util Ivdb_wal Seq

@@ -1,0 +1,1 @@
+lib/db/query.ml: Database Hashtbl Ivdb_btree Ivdb_core Ivdb_lock Ivdb_relation Ivdb_storage Ivdb_txn Ivdb_util List Option Seq String

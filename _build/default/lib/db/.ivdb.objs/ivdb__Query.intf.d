@@ -1,0 +1,1 @@
+lib/db/query.mli: Database Ivdb_core Ivdb_relation Ivdb_txn Seq

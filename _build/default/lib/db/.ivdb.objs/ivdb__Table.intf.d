@@ -1,0 +1,1 @@
+lib/db/table.mli: Database Ivdb_relation Ivdb_storage Ivdb_txn

@@ -1,0 +1,1 @@
+lib/db/workload.ml: Array Database Float Fun Ivdb_core Ivdb_lock Ivdb_relation Ivdb_sched Ivdb_txn Ivdb_util List Printf Query Seq Table Unix

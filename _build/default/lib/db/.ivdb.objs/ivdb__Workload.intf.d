@@ -1,0 +1,1 @@
+lib/db/workload.mli: Database Ivdb_core

@@ -1,0 +1,884 @@
+module Metrics = Ivdb_util.Metrics
+module Disk = Ivdb_storage.Disk
+module Bufpool = Ivdb_storage.Bufpool
+module Heap_file = Ivdb_storage.Heap_file
+module Heap_page = Ivdb_storage.Heap_page
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Lock_mgr = Ivdb_lock.Lock_mgr
+module Lock_name = Ivdb_lock.Lock_name
+module Lock_mode = Ivdb_lock.Lock_mode
+module Txn = Ivdb_txn.Txn
+module Btree = Ivdb_btree.Btree
+module Recovery = Ivdb_recovery.Recovery
+module Schema = Ivdb_relation.Schema
+module Row = Ivdb_relation.Row
+module Value = Ivdb_relation.Value
+module Key_codec = Ivdb_relation.Key_codec
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Aggregate = Ivdb_core.Aggregate
+module Maintain = Ivdb_core.Maintain
+module Deferred = Ivdb_core.Deferred
+module Group_gc = Ivdb_core.Group_gc
+module Sched = Ivdb_sched.Sched
+
+type config = {
+  pool_capacity : int;
+  read_cost : int;
+  write_cost : int;
+  txn_retries : int;
+  auto_ghost_gc : bool;
+  escalation_threshold : int option;
+}
+
+let default_config =
+  {
+    pool_capacity = 512;
+    read_cost = 100;
+    write_cost = 100;
+    txn_retries = 10;
+    auto_ghost_gc = true;
+    escalation_threshold = None;
+  }
+
+type table = int
+type view = int
+
+type table_rt = {
+  meta : Catalog.table_meta;
+  tschema : Schema.t;
+  heap : Heap_file.t;
+  mutable indexes : index_rt list;
+  mutable dep_views : int list;
+}
+
+and index_rt = { imeta : Catalog.index_meta; itree : Btree.t }
+
+type t = {
+  cfg : config;
+  dmetrics : Metrics.t;
+  disk : Disk.t;
+  dpool : Bufpool.t;
+  dwal : Wal.t;
+  dlocks : Lock_mgr.t;
+  tmgr : Txn.mgr;
+  catalog : Catalog.t;
+  dtables : (int, table_rt) Hashtbl.t;
+  heaps : (int, Heap_file.t) Hashtbl.t; (* tables and deferred queues *)
+  trees : (int, Btree.t) Hashtbl.t; (* secondary indexes and views *)
+  views_rt : (int, Maintain.runtime) Hashtbl.t;
+  views_meta : (int, Catalog.view_meta) Hashtbl.t;
+  ghosts : (int, ghost_entry list ref) Hashtbl.t; (* per txn *)
+  inflight : Ivdb_core.Inflight.t;
+  row_lock_counts : (int * int, int ref) Hashtbl.t; (* (txn, table) -> rows *)
+}
+
+and ghost_entry =
+  | Ghost_row of int * Heap_file.rid
+  | Ghost_index_entry of int * string
+
+(* Secondary-index entries are ghosted rather than removed on delete, so a
+   probing reader conflicts with the deleter's key lock instead of reading
+   around an uncommitted delete. Entry values are a one-byte liveness flag
+   followed by a payload: empty for ordinary indexes (the rid lives in the
+   key), the rid for unique indexes (whose key is the column value alone). *)
+let index_entry_live payload = "\000" ^ payload
+let index_entry_ghost_of v = "\001" ^ String.sub v 1 (String.length v - 1)
+let index_entry_is_ghost v = String.length v > 0 && v.[0] = '\001'
+let index_entry_payload v = String.sub v 1 (String.length v - 1)
+
+let encode_rid_payload (rid : Heap_file.rid) =
+  let b = Bytes.create 8 in
+  Ivdb_util.Bytes_util.set_u32 b 0 rid.Heap_file.rpage;
+  Ivdb_util.Bytes_util.set_u32 b 4 rid.Heap_file.rslot;
+  Bytes.to_string b
+
+let decode_rid_payload s =
+  {
+    Heap_file.rpage = Ivdb_util.Bytes_util.get_u32 (Bytes.of_string s) 0;
+    rslot = Ivdb_util.Bytes_util.get_u32 (Bytes.of_string s) 4;
+  }
+
+let metrics t = t.dmetrics
+let mgr t = t.tmgr
+let locks t = t.dlocks
+let wal t = t.dwal
+let pool t = t.dpool
+
+let heap_of t id =
+  match Hashtbl.find_opt t.heaps id with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Database: unknown heap %d" id)
+
+let tree_of t id =
+  match Hashtbl.find_opt t.trees id with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Database: unknown index %d" id)
+
+let table_rt t id =
+  match Hashtbl.find_opt t.dtables id with
+  | Some rt -> rt
+  | None -> invalid_arg (Printf.sprintf "Database: unknown table %d" id)
+
+let view_rt t id =
+  match Hashtbl.find_opt t.views_rt id with
+  | Some rt -> rt
+  | None -> invalid_arg (Printf.sprintf "Database: unknown view %d" id)
+
+let view_meta_of t id = Hashtbl.find t.views_meta id
+
+(* Acquire a row lock, escalating to a table lock once the transaction has
+   accumulated [escalation_threshold] row locks on that table. A held table
+   lock that covers the request makes the row lock unnecessary. *)
+let lock_row t tx tid rid mode =
+  let table_covers =
+    match Lock_mgr.held_mode t.dlocks ~txn:(Txn.id tx) (Lock_name.Table tid) with
+    | Some held -> Lock_mode.covers ~held ~req:mode
+    | None -> false
+  in
+  if not table_covers then begin
+    Txn.lock t.tmgr tx (Lock_name.Row (tid, rid)) mode;
+    match t.cfg.escalation_threshold with
+    | None -> ()
+    | Some threshold ->
+        let key = (Txn.id tx, tid) in
+        let c =
+          match Hashtbl.find_opt t.row_lock_counts key with
+          | Some c -> c
+          | None ->
+              let c = ref 0 in
+              Hashtbl.replace t.row_lock_counts key c;
+              c
+        in
+        incr c;
+        if !c = threshold then begin
+          Metrics.incr t.dmetrics "lock.escalation";
+          let table_mode =
+            match mode with
+            | Lock_mode.X | Lock_mode.U -> Lock_mode.X
+            | _ -> Lock_mode.S
+          in
+          Txn.lock t.tmgr tx (Lock_name.Table tid) table_mode
+        end
+  end
+
+(* --- row sources ---------------------------------------------------------- *)
+
+(* Snapshot the rid list, then (re)read each record lazily; with a
+   transaction each row is S-locked before it is read, so in-flight writers
+   block the scan as serializability requires. *)
+let heap_scan_rows t txn tid =
+  let rt = table_rt t tid in
+  let rids = ref [] in
+  (* transactional scans visit ghosts too: an uncommitted delete must block
+     the reader on its row lock, not be silently invisible *)
+  (match txn with
+  | Some _ -> Heap_file.iter_all rt.heap (fun rid _ ~ghost:_ -> rids := rid :: !rids)
+  | None -> Heap_file.iter rt.heap (fun rid _ -> rids := rid :: !rids));
+  let rids = List.rev !rids in
+  (match txn with
+  | Some tx -> Txn.lock t.tmgr tx (Lock_name.Table tid) Lock_mode.IS
+  | None -> ());
+  List.to_seq rids
+  |> Seq.filter_map (fun rid ->
+         (match txn with
+         | Some tx -> lock_row t tx tid rid Lock_mode.S
+         | None -> ());
+         Option.map (fun r -> (rid, Row.decode r)) (Heap_file.get rt.heap rid))
+
+let heap_scan_seq t txn tid = Seq.map snd (heap_scan_rows t txn tid)
+
+(* Probe [table]'s rows with [col] = [v] through an index when one exists.
+   Index keys are (value, rpage, rslot); the value prefix bounds the scan.
+   With a transaction the protocol is key-range locking: RangeS_S on every
+   entry in range and on the terminating key (or EOF), then S on each rid. *)
+(* Key-space range walk under key-range locking, shared by point probes and
+   range scans. [lo_key] inclusive, [hi_key] exclusive; the fixpoint logic
+   is as for point probes (see below). *)
+let index_keyspace_rids t txn (ix : index_rt) ~table:tid ~lo_key ~hi_key =
+  let rt = table_rt t tid in
+  let ixid = ix.imeta.Catalog.ix_id in
+  let lock_key k m =
+    match txn with
+    | Some tx -> Txn.lock t.tmgr tx (Lock_name.Key (ixid, k)) m
+    | None -> ()
+  in
+  let lock_eof () =
+    match txn with
+    | Some tx -> Txn.lock t.tmgr tx (Lock_name.Eof ixid) Lock_mode.RangeS_S
+    | None -> ()
+  in
+  (* One pass walks the range, range-locking every key and the terminator.
+     Acquiring a lock can block, and while blocked the key set in range may
+     change under us (a waited-for writer commits a delete + reinsert). So
+     iterate to a fixpoint: once a pass sees exactly the keys of the
+     previous pass, every key and gap is locked and the set can no longer
+     move. *)
+  let one_pass () =
+    let keys = ref [] in
+    let rec walk cursor =
+      match cursor with
+      | None -> lock_eof ()
+      | Some (k, _, c) ->
+          if String.compare k hi_key < 0 then begin
+            lock_key k Lock_mode.RangeS_S;
+            keys := k :: !keys;
+            walk (Btree.cursor_next ix.itree c)
+          end
+          else
+            (* the first key past the range seals the gap *)
+            lock_key k Lock_mode.RangeS_S
+    in
+    walk (Btree.seek ix.itree lo_key);
+    List.rev !keys
+  in
+  let rec stable prev =
+    let keys = one_pass () in
+    if keys = prev then keys else stable keys
+  in
+  let keys = match txn with Some _ -> stable (one_pass ()) | None -> one_pass () in
+  (* re-read each entry after its lock was granted: a ghost flag means the
+     deleter committed while we waited — skip it *)
+  let rids =
+    List.filter_map
+      (fun k ->
+        match Btree.search ix.itree k with
+        | Some v when index_entry_is_ghost v -> None
+        | Some v when ix.imeta.Catalog.ix_unique ->
+            Some (decode_rid_payload (index_entry_payload v))
+        | Some _ | None -> (
+            match Key_codec.decode k with
+            | [| _; Value.Int rpage; Value.Int rslot |] ->
+                Some { Heap_file.rpage; rslot }
+            | _ -> invalid_arg "Database: corrupt index key"))
+      keys
+  in
+  List.to_seq rids
+  |> Seq.filter_map (fun rid ->
+         (match txn with
+         | Some tx -> lock_row t tx tid rid Lock_mode.S
+         | None -> ());
+         Option.map (fun r -> (rid, Row.decode r)) (Heap_file.get rt.heap rid))
+
+let find_index_on t tid col =
+  List.find_opt
+    (fun ix -> ix.imeta.Catalog.ix_col = col)
+    (table_rt t tid).indexes
+
+let index_probe_rids t txn ~table:tid ~col v =
+  match find_index_on t tid col with
+  | None ->
+      Metrics.incr t.dmetrics "view.join_scan_fallback";
+      heap_scan_rows t txn tid
+      |> Seq.filter (fun (_, row) -> Value.equal row.(col) v)
+  | Some ix ->
+      let lo_key = Key_codec.encode_one v in
+      let hi_key = Key_codec.successor lo_key in
+      index_keyspace_rids t txn ix ~table:tid ~lo_key ~hi_key
+
+(* Rows with [col] in the half-open / closed interval; bounds are (value,
+   inclusive?) pairs. Falls back to a filtered scan without an index. *)
+let index_range_rids t txn ~table:tid ~col ~lo ~hi =
+  let in_range row =
+    let v = row.(col) in
+    (match lo with
+    | None -> true
+    | Some (l, incl) ->
+        let c = Value.compare v l in
+        if incl then c >= 0 else c > 0)
+    && (match hi with
+       | None -> true
+       | Some (h, incl) ->
+           let c = Value.compare v h in
+           if incl then c <= 0 else c < 0)
+  in
+  match find_index_on t tid col with
+  | None ->
+      Metrics.incr t.dmetrics "view.join_scan_fallback";
+      heap_scan_rows t txn tid |> Seq.filter (fun (_, row) -> in_range row)
+  | Some ix ->
+      let lo_key =
+        match lo with
+        | None -> ""
+        | Some (l, incl) ->
+            let k = Key_codec.encode_one l in
+            if incl then k else Key_codec.successor k
+      in
+      let hi_key =
+        match hi with
+        | None -> "\255\255\255\255\255\255\255\255\255\255"
+        | Some (h, incl) ->
+            let k = Key_codec.encode_one h in
+            if incl then Key_codec.successor k else k
+      in
+      index_keyspace_rids t txn ix ~table:tid ~lo_key ~hi_key
+
+let index_probe t txn ~table ~col v = Seq.map snd (index_probe_rids t txn ~table ~col v)
+
+let source_rows t txn (def : View_def.t) =
+  match def.View_def.source with
+  | View_def.Single { table; _ } -> heap_scan_seq t txn table
+  | View_def.Join { left; right; left_col; right_col; _ } -> (
+      match txn with
+      | None ->
+          Ivdb_exec.Iter.hash_join ~left_key:[| left_col |]
+            ~right_key:[| right_col |] (heap_scan_seq t None left)
+            (heap_scan_seq t None right)
+      | Some _ ->
+          heap_scan_seq t txn left
+          |> Seq.concat_map (fun lrow ->
+                 index_probe t txn ~table:right ~col:right_col lrow.(left_col)
+                 |> Seq.map (fun rrow -> Array.append lrow rrow)))
+
+(* --- runtime registration -------------------------------------------------- *)
+
+let register_table t (meta : Catalog.table_meta) ~heap =
+  let heap =
+    match heap with
+    | Some h -> h
+    | None -> Heap_file.attach t.dpool t.disk ~first_page:meta.Catalog.tb_first_page
+  in
+  let rt =
+    { meta; tschema = Catalog.schema_of meta; heap; indexes = []; dep_views = [] }
+  in
+  Hashtbl.replace t.dtables meta.Catalog.tb_id rt;
+  Hashtbl.replace t.heaps meta.Catalog.tb_id heap
+
+let register_index t (meta : Catalog.index_meta) ~tree =
+  let tree =
+    match tree with
+    | Some b -> b
+    | None -> Btree.attach t.tmgr ~index_id:meta.Catalog.ix_id ~root:meta.Catalog.ix_root
+  in
+  let rt = table_rt t meta.Catalog.ix_table in
+  rt.indexes <- rt.indexes @ [ { imeta = meta; itree = tree } ];
+  Hashtbl.replace t.trees meta.Catalog.ix_id tree
+
+let register_view t (meta : Catalog.view_meta) ~tree ~queue =
+  let tree =
+    match tree with
+    | Some b -> b
+    | None -> Btree.attach t.tmgr ~index_id:meta.Catalog.vw_id ~root:meta.Catalog.vw_root
+  in
+  let queue =
+    match (queue, meta.Catalog.vw_queue) with
+    | Some q, _ -> Some q
+    | None, Some (qid, first_page) ->
+        Some (Deferred.attach t.tmgr ~queue_id:qid ~first_page)
+    | None, None -> None
+  in
+  (match queue with
+  | Some q -> Hashtbl.replace t.heaps (Deferred.queue_id q) (Deferred.heap q)
+  | None -> ());
+  let def = meta.Catalog.vw_def in
+  let rt =
+    {
+      Maintain.vid = meta.Catalog.vw_id;
+      def;
+      tree;
+      strategy = meta.Catalog.vw_strategy;
+      create_mode = meta.Catalog.vw_create_mode;
+      inflight = t.inflight;
+      deferred = queue;
+      recompute_group =
+        (fun txn key ->
+          Aggregate.fold_rows def
+            (Seq.filter
+               (fun row -> View_def.group_key def row = key)
+               (source_rows t (Some txn) def)));
+    }
+  in
+  Hashtbl.replace t.views_rt meta.Catalog.vw_id rt;
+  Hashtbl.replace t.views_meta meta.Catalog.vw_id meta;
+  Hashtbl.replace t.trees meta.Catalog.vw_id tree;
+  List.iter
+    (fun tid -> let trt = table_rt t tid in
+      if not (List.mem meta.Catalog.vw_id trt.dep_views) then
+        trt.dep_views <- trt.dep_views @ [ meta.Catalog.vw_id ])
+    (View_def.tables_of def)
+
+let install_undo t =
+  Txn.set_undo_exec t.tmgr (fun _txn undo ->
+      match undo with
+      | Log_record.No_undo -> []
+      | Log_record.Undo_heap_insert { table; rid } -> Heap_file.delete (heap_of t table) rid
+      | Log_record.Undo_heap_delete { table; rid } -> Heap_file.revive (heap_of t table) rid
+      | Log_record.Undo_heap_update { table; rid; before } ->
+          Heap_file.update (heap_of t table) rid before
+      | Log_record.Undo_bt_insert { index; key } -> Btree.delete_raw (tree_of t index) ~key
+      | Log_record.Undo_bt_delete { index; key; value } ->
+          Btree.insert_raw (tree_of t index) ~key ~value
+      | Log_record.Undo_bt_update { index; key; before } ->
+          Btree.update_raw (tree_of t index) ~key ~value:before
+      | Log_record.Undo_escrow { view; key; inverse } ->
+          Maintain.undo_escrow t.tmgr (view_rt t view) ~key ~inverse)
+
+let bare ?(config = default_config) ~metrics ~disk ~wal () =
+  let dpool = Bufpool.create disk ~capacity:config.pool_capacity metrics in
+  Bufpool.set_wal_force dpool (fun lsn -> Wal.force wal (Int64.to_int lsn));
+  let dlocks = Lock_mgr.create metrics in
+  let tmgr = Txn.create_mgr ~wal ~locks:dlocks ~pool:dpool metrics in
+  let t =
+    {
+      cfg = config;
+      dmetrics = metrics;
+      disk;
+      dpool;
+      dwal = wal;
+      dlocks;
+      tmgr;
+      catalog = Catalog.create ();
+      dtables = Hashtbl.create 16;
+      heaps = Hashtbl.create 16;
+      trees = Hashtbl.create 16;
+      views_rt = Hashtbl.create 16;
+      views_meta = Hashtbl.create 16;
+      ghosts = Hashtbl.create 16;
+      inflight = Ivdb_core.Inflight.create ();
+      row_lock_counts = Hashtbl.create 32;
+    }
+  in
+  install_undo t;
+  Txn.add_end_hook tmgr (fun txn _status ->
+      Ivdb_core.Inflight.drop_txn t.inflight ~txn:(Txn.id txn);
+      Hashtbl.filter_map_inplace
+        (fun (tid, _) v -> if tid = Txn.id txn then None else Some v)
+        t.row_lock_counts);
+  t
+
+let create ?(config = default_config) () =
+  let metrics = Metrics.create () in
+  let disk =
+    Disk.create ~read_cost:config.read_cost ~write_cost:config.write_cost metrics
+  in
+  let wal = Wal.create metrics in
+  bare ~config ~metrics ~disk ~wal ()
+
+(* --- DDL -------------------------------------------------------------------- *)
+
+let log_ddl_op t stx op = Txn.log_ddl t.tmgr stx (Catalog.encode_op op)
+
+let create_table t ~name ~cols =
+  (match Catalog.table_named t.catalog name with
+  | Some _ -> invalid_arg ("Database.create_table: duplicate table " ^ name)
+  | None -> ());
+  let id = Catalog.fresh_id t.catalog in
+  let stx = Txn.begin_system t.tmgr in
+  let heap, diffs = Heap_file.create t.dpool t.disk in
+  Txn.log_update t.tmgr stx ~undo:Log_record.No_undo diffs;
+  let meta =
+    {
+      Catalog.tb_id = id;
+      tb_name = name;
+      tb_cols =
+        Array.of_list
+          (List.map (fun c -> (c.Schema.name, c.Schema.ty, c.Schema.nullable)) cols);
+      tb_first_page = Heap_file.first_page heap;
+    }
+  in
+  log_ddl_op t stx (Catalog.Add_table meta);
+  Txn.commit t.tmgr stx;
+  Catalog.apply_op t.catalog (Catalog.Add_table meta);
+  register_table t meta ~heap:(Some heap);
+  id
+
+let index_key ~unique v (rid : Heap_file.rid) =
+  if unique then Key_codec.encode [| v |]
+  else
+    Key_codec.encode [| v; Value.Int rid.Heap_file.rpage; Value.Int rid.Heap_file.rslot |]
+
+exception Constraint_violation of string
+
+let create_index t ?(unique = false) tid ~col ~name =
+  let rt = table_rt t tid in
+  let col_pos = Schema.index_of rt.tschema col in
+  let id = Catalog.fresh_id t.catalog in
+  let tree = Btree.create t.tmgr ~index_id:id in
+  (* backfill in a system transaction *)
+  let stx = Txn.begin_system t.tmgr in
+  Heap_file.iter rt.heap (fun rid record ->
+      let row = Row.decode record in
+      let payload = if unique then encode_rid_payload rid else "" in
+      try
+        Btree.insert stx tree
+          ~key:(index_key ~unique row.(col_pos) rid)
+          ~value:(index_entry_live payload)
+      with Btree.Duplicate_key _ ->
+        raise
+          (Constraint_violation
+             (Printf.sprintf "unique index %s: duplicate value in column %s" name col)));
+  let meta =
+    {
+      Catalog.ix_id = id;
+      ix_name = name;
+      ix_table = tid;
+      ix_col = col_pos;
+      ix_unique = unique;
+      ix_root = Btree.root tree;
+    }
+  in
+  log_ddl_op t stx (Catalog.Add_index meta);
+  Txn.commit t.tmgr stx;
+  Catalog.apply_op t.catalog (Catalog.Add_index meta);
+  register_index t meta ~tree:(Some tree)
+
+type view_source =
+  | From of table * Expr.t option
+  | From_join of {
+      left : table;
+      right : table;
+      left_col : string;
+      right_col : string;
+      where : Expr.t option;
+    }
+
+let schema t tid = (table_rt t tid).tschema
+
+let join_schema t left right =
+  Schema.concat (schema t left) (schema t right)
+
+let create_view t ?(create_mode = Maintain.System_txn) ?refresh_threshold ~name
+    ~group_by ~aggs ~source ~strategy () =
+  (match Catalog.view_named t.catalog name with
+  | Some _ -> invalid_arg ("Database.create_view: duplicate view " ^ name)
+  | None -> ());
+  let src, src_schema =
+    match source with
+    | From (tid, where) -> (View_def.Single { table = tid; where }, schema t tid)
+    | From_join { left; right; left_col; right_col; where } ->
+        ( View_def.Join
+            {
+              left;
+              right;
+              left_col = Schema.index_of (schema t left) left_col;
+              right_col = Schema.index_of (schema t right) right_col;
+              where;
+            },
+          join_schema t left right )
+  in
+  let def =
+    {
+      View_def.name;
+      group_cols =
+        Array.of_list (List.map (fun c -> Schema.index_of src_schema c) group_by);
+      aggs = Array.of_list aggs;
+      source = src;
+    }
+  in
+  (match strategy with
+  | Maintain.Escrow | Maintain.Deferred ->
+      if not (View_def.escrow_compatible def) then
+        invalid_arg
+          "Database.create_view: escrow/deferred strategies require \
+           COUNT/SUM-only views (MIN/MAX needs exclusive maintenance)"
+  | Maintain.Exclusive -> ());
+  let id = Catalog.fresh_id t.catalog in
+  let tree = Btree.create t.tmgr ~index_id:id in
+  let stx = Txn.begin_system t.tmgr in
+  let queue, vw_queue =
+    match strategy with
+    | Maintain.Deferred ->
+        let qid = Catalog.fresh_id t.catalog in
+        let q, diffs = Deferred.create t.tmgr ~queue_id:qid in
+        Txn.log_update t.tmgr stx ~undo:Log_record.No_undo diffs;
+        (Some q, Some (qid, Deferred.first_page q))
+    | Maintain.Exclusive | Maintain.Escrow -> (None, None)
+  in
+  (* initial materialization *)
+  let groups : (string, Row.t) Hashtbl.t = Hashtbl.create 64 in
+  Seq.iter
+    (fun row ->
+      match Aggregate.delta_of_row def ~sign:1 row with
+      | None -> ()
+      | Some (key, delta) ->
+          let cur =
+            match Hashtbl.find_opt groups key with
+            | Some r -> r
+            | None -> Aggregate.zero_row def
+          in
+          let next =
+            match Aggregate.apply def cur delta with
+            | `Ok r -> r
+            | `Recompute -> assert false
+          in
+          Hashtbl.replace groups key next)
+    (source_rows t None def);
+  Hashtbl.iter
+    (fun key row ->
+      if Aggregate.count_of row > 0 then
+        Btree.insert stx tree ~key ~value:(Row.encode row))
+    groups;
+  let meta =
+    {
+      Catalog.vw_id = id;
+      vw_name = name;
+      vw_def = def;
+      vw_root = Btree.root tree;
+      vw_strategy = strategy;
+      vw_create_mode = create_mode;
+      vw_refresh_threshold = refresh_threshold;
+      vw_queue;
+    }
+  in
+  log_ddl_op t stx (Catalog.Add_view meta);
+  Txn.commit t.tmgr stx;
+  Catalog.apply_op t.catalog (Catalog.Add_view meta);
+  register_view t meta ~tree:(Some tree) ~queue;
+  id
+
+(* --- handles ------------------------------------------------------------------ *)
+
+let table t name =
+  match Catalog.table_named t.catalog name with
+  | Some m -> m.Catalog.tb_id
+  | None -> raise Not_found
+
+let view t name =
+  match Catalog.view_named t.catalog name with
+  | Some m -> m.Catalog.vw_id
+  | None -> raise Not_found
+
+let table_name t tid = (table_rt t tid).meta.Catalog.tb_name
+
+let list_tables t =
+  List.map (fun (m : Catalog.table_meta) -> m.Catalog.tb_name) (Catalog.tables t.catalog)
+
+let indexed_columns t tid =
+  List.map
+    (fun (m : Catalog.index_meta) ->
+      ((Schema.col_at (table_rt t tid).tschema m.Catalog.ix_col).Schema.name,
+        m.Catalog.ix_name))
+    (Catalog.indexes_of_table t.catalog tid)
+
+let list_views t =
+  List.map
+    (fun (m : Catalog.view_meta) ->
+      (m.Catalog.vw_name, Maintain.strategy_to_string m.Catalog.vw_strategy))
+    (Catalog.views t.catalog)
+let view_name t vid = (view_meta_of t vid).Catalog.vw_name
+let view_def t vid = (view_meta_of t vid).Catalog.vw_def
+let view_strategy t vid = (view_meta_of t vid).Catalog.vw_strategy
+let view_refresh_threshold t vid = (view_meta_of t vid).Catalog.vw_refresh_threshold
+
+(* --- transactions ---------------------------------------------------------------- *)
+
+let note_ghost_entry t txn entry =
+  match Hashtbl.find_opt t.ghosts (Txn.id txn) with
+  | Some l -> l := entry :: !l
+  | None -> Hashtbl.replace t.ghosts (Txn.id txn) (ref [ entry ])
+
+let note_ghost t txn tid rid = note_ghost_entry t txn (Ghost_row (tid, rid))
+let note_index_ghost t txn ixid key = note_ghost_entry t txn (Ghost_index_entry (ixid, key))
+
+let reclaim_ghosts t entries =
+  if entries <> [] then begin
+    let stx = Txn.begin_system t.tmgr in
+    List.iter
+      (fun entry ->
+        match entry with
+        | Ghost_row (tid, rid) -> (
+            match Heap_file.free_ghost (heap_of t tid) rid with
+            | [] -> ()
+            | diffs -> Txn.log_update t.tmgr stx ~undo:Log_record.No_undo diffs)
+        | Ghost_index_entry (ixid, key) -> (
+            (* remove only if still a ghost and no reader still speaks for
+               the key; otherwise the gc sweep picks it up later *)
+            let tree = tree_of t ixid in
+            match Btree.search tree key with
+            | Some v
+              when index_entry_is_ghost v
+                   && Lock_mgr.unlocked t.dlocks (Lock_name.Key (ixid, key)) ->
+                Btree.delete stx tree ~key
+            | Some _ | None -> ()))
+      entries;
+    Txn.commit t.tmgr stx
+  end
+
+let transact t ?retries f =
+  let retries = match retries with Some r -> r | None -> t.cfg.txn_retries in
+  let rec go attempts_left =
+    let tx = Txn.begin_txn t.tmgr in
+    let finish_ghosts committed =
+      match Hashtbl.find_opt t.ghosts (Txn.id tx) with
+      | None -> ()
+      | Some l ->
+          Hashtbl.remove t.ghosts (Txn.id tx);
+          if committed && t.cfg.auto_ghost_gc then reclaim_ghosts t !l
+    in
+    match f tx with
+    | v ->
+        Txn.commit t.tmgr tx;
+        finish_ghosts true;
+        v
+    | exception Txn.Conflict _ when attempts_left > 0 ->
+        Txn.abort t.tmgr tx;
+        finish_ghosts false;
+        Metrics.incr t.dmetrics "txn.retry";
+        Sched.yield ();
+        go (attempts_left - 1)
+    | exception e ->
+        Txn.abort t.tmgr tx;
+        finish_ghosts false;
+        raise e
+  in
+  go retries
+
+(* Sharp checkpoint: flush the pool so the dirty-page table is empty, then
+   discard the log prefix nothing can need anymore — redo starts at the
+   checkpoint, and undo of any active transaction reaches back at most to
+   its first record. *)
+let checkpoint t =
+  Bufpool.flush_all t.dpool;
+  Txn.checkpoint t.tmgr ~catalog:(Catalog.encode_snapshot t.catalog);
+  let ckpt = Wal.last_checkpoint_lsn t.dwal in
+  if ckpt > 0 then begin
+    let safe =
+      List.fold_left min ckpt
+        (List.map (fun (_, recl) -> Int64.to_int recl) (Bufpool.dirty_page_table t.dpool)
+        @ Txn.active_first_lsns t.tmgr)
+    in
+    Wal.truncate_before t.dwal safe
+  end
+
+(* --- crash / recovery ------------------------------------------------------------- *)
+
+let rebuild_runtime t =
+  List.iter (fun m -> register_table t m ~heap:None) (Catalog.tables t.catalog);
+  List.iter (fun m -> register_index t m ~tree:None) (Catalog.indexes t.catalog);
+  List.iter (fun m -> register_view t m ~tree:None ~queue:None) (Catalog.views t.catalog)
+
+let crash old =
+  let metrics = Metrics.create () in
+  let wal = Wal.crash old.dwal metrics in
+  Bufpool.drop_all old.dpool;
+  let t = bare ~config:old.cfg ~metrics ~disk:old.disk ~wal () in
+  let analysis = Recovery.analyze wal in
+  let redo_applied = Recovery.redo wal t.dpool analysis in
+  Metrics.add metrics "recovery.redo_applied" redo_applied;
+  Metrics.add metrics "recovery.losers" (List.length analysis.Recovery.losers);
+  Metrics.add metrics "recovery.stable_records" analysis.Recovery.stable_records;
+  Txn.bump_txn_id t.tmgr analysis.Recovery.max_txn_id;
+  (match analysis.Recovery.catalog with
+  | Some snap ->
+      let c = Catalog.decode_snapshot snap in
+      List.iter (fun m -> Catalog.apply_op t.catalog (Catalog.Add_table m)) (Catalog.tables c);
+      List.iter (fun m -> Catalog.apply_op t.catalog (Catalog.Add_index m)) (Catalog.indexes c);
+      List.iter (fun m -> Catalog.apply_op t.catalog (Catalog.Add_view m)) (Catalog.views c)
+  | None -> ());
+  List.iter (fun payload -> Catalog.apply_op t.catalog (Catalog.decode_op payload))
+    analysis.Recovery.ddl;
+  rebuild_runtime t;
+  List.iter
+    (fun (tid, last) ->
+      let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
+      Txn.rollback_tail t.tmgr loser ~from:last)
+    analysis.Recovery.losers;
+  checkpoint t;
+  t
+
+(* --- maintenance -------------------------------------------------------------------- *)
+
+let gc t =
+  let reclaimed = ref 0 in
+  Hashtbl.iter
+    (fun _ rt ->
+      reclaimed := !reclaimed + Group_gc.run t.tmgr rt;
+      reclaimed := !reclaimed + Btree.vacuum rt.Maintain.tree;
+      match rt.Maintain.deferred with
+      | Some q -> reclaimed := !reclaimed + Deferred.vacuum q
+      | None -> ())
+    t.views_rt;
+  (* index-entry ghosts left by a crash or skipped reclaims *)
+  Hashtbl.iter
+    (fun _ rt ->
+      List.iter
+        (fun ix ->
+          let ixid = ix.imeta.Catalog.ix_id in
+          let ghost_keys = ref [] in
+          Btree.iter ix.itree (fun k v ->
+              if index_entry_is_ghost v then ghost_keys := k :: !ghost_keys);
+          let free =
+            List.filter
+              (fun k -> Lock_mgr.unlocked t.dlocks (Lock_name.Key (ixid, k)))
+              !ghost_keys
+          in
+          if free <> [] then begin
+            let stx = Txn.begin_system t.tmgr in
+            List.iter
+              (fun k ->
+                match Btree.search ix.itree k with
+                | Some v when index_entry_is_ghost v ->
+                    Btree.delete stx ix.itree ~key:k;
+                    incr reclaimed
+                | Some _ | None -> ())
+              free;
+            Txn.commit t.tmgr stx
+          end;
+          reclaimed := !reclaimed + Btree.vacuum ix.itree)
+        rt.indexes)
+    t.dtables;
+  (* base-table ghosts left by a crash (normal commits reclaim their own) *)
+  Hashtbl.iter
+    (fun tid rt ->
+      let ghost_rids = ref [] in
+      List.iter
+        (fun pid ->
+          Bufpool.read t.dpool pid (fun p ->
+              Heap_page.iter_ghosts p (fun slot ->
+                  ghost_rids := { Heap_file.rpage = pid; rslot = slot } :: !ghost_rids)))
+        (Heap_file.page_ids rt.heap);
+      let free =
+        List.filter
+          (fun rid -> Lock_mgr.unlocked t.dlocks (Lock_name.Row (tid, rid)))
+          !ghost_rids
+      in
+      if free <> [] then begin
+        let stx = Txn.begin_system t.tmgr in
+        List.iter
+          (fun rid ->
+            match Heap_file.free_ghost rt.heap rid with
+            | [] -> ()
+            | diffs ->
+                incr reclaimed;
+                Txn.log_update t.tmgr stx ~undo:Log_record.No_undo diffs)
+          free;
+        Txn.commit t.tmgr stx
+      end)
+    t.dtables;
+  !reclaimed
+
+module Internal = struct
+  type nonrec table_rt = table_rt
+  type nonrec index_rt = index_rt
+
+  let table_id tid = tid
+  let view_id vid = vid
+  let of_table_id tid = tid
+  let table_rt = table_rt
+  let rt_schema rt = rt.tschema
+  let rt_heap rt = rt.heap
+  let rt_indexes rt = rt.indexes
+  let rt_dep_views rt = rt.dep_views
+  let ix_id ix = ix.imeta.Catalog.ix_id
+  let ix_col ix = ix.imeta.Catalog.ix_col
+  let ix_unique ix = ix.imeta.Catalog.ix_unique
+  let ix_tree ix = ix.itree
+  let view_rt = view_rt
+  let view_rts t = Hashtbl.fold (fun _ rt acc -> rt :: acc) t.views_rt []
+  let note_ghost = note_ghost
+  let note_index_ghost = note_index_ghost
+  let index_entry_live = index_entry_live
+  let index_entry_ghost_of = index_entry_ghost_of
+  let index_entry_is_ghost = index_entry_is_ghost
+  let index_entry_payload = index_entry_payload
+  let encode_rid_payload = encode_rid_payload
+  let index_key = index_key
+  let inflight t = t.inflight
+  let lock_row = lock_row
+  let heap_scan_rows = heap_scan_rows
+  let index_probe = index_probe
+  let index_probe_rids = index_probe_rids
+  let index_range_rids = index_range_rids
+  let source_rows = source_rows
+end

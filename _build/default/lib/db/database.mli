@@ -1,0 +1,240 @@
+(** The embedded database engine: catalog, DDL, transactions, recovery.
+
+    A [Database.t] owns a simulated disk, a buffer pool, a write-ahead log,
+    a lock manager, and a transaction manager, wired together. Concurrent
+    use happens inside {!Ivdb_sched.Sched.run}, with one fiber per session;
+    single-threaded use needs no scheduler at all.
+
+    {1 Typical use}
+    {[
+      let db = Database.create () in
+      let sales =
+        Database.create_table db ~name:"sales"
+          ~cols:[ col "product" TInt; col "qty" TInt ]
+      in
+      let by_product =
+        Database.create_view db ~name:"sales_by_product"
+          ~group_by:[ "product" ]
+          ~aggs:[ Count_star; Sum (Expr.col schema "qty") ]
+          ~source:(Database.From (sales, None))
+          ~strategy:Escrow
+      in
+      Database.transact db (fun tx ->
+          ignore (Table.insert db tx sales [| Int 7; Int 3 |]));
+      ...
+    ]} *)
+
+type t
+
+type config = {
+  pool_capacity : int;  (** buffer pool frames (default 512) *)
+  read_cost : int;  (** simulated ticks per disk read (default 100) *)
+  write_cost : int;  (** simulated ticks per disk write (default 100) *)
+  txn_retries : int;  (** automatic retries after deadlock (default 10) *)
+  auto_ghost_gc : bool;  (** reclaim ghosts after commit (default true) *)
+  escalation_threshold : int option;
+      (** escalate a transaction's row locks on a table to one table lock
+          after this many (default [None]: never) *)
+}
+
+val default_config : config
+
+type table
+type view
+
+val create : ?config:config -> unit -> t
+
+(** {1 DDL}
+
+    DDL statements are autocommitted (logged as redo-only system
+    transactions plus catalog records); they are not safe to run
+    concurrently with DML. *)
+
+val create_table :
+  t -> name:string -> cols:Ivdb_relation.Schema.col list -> table
+
+exception Constraint_violation of string
+(** A uniqueness violation. Raised from DML (and from [create_index
+    ~unique:true] when existing rows already collide); since it is a user
+    error, {!transact} does not retry it. *)
+
+val create_index : t -> ?unique:bool -> table -> col:string -> name:string -> unit
+(** Secondary B-tree index on one column; backfills existing rows. Ordinary
+    indexes key on (column value, rid); unique indexes key on the value
+    alone and enforce uniqueness transactionally: an insert colliding with
+    an uncommitted delete of the same value blocks until that transaction
+    finishes, then either reuses the entry (deleter committed) or raises
+    {!Constraint_violation} (deleter aborted). *)
+
+type view_source =
+  | From of table * Ivdb_relation.Expr.t option
+      (** single table, optional WHERE *)
+  | From_join of {
+      left : table;
+      right : table;
+      left_col : string;
+      right_col : string;
+      where : Ivdb_relation.Expr.t option;
+          (** residual predicate over the concatenated row; resolve columns
+              against {!join_schema} *)
+    }
+
+val create_view :
+  t ->
+  ?create_mode:Ivdb_core.Maintain.create_mode ->
+  ?refresh_threshold:int ->
+  name:string ->
+  group_by:string list ->
+  aggs:Ivdb_core.View_def.agg list ->
+  source:view_source ->
+  strategy:Ivdb_core.Maintain.strategy ->
+  unit ->
+  view
+(** Materializes the initial contents. Escrow and Deferred strategies
+    require escrow-compatible aggregates (no MIN/MAX) — [Invalid_argument]
+    otherwise. Join-view maintenance probes the other table through an
+    index on its join column when one exists, falling back to a scan. *)
+
+(** {1 Handles and schemas} *)
+
+val table : t -> string -> table
+val view : t -> string -> view
+(** Raise [Not_found]. *)
+
+val schema : t -> table -> Ivdb_relation.Schema.t
+
+val join_schema : t -> table -> table -> Ivdb_relation.Schema.t
+(** Concatenated schema used by join-view expressions (right-side duplicate
+    names get an ["r."] prefix). *)
+
+val table_name : t -> table -> string
+val list_tables : t -> string list
+
+val indexed_columns : t -> table -> (string * string) list
+(** (column name, index name) for each secondary index on the table. *)
+
+(** (name, strategy) pairs. *)
+val list_views : t -> (string * string) list
+val view_name : t -> view -> string
+val view_def : t -> view -> Ivdb_core.View_def.t
+val view_strategy : t -> view -> Ivdb_core.Maintain.strategy
+val view_refresh_threshold : t -> view -> int option
+
+(** {1 Transactions} *)
+
+val transact : t -> ?retries:int -> (Ivdb_txn.Txn.t -> 'a) -> 'a
+(** Begin / run / commit, aborting on exception. A deadlock-victim
+    {!Ivdb_txn.Txn.Conflict} aborts, yields, and retries (up to
+    [config.txn_retries]); other exceptions abort and re-raise. After a
+    commit that deleted rows, ghost slots are reclaimed by a system
+    transaction. Counts [txn.retry]. *)
+
+val checkpoint : t -> unit
+
+(** {1 Crash and recovery} *)
+
+val crash : t -> t
+(** Simulate a crash and recover: volatile state (buffer pool, locks,
+    unforced log tail) is lost; the returned instance is rebuilt from the
+    stable log and disk — catalog restored, history repeated, losers rolled
+    back — and ends with a checkpoint. The old handle must not be used
+    again. *)
+
+(** {1 Maintenance} *)
+
+val gc : t -> int
+(** Run the garbage-collection system transactions: zero-count view rows,
+    deferred-queue ghosts, base-table ghosts. Returns items reclaimed. *)
+
+val metrics : t -> Ivdb_util.Metrics.t
+val mgr : t -> Ivdb_txn.Txn.mgr
+val locks : t -> Ivdb_lock.Lock_mgr.t
+val wal : t -> Ivdb_wal.Wal.t
+val pool : t -> Ivdb_storage.Bufpool.t
+
+(** {1 Internal access — for the Table/Query modules and tests} *)
+
+module Internal : sig
+  type table_rt
+  type index_rt
+
+  val table_id : table -> int
+  val view_id : view -> int
+  val of_table_id : int -> table
+  val table_rt : t -> int -> table_rt
+  val rt_schema : table_rt -> Ivdb_relation.Schema.t
+  val rt_heap : table_rt -> Ivdb_storage.Heap_file.t
+  val rt_indexes : table_rt -> index_rt list
+  val rt_dep_views : table_rt -> int list
+  val ix_id : index_rt -> int
+  val ix_col : index_rt -> int
+  val ix_unique : index_rt -> bool
+  val ix_tree : index_rt -> Ivdb_btree.Btree.t
+  val view_rt : t -> int -> Ivdb_core.Maintain.runtime
+  val inflight : t -> Ivdb_core.Inflight.t
+
+  (** Row lock with escalation accounting; a covering table lock makes it
+      a no-op. *)
+  val lock_row :
+    t -> Ivdb_txn.Txn.t -> int -> Ivdb_storage.Heap_file.rid -> Ivdb_lock.Lock_mode.t -> unit
+  val view_rts : t -> Ivdb_core.Maintain.runtime list
+  val note_ghost : t -> Ivdb_txn.Txn.t -> int -> Ivdb_storage.Heap_file.rid -> unit
+  val note_index_ghost : t -> Ivdb_txn.Txn.t -> int -> string -> unit
+
+  val index_entry_live : string -> string
+  val index_entry_ghost_of : string -> string
+  val index_entry_is_ghost : string -> bool
+  val index_entry_payload : string -> string
+  val encode_rid_payload : Ivdb_storage.Heap_file.rid -> string
+
+  val index_key :
+    unique:bool -> Ivdb_relation.Value.t -> Ivdb_storage.Heap_file.rid -> string
+
+  val heap_scan_rows :
+    t ->
+    Ivdb_txn.Txn.t option ->
+    table ->
+    (Ivdb_storage.Heap_file.rid * Ivdb_relation.Row.t) Seq.t
+  (** Rows of a table with their rids; with a transaction, IS on the table
+      and [S] per row. *)
+
+  val index_probe :
+    t ->
+    Ivdb_txn.Txn.t option ->
+    table:int ->
+    col:int ->
+    Ivdb_relation.Value.t ->
+    Ivdb_relation.Row.t Seq.t
+  (** Rows with [col = value], via the column's index under key-range
+      locking when one exists (scan fallback otherwise). *)
+
+  val index_probe_rids :
+    t ->
+    Ivdb_txn.Txn.t option ->
+    table:int ->
+    col:int ->
+    Ivdb_relation.Value.t ->
+    (Ivdb_storage.Heap_file.rid * Ivdb_relation.Row.t) Seq.t
+  (** Like {!index_probe} but also yields each row's rid. *)
+
+  val index_range_rids :
+    t ->
+    Ivdb_txn.Txn.t option ->
+    table:int ->
+    col:int ->
+    lo:(Ivdb_relation.Value.t * bool) option ->
+    hi:(Ivdb_relation.Value.t * bool) option ->
+    (Ivdb_storage.Heap_file.rid * Ivdb_relation.Row.t) Seq.t
+  (** Rows with [col] in the interval (bounds are (value, inclusive)
+      pairs), via the column's index under key-range locking when one
+      exists; filtered scan otherwise. *)
+
+  val source_rows :
+    t ->
+    Ivdb_txn.Txn.t option ->
+    Ivdb_core.View_def.t ->
+    Ivdb_relation.Row.t Seq.t
+  (** The rows the view's defining query ranges over (concatenated rows for
+      a join), WHERE not applied. With a transaction, rows are read under
+      [S] row locks. *)
+end

@@ -1,0 +1,206 @@
+module Txn = Ivdb_txn.Txn
+module Lock_name = Ivdb_lock.Lock_name
+module Lock_mode = Ivdb_lock.Lock_mode
+module Btree = Ivdb_btree.Btree
+module Row = Ivdb_relation.Row
+module Key_codec = Ivdb_relation.Key_codec
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Aggregate = Ivdb_core.Aggregate
+module Maintain = Ivdb_core.Maintain
+module Deferred = Ivdb_core.Deferred
+module I = Database.Internal
+
+type locking = Serializable | Read_committed | Dirty
+
+let table_scan db txn tbl ?where locking =
+  let rows =
+    match (locking, txn) with
+    | Serializable, Some _ -> Seq.map snd (I.heap_scan_rows db txn tbl)
+    | Read_committed, Some tx ->
+        (* block behind uncommitted writers, retain nothing: instant S per
+           row, then read *)
+        let heap = I.rt_heap (I.table_rt db (I.table_id tbl)) in
+        Seq.filter_map
+          (fun (rid, _) ->
+            Txn.lock_instant (Database.mgr db) tx (Lock_name.Row (I.table_id tbl, rid))
+              Lock_mode.S;
+            Option.map Row.decode (Ivdb_storage.Heap_file.get heap rid))
+          (I.heap_scan_rows db None tbl)
+    | (Serializable | Read_committed | Dirty), _ ->
+        Seq.map snd (I.heap_scan_rows db None tbl)
+  in
+  match where with None -> rows | Some pred -> Seq.filter (Expr.eval_bool pred) rows
+
+let lock_view_key db txn vid key locking =
+  match (txn, locking) with
+  | Some tx, Serializable ->
+      Txn.lock (Database.mgr db) tx (Lock_name.Table vid) Lock_mode.IS;
+      Txn.lock (Database.mgr db) tx (Lock_name.Key (vid, key)) Lock_mode.RangeS_S
+  | Some tx, Read_committed ->
+      Txn.lock (Database.mgr db) tx (Lock_name.Table vid) Lock_mode.IS;
+      Txn.lock_instant (Database.mgr db) tx (Lock_name.Key (vid, key)) Lock_mode.S
+  | _, _ -> ()
+
+(* deferred views with a refresh threshold: a transactional reader drains
+   the queue first once staleness exceeds the bound (it pays the refresh,
+   later readers get it for free) *)
+let maybe_auto_refresh db txn v rt =
+  match (txn, rt.Maintain.deferred) with
+  | Some tx, Some q -> (
+      match Database.view_refresh_threshold db v with
+      | Some threshold when Deferred.pending q > threshold ->
+          Ivdb_util.Metrics.incr (Database.metrics db) "view.auto_refresh";
+          let n =
+            Deferred.drain tx q ~apply:(fun ~key delta ->
+                Maintain.apply_delta_exclusive (Database.mgr db) tx rt ~key delta)
+          in
+          Ivdb_util.Metrics.add (Database.metrics db) "view.refresh_deltas" n
+      | Some _ | None -> ())
+  | _ -> ()
+
+let view_lookup db txn v group =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
+  maybe_auto_refresh db txn v rt;
+  let key = Key_codec.encode group in
+  (match txn with
+  | Some tx ->
+      Txn.lock (Database.mgr db) tx (Lock_name.Table vid) Lock_mode.IS;
+      Txn.lock (Database.mgr db) tx (Lock_name.Key (vid, key)) Lock_mode.S
+  | None -> ());
+  match Btree.search rt.Maintain.tree key with
+  | None -> None
+  | Some stored ->
+      let row = Row.decode stored in
+      if Aggregate.count_of row = 0 then None else Some row
+
+let view_scan db txn v locking =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
+  maybe_auto_refresh db txn v rt;
+  let tree = rt.Maintain.tree in
+  let lock_eof () =
+    match (txn, locking) with
+    | Some tx, Serializable ->
+        Txn.lock (Database.mgr db) tx (Lock_name.Eof vid) Lock_mode.RangeS_S
+    | _, _ -> ()
+  in
+  let rec step cursor () =
+    match cursor with
+    | None ->
+        lock_eof ();
+        Seq.Nil
+    | Some (key, value, c) ->
+        lock_view_key db txn vid key locking;
+        (* the key was locked before the value is trusted: re-read so a
+           writer that committed while we waited is observed *)
+        let value =
+          match Btree.search tree key with Some v -> v | None -> value
+        in
+        let row = Row.decode value in
+        let next = Btree.cursor_next tree c in
+        if Aggregate.count_of row = 0 then step next ()
+        else Seq.Cons ((Key_codec.decode key, row), step next)
+  in
+  fun () -> step (Btree.seek tree "") ()
+
+let view_scan_range db txn v ~lo ~hi locking =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
+  maybe_auto_refresh db txn v rt;
+  let tree = rt.Maintain.tree in
+  let lo_key = Key_codec.encode lo and hi_key = Key_codec.encode hi in
+  let seal key =
+    (* the first key at-or-past hi (or EOF) guards the final gap *)
+    match (txn, locking) with
+    | Some tx, Serializable ->
+        let name =
+          match key with
+          | Some k -> Lock_name.Key (vid, k)
+          | None -> Lock_name.Eof vid
+        in
+        Txn.lock (Database.mgr db) tx name Lock_mode.RangeS_S
+    | _, _ -> ()
+  in
+  let rec step cursor () =
+    match cursor with
+    | None ->
+        seal None;
+        Seq.Nil
+    | Some (key, value, c) ->
+        if String.compare key hi_key >= 0 then begin
+          seal (Some key);
+          Seq.Nil
+        end
+        else begin
+          lock_view_key db txn vid key locking;
+          let value =
+            match Btree.search tree key with Some v -> v | None -> value
+          in
+          let row = Row.decode value in
+          let next = Btree.cursor_next tree c in
+          if Aggregate.count_of row = 0 then step next ()
+          else Seq.Cons ((Key_codec.decode key, row), step next)
+        end
+  in
+  fun () -> step (Btree.seek tree lo_key) ()
+
+let view_count db v =
+  let n = ref 0 in
+  Seq.iter (fun _ -> incr n) (view_scan db None v Dirty);
+  !n
+
+let on_demand_aggregate db txn def =
+  Ivdb_util.Metrics.incr (Database.metrics db) "query.on_demand_aggregate";
+  let groups : (string, Row.t) Hashtbl.t = Hashtbl.create 64 in
+  Seq.iter
+    (fun row ->
+      match Aggregate.delta_of_row def ~sign:1 row with
+      | None -> ()
+      | Some (key, delta) ->
+          let cur =
+            match Hashtbl.find_opt groups key with
+            | Some r -> r
+            | None -> Aggregate.zero_row def
+          in
+          let next =
+            match Aggregate.apply def cur delta with
+            | `Ok r -> r
+            | `Recompute -> assert false
+          in
+          Hashtbl.replace groups key next)
+    (I.source_rows db txn def);
+  Hashtbl.fold
+    (fun key row acc ->
+      if Aggregate.count_of row > 0 then (key, row) :: acc else acc)
+    groups []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (key, row) -> (Key_codec.decode key, row))
+
+let refresh db tx v =
+  let rt = I.view_rt db (I.view_id v) in
+  match rt.Maintain.deferred with
+  | None -> invalid_arg "Query.refresh: not a deferred view"
+  | Some q ->
+      let n =
+        Deferred.drain tx q ~apply:(fun ~key delta ->
+            Maintain.apply_delta_exclusive (Database.mgr db) tx rt ~key delta)
+      in
+      Ivdb_util.Metrics.add (Database.metrics db) "view.refresh_deltas" n;
+      n
+
+let staleness db v =
+  let rt = I.view_rt db (I.view_id v) in
+  match rt.Maintain.deferred with None -> 0 | Some q -> Deferred.pending q
+
+let view_lookup_bounds db v group =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
+  let key = Key_codec.encode group in
+  match Btree.search rt.Maintain.tree key with
+  | None -> None
+  | Some stored ->
+      let row = Row.decode stored in
+      let pending = Ivdb_core.Inflight.pending (I.inflight db) ~vid ~key in
+      Some (Ivdb_core.Inflight.bounds rt.Maintain.def row pending)

@@ -1,0 +1,271 @@
+module Rng = Ivdb_util.Rng
+module Zipf = Ivdb_util.Zipf
+module Metrics = Ivdb_util.Metrics
+module Sched = Ivdb_sched.Sched
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+module Txn = Ivdb_txn.Txn
+
+type reader_locking = Key_range | Coarse_table
+
+type spec = {
+  seed : int;
+  n_groups : int;
+  theta : float;
+  mpl : int;
+  txns_per_worker : int;
+  ops_per_txn : int;
+  delete_fraction : float;
+  read_fraction : float;
+  reader_scan : bool;
+  reader_locking : reader_locking;
+  strategy : Maintain.strategy;
+  create_mode : Maintain.create_mode;
+  n_views : int;
+  initial_rows : int;
+  gc_every : int option;
+  checkpoint_every : int option;
+  config : Database.config;
+}
+
+let default =
+  {
+    seed = 42;
+    n_groups = 20;
+    theta = 0.99;
+    mpl = 8;
+    txns_per_worker = 50;
+    ops_per_txn = 4;
+    delete_fraction = 0.1;
+    read_fraction = 0.;
+    reader_scan = false;
+    reader_locking = Key_range;
+    strategy = Maintain.Escrow;
+    create_mode = Maintain.System_txn;
+    n_views = 1;
+    initial_rows = 200;
+    gc_every = None;
+    checkpoint_every = None;
+    config = { Database.default_config with read_cost = 0; write_cost = 0 };
+  }
+
+type result = {
+  committed : int;
+  committed_readers : int;
+  given_up : int;
+  retries : int;
+  deadlocks : int;
+  lock_waits : int;
+  ticks : int;
+  wall_s : float;
+  throughput : float;
+  mean_latency : float;
+  p95_latency : float;
+  metrics : (string * int) list;
+}
+
+let sales_cols =
+  [
+    { Schema.name = "id"; ty = Value.TInt; nullable = false };
+    { Schema.name = "product"; ty = Value.TInt; nullable = false };
+    { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+    { Schema.name = "amount"; ty = Value.TFloat; nullable = false };
+  ]
+
+let sales_row ~id ~product ~qty ~amount =
+  [| Value.Int id; Value.Int product; Value.Int qty; Value.Float amount |]
+
+let setup spec =
+  let db = Database.create ~config:spec.config () in
+  let sales = Database.create_table db ~name:"sales" ~cols:sales_cols in
+  let schema = Database.schema db sales in
+  let views =
+    List.init spec.n_views (fun i ->
+        Database.create_view db ~create_mode:spec.create_mode
+          ~name:(Printf.sprintf "sales_by_product_%d" i)
+          ~group_by:[ "product" ]
+          ~aggs:
+            [
+              View_def.Count_star;
+              View_def.Sum (Expr.col schema "qty");
+              View_def.Sum (Expr.col schema "amount");
+            ]
+          ~source:(Database.From (sales, None))
+          ~strategy:spec.strategy ())
+  in
+  (* preload outside the measured window *)
+  let rng = Rng.create spec.seed in
+  let zipf = Zipf.create ~n:spec.n_groups ~theta:spec.theta in
+  for i = 1 to spec.initial_rows do
+    Database.transact db (fun tx ->
+        ignore
+          (Table.insert db tx sales
+             (sales_row ~id:(-i) ~product:(Zipf.draw zipf rng)
+                ~qty:(1 + Rng.int rng 10)
+                ~amount:(Rng.float rng *. 100.))))
+  done;
+  (db, sales, views)
+
+let run_on db sales views spec =
+  let metrics = Database.metrics db in
+  let before = Metrics.snapshot metrics in
+  let committed = ref 0 and given_up = ref 0 in
+  let committed_readers = ref 0 in
+  let latencies = Ivdb_util.Stats.create () in
+  let next_id = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let start_ticks = ref 0 in
+  let end_ticks = ref 0 in
+  Sched.run ~seed:spec.seed (fun () ->
+      start_ticks := Sched.now ();
+      let worker widx =
+        let rng = Rng.create ((spec.seed * 7919) + widx) in
+        let zipf = Zipf.create ~n:spec.n_groups ~theta:spec.theta in
+        let my_rows = ref [] in
+        for _ = 1 to spec.txns_per_worker do
+          let is_reader = Rng.float rng < spec.read_fraction && views <> [] in
+          let t_begin = Sched.now () in
+          (try
+             Database.transact db (fun tx ->
+                 if is_reader then begin
+                   let v = List.hd views in
+                   match spec.reader_locking with
+                   | Coarse_table ->
+                       Txn.lock (Database.mgr db) tx
+                         (Ivdb_lock.Lock_name.Table
+                            (Database.Internal.view_id v))
+                         Ivdb_lock.Lock_mode.S;
+                       if spec.reader_scan then begin
+                         Seq.iter (fun _ -> ()) (Query.view_scan db None v Query.Dirty);
+                         Sched.yield ()
+                       end
+                       else
+                         for _ = 1 to 3 do
+                           ignore
+                             (Query.view_lookup db None v
+                                [| Value.Int (Zipf.draw zipf rng) |]);
+                           Sched.yield ()
+                         done
+                   | Key_range ->
+                       if spec.reader_scan then begin
+                         Seq.iter
+                           (fun _ -> ())
+                           (Query.view_scan db (Some tx) v Query.Serializable);
+                         Sched.yield ()
+                       end
+                       else
+                         for _ = 1 to 3 do
+                           ignore
+                             (Query.view_lookup db (Some tx) v
+                                [| Value.Int (Zipf.draw zipf rng) |]);
+                           Sched.yield ()
+                         done
+                 end
+                 else
+                   for _ = 1 to spec.ops_per_txn do
+                     let do_delete =
+                       Rng.float rng < spec.delete_fraction && !my_rows <> []
+                     in
+                     (if do_delete then begin
+                        match !my_rows with
+                        | rid :: rest ->
+                            my_rows := rest;
+                            (try Table.delete db tx sales rid with Not_found -> ())
+                        | [] -> ()
+                      end
+                      else begin
+                        incr next_id;
+                        let rid =
+                          Table.insert db tx sales
+                            (sales_row ~id:!next_id ~product:(Zipf.draw zipf rng)
+                               ~qty:(1 + Rng.int rng 10)
+                               ~amount:(Rng.float rng *. 100.))
+                        in
+                        my_rows := rid :: !my_rows
+                      end);
+                     (* yield at every statement boundary so lock lifetimes
+                        of concurrent transactions overlap, as they would
+                        under preemptive threads *)
+                     Sched.yield ()
+                   done);
+             incr committed;
+             if is_reader then incr committed_readers;
+             Ivdb_util.Stats.add latencies (float_of_int (Sched.now () - t_begin));
+             (match spec.gc_every with
+             | Some n when !committed mod n = 0 -> ignore (Database.gc db)
+             | Some _ | None -> ());
+             (match spec.checkpoint_every with
+             | Some n when !committed mod n = 0 -> Database.checkpoint db
+             | Some _ | None -> ())
+           with Txn.Conflict _ -> incr given_up);
+          Sched.yield ()
+        done
+      in
+      let remaining = ref spec.mpl in
+      let wake_main = ref (fun () -> ()) in
+      for w = 1 to spec.mpl do
+        ignore
+          (Sched.spawn (fun () ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   decr remaining;
+                   if !remaining = 0 then !wake_main ())
+                 (fun () -> worker w)))
+      done;
+      (* block until the last worker finishes: if the workers deadlock in a
+         way the lock manager missed, the run fails with Sched.Stuck rather
+         than spinning silently *)
+      if !remaining > 0 then
+        Sched.suspend (fun wake _cancel -> wake_main := wake);
+      end_ticks := Sched.now ());
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let after = Metrics.snapshot metrics in
+  let diff = Metrics.diff ~before ~after in
+  let get name = match List.assoc_opt name diff with Some v -> v | None -> 0 in
+  let ticks = max 1 (!end_ticks - !start_ticks) in
+  {
+    committed = !committed;
+    committed_readers = !committed_readers;
+    given_up = !given_up;
+    retries = get "txn.retry";
+    deadlocks = get "lock.deadlock";
+    lock_waits = get "lock.wait";
+    ticks;
+    wall_s;
+    throughput = float_of_int !committed *. 1000. /. float_of_int ticks;
+    mean_latency = Ivdb_util.Stats.mean latencies;
+    p95_latency =
+      (if Ivdb_util.Stats.count latencies = 0 then 0.
+       else Ivdb_util.Stats.percentile latencies 95.);
+    metrics = diff;
+  }
+
+let run spec =
+  let db, sales, views = setup spec in
+  run_on db sales views spec
+
+(* Incremental maintenance and the from-scratch fold add floats in different
+   orders, so SUM(float) may differ in the last ulps; compare with a relative
+   tolerance. *)
+let value_close a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y ->
+      let scale = Float.max 1. (Float.max (Float.abs x) (Float.abs y)) in
+      Float.abs (x -. y) <= 1e-9 *. scale
+  | _ -> Value.equal a b
+
+let row_close r1 r2 =
+  Array.length r1 = Array.length r2 && Array.for_all2 value_close r1 r2
+
+let check_consistency db v =
+  let def = Database.view_def db v in
+  let expect = Query.on_demand_aggregate db None def in
+  let actual = List.of_seq (Query.view_scan db None v Query.Dirty) in
+  List.length expect = List.length actual
+  && List.for_all2
+       (fun (g1, r1) (g2, r2) ->
+         Ivdb_relation.Row.equal g1 g2 && row_close r1 r2)
+       expect actual

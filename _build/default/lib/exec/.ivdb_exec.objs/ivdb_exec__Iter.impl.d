@@ -1,0 +1,1 @@
+lib/exec/iter.ml: Array Hashtbl Ivdb_btree Ivdb_relation List Seq String

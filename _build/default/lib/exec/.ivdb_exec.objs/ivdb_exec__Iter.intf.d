@@ -1,0 +1,1 @@
+lib/exec/iter.mli: Ivdb_btree Ivdb_relation Seq

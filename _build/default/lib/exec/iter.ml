@@ -1,0 +1,128 @@
+module Row = Ivdb_relation.Row
+module Expr = Ivdb_relation.Expr
+module Btree = Ivdb_btree.Btree
+
+type row = Row.t
+type source = unit -> row Seq.t
+
+let filter pred rows = Seq.filter (fun r -> Expr.eval_bool pred r) rows
+let project positions rows = Seq.map (fun r -> Row.project r positions) rows
+let map f rows = Seq.map f rows
+let limit n rows = Seq.take n rows
+
+let nested_loop_join ~on outer inner =
+  Seq.concat_map
+    (fun l ->
+      Seq.filter_map
+        (fun r ->
+          let joined = Array.append l r in
+          if Expr.eval_bool on joined then Some joined else None)
+        (inner ()))
+    outer
+
+let hash_join ~left_key ~right_key left right =
+  let tbl = Hashtbl.create 256 in
+  Seq.iter
+    (fun r ->
+      let k = Row.encode (Row.project r right_key) in
+      Hashtbl.add tbl k r)
+    right;
+  Seq.concat_map
+    (fun l ->
+      let k = Row.encode (Row.project l left_key) in
+      (* Hashtbl.find_all returns matches newest-first; order is not part of
+         the operator contract *)
+      List.to_seq (List.map (fun r -> Array.append l r) (Hashtbl.find_all tbl k)))
+    left
+
+let sort ~by ?(desc = false) rows =
+  let arr = Array.of_seq rows in
+  let cmp a b =
+    let c = Row.compare (Row.project a by) (Row.project b by) in
+    if desc then -c else c
+  in
+  Array.stable_sort cmp arr;
+  Array.to_seq arr
+
+let index_scan tree ?lo ?hi ?(on_entry = fun _ _ -> ()) ~decode () =
+  let start = match lo with Some k -> k | None -> "" in
+  let in_range k = match hi with Some h -> String.compare k h < 0 | None -> true in
+  let rec step cur () =
+    match cur with
+    | None -> Seq.Nil
+    | Some (k, v, c) ->
+        if in_range k then begin
+          on_entry k v;
+          Seq.Cons (decode k v, step (Btree.cursor_next tree c))
+        end
+        else Seq.Nil
+  in
+  fun () -> step (Btree.seek tree start) ()
+
+let to_list rows = List.of_seq rows
+let count rows = Seq.fold_left (fun n _ -> n + 1) 0 rows
+
+let distinct rows =
+  let seen = Hashtbl.create 64 in
+  Seq.filter
+    (fun r ->
+      let k = Row.encode r in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    rows
+
+let union_all seqs = Seq.concat (List.to_seq seqs)
+
+let merge_join ~left_key ~right_key left right =
+  (* materialize the right side lazily group by group *)
+  let key_of ks r = Row.project r ks in
+  let rec advance_right cur rrest target =
+    (* returns (group rows equal to target, rest) skipping smaller keys *)
+    match cur with
+    | None -> ([], None, rrest)
+    | Some r ->
+        let c = Row.compare (key_of right_key r) target in
+        if c < 0 then begin
+          match rrest () with
+          | Seq.Nil -> ([], None, Seq.empty)
+          | Seq.Cons (r', rest') -> advance_right (Some r') rest' target
+        end
+        else if c = 0 then begin
+          (* collect the whole right group *)
+          let rec collect acc rest =
+            match rest () with
+            | Seq.Cons (r', rest') when Row.compare (key_of right_key r') target = 0 ->
+                collect (r' :: acc) rest'
+            | Seq.Cons (r', rest') -> (List.rev acc, Some r', rest')
+            | Seq.Nil -> (List.rev acc, None, Seq.empty)
+          in
+          let group, nxt, rest = collect [ r ] rrest in
+          (group, nxt, rest)
+        end
+        else ([], cur, rrest)
+  in
+  let rec go lseq rcur rrest last_group last_key () =
+    match lseq () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (l, lrest) ->
+        let lk = key_of left_key l in
+        let group, rcur, rrest, last_group, last_key =
+          match last_key with
+          | Some k when Row.compare k lk = 0 -> (last_group, rcur, rrest, last_group, last_key)
+          | _ ->
+              let g, c, rest = advance_right rcur rrest lk in
+              (g, c, rest, g, Some lk)
+        in
+        let matches = List.map (fun r -> Array.append l r) group in
+        Seq.append (List.to_seq matches) (go lrest rcur rrest last_group last_key) ()
+  in
+  fun () ->
+    match right () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (r0, rrest) -> go left (Some r0) rrest [] None ()
+
+let top_k ~by ?(desc = false) k rows =
+  Seq.take k (sort ~by ~desc rows)

@@ -1,0 +1,57 @@
+(** Volcano-style query operators over row streams.
+
+    Streams are [Row.t Seq.t]: demand-driven, so operators compose like the
+    iterator trees of a conventional executor. Sources (table scans, index
+    scans with their locking protocol) are constructed by the database
+    layer; this module supplies the algebra. *)
+
+type row = Ivdb_relation.Row.t
+type source = unit -> row Seq.t
+
+val filter : Ivdb_relation.Expr.t -> row Seq.t -> row Seq.t
+val project : int array -> row Seq.t -> row Seq.t
+val map : (row -> row) -> row Seq.t -> row Seq.t
+val limit : int -> row Seq.t -> row Seq.t
+
+val nested_loop_join :
+  on:Ivdb_relation.Expr.t -> row Seq.t -> source -> row Seq.t
+(** [nested_loop_join ~on outer inner] concatenates each outer row with each
+    inner row and keeps pairs satisfying [on] (evaluated over the
+    concatenated row). The inner source is re-opened per outer row. *)
+
+val hash_join :
+  left_key:int array -> right_key:int array -> row Seq.t -> row Seq.t -> row Seq.t
+(** Equi-join: builds a hash table on the (fully consumed) right input,
+    probes with the left; output is left-row @ right-row. *)
+
+val sort : by:int array -> ?desc:bool -> row Seq.t -> row Seq.t
+(** Materializing sort by the given column positions. *)
+
+val index_scan :
+  Ivdb_btree.Btree.t ->
+  ?lo:string ->
+  ?hi:string ->
+  ?on_entry:(string -> string -> unit) ->
+  decode:(string -> string -> row) ->
+  unit ->
+  row Seq.t
+(** Ascending scan of an index: keys in [\[lo, hi)] ([lo] inclusive, [hi]
+    exclusive; both optional). [on_entry] is the locking hook, called with
+    each (key, value) before it is yielded. *)
+
+val to_list : row Seq.t -> row list
+val count : row Seq.t -> int
+
+val distinct : row Seq.t -> row Seq.t
+(** Hash-based duplicate elimination (first occurrence wins). *)
+
+val union_all : row Seq.t list -> row Seq.t
+
+val merge_join :
+  left_key:int array -> right_key:int array -> row Seq.t -> row Seq.t -> row Seq.t
+(** Equi-join of inputs already sorted on their keys; handles duplicate
+    keys on both sides (cross product within a key group). Output is
+    left-row @ right-row in key order. *)
+
+val top_k : by:int array -> ?desc:bool -> int -> row Seq.t -> row Seq.t
+(** The k smallest (or largest) rows by the sort key. *)

@@ -1,0 +1,1 @@
+lib/lock/lock_mgr.ml: Hashtbl Ivdb_sched Ivdb_util List Lock_mode Lock_name Map Option

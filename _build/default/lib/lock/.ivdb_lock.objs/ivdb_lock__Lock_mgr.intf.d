@@ -1,0 +1,1 @@
+lib/lock/lock_mgr.mli: Ivdb_util Lock_mode Lock_name

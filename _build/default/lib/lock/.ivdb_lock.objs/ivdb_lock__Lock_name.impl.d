@@ -1,0 +1,1 @@
+lib/lock/lock_name.ml: Format Ivdb_storage Ivdb_util Stdlib

@@ -1,0 +1,1 @@
+lib/lock/lock_name.mli: Format Ivdb_storage

@@ -1,0 +1,352 @@
+exception Deadlock of int
+
+module Sched = Ivdb_sched.Sched
+module Metrics = Ivdb_util.Metrics
+
+type owner = { otxn : int; mutable mode : Lock_mode.t; mutable count : int }
+
+type req = {
+  rtxn : int;
+  target : Lock_mode.t; (* mode the txn will hold once granted *)
+  grant_mode : Lock_mode.t; (* mode whose compatibility gates the grant *)
+  convert : bool;
+  instant : bool;
+  mutable wake : (unit -> unit) option;
+  mutable cancel : (exn -> unit) option;
+}
+
+type lock = {
+  lname : Lock_name.t;
+  mutable owners : owner list;
+  mutable queue : req list; (* FIFO; conversions are kept at the front *)
+}
+
+module Name_map = Map.Make (Lock_name)
+
+type t = {
+  metrics : Metrics.t;
+  mutable locks : lock Name_map.t;
+  txn_locks : (int, (Lock_name.t, unit) Hashtbl.t) Hashtbl.t;
+  blocked : (int, lock * req) Hashtbl.t; (* txn -> what it waits on *)
+}
+
+let create metrics =
+  {
+    metrics;
+    locks = Name_map.empty;
+    txn_locks = Hashtbl.create 64;
+    blocked = Hashtbl.create 16;
+  }
+
+let find_lock t name = Name_map.find_opt name t.locks
+
+let get_lock t name =
+  match find_lock t name with
+  | Some lk -> lk
+  | None ->
+      let lk = { lname = name; owners = []; queue = [] } in
+      t.locks <- Name_map.add name lk t.locks;
+      lk
+
+let drop_if_idle t lk =
+  if lk.owners = [] && lk.queue = [] then t.locks <- Name_map.remove lk.lname t.locks
+
+let owner_of lk txn = List.find_opt (fun o -> o.otxn = txn) lk.owners
+
+let note_held t txn name =
+  let tbl =
+    match Hashtbl.find_opt t.txn_locks txn with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.add t.txn_locks txn tbl;
+        tbl
+  in
+  Hashtbl.replace tbl name ()
+
+(* A fresh request is grantable when compatible with every other owner and
+   nothing waits ahead of it (FIFO fairness); a conversion ignores the
+   queue and checks other owners only. *)
+let compatible_with_owners lk txn mode =
+  List.for_all
+    (fun o -> o.otxn = txn || Lock_mode.compat ~requested:mode ~granted:o.mode)
+    lk.owners
+
+let conflicts_with a b =
+  a.rtxn <> b.rtxn
+  && (not (Lock_mode.compat ~requested:a.grant_mode ~granted:b.target)
+     || not (Lock_mode.compat ~requested:b.grant_mode ~granted:a.target))
+
+(* Granting is by arrival order with skip-ahead: a request may be granted
+   past earlier waiters it does not conflict with (so e.g. an instant gap
+   lock never queues behind an unrelated exclusive request), but never past
+   a conflicting one — that still guarantees no starvation, and it makes
+   the waits-for edges (owners + conflicting earlier waiters) exactly the
+   conditions for remaining blocked. *)
+let grantable lk req = compatible_with_owners lk req.rtxn req.grant_mode
+
+let grantable_fresh lk req =
+  grantable lk req
+  && (req.convert || not (List.exists (fun r -> conflicts_with req r) lk.queue))
+
+(* Apply a grant to the lock state. Instant-duration requests retain
+   nothing. *)
+let apply_grant t lk req =
+  if not req.instant then begin
+    (match owner_of lk req.rtxn with
+    | Some o ->
+        o.mode <- req.target;
+        o.count <- o.count + 1
+    | None ->
+        lk.owners <- { otxn = req.rtxn; mode = req.target; count = 1 } :: lk.owners);
+    note_held t req.rtxn lk.lname
+  end
+
+(* Wake every queued request that has become grantable. Conversions may be
+   granted out of order; regular requests are granted strictly from the
+   front so that an incompatible head blocks everything behind it. *)
+let sweep t lk =
+  (* pass 1: conversions anywhere in the queue *)
+  let converts, others = List.partition (fun r -> r.convert) lk.queue in
+  let still_waiting_converts =
+    List.filter
+      (fun r ->
+        if grantable lk r then begin
+          apply_grant t lk r;
+          Hashtbl.remove t.blocked r.rtxn;
+          (match r.wake with Some w -> w () | None -> ());
+          false
+        end
+        else true)
+      converts
+  in
+  lk.queue <- still_waiting_converts @ others;
+  (* pass 2: arrival order with skip-ahead, unless a conversion still
+     waits (conversions have absolute priority) *)
+  if still_waiting_converts = [] then begin
+    let rec pass kept = function
+      | [] -> List.rev kept
+      | r :: rest ->
+          if grantable lk r && not (List.exists (fun ahead -> conflicts_with r ahead) kept)
+          then begin
+            apply_grant t lk r;
+            Hashtbl.remove t.blocked r.rtxn;
+            (match r.wake with Some w -> w () | None -> ());
+            pass kept rest
+          end
+          else pass (r :: kept) rest
+    in
+    lk.queue <- pass [] lk.queue
+  end;
+  drop_if_idle t lk
+
+(* --- deadlock detection ------------------------------------------------ *)
+
+(* Transactions a waiting request is blocked by: incompatible owners, plus
+   incompatible requests queued ahead of it (FIFO blocking). *)
+let blockers lk req =
+  let from_owners =
+    List.filter_map
+      (fun o ->
+        if o.otxn <> req.rtxn
+           && not (Lock_mode.compat ~requested:req.grant_mode ~granted:o.mode)
+        then Some o.otxn
+        else None)
+      lk.owners
+  in
+  let rec ahead acc = function
+    | [] -> acc
+    | r :: _ when r == req -> acc
+    | r :: rest -> if conflicts_with req r then ahead (r.rtxn :: acc) rest else ahead acc rest
+  in
+  let from_queue = if req.convert then [] else ahead [] lk.queue in
+  List.sort_uniq compare (from_owners @ from_queue)
+
+(* Find a waits-for cycle through [start]; returns its members. *)
+let find_cycle t start =
+  let visited = Hashtbl.create 16 in
+  let rec dfs path txn =
+    if txn = start && path <> [] then Some path
+    else if Hashtbl.mem visited txn then None
+    else begin
+      Hashtbl.add visited txn ();
+      match Hashtbl.find_opt t.blocked txn with
+      | None -> None
+      | Some (lk, req) ->
+          let next = blockers lk req in
+          List.fold_left
+            (fun acc n -> match acc with Some _ -> acc | None -> dfs (txn :: path) n)
+            None next
+    end
+  in
+  dfs [] start
+
+let remove_from_queue lk req = lk.queue <- List.filter (fun r -> r != req) lk.queue
+
+(* Break every cycle through [txn] (whose request is already queued and
+   registered in [blocked]). Victim: youngest (largest id) member. *)
+let resolve_deadlocks t txn my_lk my_req =
+  let rec loop () =
+    match find_cycle t txn with
+    | None -> ()
+    | Some cycle ->
+        Metrics.incr t.metrics "lock.deadlock";
+        let victim = List.fold_left max txn cycle in
+        if victim = txn then begin
+          remove_from_queue my_lk my_req;
+          Hashtbl.remove t.blocked txn;
+          (* removing a queued request can unblock compatible requests
+             behind it: re-sweep before giving up the lock record *)
+          sweep t my_lk;
+          raise (Deadlock txn)
+        end
+        else begin
+          match Hashtbl.find_opt t.blocked victim with
+          | None -> () (* already resumed; graph changed, re-check *)
+          | Some (vlk, vreq) ->
+              remove_from_queue vlk vreq;
+              Hashtbl.remove t.blocked victim;
+              (match vreq.cancel with
+              | Some c -> c (Deadlock victim)
+              | None -> ());
+              sweep t vlk;
+              loop ()
+        end
+  in
+  loop ()
+
+(* --- public operations -------------------------------------------------- *)
+
+let wait t lk req =
+  Metrics.incr t.metrics "lock.wait";
+  if req.convert then lk.queue <- req :: lk.queue
+  else lk.queue <- lk.queue @ [ req ];
+  Hashtbl.replace t.blocked req.rtxn (lk, req);
+  resolve_deadlocks t req.rtxn lk req;
+  (* if we were granted while cancelling victims, blocked was cleared and
+     wake was not yet set: check before suspending *)
+  if Hashtbl.mem t.blocked req.rtxn then
+    Sched.suspend (fun wake cancel ->
+        (* the sweep may already have granted us between registration and
+           suspension; in the cooperative scheduler this cannot happen
+           because no yield occurs, so registering here is safe *)
+        req.wake <- Some wake;
+        req.cancel <- Some cancel)
+
+let request t ~txn name mode ~instant ~block =
+  Metrics.incr t.metrics "lock.acquire";
+  let lk = get_lock t name in
+  match owner_of lk txn with
+  | Some o when Lock_mode.covers ~held:o.mode ~req:mode ->
+      if not instant then o.count <- o.count + 1;
+      true
+  | existing -> (
+      let convert = existing <> None in
+      let target =
+        match existing with
+        | Some o -> Lock_mode.sup o.mode mode
+        | None -> mode
+      in
+      let req =
+        {
+          rtxn = txn;
+          target;
+          grant_mode = target;
+          convert;
+          instant;
+          wake = None;
+          cancel = None;
+        }
+      in
+      if grantable_fresh lk req then begin
+        apply_grant t lk req;
+        drop_if_idle t lk;
+        true
+      end
+      else if not block then begin
+        drop_if_idle t lk;
+        false
+      end
+      else begin
+        wait t lk req;
+        true
+      end)
+
+let acquire t ~txn name mode = ignore (request t ~txn name mode ~instant:false ~block:true)
+
+let acquire_instant t ~txn name mode =
+  Metrics.incr t.metrics "lock.instant";
+  ignore (request t ~txn name mode ~instant:true ~block:true)
+
+let try_acquire t ~txn name mode = request t ~txn name mode ~instant:false ~block:false
+
+let release_all t ~txn =
+  (match Hashtbl.find_opt t.blocked txn with
+  | Some (lk, req) ->
+      remove_from_queue lk req;
+      Hashtbl.remove t.blocked txn;
+      sweep t lk
+  | None -> ());
+  match Hashtbl.find_opt t.txn_locks txn with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.remove t.txn_locks txn;
+      Hashtbl.iter
+        (fun name () ->
+          match find_lock t name with
+          | None -> ()
+          | Some lk ->
+              lk.owners <- List.filter (fun o -> o.otxn <> txn) lk.owners;
+              sweep t lk)
+        tbl
+
+let unlocked t name =
+  match find_lock t name with
+  | None -> true
+  | Some lk -> lk.owners = [] && lk.queue = []
+
+let held_mode t ~txn name =
+  match find_lock t name with
+  | None -> None
+  | Some lk -> Option.map (fun o -> o.mode) (owner_of lk txn)
+
+let held t ~txn =
+  match Hashtbl.find_opt t.txn_locks txn with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold
+        (fun name () acc ->
+          match find_lock t name with
+          | None -> acc
+          | Some lk -> (
+              match owner_of lk txn with
+              | Some o -> (name, o.mode) :: acc
+              | None -> acc))
+        tbl []
+
+let holders t name =
+  match find_lock t name with
+  | None -> []
+  | Some lk -> List.map (fun o -> (o.otxn, o.mode)) lk.owners
+
+let waiters t name =
+  match find_lock t name with
+  | None -> []
+  | Some lk -> List.map (fun r -> r.rtxn) lk.queue
+
+let lock_count t ~txn =
+  match Hashtbl.find_opt t.txn_locks txn with
+  | None -> 0
+  | Some tbl -> Hashtbl.length tbl
+
+let dump t =
+  Name_map.fold
+    (fun name lk acc ->
+      ( name,
+        List.map (fun o -> (o.otxn, o.mode)) lk.owners,
+        List.map
+          (fun r ->
+            (r.rtxn, r.target, r.convert, r.instant))
+          lk.queue )
+      :: acc)
+    t.locks []

@@ -1,0 +1,53 @@
+(** The lock manager: granted groups, FIFO wait queues, conversion, and
+    waits-for deadlock detection.
+
+    Integration with the fiber scheduler: an incompatible request suspends
+    the calling fiber; grants wake it. Deadlocks are detected at block time
+    by cycle search over the waits-for graph; the youngest transaction in
+    the cycle is the victim. If the victim is the requester, {!Deadlock} is
+    raised here; otherwise the victim's pending wait is cancelled, raising
+    {!Deadlock} at *its* suspension point, and the requester keeps
+    waiting. *)
+
+exception Deadlock of int
+(** Argument: the victim transaction's id. *)
+
+type t
+
+val create : Ivdb_util.Metrics.t -> t
+
+val acquire : t -> txn:int -> Lock_name.t -> Lock_mode.t -> unit
+(** Blocks until granted. Re-entrant: a held mode that covers the request
+    is a no-op; otherwise the request converts the held lock to
+    [sup held req]. Counts [lock.acquire]; waits count [lock.wait];
+    deadlocks count [lock.deadlock]. *)
+
+val acquire_instant : t -> txn:int -> Lock_name.t -> Lock_mode.t -> unit
+(** Instant-duration acquisition (the RangeI_N protocol): waits until the
+    mode could be granted, but does not retain it. *)
+
+val try_acquire : t -> txn:int -> Lock_name.t -> Lock_mode.t -> bool
+(** Non-blocking variant: [false] instead of waiting. *)
+
+val release_all : t -> txn:int -> unit
+(** End-of-transaction release (strict two-phase locking releases nothing
+    earlier, except instant-duration locks). *)
+
+val unlocked : t -> Lock_name.t -> bool
+(** True if no transaction holds or awaits any lock on the name — used by
+    the garbage-collection system transaction before physically removing a
+    zero-count view row. *)
+
+val held_mode : t -> txn:int -> Lock_name.t -> Lock_mode.t option
+(** Mode this transaction currently holds on the name, if any. *)
+
+val held : t -> txn:int -> (Lock_name.t * Lock_mode.t) list
+val holders : t -> Lock_name.t -> (int * Lock_mode.t) list
+val waiters : t -> Lock_name.t -> int list
+val lock_count : t -> txn:int -> int
+
+val dump :
+  t ->
+  (Lock_name.t * (int * Lock_mode.t) list * (int * Lock_mode.t * bool * bool) list) list
+(** Every lock with holders and waiters (txn, target mode, is-conversion,
+    is-instant) — diagnostics. *)

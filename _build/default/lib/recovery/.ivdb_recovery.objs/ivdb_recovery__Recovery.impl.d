@@ -1,0 +1,1 @@
+lib/recovery/recovery.ml: Hashtbl Int64 Ivdb_storage Ivdb_wal List

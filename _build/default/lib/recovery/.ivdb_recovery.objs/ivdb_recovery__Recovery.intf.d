@@ -1,0 +1,1 @@
+lib/recovery/recovery.mli: Ivdb_storage Ivdb_wal

@@ -1,0 +1,111 @@
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Bufpool = Ivdb_storage.Bufpool
+module Page = Ivdb_storage.Page
+
+type analysis = {
+  losers : (int * Log_record.lsn) list;
+  dirty_pages : (int * Log_record.lsn) list;
+  redo_start : Log_record.lsn;
+  catalog : string option;
+  ddl : string list;
+  max_page_id : int;
+  max_txn_id : int;
+  stable_records : int;
+}
+
+let analyze wal =
+  let ckpt_lsn = Wal.last_checkpoint_lsn wal in
+  let att : (int, Log_record.lsn) Hashtbl.t = Hashtbl.create 16 in
+  let dpt : (int, Log_record.lsn) Hashtbl.t = Hashtbl.create 64 in
+  let catalog = ref None in
+  let ddl = ref [] in
+  let max_page = ref 0 in
+  let max_txn = ref 0 in
+  let nrec = ref 0 in
+  (* seed from the governing checkpoint *)
+  if ckpt_lsn <> Log_record.nil_lsn then begin
+    match (Wal.get wal ckpt_lsn).Log_record.body with
+    | Log_record.Checkpoint c ->
+        List.iter (fun (txn, lsn) -> Hashtbl.replace att txn lsn) c.active;
+        List.iter (fun (pid, lsn) -> Hashtbl.replace dpt pid lsn) c.dpt;
+        catalog := Some c.catalog
+    | _ -> invalid_arg "Recovery.analyze: checkpoint LSN does not hold a checkpoint"
+  end;
+  Wal.iter_stable wal (fun r ->
+      incr nrec;
+      let lsn = r.Log_record.lsn in
+      let txn = r.Log_record.txn in
+      if txn > !max_txn then max_txn := txn;
+      List.iter
+        (fun pid -> if pid > !max_page then max_page := pid)
+        (Log_record.pages_touched r);
+      if lsn > ckpt_lsn then begin
+        (match r.Log_record.body with
+        | Log_record.Begin _ | Log_record.Update _ | Log_record.Clr _
+        | Log_record.Abort ->
+            Hashtbl.replace att txn lsn
+        | Log_record.Commit | Log_record.End -> Hashtbl.remove att txn
+        | Log_record.Ddl payload -> ddl := payload :: !ddl
+        | Log_record.Checkpoint _ -> ());
+        List.iter
+          (fun pid -> if not (Hashtbl.mem dpt pid) then Hashtbl.replace dpt pid lsn)
+          (Log_record.pages_touched r)
+      end);
+  let dirty_pages =
+    Hashtbl.fold (fun pid lsn acc -> (pid, lsn) :: acc) dpt [] |> List.sort compare
+  in
+  let losers =
+    Hashtbl.fold (fun txn lsn acc -> (txn, lsn) :: acc) att [] |> List.sort compare
+  in
+  let redo_start =
+    List.fold_left (fun acc (_, lsn) -> min acc lsn) (ckpt_lsn + 1) dirty_pages
+  in
+  {
+    losers;
+    dirty_pages;
+    redo_start = max 1 redo_start;
+    catalog = !catalog;
+    ddl = List.rev !ddl;
+    max_page_id = !max_page;
+    max_txn_id = !max_txn;
+    stable_records = !nrec;
+  }
+
+let redo wal pool analysis =
+  let applied = ref 0 in
+  let disk = Bufpool.disk pool in
+  Ivdb_storage.Disk.bump_alloc disk analysis.max_page_id;
+  Wal.iter_stable wal (fun r ->
+      let lsn = r.Log_record.lsn in
+      if lsn >= analysis.redo_start then
+        match r.Log_record.body with
+        | Log_record.Update { redo = diffs; _ } | Log_record.Clr { redo = diffs; _ } ->
+            (* One record may carry several diffs for the same page (e.g. a
+               heap page formatted and then filled). The LSN test gates the
+               page once per record; subsequent diffs of the same record
+               must still be applied. *)
+            let applied_here = Hashtbl.create 4 in
+            List.iter
+              (fun (pid, diff) ->
+                let did_apply, _ =
+                  Bufpool.update pool pid (fun p ->
+                      if
+                        Hashtbl.mem applied_here pid
+                        || Int64.to_int (Page.get_lsn p) < lsn
+                      then begin
+                        Ivdb_storage.Page_diff.apply p diff;
+                        true
+                      end
+                      else false)
+                in
+                if did_apply then begin
+                  Hashtbl.replace applied_here pid ();
+                  Bufpool.stamp pool pid (Int64.of_int lsn);
+                  incr applied
+                end)
+              diffs
+        | Log_record.Begin _ | Log_record.Commit | Log_record.Abort
+        | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+            ());
+  !applied

@@ -1,0 +1,34 @@
+(** ARIES-style restart recovery.
+
+    Three phases:
+    + {b analysis} — scan from the last stable checkpoint: rebuild the
+      transaction table (losers), the dirty-page table, the latest catalog
+      snapshot plus subsequent DDL, and the id high-water marks;
+    + {b redo} — repeat history from the redo point: every logged page diff
+      whose LSN exceeds the page's LSN is re-applied, winners and losers
+      alike (escrow increments included);
+    + {b undo} — driven by the caller ({!Ivdb_txn.Txn.rollback_tail} per
+      loser), because logical undo needs the access layer (heaps, B-trees,
+      view maintenance) which is itself rebuilt from the recovered catalog
+      between redo and undo.
+
+    The caller orchestrates: [analyze] → [redo] → rebuild catalog → install
+    undo executor → [undo each loser] → checkpoint. *)
+
+type analysis = {
+  losers : (int * Ivdb_wal.Log_record.lsn) list;
+      (** active, uncommitted transactions: (txn id, last LSN) *)
+  dirty_pages : (int * Ivdb_wal.Log_record.lsn) list;  (** (page, recLSN) *)
+  redo_start : Ivdb_wal.Log_record.lsn;
+  catalog : string option;  (** snapshot from the governing checkpoint *)
+  ddl : string list;  (** DDL payloads after the snapshot, in log order *)
+  max_page_id : int;
+  max_txn_id : int;
+  stable_records : int;
+}
+
+val analyze : Ivdb_wal.Wal.t -> analysis
+
+val redo : Ivdb_wal.Wal.t -> Ivdb_storage.Bufpool.t -> analysis -> int
+(** Repeat history; returns the number of page diffs applied. Also bumps the
+    disk's allocation cursor past every page seen in the log. *)

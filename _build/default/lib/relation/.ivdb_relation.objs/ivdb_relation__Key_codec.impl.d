@@ -1,0 +1,1 @@
+lib/relation/key_codec.ml: Array Buffer Bytes Char Int64 List String Value

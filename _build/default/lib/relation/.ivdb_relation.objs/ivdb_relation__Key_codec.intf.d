@@ -1,0 +1,1 @@
+lib/relation/key_codec.mli: Value

@@ -1,0 +1,1 @@
+lib/relation/row.ml: Array Buffer Bytes Char Format Int64 Stdlib String Value

@@ -1,0 +1,128 @@
+(* Tags chosen so that, within a column of consistent type, byte order equals
+   value order, and NULL sorts below everything. Mixed int/float columns are
+   rejected by schema validation upstream, so the Int/Float tag gap is never
+   observed. *)
+
+let tag_null = '\005'
+let tag_bool = '\016'
+let tag_int = '\032'
+let tag_float = '\033'
+let tag_str = '\048'
+
+let add_int64_key buf v =
+  (* flip the sign bit: two's complement order becomes unsigned byte order *)
+  let v = Int64.logxor v Int64.min_int in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Buffer.add_bytes buf b
+
+let float_key_bits x =
+  let bits = Int64.bits_of_float x in
+  if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+  else Int64.lognot bits
+
+let float_of_key_bits bits =
+  if Int64.compare bits 0L < 0 then Int64.float_of_bits (Int64.logxor bits Int64.min_int)
+  else Int64.float_of_bits (Int64.lognot bits)
+
+let encode_cell buf v =
+  match v with
+  | Value.Null -> Buffer.add_char buf tag_null
+  | Value.Bool b ->
+      Buffer.add_char buf tag_bool;
+      Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Int x ->
+      Buffer.add_char buf tag_int;
+      add_int64_key buf (Int64.of_int x)
+  | Value.Float x ->
+      Buffer.add_char buf tag_float;
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 (float_key_bits x);
+      Buffer.add_bytes buf b
+  | Value.Str s ->
+      Buffer.add_char buf tag_str;
+      String.iter
+        (fun c ->
+          if c = '\000' then Buffer.add_string buf "\000\255"
+          else Buffer.add_char buf c)
+        s;
+      Buffer.add_string buf "\000\001"
+
+let encode row =
+  let buf = Buffer.create 32 in
+  Array.iter (encode_cell buf) row;
+  Buffer.contents buf
+
+let encode_one v = encode [| v |]
+
+let decode s =
+  let fail () = invalid_arg "Key_codec.decode: malformed key" in
+  let len = String.length s in
+  let pos = ref 0 in
+  let need k = if !pos + k > len then fail () in
+  let cells = ref [] in
+  while !pos < len do
+    let tag = s.[!pos] in
+    incr pos;
+    let v =
+      if tag = tag_null then Value.Null
+      else if tag = tag_bool then begin
+        need 1;
+        let b = s.[!pos] = '\001' in
+        incr pos;
+        Value.Bool b
+      end
+      else if tag = tag_int then begin
+        need 8;
+        let raw = String.get_int64_be s !pos in
+        pos := !pos + 8;
+        Value.Int (Int64.to_int (Int64.logxor raw Int64.min_int))
+      end
+      else if tag = tag_float then begin
+        need 8;
+        let raw = String.get_int64_be s !pos in
+        pos := !pos + 8;
+        Value.Float (float_of_key_bits raw)
+      end
+      else if tag = tag_str then begin
+        let buf = Buffer.create 16 in
+        let rec go () =
+          need 1;
+          let c = s.[!pos] in
+          incr pos;
+          if c = '\000' then begin
+            need 1;
+            let e = s.[!pos] in
+            incr pos;
+            if e = '\001' then () (* terminator *)
+            else if e = '\255' then begin
+              Buffer.add_char buf '\000';
+              go ()
+            end
+            else fail ()
+          end
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+        in
+        go ();
+        Value.Str (Buffer.contents buf)
+      end
+      else fail ()
+    in
+    cells := v :: !cells
+  done;
+  Array.of_list (List.rev !cells)
+
+let successor prefix =
+  let n = String.length prefix in
+  let rec last_incrementable i =
+    if i < 0 then invalid_arg "Key_codec.successor: all-0xFF prefix"
+    else if prefix.[i] <> '\255' then i
+    else last_incrementable (i - 1)
+  in
+  let i = last_incrementable (n - 1) in
+  let b = Bytes.of_string (String.sub prefix 0 (i + 1)) in
+  Bytes.set b i (Char.chr (Char.code prefix.[i] + 1));
+  Bytes.to_string b

@@ -1,0 +1,99 @@
+type t = Value.t array
+
+(* Cell encoding: tag byte, then
+   'i' : 8-byte big-endian int
+   'f' : 8-byte IEEE754 bits
+   's' : u16 length + bytes
+   'b' : 1 byte
+   'n' : nothing *)
+
+let encode row =
+  let buf = Buffer.create 64 in
+  let b8 = Bytes.create 8 in
+  Buffer.add_uint16_be buf (Array.length row);
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.Int x ->
+          Buffer.add_char buf 'i';
+          Bytes.set_int64_be b8 0 (Int64.of_int x);
+          Buffer.add_bytes buf b8
+      | Value.Float x ->
+          Buffer.add_char buf 'f';
+          Bytes.set_int64_be b8 0 (Int64.bits_of_float x);
+          Buffer.add_bytes buf b8
+      | Value.Str s ->
+          Buffer.add_char buf 's';
+          Buffer.add_uint16_be buf (String.length s);
+          Buffer.add_string buf s
+      | Value.Bool b ->
+          Buffer.add_char buf 'b';
+          Buffer.add_char buf (if b then '\001' else '\000')
+      | Value.Null -> Buffer.add_char buf 'n')
+    row;
+  Buffer.contents buf
+
+let decode s =
+  let fail () = invalid_arg "Row.decode: malformed row" in
+  let len = String.length s in
+  if len < 2 then fail ();
+  let n = (Char.code s.[0] lsl 8) lor Char.code s.[1] in
+  let pos = ref 2 in
+  let need k = if !pos + k > len then fail () in
+  let row =
+    Array.init n (fun _ ->
+        need 1;
+        let tag = s.[!pos] in
+        incr pos;
+        match tag with
+        | 'i' ->
+            need 8;
+            let v = Int64.to_int (String.get_int64_be s !pos) in
+            pos := !pos + 8;
+            Value.Int v
+        | 'f' ->
+            need 8;
+            let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+            pos := !pos + 8;
+            Value.Float v
+        | 's' ->
+            need 2;
+            let l = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+            pos := !pos + 2;
+            need l;
+            let v = String.sub s !pos l in
+            pos := !pos + l;
+            Value.Str v
+        | 'b' ->
+            need 1;
+            let v = s.[!pos] = '\001' in
+            incr pos;
+            Value.Bool v
+        | 'n' -> Value.Null
+        | _ -> fail ())
+  in
+  if !pos <> len then fail ();
+  row
+
+let project row positions = Array.map (fun i -> row.(i)) positions
+
+let compare a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = Array.length a = Array.length b && compare a b = 0
+
+let pp ppf row =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Value.pp ppf v)
+    row;
+  Format.fprintf ppf "]"

@@ -1,0 +1,19 @@
+(** Rows and their storage serialization.
+
+    The row codec is self-describing (each cell carries a tag), so heap
+    records and B-tree payloads can be decoded without the schema. *)
+
+type t = Value.t array
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val project : t -> int array -> t
+(** [project row positions] picks cells by position. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic by {!Value.compare}. *)
+
+val pp : Format.formatter -> t -> unit

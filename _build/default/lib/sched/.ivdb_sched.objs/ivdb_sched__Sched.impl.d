@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Effect Ivdb_util

@@ -1,0 +1,1 @@
+lib/sql/sql.ml: Array Buffer Format Ivdb Ivdb_core Ivdb_relation Ivdb_txn Ivdb_util List Option Printf Seq Sql_ast Sql_parser String

@@ -1,0 +1,1 @@
+lib/sql/sql.mli: Ivdb Ivdb_relation

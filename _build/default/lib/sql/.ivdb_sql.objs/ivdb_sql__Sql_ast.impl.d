@@ -1,0 +1,1 @@
+lib/sql/sql_ast.ml: Format Ivdb_relation List

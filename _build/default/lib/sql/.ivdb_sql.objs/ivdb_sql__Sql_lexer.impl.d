@@ -1,0 +1,1 @@
+lib/sql/sql_lexer.ml: Buffer Format List Printf String

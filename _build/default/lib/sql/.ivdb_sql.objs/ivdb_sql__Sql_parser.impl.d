@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Format Ivdb_relation List Sql_ast Sql_lexer

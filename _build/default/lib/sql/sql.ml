@@ -1,0 +1,979 @@
+module A = Sql_ast
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Txn = Ivdb_txn.Txn
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Row = Ivdb_relation.Row
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+
+exception Sql_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+type session = {
+  sdb : Database.t;
+  mutable txn : Txn.t option;
+  mutable savepoints : (string * Txn.savepoint) list;
+}
+
+let session sdb = { sdb; txn = None; savepoints = [] }
+let db s = s.sdb
+let in_transaction s = s.txn <> None
+
+type result =
+  | Rows of { header : string list; rows : Row.t list }
+  | Affected of int
+  | Message of string
+
+(* --- binding ----------------------------------------------------------------- *)
+
+let value_of_lit = function
+  | A.L_int i -> Value.Int i
+  | A.L_float f -> Value.Float f
+  | A.L_string s -> Value.Str s
+  | A.L_bool b -> Value.Bool b
+  | A.L_null -> Value.Null
+
+let rec bind_expr schema (e : A.expr) : Expr.t =
+  match e with
+  | A.Lit l -> Expr.Const (value_of_lit l)
+  | A.Column c -> (
+      try Expr.col schema c with Not_found -> fail "unknown column %s" c)
+  | A.Binop (op, a, b) -> (
+      let a = bind_expr schema a and b = bind_expr schema b in
+      match op with
+      | A.Add -> Expr.Add (a, b)
+      | A.Sub -> Expr.Sub (a, b)
+      | A.Mul -> Expr.Mul (a, b)
+      | A.Div -> Expr.Div (a, b)
+      | A.Eq -> Expr.Cmp (Expr.Eq, a, b)
+      | A.Ne -> Expr.Cmp (Expr.Ne, a, b)
+      | A.Lt -> Expr.Cmp (Expr.Lt, a, b)
+      | A.Le -> Expr.Cmp (Expr.Le, a, b)
+      | A.Gt -> Expr.Cmp (Expr.Gt, a, b)
+      | A.Ge -> Expr.Cmp (Expr.Ge, a, b)
+      | A.And -> Expr.And (a, b)
+      | A.Or -> Expr.Or (a, b))
+  | A.Unop (A.Neg, a) -> Expr.Neg (bind_expr schema a)
+  | A.Unop (A.Not, a) -> Expr.Not (bind_expr schema a)
+  | A.Is_null a -> Expr.Is_null (bind_expr schema a)
+  | A.Agg_ref _ -> fail "aggregates are only allowed in the select list and HAVING"
+
+let bind_agg schema = function
+  | A.Count_star -> View_def.Count_star
+  | A.Count e -> View_def.Count (bind_expr schema e)
+  | A.Sum e -> View_def.Sum (bind_expr schema e)
+  | A.Min e -> View_def.Min (bind_expr schema e)
+  | A.Max e -> View_def.Max (bind_expr schema e)
+  | A.Avg _ ->
+      fail
+        "AVG cannot be stored in an indexed view: store SUM and COUNT instead          (AVG works in ad-hoc GROUP BY queries)"
+
+let agg_label = function
+  | A.Count_star -> "count(*)"
+  | A.Count _ -> "count"
+  | A.Sum _ -> "sum"
+  | A.Min _ -> "min"
+  | A.Max _ -> "max"
+  | A.Avg _ -> "avg"
+
+let find_table s name =
+  try Some (Database.table s.sdb name) with Not_found -> None
+
+let find_view s name = try Some (Database.view s.sdb name) with Not_found -> None
+
+(* Resolve the source of a select: table, join, or view. *)
+type source =
+  | Src_table of Database.table * Schema.t
+  | Src_join of Database.table * Database.table * string * string * Schema.t
+  | Src_view of Database.view
+
+let resolve_source s (q : A.select) =
+  match q.A.join with
+  | Some (t2, lcol, rcol) -> (
+      match (find_table s q.A.from, find_table s t2) with
+      | Some left, Some right ->
+          Src_join (left, right, lcol, rcol, Database.join_schema s.sdb left right)
+      | _ -> fail "unknown table in join: %s / %s" q.A.from t2)
+  | None -> (
+      match find_table s q.A.from with
+      | Some t -> Src_table (t, Database.schema s.sdb t)
+      | None -> (
+          match find_view s q.A.from with
+          | Some v -> Src_view v
+          | None -> fail "unknown table or view %s" q.A.from))
+
+(* --- access planning ----------------------------------------------------------- *)
+
+let rec conjuncts = function
+  | A.Binop (A.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rebuild_conjunction = function
+  | [] -> None
+  | e :: rest -> Some (List.fold_left (fun acc c -> A.Binop (A.And, acc, c)) e rest)
+
+type access_plan =
+  | Plan_scan of A.expr option
+  | Plan_index_probe of {
+      p_col : string;
+      p_index : string;
+      p_value : Value.t;
+      p_residual : A.expr option;
+    }
+  | Plan_index_range of {
+      r_col : string;
+      r_index : string;
+      r_lo : (Value.t * bool) option;
+      r_hi : (Value.t * bool) option;
+      r_residual : A.expr option;
+    }
+
+(* A conjunct of the form [col = literal] over an indexed column turns the
+   scan into an index probe; everything else stays as a residual filter. *)
+let plan_table_access s t (where : A.expr option) =
+  match where with
+  | None -> Plan_scan None
+  | Some w -> (
+      let cs = conjuncts w in
+      let indexed = Database.indexed_columns s.sdb t in
+      let probe =
+        List.find_map
+          (fun e ->
+            match e with
+            | A.Binop (A.Eq, A.Column c, A.Lit l)
+            | A.Binop (A.Eq, A.Lit l, A.Column c)
+              when List.mem_assoc c indexed ->
+                Some (e, c, List.assoc c indexed, value_of_lit l)
+            | _ -> None)
+          cs
+      in
+      match probe with
+      | Some (chosen, col, ix, v) ->
+          Plan_index_probe
+            {
+              p_col = col;
+              p_index = ix;
+              p_value = v;
+              p_residual = rebuild_conjunction (List.filter (fun e -> e != chosen) cs);
+            }
+      | None -> (
+          (* inequality conjuncts over one indexed column become a range *)
+          let bound_of e =
+            match e with
+            | A.Binop (op, A.Column c, A.Lit l) when List.mem_assoc c indexed ->
+                let v = value_of_lit l in
+                (match op with
+                | A.Gt -> Some (e, c, `Lo (v, false))
+                | A.Ge -> Some (e, c, `Lo (v, true))
+                | A.Lt -> Some (e, c, `Hi (v, false))
+                | A.Le -> Some (e, c, `Hi (v, true))
+                | _ -> None)
+            | A.Binop (op, A.Lit l, A.Column c) when List.mem_assoc c indexed ->
+                let v = value_of_lit l in
+                (match op with
+                | A.Gt -> Some (e, c, `Hi (v, false)) (* lit > col == col < lit *)
+                | A.Ge -> Some (e, c, `Hi (v, true))
+                | A.Lt -> Some (e, c, `Lo (v, false))
+                | A.Le -> Some (e, c, `Lo (v, true))
+                | _ -> None)
+            | _ -> None
+          in
+          let bounds = List.filter_map bound_of cs in
+          match bounds with
+          | [] -> Plan_scan (Some w)
+          | (_, col, _) :: _ ->
+              let mine, _ = List.partition (fun (_, c, _) -> c = col) bounds in
+              let used = List.map (fun (e, _, _) -> e) mine in
+              let lo =
+                List.fold_left
+                  (fun acc (_, _, b) ->
+                    match b with
+                    | `Lo (v, i) -> (
+                        match acc with
+                        | None -> Some (v, i)
+                        | Some (v', _) when Value.compare v v' > 0 -> Some (v, i)
+                        | acc -> acc)
+                    | `Hi _ -> acc)
+                  None mine
+              in
+              let hi =
+                List.fold_left
+                  (fun acc (_, _, b) ->
+                    match b with
+                    | `Hi (v, i) -> (
+                        match acc with
+                        | None -> Some (v, i)
+                        | Some (v', _) when Value.compare v v' < 0 -> Some (v, i)
+                        | acc -> acc)
+                    | `Lo _ -> acc)
+                  None mine
+              in
+              Plan_index_range
+                {
+                  r_col = col;
+                  r_index = List.assoc col indexed;
+                  r_lo = lo;
+                  r_hi = hi;
+                  r_residual =
+                    rebuild_conjunction
+                      (List.filter (fun e -> not (List.memq e used)) cs);
+                }))
+
+(* --- SELECT execution --------------------------------------------------------- *)
+
+let apply_order_limit ?(already_ordered_by = None) (q : A.select) header rows =
+  let rows =
+    match q.A.order with
+    | Some { A.ob_col; ob_desc = false } when already_ordered_by = Some ob_col -> rows
+    | None -> rows
+    | Some { A.ob_col; ob_desc } -> (
+        match List.find_index (fun h -> h = ob_col) header with
+        | None -> fail "ORDER BY column %s is not in the select list" ob_col
+        | Some idx ->
+            List.stable_sort
+              (fun (a : Row.t) (b : Row.t) ->
+                let c = Value.compare a.(idx) b.(idx) in
+                if ob_desc then -c else c)
+              rows)
+  in
+  match q.A.limit with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+
+(* plain row select over a table (or join), no grouping *)
+let select_rows s txn (q : A.select) src =
+  let schema, seq =
+    match src with
+    | Src_table (t, schema) -> (
+        match plan_table_access s t q.A.where with
+        | Plan_index_probe { p_col; p_value; p_residual; _ } ->
+            Ivdb_util.Metrics.incr (Database.metrics s.sdb) "sql.index_probe";
+            let rows =
+              List.to_seq (Table.find s.sdb txn t ~col:p_col p_value) |> Seq.map snd
+            in
+            let rows =
+              match p_residual with
+              | None -> rows
+              | Some w -> Seq.filter (Expr.eval_bool (bind_expr schema w)) rows
+            in
+            (* residual + probe already applied: hand back a no-op where *)
+            (schema, rows)
+        | Plan_index_range { r_col; r_lo; r_hi; r_residual; _ } ->
+            Ivdb_util.Metrics.incr (Database.metrics s.sdb) "sql.index_range";
+            let col_pos = Schema.index_of schema r_col in
+            let rows =
+              Database.Internal.index_range_rids s.sdb txn
+                ~table:(Database.Internal.table_id t) ~col:col_pos ~lo:r_lo ~hi:r_hi
+              |> Seq.map snd
+            in
+            let rows =
+              match r_residual with
+              | None -> rows
+              | Some w -> Seq.filter (Expr.eval_bool (bind_expr schema w)) rows
+            in
+            (schema, rows)
+        | Plan_scan _ ->
+            let locking = if txn = None then Query.Dirty else Query.Serializable in
+            (schema, Query.table_scan s.sdb txn t locking))
+    | Src_join (l, r, lcol, rcol, schema) ->
+        let lc = Schema.index_of (Database.schema s.sdb l) lcol in
+        let rc =
+          Schema.index_of (Database.schema s.sdb r) rcol
+        in
+        let def =
+          {
+            View_def.name = "join";
+            group_cols = [||];
+            aggs = [||];
+            source =
+              View_def.Join
+                {
+                  left = Database.Internal.table_id l;
+                  right = Database.Internal.table_id r;
+                  left_col = lc;
+                  right_col = rc;
+                  where = None;
+                };
+          }
+        in
+        (schema, Database.Internal.source_rows s.sdb txn def)
+    | Src_view _ -> assert false
+  in
+  let probe_consumed_where =
+    match src with
+    | Src_table (t, _) -> (
+        match plan_table_access s t q.A.where with
+        | Plan_index_probe _ | Plan_index_range _ -> true
+        | Plan_scan _ -> false)
+    | Src_join _ | Src_view _ -> false
+  in
+  let seq =
+    match q.A.where with
+    | Some w when not probe_consumed_where ->
+        let pred = bind_expr schema w in
+        Seq.filter (Expr.eval_bool pred) seq
+    | Some _ | None -> seq
+  in
+  let positions, header =
+    let cols = Schema.cols schema in
+    let all = Array.to_list (Array.mapi (fun i c -> (i, c.Schema.name)) cols) in
+    let of_item = function
+      | A.Star -> all
+      | A.Col_item c -> (
+          try [ (Schema.index_of schema c, c) ]
+          with Not_found -> fail "unknown column %s" c)
+      | A.Agg_item _ -> fail "aggregates require GROUP BY"
+    in
+    let pairs = List.concat_map of_item q.A.items in
+    (Array.of_list (List.map fst pairs), List.map snd pairs)
+  in
+  let rows = List.of_seq (Seq.map (fun r -> Row.project r positions) seq) in
+  Rows { header; rows = apply_order_limit q header rows }
+
+(* View matching: a grouped query whose source, WHERE and GROUP BY equal
+   an existing immediate-maintenance indexed view — and whose aggregates
+   are all derivable from the view's stored cells — is answered from the
+   view instead of scanning the base tables. Returns, per requested stored
+   aggregate, a function from the view's stored row to the cell. *)
+let find_matching_view s (def : View_def.t) =
+  List.find_map
+    (fun (vname, _) ->
+      let v = Database.view s.sdb vname in
+      if Database.view_strategy s.sdb v = Maintain.Deferred then None
+      else
+        let vd = Database.view_def s.sdb v in
+        if
+          vd.View_def.source = def.View_def.source
+          && vd.View_def.group_cols = def.View_def.group_cols
+        then begin
+          (* map each needed agg onto a stored cell of the view *)
+          let stored = Array.to_list vd.View_def.aggs in
+          let cell_of (a : View_def.agg) =
+            match a with
+            | View_def.Count_star -> Some 0 (* the implicit count *)
+            | _ ->
+                List.find_index (fun sa -> sa = a) stored
+                |> Option.map (fun i -> i + 1)
+          in
+          let mapping = Array.map cell_of def.View_def.aggs in
+          if Array.for_all Option.is_some mapping then
+            Some (vname, v, Array.map Option.get mapping)
+          else None
+        end
+        else None)
+    (Database.list_views s.sdb)
+
+(* grouped select over base data: build a view definition on the fly and
+   aggregate on demand. AVG is computed at read time from SUM and COUNT
+   (exactly the restriction real indexed views have); HAVING filters the
+   grouped result and may mention aggregates not in the select list. *)
+let plan_grouped s (q : A.select) src =
+  let schema, source =
+    match src with
+    | Src_table (t, schema) ->
+        (schema, View_def.Single { table = Database.Internal.table_id t; where = None })
+    | Src_join (l, r, lcol, rcol, schema) ->
+        ( schema,
+          View_def.Join
+            {
+              left = Database.Internal.table_id l;
+              right = Database.Internal.table_id r;
+              left_col = Schema.index_of (Database.schema s.sdb l) lcol;
+              right_col = Schema.index_of (Database.schema s.sdb r) rcol;
+              where = None;
+            } )
+    | Src_view _ -> assert false
+  in
+  let where = Option.map (bind_expr schema) q.A.where in
+  let source =
+    match (source, where) with
+    | View_def.Single x, w -> View_def.Single { x with where = w }
+    | View_def.Join x, w -> View_def.Join { x with where = w }
+  in
+  (* aggregates needed: those in the select list plus those HAVING uses *)
+  let select_aggs =
+    List.filter_map
+      (function A.Agg_item a -> Some a | A.Star | A.Col_item _ -> None)
+      q.A.items
+  in
+  let rec having_aggs (e : A.expr) =
+    match e with
+    | A.Agg_ref a -> [ a ]
+    | A.Binop (_, a, b) -> having_aggs a @ having_aggs b
+    | A.Unop (_, a) | A.Is_null a -> having_aggs a
+    | A.Lit _ | A.Column _ -> []
+  in
+  let needed =
+    let all = select_aggs @ Option.fold ~none:[] ~some:having_aggs q.A.having in
+    List.fold_left (fun acc a -> if List.mem a acc then acc else acc @ [ a ]) [] all
+  in
+  (* expand each requested aggregate into stored slots and an evaluator over
+     the stored row ([| count; slots... |]) *)
+  let internal = ref [] in
+  let alloc agg_def =
+    internal := !internal @ [ agg_def ];
+    List.length !internal (* 1-based cell position after the implicit count *)
+  in
+  let evals =
+    List.map
+      (fun (a : A.agg_expr) ->
+        let eval =
+          match a with
+          | A.Count_star -> fun (stored : Row.t) -> stored.(0)
+          | A.Count e ->
+              let i = alloc (View_def.Count (bind_expr schema e)) in
+              fun stored -> stored.(i)
+          | A.Sum e ->
+              let i = alloc (View_def.Sum (bind_expr schema e)) in
+              fun stored -> stored.(i)
+          | A.Min e ->
+              let i = alloc (View_def.Min (bind_expr schema e)) in
+              fun stored -> stored.(i)
+          | A.Max e ->
+              let i = alloc (View_def.Max (bind_expr schema e)) in
+              fun stored -> stored.(i)
+          | A.Avg e ->
+              let be = bind_expr schema e in
+              let si = alloc (View_def.Sum be) in
+              let ci = alloc (View_def.Count be) in
+              fun stored -> Value.div stored.(si) stored.(ci)
+        in
+        (a, eval))
+      needed
+  in
+  let eval_of a =
+    match List.assoc_opt a evals with Some f -> f | None -> assert false
+  in
+  let def =
+    {
+      View_def.name = "adhoc";
+      group_cols =
+        Array.of_list
+          (List.map
+             (fun c ->
+               try Schema.index_of schema c
+               with Not_found -> fail "unknown GROUP BY column %s" c)
+             q.A.group_by);
+      aggs = Array.of_list !internal;
+      source;
+    }
+  in
+  (schema, def, select_aggs, eval_of)
+
+let select_grouped s txn (q : A.select) src =
+  let _schema, def, select_aggs, eval_of = plan_grouped s q src in
+  let results =
+    match find_matching_view s def with
+    | Some (_, v, mapping) ->
+        Ivdb_util.Metrics.incr (Database.metrics s.sdb) "sql.view_match";
+        let locking = if txn = None then Query.Dirty else Query.Serializable in
+        Query.view_scan s.sdb txn v locking
+        |> Seq.map (fun (group, stored) ->
+               ( group,
+                 Array.append [| stored.(0) |]
+                   (Array.map (fun i -> stored.(i)) mapping) ))
+        |> List.of_seq
+    | None -> Query.on_demand_aggregate s.sdb txn def
+  in
+  let group_index c =
+    match List.find_index (fun g -> g = c) q.A.group_by with
+    | Some i -> i
+    | None -> fail "column %s is not in GROUP BY" c
+  in
+  (* HAVING over (group, stored) *)
+  let results =
+    match q.A.having with
+    | None -> results
+    | Some h ->
+        let rec heval (e : A.expr) group stored : Value.t =
+          match e with
+          | A.Lit l -> value_of_lit l
+          | A.Column c -> group.(group_index c)
+          | A.Agg_ref a -> eval_of a stored
+          | A.Is_null a -> Value.Bool (heval a group stored = Value.Null)
+          | A.Unop (A.Neg, a) -> Value.neg (heval a group stored)
+          | A.Unop (A.Not, a) -> (
+              match heval a group stored with
+              | Value.Bool b -> Value.Bool (not b)
+              | v -> v)
+          | A.Binop (op, a, b) -> (
+              let va = heval a group stored and vb = heval b group stored in
+              let cmp c = Value.Bool c in
+              match op with
+              | A.Add -> Value.add va vb
+              | A.Sub -> Value.add va (Value.neg vb)
+              | A.Mul -> (
+                  match (va, vb) with
+                  | Value.Null, _ | _, Value.Null -> Value.Null
+                  | _ -> Value.Float (Value.to_float va *. Value.to_float vb))
+              | A.Div -> Value.div va vb
+              | A.Eq -> cmp (Value.compare va vb = 0)
+              | A.Ne -> cmp (Value.compare va vb <> 0)
+              | A.Lt -> cmp (Value.compare va vb < 0)
+              | A.Le -> cmp (Value.compare va vb <= 0)
+              | A.Gt -> cmp (Value.compare va vb > 0)
+              | A.Ge -> cmp (Value.compare va vb >= 0)
+              | A.And -> (
+                  match (va, vb) with
+                  | Value.Bool x, Value.Bool y -> Value.Bool (x && y)
+                  | _ -> Value.Null)
+              | A.Or -> (
+                  match (va, vb) with
+                  | Value.Bool x, Value.Bool y -> Value.Bool (x || y)
+                  | _ -> Value.Null))
+        in
+        List.filter
+          (fun (group, stored) -> heval h group stored = Value.Bool true)
+          results
+  in
+  let items =
+    match q.A.items with
+    | [ A.Star ] ->
+        List.map (fun c -> A.Col_item c) q.A.group_by
+        @ List.map (fun a -> A.Agg_item a) select_aggs
+    | items -> items
+  in
+  let header =
+    List.map
+      (function
+        | A.Star -> fail "SELECT * mixed with other items is not supported"
+        | A.Col_item c -> c
+        | A.Agg_item a -> agg_label a)
+      items
+  in
+  let rows =
+    List.map
+      (fun (group, stored) ->
+        Array.of_list
+          (List.map
+             (function
+               | A.Star -> assert false
+               | A.Col_item c -> group.(group_index c)
+               | A.Agg_item a -> eval_of a stored)
+             items))
+      results
+  in
+  Rows { header; rows = apply_order_limit q header rows }
+
+let describe_plan s (q : A.select) =
+  let b = Buffer.create 128 in
+  let line fmt = Format.kasprintf (fun str -> Buffer.add_string b (str ^ "\n")) fmt in
+  (match resolve_source s q with
+  | Src_view _ -> line "view scan on %s (stored groups, no recomputation)" q.A.from
+  | Src_join (_, _, lcol, rcol, _) ->
+      let has_aggs =
+        q.A.group_by <> []
+        || List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
+      in
+      if has_aggs then
+        match find_matching_view s (let _, d, _, _ = plan_grouped s q (resolve_source s q) in d) with
+        | Some (vname, _, _) ->
+            line "answered from indexed view %s (stored groups)" vname
+        | None ->
+            line "on-demand aggregation over %s JOIN %s ON %s = %s" q.A.from
+              (match q.A.join with Some (t2, _, _) -> t2 | None -> "?")
+              lcol rcol
+      else
+        line "hash join %s JOIN %s ON %s = %s" q.A.from
+          (match q.A.join with Some (t2, _, _) -> t2 | None -> "?")
+          lcol rcol
+  | Src_table (t, _) ->
+      let has_aggs =
+        q.A.group_by <> []
+        || List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
+      in
+      if has_aggs then (
+        match find_matching_view s (let _, d, _, _ = plan_grouped s q (resolve_source s q) in d) with
+        | Some (vname, _, _) ->
+            line "answered from indexed view %s (stored groups)" vname
+        | None -> line "on-demand aggregation over seq scan on %s" q.A.from)
+      else (
+        match plan_table_access s t q.A.where with
+        | Plan_scan None -> line "seq scan on %s" q.A.from
+        | Plan_scan (Some _) -> line "seq scan on %s with filter" q.A.from
+        | Plan_index_probe { p_col; p_index; p_value; p_residual } ->
+            line "index probe on %s.%s via %s (= %s)%s" q.A.from p_col p_index
+              (Value.to_string p_value)
+              (match p_residual with None -> "" | Some _ -> " with residual filter")
+        | Plan_index_range { r_col; r_index; r_lo; r_hi; r_residual } ->
+            let bound side = function
+              | None -> "unbounded"
+              | Some (v, incl) ->
+                  Printf.sprintf "%s%s" (Value.to_string v)
+                    (if incl then " inclusive" else
+                     if side = `Lo then " exclusive" else " exclusive")
+            in
+            line "index range scan on %s.%s via %s [%s .. %s]%s" q.A.from r_col
+              r_index (bound `Lo r_lo) (bound `Hi r_hi)
+              (match r_residual with None -> "" | Some _ -> " with residual filter")));
+  (match q.A.order with
+  | Some o ->
+      let preserved =
+        (not o.A.ob_desc)
+        && (match resolve_source s q with
+           | Src_table (t, _) -> (
+               match plan_table_access s t q.A.where with
+               | Plan_index_range { r_col; _ } -> r_col = o.A.ob_col
+               | Plan_index_probe _ | Plan_scan _ -> false)
+           | Src_join _ | Src_view _ -> false)
+      in
+      if preserved then line "order by %s satisfied by index order" o.A.ob_col
+      else line "sort by %s%s" o.A.ob_col (if o.A.ob_desc then " desc" else "")
+  | None -> ());
+  (match q.A.limit with Some n -> line "limit %d" n | None -> ());
+  String.trim (Buffer.contents b)
+
+(* select over an indexed view: the stored groups and aggregates *)
+let select_view s txn (q : A.select) v =
+  if q.A.group_by <> [] then fail "GROUP BY over a view is not supported";
+  let def = Database.view_def s.sdb v in
+  let src_schema =
+    match def.View_def.source with
+    | View_def.Single { table; _ } ->
+        Database.schema s.sdb (Database.Internal.of_table_id table)
+    | View_def.Join { left; right; _ } ->
+        Database.join_schema s.sdb
+          (Database.Internal.of_table_id left)
+          (Database.Internal.of_table_id right)
+  in
+  let group_names =
+    Array.to_list
+      (Array.map
+         (fun pos -> (Schema.col_at src_schema pos).Schema.name)
+         def.View_def.group_cols)
+  in
+  (* the implicit COUNT( * ) column is shown unless the definition already
+     lists it explicitly *)
+  let explicit_count =
+    Array.exists (function View_def.Count_star -> true | _ -> false) def.View_def.aggs
+  in
+  let agg_names =
+    (if explicit_count then [] else [ "count(*)" ])
+    @ Array.to_list
+        (Array.map
+           (fun (a : View_def.agg) ->
+             match a with
+             | View_def.Count_star -> "count(*)"
+             | View_def.Count _ -> "count"
+             | View_def.Sum _ -> "sum"
+             | View_def.Min _ -> "min"
+             | View_def.Max _ -> "max")
+           def.View_def.aggs)
+  in
+  let project_aggs stored =
+    if explicit_count then Array.sub stored 1 (Array.length stored - 1) else stored
+  in
+  (match q.A.items with
+  | [ A.Star ] -> ()
+  | _ -> fail "only SELECT * FROM <view> is supported (views are pre-projected)");
+  let locking = if txn = None then Query.Dirty else Query.Serializable in
+  let scan = Query.view_scan s.sdb txn v locking in
+  let header = group_names @ agg_names in
+  let rows =
+    List.of_seq (Seq.map (fun (g, a) -> Array.append g (project_aggs a)) scan)
+  in
+  let rows =
+    match q.A.where with
+    | None -> rows
+    | Some w ->
+        (* bind WHERE by header position (the view's output row) *)
+        let positions = List.mapi (fun i n -> (n, i)) header in
+        let rec rewrite (e : A.expr) : Expr.t =
+          match e with
+          | A.Lit l -> Expr.Const (value_of_lit l)
+          | A.Column c -> (
+              match List.assoc_opt c positions with
+              | Some i -> Expr.Col i
+              | None -> fail "unknown view column %s" c)
+          | A.Agg_ref _ -> fail "aggregates are not allowed in a view WHERE"
+          | A.Binop (op, a, b) -> (
+              let a = rewrite a and b = rewrite b in
+              match op with
+              | A.Add -> Expr.Add (a, b)
+              | A.Sub -> Expr.Sub (a, b)
+              | A.Mul -> Expr.Mul (a, b)
+              | A.Div -> Expr.Div (a, b)
+              | A.Eq -> Expr.Cmp (Expr.Eq, a, b)
+              | A.Ne -> Expr.Cmp (Expr.Ne, a, b)
+              | A.Lt -> Expr.Cmp (Expr.Lt, a, b)
+              | A.Le -> Expr.Cmp (Expr.Le, a, b)
+              | A.Gt -> Expr.Cmp (Expr.Gt, a, b)
+              | A.Ge -> Expr.Cmp (Expr.Ge, a, b)
+              | A.And -> Expr.And (a, b)
+              | A.Or -> Expr.Or (a, b))
+          | A.Unop (A.Neg, a) -> Expr.Neg (rewrite a)
+          | A.Unop (A.Not, a) -> Expr.Not (rewrite a)
+          | A.Is_null a -> Expr.Is_null (rewrite a)
+        in
+        let pred = rewrite w in
+        List.filter (Expr.eval_bool pred) rows
+  in
+  Rows { header; rows = apply_order_limit q header rows }
+
+let run_select s txn q =
+  let src = resolve_source s q in
+  match src with
+  | Src_view v -> select_view s txn q v
+  | Src_table _ | Src_join _ ->
+      let has_aggs =
+        List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
+      in
+      if q.A.group_by <> [] || has_aggs then select_grouped s txn q src
+      else select_rows s txn q src
+
+(* --- DML --------------------------------------------------------------------- *)
+
+let with_txn s f =
+  match s.txn with
+  | Some tx -> f (Some tx)
+  | None -> Database.transact s.sdb (fun tx -> f (Some tx))
+
+let run_insert s ~into ~rows =
+  match find_table s into with
+  | None -> fail "unknown table %s" into
+  | Some t ->
+      with_txn s (fun txn ->
+          let tx = Option.get txn in
+          List.iter
+            (fun lits ->
+              let row = Array.of_list (List.map value_of_lit lits) in
+              try ignore (Table.insert s.sdb tx t row)
+              with Invalid_argument m -> fail "%s" m)
+            rows);
+      Affected (List.length rows)
+
+let run_delete s ~from_t ~where =
+  match find_table s from_t with
+  | None -> fail "unknown table %s" from_t
+  | Some t ->
+      let schema = Database.schema s.sdb t in
+      let pred =
+        match where with
+        | Some w -> bind_expr schema w
+        | None -> Expr.bool true
+      in
+      let n = with_txn s (fun txn -> Table.delete_where s.sdb (Option.get txn) t pred) in
+      Affected n
+
+let run_update s ~table ~sets ~where =
+  match find_table s table with
+  | None -> fail "unknown table %s" table
+  | Some t ->
+      let schema = Database.schema s.sdb t in
+      let pred =
+        match where with Some w -> bind_expr schema w | None -> Expr.bool true
+      in
+      let sets =
+        List.map
+          (fun (c, e) ->
+            let pos =
+              try Schema.index_of schema c with Not_found -> fail "unknown column %s" c
+            in
+            (pos, bind_expr schema e))
+          sets
+      in
+      let n =
+        with_txn s (fun txn ->
+            let tx = Option.get txn in
+            let victims =
+              Database.Internal.heap_scan_rows s.sdb txn t
+              |> Seq.filter (fun (_, row) -> Expr.eval_bool pred row)
+              |> List.of_seq
+            in
+            List.iter
+              (fun (rid, row) ->
+                let row' = Array.copy row in
+                List.iter (fun (pos, e) -> row'.(pos) <- Expr.eval e row) sets;
+                ignore (Table.update s.sdb tx t rid row'))
+              victims;
+            List.length victims)
+      in
+      Affected n
+
+(* --- DDL --------------------------------------------------------------------- *)
+
+let run_create_view s ~v_name ~(query : A.select) ~strat =
+  let strategy, threshold =
+    match strat with
+    | A.S_exclusive -> (Maintain.Exclusive, None)
+    | A.S_escrow -> (Maintain.Escrow, None)
+    | A.S_deferred t -> (Maintain.Deferred, t)
+  in
+  if query.A.group_by = [] then fail "CREATE VIEW requires GROUP BY";
+  let aggs_ast =
+    List.filter_map
+      (function
+        | A.Agg_item a -> Some a
+        | A.Col_item _ -> None
+        | A.Star -> fail "SELECT * is not allowed in CREATE VIEW")
+      query.A.items
+  in
+  (* selected plain columns must be the group columns *)
+  List.iter
+    (function
+      | A.Col_item c when not (List.mem c query.A.group_by) ->
+          fail "view column %s must appear in GROUP BY" c
+      | _ -> ())
+    query.A.items;
+  let source, schema =
+    match query.A.join with
+    | None -> (
+        match find_table s query.A.from with
+        | Some t -> (Database.From (t, None), Database.schema s.sdb t)
+        | None -> fail "unknown table %s" query.A.from)
+    | Some (t2, lcol, rcol) -> (
+        match (find_table s query.A.from, find_table s t2) with
+        | Some l, Some r ->
+            ( Database.From_join
+                { left = l; right = r; left_col = lcol; right_col = rcol; where = None },
+              Database.join_schema s.sdb l r )
+        | _ -> fail "unknown table in join")
+  in
+  let source =
+    match (source, query.A.where) with
+    | Database.From (t, None), Some w -> Database.From (t, Some (bind_expr schema w))
+    | Database.From_join j, Some w ->
+        Database.From_join { j with where = Some (bind_expr schema w) }
+    | src, _ -> src
+  in
+  let v =
+    try
+      Database.create_view s.sdb ?refresh_threshold:threshold ~name:v_name
+        ~group_by:query.A.group_by
+        ~aggs:(List.map (bind_agg schema) aggs_ast)
+        ~source ~strategy ()
+    with Invalid_argument m -> fail "%s" m
+  in
+  ignore v;
+  Message (Printf.sprintf "view %s created (%s)" v_name
+             (Maintain.strategy_to_string strategy))
+
+(* --- driver ------------------------------------------------------------------- *)
+
+let exec s input =
+  let stmt = Sql_parser.parse input in
+  match stmt with
+  | A.Create_table { t_name; cols } ->
+      let cols =
+        List.map
+          (fun (c : A.col_def) ->
+            { Schema.name = c.A.cd_name; ty = c.A.cd_ty; nullable = c.A.cd_nullable })
+          cols
+      in
+      let t =
+        try Database.create_table s.sdb ~name:t_name ~cols
+        with Invalid_argument m -> fail "%s" m
+      in
+      ignore t;
+      Message (Printf.sprintf "table %s created" t_name)
+  | A.Create_index { i_name; on_table; col; unique } -> (
+      match find_table s on_table with
+      | None -> fail "unknown table %s" on_table
+      | Some t ->
+          (try Database.create_index s.sdb ~unique t ~col ~name:i_name with
+          | Not_found -> fail "unknown column %s" col
+          | Database.Constraint_violation m -> fail "%s" m);
+          Message
+            (Printf.sprintf "%sindex %s created"
+               (if unique then "unique " else "")
+               i_name))
+  | A.Create_view { v_name; query; strat } -> run_create_view s ~v_name ~query ~strat
+  | A.Insert { into; rows } -> run_insert s ~into ~rows
+  | A.Delete { from_t; where } -> run_delete s ~from_t ~where
+  | A.Update { table; sets; where } -> run_update s ~table ~sets ~where
+  | A.Select q -> run_select s s.txn q
+  | A.Explain q -> Message (describe_plan s q)
+  | A.Begin ->
+      if s.txn <> None then fail "transaction already open";
+      s.txn <- Some (Txn.begin_txn (Database.mgr s.sdb));
+      Message "transaction started"
+  | A.Commit -> (
+      match s.txn with
+      | None -> fail "no open transaction"
+      | Some tx ->
+          Txn.commit (Database.mgr s.sdb) tx;
+          s.txn <- None;
+          s.savepoints <- [];
+          Message "committed")
+  | A.Rollback -> (
+      match s.txn with
+      | None -> fail "no open transaction"
+      | Some tx ->
+          Txn.abort (Database.mgr s.sdb) tx;
+          s.txn <- None;
+          s.savepoints <- [];
+          Message "rolled back")
+  | A.Savepoint name -> (
+      match s.txn with
+      | None -> fail "SAVEPOINT requires an open transaction"
+      | Some tx ->
+          s.savepoints <- (name, Txn.savepoint tx) :: s.savepoints;
+          Message (Printf.sprintf "savepoint %s" name))
+  | A.Rollback_to name -> (
+      match s.txn with
+      | None -> fail "ROLLBACK TO requires an open transaction"
+      | Some tx -> (
+          match List.assoc_opt name s.savepoints with
+          | None -> fail "unknown savepoint %s" name
+          | Some sp ->
+              Txn.rollback_to (Database.mgr s.sdb) tx sp;
+              (* savepoints taken after the target are gone *)
+              let rec keep = function
+                | [] -> []
+                | (n, p) :: rest -> if n = name then (n, p) :: rest else keep rest
+              in
+              s.savepoints <- keep s.savepoints;
+              Message (Printf.sprintf "rolled back to %s" name)))
+  | A.Checkpoint ->
+      Database.checkpoint s.sdb;
+      Message "checkpoint complete"
+  | A.Show `Tables ->
+      Rows
+        {
+          header = [ "table" ];
+          rows = List.map (fun n -> [| Value.Str n |]) (Database.list_tables s.sdb);
+        }
+  | A.Show `Views ->
+      Rows
+        {
+          header = [ "view"; "strategy" ];
+          rows =
+            List.map
+              (fun (n, strat) -> [| Value.Str n; Value.Str strat |])
+              (Database.list_views s.sdb);
+        }
+  | A.Show `Metrics ->
+      Rows
+        {
+          header = [ "counter"; "value" ];
+          rows =
+            List.map
+              (fun (k, v) -> [| Value.Str k; Value.Int v |])
+              (Ivdb_util.Metrics.snapshot (Database.metrics s.sdb));
+        }
+
+let render = function
+  | Affected n -> Printf.sprintf "%d row(s) affected" n
+  | Message m -> m
+  | Rows { header; rows } ->
+      let cells =
+        header :: List.map (fun r -> Array.to_list (Array.map Value.to_string r)) rows
+      in
+      let ncols = List.length header in
+      let width c =
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 cells
+      in
+      let widths = List.init ncols width in
+      let line row =
+        String.concat " | "
+          (List.mapi (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell) row)
+      in
+      let sep = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+      String.concat "\n"
+        ((line header :: sep :: List.map line (List.tl cells))
+        @ [ Printf.sprintf "(%d rows)" (List.length rows) ])

@@ -1,0 +1,50 @@
+(** Execute SQL against an {!Ivdb.Database}.
+
+    A {!session} wraps a database plus an optional open transaction
+    (driven by [BEGIN] / [COMMIT] / [ROLLBACK]). Statements outside an open
+    transaction autocommit; reads inside a transaction are serializable,
+    autocommitted reads are unlocked snapshots of the committed state.
+
+    The dialect (see {!Sql_ast}):
+    {v
+      CREATE TABLE t (a INT NOT NULL, b TEXT, c FLOAT)
+      CREATE [UNIQUE] INDEX ix ON t (a)
+      CREATE VIEW v AS
+        SELECT a, COUNT( * ), SUM(c) FROM t [JOIN u ON a = d]
+        [WHERE ...] GROUP BY a
+        [USING ESCROW | EXCLUSIVE | DEFERRED [REFRESH THRESHOLD n]]
+      INSERT INTO t VALUES (1, 'x', 2.5), (2, NULL, 0.0)
+      DELETE FROM t WHERE a = 1
+      UPDATE t SET c = c + 1 WHERE b = 'x'
+      SELECT a, b FROM t WHERE c > 2 ORDER BY a DESC LIMIT 10
+      SELECT * FROM v                         -- an indexed view, instantly
+      SELECT b, COUNT( * ), AVG(c) FROM t
+        GROUP BY b HAVING SUM(c) > 10         -- on-demand aggregation; a
+                                              -- matching view is used
+                                              -- automatically
+      EXPLAIN SELECT ...                      -- access-path and view plans
+      BEGIN / COMMIT / ROLLBACK
+      SAVEPOINT name / ROLLBACK TO name
+      CHECKPOINT / SHOW TABLES / SHOW VIEWS / SHOW METRICS
+    v} *)
+
+exception Sql_error of string
+
+type session
+
+val session : Ivdb.Database.t -> session
+val db : session -> Ivdb.Database.t
+val in_transaction : session -> bool
+
+type result =
+  | Rows of { header : string list; rows : Ivdb_relation.Row.t list }
+  | Affected of int
+  | Message of string
+
+val exec : session -> string -> result
+(** Parse and execute one statement. Raises {!Sql_error} (or
+    {!Sql_parser.Parse_error} / {!Sql_lexer.Lex_error}) on bad input; an
+    error inside an open transaction leaves the transaction open. *)
+
+val render : result -> string
+(** Plain-text table, for REPLs and tests. *)

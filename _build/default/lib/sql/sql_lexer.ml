@@ -1,0 +1,104 @@
+type token =
+  | Kw of string
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Sym of string
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "CREATE"; "TABLE"; "INDEX"; "VIEW"; "ON"; "AS"; "SELECT"; "FROM"; "WHERE";
+    "GROUP"; "BY"; "ORDER"; "LIMIT"; "DESC"; "ASC"; "JOIN"; "INSERT"; "INTO";
+    "VALUES"; "DELETE"; "UPDATE"; "SET"; "AND"; "OR"; "NOT"; "NULL"; "IS";
+    "TRUE"; "FALSE"; "COUNT"; "SUM"; "MIN"; "MAX"; "INT"; "FLOAT"; "TEXT";
+    "BOOL"; "USING"; "ESCROW"; "EXCLUSIVE"; "DEFERRED"; "REFRESH"; "THRESHOLD";
+    "BEGIN"; "COMMIT"; "ROLLBACK"; "CHECKPOINT"; "SHOW"; "TABLES"; "VIEWS";
+    "METRICS"; "EXPLAIN"; "AVG"; "HAVING"; "SAVEPOINT"; "TO"; "UNIQUE";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = ';' then incr pos
+    else if c = '-' && !pos + 1 < n && src.[!pos + 1] = '-' then begin
+      (* line comment *)
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then push (Kw upper)
+      else push (Ident (String.lowercase_ascii word))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && (is_digit src.[!pos] || src.[!pos] = '.') do
+        incr pos
+      done;
+      let num = String.sub src start (!pos - start) in
+      if String.contains num '.' then push (Float (float_of_string num))
+      else push (Int (int_of_string num))
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then raise (Lex_error "unterminated string literal")
+        else if src.[!pos] = '\'' then
+          if !pos + 1 < n && src.[!pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            pos := !pos + 2;
+            go ()
+          end
+          else incr pos
+        else begin
+          Buffer.add_char buf src.[!pos];
+          incr pos;
+          go ()
+        end
+      in
+      go ();
+      push (String (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" ->
+          push (Sym (if two = "!=" then "<>" else two));
+          pos := !pos + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '*' | '=' | '<' | '>' | '+' | '-' | '.' | '/' ->
+              push (Sym (String.make 1 c));
+              incr pos
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  List.rev (Eof :: !toks)
+
+let pp_token ppf = function
+  | Kw k -> Format.fprintf ppf "%s" k
+  | Ident i -> Format.fprintf ppf "ident:%s" i
+  | Int i -> Format.fprintf ppf "int:%d" i
+  | Float f -> Format.fprintf ppf "float:%g" f
+  | String s -> Format.fprintf ppf "str:%S" s
+  | Sym s -> Format.fprintf ppf "sym:%s" s
+  | Eof -> Format.fprintf ppf "<eof>"

@@ -1,0 +1,16 @@
+(** Tokenizer for the SQL dialect. Keywords are case-insensitive;
+    identifiers are lower-cased. *)
+
+type token =
+  | Kw of string  (** upper-cased keyword *)
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Sym of string  (** punctuation / operators: ( ) , * = <> <= >= < > + - . *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL dialect (see {!Sql_ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Sql_ast.stmt
+(** Parse one statement. Raises {!Parse_error} or
+    {!Sql_lexer.Lex_error}. *)
+
+val parse_expr : string -> Sql_ast.expr
+(** Parse a bare expression (tests). *)

@@ -1,0 +1,1 @@
+lib/storage/bufpool.ml: Bytes Disk Fun Hashtbl Ivdb_util List Page Page_diff

@@ -1,0 +1,1 @@
+lib/storage/bufpool.mli: Disk Ivdb_util Page_diff

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Bytes Hashtbl Ivdb_sched Ivdb_util Page

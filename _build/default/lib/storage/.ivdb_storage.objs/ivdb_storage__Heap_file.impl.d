@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Bufpool Disk Format Heap_page List Page_diff Stdlib String

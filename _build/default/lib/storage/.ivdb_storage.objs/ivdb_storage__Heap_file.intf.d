@@ -1,0 +1,1 @@
+lib/storage/heap_file.mli: Bufpool Disk Format Page_diff

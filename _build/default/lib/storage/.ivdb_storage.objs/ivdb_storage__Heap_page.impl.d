@@ -1,0 +1,1 @@
+lib/storage/heap_page.ml: Bytes Fun Ivdb_util List Page String

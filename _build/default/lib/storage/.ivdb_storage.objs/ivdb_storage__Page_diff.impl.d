@@ -1,0 +1,1 @@
+lib/storage/page_diff.ml: Buffer Bytes Char List String

@@ -1,0 +1,139 @@
+type frame = {
+  page_id : int;
+  data : bytes;
+  mutable dirty : bool;
+  mutable rec_lsn : int64; (* meaningful when dirty *)
+  mutable pins : int;
+  mutable referenced : bool; (* clock hand hint *)
+  mutable no_steal : bool;
+      (* modified but the log record is not yet appended: unevictable *)
+}
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  metrics : Ivdb_util.Metrics.t;
+  frames : (int, frame) Hashtbl.t;
+  mutable order : frame list; (* clock order, oldest first *)
+  mutable wal_force : int64 -> unit;
+}
+
+let create disk ~capacity metrics =
+  {
+    disk;
+    cap = capacity;
+    metrics;
+    frames = Hashtbl.create capacity;
+    order = [];
+    wal_force = (fun _ -> failwith "Bufpool: wal_force not set");
+  }
+
+let set_wal_force t f = t.wal_force <- f
+let capacity t = t.cap
+let disk t = t.disk
+
+let write_back t fr =
+  if fr.dirty then begin
+    t.wal_force (Page.get_lsn fr.data);
+    Disk.write t.disk fr.page_id fr.data;
+    fr.dirty <- false;
+    fr.rec_lsn <- 0L;
+    Ivdb_util.Metrics.incr t.metrics "buffer.writeback"
+  end
+
+(* Clock eviction: sweep in insertion order, clearing reference bits; evict
+   the first unpinned, unreferenced frame. Two sweeps suffice; if every
+   frame is pinned we overflow rather than deadlock the cooperative
+   scheduler. *)
+let evict_one t =
+  let victim = ref None in
+  let rec sweep l passes =
+    match (l, passes) with
+    | [], 0 -> ()
+    | [], n -> sweep t.order (n - 1)
+    | fr :: rest, n ->
+        if !victim = None then
+          if fr.pins > 0 || fr.no_steal then sweep rest n
+          else if fr.referenced then begin
+            fr.referenced <- false;
+            sweep rest n
+          end
+          else victim := Some fr
+  in
+  sweep t.order 2;
+  match !victim with
+  | None -> Ivdb_util.Metrics.incr t.metrics "buffer.overflow"
+  | Some fr ->
+      write_back t fr;
+      Hashtbl.remove t.frames fr.page_id;
+      t.order <- List.filter (fun f -> f.page_id <> fr.page_id) t.order;
+      Ivdb_util.Metrics.incr t.metrics "buffer.evict"
+
+let get_frame t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some fr ->
+      fr.referenced <- true;
+      Ivdb_util.Metrics.incr t.metrics "buffer.hit";
+      fr
+  | None ->
+      Ivdb_util.Metrics.incr t.metrics "buffer.miss";
+      if Hashtbl.length t.frames >= t.cap then evict_one t;
+      let data = Disk.read t.disk page_id in
+      let fr =
+        {
+          page_id;
+          data;
+          dirty = false;
+          rec_lsn = 0L;
+          pins = 0;
+          referenced = true;
+          no_steal = false;
+        }
+      in
+      Hashtbl.add t.frames page_id fr;
+      t.order <- t.order @ [ fr ];
+      fr
+
+let with_pin t page_id f =
+  let fr = get_frame t page_id in
+  fr.pins <- fr.pins + 1;
+  Fun.protect ~finally:(fun () -> fr.pins <- fr.pins - 1) (fun () -> f fr)
+
+let read t page_id f = with_pin t page_id (fun fr -> f fr.data)
+
+let update t page_id f =
+  with_pin t page_id (fun fr ->
+      let before = Bytes.copy fr.data in
+      let result = f fr.data in
+      let diff = Page_diff.compute ~before ~after:fr.data in
+      (* a real change opens a no-steal window until the caller logs the
+         diff and stamps the page; an empty diff leaves the frame as-is *)
+      if not (Page_diff.is_empty diff) then begin
+        fr.dirty <- true;
+        fr.no_steal <- true
+      end;
+      (result, diff))
+
+let stamp t page_id lsn =
+  match Hashtbl.find_opt t.frames page_id with
+  | None -> invalid_arg "Bufpool.stamp: page not resident"
+  | Some fr ->
+      Page.set_lsn fr.data lsn;
+      fr.no_steal <- false;
+      if fr.rec_lsn = 0L then fr.rec_lsn <- lsn
+
+let flush_page t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | None -> ()
+  | Some fr -> write_back t fr
+
+let flush_all t = List.iter (write_back t) t.order
+
+let dirty_page_table t =
+  List.filter_map
+    (fun fr -> if fr.dirty then Some (fr.page_id, fr.rec_lsn) else None)
+    t.order
+
+let drop_all t =
+  Hashtbl.reset t.frames;
+  t.order <- []

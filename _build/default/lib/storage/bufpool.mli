@@ -1,0 +1,40 @@
+(** Buffer pool: the volatile page cache between the engine and the
+    simulated disk.
+
+    Enforces the write-ahead rule: before a dirty page is written back, the
+    registered WAL-force callback is invoked with the page's LSN. A
+    simulated crash ({!drop_all}) discards the pool, so only flushed pages
+    and the forced log survive — exactly the state ARIES recovery expects. *)
+
+type t
+
+val create : Disk.t -> capacity:int -> Ivdb_util.Metrics.t -> t
+
+val set_wal_force : t -> (int64 -> unit) -> unit
+(** Must be set before any dirty page can be evicted or flushed. *)
+
+val read : t -> int -> (bytes -> 'a) -> 'a
+(** Pins the page for the duration of the callback. The callback must not
+    mutate the page. *)
+
+val update : t -> int -> (bytes -> 'a) -> 'a * Page_diff.t
+(** Mutate the page in place; returns the callback result and the byte diff
+    against the pre-image. The caller is responsible for logging the diff
+    and then calling {!stamp} — the page is dirty-in-pool but carries its
+    old LSN until stamped. *)
+
+val stamp : t -> int -> int64 -> unit
+(** Set the pageLSN after logging; records the frame's recLSN (first LSN to
+    dirty it since it was last clean) for checkpointing. *)
+
+val flush_page : t -> int -> unit
+val flush_all : t -> unit
+
+val dirty_page_table : t -> (int * int64) list
+(** [(page_id, recLSN)] of dirty frames — the DPT written by checkpoints. *)
+
+val drop_all : t -> unit
+(** Simulated crash: discard every frame, clean or dirty. *)
+
+val capacity : t -> int
+val disk : t -> Disk.t

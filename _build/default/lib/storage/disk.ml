@@ -1,0 +1,32 @@
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  metrics : Ivdb_util.Metrics.t;
+  read_cost : int;
+  write_cost : int;
+  mutable next_id : int;
+}
+
+let create ?(read_cost = 100) ?(write_cost = 100) metrics =
+  { pages = Hashtbl.create 256; metrics; read_cost; write_cost; next_id = 1 }
+
+let alloc_page t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let read t id =
+  Ivdb_util.Metrics.incr t.metrics "disk.read";
+  Ivdb_sched.Sched.advance t.read_cost;
+  match Hashtbl.find_opt t.pages id with
+  | Some p -> Bytes.copy p
+  | None -> Page.alloc ()
+
+let write t id p =
+  Ivdb_util.Metrics.incr t.metrics "disk.write";
+  Ivdb_sched.Sched.advance t.write_cost;
+  Hashtbl.replace t.pages id (Bytes.copy p);
+  if id >= t.next_id then t.next_id <- id + 1
+
+let page_count t = Hashtbl.length t.pages
+let max_page_id t = Hashtbl.fold (fun id _ acc -> max id acc) t.pages 0
+let bump_alloc t id = if id >= t.next_id then t.next_id <- id + 1

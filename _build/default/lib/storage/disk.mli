@@ -1,0 +1,32 @@
+(** Simulated stable storage for pages.
+
+    A page store with I/O accounting and a logical-time cost model. Contents
+    survive a simulated crash (the buffer pool does not), which is what the
+    crash-recovery tests exploit. *)
+
+type t
+
+val create : ?read_cost:int -> ?write_cost:int -> Ivdb_util.Metrics.t -> t
+(** Costs are logical ticks charged to the scheduler clock per I/O
+    (defaults 100/100, the classic 100:1 I/O-to-CPU-step ratio). *)
+
+val alloc_page : t -> int
+(** Fresh page id (ids start at 1; 0 is "nil"). Allocation itself performs
+    no I/O. *)
+
+val read : t -> int -> bytes
+(** Copy of the page's stable image; a never-written page reads as zeroes.
+    Counts [disk.read]. *)
+
+val write : t -> int -> bytes -> unit
+(** Stores a copy. Counts [disk.write]. *)
+
+val page_count : t -> int
+(** Number of pages ever written. *)
+
+val max_page_id : t -> int
+
+val bump_alloc : t -> int -> unit
+(** Raise the allocation cursor to at least [id + 1]; recovery calls this
+    with the largest page id seen in the log so redo never collides with
+    fresh allocations. *)

@@ -1,0 +1,140 @@
+type rid = { rpage : int; rslot : int }
+
+let pp_rid ppf r = Format.fprintf ppf "(%d,%d)" r.rpage r.rslot
+let rid_compare a b = Stdlib.compare (a.rpage, a.rslot) (b.rpage, b.rslot)
+
+type t = {
+  pool : Bufpool.t;
+  disk : Disk.t;
+  first : int;
+  mutable pages : int list; (* chain, first..last *)
+  mutable tail : int;
+}
+
+type diffs = (int * Page_diff.t) list
+
+let create pool disk =
+  let pid = Disk.alloc_page disk in
+  let (), diff = Bufpool.update pool pid (fun p -> Heap_page.init p) in
+  ({ pool; disk; first = pid; pages = [ pid ]; tail = pid }, [ (pid, diff) ])
+
+let attach pool disk ~first_page =
+  let rec walk pid acc =
+    let next = Bufpool.read pool pid (fun p -> Heap_page.get_next p) in
+    if next = 0 then (List.rev (pid :: acc), pid)
+    else walk next (pid :: acc)
+  in
+  let pages, tail = walk first_page [] in
+  { pool; disk; first = first_page; pages; tail }
+
+let first_page t = t.first
+
+let grow t =
+  let pid = Disk.alloc_page t.disk in
+  let (), d_new = Bufpool.update t.pool pid (fun p -> Heap_page.init p) in
+  let (), d_tail = Bufpool.update t.pool t.tail (fun p -> Heap_page.set_next p pid) in
+  let old_tail = t.tail in
+  t.tail <- pid;
+  t.pages <- t.pages @ [ pid ];
+  (pid, [ (pid, d_new); (old_tail, d_tail) ])
+
+(* First-fit over the chain from the tail backwards: recent pages are the
+   likeliest to have space, and the chain stays short in the workloads in
+   play. A real engine would keep a free-space map; the behaviourally
+   relevant property (records placed, rids stable) is the same. *)
+let insert t record =
+  let try_page pid =
+    let slot_opt, diff =
+      Bufpool.update t.pool pid (fun p -> Heap_page.insert p record)
+    in
+    match slot_opt with
+    | Some slot -> Some ({ rpage = pid; rslot = slot }, [ (pid, diff) ])
+    | None -> None
+  in
+  let rec try_pages = function
+    | [] -> None
+    | pid :: rest -> ( match try_page pid with Some r -> Some r | None -> try_pages rest)
+  in
+  match try_page t.tail with
+  | Some r -> r
+  | None -> (
+      match try_pages (List.rev t.pages) with
+      | Some r -> r
+      | None ->
+          let pid, grow_diffs = grow t in
+          let rid_diffs =
+            match try_page pid with
+            | Some (rid, ds) -> (rid, ds)
+            | None -> invalid_arg "Heap_file.insert: record too large"
+          in
+          let rid, ds = rid_diffs in
+          (rid, grow_diffs @ ds))
+
+let delete t rid =
+  let ok, diff =
+    Bufpool.update t.pool rid.rpage (fun p -> Heap_page.delete p rid.rslot)
+  in
+  if not ok then raise Not_found;
+  [ (rid.rpage, diff) ]
+
+let revive t rid =
+  let ok, diff =
+    Bufpool.update t.pool rid.rpage (fun p -> Heap_page.revive p rid.rslot)
+  in
+  if not ok then raise Not_found;
+  [ (rid.rpage, diff) ]
+
+let free_ghost t rid =
+  let ok, diff =
+    Bufpool.update t.pool rid.rpage (fun p -> Heap_page.free_ghost p rid.rslot)
+  in
+  if ok then [ (rid.rpage, diff) ] else []
+
+let update t rid record =
+  let status, diff =
+    Bufpool.update t.pool rid.rpage (fun p ->
+        match Heap_page.get p rid.rslot with
+        | None -> `Missing
+        | Some old ->
+            if String.length old <> String.length record then `Size_change
+            else begin
+              ignore (Heap_page.set p rid.rslot record);
+              `Ok
+            end)
+  in
+  match status with
+  | `Ok -> [ (rid.rpage, diff) ]
+  | `Missing -> raise Not_found
+  | `Size_change -> invalid_arg "Heap_file.update: size change"
+
+let get t rid =
+  Bufpool.read t.pool rid.rpage (fun p -> Heap_page.get p rid.rslot)
+
+let iter t f =
+  List.iter
+    (fun pid ->
+      let records =
+        Bufpool.read t.pool pid (fun p ->
+            let acc = ref [] in
+            Heap_page.iter p (fun slot r -> acc := (slot, r) :: !acc);
+            List.rev !acc)
+      in
+      List.iter (fun (slot, r) -> f { rpage = pid; rslot = slot } r) records)
+    t.pages
+
+let iter_all t f =
+  List.iter
+    (fun pid ->
+      let records =
+        Bufpool.read t.pool pid (fun p ->
+            let acc = ref [] in
+            Heap_page.iter p (fun slot r -> acc := (slot, r, false) :: !acc);
+            Heap_page.iter_ghosts p (fun slot -> acc := (slot, "", true) :: !acc);
+            List.sort (fun (a, _, _) (b, _, _) -> compare a b) !acc)
+      in
+      List.iter
+        (fun (slot, r, ghost) -> f { rpage = pid; rslot = slot } r ~ghost)
+        records)
+    t.pages
+
+let page_ids t = t.pages

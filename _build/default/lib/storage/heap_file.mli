@@ -1,0 +1,52 @@
+(** Heap files: unordered record storage, a chain of heap pages.
+
+    Mutating operations return the [(page_id, diff)] list they produced; the
+    transaction layer logs these diffs and stamps the pages. The heap itself
+    holds no volatile state that cannot be rebuilt from the page chain, so
+    {!attach} after a crash recovers it by walking the chain. *)
+
+type rid = { rpage : int; rslot : int }
+
+val pp_rid : Format.formatter -> rid -> unit
+val rid_compare : rid -> rid -> int
+
+type t
+
+type diffs = (int * Page_diff.t) list
+
+val create : Bufpool.t -> Disk.t -> t * diffs
+(** Allocates and formats the first page. *)
+
+val attach : Bufpool.t -> Disk.t -> first_page:int -> t
+(** Open an existing heap by its first page (from the catalog). *)
+
+val first_page : t -> int
+
+val insert : t -> string -> rid * diffs
+
+val delete : t -> rid -> diffs
+(** Ghost-marks the record: readers no longer see it, but the slot and
+    bytes remain so rollback can {!revive} the same rid. Raises [Not_found]
+    if the rid is not live. *)
+
+val revive : t -> rid -> diffs
+(** Undo of {!delete}. Raises [Not_found] if the rid is not a ghost. *)
+
+val free_ghost : t -> rid -> diffs
+(** Physically reclaim a ghost slot (post-commit system transaction).
+    Empty diffs if the rid is not a ghost (already cleaned). *)
+
+val update : t -> rid -> string -> diffs
+(** In-place when sizes match; raises [Not_found] if not live and
+    [Invalid_argument] on size change (callers use delete + insert). *)
+
+val get : t -> rid -> string option
+val iter : t -> (rid -> string -> unit) -> unit
+(** Live records, ascending rid order. *)
+
+val iter_all : t -> (rid -> string -> ghost:bool -> unit) -> unit
+(** Live and ghost records; ghosts are reported with an empty payload.
+    Serializable scans use this so an uncommitted delete still blocks the
+    reader (via the row lock) instead of being silently invisible. *)
+
+val page_ids : t -> int list

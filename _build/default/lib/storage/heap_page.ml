@@ -1,0 +1,146 @@
+module B = Ivdb_util.Bytes_util
+
+let off_next = 9
+let off_nslots = 13
+let off_free_end = 15
+let off_slots = 17
+let ghost_bit = 0x8000
+
+let init p =
+  Page.set_ty p Page.Heap;
+  B.set_u32 p off_next 0;
+  B.set_u16 p off_nslots 0;
+  B.set_u16 p off_free_end Page.size
+
+let get_next p = B.get_u32 p off_next
+let set_next p v = B.set_u32 p off_next v
+let nslots p = B.get_u16 p off_nslots
+let free_end p = B.get_u16 p off_free_end
+let raw_slot p i = B.get_u16 p (off_slots + (2 * i))
+let set_slot p i v = B.set_u16 p (off_slots + (2 * i)) v
+let max_record = Page.size - off_slots - 2 - 2
+
+let slot_state p i =
+  if i >= nslots p then `Empty
+  else
+    let v = raw_slot p i in
+    if v = 0 then `Empty
+    else if v land ghost_bit <> 0 then `Ghost (v land lnot ghost_bit)
+    else `Live v
+
+let read_cell p off =
+  let len = B.get_u16 p off in
+  Bytes.sub_string p (off + 2) len
+
+let get p i = match slot_state p i with `Live off -> Some (read_cell p off) | _ -> None
+
+let get_any p i =
+  match slot_state p i with
+  | `Live off | `Ghost off -> Some (read_cell p off)
+  | `Empty -> None
+
+let is_ghost p i = match slot_state p i with `Ghost _ -> true | _ -> false
+
+let cell_bytes p i =
+  match slot_state p i with
+  | `Live off | `Ghost off -> 2 + B.get_u16 p off
+  | `Empty -> 0
+
+let live_bytes p =
+  let total = ref 0 in
+  for i = 0 to nslots p - 1 do
+    total := !total + cell_bytes p i
+  done;
+  !total
+
+let contiguous p = free_end p - (off_slots + (2 * nslots p))
+
+let free_space p =
+  let region = Page.size - free_end p in
+  contiguous p + (region - live_bytes p)
+
+let compact p =
+  let n = nslots p in
+  let cells =
+    List.filter_map
+      (fun i ->
+        match slot_state p i with
+        | `Live off -> Some (i, false, read_cell p off)
+        | `Ghost off -> Some (i, true, read_cell p off)
+        | `Empty -> None)
+      (List.init n Fun.id)
+  in
+  let free = ref Page.size in
+  List.iter
+    (fun (i, ghost, r) ->
+      let len = String.length r in
+      free := !free - (2 + len);
+      B.set_u16 p !free len;
+      Bytes.blit_string r 0 p (!free + 2) len;
+      set_slot p i (if ghost then !free lor ghost_bit else !free))
+    cells;
+  B.set_u16 p off_free_end !free
+
+let find_empty_slot p =
+  let n = nslots p in
+  let rec go i =
+    if i >= n then None else if raw_slot p i = 0 then Some i else go (i + 1)
+  in
+  go 0
+
+let insert p record =
+  let len = String.length record in
+  if len > max_record then invalid_arg "Heap_page.insert: record too large";
+  let slot, slot_cost =
+    match find_empty_slot p with Some s -> (s, 0) | None -> (nslots p, 2)
+  in
+  let need = 2 + len + slot_cost in
+  if free_space p < need then None
+  else begin
+    if contiguous p < need then compact p;
+    if slot = nslots p then B.set_u16 p off_nslots (slot + 1);
+    let off = free_end p - (2 + len) in
+    B.set_u16 p off_free_end off;
+    B.set_u16 p off len;
+    Bytes.blit_string record 0 p (off + 2) len;
+    set_slot p slot off;
+    Some slot
+  end
+
+let delete p i =
+  match slot_state p i with
+  | `Live off ->
+      set_slot p i (off lor ghost_bit);
+      true
+  | `Ghost _ | `Empty -> false
+
+let revive p i =
+  match slot_state p i with
+  | `Ghost off ->
+      set_slot p i off;
+      true
+  | `Live _ | `Empty -> false
+
+let free_ghost p i =
+  match slot_state p i with
+  | `Ghost _ ->
+      set_slot p i 0;
+      true
+  | `Live _ | `Empty -> false
+
+let set p i record =
+  match slot_state p i with
+  | `Live off when B.get_u16 p off = String.length record ->
+      Bytes.blit_string record 0 p (off + 2) (String.length record);
+      true
+  | `Live _ | `Ghost _ | `Empty -> false
+
+let iter p f =
+  for i = 0 to nslots p - 1 do
+    match slot_state p i with `Live off -> f i (read_cell p off) | `Ghost _ | `Empty -> ()
+  done
+
+let iter_ghosts p f =
+  for i = 0 to nslots p - 1 do
+    match slot_state p i with `Ghost _ -> f i | `Live _ | `Empty -> ()
+  done

@@ -1,0 +1,60 @@
+(** Slotted heap-page layout (record storage with stable slot numbers).
+
+    {v
+      0..7    pageLSN        8     type (Heap)
+      9..12   next_page      13..14 nslots      15..16 free_end
+      17..    slot directory (u16 per slot: 0 = empty, else cell offset,
+              high bit set = ghost)
+      cells grow downward from the page end: u16 length + record bytes
+    v}
+
+    Deletion turns a record into a {e ghost}: invisible to readers but
+    still occupying its slot and bytes, so that transaction rollback can
+    revive exactly the same rid. Ghosts are physically reclaimed later by a
+    system transaction ({!free_ghost}). *)
+
+val init : bytes -> unit
+(** Format a fresh page as an empty heap page. *)
+
+val get_next : bytes -> int
+val set_next : bytes -> int -> unit
+
+val nslots : bytes -> int
+
+val max_record : int
+(** Largest record this layout can store in an empty page. *)
+
+val insert : bytes -> string -> int option
+(** [insert page record] returns the slot, or [None] if the record does not
+    fit even after compaction. Ghost slots are not reused. Raises
+    [Invalid_argument] if the record can never fit a page. *)
+
+val delete : bytes -> int -> bool
+(** Mark the slot as a ghost; [false] if not live. *)
+
+val revive : bytes -> int -> bool
+(** Undo a deletion: clear the ghost flag; [false] if the slot is not a
+    ghost. *)
+
+val free_ghost : bytes -> int -> bool
+(** Physically reclaim a ghost slot; [false] if the slot is not a ghost. *)
+
+val is_ghost : bytes -> int -> bool
+
+val get : bytes -> int -> string option
+(** Live records only. *)
+
+val get_any : bytes -> int -> string option
+(** Live or ghost. *)
+
+val set : bytes -> int -> string -> bool
+(** In-place overwrite of a live record of the same length. *)
+
+val free_space : bytes -> int
+(** Usable bytes for one more record, counting dead (not ghost) cell space
+    reclaimable by compaction. *)
+
+val iter : bytes -> (int -> string -> unit) -> unit
+(** Live records, ascending slot order. *)
+
+val iter_ghosts : bytes -> (int -> unit) -> unit

@@ -1,0 +1,20 @@
+let size = 8192
+let header_size = 9
+
+type ty = Free | Heap | Bt_leaf | Bt_interior
+
+let alloc () = Bytes.make size '\000'
+let get_lsn p = Bytes.get_int64_be p 0
+let set_lsn p lsn = Bytes.set_int64_be p 0 lsn
+
+let ty_code = function Free -> 0 | Heap -> 1 | Bt_leaf -> 2 | Bt_interior -> 3
+
+let get_ty p =
+  match Bytes.get_uint8 p 8 with
+  | 0 -> Free
+  | 1 -> Heap
+  | 2 -> Bt_leaf
+  | 3 -> Bt_interior
+  | n -> invalid_arg (Printf.sprintf "Page.get_ty: corrupt type byte %d" n)
+
+let set_ty p ty = Bytes.set_uint8 p 8 (ty_code ty)

@@ -1,0 +1,26 @@
+(** Fixed-size page frames and the common page header.
+
+    Every on-disk page starts with the same header:
+    {v
+      offset 0..7   pageLSN (i64, big-endian)
+      offset 8      page type
+    v}
+    Layout beyond offset 9 belongs to the page's owner (heap page, B-tree
+    node). *)
+
+val size : int
+(** 8192 bytes. *)
+
+val header_size : int
+(** 9: first byte available to owners. *)
+
+type ty = Free | Heap | Bt_leaf | Bt_interior
+
+val alloc : unit -> bytes
+(** Fresh zeroed page ([Free], LSN 0). *)
+
+val get_lsn : bytes -> int64
+val set_lsn : bytes -> int64 -> unit
+
+val get_ty : bytes -> ty
+val set_ty : bytes -> ty -> unit

@@ -1,0 +1,70 @@
+type t = (int * string) list
+
+(* Merge changed runs closer than this gap into one range: fewer, slightly
+   larger ranges compress the framing overhead. *)
+let merge_gap = 8
+
+let compute ~before ~after =
+  assert (Bytes.length before = Bytes.length after);
+  let n = Bytes.length before in
+  let ranges = ref [] in
+  let i = ref 8 (* skip the LSN field, compare from the type byte on *) in
+  while !i < n do
+    if Bytes.get before !i <> Bytes.get after !i then begin
+      let start = !i in
+      let last_diff = ref !i in
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        if Bytes.get before !i <> Bytes.get after !i then begin
+          last_diff := !i;
+          incr i
+        end
+        else if !i - !last_diff < merge_gap then incr i
+        else continue := false
+      done;
+      let len = !last_diff - start + 1 in
+      ranges := (start, Bytes.sub_string after start len) :: !ranges
+    end
+    else incr i
+  done;
+  List.rev !ranges
+
+let apply page t =
+  List.iter
+    (fun (off, s) -> Bytes.blit_string s 0 page off (String.length s))
+    t
+
+let is_empty t = t = []
+let byte_size t = List.fold_left (fun acc (_, s) -> acc + 6 + String.length s) 0 t
+
+let encode t =
+  let buf = Buffer.create 64 in
+  Buffer.add_uint16_be buf (List.length t);
+  List.iter
+    (fun (off, s) ->
+      Buffer.add_uint16_be buf off;
+      Buffer.add_uint16_be buf (String.length s);
+      Buffer.add_string buf s)
+    t;
+  Buffer.contents buf
+
+let decode s =
+  let fail () = invalid_arg "Page_diff.decode: malformed diff" in
+  let len = String.length s in
+  if len < 2 then fail ();
+  let n = (Char.code s.[0] lsl 8) lor Char.code s.[1] in
+  let pos = ref 2 in
+  let ranges =
+    List.init n (fun _ ->
+        if !pos + 4 > len then fail ();
+        let off = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+        let l = (Char.code s.[!pos + 2] lsl 8) lor Char.code s.[!pos + 3] in
+        pos := !pos + 4;
+        if !pos + l > len then fail ();
+        let bytes = String.sub s !pos l in
+        pos := !pos + l;
+        (off, bytes))
+  in
+  if !pos <> len then fail ();
+  ranges

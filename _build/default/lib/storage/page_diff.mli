@@ -1,0 +1,24 @@
+(** Byte-range diffs between two images of the same page.
+
+    The engine logs *physiological* redo information: after mutating a page
+    in the buffer pool, the changed byte ranges (computed against a
+    pre-image copy) become the redo payload of the log record. Redo is then
+    a pure page-level byte patch, independent of record semantics — it works
+    uniformly for heap pages, B-tree nodes, and structure modifications.
+    The pageLSN range at offsets 0..7 is excluded; the logger stamps it. *)
+
+type t = (int * string) list
+(** [(offset, replacement bytes)] ranges, ascending, non-overlapping. *)
+
+val compute : before:bytes -> after:bytes -> t
+(** Ranges where the images differ (offsets >= {!Page.header_size} minus the
+    type byte are compared from offset 8 on; the LSN field is ignored). *)
+
+val apply : bytes -> t -> unit
+
+val is_empty : t -> bool
+val byte_size : t -> int
+(** Log-volume accounting: payload bytes plus per-range framing. *)
+
+val encode : t -> string
+val decode : string -> t

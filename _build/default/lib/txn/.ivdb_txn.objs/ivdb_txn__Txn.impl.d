@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Hashtbl Int64 Ivdb_lock Ivdb_storage Ivdb_util Ivdb_wal List Printf

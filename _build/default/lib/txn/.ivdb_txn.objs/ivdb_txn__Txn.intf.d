@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Ivdb_lock Ivdb_storage Ivdb_util Ivdb_wal

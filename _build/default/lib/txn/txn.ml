@@ -1,0 +1,251 @@
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Lock_mgr = Ivdb_lock.Lock_mgr
+module Bufpool = Ivdb_storage.Bufpool
+module Metrics = Ivdb_util.Metrics
+
+type status = Active | Committed | Aborted
+
+exception Conflict of { txn : int; reason : string }
+
+type t = {
+  tid : int;
+  system : bool;
+  mutable tstatus : status;
+  mutable tfirst_lsn : Log_record.lsn;
+  mutable tlast_lsn : Log_record.lsn;
+}
+
+type mgr = {
+  mwal : Wal.t;
+  mlocks : Lock_mgr.t;
+  mpool : Bufpool.t;
+  mmetrics : Metrics.t;
+  active : (int, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable undo_exec : t -> Log_record.logical_undo -> Log_record.page_diffs;
+  mutable end_hooks : (t -> status -> unit) list;
+}
+
+let create_mgr ~wal ~locks ~pool metrics =
+  {
+    mwal = wal;
+    mlocks = locks;
+    mpool = pool;
+    mmetrics = metrics;
+    active = Hashtbl.create 32;
+    next_id = 1;
+    undo_exec = (fun _ _ -> failwith "Txn: undo executor not installed");
+    end_hooks = [];
+  }
+
+let set_undo_exec mgr f = mgr.undo_exec <- f
+let add_end_hook mgr f = mgr.end_hooks <- f :: mgr.end_hooks
+let wal mgr = mgr.mwal
+let locks mgr = mgr.mlocks
+let pool mgr = mgr.mpool
+let disk mgr = Bufpool.disk mgr.mpool
+let metrics mgr = mgr.mmetrics
+
+let fresh mgr ~system =
+  let tid = mgr.next_id in
+  mgr.next_id <- tid + 1;
+  let t =
+    {
+      tid;
+      system;
+      tstatus = Active;
+      tfirst_lsn = Log_record.nil_lsn;
+      tlast_lsn = Log_record.nil_lsn;
+    }
+  in
+  Hashtbl.replace mgr.active tid t;
+  t.tlast_lsn <- Wal.append mgr.mwal ~txn:tid ~prev:Log_record.nil_lsn (Log_record.Begin { system });
+  t.tfirst_lsn <- t.tlast_lsn;
+  Metrics.incr mgr.mmetrics (if system then "txn.system" else "txn.begin");
+  t
+
+let begin_txn mgr = fresh mgr ~system:false
+let begin_system mgr = fresh mgr ~system:true
+
+let id t = t.tid
+let status t = t.tstatus
+let is_system t = t.system
+let last_lsn t = t.tlast_lsn
+let first_lsn t = t.tfirst_lsn
+
+let check_active t =
+  if t.tstatus <> Active then
+    invalid_arg (Printf.sprintf "Txn: transaction %d is not active" t.tid)
+
+let lock mgr t name mode =
+  check_active t;
+  try Lock_mgr.acquire mgr.mlocks ~txn:t.tid name mode
+  with Lock_mgr.Deadlock victim ->
+    raise (Conflict { txn = victim; reason = "deadlock victim" })
+
+let lock_instant mgr t name mode =
+  check_active t;
+  try Lock_mgr.acquire_instant mgr.mlocks ~txn:t.tid name mode
+  with Lock_mgr.Deadlock victim ->
+    raise (Conflict { txn = victim; reason = "deadlock victim" })
+
+let stamp_pages mgr lsn diffs =
+  List.iter (fun (pid, _) -> Bufpool.stamp mgr.mpool pid (Int64.of_int lsn)) diffs
+
+let log_update mgr t ~undo diffs =
+  check_active t;
+  let diffs =
+    List.filter (fun (_, d) -> not (Ivdb_storage.Page_diff.is_empty d)) diffs
+  in
+  if diffs <> [] || undo <> Log_record.No_undo then begin
+    let lsn =
+      Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn
+        (Log_record.Update { redo = diffs; undo })
+    in
+    t.tlast_lsn <- lsn;
+    stamp_pages mgr lsn diffs
+  end
+
+let log_clr mgr t ~undo_next diffs =
+  let diffs =
+    List.filter (fun (_, d) -> not (Ivdb_storage.Page_diff.is_empty d)) diffs
+  in
+  let lsn =
+    Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn
+      (Log_record.Clr { redo = diffs; undo_next })
+  in
+  t.tlast_lsn <- lsn;
+  stamp_pages mgr lsn diffs
+
+let log_ddl mgr t payload =
+  check_active t;
+  t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn (Log_record.Ddl payload)
+
+let finish mgr t status =
+  t.tstatus <- status;
+  Hashtbl.remove mgr.active t.tid;
+  List.iter (fun f -> f t status) mgr.end_hooks;
+  Lock_mgr.release_all mgr.mlocks ~txn:t.tid
+
+let commit mgr t =
+  check_active t;
+  (* a transaction that logged nothing beyond its Begin record has no
+     effects to make durable: skip the commit force *)
+  let read_only = t.tlast_lsn = t.tfirst_lsn in
+  let lsn = Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.Commit in
+  t.tlast_lsn <- lsn;
+  if not (t.system || read_only) then Wal.force mgr.mwal lsn;
+  ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:lsn Log_record.End);
+  finish mgr t Committed;
+  Metrics.incr mgr.mmetrics (if t.system then "txn.system_commit" else "txn.commit");
+  if read_only && not t.system then Metrics.incr mgr.mmetrics "txn.read_only_commit"
+
+
+(* Walk the undo chain from [cursor], executing logical undo and logging a
+   CLR per undone update. CLRs are skipped over via their undo_next pointer,
+   so a rollback interrupted by a crash resumes where it stopped. *)
+let undo_chain mgr t ~cursor =
+  let rec go lsn =
+    if lsn <> Log_record.nil_lsn then begin
+      let r = Wal.get mgr.mwal lsn in
+      match r.Log_record.body with
+      | Log_record.Update { undo; _ } ->
+          let diffs = mgr.undo_exec t undo in
+          log_clr mgr t ~undo_next:r.Log_record.prev diffs;
+          go r.Log_record.prev
+      | Log_record.Clr { undo_next; _ } -> go undo_next
+      | Log_record.Begin _ -> ()
+      | Log_record.Commit | Log_record.End ->
+          invalid_arg "Txn: undo reached a commit record"
+      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+          go r.Log_record.prev
+    end
+  in
+  go cursor
+
+type savepoint = Log_record.lsn
+
+let savepoint t =
+  check_active t;
+  t.tlast_lsn
+
+(* Undo records newer than the savepoint, writing CLRs; the transaction
+   stays active. The CLRs' undo-next pointers make a later full abort (or
+   crash recovery) skip the already-compensated section. *)
+let rollback_to mgr t sp =
+  check_active t;
+  let rec go lsn =
+    if lsn > sp && lsn <> Log_record.nil_lsn then begin
+      let r = Wal.get mgr.mwal lsn in
+      match r.Log_record.body with
+      | Log_record.Update { undo; _ } ->
+          let diffs = mgr.undo_exec t undo in
+          log_clr mgr t ~undo_next:r.Log_record.prev diffs;
+          go r.Log_record.prev
+      | Log_record.Clr { undo_next; _ } -> go undo_next
+      | Log_record.Begin _ -> ()
+      | Log_record.Commit | Log_record.End ->
+          invalid_arg "Txn: rollback_to reached a commit record"
+      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+          go r.Log_record.prev
+    end
+  in
+  go t.tlast_lsn;
+  Metrics.incr mgr.mmetrics "txn.partial_rollback"
+
+let abort mgr t =
+  if t.tstatus = Active then begin
+    t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.Abort;
+    undo_chain mgr t ~cursor:t.tlast_lsn;
+    ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.End);
+    finish mgr t Aborted;
+    Metrics.incr mgr.mmetrics "txn.abort"
+  end
+
+let rollback_tail mgr t ~from =
+  check_active t;
+  t.tlast_lsn <- max t.tlast_lsn from;
+  undo_chain mgr t ~cursor:from;
+  ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.End);
+  finish mgr t Aborted;
+  Metrics.incr mgr.mmetrics "txn.recovery_undo"
+
+let resurrect mgr ~id ~last_lsn =
+  let t =
+    {
+      tid = id;
+      system = false;
+      tstatus = Active;
+      tfirst_lsn = Log_record.nil_lsn;
+      tlast_lsn = last_lsn;
+    }
+  in
+  Hashtbl.replace mgr.active id t;
+  if id >= mgr.next_id then mgr.next_id <- id + 1;
+  t
+
+let active_first_lsns mgr =
+  Hashtbl.fold (fun _ t acc -> t.tfirst_lsn :: acc) mgr.active []
+
+let active_txns mgr =
+  Hashtbl.fold (fun tid t acc -> (tid, t.tlast_lsn) :: acc) mgr.active []
+  |> List.sort compare
+
+let checkpoint mgr ~catalog =
+  let body =
+    Log_record.Checkpoint
+      {
+        active = active_txns mgr;
+        dpt =
+          List.map
+            (fun (pid, recl) -> (pid, Int64.to_int recl))
+            (Bufpool.dirty_page_table mgr.mpool);
+        catalog;
+      }
+  in
+  let lsn = Wal.append mgr.mwal ~txn:0 ~prev:Log_record.nil_lsn body in
+  Wal.force mgr.mwal lsn;
+  Metrics.incr mgr.mmetrics "txn.checkpoint"
+
+let bump_txn_id mgr n = if n >= mgr.next_id then mgr.next_id <- n + 1

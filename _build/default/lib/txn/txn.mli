@@ -1,0 +1,104 @@
+(** Transactions: strict two-phase locking, write-ahead logging, rollback
+    by logical undo, and system transactions.
+
+    A *system transaction* (Graefe's nested top-level action) performs a
+    change that must commit independently of the invoking user transaction:
+    B-tree structure modifications, creation of a missing view group row,
+    garbage collection of zero-count rows. System transactions commit
+    without forcing the log, hold no long-duration locks (the cooperative
+    scheduler makes their body atomic), and are never rolled back by the
+    user transaction's abort. *)
+
+type mgr
+type t
+
+type status = Active | Committed | Aborted
+
+exception Conflict of { txn : int; reason : string }
+(** Raised out of a transaction body when the transaction has been chosen
+    as a deadlock victim (or explicitly killed); the caller must run
+    {!abort} and may then retry. *)
+
+val create_mgr :
+  wal:Ivdb_wal.Wal.t ->
+  locks:Ivdb_lock.Lock_mgr.t ->
+  pool:Ivdb_storage.Bufpool.t ->
+  Ivdb_util.Metrics.t ->
+  mgr
+
+val set_undo_exec : mgr -> (t -> Ivdb_wal.Log_record.logical_undo -> Ivdb_wal.Log_record.page_diffs) -> unit
+(** Install the logical-undo executor (supplied by the access layer). It
+    performs the inverse operation and returns the page diffs it produced;
+    the rollback driver wraps them in a compensation record. *)
+
+val add_end_hook : mgr -> (t -> status -> unit) -> unit
+(** Register a callback invoked whenever a transaction finishes (commit or
+    abort), before its locks are released. Used e.g. to retire a
+    transaction's in-flight escrow deltas from the bounds registry. *)
+
+val wal : mgr -> Ivdb_wal.Wal.t
+val locks : mgr -> Ivdb_lock.Lock_mgr.t
+val pool : mgr -> Ivdb_storage.Bufpool.t
+val disk : mgr -> Ivdb_storage.Disk.t
+val metrics : mgr -> Ivdb_util.Metrics.t
+
+val begin_txn : mgr -> t
+val begin_system : mgr -> t
+
+val id : t -> int
+val status : t -> status
+val is_system : t -> bool
+val last_lsn : t -> Ivdb_wal.Log_record.lsn
+val first_lsn : t -> Ivdb_wal.Log_record.lsn
+
+val lock : mgr -> t -> Ivdb_lock.Lock_name.t -> Ivdb_lock.Lock_mode.t -> unit
+(** Blocking acquisition; converts a deadlock-victim verdict into
+    {!Conflict}. *)
+
+val lock_instant : mgr -> t -> Ivdb_lock.Lock_name.t -> Ivdb_lock.Lock_mode.t -> unit
+
+val log_update :
+  mgr -> t -> undo:Ivdb_wal.Log_record.logical_undo -> Ivdb_wal.Log_record.page_diffs -> unit
+(** Append an update record and stamp the touched pages. Empty diff lists
+    are skipped entirely. *)
+
+val log_ddl : mgr -> t -> string -> unit
+
+val commit : mgr -> t -> unit
+(** User transactions force the log up to their commit record; system
+    transactions do not (their effects are redone from the log if needed
+    and required no force for correctness). *)
+
+val abort : mgr -> t -> unit
+(** Roll back by walking the undo chain, logging compensation records;
+    idempotent on already-finished transactions. *)
+
+type savepoint
+
+val savepoint : t -> savepoint
+(** Mark the current point in the transaction's undo chain. *)
+
+val rollback_to : mgr -> t -> savepoint -> unit
+(** Undo the transaction's work back to the savepoint (compensation
+    records as in a full abort), keeping the transaction active and its
+    locks held. Work undone includes escrow increments (inverse deltas).
+    Raises [Invalid_argument] if the transaction is not active. *)
+
+val rollback_tail : mgr -> t -> from:Ivdb_wal.Log_record.lsn -> unit
+(** Recovery entry point: undo the transaction's chain starting at [from]
+    (its last known LSN), writing CLRs, then log End. Used for loser
+    transactions whose in-memory handle was rebuilt from the log. *)
+
+val resurrect : mgr -> id:int -> last_lsn:Ivdb_wal.Log_record.lsn -> t
+(** Rebuild a transaction handle from the analysis pass. *)
+
+val checkpoint : mgr -> catalog:string -> unit
+(** Fuzzy checkpoint: logs the transaction table, the dirty-page table, and
+    the catalog snapshot, then forces the log. *)
+
+val active_txns : mgr -> (int * Ivdb_wal.Log_record.lsn) list
+
+(** First LSN of every active transaction — a lower bound on how far undo
+    may have to walk, hence on log truncation. *)
+val active_first_lsns : mgr -> Ivdb_wal.Log_record.lsn list
+val bump_txn_id : mgr -> int -> unit

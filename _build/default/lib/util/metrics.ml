@@ -1,0 +1,30 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let add t name n = cell t name := !(cell t name) + n
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+let reset t = Hashtbl.reset t
+
+let snapshot t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff ~before ~after =
+  let names =
+    List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+  in
+  let find l n = match List.assoc_opt n l with Some v -> v | None -> 0 in
+  List.map (fun n -> (n, find after n - find before n)) names
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot t)

@@ -1,0 +1,22 @@
+(** Named event counters.
+
+    Every subsystem reports into a [Metrics.t] owned by the database
+    instance (no global state, so concurrent engines in one process —
+    e.g. the crash-recovery tests — do not interfere). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 for counters never bumped. *)
+
+val reset : t -> unit
+val snapshot : t -> (string * int) list
+(** Sorted by counter name. *)
+
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter [after - before]; counters absent on one side count as 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  mutable samples : float list; (* retained for percentiles *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { samples = []; n = 0; sum = 0.; sumsq = 0.; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.) in
+    if var <= 0. then 0. else sqrt var
+
+let min t = if t.n = 0 then invalid_arg "Stats.min: empty" else t.mn
+let max t = if t.n = 0 then invalid_arg "Stats.max: empty" else t.mx
+
+let percentile t p =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  let a = Array.of_list t.samples in
+  Array.sort compare a;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+  a.(idx)
+
+let merge a b =
+  {
+    samples = a.samples @ b.samples;
+    n = a.n + b.n;
+    sum = a.sum +. b.sum;
+    sumsq = a.sumsq +. b.sumsq;
+    mn = Float.min a.mn b.mn;
+    mx = Float.max a.mx b.mx;
+  }

@@ -1,0 +1,24 @@
+(** Online summary statistics and percentile estimation for benchmarks. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0. when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0. for fewer than two samples. *)
+
+val min : t -> float
+val max : t -> float
+(** [min]/[max] raise [Invalid_argument] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on retained
+    samples. Raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** Combined statistics of two populations (percentiles use both sample
+    sets). *)

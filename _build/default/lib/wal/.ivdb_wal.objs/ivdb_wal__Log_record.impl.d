@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Buffer Bytes Char Format Ivdb_storage Ivdb_util List String

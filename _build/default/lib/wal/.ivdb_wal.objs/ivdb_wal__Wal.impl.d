@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Array Ivdb_sched Ivdb_util Log_record

@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Ivdb_util Log_record

@@ -1,0 +1,61 @@
+(** Write-ahead log records.
+
+    The logging discipline is ARIES-style *physiological*: redo information
+    is physical (byte diffs against pages, applied by LSN comparison), undo
+    information is logical (the inverse operation, re-executed through the
+    access layer). Logical undo is what makes escrow locking sound: a loser
+    transaction's increment of an aggregate must be compensated by a
+    decrement, because other transactions may have since changed the same
+    bytes under their own (compatible) increment locks. *)
+
+type lsn = int
+
+val nil_lsn : lsn
+(** 0; valid LSNs start at 1. *)
+
+type rid = Ivdb_storage.Heap_file.rid
+
+(** Inverse operation recorded for undo. Table/index/view ids refer to the
+    catalog; the owner of those ids supplies the undo executor. *)
+type logical_undo =
+  | No_undo  (** redo-only (system transactions, structure changes) *)
+  | Undo_heap_insert of { table : int; rid : rid }
+  | Undo_heap_delete of { table : int; rid : rid }
+      (** deletion ghost-marks the record; undo revives the same rid *)
+  | Undo_heap_update of { table : int; rid : rid; before : string }
+  | Undo_bt_insert of { index : int; key : string }
+  | Undo_bt_delete of { index : int; key : string; value : string }
+  | Undo_bt_update of { index : int; key : string; before : string }
+  | Undo_escrow of { view : int; key : string; inverse : string }
+      (** [inverse] is the encoded delta that compensates the original. *)
+
+type page_diffs = (int * Ivdb_storage.Page_diff.t) list
+
+type body =
+  | Begin of { system : bool }
+  | Commit
+  | Abort  (** rollback is starting; End follows when it completes *)
+  | End
+  | Update of { redo : page_diffs; undo : logical_undo }
+  | Clr of { redo : page_diffs; undo_next : lsn }
+      (** compensation: redo-only, chains rollback past the undone record *)
+  | Checkpoint of {
+      active : (int * lsn) list;  (** transaction table: (txn, lastLSN) *)
+      dpt : (int * lsn) list;  (** dirty page table: (page, recLSN) *)
+      catalog : string;  (** opaque catalog snapshot, restored by the owner *)
+    }
+  | Ddl of string  (** opaque catalog delta, replayed by the owner in order *)
+
+type t = { lsn : lsn; txn : int; prev : lsn; body : body }
+
+val encode : t -> string
+(** Binary serialization: length-framed fields, big-endian integers. *)
+
+val decode : string -> t
+(** Inverse of [encode]; raises [Invalid_argument] on malformed input. *)
+
+val byte_size : t -> int
+(** Exact size of {!encode}'s output (computed without materializing it). *)
+
+val pages_touched : t -> int list
+val pp : Format.formatter -> t -> unit

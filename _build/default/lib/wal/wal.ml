@@ -1,0 +1,92 @@
+type t = {
+  mutable records : Log_record.t array; (* records.(lsn - base - 1) *)
+  mutable base : int; (* number of truncated leading records *)
+  mutable len : int; (* retained records *)
+  mutable flushed : Log_record.lsn;
+  mutable last_ckpt : Log_record.lsn; (* of flushed checkpoints *)
+  mutable bytes_flushed : int;
+  metrics : Ivdb_util.Metrics.t;
+  force_cost : int;
+}
+
+let create metrics =
+  {
+    records = [||];
+    base = 0;
+    len = 0;
+    flushed = 0;
+    last_ckpt = 0;
+    bytes_flushed = 0;
+    metrics;
+    force_cost = 100;
+  }
+
+let append t ~txn ~prev body =
+  let lsn = t.base + t.len + 1 in
+  let r = { Log_record.lsn; txn; prev; body } in
+  if t.len = Array.length t.records then begin
+    let cap = max 64 (2 * Array.length t.records) in
+    let bigger = Array.make cap r in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end;
+  t.records.(t.len) <- r;
+  t.len <- t.len + 1;
+  Ivdb_util.Metrics.incr t.metrics "log.append";
+  Ivdb_util.Metrics.add t.metrics "log.bytes" (Log_record.byte_size r);
+  lsn
+
+let get t lsn =
+  if lsn <= t.base || lsn > t.base + t.len then
+    invalid_arg "Wal.get: LSN out of range";
+  t.records.(lsn - t.base - 1)
+
+let last_lsn t = t.base + t.len
+let first_lsn t = t.base + 1
+let record_count t = t.len
+let flushed_lsn t = t.flushed
+
+let force t lsn =
+  let lsn = min lsn (t.base + t.len) in
+  if lsn > t.flushed then begin
+    Ivdb_util.Metrics.incr t.metrics "log.force";
+    Ivdb_sched.Sched.advance t.force_cost;
+    for i = max (t.base + 1) (t.flushed + 1) to lsn do
+      let r = t.records.(i - t.base - 1) in
+      t.bytes_flushed <- t.bytes_flushed + Log_record.byte_size r;
+      match r.Log_record.body with
+      | Log_record.Checkpoint _ -> t.last_ckpt <- r.Log_record.lsn
+      | _ -> ()
+    done;
+    t.flushed <- lsn
+  end
+
+let iter_stable t f =
+  for i = t.base + 1 to t.flushed do
+    f t.records.(i - t.base - 1)
+  done
+
+let last_checkpoint_lsn t = t.last_ckpt
+
+let crash t metrics =
+  let copy = create metrics in
+  let stable_retained = max 0 (t.flushed - t.base) in
+  copy.records <- Array.sub t.records 0 stable_retained;
+  copy.base <- t.base;
+  copy.len <- stable_retained;
+  copy.flushed <- t.flushed;
+  copy.last_ckpt <- t.last_ckpt;
+  copy.bytes_flushed <- t.bytes_flushed;
+  copy
+
+let truncate_before t lsn =
+  let lsn = min lsn (t.flushed + 1) in
+  let drop = lsn - 1 - t.base in
+  if drop > 0 then begin
+    t.records <- Array.sub t.records drop (t.len - drop);
+    t.base <- t.base + drop;
+    t.len <- t.len - drop;
+    Ivdb_util.Metrics.add t.metrics "log.truncated_records" drop
+  end
+
+let stable_byte_size t = t.bytes_flushed

@@ -1,0 +1,53 @@
+(** The write-ahead log: an append-only record sequence with a stable
+    (forced) prefix.
+
+    LSNs are dense indices into the log, starting at 1. A simulated crash
+    keeps only the forced prefix — records past [flushed_lsn] are lost,
+    which is exactly the WAL contract: the buffer pool forces the log up to
+    a page's LSN before writing that page back, and commit forces up to the
+    commit record. *)
+
+type t
+
+val create : Ivdb_util.Metrics.t -> t
+
+val append : t -> txn:int -> prev:Log_record.lsn -> Log_record.body -> Log_record.lsn
+(** Counts [log.append] and [log.bytes]. *)
+
+val get : t -> Log_record.lsn -> Log_record.t
+(** Raises [Invalid_argument] for LSN 0 or beyond the end. *)
+
+val last_lsn : t -> Log_record.lsn
+(** 0 when empty. *)
+
+val flushed_lsn : t -> Log_record.lsn
+
+val force : t -> Log_record.lsn -> unit
+(** Make the prefix up to [lsn] stable. A no-op if already flushed (group
+    commit); otherwise counts [log.force] and charges one I/O of simulated
+    time. *)
+
+val iter_stable : t -> (Log_record.t -> unit) -> unit
+(** The records a post-crash recovery can see, in LSN order. *)
+
+val last_checkpoint_lsn : t -> Log_record.lsn
+(** LSN of the most recent *stable* checkpoint record; 0 if none. *)
+
+val crash : t -> Ivdb_util.Metrics.t -> t
+(** The log as found after a crash: stable prefix only. *)
+
+val truncate_before : t -> Log_record.lsn -> unit
+(** Discard records with LSN < the argument. The caller guarantees they
+    will never be needed again: nothing earlier than the safe point
+    min(checkpoint LSN, min DPT recLSN, min first-LSN of active
+    transactions). Reading a truncated LSN raises [Invalid_argument].
+    Counts [log.truncated_records]. *)
+
+val first_lsn : t -> Log_record.lsn
+(** Smallest retained LSN ([last_lsn t + 1] when empty or fully
+    truncated). *)
+
+val record_count : t -> int
+(** Retained records. *)
+
+val stable_byte_size : t -> int

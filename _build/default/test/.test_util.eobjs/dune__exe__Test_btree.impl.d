@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Char Hashtbl Ivdb_btree Ivdb_recovery Ivdb_relation Ivdb_test_support Ivdb_txn Ivdb_util Ivdb_wal List Map Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ivdb_core Ivdb_relation List Option QCheck QCheck_alcotest String

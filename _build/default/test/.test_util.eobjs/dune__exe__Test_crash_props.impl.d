@@ -1,0 +1,1 @@
+test/test_crash_props.ml: Alcotest Array Ivdb Ivdb_core Ivdb_relation Ivdb_txn Ivdb_wal QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Array Ivdb Ivdb_core Ivdb_lock Ivdb_relation Ivdb_sched Ivdb_txn Ivdb_util Ivdb_wal List Option Printf Seq

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Ivdb_btree Ivdb_exec Ivdb_relation Ivdb_test_support Ivdb_txn Ivdb_util List QCheck QCheck_alcotest

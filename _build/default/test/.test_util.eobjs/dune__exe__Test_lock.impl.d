@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Ivdb_lock Ivdb_sched Ivdb_util List

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Format Ivdb_relation List QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_serializability.ml: Alcotest Array Hashtbl Ivdb Ivdb_core Ivdb_relation Ivdb_sched Ivdb_txn Ivdb_util List Printf

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Ivdb Ivdb_core Ivdb_relation Ivdb_sql Ivdb_wal List Printf

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ivdb Ivdb_relation Ivdb_sched Ivdb_sql Ivdb_util List String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Hashtbl Ivdb_storage Ivdb_util List QCheck QCheck_alcotest String

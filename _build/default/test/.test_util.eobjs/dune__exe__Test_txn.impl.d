@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Ivdb_btree Ivdb_lock Ivdb_recovery Ivdb_sched Ivdb_storage Ivdb_test_support Ivdb_txn Ivdb_util Ivdb_wal List Printf

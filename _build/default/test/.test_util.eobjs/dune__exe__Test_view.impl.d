@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Ivdb Ivdb_core Ivdb_relation Ivdb_sched Ivdb_txn Ivdb_util Ivdb_wal List Printf Seq

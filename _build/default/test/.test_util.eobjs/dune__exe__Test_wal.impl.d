@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Format Ivdb_storage Ivdb_util Ivdb_wal List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/support/harness.ml: Int64 Ivdb_lock Ivdb_storage Ivdb_txn Ivdb_util Ivdb_wal

@@ -1,0 +1,109 @@
+(* V3 as a property: whatever the interleaving, a crash at a stable-log
+   point recovers to a state where every indexed view equals a from-scratch
+   recomputation, and the engine keeps working afterwards. *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Workload = Ivdb.Workload
+module Maintain = Ivdb_core.Maintain
+module Txn = Ivdb_txn.Txn
+module Wal = Ivdb_wal.Wal
+module Value = Ivdb_relation.Value
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let spec_of seed strategy =
+  {
+    Workload.default with
+    seed;
+    strategy;
+    mpl = 4;
+    txns_per_worker = 15;
+    ops_per_txn = 3;
+    delete_fraction = 0.25;
+    n_groups = 8;
+    theta = 0.8;
+    initial_rows = 30;
+  }
+
+let strategies = [| Maintain.Exclusive; Maintain.Escrow; Maintain.Deferred |]
+
+let consistent_after db v =
+  (match Database.view_strategy db v with
+  | Maintain.Deferred -> Database.transact db (fun tx -> ignore (Query.refresh db tx v))
+  | Maintain.Exclusive | Maintain.Escrow -> ());
+  Workload.check_consistency db v
+
+(* crash with the full log forced (in-flight txns become losers) *)
+let prop_crash_forced =
+  QCheck.Test.make ~name:"crash with forced log: V1 after recovery" ~count:15
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let spec = spec_of seed strategy in
+      let db, sales, views = Workload.setup spec in
+      let _ = Workload.run_on db sales views spec in
+      (* leave losers in flight *)
+      let mgr = Database.mgr db in
+      (* distinct groups per loser: they run sequentially outside the
+         scheduler, so they must not block on one another *)
+      for k = 1 to 3 do
+        let tx = Txn.begin_txn mgr in
+        ignore
+          (Table.insert db tx sales
+             [| Value.Int (-900 - k); Value.Int (900 + k); Value.Int 5; Value.Float 1. |])
+      done;
+      Wal.force (Database.wal db) (Wal.last_lsn (Database.wal db));
+      let db' = Database.crash db in
+      let v' = Database.view db' "sales_by_product_0" in
+      consistent_after db' v')
+
+(* crash losing the unforced tail (only committed work survives) *)
+let prop_crash_unforced_tail =
+  QCheck.Test.make ~name:"crash losing unforced tail: V1 after recovery" ~count:15
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let spec = spec_of (seed + 77) strategy in
+      let db, sales, views = Workload.setup spec in
+      let _ = Workload.run_on db sales views spec in
+      (* unforced in-flight work simply evaporates *)
+      let mgr = Database.mgr db in
+      let tx = Txn.begin_txn mgr in
+      ignore
+        (Table.insert db tx sales
+           [| Value.Int (-999); Value.Int 1; Value.Int 5; Value.Float 1. |]);
+      let db' = Database.crash db in
+      let v' = Database.view db' "sales_by_product_0" in
+      consistent_after db' v')
+
+(* double crash with work in between *)
+let prop_crash_twice =
+  QCheck.Test.make ~name:"crash, work, crash again: still consistent" ~count:10
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let spec = spec_of (seed + 313) strategy in
+      let db, sales, views = Workload.setup spec in
+      let _ = Workload.run_on db sales views spec in
+      let db' = Database.crash db in
+      let sales' = Database.table db' "sales" in
+      ignore (Database.gc db');
+      Database.transact db' (fun tx ->
+          for k = 1 to 5 do
+            ignore
+              (Table.insert db' tx sales'
+                 [| Value.Int (1000 + k); Value.Int 2; Value.Int 1; Value.Float 2. |])
+          done);
+      let db'' = Database.crash db' in
+      let v'' = Database.view db'' "sales_by_product_0" in
+      consistent_after db'' v'')
+
+let () =
+  Alcotest.run "crash-props"
+    [
+      ( "properties",
+        [ qtest prop_crash_forced; qtest prop_crash_unforced_tail; qtest prop_crash_twice ]
+      );
+    ]

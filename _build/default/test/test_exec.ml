@@ -1,0 +1,175 @@
+module Iter = Ivdb_exec.Iter
+module Row = Ivdb_relation.Row
+module Value = Ivdb_relation.Value
+module Expr = Ivdb_relation.Expr
+module Key_codec = Ivdb_relation.Key_codec
+module Btree = Ivdb_btree.Btree
+module Txn = Ivdb_txn.Txn
+module Harness = Ivdb_test_support.Harness
+module Rng = Ivdb_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let r2 a b = [| Value.Int a; Value.Int b |]
+let rows l = List.to_seq (List.map (fun (a, b) -> r2 a b) l)
+let ints seq = List.map (fun r -> (Value.to_int r.(0), Value.to_int r.(1))) (List.of_seq seq)
+
+let test_filter_project_map_limit () =
+  let input () = rows [ (1, 10); (2, 20); (3, 30); (4, 40) ] in
+  let big = Expr.Cmp (Expr.Ge, Expr.Col 1, Expr.int 20) in
+  check
+    Alcotest.(list (pair int int))
+    "filter" [ (2, 20); (3, 30); (4, 40) ]
+    (ints (Iter.filter big (input ())));
+  let projected = Iter.project [| 1 |] (input ()) in
+  check Alcotest.int "project arity" 1 (Array.length (List.hd (Iter.to_list projected)));
+  check
+    Alcotest.(list (pair int int))
+    "map" [ (2, 10); (3, 20); (4, 30); (5, 40) ]
+    (ints (Iter.map (fun r -> r2 (Value.to_int r.(0) + 1) (Value.to_int r.(1))) (input ())));
+  check Alcotest.int "limit" 2 (Iter.count (Iter.limit 2 (input ())))
+
+let test_nested_loop_join () =
+  let outer = rows [ (1, 0); (2, 0) ] in
+  let inner () = rows [ (1, 100); (2, 200); (3, 300) ] in
+  (* join on outer.col0 = inner.col0 (inner cols shifted by 2) *)
+  let on = Expr.Cmp (Expr.Eq, Expr.Col 0, Expr.Col 2) in
+  let out = Iter.to_list (Iter.nested_loop_join ~on outer inner) in
+  check Alcotest.int "matches" 2 (List.length out);
+  check Alcotest.int "joined arity" 4 (Array.length (List.hd out))
+
+let test_hash_join () =
+  let left = rows [ (1, 11); (2, 22); (2, 23); (9, 99) ] in
+  let right = rows [ (1, 100); (2, 200) ] in
+  let out =
+    Iter.to_list (Iter.hash_join ~left_key:[| 0 |] ~right_key:[| 0 |] left right)
+  in
+  (* 1 match for key 1, two left dups for key 2, none for 9 *)
+  check Alcotest.int "matches" 3 (List.length out);
+  List.iter
+    (fun r -> check Alcotest.int "keys equal" (Value.to_int r.(0)) (Value.to_int r.(2)))
+    out
+
+let test_merge_join_matches_hash_join () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let mk n = List.init n (fun _ -> (Rng.int rng 8, Rng.int rng 100)) in
+    let l = List.sort compare (mk 20) and r = List.sort compare (mk 15) in
+    let left () = rows l and right () = rows r in
+    let normalize out =
+      List.sort compare
+        (List.map
+           (fun row -> Array.to_list (Array.map (fun v -> Value.to_int v) row))
+           (Iter.to_list out))
+    in
+    let mj =
+      normalize (Iter.merge_join ~left_key:[| 0 |] ~right_key:[| 0 |] (left ()) (right ()))
+    in
+    let hj =
+      normalize (Iter.hash_join ~left_key:[| 0 |] ~right_key:[| 0 |] (left ()) (right ()))
+    in
+    assert (mj = hj)
+  done
+
+let test_distinct () =
+  let input = rows [ (1, 1); (2, 2); (1, 1); (3, 3); (2, 2) ] in
+  check
+    Alcotest.(list (pair int int))
+    "dedup" [ (1, 1); (2, 2); (3, 3) ]
+    (ints (Iter.distinct input))
+
+let test_union_all () =
+  let a = rows [ (1, 1) ] and b = rows [ (2, 2) ] and c = rows [] in
+  check Alcotest.int "concat" 2 (Iter.count (Iter.union_all [ a; c; b ]))
+
+let test_sort_and_top_k () =
+  let input () = rows [ (3, 1); (1, 2); (2, 3); (5, 4); (4, 5) ] in
+  check
+    Alcotest.(list (pair int int))
+    "sort asc" [ (1, 2); (2, 3); (3, 1); (4, 5); (5, 4) ]
+    (ints (Iter.sort ~by:[| 0 |] (input ())));
+  check
+    Alcotest.(list (pair int int))
+    "top 2 desc" [ (5, 4); (4, 5) ]
+    (ints (Iter.top_k ~by:[| 0 |] ~desc:true 2 (input ())))
+
+let test_sort_stability () =
+  let input = rows [ (1, 3); (1, 1); (1, 2) ] in
+  check
+    Alcotest.(list (pair int int))
+    "stable" [ (1, 3); (1, 1); (1, 2) ]
+    (ints (Iter.sort ~by:[| 0 |] input))
+
+(* --- index_scan over a real B-tree ------------------------------------------- *)
+
+let make_tree_with n =
+  let h = Harness.make ~pool_capacity:128 () in
+  let t = Btree.create h.Harness.mgr ~index_id:1 in
+  let tx = Txn.begin_txn h.Harness.mgr in
+  for i = 1 to n do
+    Btree.insert tx t
+      ~key:(Key_codec.encode [| Value.Int i |])
+      ~value:(Row.encode (r2 i (i * 10)))
+  done;
+  Txn.commit h.Harness.mgr tx;
+  t
+
+let decode _k v = Row.decode v
+
+let test_index_scan_range () =
+  let t = make_tree_with 100 in
+  let lo = Key_codec.encode [| Value.Int 10 |] in
+  let hi = Key_codec.encode [| Value.Int 20 |] in
+  let out = Iter.to_list (Iter.index_scan t ~lo ~hi ~decode ()) in
+  check Alcotest.int "half-open range" 10 (List.length out);
+  check Alcotest.int "first" 10 (Value.to_int (List.hd out).(0));
+  (* unbounded *)
+  check Alcotest.int "full scan" 100 (Iter.count (Iter.index_scan t ~decode ()))
+
+let test_index_scan_lazy () =
+  let t = make_tree_with 100 in
+  let touched = ref 0 in
+  let scan =
+    Iter.index_scan t ~on_entry:(fun _ _ -> incr touched) ~decode ()
+  in
+  check Alcotest.int "nothing touched before demand" 0 !touched;
+  ignore (Iter.to_list (Iter.limit 5 scan));
+  check Alcotest.int "only demanded entries touched" 5 !touched
+
+let prop_pipeline_equivalence =
+  (* filter-then-sort equals sort-then-filter *)
+  QCheck.Test.make ~name:"operator commutation" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let data = List.init 40 (fun _ -> (Rng.int rng 20, Rng.int rng 100)) in
+      let pred = Expr.Cmp (Expr.Lt, Expr.Col 0, Expr.int 10) in
+      let a = ints (Iter.sort ~by:[| 0 |] (Iter.filter pred (rows data))) in
+      let b = ints (Iter.filter pred (Iter.sort ~by:[| 0 |] (rows data))) in
+      a = b)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "filter/project/map/limit" `Quick
+            test_filter_project_map_limit;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "union_all" `Quick test_union_all;
+          Alcotest.test_case "sort and top_k" `Quick test_sort_and_top_k;
+          Alcotest.test_case "sort stability" `Quick test_sort_stability;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "nested loop" `Quick test_nested_loop_join;
+          Alcotest.test_case "hash join" `Quick test_hash_join;
+          Alcotest.test_case "merge join = hash join" `Quick
+            test_merge_join_matches_hash_join;
+        ] );
+      ( "index-scan",
+        [
+          Alcotest.test_case "range" `Quick test_index_scan_range;
+          Alcotest.test_case "lazy" `Quick test_index_scan_lazy;
+        ] );
+      ("properties", [ qtest prop_pipeline_equivalence ]);
+    ]

@@ -1,0 +1,160 @@
+module Sched = Ivdb_sched.Sched
+
+let check = Alcotest.check
+
+let test_run_returns () =
+  check Alcotest.int "result" 42 (Sched.run (fun () -> 42))
+
+let test_spawn_runs_all () =
+  let hits = ref [] in
+  Sched.run (fun () ->
+      for i = 1 to 5 do
+        ignore (Sched.spawn (fun () -> hits := i :: !hits))
+      done);
+  check Alcotest.int "all fibers ran" 5 (List.length !hits)
+
+let trace_of ~seed =
+  let trace = ref [] in
+  Sched.run ~seed (fun () ->
+      for i = 1 to 4 do
+        ignore
+          (Sched.spawn (fun () ->
+               trace := (i, 'a') :: !trace;
+               Sched.yield ();
+               trace := (i, 'b') :: !trace))
+      done);
+  List.rev !trace
+
+let test_determinism_same_seed () =
+  check
+    Alcotest.(list (pair int char))
+    "identical traces" (trace_of ~seed:7) (trace_of ~seed:7)
+
+let test_determinism_seed_matters () =
+  let t1 = trace_of ~seed:1 and t2 = trace_of ~seed:2 in
+  Alcotest.(check bool) "seeds change interleaving" true (t1 <> t2)
+
+let test_fifo_policy_round_robin () =
+  let trace = ref [] in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      ignore (Sched.spawn (fun () -> trace := 1 :: !trace));
+      ignore (Sched.spawn (fun () -> trace := 2 :: !trace));
+      ignore (Sched.spawn (fun () -> trace := 3 :: !trace)));
+  check Alcotest.(list int) "fifo order" [ 1; 2; 3 ] (List.rev !trace)
+
+let test_suspend_wake () =
+  let woken = ref false in
+  let waker = ref (fun () -> ()) in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      ignore
+        (Sched.spawn (fun () ->
+             Sched.suspend (fun wake _cancel -> waker := wake);
+             woken := true));
+      ignore (Sched.spawn (fun () -> !waker ())));
+  Alcotest.(check bool) "resumed after wake" true !woken
+
+exception Killed
+
+let test_suspend_cancel () =
+  let observed = ref false in
+  let canceller = ref (fun _ -> ()) in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      ignore
+        (Sched.spawn (fun () ->
+             (try Sched.suspend (fun _wake cancel -> canceller := cancel)
+              with Killed -> observed := true)));
+      ignore (Sched.spawn (fun () -> !canceller Killed)));
+  Alcotest.(check bool) "exception delivered at suspension" true !observed
+
+let test_cancel_then_wake_ignored () =
+  let resumes = ref 0 in
+  let cb = ref (fun () -> ()) and cc = ref (fun _ -> ()) in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      ignore
+        (Sched.spawn (fun () ->
+             (try
+                Sched.suspend (fun wake cancel ->
+                    cb := wake;
+                    cc := cancel)
+              with Killed -> ());
+             incr resumes));
+      ignore
+        (Sched.spawn (fun () ->
+             !cc Killed;
+             !cb ())));
+  check Alcotest.int "only one resumption" 1 !resumes
+
+let test_stuck_detection () =
+  Alcotest.check_raises "stuck" (Sched.Stuck 1) (fun () ->
+      Sched.run (fun () ->
+          ignore (Sched.spawn (fun () -> Sched.suspend (fun _ _ -> ())))))
+
+let test_clock_advances () =
+  let start, finish =
+    Sched.run (fun () ->
+        let a = Sched.now () in
+        Sched.advance 500;
+        (a, Sched.now ()))
+  in
+  Alcotest.(check bool) "advance adds" true (finish >= start + 500)
+
+let test_self_ids () =
+  let ids = ref [] in
+  Sched.run (fun () ->
+      ids := Sched.self () :: !ids;
+      for _ = 1 to 3 do
+        ignore (Sched.spawn (fun () -> ids := Sched.self () :: !ids))
+      done);
+  let sorted = List.sort_uniq compare !ids in
+  check Alcotest.int "distinct fiber ids" 4 (List.length sorted)
+
+let test_fiber_exception_propagates () =
+  Alcotest.check_raises "propagates" Killed (fun () ->
+      Sched.run (fun () -> ignore (Sched.spawn (fun () -> raise Killed))))
+
+let test_outside_run_fallbacks () =
+  Sched.yield ();
+  check Alcotest.int "self" 0 (Sched.self ());
+  check Alcotest.int "now" 0 (Sched.now ());
+  Sched.advance 10;
+  check Alcotest.int "alive" 1 (Sched.fibers_alive ())
+
+let test_nested_spawn () =
+  let count = ref 0 in
+  Sched.run (fun () ->
+      ignore
+        (Sched.spawn (fun () ->
+             incr count;
+             ignore (Sched.spawn (fun () -> incr count)))));
+  check Alcotest.int "nested fibers run" 2 !count
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "run returns" `Quick test_run_returns;
+          Alcotest.test_case "spawn runs all" `Quick test_spawn_runs_all;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "self ids" `Quick test_self_ids;
+          Alcotest.test_case "exception propagates" `Quick test_fiber_exception_propagates;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same trace" `Quick test_determinism_same_seed;
+          Alcotest.test_case "seed matters" `Quick test_determinism_seed_matters;
+          Alcotest.test_case "fifo round robin" `Quick test_fifo_policy_round_robin;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "suspend/wake" `Quick test_suspend_wake;
+          Alcotest.test_case "suspend/cancel" `Quick test_suspend_cancel;
+          Alcotest.test_case "cancel then wake ignored" `Quick test_cancel_then_wake_ignored;
+          Alcotest.test_case "stuck detection" `Quick test_stuck_detection;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "advance" `Quick test_clock_advances;
+          Alcotest.test_case "outside run fallbacks" `Quick test_outside_run_fallbacks;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* V4: committed histories are conflict-serializable.
+
+   A concurrent banking workload is run through wrappers that record every
+   logical operation (read / write / increment) with a global sequence
+   number; only committed attempts contribute. The conflict graph is then
+   checked for acyclicity.
+
+   The increment kind encodes the paper's theory: escrow increments
+   commute, so I-I pairs on the same item do NOT conflict (they take
+   compatible E locks and their order is immaterial), while I-R and I-W
+   pairs do. Treating increments as plain writes would be the classical —
+   and here too strong — model. *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Sched = Ivdb_sched.Sched
+module Txn = Ivdb_txn.Txn
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+module Rng = Ivdb_util.Rng
+
+
+
+type kind = R | W | I
+
+type event = { seq : int; etxn : int; kind : kind; item : string }
+
+let conflicts a b =
+  a.item = b.item
+  && a.etxn <> b.etxn
+  &&
+  match (a.kind, b.kind) with
+  | R, R -> false
+  | I, I -> false (* increments commute *)
+  | _ -> true
+
+(* Edges t1 -> t2 for conflicting ops with a.seq < b.seq; cycle check by
+   depth-first search. *)
+let acyclic events =
+  let events = List.sort (fun a b -> compare a.seq b.seq) events in
+  let edges = Hashtbl.create 64 in
+  let nodes = Hashtbl.create 64 in
+  let rec pairs = function
+    | [] -> ()
+    | e :: rest ->
+        Hashtbl.replace nodes e.etxn ();
+        List.iter
+          (fun e' -> if conflicts e e' then Hashtbl.replace edges (e.etxn, e'.etxn) ())
+          rest;
+        pairs rest
+  in
+  pairs events;
+  let succs t =
+    Hashtbl.fold (fun (a, b) () acc -> if a = t then b :: acc else acc) edges []
+  in
+  let color = Hashtbl.create 64 in
+  let rec dfs t =
+    match Hashtbl.find_opt color t with
+    | Some `Done -> true
+    | Some `Active -> false (* back edge: cycle *)
+    | None ->
+        Hashtbl.replace color t `Active;
+        let ok = List.for_all dfs (succs t) in
+        Hashtbl.replace color t `Done;
+        ok
+  in
+  Hashtbl.fold (fun t () ok -> ok && dfs t) nodes true
+
+(* --- the instrumented workload ---------------------------------------------- *)
+
+let run_history ~seed ~strategy =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let accounts =
+    Database.create_table db ~name:"accounts"
+      ~cols:
+        [
+          { Schema.name = "acct"; ty = Value.TInt; nullable = false };
+          { Schema.name = "branch"; ty = Value.TInt; nullable = false };
+          { Schema.name = "balance"; ty = Value.TInt; nullable = false };
+        ]
+  in
+  Database.create_index db accounts ~col:"acct" ~name:"ix_acct";
+  let schema = Database.schema db accounts in
+  let totals =
+    Database.create_view db ~name:"totals" ~group_by:[ "branch" ]
+      ~aggs:[ View_def.Sum (Expr.col schema "balance") ]
+      ~source:(Database.From (accounts, None))
+      ~strategy ()
+  in
+  let n_accounts = 8 and n_branches = 3 in
+  Database.transact db (fun tx ->
+      for a = 0 to n_accounts - 1 do
+        ignore
+          (Table.insert db tx accounts
+             [| Value.Int a; Value.Int (a mod n_branches); Value.Int 100 |])
+      done);
+  let seq = ref 0 in
+  let history = ref [] in
+  let next_seq () =
+    incr seq;
+    !seq
+  in
+  Sched.run ~seed (fun () ->
+      for w = 1 to 6 do
+        ignore
+          (Sched.spawn (fun () ->
+               let rng = Rng.create ((seed * 131) + w) in
+               for _ = 1 to 12 do
+                 (try
+                    (* buffer this attempt's ops; keep them only on commit *)
+                    let attempt = ref [] in
+                    let note kind item =
+                      attempt :=
+                        { seq = next_seq (); etxn = 0; kind; item } :: !attempt
+                    in
+                    let tid = ref 0 in
+                    Database.transact db ~retries:0 (fun tx ->
+                        tid := Txn.id tx;
+                        (* ops are recorded immediately AFTER they complete,
+                           while their locks are still held: for conflicting
+                           (lock-ordered) operations the sequence numbers
+                           then reflect the true execution order *)
+                        if Rng.float rng < 0.3 then begin
+                          (* reader: branch total *)
+                          let b = Rng.int rng n_branches in
+                          ignore (Query.view_lookup db (Some tx) totals [| Value.Int b |]);
+                          note R (Printf.sprintf "group:%d" b);
+                          Sched.yield ()
+                        end
+                        else begin
+                          (* deposit: read-modify-write one account *)
+                          let a = Rng.int rng n_accounts in
+                          match Table.find db (Some tx) accounts ~col:"acct" (Value.Int a) with
+                          | [ (rid, row) ] ->
+                              note R (Printf.sprintf "acct:%d" a);
+                              Sched.yield ();
+                              let bal = Value.to_int row.(2) + 1 in
+                              ignore
+                                (Table.update db tx accounts rid
+                                   [| row.(0); row.(1); Value.Int bal |]);
+                              note W (Printf.sprintf "acct:%d" a);
+                              note I
+                                (Printf.sprintf "group:%d" (Value.to_int row.(1)));
+                              Sched.yield ()
+                          | _ -> failwith "account missing"
+                        end);
+                    history :=
+                      List.map (fun e -> { e with etxn = !tid }) !attempt @ !history
+                  with Txn.Conflict _ -> ());
+                 Sched.yield ()
+               done))
+      done);
+  (db, totals, !history)
+
+let test_histories_serializable () =
+  List.iter
+    (fun strategy ->
+      for seed = 1 to 5 do
+        let db, totals, history = run_history ~seed ~strategy in
+        Alcotest.(check bool)
+          (Printf.sprintf "conflict graph acyclic (%s, seed %d)"
+             (Maintain.strategy_to_string strategy) seed)
+          true (acyclic history);
+        Alcotest.(check bool) "V1 too" true (Ivdb.Workload.check_consistency db totals)
+      done)
+    [ Maintain.Exclusive; Maintain.Escrow ]
+
+(* The checker itself must be able to see cycles. *)
+let test_checker_detects_cycles () =
+  let h =
+    [
+      { seq = 1; etxn = 1; kind = R; item = "x" };
+      { seq = 2; etxn = 2; kind = W; item = "x" };
+      (* t1 -> t2 on x *)
+      { seq = 3; etxn = 2; kind = R; item = "y" };
+      { seq = 4; etxn = 1; kind = W; item = "y" };
+      (* t2 -> t1 on y: cycle *)
+    ]
+  in
+  Alcotest.(check bool) "cycle found" false (acyclic h)
+
+let test_increments_commute_in_checker () =
+  let h =
+    [
+      { seq = 1; etxn = 1; kind = I; item = "g" };
+      { seq = 2; etxn = 2; kind = I; item = "g" };
+      { seq = 3; etxn = 2; kind = W; item = "a" };
+      { seq = 4; etxn = 1; kind = R; item = "a" };
+      (* with I-I conflicting this would be a cycle; increments commute, so
+         the only edge is t2 -> t1 on a *)
+    ]
+  in
+  Alcotest.(check bool) "no cycle thanks to commutativity" true (acyclic h);
+  (* sanity: replacing I by W does create the cycle *)
+  let h' = List.map (fun e -> if e.kind = I then { e with kind = W } else e) h in
+  Alcotest.(check bool) "naive model rejects it" false (acyclic h')
+
+let () =
+  Alcotest.run "serializability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "detects cycles" `Quick test_checker_detects_cycles;
+          Alcotest.test_case "increment commutativity" `Quick
+            test_increments_commute_in_checker;
+        ] );
+      ( "histories",
+        [
+          Alcotest.test_case "concurrent histories are serializable" `Quick
+            test_histories_serializable;
+        ] );
+    ]

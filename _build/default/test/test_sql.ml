@@ -1,0 +1,462 @@
+module Sql = Ivdb_sql.Sql
+module Parser = Ivdb_sql.Sql_parser
+module Lexer = Ivdb_sql.Sql_lexer
+module A = Ivdb_sql.Sql_ast
+module Database = Ivdb.Database
+module Value = Ivdb_relation.Value
+
+let check = Alcotest.check
+
+let config = { Database.default_config with read_cost = 0; write_cost = 0 }
+
+let fresh () = Sql.session (Database.create ~config ())
+
+let exec s sql = Sql.exec s sql
+
+let rows_of s sql =
+  match exec s sql with
+  | Sql.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let header_of s sql =
+  match exec s sql with
+  | Sql.Rows { header; _ } -> header
+  | _ -> Alcotest.fail "expected rows"
+
+let affected s sql =
+  match exec s sql with
+  | Sql.Affected n -> n
+  | _ -> Alcotest.fail "expected affected count"
+
+let ints row = Array.to_list (Array.map Value.to_int row)
+
+(* --- lexer ------------------------------------------------------------------ *)
+
+let test_lexer () =
+  let toks = Lexer.tokenize "SELECT a, 'it''s' FROM t WHERE x <= 2.5 -- c" in
+  check Alcotest.int "token count" 11 (List.length toks);
+  Alcotest.(check bool) "string escape" true
+    (List.exists (function Lexer.String "it's" -> true | _ -> false) toks);
+  Alcotest.(check bool) "float" true
+    (List.exists (function Lexer.Float 2.5 -> true | _ -> false) toks);
+  Alcotest.check_raises "bad char" (Lexer.Lex_error "unexpected character '@'")
+    (fun () -> ignore (Lexer.tokenize "a @ b"))
+
+(* --- parser ------------------------------------------------------------------ *)
+
+let test_parse_select () =
+  match Parser.parse "SELECT a, b FROM t WHERE a = 1 AND b > 2 ORDER BY b DESC LIMIT 3" with
+  | A.Select q ->
+      check Alcotest.int "items" 2 (List.length q.A.items);
+      Alcotest.(check bool) "where" true (q.A.where <> None);
+      Alcotest.(check bool) "order desc" true
+        (match q.A.order with Some o -> o.A.ob_desc | None -> false);
+      check Alcotest.(option int) "limit" (Some 3) q.A.limit
+  | _ -> Alcotest.fail "not a select"
+
+let test_parse_precedence () =
+  (* a = 1 OR b = 2 AND c = 3  ==  a=1 OR (b=2 AND c=3) *)
+  match Parser.parse_expr "a = 1 OR b = 2 AND c = 3" with
+  | A.Binop (A.Or, _, A.Binop (A.And, _, _)) -> ()
+  | e -> Alcotest.failf "wrong precedence: %a" A.pp_expr e
+
+let test_parse_arith_precedence () =
+  match Parser.parse_expr "1 + 2 * 3" with
+  | A.Binop (A.Add, A.Lit (A.L_int 1), A.Binop (A.Mul, _, _)) -> ()
+  | e -> Alcotest.failf "wrong precedence: %a" A.pp_expr e
+
+let test_parse_view () =
+  match
+    Parser.parse
+      "CREATE VIEW v AS SELECT p, COUNT(*), SUM(q) FROM t GROUP BY p USING DEFERRED \
+       REFRESH THRESHOLD 10"
+  with
+  | A.Create_view { strat = A.S_deferred (Some 10); query; _ } ->
+      check Alcotest.(list string) "group by" [ "p" ] query.A.group_by
+  | _ -> Alcotest.fail "bad view parse"
+
+let test_parse_errors () =
+  Alcotest.(check bool) "trailing" true
+    (match Parser.parse "SELECT a FROM t t2" with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "missing from" true
+    (match Parser.parse "SELECT a" with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false)
+
+(* --- end to end ---------------------------------------------------------------- *)
+
+let setup_sales () =
+  let s = fresh () in
+  ignore (exec s "CREATE TABLE sales (id INT NOT NULL, product TEXT NOT NULL, qty INT NOT NULL)");
+  ignore
+    (exec s
+       "INSERT INTO sales VALUES (1, 'apple', 3), (2, 'pear', 2), (3, 'apple', 4), \
+        (4, 'fig', 9)");
+  s
+
+let test_select_where_order_limit () =
+  let s = setup_sales () in
+  let rows = rows_of s "SELECT id, qty FROM sales WHERE qty >= 3 ORDER BY qty DESC LIMIT 2" in
+  check Alcotest.(list (list int)) "rows" [ [ 4; 9 ]; [ 3; 4 ] ] (List.map ints rows)
+
+let test_select_star_header () =
+  let s = setup_sales () in
+  check Alcotest.(list string) "header" [ "id"; "product"; "qty" ]
+    (header_of s "SELECT * FROM sales")
+
+let test_group_by_adhoc () =
+  let s = setup_sales () in
+  let rows = rows_of s "SELECT product, COUNT(*), SUM(qty) FROM sales GROUP BY product" in
+  let by_product =
+    List.map
+      (fun r -> (Value.to_string r.(0), Value.to_int r.(1), Value.to_int r.(2)))
+      rows
+  in
+  Alcotest.(check bool) "apple row" true (List.mem ("\"apple\"", 2, 7) by_product);
+  Alcotest.(check bool) "fig row" true (List.mem ("\"fig\"", 1, 9) by_product)
+
+let test_indexed_view_via_sql () =
+  let s = setup_sales () in
+  ignore
+    (exec s
+       "CREATE VIEW by_product AS SELECT product, COUNT(*), SUM(qty) FROM sales GROUP \
+        BY product USING ESCROW");
+  (* maintained incrementally *)
+  ignore (exec s "INSERT INTO sales VALUES (5, 'pear', 10)");
+  let rows = rows_of s "SELECT * FROM by_product WHERE product = 'pear'" in
+  check Alcotest.int "one group" 1 (List.length rows);
+  let r = List.hd rows in
+  check Alcotest.int "count" 2 (Value.to_int r.(1));
+  check Alcotest.int "sum" 12 (Value.to_int r.(2));
+  (* the view equals the on-demand aggregation *)
+  let view = rows_of s "SELECT * FROM by_product" in
+  let adhoc = rows_of s "SELECT product, COUNT(*), SUM(qty) FROM sales GROUP BY product" in
+  check Alcotest.int "same groups" (List.length adhoc) (List.length view)
+
+let test_update_maintains_view () =
+  let s = setup_sales () in
+  ignore
+    (exec s
+       "CREATE VIEW v AS SELECT product, SUM(qty) FROM sales GROUP BY product USING \
+        EXCLUSIVE");
+  check Alcotest.int "updated" 2 (affected s "UPDATE sales SET qty = qty + 1 WHERE product = 'apple'");
+  let rows = rows_of s "SELECT * FROM v WHERE product = 'apple'" in
+  check Alcotest.int "sum" 9 (Value.to_int (List.hd rows).(2))
+
+let test_delete_with_view () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE VIEW v AS SELECT product, SUM(qty) FROM sales GROUP BY product USING ESCROW");
+  check Alcotest.int "deleted" 2 (affected s "DELETE FROM sales WHERE product = 'apple'");
+  let rows = rows_of s "SELECT * FROM v" in
+  check Alcotest.int "apple gone" 2 (List.length rows)
+
+let test_txn_control () =
+  let s = setup_sales () in
+  ignore (exec s "BEGIN");
+  Alcotest.(check bool) "in txn" true (Sql.in_transaction s);
+  ignore (exec s "INSERT INTO sales VALUES (9, 'kiwi', 1)");
+  ignore (exec s "ROLLBACK");
+  check Alcotest.int "rolled back" 0
+    (List.length (rows_of s "SELECT id FROM sales WHERE product = 'kiwi'"));
+  ignore (exec s "BEGIN");
+  ignore (exec s "INSERT INTO sales VALUES (9, 'kiwi', 1)");
+  ignore (exec s "COMMIT");
+  check Alcotest.int "committed" 1
+    (List.length (rows_of s "SELECT id FROM sales WHERE product = 'kiwi'"))
+
+let test_deferred_view_sql () =
+  let s = setup_sales () in
+  ignore
+    (exec s
+       "CREATE VIEW v AS SELECT product, SUM(qty) FROM sales GROUP BY product USING \
+        DEFERRED REFRESH THRESHOLD 0");
+  ignore (exec s "INSERT INTO sales VALUES (10, 'plum', 5)");
+  (* threshold 0: the first transactional reader refreshes *)
+  ignore (exec s "BEGIN");
+  let rows = rows_of s "SELECT * FROM v WHERE product = 'plum'" in
+  ignore (exec s "COMMIT");
+  check Alcotest.int "auto-refreshed" 1 (List.length rows)
+
+let test_join_select () =
+  let s = fresh () in
+  ignore (exec s "CREATE TABLE o (oid INT NOT NULL, cust TEXT NOT NULL)");
+  ignore (exec s "CREATE TABLE i (order_id INT NOT NULL, amt INT NOT NULL)");
+  ignore (exec s "INSERT INTO o VALUES (1, 'ada'), (2, 'bob')");
+  ignore (exec s "INSERT INTO i VALUES (1, 10), (1, 20), (2, 5)");
+  let rows =
+    rows_of s "SELECT cust, SUM(amt) FROM o JOIN i ON oid = order_id GROUP BY cust"
+  in
+  let find c =
+    List.find_map
+      (fun r -> if Value.to_string r.(0) = c then Some (Value.to_int r.(1)) else None)
+      rows
+  in
+  check Alcotest.(option int) "ada" (Some 30) (find "\"ada\"");
+  check Alcotest.(option int) "bob" (Some 5) (find "\"bob\"")
+
+let test_sql_errors () =
+  let s = setup_sales () in
+  let expect_error sql =
+    match exec s sql with
+    | exception Sql.Sql_error _ -> ()
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected an error for %s" sql
+  in
+  expect_error "SELECT nope FROM sales";
+  expect_error "SELECT * FROM nope";
+  expect_error "INSERT INTO sales VALUES (1)";
+  expect_error "INSERT INTO sales VALUES ('x', 'y', 'z')";
+  expect_error "CREATE VIEW v AS SELECT product, MIN(qty) FROM sales GROUP BY product USING ESCROW";
+  expect_error "COMMIT";
+  (* errors inside a txn leave it open *)
+  ignore (exec s "BEGIN");
+  expect_error "SELECT nope FROM sales";
+  Alcotest.(check bool) "txn still open" true (Sql.in_transaction s);
+  ignore (exec s "ROLLBACK")
+
+let test_show_and_metrics () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE VIEW v AS SELECT product, SUM(qty) FROM sales GROUP BY product USING ESCROW");
+  check Alcotest.int "tables" 1 (List.length (rows_of s "SHOW TABLES"));
+  check Alcotest.int "views" 1 (List.length (rows_of s "SHOW VIEWS"));
+  Alcotest.(check bool) "metrics nonempty" true (rows_of s "SHOW METRICS" <> []);
+  match exec s "CHECKPOINT" with
+  | Sql.Message _ -> ()
+  | _ -> Alcotest.fail "checkpoint message"
+
+let test_explain_and_probe () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE INDEX ix_product ON sales (product)");
+  (match exec s "EXPLAIN SELECT * FROM sales WHERE product = 'apple' AND qty > 3" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "probe plan" true
+        (String.length m > 0
+        && String.sub m 0 11 = "index probe"
+        &&
+        let has_residual =
+          String.split_on_char '\n' m
+          |> List.exists (fun l ->
+                 List.exists
+                   (fun w -> w = "residual")
+                   (String.split_on_char ' ' l))
+        in
+        has_residual)
+  | _ -> Alcotest.fail "expected plan text");
+  (* the probe path returns the same rows as a scan *)
+  let probe = rows_of s "SELECT id FROM sales WHERE product = 'apple' AND qty > 3" in
+  check Alcotest.(list (list int)) "probe rows" [ [ 3 ] ] (List.map ints probe);
+  Alcotest.(check bool) "probe metric" true
+    (Ivdb_util.Metrics.get (Database.metrics (Sql.db s)) "sql.index_probe" >= 1);
+  (match exec s "EXPLAIN SELECT * FROM sales WHERE qty > 3" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "scan plan" true (String.sub m 0 8 = "seq scan")
+  | _ -> Alcotest.fail "expected plan text")
+
+let test_avg_and_having () =
+  let s = setup_sales () in
+  let rows =
+    rows_of s
+      "SELECT product, AVG(qty) FROM sales GROUP BY product HAVING COUNT(*) > 1"
+  in
+  (* only apple has 2 rows; avg qty = 3.5 *)
+  check Alcotest.int "one group" 1 (List.length rows);
+  let r = List.hd rows in
+  check Alcotest.string "group" "\"apple\"" (Value.to_string r.(0));
+  check (Alcotest.float 1e-9) "avg" 3.5 (Value.to_float r.(1));
+  (* HAVING over an aggregate not in the select list *)
+  let rows =
+    rows_of s "SELECT product FROM sales GROUP BY product HAVING SUM(qty) >= 7"
+  in
+  check Alcotest.int "two groups" 2 (List.length rows);
+  (* AVG in an indexed view is rejected with the SQL Server-style hint *)
+  (match
+     exec s "CREATE VIEW v AS SELECT product, AVG(qty) FROM sales GROUP BY product USING ESCROW"
+   with
+  | exception Sql.Sql_error m ->
+      Alcotest.(check bool) "helpful error" true
+        (String.length m > 0 && String.exists (fun c -> c = 'S') m)
+  | _ -> Alcotest.fail "AVG view should be rejected")
+
+let test_division () =
+  let s = setup_sales () in
+  let rows = rows_of s "SELECT id FROM sales WHERE qty * 2 > 17 ORDER BY id" in
+  check Alcotest.(list (list int)) "filter with mul" [ [ 4 ] ] (List.map ints rows);
+  (* division by zero yields NULL, which fails the predicate *)
+  let rows = rows_of s "SELECT id FROM sales WHERE qty / 0 > 0" in
+  check Alcotest.int "div by zero rows" 0 (List.length rows)
+
+let test_sql_savepoints () =
+  let s = setup_sales () in
+  ignore (exec s "BEGIN");
+  ignore (exec s "INSERT INTO sales VALUES (20, 'kiwi', 1)");
+  ignore (exec s "SAVEPOINT leg1");
+  ignore (exec s "INSERT INTO sales VALUES (21, 'kiwi', 2)");
+  ignore (exec s "SAVEPOINT leg2");
+  ignore (exec s "INSERT INTO sales VALUES (22, 'kiwi', 3)");
+  ignore (exec s "ROLLBACK TO leg2");
+  ignore (exec s "INSERT INTO sales VALUES (23, 'kiwi', 4)");
+  ignore (exec s "ROLLBACK TO leg1");
+  ignore (exec s "COMMIT");
+  let rows = rows_of s "SELECT id FROM sales WHERE product = 'kiwi'" in
+  check Alcotest.(list (list int)) "only pre-savepoint survives" [ [ 20 ] ]
+    (List.map ints rows);
+  (* savepoint without txn fails *)
+  match exec s "SAVEPOINT nope" with
+  | exception Sql.Sql_error _ -> ()
+  | _ -> Alcotest.fail "expected error"
+
+let test_unique_index_sql () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE UNIQUE INDEX pk ON sales (id)");
+  (match exec s "INSERT INTO sales VALUES (1, 'dup', 1)" with
+  | exception Sql.Sql_error _ -> Alcotest.fail "should be Constraint_violation"
+  | exception Database.Constraint_violation _ -> ()
+  | _ -> Alcotest.fail "duplicate accepted");
+  (* non-duplicates still insert *)
+  ignore (exec s "INSERT INTO sales VALUES (99, 'ok', 1)");
+  check Alcotest.int "row count" 5
+    (List.length (rows_of s "SELECT id FROM sales"))
+
+let test_view_matching () =
+  let s = setup_sales () in
+  ignore
+    (exec s
+       "CREATE VIEW by_product AS SELECT product, COUNT(*), SUM(qty) FROM sales         GROUP BY product USING ESCROW");
+  let plan sql =
+    match exec s ("EXPLAIN " ^ sql) with
+    | Sql.Message m -> m
+    | _ -> Alcotest.fail "plan"
+  in
+  let matched sql =
+    String.length (plan sql) >= 8 && String.sub (plan sql) 0 8 = "answered"
+  in
+  (* exact match: answered from the view *)
+  Alcotest.(check bool) "sum matches" true
+    (matched "SELECT product, SUM(qty) FROM sales GROUP BY product");
+  Alcotest.(check bool) "count(*) matches" true
+    (matched "SELECT product, COUNT(*) FROM sales GROUP BY product");
+  (* different grouping or underivable aggregate: fall back *)
+  Alcotest.(check bool) "different group no match" false
+    (matched "SELECT id, COUNT(*) FROM sales GROUP BY id");
+  Alcotest.(check bool) "min no match" false
+    (matched "SELECT product, MIN(qty) FROM sales GROUP BY product");
+  (* results agree between the two paths *)
+  let from_view = rows_of s "SELECT product, SUM(qty) FROM sales GROUP BY product" in
+  let m0 = Ivdb_util.Metrics.get (Database.metrics (Sql.db s)) "sql.view_match" in
+  Alcotest.(check bool) "match metric" true (m0 >= 1);
+  let adhoc = rows_of s "SELECT product, MIN(qty), SUM(qty) FROM sales GROUP BY product" in
+  List.iter2
+    (fun v a ->
+      check Alcotest.string "group agrees" (Value.to_string v.(0)) (Value.to_string a.(0));
+      check Alcotest.int "sum agrees" (Value.to_int v.(1)) (Value.to_int a.(2)))
+    from_view adhoc
+
+let test_index_range_plan () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE INDEX ix_qty ON sales (qty)");
+  (match exec s "EXPLAIN SELECT id FROM sales WHERE qty > 2 AND qty <= 4" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "range plan" true
+        (String.length m >= 16 && String.sub m 0 16 = "index range scan")
+  | _ -> Alcotest.fail "plan");
+  let rows = rows_of s "SELECT id FROM sales WHERE qty > 2 AND qty <= 4 ORDER BY id" in
+  check Alcotest.(list (list int)) "range rows" [ [ 1 ]; [ 3 ] ] (List.map ints rows);
+  Alcotest.(check bool) "metric" true
+    (Ivdb_util.Metrics.get (Database.metrics (Sql.db s)) "sql.index_range" >= 1)
+
+let test_render () =
+  let s = setup_sales () in
+  let out = Sql.render (exec s "SELECT id FROM sales ORDER BY id LIMIT 2") in
+  Alcotest.(check bool) "contains rows" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.exists (fun l -> String.trim l = "1"))
+
+let test_order_by_index () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE INDEX ix_qty ON sales (qty)");
+  (match exec s "EXPLAIN SELECT qty FROM sales WHERE qty > 0 ORDER BY qty" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "order satisfied by index" true
+        (String.split_on_char '\n' m
+        |> List.exists (fun l ->
+               String.length l >= 8 && String.sub l 0 8 = "order by"))
+  | _ -> Alcotest.fail "plan");
+  let rows = rows_of s "SELECT qty FROM sales WHERE qty > 0 ORDER BY qty" in
+  check Alcotest.(list (list int)) "index order" [ [ 2 ]; [ 3 ]; [ 4 ]; [ 9 ] ]
+    (List.map ints rows)
+
+let test_concurrent_sessions () =
+  (* two SQL sessions on one database, interleaved by the scheduler:
+     serializable isolation shows through the SQL surface *)
+  let db = Database.create ~config () in
+  let mk () = Sql.session db in
+  let boot = mk () in
+  ignore (exec boot "CREATE TABLE accts (id INT NOT NULL, bal INT NOT NULL)");
+  ignore (exec boot "CREATE INDEX ix ON accts (id)");
+  ignore (exec boot "INSERT INTO accts VALUES (1, 100), (2, 100)");
+  let trace = ref [] in
+  Ivdb_sched.Sched.run ~policy:Ivdb_sched.Sched.Fifo (fun () ->
+      ignore
+        (Ivdb_sched.Sched.spawn (fun () ->
+             let s1 = mk () in
+             ignore (exec s1 "BEGIN");
+             ignore (exec s1 "UPDATE accts SET bal = bal - 10 WHERE id = 1");
+             trace := `S1_updated :: !trace;
+             Ivdb_sched.Sched.yield ();
+             Ivdb_sched.Sched.yield ();
+             ignore (exec s1 "COMMIT");
+             trace := `S1_committed :: !trace));
+      ignore
+        (Ivdb_sched.Sched.spawn (fun () ->
+             Ivdb_sched.Sched.yield ();
+             let s2 = mk () in
+             ignore (exec s2 "BEGIN");
+             (* serializable read of the row s1 is updating: blocks *)
+             let rows = rows_of s2 "SELECT bal FROM accts WHERE id = 1" in
+             trace := `S2_read (Value.to_int (List.hd rows).(0)) :: !trace;
+             ignore (exec s2 "COMMIT"))));
+  (match List.rev !trace with
+  | [ `S1_updated; `S1_committed; `S2_read v ] ->
+      check Alcotest.int "reader saw committed value" 90 v
+  | _ -> Alcotest.fail "unexpected interleaving")
+
+let () =
+  Alcotest.run "sql"
+    [
+      ("lexer", [ Alcotest.test_case "tokens" `Quick test_lexer ]);
+      ( "parser",
+        [
+          Alcotest.test_case "select" `Quick test_parse_select;
+          Alcotest.test_case "bool precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "arith precedence" `Quick test_parse_arith_precedence;
+          Alcotest.test_case "create view" `Quick test_parse_view;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "select/where/order/limit" `Quick
+            test_select_where_order_limit;
+          Alcotest.test_case "select * header" `Quick test_select_star_header;
+          Alcotest.test_case "ad-hoc group by" `Quick test_group_by_adhoc;
+          Alcotest.test_case "indexed view" `Quick test_indexed_view_via_sql;
+          Alcotest.test_case "update maintains view" `Quick test_update_maintains_view;
+          Alcotest.test_case "delete with view" `Quick test_delete_with_view;
+          Alcotest.test_case "txn control" `Quick test_txn_control;
+          Alcotest.test_case "deferred view" `Quick test_deferred_view_sql;
+          Alcotest.test_case "join aggregate" `Quick test_join_select;
+          Alcotest.test_case "errors" `Quick test_sql_errors;
+          Alcotest.test_case "show/metrics" `Quick test_show_and_metrics;
+          Alcotest.test_case "explain + index probe" `Quick test_explain_and_probe;
+          Alcotest.test_case "avg + having" `Quick test_avg_and_having;
+          Alcotest.test_case "division" `Quick test_division;
+          Alcotest.test_case "savepoints" `Quick test_sql_savepoints;
+          Alcotest.test_case "unique index" `Quick test_unique_index_sql;
+          Alcotest.test_case "view matching" `Quick test_view_matching;
+          Alcotest.test_case "index range plan" `Quick test_index_range_plan;
+          Alcotest.test_case "concurrent sessions" `Quick test_concurrent_sessions;
+          Alcotest.test_case "order by index" `Quick test_order_by_index;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

@@ -1,0 +1,352 @@
+module Page = Ivdb_storage.Page
+module Page_diff = Ivdb_storage.Page_diff
+module Disk = Ivdb_storage.Disk
+module Bufpool = Ivdb_storage.Bufpool
+module Heap_page = Ivdb_storage.Heap_page
+module Heap_file = Ivdb_storage.Heap_file
+module Metrics = Ivdb_util.Metrics
+module Rng = Ivdb_util.Rng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Page ----------------------------------------------------------------- *)
+
+let test_page_header () =
+  let p = Page.alloc () in
+  check Alcotest.int "size" 8192 Page.size;
+  Alcotest.(check bool) "starts free" true (Page.get_ty p = Page.Free);
+  Page.set_ty p Page.Heap;
+  Page.set_lsn p 123L;
+  Alcotest.(check bool) "type" true (Page.get_ty p = Page.Heap);
+  check Alcotest.int64 "lsn" 123L (Page.get_lsn p)
+
+(* --- Page_diff ------------------------------------------------------------ *)
+
+let test_diff_empty () =
+  let a = Page.alloc () in
+  let d = Page_diff.compute ~before:a ~after:(Bytes.copy a) in
+  Alcotest.(check bool) "no diff" true (Page_diff.is_empty d)
+
+let test_diff_ignores_lsn () =
+  let a = Page.alloc () in
+  let b = Bytes.copy a in
+  Page.set_lsn b 999L;
+  Alcotest.(check bool) "lsn excluded" true
+    (Page_diff.is_empty (Page_diff.compute ~before:a ~after:b))
+
+let prop_diff_apply =
+  QCheck.Test.make ~name:"apply(compute(a,b)) recovers b" ~count:200
+    QCheck.(pair int int)
+    (fun (seed, nmut) ->
+      let rng = Rng.create seed in
+      let nmut = 1 + (abs nmut mod 50) in
+      let a = Page.alloc () in
+      (* random original content *)
+      for _ = 0 to 200 do
+        Bytes.set a (8 + Rng.int rng (Page.size - 8)) (Char.chr (Rng.int rng 256))
+      done;
+      let b = Bytes.copy a in
+      for _ = 1 to nmut do
+        Bytes.set b (8 + Rng.int rng (Page.size - 8)) (Char.chr (Rng.int rng 256))
+      done;
+      let d = Page_diff.compute ~before:a ~after:b in
+      let d' = Page_diff.decode (Page_diff.encode d) in
+      let restored = Bytes.copy a in
+      Page_diff.apply restored d';
+      Bytes.sub restored 8 (Page.size - 8) = Bytes.sub b 8 (Page.size - 8))
+
+(* --- Disk ------------------------------------------------------------------ *)
+
+let test_disk_rw () =
+  let m = Metrics.create () in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  let id = Disk.alloc_page d in
+  let p = Page.alloc () in
+  Bytes.set p 100 'Z';
+  Disk.write d id p;
+  Bytes.set p 100 'Y';
+  (* mutation after write must not leak into the stable copy *)
+  let q = Disk.read d id in
+  check Alcotest.char "stable copy" 'Z' (Bytes.get q 100);
+  check Alcotest.int "reads counted" 1 (Metrics.get m "disk.read");
+  check Alcotest.int "writes counted" 1 (Metrics.get m "disk.write")
+
+let test_disk_unknown_page_zeroed () =
+  let m = Metrics.create () in
+  let d = Disk.create m in
+  let q = Disk.read d 999 in
+  Alcotest.(check bool) "zeroed" true (Bytes.for_all (fun c -> c = '\000') q)
+
+(* --- Heap_page -------------------------------------------------------------- *)
+
+let test_heap_page_insert_get_delete () =
+  let p = Page.alloc () in
+  Heap_page.init p;
+  let s1 = Heap_page.insert p "hello" and s2 = Heap_page.insert p "world!" in
+  check Alcotest.(option int) "slot 0" (Some 0) s1;
+  check Alcotest.(option int) "slot 1" (Some 1) s2;
+  check Alcotest.(option string) "get 0" (Some "hello") (Heap_page.get p 0);
+  Alcotest.(check bool) "delete" true (Heap_page.delete p 0);
+  check Alcotest.(option string) "ghosted" None (Heap_page.get p 0);
+  check Alcotest.(option string) "ghost bytes retained" (Some "hello")
+    (Heap_page.get_any p 0);
+  Alcotest.(check bool) "double delete" false (Heap_page.delete p 0);
+  (* a ghost slot is not reused... *)
+  check Alcotest.(option int) "ghost slot skipped" (Some 2) (Heap_page.insert p "again");
+  (* ...until revived or reclaimed *)
+  Alcotest.(check bool) "revive" true (Heap_page.revive p 0);
+  check Alcotest.(option string) "revived" (Some "hello") (Heap_page.get p 0);
+  Alcotest.(check bool) "delete again" true (Heap_page.delete p 0);
+  Alcotest.(check bool) "free ghost" true (Heap_page.free_ghost p 0);
+  check Alcotest.(option int) "slot reused after reclaim" (Some 0)
+    (Heap_page.insert p "reuse")
+
+let test_heap_page_fill_and_compact () =
+  let p = Page.alloc () in
+  Heap_page.init p;
+  let record = String.make 100 'x' in
+  let inserted = ref 0 in
+  (try
+     while Heap_page.insert p record <> None do
+       incr inserted
+     done
+   with _ -> ());
+  Alcotest.(check bool) "fills ~78 records" true (!inserted >= 75 && !inserted <= 82);
+  (* ghost-delete then reclaim every other record; a large record must then
+     fit via compaction *)
+  for i = 0 to (!inserted - 1) / 2 do
+    ignore (Heap_page.delete p (2 * i));
+    ignore (Heap_page.free_ghost p (2 * i))
+  done;
+  let big = String.make 2000 'y' in
+  Alcotest.(check bool) "compaction reclaims" true (Heap_page.insert p big <> None)
+
+let test_heap_page_set_in_place () =
+  let p = Page.alloc () in
+  Heap_page.init p;
+  ignore (Heap_page.insert p "abcde");
+  Alcotest.(check bool) "same-size set" true (Heap_page.set p 0 "vwxyz");
+  check Alcotest.(option string) "updated" (Some "vwxyz") (Heap_page.get p 0);
+  Alcotest.(check bool) "size-change rejected" false (Heap_page.set p 0 "toolong!")
+
+let test_heap_page_too_large () =
+  let p = Page.alloc () in
+  Heap_page.init p;
+  Alcotest.check_raises "oversize record"
+    (Invalid_argument "Heap_page.insert: record too large") (fun () ->
+      ignore (Heap_page.insert p (String.make 8300 'x')))
+
+(* model-based: page behaves like an int->string table *)
+let prop_heap_page_model =
+  QCheck.Test.make ~name:"heap page vs model" ~count:100
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = Page.alloc () in
+      Heap_page.init p;
+      let model = Hashtbl.create 32 in
+      for _ = 1 to 300 do
+        match Rng.int rng 3 with
+        | 0 ->
+            let len = 1 + Rng.int rng 50 in
+            let r = String.make len (Char.chr (97 + Rng.int rng 26)) in
+            (match Heap_page.insert p r with
+            | Some slot ->
+                assert (not (Hashtbl.mem model slot));
+                Hashtbl.replace model slot r
+            | None -> ())
+        | 1 ->
+            let slots = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+            (match slots with
+            | [] -> ()
+            | _ ->
+                let s = List.nth slots (Rng.int rng (List.length slots)) in
+                assert (Heap_page.delete p s);
+                assert (Heap_page.free_ghost p s);
+                Hashtbl.remove model s)
+        | _ ->
+            let n = Heap_page.nslots p in
+            if n > 0 then begin
+              let s = Rng.int rng n in
+              let expect = Hashtbl.find_opt model s in
+              assert (Heap_page.get p s = expect)
+            end
+      done;
+      Hashtbl.fold (fun s r ok -> ok && Heap_page.get p s = Some r) model true)
+
+(* --- Bufpool ----------------------------------------------------------------- *)
+
+let make_pool ?(capacity = 4) () =
+  let m = Metrics.create () in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  let pool = Bufpool.create d ~capacity m in
+  let forced = ref [] in
+  Bufpool.set_wal_force pool (fun lsn -> forced := lsn :: !forced);
+  (m, d, pool, forced)
+
+let test_bufpool_hit_miss () =
+  let m, d, pool, _ = make_pool () in
+  let id = Disk.alloc_page d in
+  Bufpool.read pool id (fun _ -> ());
+  Bufpool.read pool id (fun _ -> ());
+  check Alcotest.int "one miss" 1 (Metrics.get m "buffer.miss");
+  check Alcotest.int "one hit" 1 (Metrics.get m "buffer.hit")
+
+let test_bufpool_update_stamp_flush () =
+  let _, d, pool, forced = make_pool () in
+  let id = Disk.alloc_page d in
+  let (), diff = Bufpool.update pool id (fun p -> Bytes.set p 100 'A') in
+  Alcotest.(check bool) "diff captured" false (Page_diff.is_empty diff);
+  Bufpool.stamp pool id 7L;
+  Bufpool.flush_page pool id;
+  Alcotest.(check bool) "wal forced before flush" true (List.mem 7L !forced);
+  let stable = Disk.read d id in
+  check Alcotest.char "flushed content" 'A' (Bytes.get stable 100);
+  check Alcotest.int64 "flushed lsn" 7L (Page.get_lsn stable)
+
+let test_bufpool_eviction_respects_capacity () =
+  let m, d, pool, _ = make_pool ~capacity:3 () in
+  let ids = List.init 6 (fun _ -> Disk.alloc_page d) in
+  List.iter (fun id -> Bufpool.read pool id (fun _ -> ())) ids;
+  Alcotest.(check bool) "evictions happened" true (Metrics.get m "buffer.evict" >= 3)
+
+let test_bufpool_unstamped_not_evicted () =
+  let _, d, pool, _ = make_pool ~capacity:2 () in
+  let a = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 50 'U') in
+  (* a is modified but unstamped: loading more pages must not evict it *)
+  for _ = 1 to 4 do
+    Bufpool.read pool (Disk.alloc_page d) (fun _ -> ())
+  done;
+  Bufpool.read pool a (fun p -> check Alcotest.char "still buffered" 'U' (Bytes.get p 50));
+  (* stable copy must not have the change *)
+  let stable = Disk.read d a in
+  check Alcotest.char "not flushed" '\000' (Bytes.get stable 50)
+
+let test_bufpool_dpt () =
+  let _, d, pool, _ = make_pool () in
+  let a = Disk.alloc_page d and b = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 60 'x') in
+  Bufpool.stamp pool a 3L;
+  let (), _ = Bufpool.update pool b (fun p -> Bytes.set p 60 'y') in
+  Bufpool.stamp pool b 5L;
+  let dpt = List.sort compare (Bufpool.dirty_page_table pool) in
+  check Alcotest.(list (pair int int64)) "dpt" [ (a, 3L); (b, 5L) ] dpt;
+  Bufpool.flush_all pool;
+  check Alcotest.(list (pair int int64)) "clean" [] (Bufpool.dirty_page_table pool)
+
+let test_bufpool_drop_all () =
+  let _, d, pool, _ = make_pool () in
+  let a = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 60 'x') in
+  Bufpool.stamp pool a 3L;
+  Bufpool.drop_all pool;
+  (* change was volatile-only: gone after the crash *)
+  Bufpool.read pool a (fun p -> check Alcotest.char "lost" '\000' (Bytes.get p 60))
+
+(* --- Heap_file ----------------------------------------------------------------- *)
+
+let make_heap () =
+  let m = Metrics.create () in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  let pool = Bufpool.create d ~capacity:16 m in
+  Bufpool.set_wal_force pool (fun _ -> ());
+  let heap, diffs = Heap_file.create pool d in
+  (* tests drive the heap without a log: stamp pages directly *)
+  let stamp = List.iter (fun (pid, _) -> Bufpool.stamp pool pid 1L) in
+  stamp diffs;
+  (d, pool, heap, stamp)
+
+let test_heap_file_crud () =
+  let _, _, heap, stamp = make_heap () in
+  let r1, d1 = Heap_file.insert heap "alpha" in
+  stamp d1;
+  let r2, d2 = Heap_file.insert heap "beta!" in
+  stamp d2;
+  check Alcotest.(option string) "get r1" (Some "alpha") (Heap_file.get heap r1);
+  stamp (Heap_file.update heap r2 "BETA!");
+  Alcotest.(check bool) "updated" true (Heap_file.get heap r2 = Some "BETA!");
+  Alcotest.check_raises "size change rejected"
+    (Invalid_argument "Heap_file.update: size change") (fun () ->
+      ignore (Heap_file.update heap r2 "too-long-now"));
+  stamp (Heap_file.delete heap r1);
+  check Alcotest.(option string) "deleted" None (Heap_file.get heap r1);
+  Alcotest.check_raises "delete missing" Not_found (fun () ->
+      ignore (Heap_file.delete heap r1))
+
+let test_heap_file_grows_chains () =
+  let _, _, heap, stamp = make_heap () in
+  let record = String.make 500 'r' in
+  let rids =
+    List.init 100 (fun _ ->
+        let rid, ds = Heap_file.insert heap record in
+        stamp ds;
+        rid)
+  in
+  Alcotest.(check bool) "multiple pages" true (List.length (Heap_file.page_ids heap) > 1);
+  let seen = ref 0 in
+  Heap_file.iter heap (fun _ r ->
+      incr seen;
+      assert (r = record));
+  check Alcotest.int "iter sees all" 100 !seen;
+  (* all rids distinct *)
+  check Alcotest.int "rids distinct" 100
+    (List.length (List.sort_uniq Heap_file.rid_compare rids))
+
+let test_heap_file_attach () =
+  let _, pool, heap, stamp = make_heap () in
+  let record = String.make 700 's' in
+  for _ = 1 to 50 do
+    let _, ds = Heap_file.insert heap record in
+    stamp ds
+  done;
+  let disk = Bufpool.disk pool in
+  let reopened = Heap_file.attach pool disk ~first_page:(Heap_file.first_page heap) in
+  check
+    Alcotest.(list int)
+    "same chain" (Heap_file.page_ids heap) (Heap_file.page_ids reopened);
+  let n = ref 0 in
+  Heap_file.iter reopened (fun _ _ -> incr n);
+  check Alcotest.int "all records visible" 50 !n
+
+let () =
+  Alcotest.run "storage"
+    [
+      ("page", [ Alcotest.test_case "header" `Quick test_page_header ]);
+      ( "page-diff",
+        [
+          Alcotest.test_case "empty" `Quick test_diff_empty;
+          Alcotest.test_case "ignores lsn" `Quick test_diff_ignores_lsn;
+          qtest prop_diff_apply;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "read/write" `Quick test_disk_rw;
+          Alcotest.test_case "unknown page zeroed" `Quick test_disk_unknown_page_zeroed;
+        ] );
+      ( "heap-page",
+        [
+          Alcotest.test_case "insert/get/delete" `Quick test_heap_page_insert_get_delete;
+          Alcotest.test_case "fill and compact" `Quick test_heap_page_fill_and_compact;
+          Alcotest.test_case "set in place" `Quick test_heap_page_set_in_place;
+          Alcotest.test_case "too large" `Quick test_heap_page_too_large;
+          qtest prop_heap_page_model;
+        ] );
+      ( "bufpool",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_bufpool_hit_miss;
+          Alcotest.test_case "update/stamp/flush + WAL rule" `Quick
+            test_bufpool_update_stamp_flush;
+          Alcotest.test_case "eviction" `Quick test_bufpool_eviction_respects_capacity;
+          Alcotest.test_case "no-steal window" `Quick test_bufpool_unstamped_not_evicted;
+          Alcotest.test_case "dirty page table" `Quick test_bufpool_dpt;
+          Alcotest.test_case "drop_all" `Quick test_bufpool_drop_all;
+        ] );
+      ( "heap-file",
+        [
+          Alcotest.test_case "crud" `Quick test_heap_file_crud;
+          Alcotest.test_case "grows across pages" `Quick test_heap_file_grows_chains;
+          Alcotest.test_case "attach rebuilds" `Quick test_heap_file_attach;
+        ] );
+    ]

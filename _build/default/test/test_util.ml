@@ -1,0 +1,210 @@
+module Rng = Ivdb_util.Rng
+module Zipf = Ivdb_util.Zipf
+module Stats = Ivdb_util.Stats
+module Metrics = Ivdb_util.Metrics
+module B = Ivdb_util.Bytes_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let r = Rng.create 11 in
+  let child = Rng.split r in
+  let parent_vals = List.init 10 (fun _ -> Rng.next r) in
+  let child_vals = List.init 10 (fun _ -> Rng.next child) in
+  Alcotest.(check bool) "different streams" true (parent_vals <> child_vals)
+
+(* --- Zipf --------------------------------------------------------------- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:4 ~theta:0. in
+  let r = Rng.create 3 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let k = Zipf.draw z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 1600 && c < 2400))
+    counts
+
+let test_zipf_skew_orders_heads () =
+  let z = Zipf.create ~n:100 ~theta:1.2 in
+  let r = Rng.create 4 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let k = Zipf.draw z r in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "head dominates" true (counts.(0) > counts.(50) * 5);
+  Alcotest.(check bool) "monotone-ish" true (counts.(0) >= counts.(1))
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:7 ~theta:0.99 in
+  let r = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let k = Zipf.draw z r in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 7)
+  done
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  check (Alcotest.float 1e-9) "mean" 3. (Stats.mean s);
+  check Alcotest.int "count" 5 (Stats.count s);
+  check (Alcotest.float 1e-9) "min" 1. (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 5. (Stats.max s);
+  check (Alcotest.float 1e-6) "stddev" (sqrt 2.5) (Stats.stddev s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p50" 50. (Stats.percentile s 50.);
+  check (Alcotest.float 1e-9) "p99" 99. (Stats.percentile s 99.);
+  check (Alcotest.float 1e-9) "p100" 100. (Stats.percentile s 100.)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 1e-9) "mean of empty" 0. (Stats.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min: empty")
+    (fun () -> ignore (Stats.min s))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.; 2. ];
+  List.iter (Stats.add b) [ 3.; 4. ];
+  let m = Stats.merge a b in
+  check Alcotest.int "count" 4 (Stats.count m);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean m);
+  check (Alcotest.float 1e-9) "p25 uses both" 1. (Stats.percentile m 25.)
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.add m "a" 4;
+  Metrics.incr m "b";
+  check Alcotest.int "a" 5 (Metrics.get m "a");
+  check Alcotest.int "b" 1 (Metrics.get m "b");
+  check Alcotest.int "absent" 0 (Metrics.get m "zzz")
+
+let test_metrics_diff () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 3;
+  let before = Metrics.snapshot m in
+  Metrics.add m "x" 2;
+  Metrics.incr m "y";
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  check Alcotest.int "x delta" 2 (List.assoc "x" d);
+  check Alcotest.int "y delta" 1 (List.assoc "y" d)
+
+(* --- Bytes_util ---------------------------------------------------------- *)
+
+let test_bytes_roundtrip () =
+  let b = Bytes.create 32 in
+  B.set_u16 b 0 0xBEEF;
+  check Alcotest.int "u16" 0xBEEF (B.get_u16 b 0);
+  B.set_u32 b 2 0xDEADBEEF;
+  check Alcotest.int "u32" 0xDEADBEEF (B.get_u32 b 2);
+  B.set_i64 b 6 (-42L);
+  check Alcotest.int64 "i64" (-42L) (B.get_i64 b 6)
+
+let test_compare_sub () =
+  let a = Bytes.of_string "abcdef" and b = Bytes.of_string "abcxyz" in
+  Alcotest.(check bool) "equal prefix" true (B.compare_sub a 0 3 b 0 3 = 0);
+  Alcotest.(check bool) "lt" true (B.compare_sub a 0 6 b 0 6 < 0);
+  Alcotest.(check bool) "prefix shorter" true (B.compare_sub a 0 2 a 0 3 < 0)
+
+let prop_u16_roundtrip =
+  QCheck.Test.make ~name:"u16 roundtrip" ~count:200
+    QCheck.(int_bound 0xFFFF)
+    (fun v ->
+      let b = Bytes.create 2 in
+      B.set_u16 b 0 v;
+      B.get_u16 b 0 = v)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform at theta 0" `Quick test_zipf_uniform;
+          Alcotest.test_case "skew favours head" `Quick test_zipf_skew_orders_heads;
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "diff" `Quick test_metrics_diff;
+        ] );
+      ( "bytes",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "compare_sub" `Quick test_compare_sub;
+          qtest prop_u16_roundtrip;
+        ] );
+    ]

@@ -530,6 +530,81 @@ let e10 () =
     ~header:[ "reader mode"; "reads"; "lat mean (ticks)"; "lat p95"; "avg interval width" ]
     [ run `Blocking; run `Bounds ]
 
+(* --- E11: commit path — per-commit force vs group commit vs async ----------------------- *)
+
+(* Escrow removes the lock bottleneck on the hot aggregate rows, so with a
+   private force per commit the 100-tick log force is the throughput
+   ceiling; batching commits behind the coordinator amortizes it. Also
+   emits machine-readable BENCH_commit.json for trend tracking. *)
+let commit_bench ~quick () =
+  let modes =
+    [
+      ("sync", Txn.Sync);
+      ("group", Txn.Group { max_batch = 32; max_wait_ticks = 50 });
+      ("async", Txn.Async);
+    ]
+  in
+  let mpls = if quick then [ 8; 16 ] else [ 1; 4; 8; 16; 32 ] in
+  let budget = if quick then 128 else 512 in
+  let cell (mode_name, mode) mpl =
+    let spec =
+      {
+        Workload.default with
+        seed = 11;
+        strategy = Maintain.Escrow;
+        mpl;
+        txns_per_worker = max 1 (budget / mpl);
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+        config = { Workload.default.Workload.config with commit_mode = mode };
+      }
+    in
+    let r = Workload.run spec in
+    let get n = match List.assoc_opt n r.Workload.metrics with Some v -> v | None -> 0 in
+    let per_commit x = float_of_int x /. float_of_int (max 1 r.Workload.committed) in
+    let row =
+      [
+        mode_name;
+        i mpl;
+        i r.Workload.committed;
+        f2 r.Workload.throughput;
+        i r.Workload.forces;
+        f2 (per_commit r.Workload.forces);
+        f2 r.Workload.mean_batch;
+        f1 (per_commit (get "commit.stall_ticks"));
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"mode": "%s", "mpl": %d, "committed": %d, "throughput_per_1k_ticks": %.3f, "forces": %d, "forces_per_commit": %.4f, "mean_batch": %.2f, "stall_ticks_per_commit": %.2f}|}
+        mode_name mpl r.Workload.committed r.Workload.throughput
+        r.Workload.forces
+        (per_commit r.Workload.forces)
+        r.Workload.mean_batch
+        (per_commit (get "commit.stall_ticks"))
+    in
+    (row, json)
+  in
+  let cells = List.concat_map (fun m -> List.map (cell m) mpls) modes in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E11  Commit path: per-commit force vs group commit vs async (escrow, zipf 0.99, ~%d txns)"
+         budget)
+    ~header:
+      [ "commit mode"; "mpl"; "commits"; "tput/1k ticks"; "forces";
+        "forces/commit"; "mean batch"; "stall/commit" ]
+    (List.map fst cells);
+  let oc = open_out "BENCH_commit.json" in
+  Printf.fprintf oc "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ]\n}\n"
+    quick
+    (String.concat ",\n" (List.map snd cells));
+  close_out oc;
+  Printf.printf "\nwrote BENCH_commit.json (%d cells)\n%!" (List.length cells)
+
+let e11 () = commit_bench ~quick:false ()
+
 (* --- M0: bechamel micro-benchmarks ------------------------------------------------------ *)
 
 let micro () =
@@ -660,8 +735,13 @@ let micro () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("micro", micro);
   ]
+
+(* "commit-quick" is a cheap smoke variant of e11 invoked from the dune
+   test runner; it is not part of the run-everything default. *)
+let extra = [ ("commit-quick", fun () -> commit_bench ~quick:true ()) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -671,11 +751,12 @@ let () =
     | names ->
         List.map
           (fun n ->
-            match List.assoc_opt n experiments with
+            match List.assoc_opt n (experiments @ extra) with
             | Some f -> (n, f)
             | None ->
                 Printf.eprintf "unknown experiment %s (known: %s)\n" n
-                  (String.concat ", " (List.map fst experiments));
+                  (String.concat ", "
+                     (List.map fst experiments @ List.map fst extra));
                 exit 2)
           names
   in

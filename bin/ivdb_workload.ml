@@ -11,6 +11,7 @@ module Workload = Ivdb.Workload
 module Database = Ivdb.Database
 module Query = Ivdb.Query
 module Maintain = Ivdb_core.Maintain
+module Txn = Ivdb_txn.Txn
 
 open Cmdliner
 
@@ -35,11 +36,39 @@ let create_mode_conv =
         Format.pp_print_string ppf
           (match m with Maintain.System_txn -> "system" | Maintain.User_txn -> "user") )
 
+let commit_mode_conv =
+  (* group[:BATCH[:WAIT]] exposes the coordinator's knobs *)
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "sync" ] -> Ok Txn.Sync
+    | [ "async" ] -> Ok Txn.Async
+    | "group" :: rest -> (
+        match rest with
+        | [] -> Ok (Txn.Group { max_batch = 32; max_wait_ticks = 50 })
+        | [ b ] -> (
+            match int_of_string_opt b with
+            | Some b -> Ok (Txn.Group { max_batch = b; max_wait_ticks = 50 })
+            | None -> Error (`Msg (Printf.sprintf "bad batch size %S" b)))
+        | [ b; w ] -> (
+            match (int_of_string_opt b, int_of_string_opt w) with
+            | Some b, Some w -> Ok (Txn.Group { max_batch = b; max_wait_ticks = w })
+            | _ -> Error (`Msg (Printf.sprintf "bad group parameters %S" s)))
+        | _ -> Error (`Msg (Printf.sprintf "bad group parameters %S" s)))
+    | _ -> Error (`Msg (Printf.sprintf "unknown commit mode %S" s))
+  in
+  let print ppf = function
+    | Txn.Sync -> Format.pp_print_string ppf "sync"
+    | Txn.Async -> Format.pp_print_string ppf "async"
+    | Txn.Group { max_batch; max_wait_ticks } ->
+        Format.fprintf ppf "group:%d:%d" max_batch max_wait_ticks
+  in
+  Arg.conv (parse, print)
+
 let run seed groups theta mpl txns ops deletes reads scan coarse strategy
-    create_mode views initial gc_every checkpoint_every verbose check =
+    create_mode commit_mode views initial gc_every checkpoint_every verbose check =
   let spec =
     {
-      Workload.default with
+      Workload.config = { Workload.default.Workload.config with Database.commit_mode };
       seed;
       n_groups = groups;
       theta;
@@ -71,6 +100,11 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
   Printf.printf "lock waits        %d\n" r.Workload.lock_waits;
   Printf.printf "simulated ticks   %d\n" r.Workload.ticks;
   Printf.printf "throughput        %.2f txns / 1k ticks\n" r.Workload.throughput;
+  Printf.printf "log forces        %d (%.2f per commit)\n" r.Workload.forces
+    (if r.Workload.committed = 0 then 0.
+     else float_of_int r.Workload.forces /. float_of_int r.Workload.committed);
+  if r.Workload.mean_batch > 0. then
+    Printf.printf "mean batch        %.2f commits per group force\n" r.Workload.mean_batch;
   Printf.printf "latency           mean %.1f, p95 %.1f ticks\n" r.Workload.mean_latency
     r.Workload.p95_latency;
   Printf.printf "wall time         %.3f s\n" r.Workload.wall_s;
@@ -122,6 +156,13 @@ let cmd =
       & opt create_mode_conv Maintain.System_txn
       & info [ "create-mode" ] ~doc:"Group creation: system | user (D3 ablation).")
   in
+  let commit_mode =
+    Arg.(
+      value
+      & opt commit_mode_conv Txn.Sync
+      & info [ "commit-mode" ]
+          ~doc:"Commit durability: sync | group[:BATCH[:WAIT]] | async (D9 ablation).")
+  in
   let views = Arg.(value & opt int 1 & info [ "views" ] ~doc:"Indexed views on the table.") in
   let initial = Arg.(value & opt int 200 & info [ "initial" ] ~doc:"Preloaded rows.") in
   let gc_every =
@@ -140,7 +181,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
-   $ scan $ coarse $ strategy $ create_mode $ views $ initial $ gc_every
-   $ checkpoint_every $ verbose $ check)
+   $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
+   $ gc_every $ checkpoint_every $ verbose $ check)
 
 let () = exit (Cmd.eval cmd)

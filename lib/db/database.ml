@@ -30,6 +30,7 @@ type config = {
   txn_retries : int;
   auto_ghost_gc : bool;
   escalation_threshold : int option;
+  commit_mode : Txn.commit_mode;
 }
 
 let default_config =
@@ -40,6 +41,7 @@ let default_config =
     txn_retries = 10;
     auto_ghost_gc = true;
     escalation_threshold = None;
+    commit_mode = Txn.Sync;
   }
 
 type table = int
@@ -418,7 +420,10 @@ let bare ?(config = default_config) ~metrics ~disk ~wal () =
   let dpool = Bufpool.create disk ~capacity:config.pool_capacity metrics in
   Bufpool.set_wal_force dpool (fun lsn -> Wal.force wal (Int64.to_int lsn));
   let dlocks = Lock_mgr.create metrics in
-  let tmgr = Txn.create_mgr ~wal ~locks:dlocks ~pool:dpool metrics in
+  let tmgr =
+    Txn.create_mgr ~commit_mode:config.commit_mode ~wal ~locks:dlocks
+      ~pool:dpool metrics
+  in
   let t =
     {
       cfg = config;

@@ -35,6 +35,10 @@ type config = {
   escalation_threshold : int option;
       (** escalate a transaction's row locks on a table to one table lock
           after this many (default [None]: never) *)
+  commit_mode : Ivdb_txn.Txn.commit_mode;
+      (** how commits are made durable: per-commit force ([Sync], the
+          default), batched forces behind the commit coordinator fiber
+          ([Group]), or acknowledged-before-force ([Async]) *)
 }
 
 val default_config : config

@@ -64,6 +64,9 @@ type result = {
   throughput : float;
   mean_latency : float;
   p95_latency : float;
+  forces : int;
+  mean_batch : float;
+  batch_hist : (int * int) list;
   metrics : (string * int) list;
 }
 
@@ -112,6 +115,7 @@ let setup spec =
 let run_on db sales views spec =
   let metrics = Database.metrics db in
   let before = Metrics.snapshot metrics in
+  let hist_before = Metrics.hist_snapshot metrics "commit.batch" in
   let committed = ref 0 and given_up = ref 0 in
   let committed_readers = ref 0 in
   let latencies = Ivdb_util.Stats.create () in
@@ -226,6 +230,17 @@ let run_on db sales views spec =
   let diff = Metrics.diff ~before ~after in
   let get name = match List.assoc_opt name diff with Some v -> v | None -> 0 in
   let ticks = max 1 (!end_ticks - !start_ticks) in
+  (* batch-size histogram of the measured phase only *)
+  let batch_hist =
+    let hist_after = Metrics.hist_snapshot metrics "commit.batch" in
+    let find l v = match List.assoc_opt v l with Some c -> c | None -> 0 in
+    List.sort_uniq compare (List.map fst hist_before @ List.map fst hist_after)
+    |> List.filter_map (fun v ->
+           let d = find hist_after v - find hist_before v in
+           if d > 0 then Some (v, d) else None)
+  in
+  let batch_count = List.fold_left (fun acc (_, c) -> acc + c) 0 batch_hist in
+  let batch_total = List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 batch_hist in
   {
     committed = !committed;
     committed_readers = !committed_readers;
@@ -240,6 +255,11 @@ let run_on db sales views spec =
     p95_latency =
       (if Ivdb_util.Stats.count latencies = 0 then 0.
        else Ivdb_util.Stats.percentile latencies 95.);
+    forces = get "log.force";
+    mean_batch =
+      (if batch_count = 0 then 0.
+       else float_of_int batch_total /. float_of_int batch_count);
+    batch_hist;
     metrics = diff;
   }
 

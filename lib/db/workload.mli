@@ -47,6 +47,12 @@ type result = {
   throughput : float;  (** committed transactions per 1000 ticks *)
   mean_latency : float;  (** ticks from transaction start to commit *)
   p95_latency : float;
+  forces : int;  (** log forces during the measured phase *)
+  mean_batch : float;
+      (** mean commits per group-commit force (0 outside [Group]/[Async]) *)
+  batch_hist : (int * int) list;
+      (** (batch size, occurrences) for the measured phase — deterministic
+          for a fixed seed, which the determinism tests rely on *)
   metrics : (string * int) list;  (** full counter diff of the run *)
 }
 

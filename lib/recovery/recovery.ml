@@ -23,6 +23,12 @@ let analyze wal =
   let max_page = ref 0 in
   let max_txn = ref 0 in
   let nrec = ref 0 in
+  (* Transactions with a stable Commit record are committed no matter what
+     the ATT says: under group commit a transaction can sit between its
+     Commit append and its End append (waiting for the batched force) while
+     a checkpoint records it as active, and the checkpoint-seeded ATT entry
+     would otherwise turn it into a loser. *)
+  let committed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   (* seed from the governing checkpoint *)
   if ckpt_lsn <> Log_record.nil_lsn then begin
     match (Wal.get wal ckpt_lsn).Log_record.body with
@@ -37,6 +43,9 @@ let analyze wal =
       let lsn = r.Log_record.lsn in
       let txn = r.Log_record.txn in
       if txn > !max_txn then max_txn := txn;
+      (match r.Log_record.body with
+      | Log_record.Commit -> Hashtbl.replace committed txn ()
+      | _ -> ());
       List.iter
         (fun pid -> if pid > !max_page then max_page := pid)
         (Log_record.pages_touched r);
@@ -56,7 +65,11 @@ let analyze wal =
     Hashtbl.fold (fun pid lsn acc -> (pid, lsn) :: acc) dpt [] |> List.sort compare
   in
   let losers =
-    Hashtbl.fold (fun txn lsn acc -> (txn, lsn) :: acc) att [] |> List.sort compare
+    Hashtbl.fold
+      (fun txn lsn acc ->
+        if Hashtbl.mem committed txn then acc else (txn, lsn) :: acc)
+      att []
+    |> List.sort compare
   in
   let redo_start =
     List.fold_left (fun acc (_, lsn) -> min acc lsn) (ckpt_lsn + 1) dirty_pages

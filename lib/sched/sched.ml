@@ -13,37 +13,47 @@ type _ Effect.t +=
   | Now : int Effect.t
   | Advance : int -> unit Effect.t
   | Alive : int Effect.t
+  | Running : bool Effect.t
 
-(* Growable vector used as the run queue; random policy swap-removes, which
-   is order-destroying but deterministic under a fixed seed. *)
+(* Growable circular buffer used as the run queue; random policy
+   swap-removes, which is order-destroying but deterministic under a fixed
+   seed. Logical index i lives at physical (head + i) mod capacity, so the
+   FIFO pop is an O(1) head advance rather than an O(n) shift. *)
 module Vec = struct
-  type 'a t = { mutable data : 'a array; mutable len : int }
+  type 'a t = { mutable data : 'a array; mutable head : int; mutable len : int }
 
-  let create () = { data = [||]; len = 0 }
+  let create () = { data = [||]; head = 0; len = 0 }
   let length v = v.len
+  let slot v i = (v.head + i) mod Array.length v.data
+  let get v i = v.data.(slot v i)
 
   let push v x =
     if v.len = Array.length v.data then begin
+      (* grow, realigning to head = 0 *)
       let cap = max 8 (2 * Array.length v.data) in
       let data = Array.make cap x in
-      Array.blit v.data 0 data 0 v.len;
-      v.data <- data
+      for i = 0 to v.len - 1 do
+        data.(i) <- get v i
+      done;
+      v.data <- data;
+      v.head <- 0
     end;
-    v.data.(v.len) <- x;
+    v.data.(slot v v.len) <- x;
     v.len <- v.len + 1
 
+  (* remove logical index i by moving the logical last element into it *)
   let take v i =
     assert (i < v.len);
-    let x = v.data.(i) in
+    let x = get v i in
     v.len <- v.len - 1;
-    v.data.(i) <- v.data.(v.len);
+    v.data.(slot v i) <- get v v.len;
     x
 
-  (* FIFO pop: O(n) shift, fine for the queue sizes in play. *)
+  (* FIFO pop: O(1) head-index advance. *)
   let take_front v =
     assert (v.len > 0);
-    let x = v.data.(0) in
-    Array.blit v.data 1 v.data 0 (v.len - 1);
+    let x = v.data.(v.head) in
+    v.head <- (v.head + 1) mod Array.length v.data;
     v.len <- v.len - 1;
     x
 end
@@ -90,6 +100,7 @@ let run ?(seed = 0) ?(policy = Random) main =
             | Self -> Some (fun k -> continue k fid)
             | Now -> Some (fun k -> continue k st.clock)
             | Alive -> Some (fun k -> continue k st.live)
+            | Running -> Some (fun k -> continue k true)
             | Advance n ->
                 Some
                   (fun k ->
@@ -147,6 +158,7 @@ let outside_run : type a. a Effect.t -> exn -> a =
   | Self -> 0
   | Now -> 0
   | Alive -> 1
+  | Running -> false
   | Advance _ -> ()
   | Suspend _ -> raise (Stuck 1)
   | Spawn _ -> raise (Stuck 1)
@@ -162,3 +174,7 @@ let suspend register = with_fallback (Suspend register)
 let now () = with_fallback Now
 let advance n = with_fallback (Advance n)
 let fibers_alive () = with_fallback Alive
+
+(* true iff the caller executes inside a scheduler run (so spawn/suspend are
+   available); single-threaded callers outside any run get false *)
+let in_run () = with_fallback Running

@@ -50,3 +50,8 @@ val advance : int -> unit
 
 val fibers_alive : unit -> int
 (** Number of unfinished fibers, including the caller (1 outside a run). *)
+
+val in_run : unit -> bool
+(** [true] iff the caller executes inside a [run] — i.e. [spawn] and
+    [suspend] are available. Lets blocking protocols (e.g. group commit)
+    degrade to a synchronous path for single-threaded callers. *)

@@ -7,6 +7,7 @@ type frame = {
   mutable referenced : bool; (* clock hand hint *)
   mutable no_steal : bool;
       (* modified but the log record is not yet appended: unevictable *)
+  mutable ring_pos : int; (* index into the clock ring *)
 }
 
 type t = {
@@ -14,7 +15,13 @@ type t = {
   cap : int;
   metrics : Ivdb_util.Metrics.t;
   frames : (int, frame) Hashtbl.t;
-  mutable order : frame list; (* clock order, oldest first *)
+  (* Clock ring: dense array prefix [0, ring_len) with a persistent hand.
+     Insert and remove are O(1) (remove swaps the last frame into the
+     hole), replacing the former list with its O(n) append and O(n)
+     filter per miss/evict. *)
+  mutable ring : frame array;
+  mutable ring_len : int;
+  mutable hand : int;
   mutable wal_force : int64 -> unit;
 }
 
@@ -24,13 +31,35 @@ let create disk ~capacity metrics =
     cap = capacity;
     metrics;
     frames = Hashtbl.create capacity;
-    order = [];
+    ring = [||];
+    ring_len = 0;
+    hand = 0;
     wal_force = (fun _ -> failwith "Bufpool: wal_force not set");
   }
 
 let set_wal_force t f = t.wal_force <- f
 let capacity t = t.cap
 let disk t = t.disk
+
+let ring_add t fr =
+  if t.ring_len = Array.length t.ring then begin
+    let cap = max 16 (2 * Array.length t.ring) in
+    let bigger = Array.make cap fr in
+    Array.blit t.ring 0 bigger 0 t.ring_len;
+    t.ring <- bigger
+  end;
+  fr.ring_pos <- t.ring_len;
+  t.ring.(t.ring_len) <- fr;
+  t.ring_len <- t.ring_len + 1
+
+let ring_remove t fr =
+  let p = fr.ring_pos in
+  let last = t.ring_len - 1 in
+  let moved = t.ring.(last) in
+  t.ring.(p) <- moved;
+  moved.ring_pos <- p;
+  t.ring_len <- last;
+  if t.hand >= t.ring_len then t.hand <- 0
 
 let write_back t fr =
   if fr.dirty then begin
@@ -41,32 +70,29 @@ let write_back t fr =
     Ivdb_util.Metrics.incr t.metrics "buffer.writeback"
   end
 
-(* Clock eviction: sweep in insertion order, clearing reference bits; evict
-   the first unpinned, unreferenced frame. Two sweeps suffice; if every
-   frame is pinned we overflow rather than deadlock the cooperative
-   scheduler. *)
+(* Clock eviction: advance the hand around the ring, clearing reference
+   bits; evict the first unpinned, unreferenced frame. Two revolutions
+   suffice; if every frame is pinned we overflow rather than deadlock the
+   cooperative scheduler. *)
 let evict_one t =
   let victim = ref None in
-  let rec sweep l passes =
-    match (l, passes) with
-    | [], 0 -> ()
-    | [], n -> sweep t.order (n - 1)
-    | fr :: rest, n ->
-        if !victim = None then
-          if fr.pins > 0 || fr.no_steal then sweep rest n
-          else if fr.referenced then begin
-            fr.referenced <- false;
-            sweep rest n
-          end
-          else victim := Some fr
-  in
-  sweep t.order 2;
+  let steps = ref (2 * t.ring_len) in
+  while !victim = None && !steps > 0 do
+    decr steps;
+    let fr = t.ring.(t.hand) in
+    if fr.pins > 0 || fr.no_steal then t.hand <- (t.hand + 1) mod t.ring_len
+    else if fr.referenced then begin
+      fr.referenced <- false;
+      t.hand <- (t.hand + 1) mod t.ring_len
+    end
+    else victim := Some fr
+  done;
   match !victim with
   | None -> Ivdb_util.Metrics.incr t.metrics "buffer.overflow"
   | Some fr ->
       write_back t fr;
       Hashtbl.remove t.frames fr.page_id;
-      t.order <- List.filter (fun f -> f.page_id <> fr.page_id) t.order;
+      ring_remove t fr;
       Ivdb_util.Metrics.incr t.metrics "buffer.evict"
 
 let get_frame t page_id =
@@ -88,10 +114,11 @@ let get_frame t page_id =
           pins = 0;
           referenced = true;
           no_steal = false;
+          ring_pos = -1;
         }
       in
       Hashtbl.add t.frames page_id fr;
-      t.order <- t.order @ [ fr ];
+      ring_add t fr;
       fr
 
 let with_pin t page_id f =
@@ -127,13 +154,21 @@ let flush_page t page_id =
   | None -> ()
   | Some fr -> write_back t fr
 
-let flush_all t = List.iter (write_back t) t.order
+let flush_all t =
+  for i = 0 to t.ring_len - 1 do
+    write_back t t.ring.(i)
+  done
 
 let dirty_page_table t =
-  List.filter_map
-    (fun fr -> if fr.dirty then Some (fr.page_id, fr.rec_lsn) else None)
-    t.order
+  let acc = ref [] in
+  for i = t.ring_len - 1 downto 0 do
+    let fr = t.ring.(i) in
+    if fr.dirty then acc := (fr.page_id, fr.rec_lsn) :: !acc
+  done;
+  !acc
 
 let drop_all t =
   Hashtbl.reset t.frames;
-  t.order <- []
+  t.ring <- [||];
+  t.ring_len <- 0;
+  t.hand <- 0

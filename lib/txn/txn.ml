@@ -6,6 +6,11 @@ module Metrics = Ivdb_util.Metrics
 
 type status = Active | Committed | Aborted
 
+type commit_mode = Group_commit.mode =
+  | Sync
+  | Group of { max_batch : int; max_wait_ticks : int }
+  | Async
+
 exception Conflict of { txn : int; reason : string }
 
 type t = {
@@ -21,23 +26,28 @@ type mgr = {
   mlocks : Lock_mgr.t;
   mpool : Bufpool.t;
   mmetrics : Metrics.t;
+  mgc : Group_commit.t;
   active : (int, t) Hashtbl.t;
   mutable next_id : int;
   mutable undo_exec : t -> Log_record.logical_undo -> Log_record.page_diffs;
   mutable end_hooks : (t -> status -> unit) list;
 }
 
-let create_mgr ~wal ~locks ~pool metrics =
+let create_mgr ?(commit_mode = Sync) ~wal ~locks ~pool metrics =
   {
     mwal = wal;
     mlocks = locks;
     mpool = pool;
     mmetrics = metrics;
+    mgc = Group_commit.create ~wal ~mode:commit_mode metrics;
     active = Hashtbl.create 32;
     next_id = 1;
     undo_exec = (fun _ _ -> failwith "Txn: undo executor not installed");
     end_hooks = [];
   }
+
+let commit_mode mgr = Group_commit.mode mgr.mgc
+let set_commit_mode mgr m = Group_commit.set_mode mgr.mgc m
 
 let set_undo_exec mgr f = mgr.undo_exec <- f
 let add_end_hook mgr f = mgr.end_hooks <- f :: mgr.end_hooks
@@ -135,7 +145,13 @@ let commit mgr t =
   let read_only = t.tlast_lsn = t.tfirst_lsn in
   let lsn = Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.Commit in
   t.tlast_lsn <- lsn;
-  if not (t.system || read_only) then Wal.force mgr.mwal lsn;
+  (* Under group commit the fiber suspends here until the coordinator's
+     batched force covers [lsn]; the transaction stays active and keeps its
+     locks, so strictness is preserved. The stable-but-End-less window this
+     opens (a checkpoint can record the committing transaction in its ATT)
+     is handled by recovery: a transaction with a stable Commit record is
+     never a loser. *)
+  if not (t.system || read_only) then Group_commit.commit_durable mgr.mgc ~lsn;
   ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:lsn Log_record.End);
   finish mgr t Committed;
   Metrics.incr mgr.mmetrics (if t.system then "txn.system_commit" else "txn.commit");

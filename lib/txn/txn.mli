@@ -14,17 +14,30 @@ type t
 
 type status = Active | Committed | Aborted
 
+type commit_mode = Group_commit.mode =
+  | Sync  (** one private log force per commit *)
+  | Group of { max_batch : int; max_wait_ticks : int }
+      (** batched forces behind the commit coordinator fiber *)
+  | Async  (** acknowledge before the force; weakest durability *)
+(** How a user transaction's commit record is made durable; see
+    {!Group_commit}. *)
+
 exception Conflict of { txn : int; reason : string }
 (** Raised out of a transaction body when the transaction has been chosen
     as a deadlock victim (or explicitly killed); the caller must run
     {!abort} and may then retry. *)
 
 val create_mgr :
+  ?commit_mode:commit_mode ->
   wal:Ivdb_wal.Wal.t ->
   locks:Ivdb_lock.Lock_mgr.t ->
   pool:Ivdb_storage.Bufpool.t ->
   Ivdb_util.Metrics.t ->
   mgr
+(** [commit_mode] defaults to {!Sync}. *)
+
+val commit_mode : mgr -> commit_mode
+val set_commit_mode : mgr -> commit_mode -> unit
 
 val set_undo_exec : mgr -> (t -> Ivdb_wal.Log_record.logical_undo -> Ivdb_wal.Log_record.page_diffs) -> unit
 (** Install the logical-undo executor (supplied by the access layer). It
@@ -65,9 +78,13 @@ val log_update :
 val log_ddl : mgr -> t -> string -> unit
 
 val commit : mgr -> t -> unit
-(** User transactions force the log up to their commit record; system
-    transactions do not (their effects are redone from the log if needed
-    and required no force for correctness). *)
+(** User transactions make the log stable up to their commit record before
+    being acknowledged — with a private force in {!Sync} mode, via the
+    coordinator's batched force in {!Group} mode (the fiber suspends, still
+    holding its locks, until the batch is flushed), or not at all in
+    {!Async} mode. System and read-only transactions never force (their
+    effects are redone from the log if needed and required no force for
+    correctness). *)
 
 val abort : mgr -> t -> unit
 (** Roll back by walking the undo chain, logging compensation records;

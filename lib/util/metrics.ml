@@ -1,22 +1,34 @@
-type t = (string, int ref) Hashtbl.t
+(* Counters plus integer-valued histograms. Counters are the original
+   name -> int map; histograms record a count per observed value (exact,
+   not bucketed) and back e.g. the group-commit batch-size distribution. *)
 
-let create () = Hashtbl.create 64
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; hists = Hashtbl.create 8 }
 
 let cell t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
       let r = ref 0 in
-      Hashtbl.add t name r;
+      Hashtbl.add t.counters name r;
       r
 
 let add t name n = cell t name := !(cell t name) + n
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.reset t
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.hists
 
 let snapshot t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let diff ~before ~after =
@@ -26,5 +38,46 @@ let diff ~before ~after =
   let find l n = match List.assoc_opt n l with Some v -> v | None -> 0 in
   List.map (fun n -> (n, find after n - find before n)) names
 
+(* --- histograms ---------------------------------------------------------- *)
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.add t.hists name h;
+        h
+  in
+  match Hashtbl.find_opt h v with
+  | Some r -> Stdlib.incr r
+  | None -> Hashtbl.add h v (ref 1)
+
+let hist_snapshot t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> []
+  | Some h ->
+      Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist_count t name =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 (hist_snapshot t name)
+
+let hist_total t name =
+  List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 (hist_snapshot t name)
+
+let hist_mean t name =
+  let n = hist_count t name in
+  if n = 0 then 0. else float_of_int (hist_total t name) /. float_of_int n
+
+let hist_max t name =
+  List.fold_left (fun acc (v, _) -> max acc v) 0 (hist_snapshot t name)
+
 let pp ppf t =
-  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot t)
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot t);
+  Hashtbl.iter
+    (fun name _ ->
+      Format.fprintf ppf "%s={" name;
+      List.iter (fun (v, c) -> Format.fprintf ppf "%d:%d " v c) (hist_snapshot t name);
+      Format.fprintf ppf "}@ ")
+    t.hists

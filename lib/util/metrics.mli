@@ -1,8 +1,10 @@
-(** Named event counters.
+(** Named event counters and integer-valued histograms.
 
     Every subsystem reports into a [Metrics.t] owned by the database
     instance (no global state, so concurrent engines in one process —
-    e.g. the crash-recovery tests — do not interfere). *)
+    e.g. the crash-recovery tests — do not interfere). Histograms record
+    exact value counts (no bucketing); they back distribution-shaped
+    telemetry such as the group-commit batch-size histogram. *)
 
 type t
 
@@ -18,5 +20,25 @@ val snapshot : t -> (string * int) list
 
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
 (** Per-counter [after - before]; counters absent on one side count as 0. *)
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> int -> unit
+(** Record one occurrence of an integer value under a histogram name. *)
+
+val hist_snapshot : t -> string -> (int * int) list
+(** (value, occurrences), sorted by value; [] for unknown names. *)
+
+val hist_count : t -> string -> int
+(** Total observations. *)
+
+val hist_total : t -> string -> int
+(** Sum of observed values. *)
+
+val hist_mean : t -> string -> float
+(** 0. when empty. *)
+
+val hist_max : t -> string -> int
+(** Largest observed value; 0 when empty. *)
 
 val pp : Format.formatter -> t -> unit

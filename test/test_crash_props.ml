@@ -29,6 +29,18 @@ let spec_of seed strategy =
 
 let strategies = [| Maintain.Exclusive; Maintain.Escrow; Maintain.Deferred |]
 
+(* every property runs under every commit mode: batched (and async) forces
+   must not change what recovery reconstructs *)
+let modes =
+  [| Txn.Sync; Txn.Group { max_batch = 8; max_wait_ticks = 30 }; Txn.Async |]
+
+let with_mode spec mode =
+  { spec with Workload.config = { spec.Workload.config with Database.commit_mode = mode } }
+
+(* decorrelate from the [seed mod 3] strategy pick so every
+   (strategy, commit mode) pair occurs *)
+let mode_of seed = modes.((seed / 3) mod Array.length modes)
+
 let consistent_after db v =
   (match Database.view_strategy db v with
   | Maintain.Deferred -> Database.transact db (fun tx -> ignore (Query.refresh db tx v))
@@ -41,7 +53,7 @@ let prop_crash_forced =
     QCheck.(int_bound 10000)
     (fun seed ->
       let strategy = strategies.(seed mod 3) in
-      let spec = spec_of seed strategy in
+      let spec = with_mode (spec_of seed strategy) (mode_of seed) in
       let db, sales, views = Workload.setup spec in
       let _ = Workload.run_on db sales views spec in
       (* leave losers in flight *)
@@ -65,7 +77,7 @@ let prop_crash_unforced_tail =
     QCheck.(int_bound 10000)
     (fun seed ->
       let strategy = strategies.(seed mod 3) in
-      let spec = spec_of (seed + 77) strategy in
+      let spec = with_mode (spec_of (seed + 77) strategy) (mode_of seed) in
       let db, sales, views = Workload.setup spec in
       let _ = Workload.run_on db sales views spec in
       (* unforced in-flight work simply evaporates *)
@@ -84,7 +96,7 @@ let prop_crash_twice =
     QCheck.(int_bound 10000)
     (fun seed ->
       let strategy = strategies.(seed mod 3) in
-      let spec = spec_of (seed + 313) strategy in
+      let spec = with_mode (spec_of (seed + 313) strategy) (mode_of seed) in
       let db, sales, views = Workload.setup spec in
       let _ = Workload.run_on db sales views spec in
       let db' = Database.crash db in
@@ -100,10 +112,71 @@ let prop_crash_twice =
       let v'' = Database.view db'' "sales_by_product_0" in
       consistent_after db'' v'')
 
+(* acknowledged durability: in Sync and Group modes every transaction whose
+   commit returned survives a crash — the batched force must cover a commit
+   before it is acknowledged. (Async deliberately fails this; see
+   prop_async_runs_consistent for its weaker contract.) *)
+let prop_group_commit_durable =
+  QCheck.Test.make ~name:"group commit: acked work survives a crash" ~count:15
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let mode =
+        if seed mod 2 = 0 then Txn.Sync
+        else Txn.Group { max_batch = 1 + (seed mod 12); max_wait_ticks = seed mod 60 }
+      in
+      let spec = with_mode (spec_of (seed + 515) strategy) mode in
+      let db, sales, _views = Workload.setup spec in
+      let _ = Workload.run_on db sales _views spec in
+      let dump d t =
+        Query.table_scan d None t Query.Dirty |> List.of_seq |> List.sort compare
+      in
+      let before = dump db sales in
+      let db' = Database.crash db in
+      let after = dump db' (Database.table db' "sales") in
+      before = after)
+
+(* async mode may lose acked-but-unflushed tail transactions, but what
+   recovery reconstructs is still transaction-consistent: base table and
+   view agree *)
+let prop_async_runs_consistent =
+  QCheck.Test.make ~name:"async commit: crash state is still consistent" ~count:15
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let spec = with_mode (spec_of (seed + 929) strategy) Txn.Async in
+      let db, sales, views = Workload.setup spec in
+      let _ = Workload.run_on db sales views spec in
+      let db' = Database.crash db in
+      let v' = Database.view db' "sales_by_product_0" in
+      consistent_after db' v')
+
+(* the scheduler's seeded RNG fully determines the interleaving, so batch
+   boundaries — an emergent property of who reaches commit when — must be
+   reproducible run over run *)
+let prop_batch_boundaries_deterministic =
+  QCheck.Test.make ~name:"same seed => same batch boundaries" ~count:10
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let strategy = strategies.(seed mod 3) in
+      let mode = Txn.Group { max_batch = 2 + (seed mod 10); max_wait_ticks = 20 } in
+      let spec = with_mode (spec_of (seed + 1111) strategy) mode in
+      let r1 = Workload.run spec in
+      let r2 = Workload.run spec in
+      r1.Workload.batch_hist = r2.Workload.batch_hist
+      && r1.Workload.committed = r2.Workload.committed
+      && r1.Workload.forces = r2.Workload.forces)
+
 let () =
   Alcotest.run "crash-props"
     [
       ( "properties",
         [ qtest prop_crash_forced; qtest prop_crash_unforced_tail; qtest prop_crash_twice ]
       );
+      ( "commit modes",
+        [
+          qtest prop_group_commit_durable;
+          qtest prop_async_runs_consistent;
+          qtest prop_batch_boundaries_deterministic;
+        ] );
     ]

@@ -119,6 +119,35 @@ let test_outside_run_fallbacks () =
   Sched.advance 10;
   check Alcotest.int "alive" 1 (Sched.fibers_alive ())
 
+let test_in_run () =
+  Alcotest.(check bool) "outside" false (Sched.in_run ());
+  let inside = Sched.run (fun () -> Sched.in_run ()) in
+  Alcotest.(check bool) "inside" true inside;
+  Alcotest.(check bool) "after" false (Sched.in_run ())
+
+(* the FIFO run queue is a circular buffer whose head index wraps; a long
+   churn of spawn/yield must preserve strict round-robin order across many
+   wraparounds *)
+let test_fifo_order_survives_wraparound () =
+  let trace = ref [] in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      for i = 1 to 13 do
+        ignore
+          (Sched.spawn (fun () ->
+               for round = 1 to 17 do
+                 trace := (round, i) :: !trace;
+                 Sched.yield ()
+               done))
+      done);
+  let expected =
+    List.concat_map
+      (fun round -> List.init 13 (fun i -> (round, i + 1)))
+      (List.init 17 (fun r -> r + 1))
+  in
+  check
+    Alcotest.(list (pair int int))
+    "strict round-robin across wraps" expected (List.rev !trace)
+
 let test_nested_spawn () =
   let count = ref 0 in
   Sched.run (fun () ->
@@ -156,5 +185,8 @@ let () =
         [
           Alcotest.test_case "advance" `Quick test_clock_advances;
           Alcotest.test_case "outside run fallbacks" `Quick test_outside_run_fallbacks;
+          Alcotest.test_case "in_run probe" `Quick test_in_run;
+          Alcotest.test_case "fifo order survives wraparound" `Quick
+            test_fifo_order_survives_wraparound;
         ] );
     ]

@@ -211,6 +211,41 @@ let test_bufpool_eviction_respects_capacity () =
   List.iter (fun id -> Bufpool.read pool id (fun _ -> ())) ids;
   Alcotest.(check bool) "evictions happened" true (Metrics.get m "buffer.evict" >= 3)
 
+let test_bufpool_clock_second_chance () =
+  let m, d, pool, _ = make_pool ~capacity:3 () in
+  let a = Disk.alloc_page d
+  and b = Disk.alloc_page d
+  and c = Disk.alloc_page d in
+  List.iter (fun id -> Bufpool.read pool id (fun _ -> ())) [ a; b; c ];
+  (* the hand sweeps a full revolution clearing reference bits, then takes
+     the oldest frame: a *)
+  Bufpool.read pool (Disk.alloc_page d) (fun _ -> ());
+  (* re-reference b: the next eviction must pass it over and take c *)
+  Bufpool.read pool b (fun _ -> ());
+  Bufpool.read pool (Disk.alloc_page d) (fun _ -> ());
+  let hits = Metrics.get m "buffer.hit" in
+  Bufpool.read pool b (fun _ -> ());
+  check Alcotest.int "b survived both evictions" (hits + 1) (Metrics.get m "buffer.hit")
+
+let test_bufpool_dirty_churn_consistent () =
+  (* evictions write dirty frames back; after heavy churn every page reads
+     back with its last update, whether served from a frame or from disk *)
+  let _, d, pool, _ = make_pool ~capacity:4 () in
+  let ids = Array.init 12 (fun _ -> Disk.alloc_page d) in
+  Array.iteri
+    (fun i id ->
+      let (), _ = Bufpool.update pool id (fun p -> Bytes.set p 80 (Char.chr (65 + i))) in
+      Bufpool.stamp pool id (Int64.of_int (i + 1)))
+    ids;
+  Array.iteri
+    (fun i id ->
+      Bufpool.read pool id (fun p ->
+          check Alcotest.char "content survives churn" (Char.chr (65 + i))
+            (Bytes.get p 80)))
+    ids;
+  Bufpool.flush_all pool;
+  check Alcotest.(list (pair int int64)) "all clean" [] (Bufpool.dirty_page_table pool)
+
 let test_bufpool_unstamped_not_evicted () =
   let _, d, pool, _ = make_pool ~capacity:2 () in
   let a = Disk.alloc_page d in
@@ -339,6 +374,10 @@ let () =
           Alcotest.test_case "update/stamp/flush + WAL rule" `Quick
             test_bufpool_update_stamp_flush;
           Alcotest.test_case "eviction" `Quick test_bufpool_eviction_respects_capacity;
+          Alcotest.test_case "clock second chance" `Quick
+            test_bufpool_clock_second_chance;
+          Alcotest.test_case "dirty churn stays consistent" `Quick
+            test_bufpool_dirty_churn_consistent;
           Alcotest.test_case "no-steal window" `Quick test_bufpool_unstamped_not_evicted;
           Alcotest.test_case "dirty page table" `Quick test_bufpool_dpt;
           Alcotest.test_case "drop_all" `Quick test_bufpool_drop_all;

@@ -277,6 +277,153 @@ let test_savepoint_crash_after_partial_rollback () =
   let env', _, _ = reopen env in
   check Alcotest.(list string) "loser fully undone" [] (heap_contents env')
 
+(* --- group commit ---------------------------------------------------------- *)
+
+let group_mode = Txn.Group { max_batch = 4; max_wait_ticks = 10 }
+
+let test_group_commit_batches_forces () =
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  Txn.set_commit_mode mgr group_mode;
+  let forces_before = Metrics.get env.h.Harness.metrics "log.force" in
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      for w = 1 to 4 do
+        ignore
+          (Sched.spawn (fun () ->
+               let tx = Txn.begin_txn mgr in
+               ignore (heap_insert env tx (Printf.sprintf "g%d" w));
+               Txn.commit mgr tx;
+               (* acknowledged == durable: the batched force covered us *)
+               Alcotest.(check bool) "acked commit is flushed" true
+                 (Wal.flushed_lsn env.h.Harness.wal >= Txn.last_lsn tx - 1)))
+      done);
+  let forces = Metrics.get env.h.Harness.metrics "log.force" - forces_before in
+  check Alcotest.int "one force for the whole batch" 1 forces;
+  check Alcotest.int "all four committed" 4
+    (Metrics.get env.h.Harness.metrics "txn.commit");
+  check
+    Alcotest.(list (pair int int))
+    "batch histogram: one batch of 4" [ (4, 1) ]
+    (Metrics.hist_snapshot env.h.Harness.metrics "commit.batch");
+  check Alcotest.int "forces avoided" 3
+    (Metrics.get env.h.Harness.metrics "commit.forces_avoided")
+
+let test_group_commit_deadline_fires () =
+  (* a single committer must not wait forever for a batch that never
+     fills: the coordinator's tick deadline flushes it *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  Txn.set_commit_mode mgr group_mode;
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      let tx = Txn.begin_txn mgr in
+      ignore (heap_insert env tx "solo");
+      Txn.commit mgr tx);
+  check
+    Alcotest.(list (pair int int))
+    "batch of 1" [ (1, 1) ]
+    (Metrics.hist_snapshot env.h.Harness.metrics "commit.batch");
+  check Alcotest.(list string) "durable" [ "solo" ] (heap_contents env)
+
+let test_group_commit_outside_run_falls_back () =
+  (* no scheduler, no fibers: Group mode degrades to a private force *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  Txn.set_commit_mode mgr group_mode;
+  let tx = Txn.begin_txn mgr in
+  ignore (heap_insert env tx "solo");
+  Txn.commit mgr tx;
+  Alcotest.(check bool) "commit record stable" true
+    (Wal.flushed_lsn env.h.Harness.wal >= Txn.last_lsn tx - 1);
+  check Alcotest.int "sync fallback counted" 1
+    (Metrics.get env.h.Harness.metrics "commit.sync_fallback")
+
+let test_group_commit_crash_before_force_loses_txn () =
+  (* crash in the window between the Commit append and the batched force:
+     the transaction was never acknowledged, so it must be a loser (its
+     earlier records reached the stable log via a page-steal force) *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  let tx = Txn.begin_txn mgr in
+  ignore (heap_insert env tx "unacked");
+  Wal.force env.h.Harness.wal (Wal.last_lsn env.h.Harness.wal);
+  (* commit record appended but NOT yet covered by the coordinator's force *)
+  ignore
+    (Wal.append env.h.Harness.wal ~txn:(Txn.id tx) ~prev:(Txn.last_lsn tx)
+       Log_record.Commit);
+  let env', analysis, _ = reopen env in
+  check Alcotest.int "rolled back as loser" 1
+    (List.length analysis.Recovery.losers);
+  check Alcotest.(list string) "no trace" [] (heap_contents env')
+
+let test_group_commit_crash_after_force_commits_without_end () =
+  (* crash after the batched force but before the End append: the stable
+     Commit record alone makes the transaction committed *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  let tx = Txn.begin_txn mgr in
+  ignore (heap_insert env tx "acked");
+  ignore
+    (Wal.append env.h.Harness.wal ~txn:(Txn.id tx) ~prev:(Txn.last_lsn tx)
+       Log_record.Commit);
+  Wal.force env.h.Harness.wal (Wal.last_lsn env.h.Harness.wal);
+  let env', analysis, _ = reopen env in
+  check Alcotest.int "not a loser" 0 (List.length analysis.Recovery.losers);
+  check Alcotest.(list string) "durable" [ "acked" ] (heap_contents env')
+
+let test_group_commit_checkpoint_during_wait () =
+  (* a checkpoint taken while a transaction waits for the batched force
+     records it in the ATT even though its Commit record is stable and
+     earlier than the checkpoint; recovery must still commit it *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  let tx = Txn.begin_txn mgr in
+  ignore (heap_insert env tx "waiting");
+  ignore
+    (Wal.append env.h.Harness.wal ~txn:(Txn.id tx) ~prev:(Txn.last_lsn tx)
+       Log_record.Commit);
+  (* tx is still in the manager's active table: the checkpoint ATT lists it *)
+  Txn.checkpoint mgr ~catalog:"";
+  let env', analysis, _ = reopen env in
+  check Alcotest.int "stable Commit overrides checkpoint ATT" 0
+    (List.length analysis.Recovery.losers);
+  check Alcotest.(list string) "durable" [ "waiting" ] (heap_contents env')
+
+let test_async_commit_outside_run_lost_on_crash () =
+  (* Async acknowledges before any force; outside a scheduler run nothing
+     flushes in the background either, so a crash loses the transaction *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  Txn.set_commit_mode mgr Txn.Async;
+  let tx = Txn.begin_txn mgr in
+  ignore (heap_insert env tx "volatile");
+  Txn.commit mgr tx;
+  Alcotest.(check bool) "acknowledged as committed" true
+    (Txn.status tx = Txn.Committed);
+  Alcotest.(check bool) "but commit record not stable" true
+    (Wal.flushed_lsn env.h.Harness.wal < Txn.last_lsn tx - 1);
+  let env', _, _ = reopen env in
+  check Alcotest.(list string) "lost: the weakened guarantee" []
+    (heap_contents env')
+
+let test_async_commit_in_run_flushed_by_coordinator () =
+  (* inside a run the background coordinator drains the pending commits
+     before the scheduler can go idle *)
+  let env = make_env () in
+  let mgr = env.h.Harness.mgr in
+  Txn.set_commit_mode mgr Txn.Async;
+  Sched.run ~policy:Sched.Fifo (fun () ->
+      for w = 1 to 3 do
+        ignore
+          (Sched.spawn (fun () ->
+               let tx = Txn.begin_txn mgr in
+               ignore (heap_insert env tx (Printf.sprintf "a%d" w));
+               Txn.commit mgr tx))
+      done);
+  Alcotest.(check bool) "drained at run end" true
+    (Wal.flushed_lsn env.h.Harness.wal >= Wal.last_lsn env.h.Harness.wal - 3);
+  let env', _, _ = reopen env in
+  check Alcotest.int "all three recovered" 3 (List.length (heap_contents env'))
+
 (* --- checkpoint + recovery ------------------------------------------------ *)
 
 let test_recovery_committed_survive_uncommitted_vanish () =
@@ -429,6 +576,24 @@ let () =
             test_savepoint_work_after_rollback_persists;
           Alcotest.test_case "crash after partial rollback" `Quick
             test_savepoint_crash_after_partial_rollback;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "batches forces" `Quick test_group_commit_batches_forces;
+          Alcotest.test_case "deadline flushes a lone committer" `Quick
+            test_group_commit_deadline_fires;
+          Alcotest.test_case "outside run falls back to sync" `Quick
+            test_group_commit_outside_run_falls_back;
+          Alcotest.test_case "crash before force loses txn" `Quick
+            test_group_commit_crash_before_force_loses_txn;
+          Alcotest.test_case "crash after force commits without End" `Quick
+            test_group_commit_crash_after_force_commits_without_end;
+          Alcotest.test_case "checkpoint during commit wait" `Quick
+            test_group_commit_checkpoint_during_wait;
+          Alcotest.test_case "async outside run lost on crash" `Quick
+            test_async_commit_outside_run_lost_on_crash;
+          Alcotest.test_case "async in run flushed by coordinator" `Quick
+            test_async_commit_in_run_flushed_by_coordinator;
         ] );
       ( "recovery",
         [

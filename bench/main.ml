@@ -587,6 +587,54 @@ let commit_bench ~quick () =
     (row, json)
   in
   let cells = List.concat_map (fun m -> List.map (cell m) mpls) modes in
+  (* tracing overhead: the group-commit cell at the highest mpl, structured
+     trace off vs on (events counted, then discarded). Tick throughput is
+     deterministic and must be identical either way — tracing never touches
+     the simulated clock — so the interesting deltas are event volume and
+     wall time. *)
+  let trace_cell enabled =
+    let mpl = List.fold_left max 1 mpls in
+    let spec =
+      {
+        Workload.default with
+        seed = 11;
+        strategy = Maintain.Escrow;
+        mpl;
+        txns_per_worker = max 1 (budget / mpl);
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+        config =
+          {
+            Workload.default.Workload.config with
+            commit_mode = Txn.Group { max_batch = 32; max_wait_ticks = 50 };
+          };
+      }
+    in
+    let db, sales, views = Workload.setup spec in
+    let events = ref 0 in
+    if enabled then begin
+      let tr = Database.trace db in
+      Ivdb_util.Trace.add_sink tr (fun _ -> incr events);
+      Ivdb_util.Trace.set_enabled tr true
+    end;
+    let r = Workload.run_on db sales views spec in
+    (mpl, r, !events)
+  in
+  let mpl_off, r_off, _ = trace_cell false in
+  let _, r_on, events = trace_cell true in
+  let trace_json =
+    [
+      Printf.sprintf
+        {|    {"mode": "group", "mpl": %d, "trace": "off", "committed": %d, "throughput_per_1k_ticks": %.3f, "events": 0, "wall_s": %.4f}|}
+        mpl_off r_off.Workload.committed r_off.Workload.throughput
+        r_off.Workload.wall_s;
+      Printf.sprintf
+        {|    {"mode": "group", "mpl": %d, "trace": "on", "committed": %d, "throughput_per_1k_ticks": %.3f, "events": %d, "wall_s": %.4f}|}
+        mpl_off r_on.Workload.committed r_on.Workload.throughput events
+        r_on.Workload.wall_s;
+    ]
+  in
   print_table
     ~title:
       (Printf.sprintf
@@ -596,12 +644,17 @@ let commit_bench ~quick () =
       [ "commit mode"; "mpl"; "commits"; "tput/1k ticks"; "forces";
         "forces/commit"; "mean batch"; "stall/commit" ]
     (List.map fst cells);
+  Printf.printf
+    "\ntracing overhead (group, mpl %d): off %.2f tput / %.3fs wall, on %.2f tput / %.3fs wall (%d events)\n"
+    mpl_off r_off.Workload.throughput r_off.Workload.wall_s
+    r_on.Workload.throughput r_on.Workload.wall_s events;
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ]\n}\n"
     quick
-    (String.concat ",\n" (List.map snd cells));
+    (String.concat ",\n" (List.map snd cells @ trace_json));
   close_out oc;
-  Printf.printf "\nwrote BENCH_commit.json (%d cells)\n%!" (List.length cells)
+  Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
+    (List.length cells + List.length trace_json)
 
 let e11 () = commit_bench ~quick:false ()
 

@@ -1,27 +1,60 @@
 (* Interactive SQL shell over an in-memory ivdb instance.
 
    Extra dot-commands beyond SQL:
-     .crash    simulate a crash and recover
-     .gc       run garbage collection (ghosts, zero-count groups, vacuum)
-     .help     this text
-     .quit     exit
+     .crash        simulate a crash and recover
+     .gc           run garbage collection (ghosts, zero-count groups, vacuum)
+     .trace on     start recording engine trace events (bounded ring)
+     .trace off    stop recording
+     .trace show   print the recorded events, oldest first
+     .help         this text
+     .quit         exit
 
    Run with: dune exec bin/ivdb_repl.exe
    or pipe a script: dune exec bin/ivdb_repl.exe < script.sql *)
 
 module Sql = Ivdb_sql.Sql
 module Database = Ivdb.Database
+module Trace = Ivdb_util.Trace
 
 let help =
   {|statements: CREATE TABLE/INDEX/VIEW, INSERT, DELETE, UPDATE, SELECT,
-            BEGIN, COMMIT, ROLLBACK, CHECKPOINT, SHOW TABLES/VIEWS/METRICS
-dot commands: .crash .gc .help .quit|}
+            EXPLAIN [ANALYZE] SELECT, BEGIN, COMMIT, ROLLBACK, CHECKPOINT,
+            SHOW TABLES/VIEWS/METRICS
+dot commands: .crash .gc .trace on|off|show .help .quit|}
+
+(* the trace ring survives statements but not .crash (new instance, new trace) *)
+let ring_capacity = 4096
 
 let () =
   let interactive = Unix.isatty Unix.stdin in
   if interactive then
     print_endline "ivdb SQL shell — .help for help, .quit to exit";
   let session = ref (Sql.session (Database.create ())) in
+  let ring = ref None in
+  let trace_cmd arg =
+    let tr = Database.trace (Sql.db !session) in
+    match arg with
+    | "on" ->
+        let r = Trace.Ring.create ~capacity:ring_capacity in
+        ring := Some r;
+        Trace.clear_sinks tr;
+        Trace.add_sink tr (Trace.Ring.sink r);
+        Trace.set_enabled tr true;
+        Printf.printf "tracing on (last %d events kept)\n" ring_capacity
+    | "off" ->
+        Trace.set_enabled tr false;
+        print_endline "tracing off"
+    | "show" -> (
+        match !ring with
+        | None -> print_endline "tracing has not been turned on"
+        | Some r ->
+            List.iter
+              (fun rec_ -> print_endline (Trace.to_json rec_))
+              (Trace.Ring.contents r);
+            Printf.printf "(%d of %d event(s))\n" (Trace.Ring.length r)
+              (Trace.Ring.seen r))
+    | _ -> print_endline "usage: .trace on|off|show"
+  in
   let rec loop () =
     if interactive then begin
       print_string (if Sql.in_transaction !session then "ivdb*> " else "ivdb> ");
@@ -39,8 +72,11 @@ let () =
          else if line = ".crash" then begin
            let db' = Database.crash (Sql.db !session) in
            session := Sql.session db';
+           ring := None;
            print_endline "crashed and recovered"
          end
+         else if String.length line >= 6 && String.sub line 0 6 = ".trace" then
+           trace_cmd (String.trim (String.sub line 6 (String.length line - 6)))
          else if Ivdb_sql.Sql_lexer.tokenize line = [ Ivdb_sql.Sql_lexer.Eof ] then
            () (* comment-only line *)
          else

@@ -12,6 +12,7 @@ module Database = Ivdb.Database
 module Query = Ivdb.Query
 module Maintain = Ivdb_core.Maintain
 module Txn = Ivdb_txn.Txn
+module Trace = Ivdb_util.Trace
 
 open Cmdliner
 
@@ -65,7 +66,8 @@ let commit_mode_conv =
   Arg.conv (parse, print)
 
 let run seed groups theta mpl txns ops deletes reads scan coarse strategy
-    create_mode commit_mode views initial gc_every checkpoint_every verbose check =
+    create_mode commit_mode views initial gc_every checkpoint_every trace_out
+    verbose check =
   let spec =
     {
       Workload.config = { Workload.default.Workload.config with Database.commit_mode };
@@ -88,7 +90,23 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
     }
   in
   let db, sales, views_l = Workload.setup spec in
+  (* tracing covers the measured phase only: enabled after setup/preload *)
+  let profile = Trace.Profile.create () in
+  let close_trace =
+    match trace_out with
+    | None -> fun () -> ()
+    | Some path ->
+        let tr = Database.trace db in
+        let oc = open_out path in
+        Trace.add_sink tr (fun r -> output_string oc (Trace.to_json r ^ "\n"));
+        Trace.add_sink tr (Trace.Profile.sink profile);
+        Trace.set_enabled tr true;
+        fun () ->
+          Trace.set_enabled tr false;
+          close_out oc
+  in
   let r = Workload.run_on db sales views_l spec in
+  close_trace ();
   Printf.printf "strategy          %s (create: %s)\n"
     (Maintain.strategy_to_string strategy)
     (match create_mode with Maintain.System_txn -> "system txn" | Maintain.User_txn -> "user txn");
@@ -108,6 +126,10 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
   Printf.printf "latency           mean %.1f, p95 %.1f ticks\n" r.Workload.mean_latency
     r.Workload.p95_latency;
   Printf.printf "wall time         %.3f s\n" r.Workload.wall_s;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      Printf.printf "\ntrace written to %s\n%s\n" path (Trace.Profile.render profile));
   if verbose then begin
     Printf.printf "\ncounters:\n";
     List.iter
@@ -174,6 +196,15 @@ let cmd =
       & opt (some int) None
       & info [ "checkpoint-every" ] ~doc:"Sharp checkpoint every N commits.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:"Write the JSONL trace of the measured phase to $(docv) and \
+                print a lock-wait / maintenance profile."
+          ~docv:"FILE")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump all counters.") in
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify view consistency afterwards.")
@@ -182,6 +213,6 @@ let cmd =
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
    $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
-   $ gc_every $ checkpoint_every $ verbose $ check)
+   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check)
 
 let () = exit (Cmd.eval cmd)

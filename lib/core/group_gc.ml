@@ -26,7 +26,11 @@ let run mgr rt =
             Btree.delete stx rt.Maintain.tree ~key;
             Txn.commit mgr stx;
             incr removed;
-            Ivdb_util.Metrics.incr (Txn.metrics mgr) "view.gc_removed"
+            Ivdb_util.Metrics.incr (Txn.metrics mgr) "view.gc_removed";
+            let tr = Txn.trace mgr in
+            if Ivdb_util.Trace.enabled tr then
+              Ivdb_util.Trace.emit tr
+                (Ivdb_util.Trace.Group_gc { view = rt.Maintain.vid; key })
         | Some _ | None -> ()
       end)
     (zero_keys rt);

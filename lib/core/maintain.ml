@@ -5,6 +5,7 @@ module Log_record = Ivdb_wal.Log_record
 module Lock_name = Ivdb_lock.Lock_name
 module Lock_mode = Ivdb_lock.Lock_mode
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
 
 type strategy = Exclusive | Escrow | Deferred
 
@@ -15,6 +16,32 @@ let strategy_to_string = function
 
 type create_mode = System_txn | User_txn
 
+(* Per-view typed counter handles, resolved once at registration: the
+   maintenance path runs once per base-table write and must not pay a
+   hashtable lookup per counter bump. *)
+type stats = {
+  s_delta : Metrics.counter;
+  s_exclusive : Metrics.counter;
+  s_escrow : Metrics.counter;
+  s_recompute : Metrics.counter;
+  s_group_delete : Metrics.counter;
+  s_group_create : Metrics.counter;
+  s_group_create_user : Metrics.counter;
+  s_deferred_append : Metrics.counter;
+}
+
+let make_stats m =
+  {
+    s_delta = Metrics.counter m "view.delta";
+    s_exclusive = Metrics.counter m "view.exclusive_update";
+    s_escrow = Metrics.counter m "view.escrow_update";
+    s_recompute = Metrics.counter m "view.recompute";
+    s_group_delete = Metrics.counter m "view.group_delete";
+    s_group_create = Metrics.counter m "view.group_create";
+    s_group_create_user = Metrics.counter m "view.group_create_user";
+    s_deferred_append = Metrics.counter m "view.deferred_append";
+  }
+
 type runtime = {
   vid : int;
   def : View_def.t;
@@ -24,6 +51,7 @@ type runtime = {
   inflight : Inflight.t;
   deferred : Deferred.t option;
   recompute_group : Txn.t -> string -> Row.t;
+  stats : stats;
 }
 
 let key_name rt key = Lock_name.Key (rt.vid, key)
@@ -49,7 +77,10 @@ let create_zero_group mgr txn rt ~key =
   | exception Btree.Duplicate_key _ ->
       (* another transaction created it first: fine, it exists *)
       Txn.commit mgr stx);
-  Metrics.incr (Txn.metrics mgr) "view.group_create"
+  Metrics.inc rt.stats.s_group_create;
+  let tr = Txn.trace mgr in
+  if Trace.enabled tr then
+    Trace.emit tr (Trace.Group_create { view = rt.vid; key; system = true })
 
 (* D3 ablation: create the group inside the user transaction instead,
    holding an X key lock until commit. Every other transaction touching the
@@ -62,7 +93,10 @@ let create_group_user mgr txn rt ~key =
   (try
      Btree.insert txn rt.tree ~key ~value:(Row.encode (Aggregate.zero_row rt.def))
    with Btree.Duplicate_key _ -> ());
-  Metrics.incr (Txn.metrics mgr) "view.group_create_user"
+  Metrics.inc rt.stats.s_group_create_user;
+  let tr = Txn.trace mgr in
+  if Trace.enabled tr then
+    Trace.emit tr (Trace.Group_create { view = rt.vid; key; system = false })
 
 let create_group mgr txn rt ~key =
   match rt.create_mode with
@@ -83,13 +117,13 @@ let rec exclusive mgr txn rt ~key delta =
       create_group mgr txn rt ~key;
       exclusive mgr txn rt ~key delta
   | Some stored ->
-      Metrics.incr (Txn.metrics mgr) "view.exclusive_update";
+      Metrics.inc rt.stats.s_exclusive;
       let row = Row.decode stored in
       let row' =
         match Aggregate.apply rt.def row delta with
         | `Ok r -> r
         | `Recompute ->
-            Metrics.incr (Txn.metrics mgr) "view.recompute";
+            Metrics.inc rt.stats.s_recompute;
             (* the retiring row is already gone from the base, so a fresh
                fold gives the post-delete aggregates *)
             rt.recompute_group txn key
@@ -98,7 +132,7 @@ let rec exclusive mgr txn rt ~key delta =
         (* physically remove, keeping the gap protected until commit *)
         Txn.lock mgr txn (gap_name rt key) Lock_mode.RangeX_X;
         Btree.delete txn rt.tree ~key;
-        Metrics.incr (Txn.metrics mgr) "view.group_delete"
+        Metrics.inc rt.stats.s_group_delete
       end
       else update_row mgr txn rt ~key ~undo:None row'
 
@@ -113,7 +147,7 @@ let rec escrow mgr txn rt ~key delta =
       create_group mgr txn rt ~key;
       escrow mgr txn rt ~key delta
   | Some stored ->
-      Metrics.incr (Txn.metrics mgr) "view.escrow_update";
+      Metrics.inc rt.stats.s_escrow;
       let row = Row.decode stored in
       let row' =
         match Aggregate.apply rt.def row delta with
@@ -133,7 +167,12 @@ let rec escrow mgr txn rt ~key delta =
 let apply_delta_exclusive mgr txn rt ~key delta = exclusive mgr txn rt ~key delta
 
 let apply_delta mgr txn rt ~key delta =
-  Metrics.incr (Txn.metrics mgr) "view.delta";
+  Metrics.inc rt.stats.s_delta;
+  let tr = Txn.trace mgr in
+  if Trace.enabled tr then
+    Trace.emit tr
+      (Trace.View_delta
+         { view = rt.vid; key; strategy = strategy_to_string rt.strategy });
   match rt.strategy with
   | Exclusive -> exclusive mgr txn rt ~key delta
   | Escrow ->
@@ -143,7 +182,7 @@ let apply_delta mgr txn rt ~key delta =
       match rt.deferred with
       | None -> invalid_arg "Maintain: deferred strategy without a queue"
       | Some q ->
-          Metrics.incr (Txn.metrics mgr) "view.deferred_append";
+          Metrics.inc rt.stats.s_deferred_append;
           Deferred.append txn q ~key delta)
 
 (* --- reads ------------------------------------------------------------------ *)

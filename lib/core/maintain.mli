@@ -36,6 +36,13 @@ type create_mode =
   | User_txn
       (** ablation: create inside the user transaction under an X key lock *)
 
+type stats
+(** Typed handles to the [view.*] counters, resolved once per view: the
+    maintenance hot path bumps refs instead of doing per-event hashtable
+    lookups. Build with {!make_stats} against the database's metrics. *)
+
+val make_stats : Ivdb_util.Metrics.t -> stats
+
 type runtime = {
   vid : int;  (** catalog id: lock namespace and undo-log view id *)
   def : View_def.t;
@@ -49,6 +56,7 @@ type runtime = {
   recompute_group : Ivdb_txn.Txn.t -> string -> Ivdb_relation.Row.t;
       (** recompute a group's aggregate row from base data (MIN/MAX
           retirement); supplied by the database layer *)
+  stats : stats;  (** from {!make_stats} on the owning database's metrics *)
 }
 
 val apply_delta :

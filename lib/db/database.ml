@@ -1,4 +1,5 @@
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
 module Disk = Ivdb_storage.Disk
 module Bufpool = Ivdb_storage.Bufpool
 module Heap_file = Ivdb_storage.Heap_file
@@ -60,6 +61,9 @@ and index_rt = { imeta : Catalog.index_meta; itree : Btree.t }
 type t = {
   cfg : config;
   dmetrics : Metrics.t;
+  dtrace : Trace.t;
+  m_retry : Metrics.counter;
+  m_give_up : Metrics.counter;
   disk : Disk.t;
   dpool : Bufpool.t;
   dwal : Wal.t;
@@ -103,6 +107,7 @@ let decode_rid_payload s =
   }
 
 let metrics t = t.dmetrics
+let trace t = t.dtrace
 let mgr t = t.tmgr
 let locks t = t.dlocks
 let wal t = t.dwal
@@ -389,6 +394,7 @@ let register_view t (meta : Catalog.view_meta) ~tree ~queue =
             (Seq.filter
                (fun row -> View_def.group_key def row = key)
                (source_rows t (Some txn) def)));
+      stats = Maintain.make_stats t.dmetrics;
     }
   in
   Hashtbl.replace t.views_rt meta.Catalog.vw_id rt;
@@ -416,18 +422,28 @@ let install_undo t =
       | Log_record.Undo_escrow { view; key; inverse } ->
           Maintain.undo_escrow t.tmgr (view_rt t view) ~key ~inverse)
 
-let bare ?(config = default_config) ~metrics ~disk ~wal () =
-  let dpool = Bufpool.create disk ~capacity:config.pool_capacity metrics in
+(* The trace is wired to the deterministic scheduler's clock and fiber id,
+   so under Sched.run the same seed yields a byte-identical event stream. *)
+let make_trace () = Trace.create ~clock:Sched.now ~fiber:Sched.self ()
+
+let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
+  let trace = match trace with Some tr -> tr | None -> make_trace () in
+  let dpool =
+    Bufpool.create disk ~capacity:config.pool_capacity ~trace metrics
+  in
   Bufpool.set_wal_force dpool (fun lsn -> Wal.force wal (Int64.to_int lsn));
-  let dlocks = Lock_mgr.create metrics in
+  let dlocks = Lock_mgr.create ~trace metrics in
   let tmgr =
-    Txn.create_mgr ~commit_mode:config.commit_mode ~wal ~locks:dlocks
+    Txn.create_mgr ~commit_mode:config.commit_mode ~trace ~wal ~locks:dlocks
       ~pool:dpool metrics
   in
   let t =
     {
       cfg = config;
       dmetrics = metrics;
+      dtrace = trace;
+      m_retry = Metrics.counter metrics "txn.retry";
+      m_give_up = Metrics.counter metrics "txn.give_up";
       disk;
       dpool;
       dwal = wal;
@@ -454,11 +470,12 @@ let bare ?(config = default_config) ~metrics ~disk ~wal () =
 
 let create ?(config = default_config) () =
   let metrics = Metrics.create () in
+  let trace = make_trace () in
   let disk =
     Disk.create ~read_cost:config.read_cost ~write_cost:config.write_cost metrics
   in
-  let wal = Wal.create metrics in
-  bare ~config ~metrics ~disk ~wal ()
+  let wal = Wal.create ~trace metrics in
+  bare ~config ~trace ~metrics ~disk ~wal ()
 
 (* --- DDL -------------------------------------------------------------------- *)
 
@@ -700,7 +717,15 @@ let reclaim_ghosts t entries =
     Txn.commit t.tmgr stx
   end
 
-let transact t ?retries f =
+type abort_reason =
+  | Deadlock_victim
+  | Lock_timeout
+  | User_abort of exn
+
+(* Retry loop returning the terminal exception (if any) unconsumed, so
+   [transact] can re-raise the original and [transact_result] can classify
+   it without losing the payload. *)
+let transact_exn t ?retries f =
   let retries = match retries with Some r -> r | None -> t.cfg.txn_retries in
   let rec go attempts_left =
     let tx = Txn.begin_txn t.tmgr in
@@ -715,19 +740,32 @@ let transact t ?retries f =
     | v ->
         Txn.commit t.tmgr tx;
         finish_ghosts true;
-        v
+        Ok v
     | exception Txn.Conflict _ when attempts_left > 0 ->
         Txn.abort t.tmgr tx;
         finish_ghosts false;
-        Metrics.incr t.dmetrics "txn.retry";
+        Metrics.inc t.m_retry;
         Sched.yield ();
         go (attempts_left - 1)
     | exception e ->
         Txn.abort t.tmgr tx;
         finish_ghosts false;
-        raise e
+        (match e with Txn.Conflict _ -> Metrics.inc t.m_give_up | _ -> ());
+        Error e
   in
   go retries
+
+let transact t ?retries f =
+  match transact_exn t ?retries f with Ok v -> v | Error e -> raise e
+
+(* No lock acquisition in the engine times out today (deadlocks are
+   detected, not waited out), so [Lock_timeout] never currently arises; it
+   completes the vocabulary for callers that pattern-match exhaustively. *)
+let transact_result t ?retries f =
+  match transact_exn t ?retries f with
+  | Ok v -> Ok v
+  | Error (Txn.Conflict _) -> Error Deadlock_victim
+  | Error e -> Error (User_abort e)
 
 (* Sharp checkpoint: flush the pool so the dirty-page table is empty, then
    discard the log prefix nothing can need anymore — redo starts at the
@@ -755,9 +793,10 @@ let rebuild_runtime t =
 
 let crash old =
   let metrics = Metrics.create () in
-  let wal = Wal.crash old.dwal metrics in
+  let trace = make_trace () in
+  let wal = Wal.crash old.dwal ~trace metrics in
   Bufpool.drop_all old.dpool;
-  let t = bare ~config:old.cfg ~metrics ~disk:old.disk ~wal () in
+  let t = bare ~config:old.cfg ~trace ~metrics ~disk:old.disk ~wal () in
   let analysis = Recovery.analyze wal in
   let redo_applied = Recovery.redo wal t.dpool analysis in
   Metrics.add metrics "recovery.redo_applied" redo_applied;

@@ -126,12 +126,33 @@ val view_refresh_threshold : t -> view -> int option
 
 (** {1 Transactions} *)
 
+type abort_reason =
+  | Deadlock_victim
+      (** chosen as a deadlock victim (a {!Ivdb_txn.Txn.Conflict}) and out
+          of retries *)
+  | Lock_timeout
+      (** reserved: no lock wait in the engine times out today — deadlocks
+          are detected at block time rather than waited out *)
+  | User_abort of exn
+      (** the transaction body raised; the exception is preserved *)
+(** Why a {!transact_result} transaction ultimately failed (after all
+    automatic retries). *)
+
 val transact : t -> ?retries:int -> (Ivdb_txn.Txn.t -> 'a) -> 'a
 (** Begin / run / commit, aborting on exception. A deadlock-victim
     {!Ivdb_txn.Txn.Conflict} aborts, yields, and retries (up to
     [config.txn_retries]); other exceptions abort and re-raise. After a
     commit that deleted rows, ghost slots are reclaimed by a system
-    transaction. Counts [txn.retry]. *)
+    transaction. Counts [txn.retry]; exhausted retries count
+    [txn.give_up]. Implemented on {!transact_result}'s retry loop — the
+    terminal exception is re-raised unchanged. *)
+
+val transact_result :
+  t -> ?retries:int -> (Ivdb_txn.Txn.t -> 'a) -> ('a, abort_reason) result
+(** Like {!transact}, but the terminal outcome is a value: [Error
+    Deadlock_victim] when retries are exhausted by deadlock aborts, [Error
+    (User_abort e)] when the body raised [e]. Never raises from the
+    transaction machinery itself. *)
 
 val checkpoint : t -> unit
 
@@ -151,6 +172,13 @@ val gc : t -> int
     deferred-queue ghosts, base-table ghosts. Returns items reclaimed. *)
 
 val metrics : t -> Ivdb_util.Metrics.t
+
+val trace : t -> Ivdb_util.Trace.t
+(** The engine-wide trace, shared by every subsystem of this instance and
+    wired to the deterministic scheduler's clock and fiber ids. Disabled
+    (and sink-less) by default: call {!Ivdb_util.Trace.add_sink} and
+    {!Ivdb_util.Trace.set_enabled} to observe events. *)
+
 val mgr : t -> Ivdb_txn.Txn.mgr
 val locks : t -> Ivdb_lock.Lock_mgr.t
 val wal : t -> Ivdb_wal.Wal.t

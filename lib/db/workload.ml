@@ -232,12 +232,8 @@ let run_on db sales views spec =
   let ticks = max 1 (!end_ticks - !start_ticks) in
   (* batch-size histogram of the measured phase only *)
   let batch_hist =
-    let hist_after = Metrics.hist_snapshot metrics "commit.batch" in
-    let find l v = match List.assoc_opt v l with Some c -> c | None -> 0 in
-    List.sort_uniq compare (List.map fst hist_before @ List.map fst hist_after)
-    |> List.filter_map (fun v ->
-           let d = find hist_after v - find hist_before v in
-           if d > 0 then Some (v, d) else None)
+    Metrics.hist_diff ~before:hist_before
+      ~after:(Metrics.hist_snapshot metrics "commit.batch")
   in
   let batch_count = List.fold_left (fun acc (_, c) -> acc + c) 0 batch_hist in
   let batch_total = List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 batch_hist in

@@ -2,6 +2,7 @@ exception Deadlock of int
 
 module Sched = Ivdb_sched.Sched
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
 
 type owner = { otxn : int; mutable mode : Lock_mode.t; mutable count : int }
 
@@ -24,19 +25,38 @@ type lock = {
 module Name_map = Map.Make (Lock_name)
 
 type t = {
-  metrics : Metrics.t;
+  trace : Trace.t;
+  m_acquire : Metrics.counter;
+  m_wait : Metrics.counter;
+  m_deadlock : Metrics.counter;
+  m_instant : Metrics.counter;
   mutable locks : lock Name_map.t;
   txn_locks : (int, (Lock_name.t, unit) Hashtbl.t) Hashtbl.t;
   blocked : (int, lock * req) Hashtbl.t; (* txn -> what it waits on *)
 }
 
-let create metrics =
+let create ?trace metrics =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
-    metrics;
+    trace;
+    m_acquire = Metrics.counter metrics "lock.acquire";
+    m_wait = Metrics.counter metrics "lock.wait";
+    m_deadlock = Metrics.counter metrics "lock.deadlock";
+    m_instant = Metrics.counter metrics "lock.instant";
     locks = Name_map.empty;
     txn_locks = Hashtbl.create 64;
     blocked = Hashtbl.create 16;
   }
+
+let name_str name = Format.asprintf "%a" Lock_name.pp name
+
+let trace_lock t ev txn lk req =
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (ev ~txn ~name:(name_str lk.lname) ~mode:(Lock_mode.to_string req.target))
+
+let ev_wait ~txn ~name ~mode = Trace.Lock_wait { txn; name; mode }
+let ev_grant ~txn ~name ~mode = Trace.Lock_grant { txn; name; mode }
 
 let find_lock t name = Name_map.find_opt name t.locks
 
@@ -114,6 +134,7 @@ let sweep t lk =
         if grantable lk r then begin
           apply_grant t lk r;
           Hashtbl.remove t.blocked r.rtxn;
+          trace_lock t ev_grant r.rtxn lk r;
           (match r.wake with Some w -> w () | None -> ());
           false
         end
@@ -131,6 +152,7 @@ let sweep t lk =
           then begin
             apply_grant t lk r;
             Hashtbl.remove t.blocked r.rtxn;
+            trace_lock t ev_grant r.rtxn lk r;
             (match r.wake with Some w -> w () | None -> ());
             pass kept rest
           end
@@ -190,8 +212,10 @@ let resolve_deadlocks t txn my_lk my_req =
     match find_cycle t txn with
     | None -> ()
     | Some cycle ->
-        Metrics.incr t.metrics "lock.deadlock";
+        Metrics.inc t.m_deadlock;
         let victim = List.fold_left max txn cycle in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace (Trace.Deadlock_victim { txn = victim });
         if victim = txn then begin
           remove_from_queue my_lk my_req;
           Hashtbl.remove t.blocked txn;
@@ -218,7 +242,8 @@ let resolve_deadlocks t txn my_lk my_req =
 (* --- public operations -------------------------------------------------- *)
 
 let wait t lk req =
-  Metrics.incr t.metrics "lock.wait";
+  Metrics.inc t.m_wait;
+  trace_lock t ev_wait req.rtxn lk req;
   if req.convert then lk.queue <- req :: lk.queue
   else lk.queue <- lk.queue @ [ req ];
   Hashtbl.replace t.blocked req.rtxn (lk, req);
@@ -234,7 +259,11 @@ let wait t lk req =
         req.cancel <- Some cancel)
 
 let request t ~txn name mode ~instant ~block =
-  Metrics.incr t.metrics "lock.acquire";
+  Metrics.inc t.m_acquire;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Lock_acquire
+         { txn; name = name_str name; mode = Lock_mode.to_string mode });
   let lk = get_lock t name in
   match owner_of lk txn with
   | Some o when Lock_mode.covers ~held:o.mode ~req:mode ->
@@ -275,7 +304,7 @@ let request t ~txn name mode ~instant ~block =
 let acquire t ~txn name mode = ignore (request t ~txn name mode ~instant:false ~block:true)
 
 let acquire_instant t ~txn name mode =
-  Metrics.incr t.metrics "lock.instant";
+  Metrics.inc t.m_instant;
   ignore (request t ~txn name mode ~instant:true ~block:true)
 
 let try_acquire t ~txn name mode = request t ~txn name mode ~instant:false ~block:false

@@ -14,7 +14,11 @@ exception Deadlock of int
 
 type t
 
-val create : Ivdb_util.Metrics.t -> t
+val create : ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
+(** [trace] defaults to a fresh disabled trace. When enabled, requests
+    emit [lock.acquire], blocking requests [lock.wait], grants of blocked
+    requests [lock.grant], and deadlock resolution [lock.deadlock_victim]
+    (one event per victim, carrying the victim's txn id). *)
 
 val acquire : t -> txn:int -> Lock_name.t -> Lock_mode.t -> unit
 (** Blocks until granted. Re-entrant: a held mode that covers the request

@@ -9,6 +9,7 @@ module Row = Ivdb_relation.Row
 module Expr = Ivdb_relation.Expr
 module View_def = Ivdb_core.View_def
 module Maintain = Ivdb_core.Maintain
+module Sched = Ivdb_sched.Sched
 
 exception Sql_error of string
 
@@ -226,6 +227,25 @@ let plan_table_access s t (where : A.expr option) =
 
 (* --- SELECT execution --------------------------------------------------------- *)
 
+(* EXPLAIN ANALYZE accounting: operators append (label, counter) cells in
+   execution order; [None] (the plain-SELECT case) makes both helpers free. *)
+type op_stats = (string * int ref) list ref
+
+let op_count (stats : op_stats option) label seq =
+  match stats with
+  | None -> seq
+  | Some st ->
+      let r = ref 0 in
+      st := !st @ [ (label, r) ];
+      Seq.map
+        (fun x ->
+          incr r;
+          x)
+        seq
+
+let op_note (stats : op_stats option) label n =
+  match stats with None -> () | Some st -> st := !st @ [ (label, ref n) ]
+
 let apply_order_limit ?(already_ordered_by = None) (q : A.select) header rows =
   let rows =
     match q.A.order with
@@ -246,7 +266,7 @@ let apply_order_limit ?(already_ordered_by = None) (q : A.select) header rows =
   | Some n -> List.filteri (fun i _ -> i < n) rows
 
 (* plain row select over a table (or join), no grouping *)
-let select_rows s txn (q : A.select) src =
+let select_rows ?stats s txn (q : A.select) src =
   let schema, seq =
     match src with
     | Src_table (t, schema) -> (
@@ -256,10 +276,13 @@ let select_rows s txn (q : A.select) src =
             let rows =
               List.to_seq (Table.find s.sdb txn t ~col:p_col p_value) |> Seq.map snd
             in
+            let rows = op_count stats "index probe rows" rows in
             let rows =
               match p_residual with
               | None -> rows
-              | Some w -> Seq.filter (Expr.eval_bool (bind_expr schema w)) rows
+              | Some w ->
+                  op_count stats "rows after residual filter"
+                    (Seq.filter (Expr.eval_bool (bind_expr schema w)) rows)
             in
             (* residual + probe already applied: hand back a no-op where *)
             (schema, rows)
@@ -271,15 +294,18 @@ let select_rows s txn (q : A.select) src =
                 ~table:(Database.Internal.table_id t) ~col:col_pos ~lo:r_lo ~hi:r_hi
               |> Seq.map snd
             in
+            let rows = op_count stats "index range rows" rows in
             let rows =
               match r_residual with
               | None -> rows
-              | Some w -> Seq.filter (Expr.eval_bool (bind_expr schema w)) rows
+              | Some w ->
+                  op_count stats "rows after residual filter"
+                    (Seq.filter (Expr.eval_bool (bind_expr schema w)) rows)
             in
             (schema, rows)
         | Plan_scan _ ->
             let locking = if txn = None then Query.Dirty else Query.Serializable in
-            (schema, Query.table_scan s.sdb txn t locking))
+            (schema, op_count stats "seq scan rows" (Query.table_scan s.sdb txn t locking)))
     | Src_join (l, r, lcol, rcol, schema) ->
         let lc = Schema.index_of (Database.schema s.sdb l) lcol in
         let rc =
@@ -301,7 +327,7 @@ let select_rows s txn (q : A.select) src =
                 };
           }
         in
-        (schema, Database.Internal.source_rows s.sdb txn def)
+        (schema, op_count stats "join rows" (Database.Internal.source_rows s.sdb txn def))
     | Src_view _ -> assert false
   in
   let probe_consumed_where =
@@ -316,7 +342,7 @@ let select_rows s txn (q : A.select) src =
     match q.A.where with
     | Some w when not probe_consumed_where ->
         let pred = bind_expr schema w in
-        Seq.filter (Expr.eval_bool pred) seq
+        op_count stats "rows after filter" (Seq.filter (Expr.eval_bool pred) seq)
     | Some _ | None -> seq
   in
   let positions, header =
@@ -333,7 +359,9 @@ let select_rows s txn (q : A.select) src =
     (Array.of_list (List.map fst pairs), List.map snd pairs)
   in
   let rows = List.of_seq (Seq.map (fun r -> Row.project r positions) seq) in
-  Rows { header; rows = apply_order_limit q header rows }
+  let rows = apply_order_limit q header rows in
+  op_note stats "rows returned" (List.length rows);
+  Rows { header; rows }
 
 (* View matching: a grouped query whose source, WHERE and GROUP BY equal
    an existing immediate-maintenance indexed view — and whose aggregates
@@ -465,7 +493,7 @@ let plan_grouped s (q : A.select) src =
   in
   (schema, def, select_aggs, eval_of)
 
-let select_grouped s txn (q : A.select) src =
+let select_grouped ?stats s txn (q : A.select) src =
   let _schema, def, select_aggs, eval_of = plan_grouped s q src in
   let results =
     match find_matching_view s def with
@@ -473,12 +501,16 @@ let select_grouped s txn (q : A.select) src =
         Ivdb_util.Metrics.incr (Database.metrics s.sdb) "sql.view_match";
         let locking = if txn = None then Query.Dirty else Query.Serializable in
         Query.view_scan s.sdb txn v locking
+        |> op_count stats "stored groups read"
         |> Seq.map (fun (group, stored) ->
                ( group,
                  Array.append [| stored.(0) |]
                    (Array.map (fun i -> stored.(i)) mapping) ))
         |> List.of_seq
-    | None -> Query.on_demand_aggregate s.sdb txn def
+    | None ->
+        let results = Query.on_demand_aggregate s.sdb txn def in
+        op_note stats "groups aggregated" (List.length results);
+        results
   in
   let group_index c =
     match List.find_index (fun g -> g = c) q.A.group_by with
@@ -558,7 +590,9 @@ let select_grouped s txn (q : A.select) src =
              items))
       results
   in
-  Rows { header; rows = apply_order_limit q header rows }
+  let rows = apply_order_limit q header rows in
+  op_note stats "rows returned" (List.length rows);
+  Rows { header; rows }
 
 let describe_plan s (q : A.select) =
   let b = Buffer.create 128 in
@@ -629,7 +663,7 @@ let describe_plan s (q : A.select) =
   String.trim (Buffer.contents b)
 
 (* select over an indexed view: the stored groups and aggregates *)
-let select_view s txn (q : A.select) v =
+let select_view ?stats s txn (q : A.select) v =
   if q.A.group_by <> [] then fail "GROUP BY over a view is not supported";
   let def = Database.view_def s.sdb v in
   let src_schema =
@@ -672,7 +706,7 @@ let select_view s txn (q : A.select) v =
   | [ A.Star ] -> ()
   | _ -> fail "only SELECT * FROM <view> is supported (views are pre-projected)");
   let locking = if txn = None then Query.Dirty else Query.Serializable in
-  let scan = Query.view_scan s.sdb txn v locking in
+  let scan = op_count stats "stored groups read" (Query.view_scan s.sdb txn v locking) in
   let header = group_names @ agg_names in
   let rows =
     List.of_seq (Seq.map (fun (g, a) -> Array.append g (project_aggs a)) scan)
@@ -713,18 +747,47 @@ let select_view s txn (q : A.select) v =
         let pred = rewrite w in
         List.filter (Expr.eval_bool pred) rows
   in
-  Rows { header; rows = apply_order_limit q header rows }
+  let rows = apply_order_limit q header rows in
+  op_note stats "rows returned" (List.length rows);
+  Rows { header; rows }
 
-let run_select s txn q =
+let run_select ?stats s txn q =
   let src = resolve_source s q in
   match src with
-  | Src_view v -> select_view s txn q v
+  | Src_view v -> select_view ?stats s txn q v
   | Src_table _ | Src_join _ ->
       let has_aggs =
         List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
       in
-      if q.A.group_by <> [] || has_aggs then select_grouped s txn q src
-      else select_rows s txn q src
+      if q.A.group_by <> [] || has_aggs then select_grouped ?stats s txn q src
+      else select_rows ?stats s txn q src
+
+(* EXPLAIN ANALYZE: the plan describe_plan would print, then actually run
+   the query, reporting per-operator row counts plus the engine-level costs
+   (index probes, lock waits, buffer traffic, simulated ticks) the execution
+   incurred. Inside an open transaction it reads serializably — and takes
+   the same locks the bare SELECT would. *)
+let explain_analyze s (q : A.select) =
+  let metrics = Database.metrics s.sdb in
+  let plan = describe_plan s q in
+  let before = Ivdb_util.Metrics.snapshot metrics in
+  let t0 = Sched.now () in
+  let stats : op_stats = ref [] in
+  ignore (run_select ~stats s s.txn q);
+  let ticks = Sched.now () - t0 in
+  let diff = Ivdb_util.Metrics.diff ~before ~after:(Ivdb_util.Metrics.snapshot metrics) in
+  let get n = match List.assoc_opt n diff with Some v -> v | None -> 0 in
+  let b = Buffer.create 256 in
+  let line fmt = Format.kasprintf (fun str -> Buffer.add_string b (str ^ "\n")) fmt in
+  Buffer.add_string b plan;
+  Buffer.add_char b '\n';
+  List.iter (fun (label, r) -> line "%s: %d" label !r) !stats;
+  line "index probes: %d point, %d range" (get "sql.index_probe")
+    (get "sql.index_range");
+  line "lock waits: %d" (get "lock.wait");
+  line "buffer: %d hits, %d misses" (get "buffer.hit") (get "buffer.miss");
+  line "ticks: %d" ticks;
+  Message (String.trim (Buffer.contents b))
 
 (* --- DML --------------------------------------------------------------------- *)
 
@@ -888,6 +951,7 @@ let exec s input =
   | A.Update { table; sets; where } -> run_update s ~table ~sets ~where
   | A.Select q -> run_select s s.txn q
   | A.Explain q -> Message (describe_plan s q)
+  | A.Explain_analyze q -> explain_analyze s q
   | A.Begin ->
       if s.txn <> None then fail "transaction already open";
       s.txn <- Some (Txn.begin_txn (Database.mgr s.sdb));

@@ -23,6 +23,10 @@
                                               -- matching view is used
                                               -- automatically
       EXPLAIN SELECT ...                      -- access-path and view plans
+      EXPLAIN ANALYZE SELECT ...              -- runs the query: per-operator
+                                              -- row counts, index probes,
+                                              -- lock waits, buffer traffic,
+                                              -- simulated ticks
       BEGIN / COMMIT / ROLLBACK
       SAVEPOINT name / ROLLBACK TO name
       CHECKPOINT / SHOW TABLES / SHOW VIEWS / SHOW METRICS

@@ -54,6 +54,7 @@ type stmt =
   | Update of { table : string; sets : (string * expr) list; where : expr option }
   | Select of select
   | Explain of select
+  | Explain_analyze of select
   | Begin
   | Commit
   | Rollback
@@ -106,6 +107,8 @@ let pp_stmt ppf = function
   | Update { table; _ } -> Format.fprintf ppf "UPDATE %s" table
   | Select s -> Format.fprintf ppf "SELECT ... FROM %s" s.from
   | Explain s -> Format.fprintf ppf "EXPLAIN SELECT ... FROM %s" s.from
+  | Explain_analyze s ->
+      Format.fprintf ppf "EXPLAIN ANALYZE SELECT ... FROM %s" s.from
   | Begin -> Format.fprintf ppf "BEGIN"
   | Commit -> Format.fprintf ppf "COMMIT"
   | Rollback -> Format.fprintf ppf "ROLLBACK"

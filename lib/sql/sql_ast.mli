@@ -63,6 +63,7 @@ type stmt =
   | Update of { table : string; sets : (string * expr) list; where : expr option }
   | Select of select
   | Explain of select
+  | Explain_analyze of select
   | Begin
   | Commit
   | Rollback

@@ -17,7 +17,8 @@ let keywords =
     "TRUE"; "FALSE"; "COUNT"; "SUM"; "MIN"; "MAX"; "INT"; "FLOAT"; "TEXT";
     "BOOL"; "USING"; "ESCROW"; "EXCLUSIVE"; "DEFERRED"; "REFRESH"; "THRESHOLD";
     "BEGIN"; "COMMIT"; "ROLLBACK"; "CHECKPOINT"; "SHOW"; "TABLES"; "VIEWS";
-    "METRICS"; "EXPLAIN"; "AVG"; "HAVING"; "SAVEPOINT"; "TO"; "UNIQUE";
+    "METRICS"; "EXPLAIN"; "ANALYZE"; "AVG"; "HAVING"; "SAVEPOINT"; "TO";
+    "UNIQUE";
   ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

@@ -387,8 +387,14 @@ let statement st =
       Select (select_body st)
   | L.Kw "EXPLAIN" ->
       advance st;
-      eat_kw st "SELECT";
-      Explain (select_body st)
+      if accept st (L.Kw "ANALYZE") then begin
+        eat_kw st "SELECT";
+        Explain_analyze (select_body st)
+      end
+      else begin
+        eat_kw st "SELECT";
+        Explain (select_body st)
+      end
   | L.Kw "BEGIN" ->
       advance st;
       Begin

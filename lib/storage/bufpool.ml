@@ -13,7 +13,12 @@ type frame = {
 type t = {
   disk : Disk.t;
   cap : int;
-  metrics : Ivdb_util.Metrics.t;
+  trace : Ivdb_util.Trace.t;
+  m_hit : Ivdb_util.Metrics.counter;
+  m_miss : Ivdb_util.Metrics.counter;
+  m_evict : Ivdb_util.Metrics.counter;
+  m_writeback : Ivdb_util.Metrics.counter;
+  m_overflow : Ivdb_util.Metrics.counter;
   frames : (int, frame) Hashtbl.t;
   (* Clock ring: dense array prefix [0, ring_len) with a persistent hand.
      Insert and remove are O(1) (remove swaps the last frame into the
@@ -25,11 +30,19 @@ type t = {
   mutable wal_force : int64 -> unit;
 }
 
-let create disk ~capacity metrics =
+let create disk ~capacity ?trace metrics =
+  let trace =
+    match trace with Some tr -> tr | None -> Ivdb_util.Trace.create ()
+  in
   {
     disk;
     cap = capacity;
-    metrics;
+    trace;
+    m_hit = Ivdb_util.Metrics.counter metrics "buffer.hit";
+    m_miss = Ivdb_util.Metrics.counter metrics "buffer.miss";
+    m_evict = Ivdb_util.Metrics.counter metrics "buffer.evict";
+    m_writeback = Ivdb_util.Metrics.counter metrics "buffer.writeback";
+    m_overflow = Ivdb_util.Metrics.counter metrics "buffer.overflow";
     frames = Hashtbl.create capacity;
     ring = [||];
     ring_len = 0;
@@ -67,7 +80,7 @@ let write_back t fr =
     Disk.write t.disk fr.page_id fr.data;
     fr.dirty <- false;
     fr.rec_lsn <- 0L;
-    Ivdb_util.Metrics.incr t.metrics "buffer.writeback"
+    Ivdb_util.Metrics.inc t.m_writeback
   end
 
 (* Clock eviction: advance the hand around the ring, clearing reference
@@ -88,21 +101,26 @@ let evict_one t =
     else victim := Some fr
   done;
   match !victim with
-  | None -> Ivdb_util.Metrics.incr t.metrics "buffer.overflow"
+  | None -> Ivdb_util.Metrics.inc t.m_overflow
   | Some fr ->
       write_back t fr;
       Hashtbl.remove t.frames fr.page_id;
       ring_remove t fr;
-      Ivdb_util.Metrics.incr t.metrics "buffer.evict"
+      Ivdb_util.Metrics.inc t.m_evict;
+      if Ivdb_util.Trace.enabled t.trace then
+        Ivdb_util.Trace.emit t.trace
+          (Ivdb_util.Trace.Buf_evict { page = fr.page_id })
 
 let get_frame t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some fr ->
       fr.referenced <- true;
-      Ivdb_util.Metrics.incr t.metrics "buffer.hit";
+      Ivdb_util.Metrics.inc t.m_hit;
       fr
   | None ->
-      Ivdb_util.Metrics.incr t.metrics "buffer.miss";
+      Ivdb_util.Metrics.inc t.m_miss;
+      if Ivdb_util.Trace.enabled t.trace then
+        Ivdb_util.Trace.emit t.trace (Ivdb_util.Trace.Buf_miss { page = page_id });
       if Hashtbl.length t.frames >= t.cap then evict_one t;
       let data = Disk.read t.disk page_id in
       let fr =

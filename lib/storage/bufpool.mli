@@ -8,7 +8,9 @@
 
 type t
 
-val create : Disk.t -> capacity:int -> Ivdb_util.Metrics.t -> t
+val create : Disk.t -> capacity:int -> ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
+(** [trace] defaults to a fresh disabled trace; when enabled, misses and
+    evictions emit [buf.miss] / [buf.evict] events. *)
 
 val set_wal_force : t -> (int64 -> unit) -> unit
 (** Must be set before any dirty page can be evicted or flushed. *)

@@ -1,13 +1,21 @@
 type t = {
   pages : (int, bytes) Hashtbl.t;
-  metrics : Ivdb_util.Metrics.t;
+  m_read : Ivdb_util.Metrics.counter;
+  m_write : Ivdb_util.Metrics.counter;
   read_cost : int;
   write_cost : int;
   mutable next_id : int;
 }
 
 let create ?(read_cost = 100) ?(write_cost = 100) metrics =
-  { pages = Hashtbl.create 256; metrics; read_cost; write_cost; next_id = 1 }
+  {
+    pages = Hashtbl.create 256;
+    m_read = Ivdb_util.Metrics.counter metrics "disk.read";
+    m_write = Ivdb_util.Metrics.counter metrics "disk.write";
+    read_cost;
+    write_cost;
+    next_id = 1;
+  }
 
 let alloc_page t =
   let id = t.next_id in
@@ -15,14 +23,14 @@ let alloc_page t =
   id
 
 let read t id =
-  Ivdb_util.Metrics.incr t.metrics "disk.read";
+  Ivdb_util.Metrics.inc t.m_read;
   Ivdb_sched.Sched.advance t.read_cost;
   match Hashtbl.find_opt t.pages id with
   | Some p -> Bytes.copy p
   | None -> Page.alloc ()
 
 let write t id p =
-  Ivdb_util.Metrics.incr t.metrics "disk.write";
+  Ivdb_util.Metrics.inc t.m_write;
   Ivdb_sched.Sched.advance t.write_cost;
   Hashtbl.replace t.pages id (Bytes.copy p);
   if id >= t.next_id then t.next_id <- id + 1

@@ -17,6 +17,7 @@
 module Wal = Ivdb_wal.Wal
 module Sched = Ivdb_sched.Sched
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
 
 type mode =
   | Sync
@@ -29,6 +30,13 @@ let async_wait_ticks = 100
 type t = {
   wal : Wal.t;
   metrics : Metrics.t;
+  trace : Trace.t;
+  m_force_elided : Metrics.counter;
+  m_group_force : Metrics.counter;
+  m_batched_txns : Metrics.counter;
+  m_forces_avoided : Metrics.counter;
+  m_stall_ticks : Metrics.counter;
+  h_batch : Metrics.hist;
   mutable mode : mode;
   mutable waiters : (unit -> unit) list; (* wake callbacks, newest first *)
   mutable n_pending : int; (* commits (waiting or async) since last force *)
@@ -36,10 +44,18 @@ type t = {
   mutable coordinator_active : bool;
 }
 
-let create ~wal ~mode metrics =
+let create ~wal ~mode ?trace metrics =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
     wal;
     metrics;
+    trace;
+    m_force_elided = Metrics.counter metrics "commit.force_elided";
+    m_group_force = Metrics.counter metrics "commit.group_force";
+    m_batched_txns = Metrics.counter metrics "commit.batched_txns";
+    m_forces_avoided = Metrics.counter metrics "commit.forces_avoided";
+    m_stall_ticks = Metrics.counter metrics "commit.stall_ticks";
+    h_batch = Metrics.hist metrics "commit.batch";
     mode;
     waiters = [];
     n_pending = 0;
@@ -67,11 +83,13 @@ let flush_batch t =
   if batch > 0 then begin
     (* a checkpoint or page writeback may have forced past us already *)
     if Wal.flushed_lsn t.wal < hi then Wal.force t.wal hi
-    else Metrics.incr t.metrics "commit.force_elided";
-    Metrics.incr t.metrics "commit.group_force";
-    Metrics.add t.metrics "commit.batched_txns" batch;
-    Metrics.add t.metrics "commit.forces_avoided" (batch - 1);
-    Metrics.observe t.metrics "commit.batch" batch;
+    else Metrics.inc t.m_force_elided;
+    Metrics.inc t.m_group_force;
+    Metrics.inc_by t.m_batched_txns batch;
+    Metrics.inc_by t.m_forces_avoided (batch - 1);
+    Metrics.record t.h_batch batch;
+    if Trace.enabled t.trace then
+      Trace.emit t.trace (Trace.Batch_flush { batch; hi_lsn = hi });
     List.iter (fun wake -> wake ()) waiters
   end
 
@@ -124,7 +142,7 @@ let commit_durable t ~lsn =
           ensure_coordinator t;
           let t0 = Sched.now () in
           Sched.suspend (fun wake _cancel -> t.waiters <- wake :: t.waiters);
-          Metrics.add t.metrics "commit.stall_ticks" (Sched.now () - t0)
+          Metrics.inc_by t.m_stall_ticks (Sched.now () - t0)
         end
   | Async ->
       Metrics.incr t.metrics "commit.async";

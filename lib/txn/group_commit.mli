@@ -30,7 +30,11 @@ type mode =
 
 type t
 
-val create : wal:Ivdb_wal.Wal.t -> mode:mode -> Ivdb_util.Metrics.t -> t
+val create :
+  wal:Ivdb_wal.Wal.t -> mode:mode -> ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
+(** [trace] defaults to a fresh disabled trace; when enabled each batched
+    force emits one [commit.batch_flush] event. *)
+
 val mode : t -> mode
 val set_mode : t -> mode -> unit
 val mode_to_string : mode -> string

@@ -3,6 +3,7 @@ module Log_record = Ivdb_wal.Log_record
 module Lock_mgr = Ivdb_lock.Lock_mgr
 module Bufpool = Ivdb_storage.Bufpool
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
 
 type status = Active | Committed | Aborted
 
@@ -26,20 +27,35 @@ type mgr = {
   mlocks : Lock_mgr.t;
   mpool : Bufpool.t;
   mmetrics : Metrics.t;
+  mtrace : Trace.t;
   mgc : Group_commit.t;
+  m_begin : Metrics.counter;
+  m_system : Metrics.counter;
+  m_commit : Metrics.counter;
+  m_system_commit : Metrics.counter;
+  m_ro_commit : Metrics.counter;
+  m_abort : Metrics.counter;
   active : (int, t) Hashtbl.t;
   mutable next_id : int;
   mutable undo_exec : t -> Log_record.logical_undo -> Log_record.page_diffs;
   mutable end_hooks : (t -> status -> unit) list;
 }
 
-let create_mgr ?(commit_mode = Sync) ~wal ~locks ~pool metrics =
+let create_mgr ?(commit_mode = Sync) ?trace ~wal ~locks ~pool metrics =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
     mwal = wal;
     mlocks = locks;
     mpool = pool;
     mmetrics = metrics;
-    mgc = Group_commit.create ~wal ~mode:commit_mode metrics;
+    mtrace = trace;
+    mgc = Group_commit.create ~wal ~mode:commit_mode ~trace metrics;
+    m_begin = Metrics.counter metrics "txn.begin";
+    m_system = Metrics.counter metrics "txn.system";
+    m_commit = Metrics.counter metrics "txn.commit";
+    m_system_commit = Metrics.counter metrics "txn.system_commit";
+    m_ro_commit = Metrics.counter metrics "txn.read_only_commit";
+    m_abort = Metrics.counter metrics "txn.abort";
     active = Hashtbl.create 32;
     next_id = 1;
     undo_exec = (fun _ _ -> failwith "Txn: undo executor not installed");
@@ -56,6 +72,7 @@ let locks mgr = mgr.mlocks
 let pool mgr = mgr.mpool
 let disk mgr = Bufpool.disk mgr.mpool
 let metrics mgr = mgr.mmetrics
+let trace mgr = mgr.mtrace
 
 let fresh mgr ~system =
   let tid = mgr.next_id in
@@ -72,7 +89,9 @@ let fresh mgr ~system =
   Hashtbl.replace mgr.active tid t;
   t.tlast_lsn <- Wal.append mgr.mwal ~txn:tid ~prev:Log_record.nil_lsn (Log_record.Begin { system });
   t.tfirst_lsn <- t.tlast_lsn;
-  Metrics.incr mgr.mmetrics (if system then "txn.system" else "txn.begin");
+  Metrics.inc (if system then mgr.m_system else mgr.m_begin);
+  if Trace.enabled mgr.mtrace then
+    Trace.emit mgr.mtrace (Trace.Txn_begin { txn = tid; system });
   t
 
 let begin_txn mgr = fresh mgr ~system:false
@@ -154,8 +173,10 @@ let commit mgr t =
   if not (t.system || read_only) then Group_commit.commit_durable mgr.mgc ~lsn;
   ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:lsn Log_record.End);
   finish mgr t Committed;
-  Metrics.incr mgr.mmetrics (if t.system then "txn.system_commit" else "txn.commit");
-  if read_only && not t.system then Metrics.incr mgr.mmetrics "txn.read_only_commit"
+  Metrics.inc (if t.system then mgr.m_system_commit else mgr.m_commit);
+  if read_only && not t.system then Metrics.inc mgr.m_ro_commit;
+  if Trace.enabled mgr.mtrace then
+    Trace.emit mgr.mtrace (Trace.Txn_commit { txn = t.tid; system = t.system })
 
 
 (* Walk the undo chain from [cursor], executing logical undo and logging a
@@ -216,7 +237,9 @@ let abort mgr t =
     undo_chain mgr t ~cursor:t.tlast_lsn;
     ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.End);
     finish mgr t Aborted;
-    Metrics.incr mgr.mmetrics "txn.abort"
+    Metrics.inc mgr.m_abort;
+    if Trace.enabled mgr.mtrace then
+      Trace.emit mgr.mtrace (Trace.Txn_abort { txn = t.tid })
   end
 
 let rollback_tail mgr t ~from =

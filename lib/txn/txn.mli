@@ -29,12 +29,15 @@ exception Conflict of { txn : int; reason : string }
 
 val create_mgr :
   ?commit_mode:commit_mode ->
+  ?trace:Ivdb_util.Trace.t ->
   wal:Ivdb_wal.Wal.t ->
   locks:Ivdb_lock.Lock_mgr.t ->
   pool:Ivdb_storage.Bufpool.t ->
   Ivdb_util.Metrics.t ->
   mgr
-(** [commit_mode] defaults to {!Sync}. *)
+(** [commit_mode] defaults to {!Sync}; [trace] to a fresh disabled trace.
+    Transaction begin/commit/abort and batched commit flushes emit trace
+    events when enabled. *)
 
 val commit_mode : mgr -> commit_mode
 val set_commit_mode : mgr -> commit_mode -> unit
@@ -54,6 +57,7 @@ val locks : mgr -> Ivdb_lock.Lock_mgr.t
 val pool : mgr -> Ivdb_storage.Bufpool.t
 val disk : mgr -> Ivdb_storage.Disk.t
 val metrics : mgr -> Ivdb_util.Metrics.t
+val trace : mgr -> Ivdb_util.Trace.t
 
 val begin_txn : mgr -> t
 val begin_system : mgr -> t

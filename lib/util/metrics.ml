@@ -1,15 +1,24 @@
 (* Counters plus integer-valued histograms. Counters are the original
    name -> int map; histograms record a count per observed value (exact,
-   not bucketed) and back e.g. the group-commit batch-size distribution. *)
+   not bucketed) and back e.g. the group-commit batch-size distribution.
+
+   Hot paths resolve a typed handle once at subsystem-create time and
+   bump it directly, so the steady-state cost is a ref increment instead
+   of a hashtable lookup per event. Handles stay valid across [reset]:
+   reset zeroes the registered cells in place rather than emptying the
+   tables, so a handle can never end up counting into an orphaned cell. *)
+
+type counter = int ref
+type hist = (int, int ref) Hashtbl.t
 
 type t = {
-  counters : (string, int ref) Hashtbl.t;
-  hists : (string, (int, int ref) Hashtbl.t) Hashtbl.t;
+  counters : (string, counter) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
 }
 
 let create () = { counters = Hashtbl.create 64; hists = Hashtbl.create 8 }
 
-let cell t name =
+let counter t name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
@@ -17,15 +26,19 @@ let cell t name =
       Hashtbl.add t.counters name r;
       r
 
-let add t name n = cell t name := !(cell t name) + n
+let inc c = Stdlib.incr c
+let inc_by c n = c := !c + n
+let value c = !c
+
+let add t name n = inc_by (counter t name) n
 let incr t name = add t name 1
 
 let get t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.hists
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter (fun _ h -> Hashtbl.reset h) t.hists
 
 let snapshot t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
@@ -40,25 +53,42 @@ let diff ~before ~after =
 
 (* --- histograms ---------------------------------------------------------- *)
 
-let observe t name v =
-  let h =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-        let h = Hashtbl.create 16 in
-        Hashtbl.add t.hists name h;
-        h
-  in
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 16 in
+      Hashtbl.add t.hists name h;
+      h
+
+let record h v =
   match Hashtbl.find_opt h v with
   | Some r -> Stdlib.incr r
   | None -> Hashtbl.add h v (ref 1)
 
+let observe t name v = record (hist t name) v
+
+let sorted_cells h =
+  Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let hist_snapshot t name =
-  match Hashtbl.find_opt t.hists name with
-  | None -> []
-  | Some h ->
-      Hashtbl.fold (fun v r acc -> (v, !r) :: acc) h []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
+  match Hashtbl.find_opt t.hists name with None -> [] | Some h -> sorted_cells h
+
+let hists t =
+  Hashtbl.fold (fun name h acc -> (name, sorted_cells h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hist_diff ~before ~after =
+  let values =
+    List.sort_uniq compare (List.map fst before @ List.map fst after)
+  in
+  let find l v = match List.assoc_opt v l with Some c -> c | None -> 0 in
+  List.filter_map
+    (fun v ->
+      let d = find after v - find before v in
+      if d = 0 then None else Some (v, d))
+    values
 
 let hist_count t name =
   List.fold_left (fun acc (_, c) -> acc + c) 0 (hist_snapshot t name)
@@ -75,9 +105,9 @@ let hist_max t name =
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot t);
-  Hashtbl.iter
-    (fun name _ ->
+  List.iter
+    (fun (name, cells) ->
       Format.fprintf ppf "%s={" name;
-      List.iter (fun (v, c) -> Format.fprintf ppf "%d:%d " v c) (hist_snapshot t name);
+      List.iter (fun (v, c) -> Format.fprintf ppf "%d:%d " v c) cells;
       Format.fprintf ppf "}@ ")
-    t.hists
+    (hists t)

@@ -4,17 +4,52 @@
     instance (no global state, so concurrent engines in one process —
     e.g. the crash-recovery tests — do not interfere). Histograms record
     exact value counts (no bucketing); they back distribution-shaped
-    telemetry such as the group-commit batch-size histogram. *)
+    telemetry such as the group-commit batch-size histogram.
+
+    Hot paths should resolve a typed {!counter} or {!hist} handle once at
+    subsystem-create time and bump it with {!inc} / {!record}: the
+    steady-state cost is then a ref increment, not a per-event hashtable
+    lookup. The stringly [incr]/[add]/[observe] API remains for cold call
+    sites and ad-hoc reporting; both routes land in the same cells, and
+    the name→value snapshot API sees them identically. *)
 
 type t
 
+type counter
+(** Pre-resolved handle to one named counter. Survives {!reset} (the cell
+    is zeroed in place, never replaced). *)
+
+type hist
+(** Pre-resolved handle to one named histogram. Survives {!reset}. *)
+
 val create : unit -> t
+
+(** {1 Typed handles (hot paths)} *)
+
+val counter : t -> string -> counter
+(** Resolve (registering if new) the counter for [name]. *)
+
+val inc : counter -> unit
+val inc_by : counter -> int -> unit
+val value : counter -> int
+
+val hist : t -> string -> hist
+(** Resolve (registering if new) the histogram for [name]. *)
+
+val record : hist -> int -> unit
+(** Record one occurrence of an integer value. *)
+
+(** {1 Stringly API (cold paths)} *)
+
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** 0 for counters never bumped. *)
 
 val reset : t -> unit
+(** Zero every counter and empty every histogram, in place: typed handles
+    resolved before the reset keep working. *)
+
 val snapshot : t -> (string * int) list
 (** Sorted by counter name. *)
 
@@ -29,6 +64,14 @@ val observe : t -> string -> int -> unit
 val hist_snapshot : t -> string -> (int * int) list
 (** (value, occurrences), sorted by value; [] for unknown names. *)
 
+val hists : t -> (string * (int * int) list) list
+(** Every histogram's snapshot, sorted by histogram name. *)
+
+val hist_diff :
+  before:(int * int) list -> after:(int * int) list -> (int * int) list
+(** Per-value count delta between two [hist_snapshot]s; zero-delta values
+    are dropped. *)
+
 val hist_count : t -> string -> int
 (** Total observations. *)
 
@@ -42,3 +85,4 @@ val hist_max : t -> string -> int
 (** Largest observed value; 0 when empty. *)
 
 val pp : Format.formatter -> t -> unit
+(** Counters then histograms, each sorted by name — deterministic output. *)

@@ -1,0 +1,97 @@
+(** Structured engine trace events.
+
+    Every significant engine transition (transaction lifecycle, lock
+    traffic, WAL activity, buffer-pool churn, view maintenance, commit
+    batching) can emit a tick-stamped, fiber-attributed {!record} to a set
+    of pluggable sinks. Emission sits behind a single [enabled] boolean so
+    the disabled cost on hot paths is one load and branch; call sites
+    guard event construction with {!enabled} to avoid even the allocation.
+
+    The clock and fiber-id providers are injected at {!create} time
+    (the database wires them to the deterministic scheduler), so under a
+    seeded run the event stream — including the JSONL rendering — is
+    byte-identical across runs with the same seed. *)
+
+type event =
+  | Txn_begin of { txn : int; system : bool }
+  | Txn_commit of { txn : int; system : bool }
+  | Txn_abort of { txn : int }
+  | Lock_acquire of { txn : int; name : string; mode : string }
+  | Lock_wait of { txn : int; name : string; mode : string }
+  | Lock_grant of { txn : int; name : string; mode : string }
+  | Deadlock_victim of { txn : int }
+  | Wal_append of { lsn : int; txn : int; bytes : int }
+  | Wal_force of { lsn : int }
+  | Buf_miss of { page : int }
+  | Buf_evict of { page : int }
+  | View_delta of { view : int; key : string; strategy : string }
+  | Group_create of { view : int; key : string; system : bool }
+  | Group_gc of { view : int; key : string }
+  | Batch_flush of { batch : int; hi_lsn : int }
+
+type record = {
+  seq : int;  (** emission order, dense from 0 *)
+  tick : int;  (** logical scheduler clock at emission *)
+  fiber : int;  (** emitting fiber id (0 outside a scheduler run) *)
+  event : event;
+}
+
+type sink = record -> unit
+
+type t
+
+val create : ?clock:(unit -> int) -> ?fiber:(unit -> int) -> unit -> t
+(** Both providers default to [fun () -> 0]; traces start disabled with no
+    sinks attached. *)
+
+val enabled : t -> bool
+(** Cheap guard for hot call sites:
+    [if Trace.enabled tr then Trace.emit tr (...)]. *)
+
+val set_enabled : t -> bool -> unit
+val add_sink : t -> sink -> unit
+val clear_sinks : t -> unit
+
+val emit : t -> event -> unit
+(** No-op when disabled; otherwise stamps and fans out to every sink in
+    attachment order. *)
+
+val event_name : event -> string
+(** Stable dotted identifier, e.g. ["lock.wait"]. *)
+
+val to_json : record -> string
+(** One JSON object (no trailing newline), pure 7-bit ASCII: binary lock
+    and group keys are [\uXXXX]-escaped, so the rendering is deterministic
+    byte-for-byte. *)
+
+val pp_record : Format.formatter -> record -> unit
+
+(** Bounded in-memory sink: keeps the most recent [capacity] records,
+    counting everything it ever saw. *)
+module Ring : sig
+  type ring
+
+  val create : capacity:int -> ring
+  (** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+  val sink : ring -> sink
+  val seen : ring -> int
+  (** Total records pushed, including overwritten ones. *)
+
+  val length : ring -> int
+  (** Records currently retained ([<= capacity]). *)
+
+  val contents : ring -> record list
+  (** Retained records, oldest first. *)
+end
+
+(** Streaming aggregation sink: per-lock wait latency, per-view
+    maintenance counts, commit-path batching. Feed it as a sink during a
+    run, then {!render} a deterministic text report. *)
+module Profile : sig
+  type p
+
+  val create : unit -> p
+  val sink : p -> sink
+  val render : p -> string
+end

@@ -1,3 +1,6 @@
+module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
+
 type t = {
   mutable records : Log_record.t array; (* records.(lsn - base - 1) *)
   mutable base : int; (* number of truncated leading records *)
@@ -5,11 +8,18 @@ type t = {
   mutable flushed : Log_record.lsn;
   mutable last_ckpt : Log_record.lsn; (* of flushed checkpoints *)
   mutable bytes_flushed : int;
-  metrics : Ivdb_util.Metrics.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  m_append : Metrics.counter;
+  m_bytes : Metrics.counter;
+  m_force : Metrics.counter;
   force_cost : int;
 }
 
-let create metrics =
+let create ?trace metrics =
+  let trace =
+    match trace with Some tr -> tr | None -> Trace.create ()
+  in
   {
     records = [||];
     base = 0;
@@ -18,6 +28,10 @@ let create metrics =
     last_ckpt = 0;
     bytes_flushed = 0;
     metrics;
+    trace;
+    m_append = Metrics.counter metrics "log.append";
+    m_bytes = Metrics.counter metrics "log.bytes";
+    m_force = Metrics.counter metrics "log.force";
     force_cost = 100;
   }
 
@@ -32,8 +46,11 @@ let append t ~txn ~prev body =
   end;
   t.records.(t.len) <- r;
   t.len <- t.len + 1;
-  Ivdb_util.Metrics.incr t.metrics "log.append";
-  Ivdb_util.Metrics.add t.metrics "log.bytes" (Log_record.byte_size r);
+  Metrics.inc t.m_append;
+  Metrics.inc_by t.m_bytes (Log_record.byte_size r);
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Wal_append { lsn; txn; bytes = Log_record.byte_size r });
   lsn
 
 let get t lsn =
@@ -49,7 +66,8 @@ let flushed_lsn t = t.flushed
 let force t lsn =
   let lsn = min lsn (t.base + t.len) in
   if lsn > t.flushed then begin
-    Ivdb_util.Metrics.incr t.metrics "log.force";
+    Metrics.inc t.m_force;
+    if Trace.enabled t.trace then Trace.emit t.trace (Trace.Wal_force { lsn });
     Ivdb_sched.Sched.advance t.force_cost;
     for i = max (t.base + 1) (t.flushed + 1) to lsn do
       let r = t.records.(i - t.base - 1) in
@@ -68,8 +86,8 @@ let iter_stable t f =
 
 let last_checkpoint_lsn t = t.last_ckpt
 
-let crash t metrics =
-  let copy = create metrics in
+let crash t ?trace metrics =
+  let copy = create ?trace metrics in
   let stable_retained = max 0 (t.flushed - t.base) in
   copy.records <- Array.sub t.records 0 stable_retained;
   copy.base <- t.base;
@@ -86,7 +104,7 @@ let truncate_before t lsn =
     t.records <- Array.sub t.records drop (t.len - drop);
     t.base <- t.base + drop;
     t.len <- t.len - drop;
-    Ivdb_util.Metrics.add t.metrics "log.truncated_records" drop
+    Metrics.add t.metrics "log.truncated_records" drop
   end
 
 let stable_byte_size t = t.bytes_flushed

@@ -9,10 +9,11 @@
 
 type t
 
-val create : Ivdb_util.Metrics.t -> t
+val create : ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
+(** [trace] defaults to a fresh disabled trace (no events observable). *)
 
 val append : t -> txn:int -> prev:Log_record.lsn -> Log_record.body -> Log_record.lsn
-(** Counts [log.append] and [log.bytes]. *)
+(** Counts [log.append] and [log.bytes]; traces [wal.append]. *)
 
 val get : t -> Log_record.lsn -> Log_record.t
 (** Raises [Invalid_argument] for LSN 0 or beyond the end. *)
@@ -24,8 +25,8 @@ val flushed_lsn : t -> Log_record.lsn
 
 val force : t -> Log_record.lsn -> unit
 (** Make the prefix up to [lsn] stable. A no-op if already flushed (group
-    commit); otherwise counts [log.force] and charges one I/O of simulated
-    time. *)
+    commit); otherwise counts [log.force], traces [wal.force] and charges
+    one I/O of simulated time. *)
 
 val iter_stable : t -> (Log_record.t -> unit) -> unit
 (** The records a post-crash recovery can see, in LSN order. *)
@@ -33,8 +34,9 @@ val iter_stable : t -> (Log_record.t -> unit) -> unit
 val last_checkpoint_lsn : t -> Log_record.lsn
 (** LSN of the most recent *stable* checkpoint record; 0 if none. *)
 
-val crash : t -> Ivdb_util.Metrics.t -> t
-(** The log as found after a crash: stable prefix only. *)
+val crash : t -> ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
+(** The log as found after a crash: stable prefix only. The copy reports
+    into the given metrics/trace (the pre-crash instances are dead). *)
 
 val truncate_before : t -> Log_record.lsn -> unit
 (** Discard records with LSN < the argument. The caller guarantees they

@@ -226,6 +226,44 @@ let test_show_and_metrics () =
   | Sql.Message _ -> ()
   | _ -> Alcotest.fail "checkpoint message"
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_explain_analyze () =
+  let s = setup_sales () in
+  ignore (exec s "CREATE INDEX ix_product ON sales (product)");
+  (match exec s "EXPLAIN ANALYZE SELECT * FROM sales WHERE product = 'apple' AND qty > 3" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "plan first" true (String.sub m 0 11 = "index probe");
+      Alcotest.(check bool) "probe rows" true (contains m "index probe rows: 2");
+      Alcotest.(check bool) "residual rows" true
+        (contains m "rows after residual filter: 1");
+      Alcotest.(check bool) "rows returned" true (contains m "rows returned: 1");
+      Alcotest.(check bool) "probe counter" true
+        (contains m "index probes: 1 point, 0 range");
+      Alcotest.(check bool) "lock waits" true (contains m "lock waits: 0");
+      Alcotest.(check bool) "ticks" true (contains m "ticks: ")
+  | _ -> Alcotest.fail "expected analyze text");
+  (* grouped query: on-demand aggregation reports the group count *)
+  (match exec s "EXPLAIN ANALYZE SELECT product, COUNT( * ) FROM sales GROUP BY product" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "aggregation plan" true (contains m "on-demand aggregation");
+      Alcotest.(check bool) "groups" true (contains m "groups aggregated: 3");
+      Alcotest.(check bool) "group rows" true (contains m "rows returned: 3")
+  | _ -> Alcotest.fail "expected analyze text");
+  (* the same query answered from a matching view counts stored groups *)
+  ignore
+    (exec s
+       "CREATE VIEW by_product AS SELECT product, COUNT( * ) FROM sales GROUP BY product USING ESCROW");
+  match exec s "EXPLAIN ANALYZE SELECT product, COUNT( * ) FROM sales GROUP BY product" with
+  | Sql.Message m ->
+      Alcotest.(check bool) "view plan" true
+        (contains m "answered from indexed view by_product");
+      Alcotest.(check bool) "stored groups" true (contains m "stored groups read: 3")
+  | _ -> Alcotest.fail "expected analyze text"
+
 let test_explain_and_probe () =
   let s = setup_sales () in
   ignore (exec s "CREATE INDEX ix_product ON sales (product)");
@@ -449,6 +487,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_sql_errors;
           Alcotest.test_case "show/metrics" `Quick test_show_and_metrics;
           Alcotest.test_case "explain + index probe" `Quick test_explain_and_probe;
+          Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
           Alcotest.test_case "avg + having" `Quick test_avg_and_having;
           Alcotest.test_case "division" `Quick test_division;
           Alcotest.test_case "savepoints" `Quick test_sql_savepoints;

@@ -146,6 +146,60 @@ let test_metrics_diff () =
   check Alcotest.int "x delta" 2 (List.assoc "x" d);
   check Alcotest.int "y delta" 1 (List.assoc "y" d)
 
+let test_metrics_typed_handles () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "hot" in
+  Metrics.inc c;
+  Metrics.inc_by c 4;
+  check Alcotest.int "handle value" 5 (Metrics.value c);
+  check Alcotest.int "stringly sees it" 5 (Metrics.get m "hot");
+  (* both routes land in the same cell *)
+  Metrics.incr m "hot";
+  check Alcotest.int "one cell" 6 (Metrics.value c);
+  let h = Metrics.hist m "sizes" in
+  Metrics.record h 3;
+  Metrics.record h 3;
+  Metrics.observe m "sizes" 5;
+  check
+    Alcotest.(list (pair int int))
+    "hist snapshot" [ (3, 2); (5, 1) ]
+    (Metrics.hist_snapshot m "sizes")
+
+let test_metrics_reset_keeps_handles () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "n" in
+  let h = Metrics.hist m "h" in
+  Metrics.inc c;
+  Metrics.record h 1;
+  Metrics.reset m;
+  check Alcotest.int "counter zeroed" 0 (Metrics.value c);
+  check Alcotest.(list (pair int int)) "hist emptied" [] (Metrics.hist_snapshot m "h");
+  (* handles resolved before the reset still feed the registry *)
+  Metrics.inc c;
+  Metrics.record h 9;
+  check Alcotest.int "counter live" 1 (Metrics.get m "n");
+  check Alcotest.int "hist live" 1 (Metrics.hist_count m "h")
+
+let test_metrics_hists_and_pp_deterministic () =
+  let m = Metrics.create () in
+  Metrics.observe m "zz" 1;
+  Metrics.observe m "aa" 2;
+  check
+    Alcotest.(list string)
+    "hists sorted by name" [ "aa"; "zz" ]
+    (List.map fst (Metrics.hists m));
+  let d = Metrics.hist_diff ~before:[ (1, 2); (2, 1) ] ~after:[ (1, 2); (2, 3); (5, 1) ] in
+  check Alcotest.(list (pair int int)) "hist diff drops zero deltas" [ (2, 2); (5, 1) ] d;
+  (* pp output is independent of registration order *)
+  let m2 = Metrics.create () in
+  Metrics.observe m2 "aa" 2;
+  Metrics.observe m2 "zz" 1;
+  Metrics.incr m "k";
+  Metrics.incr m2 "k";
+  check Alcotest.string "pp deterministic"
+    (Format.asprintf "%a" Metrics.pp m)
+    (Format.asprintf "%a" Metrics.pp m2)
+
 (* --- Bytes_util ---------------------------------------------------------- *)
 
 let test_bytes_roundtrip () =
@@ -200,6 +254,11 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "diff" `Quick test_metrics_diff;
+          Alcotest.test_case "typed handles" `Quick test_metrics_typed_handles;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_metrics_reset_keeps_handles;
+          Alcotest.test_case "hists + deterministic pp" `Quick
+            test_metrics_hists_and_pp_deterministic;
         ] );
       ( "bytes",
         [

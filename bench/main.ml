@@ -20,6 +20,7 @@ module Wal = Ivdb_wal.Wal
 module Metrics = Ivdb_util.Metrics
 module Rng = Ivdb_util.Rng
 module Zipf = Ivdb_util.Zipf
+module Fault = Ivdb_storage.Fault
 
 (* --- table printing -------------------------------------------------------- *)
 
@@ -530,6 +531,94 @@ let e10 () =
     ~header:[ "reader mode"; "reads"; "lat mean (ticks)"; "lat p95"; "avg interval width" ]
     [ run `Blocking; run `Bounds ]
 
+(* --- E12: recovery under injected faults ------------------------------------------------ *)
+
+(* Run the workload under each fault mode, recover from the (injected or
+   end-of-run) crash, and measure what recovery had to do. "rate" is the
+   transient-error probability for the error rows, 0 for the crash rows;
+   recovery time is wall clock. Every cell also re-checks invariant V1. *)
+let fault_cells ~quick =
+  let budget = if quick then 96 else 384 in
+  let mpl = 8 in
+  let spec =
+    {
+      Workload.default with
+      seed = 23;
+      strategy = Maintain.Escrow;
+      mpl;
+      txns_per_worker = max 1 (budget / mpl);
+      delete_fraction = 0.1;
+      checkpoint_every = Some 10;
+      config =
+        { Workload.default.Workload.config with Database.pool_capacity = 64 };
+    }
+  in
+  let cell (name, rate, fcfg) =
+    let db, sales, views = Workload.setup spec in
+    (* armed after setup: the preload is never the victim *)
+    if Fault.enabled_in fcfg then Database.install_fault db fcfg;
+    let r = Workload.run_on db sales views spec in
+    let t0 = Unix.gettimeofday () in
+    let db' = Database.crash db in
+    let recov_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    let get n = Metrics.get (Database.metrics db') n in
+    let consistent =
+      Workload.check_consistency db' (Database.view db' "sales_by_product_0")
+    in
+    let retries =
+      match List.assoc_opt "buffer.io_retry" r.Workload.metrics with
+      | Some v -> v
+      | None -> 0
+    in
+    let row =
+      [
+        name;
+        f2 rate;
+        i r.Workload.committed;
+        (if r.Workload.crashed then "yes" else "no");
+        f2 recov_ms;
+        i (get "recovery.redo_applied");
+        i (get "recovery.torn_pages");
+        i (get "wal.torn_tail_dropped");
+        i (get "recovery.losers");
+        i retries;
+        string_of_bool consistent;
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"fault": "%s", "rate": %.2f, "committed": %d, "crashed": %b, "recovery_ms": %.3f, "redo_applied": %d, "torn_pages": %d, "torn_tail_dropped": %d, "losers": %d, "io_retries": %d, "consistent": %b}|}
+        name rate r.Workload.committed r.Workload.crashed recov_ms
+        (get "recovery.redo_applied") (get "recovery.torn_pages")
+        (get "wal.torn_tail_dropped") (get "recovery.losers") retries consistent
+    in
+    (row, json)
+  in
+  let n = Fault.no_faults in
+  List.map cell
+    [
+      ("none", 0., n);
+      ( "err-0.05", 0.05,
+        { n with fault_seed = 3; read_error_p = 0.05; write_error_p = 0.05 } );
+      ( "err-0.20", 0.2,
+        { n with fault_seed = 3; read_error_p = 0.2; write_error_p = 0.2 } );
+      ("crash-write", 0., { n with crash_at_write = Some 5 });
+      ( "torn-write", 0.,
+        { n with fault_seed = 1; crash_at_write = Some 5; torn_writes = true } );
+      ( "torn-tail", 0.,
+        { n with fault_seed = 9; crash_at_force = Some 25; torn_tail = true } );
+    ]
+
+let e12_title = "E12  Recovery under injected faults (escrow, mpl 8, ckpt every 10)"
+
+let e12_header =
+  [ "fault"; "rate"; "commits"; "crashed"; "recov ms"; "redo"; "torn pg";
+    "tail drop"; "losers"; "io retry"; "consistent" ]
+
+let e12 () =
+  let cells = fault_cells ~quick:false in
+  print_table ~title:e12_title ~header:e12_header (List.map fst cells)
+
 (* --- E11: commit path — per-commit force vs group commit vs async ----------------------- *)
 
 (* Escrow removes the lock bottleneck on the hot aggregate rows, so with a
@@ -648,13 +737,19 @@ let commit_bench ~quick () =
     "\ntracing overhead (group, mpl %d): off %.2f tput / %.3fs wall, on %.2f tput / %.3fs wall (%d events)\n"
     mpl_off r_off.Workload.throughput r_off.Workload.wall_s
     r_on.Workload.throughput r_on.Workload.wall_s events;
+  (* the fault-recovery cells ride along: quick mode doubles as the
+     fault-enabled smoke run invoked from the dune test runner *)
+  let e12_cells = fault_cells ~quick in
+  print_table ~title:e12_title ~header:e12_header (List.map fst e12_cells);
   let oc = open_out "BENCH_commit.json" in
-  Printf.fprintf oc "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ]\n}\n"
     quick
-    (String.concat ",\n" (List.map snd cells @ trace_json));
+    (String.concat ",\n" (List.map snd cells @ trace_json))
+    (String.concat ",\n" (List.map snd e12_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
-    (List.length cells + List.length trace_json)
+    (List.length cells + List.length trace_json + List.length e12_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -789,6 +884,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12);
     ("micro", micro);
   ]
 

@@ -13,6 +13,8 @@ module Query = Ivdb.Query
 module Maintain = Ivdb_core.Maintain
 module Txn = Ivdb_txn.Txn
 module Trace = Ivdb_util.Trace
+module Metrics = Ivdb_util.Metrics
+module Fault = Ivdb_storage.Fault
 
 open Cmdliner
 
@@ -67,7 +69,8 @@ let commit_mode_conv =
 
 let run seed groups theta mpl txns ops deletes reads scan coarse strategy
     create_mode commit_mode views initial gc_every checkpoint_every trace_out
-    verbose check =
+    verbose check fault_seed fault_read_p fault_write_p fault_crash_write
+    fault_crash_force fault_torn_writes fault_torn_tail =
   let spec =
     {
       Workload.config = { Workload.default.Workload.config with Database.commit_mode };
@@ -89,7 +92,22 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
       checkpoint_every;
     }
   in
+  let fcfg =
+    {
+      Fault.no_faults with
+      fault_seed;
+      read_error_p = fault_read_p;
+      write_error_p = fault_write_p;
+      crash_at_write = fault_crash_write;
+      crash_at_force = fault_crash_force;
+      torn_writes = fault_torn_writes;
+      torn_tail = fault_torn_tail;
+    }
+  in
   let db, sales, views_l = Workload.setup spec in
+  (* faults are armed after setup so the preload is never the victim:
+     injection covers the measured phase only, like tracing *)
+  if Fault.enabled_in fcfg then Database.install_fault db fcfg;
   (* tracing covers the measured phase only: enabled after setup/preload *)
   let profile = Trace.Profile.create () in
   let close_trace =
@@ -107,6 +125,25 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
   in
   let r = Workload.run_on db sales views_l spec in
   close_trace ();
+  (* an injected crash point stopped the run: recover before reporting, as
+     an operator would restart the server *)
+  let db, views_l =
+    if not r.Workload.crashed then (db, views_l)
+    else begin
+      let names = List.map (Database.view_name db) views_l in
+      let t0 = Unix.gettimeofday () in
+      let db' = Database.crash db in
+      let recov_s = Unix.gettimeofday () -. t0 in
+      let m = Database.metrics db' in
+      Printf.printf "injected crash fired; recovered in %.3f ms\n" (recov_s *. 1000.);
+      Printf.printf "  stable records     %d\n" (Metrics.get m "recovery.stable_records");
+      Printf.printf "  redo applied       %d\n" (Metrics.get m "recovery.redo_applied");
+      Printf.printf "  torn pages reset   %d\n" (Metrics.get m "recovery.torn_pages");
+      Printf.printf "  torn tail dropped  %d\n" (Metrics.get m "wal.torn_tail_dropped");
+      Printf.printf "  losers rolled back %d\n" (Metrics.get m "recovery.losers");
+      (db', List.map (Database.view db') names)
+    end
+  in
   Printf.printf "strategy          %s (create: %s)\n"
     (Maintain.strategy_to_string strategy)
     (match create_mode with Maintain.System_txn -> "system txn" | Maintain.User_txn -> "user txn");
@@ -209,10 +246,56 @@ let cmd =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify view consistency afterwards.")
   in
+  let fault_seed =
+    Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Fault-injection RNG seed.")
+  in
+  let fault_read_p =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fault-read-error-p" ]
+          ~doc:"Per-read transient I/O error probability (retried by the pool).")
+  in
+  let fault_write_p =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fault-write-error-p" ]
+          ~doc:"Per-write transient I/O error probability (retried by the pool).")
+  in
+  let fault_crash_write =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-crash-at-write" ]
+          ~doc:"Crash on the N-th disk write of the measured phase, then recover.")
+  in
+  let fault_crash_force =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-crash-at-force" ]
+          ~doc:"Crash on the N-th WAL force of the measured phase, then recover.")
+  in
+  let fault_torn_writes =
+    Arg.(
+      value & flag
+      & info [ "fault-torn-writes" ]
+          ~doc:"The crashing disk write persists only a prefix of the page.")
+  in
+  let fault_torn_tail =
+    Arg.(
+      value & flag
+      & info [ "fault-torn-tail" ]
+          ~doc:"The crashing WAL force persists only a byte prefix of the new \
+                log region.")
+  in
   Cmd.v
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
    $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
-   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check)
+   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check $ fault_seed
+   $ fault_read_p $ fault_write_p $ fault_crash_write $ fault_crash_force
+   $ fault_torn_writes $ fault_torn_tail)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,10 @@
 module B = Ivdb_util.Bytes_util
 module Page = Ivdb_storage.Page
 
-let off_aux = 9
-let off_nkeys = 13
-let off_free_end = 15
-let off_slots = 17
+let off_aux = Page.header_size
+let off_nkeys = off_aux + 4
+let off_free_end = off_nkeys + 2
+let off_slots = off_free_end + 2
 let max_entry = (Page.size - off_slots) / 4
 
 let init kind p =

@@ -1,6 +1,7 @@
 module Metrics = Ivdb_util.Metrics
 module Trace = Ivdb_util.Trace
 module Disk = Ivdb_storage.Disk
+module Fault = Ivdb_storage.Fault
 module Bufpool = Ivdb_storage.Bufpool
 module Heap_file = Ivdb_storage.Heap_file
 module Heap_page = Ivdb_storage.Heap_page
@@ -32,6 +33,7 @@ type config = {
   auto_ghost_gc : bool;
   escalation_threshold : int option;
   commit_mode : Txn.commit_mode;
+  fault : Fault.config;
 }
 
 let default_config =
@@ -43,6 +45,7 @@ let default_config =
     auto_ghost_gc = true;
     escalation_threshold = None;
     commit_mode = Txn.Sync;
+    fault = Fault.no_faults;
   }
 
 type table = int
@@ -60,6 +63,7 @@ and index_rt = { imeta : Catalog.index_meta; itree : Btree.t }
 
 type t = {
   cfg : config;
+  mutable fplan : Fault.t;
   dmetrics : Metrics.t;
   dtrace : Trace.t;
   m_retry : Metrics.counter;
@@ -428,6 +432,12 @@ let make_trace () = Trace.create ~clock:Sched.now ~fiber:Sched.self ()
 
 let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
   let trace = match trace with Some tr -> tr | None -> make_trace () in
+  let fplan =
+    if Fault.enabled_in config.fault then Fault.create ~trace metrics config.fault
+    else Fault.none
+  in
+  Disk.set_fault disk fplan;
+  Wal.set_fault wal fplan;
   let dpool =
     Bufpool.create disk ~capacity:config.pool_capacity ~trace metrics
   in
@@ -440,6 +450,7 @@ let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
   let t =
     {
       cfg = config;
+      fplan;
       dmetrics = metrics;
       dtrace = trace;
       m_retry = Metrics.counter metrics "txn.retry";
@@ -472,10 +483,22 @@ let create ?(config = default_config) () =
   let metrics = Metrics.create () in
   let trace = make_trace () in
   let disk =
-    Disk.create ~read_cost:config.read_cost ~write_cost:config.write_cost metrics
+    Disk.create ~read_cost:config.read_cost ~write_cost:config.write_cost
+      ~trace metrics
   in
   let wal = Wal.create ~trace metrics in
   bare ~config ~trace ~metrics ~disk ~wal ()
+
+(* Arm (or replace) the fault plan mid-life — the crash-point sweep tests
+   set up the schema fault-free, then install the trigger before the
+   measured workload so every injection ordinal lands inside it. *)
+let install_fault t fcfg =
+  let fplan = Fault.create ~trace:t.dtrace t.dmetrics fcfg in
+  t.fplan <- fplan;
+  Disk.set_fault t.disk fplan;
+  Wal.set_fault t.dwal fplan
+
+let fault_plan t = t.fplan
 
 (* --- DDL -------------------------------------------------------------------- *)
 
@@ -747,6 +770,10 @@ let transact_exn t ?retries f =
         Metrics.inc t.m_retry;
         Sched.yield ();
         go (attempts_left - 1)
+    | exception (Fault.Crash_point _ as e) ->
+        (* power loss, not an abort: nothing runs after the crash point —
+           the rollback happens in recovery, from the stable log *)
+        raise e
     | exception e ->
         Txn.abort t.tmgr tx;
         finish_ghosts false;
@@ -776,12 +803,20 @@ let checkpoint t =
   Txn.checkpoint t.tmgr ~catalog:(Catalog.encode_snapshot t.catalog);
   let ckpt = Wal.last_checkpoint_lsn t.dwal in
   if ckpt > 0 then begin
-    let safe =
-      List.fold_left min ckpt
-        (List.map (fun (_, recl) -> Int64.to_int recl) (Bufpool.dirty_page_table t.dpool)
-        @ Txn.active_first_lsns t.tmgr)
-    in
-    Wal.truncate_before t.dwal safe
+    if Fault.tears_writes t.fplan then
+      (* torn-write injection is armed: retain the full log so a torn page
+         can be reset to fresh and rebuilt from its complete diff history
+         (the same trade as PostgreSQL's full_page_writes — pay log volume
+         for torn-page recoverability) *)
+      Metrics.incr t.dmetrics "fault.truncation_skipped"
+    else begin
+      let safe =
+        List.fold_left min ckpt
+          (List.map (fun (_, recl) -> Int64.to_int recl) (Bufpool.dirty_page_table t.dpool)
+          @ Txn.active_first_lsns t.tmgr)
+      in
+      Wal.truncate_before t.dwal safe
+    end
   end
 
 (* --- crash / recovery ------------------------------------------------------------- *)
@@ -796,10 +831,15 @@ let crash old =
   let trace = make_trace () in
   let wal = Wal.crash old.dwal ~trace metrics in
   Bufpool.drop_all old.dpool;
-  let t = bare ~config:old.cfg ~trace ~metrics ~disk:old.disk ~wal () in
+  (* the new incarnation boots on healthy hardware: the old plan (frozen
+     or not) must not fire again during or after recovery *)
+  Disk.set_fault old.disk Fault.none;
+  let config = { old.cfg with fault = Fault.no_faults } in
+  let t = bare ~config ~trace ~metrics ~disk:old.disk ~wal () in
   let analysis = Recovery.analyze wal in
-  let redo_applied = Recovery.redo wal t.dpool analysis in
-  Metrics.add metrics "recovery.redo_applied" redo_applied;
+  let redo = Recovery.redo wal t.dpool analysis in
+  Metrics.add metrics "recovery.redo_applied" redo.Recovery.applied;
+  Metrics.add metrics "recovery.torn_pages" (List.length redo.Recovery.torn_pages);
   Metrics.add metrics "recovery.losers" (List.length analysis.Recovery.losers);
   Metrics.add metrics "recovery.stable_records" analysis.Recovery.stable_records;
   Txn.bump_txn_id t.tmgr analysis.Recovery.max_txn_id;

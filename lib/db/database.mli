@@ -39,6 +39,10 @@ type config = {
       (** how commits are made durable: per-commit force ([Sync], the
           default), batched forces behind the commit coordinator fiber
           ([Group]), or acknowledged-before-force ([Async]) *)
+  fault : Ivdb_storage.Fault.config;
+      (** deterministic fault injection armed at creation (default
+          {!Ivdb_storage.Fault.no_faults}): transient I/O errors, torn
+          writes, crash-at-the-n-th write/force *)
 }
 
 val default_config : config
@@ -47,6 +51,16 @@ type table
 type view
 
 val create : ?config:config -> unit -> t
+
+val install_fault : t -> Ivdb_storage.Fault.config -> unit
+(** Arm (or replace) the fault plan mid-life — lets tests set up the
+    schema fault-free and inject only into the measured workload. A plan
+    that fires freezes stable storage and raises
+    {!Ivdb_storage.Fault.Crash_point}; follow with {!crash} to recover.
+    While torn-write injection is armed, {!checkpoint} retains the full
+    log (skips truncation) so a torn page can be rebuilt from scratch. *)
+
+val fault_plan : t -> Ivdb_storage.Fault.t
 
 (** {1 DDL}
 

@@ -54,6 +54,7 @@ let default =
 
 type result = {
   committed : int;
+  crashed : bool;
   committed_readers : int;
   given_up : int;
   retries : int;
@@ -123,6 +124,8 @@ let run_on db sales views spec =
   let t0 = Unix.gettimeofday () in
   let start_ticks = ref 0 in
   let end_ticks = ref 0 in
+  let crashed = ref false in
+  (try
   Sched.run ~seed:spec.seed (fun () ->
       start_ticks := Sched.now ();
       let worker widx =
@@ -224,7 +227,11 @@ let run_on db sales views spec =
          than spinning silently *)
       if !remaining > 0 then
         Sched.suspend (fun wake _cancel -> wake_main := wake);
-      end_ticks := Sched.now ());
+      end_ticks := Sched.now ())
+  with Ivdb_storage.Fault.Crash_point _ ->
+    (* an injected crash point fired: the whole run stopped mid-step, as a
+       power loss would. The caller recovers with [Database.crash]. *)
+    crashed := true);
   let wall_s = Unix.gettimeofday () -. t0 in
   let after = Metrics.snapshot metrics in
   let diff = Metrics.diff ~before ~after in
@@ -239,6 +246,7 @@ let run_on db sales views spec =
   let batch_total = List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 batch_hist in
   {
     committed = !committed;
+    crashed = !crashed;
     committed_readers = !committed_readers;
     given_up = !given_up;
     retries = get "txn.retry";

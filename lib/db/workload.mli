@@ -37,6 +37,9 @@ val default : spec
 
 type result = {
   committed : int;
+  crashed : bool;
+      (** an injected {!Ivdb_storage.Fault} crash point fired mid-run;
+          tick/latency figures cover the truncated run *)
   committed_readers : int;  (** of which reader transactions *)
   given_up : int;  (** transactions that exhausted their deadlock retries *)
   retries : int;

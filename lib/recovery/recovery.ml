@@ -85,13 +85,38 @@ let analyze wal =
     stable_records = !nrec;
   }
 
+type redo_result = { applied : int; torn_pages : int list }
+
+(* Torn-page policy: a stored image that fails checksum verification is
+   reset to a fresh zeroed page (LSN 0) *before* any buffer-pool fetch can
+   trip over it, and redo then replays from the start of the retained log
+   rather than the analysis redo point — with the full diff history
+   retained (the database suspends log truncation while torn-write
+   injection is armed), LSN-gated replay rebuilds the page byte-for-byte.
+   Intact pages are unaffected: their pageLSN gates skip already-applied
+   diffs as usual. *)
+let repair_torn disk =
+  let torn = ref [] in
+  for pid = Ivdb_storage.Disk.max_page_id disk downto 1 do
+    if Ivdb_storage.Disk.is_torn disk pid then begin
+      Ivdb_storage.Disk.reset_page disk pid;
+      torn := pid :: !torn
+    end
+  done;
+  !torn
+
 let redo wal pool analysis =
   let applied = ref 0 in
   let disk = Bufpool.disk pool in
   Ivdb_storage.Disk.bump_alloc disk analysis.max_page_id;
+  let torn_pages = repair_torn disk in
+  let redo_start =
+    if torn_pages = [] then analysis.redo_start
+    else min analysis.redo_start (Wal.first_lsn wal)
+  in
   Wal.iter_stable wal (fun r ->
       let lsn = r.Log_record.lsn in
-      if lsn >= analysis.redo_start then
+      if lsn >= redo_start then
         match r.Log_record.body with
         | Log_record.Update { redo = diffs; _ } | Log_record.Clr { redo = diffs; _ } ->
             (* One record may carry several diffs for the same page (e.g. a
@@ -121,4 +146,4 @@ let redo wal pool analysis =
         | Log_record.Begin _ | Log_record.Commit | Log_record.Abort
         | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _ ->
             ());
-  !applied
+  { applied = !applied; torn_pages }

@@ -29,6 +29,16 @@ type analysis = {
 
 val analyze : Ivdb_wal.Wal.t -> analysis
 
-val redo : Ivdb_wal.Wal.t -> Ivdb_storage.Bufpool.t -> analysis -> int
-(** Repeat history; returns the number of page diffs applied. Also bumps the
-    disk's allocation cursor past every page seen in the log. *)
+type redo_result = {
+  applied : int;  (** page diffs applied *)
+  torn_pages : int list;  (** pages found torn, reset to fresh and replayed *)
+}
+
+val redo : Ivdb_wal.Wal.t -> Ivdb_storage.Bufpool.t -> analysis -> redo_result
+(** Repeat history. First sweeps the disk for torn pages (checksum
+    mismatch from a write interrupted by the crash): each is reset to a
+    fresh page, and replay then starts from the first retained LSN so the
+    torn page's entire diff history is reapplied — sound because the
+    database retains the full log while torn-write injection is armed.
+    Also bumps the disk's allocation cursor past every page seen in the
+    log. *)

@@ -19,6 +19,7 @@ type t = {
   m_evict : Ivdb_util.Metrics.counter;
   m_writeback : Ivdb_util.Metrics.counter;
   m_overflow : Ivdb_util.Metrics.counter;
+  m_io_retry : Ivdb_util.Metrics.counter;
   frames : (int, frame) Hashtbl.t;
   (* Clock ring: dense array prefix [0, ring_len) with a persistent hand.
      Insert and remove are O(1) (remove swaps the last frame into the
@@ -43,6 +44,7 @@ let create disk ~capacity ?trace metrics =
     m_evict = Ivdb_util.Metrics.counter metrics "buffer.evict";
     m_writeback = Ivdb_util.Metrics.counter metrics "buffer.writeback";
     m_overflow = Ivdb_util.Metrics.counter metrics "buffer.overflow";
+    m_io_retry = Ivdb_util.Metrics.counter metrics "buffer.io_retry";
     frames = Hashtbl.create capacity;
     ring = [||];
     ring_len = 0;
@@ -74,10 +76,32 @@ let ring_remove t fr =
   t.ring_len <- last;
   if t.hand >= t.ring_len then t.hand <- 0
 
+(* Transient injected I/O errors are retried with a bounded, tick-based
+   backoff (linear: 20, 40, 60… ticks of simulated time). The fault plan
+   caps consecutive injections below this attempt budget, so the loop
+   terminates; a genuinely persistent error still escapes after the last
+   attempt. Crash points and torn-page detections are not retriable and
+   pass straight through. *)
+let io_retry_limit = 5
+let io_backoff_ticks = 20
+
+let with_io_retry t ~page f =
+  let rec go attempt =
+    try f ()
+    with Fault.Io_error _ when attempt < io_retry_limit ->
+      Ivdb_util.Metrics.inc t.m_io_retry;
+      if Ivdb_util.Trace.enabled t.trace then
+        Ivdb_util.Trace.emit t.trace (Ivdb_util.Trace.Io_retry { page; attempt });
+      Ivdb_sched.Sched.advance (io_backoff_ticks * attempt);
+      go (attempt + 1)
+  in
+  go 1
+
 let write_back t fr =
   if fr.dirty then begin
     t.wal_force (Page.get_lsn fr.data);
-    Disk.write t.disk fr.page_id fr.data;
+    with_io_retry t ~page:fr.page_id (fun () ->
+        Disk.write t.disk fr.page_id fr.data);
     fr.dirty <- false;
     fr.rec_lsn <- 0L;
     Ivdb_util.Metrics.inc t.m_writeback
@@ -88,10 +112,16 @@ let write_back t fr =
    suffice; if every frame is pinned we overflow rather than deadlock the
    cooperative scheduler. *)
 let evict_one t =
+  (* an empty ring (capacity 0, or every frame already removed) has
+     nothing to evict — and the clock arithmetic below divides by
+     [ring_len], so guard explicitly rather than trust the loop bound *)
+  if t.ring_len = 0 then Ivdb_util.Metrics.inc t.m_overflow
+  else begin
   let victim = ref None in
   let steps = ref (2 * t.ring_len) in
   while !victim = None && !steps > 0 do
     decr steps;
+    if t.hand >= t.ring_len then t.hand <- 0;
     let fr = t.ring.(t.hand) in
     if fr.pins > 0 || fr.no_steal then t.hand <- (t.hand + 1) mod t.ring_len
     else if fr.referenced then begin
@@ -110,6 +140,7 @@ let evict_one t =
       if Ivdb_util.Trace.enabled t.trace then
         Ivdb_util.Trace.emit t.trace
           (Ivdb_util.Trace.Buf_evict { page = fr.page_id })
+  end
 
 let get_frame t page_id =
   match Hashtbl.find_opt t.frames page_id with
@@ -122,7 +153,7 @@ let get_frame t page_id =
       if Ivdb_util.Trace.enabled t.trace then
         Ivdb_util.Trace.emit t.trace (Ivdb_util.Trace.Buf_miss { page = page_id });
       if Hashtbl.length t.frames >= t.cap then evict_one t;
-      let data = Disk.read t.disk page_id in
+      let data = with_io_retry t ~page:page_id (fun () -> Disk.read t.disk page_id) in
       let fr =
         {
           page_id;
@@ -149,7 +180,16 @@ let read t page_id f = with_pin t page_id (fun fr -> f fr.data)
 let update t page_id f =
   with_pin t page_id (fun fr ->
       let before = Bytes.copy fr.data in
-      let result = f fr.data in
+      let result =
+        try f fr.data
+        with e ->
+          (* the mutation callback died partway: restore the pre-image, or
+             the frame would keep unlogged bytes while looking clean
+             (dirty = false, no no-steal window) — evictable to disk with
+             no covering log record, violating the WAL rule *)
+          Bytes.blit before 0 fr.data 0 Page.size;
+          raise e
+      in
       let diff = Page_diff.compute ~before ~after:fr.data in
       (* a real change opens a no-steal window until the caller logs the
          diff and stamps the page; an empty diff leaves the frame as-is *)

@@ -23,7 +23,14 @@ val update : t -> int -> (bytes -> 'a) -> 'a * Page_diff.t
 (** Mutate the page in place; returns the callback result and the byte diff
     against the pre-image. The caller is responsible for logging the diff
     and then calling {!stamp} — the page is dirty-in-pool but carries its
-    old LSN until stamped. *)
+    old LSN until stamped. If the callback raises, the frame is restored to
+    its pre-image before the exception escapes (a half-mutated frame with
+    no covering log record must never reach disk).
+
+    Disk I/O performed on a frame miss or eviction retries transient
+    {!Fault.Io_error}s with bounded tick-based backoff (counts
+    [buffer.io_retry], traces [buf.io_retry]); the last failure
+    propagates. *)
 
 val stamp : t -> int -> int64 -> unit
 (** Set the pageLSN after logging; records the frame's recLSN (first LSN to

@@ -1,39 +1,114 @@
+module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
+
+exception Torn_page of int
+
 type t = {
   pages : (int, bytes) Hashtbl.t;
-  m_read : Ivdb_util.Metrics.counter;
-  m_write : Ivdb_util.Metrics.counter;
+  trace : Trace.t;
+  m_read : Metrics.counter;
+  m_write : Metrics.counter;
+  m_unwritten : Metrics.counter;
+  m_bogus : Metrics.counter;
   read_cost : int;
   write_cost : int;
   mutable next_id : int;
+  mutable strict : bool;
+  mutable fault : Fault.t;
 }
 
-let create ?(read_cost = 100) ?(write_cost = 100) metrics =
+let create ?(read_cost = 100) ?(write_cost = 100) ?(strict = true) ?trace
+    metrics =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   {
     pages = Hashtbl.create 256;
-    m_read = Ivdb_util.Metrics.counter metrics "disk.read";
-    m_write = Ivdb_util.Metrics.counter metrics "disk.write";
+    trace;
+    m_read = Metrics.counter metrics "disk.read";
+    m_write = Metrics.counter metrics "disk.write";
+    m_unwritten = Metrics.counter metrics "disk.read_unwritten";
+    m_bogus = Metrics.counter metrics "disk.read_bogus";
     read_cost;
     write_cost;
     next_id = 1;
+    strict;
+    fault = Fault.none;
   }
+
+let set_fault t f = t.fault <- f
+let fault t = t.fault
+let set_strict t on = t.strict <- on
+let strict t = t.strict
 
 let alloc_page t =
   let id = t.next_id in
   t.next_id <- id + 1;
   id
 
+(* Stamp the checksum into a private stable copy. The pool-facing image
+   always carries zero in the checksum field (see [read]), so the field
+   never shows up in page diffs or pre-images. *)
+let stamped p =
+  let s = Bytes.copy p in
+  Page.set_checksum s 0;
+  Page.set_checksum s (Page.checksum s);
+  s
+
 let read t id =
-  Ivdb_util.Metrics.inc t.m_read;
+  Metrics.inc t.m_read;
   Ivdb_sched.Sched.advance t.read_cost;
+  Fault.on_read t.fault ~page:id;
   match Hashtbl.find_opt t.pages id with
-  | Some p -> Bytes.copy p
-  | None -> Page.alloc ()
+  | Some p ->
+      if not (Page.verifies p) then raise (Torn_page id);
+      let c = Bytes.copy p in
+      Page.set_checksum c 0;
+      c
+  | None ->
+      if id < t.next_id then begin
+        (* allocated but never flushed — legitimate after a crash that beat
+           the first write-back; reads as a fresh page *)
+        Metrics.inc t.m_unwritten;
+        Page.alloc ()
+      end
+      else begin
+        (* an id the allocator never handed out: a dangling reference *)
+        Metrics.inc t.m_bogus;
+        if Trace.enabled t.trace then
+          Trace.emit t.trace (Trace.Fault_inject { kind = "disk.read_bogus"; arg = id });
+        if t.strict then
+          invalid_arg
+            (Printf.sprintf "Disk.read: page %d was never allocated" id)
+        else Page.alloc ()
+      end
 
 let write t id p =
-  Ivdb_util.Metrics.inc t.m_write;
-  Ivdb_sched.Sched.advance t.write_cost;
-  Hashtbl.replace t.pages id (Bytes.copy p);
-  if id >= t.next_id then t.next_id <- id + 1
+  if not (Fault.frozen t.fault) then begin
+    Metrics.inc t.m_write;
+    Ivdb_sched.Sched.advance t.write_cost;
+    match Fault.on_write t.fault ~page:id with
+    | Fault.Write_ok ->
+        Hashtbl.replace t.pages id (stamped p);
+        if id >= t.next_id then t.next_id <- id + 1
+    | Fault.Write_crash -> Fault.crash "disk.write"
+    | Fault.Write_torn keep ->
+        let old =
+          match Hashtbl.find_opt t.pages id with
+          | Some o -> Bytes.copy o
+          | None -> Bytes.make Page.size '\000'
+        in
+        Bytes.blit (stamped p) 0 old 0 keep;
+        Hashtbl.replace t.pages id old;
+        if id >= t.next_id then t.next_id <- id + 1;
+        Fault.crash "disk.write.torn"
+  end
+
+let is_torn t id =
+  match Hashtbl.find_opt t.pages id with
+  | None -> false
+  | Some p -> not (Page.verifies p)
+
+let reset_page t id =
+  Hashtbl.replace t.pages id (stamped (Page.alloc ()))
 
 let page_count t = Hashtbl.length t.pages
 let max_page_id t = Hashtbl.fold (fun id _ acc -> max id acc) t.pages 0

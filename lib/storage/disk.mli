@@ -1,25 +1,68 @@
 (** Simulated stable storage for pages.
 
-    A page store with I/O accounting and a logical-time cost model. Contents
-    survive a simulated crash (the buffer pool does not), which is what the
-    crash-recovery tests exploit. *)
+    A page store with I/O accounting, a logical-time cost model, per-page
+    checksums, and a fault-injection hook. Contents survive a simulated
+    crash (the buffer pool does not), which is what the crash-recovery
+    tests exploit.
+
+    Every stored image is stamped with a checksum ({!Page.checksum}) on
+    write and verified on read, so a torn write — injected via a
+    {!Fault.t} plan — is detected the moment anyone reads the page.
+    Recovery sweeps {!is_torn} / {!reset_page} before redo. *)
+
+exception Torn_page of int
+(** Raised by {!read} when the stored image fails checksum verification.
+    Only recovery should ever see this: during normal operation every
+    stored page was written whole. *)
 
 type t
 
-val create : ?read_cost:int -> ?write_cost:int -> Ivdb_util.Metrics.t -> t
+val create :
+  ?read_cost:int ->
+  ?write_cost:int ->
+  ?strict:bool ->
+  ?trace:Ivdb_util.Trace.t ->
+  Ivdb_util.Metrics.t ->
+  t
 (** Costs are logical ticks charged to the scheduler clock per I/O
-    (defaults 100/100, the classic 100:1 I/O-to-CPU-step ratio). *)
+    (defaults 100/100, the classic 100:1 I/O-to-CPU-step ratio).
+    [strict] (default true) makes reading a page id that was never
+    allocated an error — see {!read}. *)
+
+val set_fault : t -> Fault.t -> unit
+(** Install a fault plan consulted on every read and write. *)
+
+val fault : t -> Fault.t
+
+val set_strict : t -> bool -> unit
+val strict : t -> bool
 
 val alloc_page : t -> int
 (** Fresh page id (ids start at 1; 0 is "nil"). Allocation itself performs
     no I/O. *)
 
 val read : t -> int -> bytes
-(** Copy of the page's stable image; a never-written page reads as zeroes.
-    Counts [disk.read]. *)
+(** Copy of the page's stable image, checksum field zeroed. An allocated
+    but never-written page reads as zeroes and counts
+    [disk.read_unwritten] (legitimate after a crash that beat the first
+    write-back). A page id the allocator never handed out is a dangling
+    reference: counts [disk.read_bogus] and, in strict mode, raises
+    [Invalid_argument]. Raises {!Torn_page} on checksum mismatch. Counts
+    [disk.read]; may raise {!Fault.Io_error} under an installed plan. *)
 
 val write : t -> int -> bytes -> unit
-(** Stores a copy. Counts [disk.write]. *)
+(** Stores a checksum-stamped copy. Counts [disk.write]. Under an
+    installed plan this is the torn-write / crash-at-write injection
+    point; after the plan freezes, writes are silent no-ops (the machine
+    is dead). *)
+
+val is_torn : t -> int -> bool
+(** The stored image fails verification (torn write at crash). *)
+
+val reset_page : t -> int -> unit
+(** Replace the stored image with a fresh zeroed page — recovery's
+    torn-page policy, sound because the retained log replays the page's
+    full diff history. *)
 
 val page_count : t -> int
 (** Number of pages ever written. *)

@@ -1,9 +1,9 @@
 module B = Ivdb_util.Bytes_util
 
-let off_next = 9
-let off_nslots = 13
-let off_free_end = 15
-let off_slots = 17
+let off_next = Page.header_size
+let off_nslots = off_next + 4
+let off_free_end = off_nslots + 2
+let off_slots = off_free_end + 2
 let ghost_bit = 0x8000
 
 let init p =

@@ -1,5 +1,8 @@
+module B = Ivdb_util.Bytes_util
+
 let size = 8192
-let header_size = 9
+let off_checksum = 9
+let header_size = 13
 
 type ty = Free | Heap | Bt_leaf | Bt_interior
 
@@ -18,3 +21,14 @@ let get_ty p =
   | n -> invalid_arg (Printf.sprintf "Page.get_ty: corrupt type byte %d" n)
 
 let set_ty p ty = Bytes.set_uint8 p 8 (ty_code ty)
+
+let get_checksum p = B.get_u32 p off_checksum
+let set_checksum p v = B.set_u32 p off_checksum v
+
+(* Covers every byte except the checksum field itself, so a torn write that
+   changes anything — including the pageLSN — fails verification. *)
+let checksum p =
+  let h = B.fnv1a32 p 0 off_checksum in
+  B.fnv1a32 ~h p header_size (size - header_size)
+
+let verifies p = get_checksum p = checksum p

@@ -4,15 +4,21 @@
     {v
       offset 0..7   pageLSN (i64, big-endian)
       offset 8      page type
+      offset 9..12  checksum (u32, FNV-1a over the rest of the page)
     v}
-    Layout beyond offset 9 belongs to the page's owner (heap page, B-tree
-    node). *)
+    Layout beyond offset 13 belongs to the page's owner (heap page, B-tree
+    node).
+
+    The checksum field is only meaningful on the disk's stable image: the
+    disk stamps it on write and verifies it on read, and it reads back as
+    zero into the buffer pool. In-pool frames therefore always carry zero
+    there, which keeps page diffs and pre-images free of checksum noise. *)
 
 val size : int
 (** 8192 bytes. *)
 
 val header_size : int
-(** 9: first byte available to owners. *)
+(** 13: first byte available to owners. *)
 
 type ty = Free | Heap | Bt_leaf | Bt_interior
 
@@ -24,3 +30,14 @@ val set_lsn : bytes -> int64 -> unit
 
 val get_ty : bytes -> ty
 val set_ty : bytes -> ty -> unit
+
+val get_checksum : bytes -> int
+val set_checksum : bytes -> int -> unit
+
+val checksum : bytes -> int
+(** FNV-1a over the whole page except the checksum field itself (so any
+    torn or corrupted byte, pageLSN included, is detected). *)
+
+val verifies : bytes -> bool
+(** [get_checksum p = checksum p] — true for an image whose stamped
+    checksum matches its contents. *)

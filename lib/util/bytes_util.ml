@@ -21,6 +21,21 @@ let get_u32 b pos =
 let set_i64 b pos v = Bytes.set_int64_be b pos v
 let get_i64 b pos = Bytes.get_int64_be b pos
 
+(* FNV-1a, 32-bit. Not cryptographic — it only has to make a torn or
+   corrupted image fail verification with overwhelming probability, and it
+   must be deterministic across runs (no keyed hashing). *)
+let fnv_basis = 0x811c9dc5
+let fnv_prime = 0x01000193
+
+let fnv1a32 ?(h = fnv_basis) b pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Bytes.get_uint8 b i) * fnv_prime land 0xFFFFFFFF
+  done;
+  !h
+
+let fnv1a32_string ?h s pos len = fnv1a32 ?h (Bytes.unsafe_of_string s) pos len
+
 let compare_sub a apos alen b bpos blen =
   let n = min alen blen in
   let rec go i =

@@ -12,6 +12,13 @@ val get_u32 : bytes -> int -> int
 val set_i64 : bytes -> int -> int64 -> unit
 val get_i64 : bytes -> int -> int64
 
+val fnv1a32 : ?h:int -> bytes -> int -> int -> int
+(** [fnv1a32 b pos len] FNV-1a hash of the byte range, 32-bit. Pass the
+    previous result as [?h] to chain discontiguous ranges into one digest.
+    Deterministic (unkeyed) — used for page and log-record checksums. *)
+
+val fnv1a32_string : ?h:int -> string -> int -> int -> int
+
 val compare_sub : bytes -> int -> int -> bytes -> int -> int -> int
 (** [compare_sub a apos alen b bpos blen] lexicographic comparison of the two
     byte ranges (shorter prefix sorts first). *)

@@ -25,6 +25,8 @@ type event =
   | Group_create of { view : int; key : string; system : bool }
   | Group_gc of { view : int; key : string }
   | Batch_flush of { batch : int; hi_lsn : int }
+  | Fault_inject of { kind : string; arg : int }
+  | Io_retry of { page : int; attempt : int }
 
 type record = { seq : int; tick : int; fiber : int; event : event }
 
@@ -71,6 +73,8 @@ let event_name = function
   | Group_create _ -> "view.group_create"
   | Group_gc _ -> "view.group_gc"
   | Batch_flush _ -> "commit.batch_flush"
+  | Fault_inject _ -> "fault.inject"
+  | Io_retry _ -> "buf.io_retry"
 
 (* Keys are binary (order-preserving codec output); escape everything
    outside printable ASCII so the JSONL stream is valid, deterministic
@@ -113,6 +117,10 @@ let event_fields = function
       Printf.sprintf {|"view": %d, "key": "%s"|} view (json_escape key)
   | Batch_flush { batch; hi_lsn } ->
       Printf.sprintf {|"batch": %d, "hi_lsn": %d|} batch hi_lsn
+  | Fault_inject { kind; arg } ->
+      Printf.sprintf {|"kind": "%s", "arg": %d|} (json_escape kind) arg
+  | Io_retry { page; attempt } ->
+      Printf.sprintf {|"page": %d, "attempt": %d|} page attempt
 
 let to_json r =
   Printf.sprintf {|{"seq": %d, "tick": %d, "fiber": %d, "ev": "%s", %s}|} r.seq

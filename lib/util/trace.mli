@@ -28,6 +28,12 @@ type event =
   | Group_create of { view : int; key : string; system : bool }
   | Group_gc of { view : int; key : string }
   | Batch_flush of { batch : int; hi_lsn : int }
+  | Fault_inject of { kind : string; arg : int }
+      (** injected fault: [kind] names it (["io_error.read"],
+          ["crash.write"], ["torn.write"], …), [arg] is the page id, force
+          ordinal, or torn byte count as appropriate *)
+  | Io_retry of { page : int; attempt : int }
+      (** buffer pool retrying an I/O after a transient injected error *)
 
 type record = {
   seq : int;  (** emission order, dense from 0 *)

@@ -1,5 +1,7 @@
 module Metrics = Ivdb_util.Metrics
 module Trace = Ivdb_util.Trace
+module B = Ivdb_util.Bytes_util
+module Fault = Ivdb_storage.Fault
 
 type t = {
   mutable records : Log_record.t array; (* records.(lsn - base - 1) *)
@@ -8,6 +10,10 @@ type t = {
   mutable flushed : Log_record.lsn;
   mutable last_ckpt : Log_record.lsn; (* of flushed checkpoints *)
   mutable bytes_flushed : int;
+  mutable fault : Fault.t;
+  mutable pending_tear : int option;
+      (* byte offset into the serialized stable stream at which the device
+         stopped mid-force; consumed by [crash] *)
   metrics : Metrics.t;
   trace : Trace.t;
   m_append : Metrics.counter;
@@ -27,6 +33,8 @@ let create ?trace metrics =
     flushed = 0;
     last_ckpt = 0;
     bytes_flushed = 0;
+    fault = Fault.none;
+    pending_tear = None;
     metrics;
     trace;
     m_append = Metrics.counter metrics "log.append";
@@ -63,20 +71,55 @@ let first_lsn t = t.base + 1
 let record_count t = t.len
 let flushed_lsn t = t.flushed
 
+let set_fault t f = t.fault <- f
+
+(* framed byte size of the record range [lo, hi]: each record is encoded
+   as [u32 length | u32 checksum | payload] *)
+let framed_bytes t lo hi =
+  let acc = ref 0 in
+  for i = max lo (t.base + 1) to hi do
+    acc := !acc + 8 + Log_record.byte_size t.records.(i - t.base - 1)
+  done;
+  !acc
+
+let flush_range t lsn =
+  for i = max (t.base + 1) (t.flushed + 1) to lsn do
+    let r = t.records.(i - t.base - 1) in
+    t.bytes_flushed <- t.bytes_flushed + Log_record.byte_size r;
+    match r.Log_record.body with
+    | Log_record.Checkpoint _ -> t.last_ckpt <- r.Log_record.lsn
+    | _ -> ()
+  done;
+  t.flushed <- lsn
+
 let force t lsn =
-  let lsn = min lsn (t.base + t.len) in
-  if lsn > t.flushed then begin
-    Metrics.inc t.m_force;
-    if Trace.enabled t.trace then Trace.emit t.trace (Trace.Wal_force { lsn });
-    Ivdb_sched.Sched.advance t.force_cost;
-    for i = max (t.base + 1) (t.flushed + 1) to lsn do
-      let r = t.records.(i - t.base - 1) in
-      t.bytes_flushed <- t.bytes_flushed + Log_record.byte_size r;
-      match r.Log_record.body with
-      | Log_record.Checkpoint _ -> t.last_ckpt <- r.Log_record.lsn
-      | _ -> ()
-    done;
-    t.flushed <- lsn
+  (* after a crash point fires, the device is gone: forces are silent
+     no-ops so nothing else can reach stable storage before the test
+     observes the crash *)
+  if not (Fault.frozen t.fault) then begin
+    let lsn = min lsn (t.base + t.len) in
+    if lsn > t.flushed then begin
+      Metrics.inc t.m_force;
+      if Trace.enabled t.trace then Trace.emit t.trace (Trace.Wal_force { lsn });
+      Ivdb_sched.Sched.advance t.force_cost;
+      let action =
+        if Fault.active t.fault then
+          Fault.on_force t.fault ~bytes_new:(framed_bytes t (t.flushed + 1) lsn)
+        else Fault.Force_ok
+      in
+      match action with
+      | Fault.Force_ok -> flush_range t lsn
+      | Fault.Force_crash ->
+          (* nothing of this force reached the device *)
+          Fault.crash "wal.force"
+      | Fault.Force_torn keep ->
+          (* the device stopped [keep] bytes into the new region: record
+             the absolute tear offset for [crash] to apply *)
+          let prefix = framed_bytes t (t.base + 1) t.flushed in
+          flush_range t lsn;
+          t.pending_tear <- Some (prefix + keep);
+          Fault.crash "wal.force.torn"
+    end
   end
 
 let iter_stable t f =
@@ -86,15 +129,80 @@ let iter_stable t f =
 
 let last_checkpoint_lsn t = t.last_ckpt
 
+(* --- binary image of the stable prefix ----------------------------------
+
+   What a crash can see is not the typed in-memory array but the byte
+   stream a real device would hold, so the crash path always round-trips
+   the stable prefix through [Log_record.encode]/[decode] with
+   length+checksum framing. A torn tail is a byte-granularity prefix of
+   that stream; deserialization stops at the first incomplete or corrupt
+   frame and discards everything from there on — a partial record is never
+   resurrected. *)
+
+let serialize_stable t =
+  let buf = Buffer.create (t.bytes_flushed + 64) in
+  iter_stable t (fun r ->
+      let payload = Log_record.encode r in
+      let hdr = Bytes.create 8 in
+      B.set_u32 hdr 0 (String.length payload);
+      B.set_u32 hdr 4 (B.fnv1a32_string payload 0 (String.length payload));
+      Buffer.add_bytes buf hdr;
+      Buffer.add_string buf payload);
+  Buffer.contents buf
+
+(* decode frames until the stream runs dry or a frame fails (short header,
+   short payload, checksum mismatch, malformed record, or an LSN that
+   breaks the dense chain) *)
+let deserialize_stream ~first_lsn s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let out = ref [] in
+  let pos = ref 0 in
+  let next = ref first_lsn in
+  let stop = ref false in
+  while not !stop do
+    if n - !pos < 8 then stop := true
+    else begin
+      let len = B.get_u32 b !pos in
+      let ck = B.get_u32 b (!pos + 4) in
+      if len = 0 || n - !pos - 8 < len then stop := true
+      else if B.fnv1a32_string s (!pos + 8) len <> ck then stop := true
+      else
+        match Log_record.decode (String.sub s (!pos + 8) len) with
+        | r when r.Log_record.lsn = !next ->
+            out := r :: !out;
+            incr next;
+            pos := !pos + 8 + len
+        | _ -> stop := true
+        | exception Invalid_argument _ -> stop := true
+    end
+  done;
+  List.rev !out
+
+let set_torn_tail t cut = t.pending_tear <- Some cut
+
 let crash t ?trace metrics =
+  let stream = serialize_stable t in
+  let stream =
+    match t.pending_tear with
+    | Some cut when cut < String.length stream -> String.sub stream 0 cut
+    | Some _ | None -> stream
+  in
+  let recs = deserialize_stream ~first_lsn:(t.base + 1) stream in
   let copy = create ?trace metrics in
-  let stable_retained = max 0 (t.flushed - t.base) in
-  copy.records <- Array.sub t.records 0 stable_retained;
+  copy.records <- Array.of_list recs;
   copy.base <- t.base;
-  copy.len <- stable_retained;
-  copy.flushed <- t.flushed;
-  copy.last_ckpt <- t.last_ckpt;
-  copy.bytes_flushed <- t.bytes_flushed;
+  copy.len <- Array.length copy.records;
+  copy.flushed <- t.base + copy.len;
+  Array.iter
+    (fun r ->
+      copy.bytes_flushed <- copy.bytes_flushed + Log_record.byte_size r;
+      match r.Log_record.body with
+      | Log_record.Checkpoint _ -> copy.last_ckpt <- r.Log_record.lsn
+      | _ -> ())
+    copy.records;
+  let dropped = t.flushed - t.base - copy.len in
+  if dropped > 0 then Metrics.add metrics "wal.torn_tail_dropped" dropped;
   copy
 
 let truncate_before t lsn =

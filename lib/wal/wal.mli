@@ -26,7 +26,13 @@ val flushed_lsn : t -> Log_record.lsn
 val force : t -> Log_record.lsn -> unit
 (** Make the prefix up to [lsn] stable. A no-op if already flushed (group
     commit); otherwise counts [log.force], traces [wal.force] and charges
-    one I/O of simulated time. *)
+    one I/O of simulated time. Under an installed fault plan this is the
+    crash-at-force injection point (may raise {!Ivdb_storage.Fault.Crash_point},
+    optionally recording a byte-granularity tear of the new region for
+    {!crash} to apply); once the plan is frozen, forces are silent no-ops. *)
+
+val set_fault : t -> Ivdb_storage.Fault.t -> unit
+(** Install a fault plan consulted on every force. *)
 
 val iter_stable : t -> (Log_record.t -> unit) -> unit
 (** The records a post-crash recovery can see, in LSN order. *)
@@ -35,8 +41,25 @@ val last_checkpoint_lsn : t -> Log_record.lsn
 (** LSN of the most recent *stable* checkpoint record; 0 if none. *)
 
 val crash : t -> ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
-(** The log as found after a crash: stable prefix only. The copy reports
-    into the given metrics/trace (the pre-crash instances are dead). *)
+(** The log as found after a crash: the stable prefix, round-tripped
+    through the binary codec. The stable records are serialized with
+    length+checksum framing ({!serialize_stable}), a pending tear (from a
+    torn force or {!set_torn_tail}) cuts the stream at byte granularity,
+    and deserialization keeps only the longest prefix of complete,
+    checksum-valid, densely-chained frames — a partial record and
+    everything after it are discarded (counted as
+    [wal.torn_tail_dropped]). The copy reports into the given
+    metrics/trace (the pre-crash instances are dead). *)
+
+val serialize_stable : t -> string
+(** The stable prefix as the byte stream a device would hold: each record
+    framed as [u32 length | u32 FNV-1a checksum | payload]
+    (payload = {!Log_record.encode}). *)
+
+val set_torn_tail : t -> int -> unit
+(** Declare that the device stopped after the first [n] bytes of
+    {!serialize_stable}'s stream; the next {!crash} applies the cut.
+    Test hook — fault plans set this themselves on a torn force. *)
 
 val truncate_before : t -> Log_record.lsn -> unit
 (** Discard records with LSN < the argument. The caller guarantees they

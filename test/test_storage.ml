@@ -72,11 +72,44 @@ let test_disk_rw () =
   check Alcotest.int "reads counted" 1 (Metrics.get m "disk.read");
   check Alcotest.int "writes counted" 1 (Metrics.get m "disk.write")
 
-let test_disk_unknown_page_zeroed () =
+let test_disk_unwritten_vs_bogus () =
   let m = Metrics.create () in
-  let d = Disk.create m in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  (* allocated but never flushed: legitimate (e.g. crash beat the first
+     write-back) — reads as zeroes, counted separately *)
+  let id = Disk.alloc_page d in
+  let q = Disk.read d id in
+  Alcotest.(check bool) "zeroed" true (Bytes.for_all (fun c -> c = '\000') q);
+  check Alcotest.int "unwritten counted" 1 (Metrics.get m "disk.read_unwritten");
+  (* never-allocated id: a dangling reference — strict mode (the default)
+     refuses to fabricate a page for it *)
+  Alcotest.(check bool) "strict by default" true (Disk.strict d);
+  Alcotest.check_raises "bogus id rejected"
+    (Invalid_argument "Disk.read: page 999 was never allocated") (fun () ->
+      ignore (Disk.read d 999));
+  check Alcotest.int "bogus counted" 1 (Metrics.get m "disk.read_bogus");
+  (* non-strict keeps the old fabricate-a-fresh-page behavior, still counted *)
+  Disk.set_strict d false;
   let q = Disk.read d 999 in
-  Alcotest.(check bool) "zeroed" true (Bytes.for_all (fun c -> c = '\000') q)
+  Alcotest.(check bool) "fabricated zeroed" true
+    (Bytes.for_all (fun c -> c = '\000') q);
+  check Alcotest.int "bogus counted again" 2 (Metrics.get m "disk.read_bogus")
+
+let test_disk_checksum_roundtrip () =
+  let m = Metrics.create () in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  let id = Disk.alloc_page d in
+  let p = Page.alloc () in
+  Page.set_lsn p 42L;
+  Bytes.set p 4000 'Q';
+  Disk.write d id p;
+  Alcotest.(check bool) "stored image verifies" false (Disk.is_torn d id);
+  let q = Disk.read d id in
+  (* the checksum lives only on the stable image: the pool-facing copy
+     reads back with the field zeroed and is byte-equal to what was
+     written *)
+  check Alcotest.int "checksum field zero" 0 (Page.get_checksum q);
+  Alcotest.(check bool) "image equal" true (Bytes.equal p q)
 
 (* --- Heap_page -------------------------------------------------------------- *)
 
@@ -280,6 +313,74 @@ let test_bufpool_drop_all () =
   (* change was volatile-only: gone after the crash *)
   Bufpool.read pool a (fun p -> check Alcotest.char "lost" '\000' (Bytes.get p 60))
 
+exception Boom
+
+let test_bufpool_update_raise_restores () =
+  (* regression: a mutation callback that dies mid-update used to leave its
+     half-written bytes in a frame that looked clean (dirty = false, no
+     no-steal window) — evictable to disk with no covering log record *)
+  let _, d, pool, _ = make_pool ~capacity:2 () in
+  let a = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 200 'G') in
+  Bufpool.stamp pool a 1L;
+  (try
+     ignore
+       (Bufpool.update pool a (fun p ->
+            Bytes.set p 200 'X';
+            Bytes.set p 300 'X';
+            raise Boom))
+   with Boom -> ());
+  Bufpool.read pool a (fun p ->
+      check Alcotest.char "mutation rolled back" 'G' (Bytes.get p 200);
+      check Alcotest.char "second byte rolled back" '\000' (Bytes.get p 300));
+  (* the frame is clean: evicting it must not write the poisoned bytes *)
+  for _ = 1 to 4 do
+    Bufpool.read pool (Disk.alloc_page d) (fun _ -> ())
+  done;
+  let stable = Disk.read d a in
+  check Alcotest.char "stable image intact" 'G' (Bytes.get stable 200)
+
+let test_bufpool_capacity_zero () =
+  (* regression: an empty clock ring must not divide by zero; a capacity-0
+     pool degenerates to overflow-on-every-miss but stays functional *)
+  let m, d, pool, _ = make_pool ~capacity:0 () in
+  let a = Disk.alloc_page d and b = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 90 'z') in
+  Bufpool.stamp pool a 1L;
+  Bufpool.read pool b (fun _ -> ());
+  Bufpool.read pool a (fun p -> check Alcotest.char "still readable" 'z' (Bytes.get p 90));
+  Alcotest.(check bool) "overflowed" true (Metrics.get m "buffer.overflow" > 0)
+
+let test_bufpool_io_retry () =
+  let m = Metrics.create () in
+  let d = Disk.create ~read_cost:0 ~write_cost:0 m in
+  (* every I/O fails, but never more than 2 in a row — below the pool's
+     retry budget, so operations always converge *)
+  let plan =
+    Ivdb_storage.Fault.create m
+      {
+        Ivdb_storage.Fault.no_faults with
+        fault_seed = 5;
+        read_error_p = 1.0;
+        write_error_p = 1.0;
+        max_consecutive_errors = 2;
+      }
+  in
+  Disk.set_fault d plan;
+  let pool = Bufpool.create d ~capacity:2 m in
+  Bufpool.set_wal_force pool (fun _ -> ());
+  let a = Disk.alloc_page d in
+  let (), _ = Bufpool.update pool a (fun p -> Bytes.set p 70 'R') in
+  Bufpool.stamp pool a 1L;
+  Bufpool.flush_page pool a;
+  Bufpool.drop_all pool;
+  Bufpool.read pool a (fun p ->
+      check Alcotest.char "survived the error storm" 'R' (Bytes.get p 70));
+  Alcotest.(check bool) "retries happened" true (Metrics.get m "buffer.io_retry" > 0);
+  Alcotest.(check bool) "errors injected" true
+    (Metrics.get m "fault.io_error_read" > 0
+    && Metrics.get m "fault.io_error_write" > 0)
+
 (* --- Heap_file ----------------------------------------------------------------- *)
 
 let make_heap () =
@@ -358,7 +459,9 @@ let () =
       ( "disk",
         [
           Alcotest.test_case "read/write" `Quick test_disk_rw;
-          Alcotest.test_case "unknown page zeroed" `Quick test_disk_unknown_page_zeroed;
+          Alcotest.test_case "unwritten vs bogus ids" `Quick
+            test_disk_unwritten_vs_bogus;
+          Alcotest.test_case "checksum roundtrip" `Quick test_disk_checksum_roundtrip;
         ] );
       ( "heap-page",
         [
@@ -381,6 +484,10 @@ let () =
           Alcotest.test_case "no-steal window" `Quick test_bufpool_unstamped_not_evicted;
           Alcotest.test_case "dirty page table" `Quick test_bufpool_dpt;
           Alcotest.test_case "drop_all" `Quick test_bufpool_drop_all;
+          Alcotest.test_case "update raise restores pre-image" `Quick
+            test_bufpool_update_raise_restores;
+          Alcotest.test_case "capacity zero" `Quick test_bufpool_capacity_zero;
+          Alcotest.test_case "transient I/O retry" `Quick test_bufpool_io_retry;
         ] );
       ( "heap-file",
         [

@@ -48,7 +48,7 @@ let reopen env =
   (* crash: volatile state gone; rebuild handles over the stable substrate *)
   let h' = Harness.crash env.h ~pool_capacity:64 in
   let analysis = Recovery.analyze h'.Harness.wal in
-  let applied = Recovery.redo h'.Harness.wal h'.Harness.pool analysis in
+  let applied = (Recovery.redo h'.Harness.wal h'.Harness.pool analysis).Recovery.applied in
   Txn.bump_txn_id h'.Harness.mgr analysis.Recovery.max_txn_id;
   let heap =
     Heap_file.attach h'.Harness.pool h'.Harness.disk

@@ -625,6 +625,97 @@ let e12 () =
    private force per commit the 100-tick log force is the throughput
    ceiling; batching commits behind the coordinator amortizes it. Also
    emits machine-readable BENCH_commit.json for trend tracking. *)
+(* --- E13: network serving layer ---------------------------------------------------------- *)
+
+(* Throughput/latency of the wire-protocol server under a closed loop of
+   client connections: loopback (deterministic) vs real TCP sockets, sync
+   vs group commit, plus an overloaded cell where admission control sheds
+   with Busy frames. Group commit finally earns its keep here: the batches
+   come from genuinely independent client connections. *)
+let e13_title =
+  "E13  Network serving: transport x commit mode x connections (escrow, zipf 0.99)"
+
+let e13_header =
+  [ "transport"; "commit mode"; "clients"; "cap"; "commits"; "tput/1k ticks";
+    "p95 lat"; "forces/commit"; "mean batch"; "shed" ]
+
+let e13_cells ~quick =
+  let module Server = Ivdb_server.Server in
+  let module Net_workload = Ivdb_client.Net_workload in
+  let budget = if quick then 64 else 256 in
+  let cell (tname, transport) (mode_name, mode) ~mpl ~max_inflight =
+    let spec =
+      {
+        Workload.default with
+        seed = 11;
+        strategy = Maintain.Escrow;
+        mpl;
+        txns_per_worker = max 1 (budget / mpl);
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+        config = { Workload.default.Workload.config with commit_mode = mode };
+      }
+    in
+    let server_config =
+      { Server.default_config with max_inflight; busy_retry_ticks = 50 }
+    in
+    let r, _db = Net_workload.run_net ~transport ~server_config spec in
+    let get n =
+      match List.assoc_opt n r.Workload.metrics with Some v -> v | None -> 0
+    in
+    let per_commit x =
+      float_of_int x /. float_of_int (max 1 r.Workload.committed)
+    in
+    let row =
+      [
+        tname; mode_name; i mpl; i max_inflight; i r.Workload.committed;
+        f2 r.Workload.throughput; f1 r.Workload.p95_latency;
+        f2 (per_commit r.Workload.forces); f2 r.Workload.mean_batch;
+        i (get "server.shed");
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"transport": "%s", "mode": "%s", "clients": %d, "max_inflight": %d, "committed": %d, "throughput_per_1k_ticks": %.3f, "p95_latency_ticks": %.1f, "forces_per_commit": %.4f, "mean_batch": %.2f, "shed": %d, "accepted": %d, "requests": %d, "wall_s": %.4f}|}
+        tname mode_name mpl max_inflight r.Workload.committed
+        r.Workload.throughput r.Workload.p95_latency
+        (per_commit r.Workload.forces)
+        r.Workload.mean_batch (get "server.shed") (get "server.accepted")
+        (get "server.requests") r.Workload.wall_s
+    in
+    (row, json)
+  in
+  let sync = ("sync", Txn.Sync) in
+  let group = ("group", Txn.Group { max_batch = 32; max_wait_ticks = 50 }) in
+  let loopback = ("loopback", Net_workload.Loopback) in
+  let tcp = ("tcp", Net_workload.Tcp) in
+  let mpls = if quick then [ 4; 8 ] else [ 2; 4; 8; 16 ] in
+  let scaling =
+    List.concat_map
+      (fun mpl ->
+        [
+          cell loopback sync ~mpl ~max_inflight:64;
+          cell loopback group ~mpl ~max_inflight:64;
+        ])
+      mpls
+  in
+  let tcp_mpl = if quick then 4 else 8 in
+  let tcp_cells =
+    [
+      cell tcp sync ~mpl:tcp_mpl ~max_inflight:64;
+      cell tcp group ~mpl:tcp_mpl ~max_inflight:64;
+    ]
+  in
+  (* overload: twice as many clients as admission slots; shed > 0 and the
+     run still completes because refused clients back off and retry *)
+  let overload = [ cell loopback group ~mpl:16 ~max_inflight:4 ] in
+  scaling @ tcp_cells @ overload
+
+let e13 () =
+  let cells = e13_cells ~quick:false in
+  print_table ~title:e13_title ~header:e13_header (List.map fst cells)
+
 let commit_bench ~quick () =
   let modes =
     [
@@ -741,15 +832,21 @@ let commit_bench ~quick () =
      fault-enabled smoke run invoked from the dune test runner *)
   let e12_cells = fault_cells ~quick in
   print_table ~title:e12_title ~header:e12_header (List.map fst e12_cells);
+  (* the network-serving cells ride along too: quick mode doubles as the
+     loopback+tcp server smoke run invoked from the dune test runner *)
+  let e13_cells = e13_cells ~quick in
+  print_table ~title:e13_title ~header:e13_header (List.map fst e13_cells);
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
-    (String.concat ",\n" (List.map snd e12_cells));
+    (String.concat ",\n" (List.map snd e12_cells))
+    (String.concat ",\n" (List.map snd e13_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
-    (List.length cells + List.length trace_json + List.length e12_cells)
+    (List.length cells + List.length trace_json + List.length e12_cells
+   + List.length e13_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -884,7 +981,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12);
+    ("e12", e12); ("e13", e13);
     ("micro", micro);
   ]
 

@@ -1,0 +1,117 @@
+(* Standalone ivdb network server: an in-memory engine behind the wire
+   protocol on a TCP port, one cooperative session fiber per connection.
+
+   Examples:
+     ivdb_server --port 5433
+     ivdb_server --port 0 --max-inflight 16 --commit-mode group
+   Stop with Ctrl-C (SIGINT): the server drains — open transactions may
+   finish, new work is refused — then exits once every session closes. *)
+
+module Sched = Ivdb_sched.Sched
+module Database = Ivdb.Database
+module Server = Ivdb_server.Server
+module Unix_transport = Ivdb_server.Unix_transport
+module Txn = Ivdb_txn.Txn
+module Metrics = Ivdb_util.Metrics
+
+open Cmdliner
+
+let commit_mode_conv =
+  let parse = function
+    | "sync" -> Ok Txn.Sync
+    | "async" -> Ok Txn.Async
+    | "group" -> Ok (Txn.Group { max_batch = 32; max_wait_ticks = 50 })
+    | s -> Error (`Msg (Printf.sprintf "unknown commit mode %S" s))
+  in
+  let print ppf = function
+    | Txn.Sync -> Format.pp_print_string ppf "sync"
+    | Txn.Async -> Format.pp_print_string ppf "async"
+    | Txn.Group _ -> Format.pp_print_string ppf "group"
+  in
+  Arg.conv (parse, print)
+
+let run port max_inflight busy_retry commit_mode init =
+  let db =
+    Database.create
+      ~config:{ Database.default_config with commit_mode }
+      ()
+  in
+  (* optional schema/preload script, executed before the port opens *)
+  (match init with
+  | None -> ()
+  | Some path ->
+      let session = Ivdb_sql.Sql.session db in
+      In_channel.with_open_text path (fun ic ->
+          In_channel.input_lines ic
+          |> List.iter (fun line ->
+                 let line = String.trim line in
+                 if line <> "" then ignore (Ivdb_sql.Sql.exec session line))));
+  let stop = ref false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Sched.run (fun () ->
+      let listener, actual_port = Unix_transport.listen ~port () in
+      let srv =
+        Server.create
+          ~config:
+            {
+              Server.default_config with
+              max_inflight;
+              busy_retry_ticks = busy_retry;
+            }
+          db listener
+      in
+      Server.serve srv;
+      Printf.printf "ivdb_server listening on 127.0.0.1:%d (max %d sessions)\n"
+        actual_port max_inflight;
+      flush stdout;
+      (* supervise: sleep only when idle so an unloaded server does not
+         spin, pure yields when sessions are active *)
+      while not !stop do
+        if Server.inflight srv = 0 then Unix.sleepf 0.001;
+        Sched.yield ()
+      done;
+      print_endline "draining...";
+      flush stdout;
+      Server.drain srv);
+  let m = Database.metrics db in
+  Printf.printf "served %d session(s), %d request(s), shed %d\n"
+    (Metrics.get m "server.accepted")
+    (Metrics.get m "server.requests")
+    (Metrics.get m "server.shed")
+
+let cmd =
+  let open Term in
+  let port =
+    Arg.(
+      value & opt int 5433
+      & info [ "port" ] ~doc:"TCP port on 127.0.0.1 (0 = kernel-assigned).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "max-inflight" ]
+          ~doc:"Concurrent sessions before shedding with Busy.")
+  in
+  let busy_retry =
+    Arg.(
+      value & opt int 100
+      & info [ "busy-retry" ] ~doc:"Backoff hint carried in Busy frames.")
+  in
+  let commit_mode =
+    Arg.(
+      value
+      & opt commit_mode_conv Txn.Sync
+      & info [ "commit-mode" ] ~doc:"Commit durability: sync | group | async.")
+  in
+  let init =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "init" ] ~docv:"FILE"
+          ~doc:"SQL script (one statement per line) run before serving.")
+  in
+  Cmd.v
+    (Cmd.info "ivdb_server" ~doc:"Serve ivdb over the wire protocol")
+    (const run $ port $ max_inflight $ busy_retry $ commit_mode $ init)
+
+let () = exit (Cmd.eval cmd)

@@ -67,10 +67,79 @@ let commit_mode_conv =
   in
   Arg.conv (parse, print)
 
+let net_conv =
+  let parse = function
+    | "loopback" -> Ok Ivdb_client.Net_workload.Loopback
+    | "tcp" -> Ok Ivdb_client.Net_workload.Tcp
+    | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf t ->
+        Format.pp_print_string ppf
+          (match t with
+          | Ivdb_client.Net_workload.Loopback -> "loopback"
+          | Ivdb_client.Net_workload.Tcp -> "tcp") )
+
+let print_result strategy create_mode r =
+  Printf.printf "strategy          %s (create: %s)\n"
+    (Maintain.strategy_to_string strategy)
+    (match create_mode with Maintain.System_txn -> "system txn" | Maintain.User_txn -> "user txn");
+  Printf.printf "committed         %d (%d readers)\n" r.Workload.committed
+    r.Workload.committed_readers;
+  Printf.printf "gave up           %d\n" r.Workload.given_up;
+  Printf.printf "retries           %d\n" r.Workload.retries;
+  Printf.printf "deadlocks         %d\n" r.Workload.deadlocks;
+  Printf.printf "lock waits        %d\n" r.Workload.lock_waits;
+  Printf.printf "simulated ticks   %d\n" r.Workload.ticks;
+  Printf.printf "throughput        %.2f txns / 1k ticks\n" r.Workload.throughput;
+  Printf.printf "log forces        %d (%.2f per commit)\n" r.Workload.forces
+    (if r.Workload.committed = 0 then 0.
+     else float_of_int r.Workload.forces /. float_of_int r.Workload.committed);
+  if r.Workload.mean_batch > 0. then
+    Printf.printf "mean batch        %.2f commits per group force\n" r.Workload.mean_batch;
+  Printf.printf "latency           mean %.1f, p95 %.1f ticks\n" r.Workload.mean_latency
+    r.Workload.p95_latency;
+  Printf.printf "wall time         %.3f s\n" r.Workload.wall_s
+
+(* The closed-loop network path: same spec, but [mpl] client connections
+   drive a server over the wire instead of in-process fibers. *)
+let run_net net max_inflight spec strategy create_mode verbose check =
+  let server_config = { Ivdb_server.Server.default_config with max_inflight } in
+  let r, db = Ivdb_client.Net_workload.run_net ~transport:net ~server_config spec in
+  let get name =
+    match List.assoc_opt name r.Workload.metrics with Some v -> v | None -> 0
+  in
+  Printf.printf "transport         %s (%d client connections)\n"
+    (match net with
+    | Ivdb_client.Net_workload.Loopback -> "loopback"
+    | Ivdb_client.Net_workload.Tcp -> "tcp")
+    spec.Workload.mpl;
+  print_result strategy create_mode r;
+  Printf.printf "server            accepted %d, shed %d, requests %d\n"
+    (get "server.accepted") (get "server.shed") (get "server.requests");
+  if verbose then begin
+    Printf.printf "\ncounters:\n";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" k v)
+      r.Workload.metrics
+  end;
+  if check then
+    List.iter
+      (fun (name, _) ->
+        let v = Database.view db name in
+        (match Database.view_strategy db v with
+        | Maintain.Deferred ->
+            Database.transact db (fun tx -> ignore (Query.refresh db tx v))
+        | Maintain.Exclusive | Maintain.Escrow -> ());
+        Printf.printf "consistency %-22s %b\n" name
+          (Workload.check_consistency db v))
+      (Database.list_views db)
+
 let run seed groups theta mpl txns ops deletes reads scan coarse strategy
     create_mode commit_mode views initial gc_every checkpoint_every trace_out
-    verbose check fault_seed fault_read_p fault_write_p fault_crash_write
-    fault_crash_force fault_torn_writes fault_torn_tail =
+    verbose check net max_inflight fault_seed fault_read_p fault_write_p
+    fault_crash_write fault_crash_force fault_torn_writes fault_torn_tail =
   let spec =
     {
       Workload.config = { Workload.default.Workload.config with Database.commit_mode };
@@ -92,6 +161,9 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
       checkpoint_every;
     }
   in
+  match net with
+  | Some n -> run_net n max_inflight spec strategy create_mode verbose check
+  | None ->
   let fcfg =
     {
       Fault.no_faults with
@@ -144,25 +216,7 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
       (db', List.map (Database.view db') names)
     end
   in
-  Printf.printf "strategy          %s (create: %s)\n"
-    (Maintain.strategy_to_string strategy)
-    (match create_mode with Maintain.System_txn -> "system txn" | Maintain.User_txn -> "user txn");
-  Printf.printf "committed         %d (%d readers)\n" r.Workload.committed
-    r.Workload.committed_readers;
-  Printf.printf "gave up           %d\n" r.Workload.given_up;
-  Printf.printf "retries           %d\n" r.Workload.retries;
-  Printf.printf "deadlocks         %d\n" r.Workload.deadlocks;
-  Printf.printf "lock waits        %d\n" r.Workload.lock_waits;
-  Printf.printf "simulated ticks   %d\n" r.Workload.ticks;
-  Printf.printf "throughput        %.2f txns / 1k ticks\n" r.Workload.throughput;
-  Printf.printf "log forces        %d (%.2f per commit)\n" r.Workload.forces
-    (if r.Workload.committed = 0 then 0.
-     else float_of_int r.Workload.forces /. float_of_int r.Workload.committed);
-  if r.Workload.mean_batch > 0. then
-    Printf.printf "mean batch        %.2f commits per group force\n" r.Workload.mean_batch;
-  Printf.printf "latency           mean %.1f, p95 %.1f ticks\n" r.Workload.mean_latency
-    r.Workload.p95_latency;
-  Printf.printf "wall time         %.3f s\n" r.Workload.wall_s;
+  print_result strategy create_mode r;
   (match trace_out with
   | None -> ()
   | Some path ->
@@ -246,6 +300,24 @@ let cmd =
   let check =
     Arg.(value & flag & info [ "check" ] ~doc:"Verify view consistency afterwards.")
   in
+  let net =
+    Arg.(
+      value
+      & opt (some net_conv) None
+      & info [ "net" ]
+          ~doc:"Drive the workload through the network server instead of \
+                in-process: loopback (deterministic in-memory transport) or \
+                tcp (real sockets on 127.0.0.1). --mpl becomes the client \
+                connection count; fault injection and --trace-out are \
+                in-process features and do not apply.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 32
+      & info [ "max-inflight" ]
+          ~doc:"With --net: concurrent sessions the server admits before \
+                shedding with Busy frames.")
+  in
   let fault_seed =
     Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc:"Fault-injection RNG seed.")
   in
@@ -294,8 +366,9 @@ let cmd =
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
    $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
-   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check $ fault_seed
-   $ fault_read_p $ fault_write_p $ fault_crash_write $ fault_crash_force
-   $ fault_torn_writes $ fault_torn_tail)
+   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check $ net
+   $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
+   $ fault_crash_write $ fault_crash_force $ fault_torn_writes
+   $ fault_torn_tail)
 
 let () = exit (Cmd.eval cmd)

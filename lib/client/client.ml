@@ -1,0 +1,147 @@
+module Sched = Ivdb_sched.Sched
+module Wire = Ivdb_wire.Wire
+module Transport = Ivdb_server.Transport
+module Frame_io = Ivdb_server.Transport.Frame_io
+module Sql = Ivdb_sql.Sql
+
+exception Server_busy of { retry_ticks : int }
+
+exception
+  Server_error of {
+    code : Wire.error_code;
+    text : string;
+    txn_open : bool;
+  }
+
+exception Disconnected of string
+
+type t = {
+  dial : unit -> Transport.conn;
+  client : string;
+  attempts : int;
+  mutable io : Frame_io.t option;
+  mutable session : int;
+  mutable server : string;
+  mutable seq : int;
+  mutable reconnects : int;
+  mutable closed : bool;
+}
+
+(* Doubling backoff, capped: yields under the scheduler (each yield is a
+   logical tick and lets the server run), a short sleep outside it. *)
+let backoff n =
+  if Sched.in_run () then
+    for _ = 1 to n do
+      Sched.yield ()
+    done
+  else Unix.sleepf (float_of_int n *. 0.0005)
+
+let next_delay n = min (2 * n) 64
+
+(* One dial + handshake. Raises on every failure mode; [connect] and the
+   reconnect path wrap it with retries. *)
+let dial_once t =
+  let conn = t.dial () in
+  let io = Frame_io.create conn in
+  Frame_io.send io
+    (Wire.Hello
+       {
+         version = Wire.version;
+         client = t.client;
+         resume = (if t.session = 0 then None else Some t.session);
+       });
+  match Frame_io.recv io with
+  | Some (Wire.Welcome { session; server; _ }) ->
+      t.session <- session;
+      t.server <- server;
+      t.io <- Some io
+  | Some (Wire.Busy { retry_ticks }) ->
+      conn.Transport.close ();
+      raise (Server_busy { retry_ticks })
+  | Some (Wire.Err { code; text; txn_open; _ }) ->
+      conn.Transport.close ();
+      raise (Server_error { code; text; txn_open })
+  | Some _ | None ->
+      conn.Transport.close ();
+      raise (Disconnected "handshake failed")
+  | exception Transport.Corrupt m ->
+      conn.Transport.close ();
+      raise (Disconnected m)
+
+let establish t =
+  let rec go attempt delay =
+    try dial_once t
+    with (Transport.Refused | Server_busy _ | Disconnected _) as e ->
+      if attempt >= t.attempts then raise e
+      else begin
+        backoff delay;
+        go (attempt + 1) (next_delay delay)
+      end
+  in
+  go 1 1
+
+let connect ?(client = "ivdb-client") ?(attempts = 8) dial =
+  let t =
+    {
+      dial;
+      client;
+      attempts;
+      io = None;
+      session = 0;
+      server = "";
+      seq = 0;
+      reconnects = 0;
+      closed = false;
+    }
+  in
+  establish t;
+  t
+
+let session_id t = t.session
+let server_name t = t.server
+let reconnects t = t.reconnects
+
+let drop t =
+  (match t.io with
+  | Some io -> (Frame_io.conn io).Transport.close ()
+  | None -> ());
+  t.io <- None
+
+(* The connection died under us: re-dial (best effort) so the next exec
+   finds a live session, then tell the caller what happened. *)
+let broken t msg =
+  drop t;
+  (try
+     establish t;
+     t.reconnects <- t.reconnects + 1
+   with _ -> ());
+  raise (Disconnected msg)
+
+let exec t sql =
+  if t.closed then raise (Disconnected "client closed");
+  match t.io with
+  | None -> broken t "not connected"
+  | Some io -> (
+      t.seq <- t.seq + 1;
+      let seq = t.seq in
+      Frame_io.send io (Wire.Exec { seq; sql });
+      match Frame_io.recv io with
+      | Some (Wire.Rows { header; rows; _ }) -> Sql.Rows { header; rows }
+      | Some (Wire.Affected { n; _ }) -> Sql.Affected n
+      | Some (Wire.Msg { text; _ }) -> Sql.Message text
+      | Some (Wire.Err { code; text; txn_open; _ }) ->
+          raise (Server_error { code; text; txn_open })
+      | Some (Wire.Busy { retry_ticks }) -> raise (Server_busy { retry_ticks })
+      | Some Wire.Bye -> broken t "server closed the session"
+      | Some _ -> broken t "protocol violation from server"
+      | None -> broken t "connection closed"
+      | exception Transport.Corrupt m -> broken t m)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.io with
+    | Some io -> ( try Frame_io.send io Wire.Bye with _ -> ())
+    | None -> ());
+    drop t
+  end

@@ -1,0 +1,58 @@
+(** Blocking ivdb client: connect / exec / close over any
+    {!Ivdb_server.Transport.conn} factory.
+
+    The client is transport-agnostic: [connect dial] takes a function
+    producing a fresh connection, so the same code drives the
+    deterministic loopback (from inside a scheduler run) and real TCP
+    (from a standalone process such as the REPL). "Blocking" follows the
+    transport's discipline — fiber-suspending under the scheduler,
+    thread-blocking outside.
+
+    Connection failures ({!Ivdb_server.Transport.Refused}, a [Busy] shed
+    frame) are retried with doubling, capped backoff up to [attempts]
+    times. A connection that dies mid-use is re-dialed automatically on
+    the failing {!exec}, which then raises {!Disconnected} so the caller
+    knows any open transaction was lost; the next [exec] uses the fresh
+    connection. *)
+
+exception Server_busy of { retry_ticks : int }
+(** Admission control shed the connection and reconnection attempts ran
+    out. *)
+
+exception
+  Server_error of {
+    code : Ivdb_wire.Wire.error_code;
+    text : string;
+    txn_open : bool;
+  }
+(** The server answered [Err]. [txn_open] tells whether the session's
+    open transaction survived (e.g. a SQL error keeps it, a deadlock
+    rollback does not). *)
+
+exception Disconnected of string
+(** The connection died (EOF, corrupt stream, server [Bye]). If a
+    reconnect succeeded, the next {!exec} works — on a fresh session. *)
+
+type t
+
+val connect :
+  ?client:string -> ?attempts:int -> (unit -> Ivdb_server.Transport.conn) -> t
+(** Dial and handshake. [client] is the identity sent in [Hello]
+    (default ["ivdb-client"]); [attempts] bounds dial/handshake retries
+    (default 8). Raises {!Server_busy}, {!Disconnected}, or
+    {!Server_error} when the handshake itself is refused. *)
+
+val session_id : t -> int
+(** Server-assigned session id from the latest [Welcome]. *)
+
+val server_name : t -> string
+val reconnects : t -> int
+(** Successful re-dials performed since [connect]. *)
+
+val exec : t -> string -> Ivdb_sql.Sql.result
+(** Ship one statement, wait for its response frame. Raises
+    {!Server_error} on [Err], {!Server_busy} on [Busy],
+    {!Disconnected} on a dead connection (after attempting reconnect). *)
+
+val close : t -> unit
+(** Send [Bye] and close; idempotent. *)

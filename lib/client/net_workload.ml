@@ -1,0 +1,159 @@
+module Sched = Ivdb_sched.Sched
+module Rng = Ivdb_util.Rng
+module Zipf = Ivdb_util.Zipf
+module Workload = Ivdb.Workload
+module Database = Ivdb.Database
+module Server = Ivdb_server.Server
+module Transport = Ivdb_server.Transport
+module Unix_transport = Ivdb_server.Unix_transport
+module Wire = Ivdb_wire.Wire
+
+type transport = Loopback | Tcp
+
+let insert_sql ~id ~product ~qty ~amount =
+  Printf.sprintf "INSERT INTO sales VALUES (%d, %d, %d, %.4f)" id product qty
+    amount
+
+(* One writer transaction: BEGIN, ops, COMMIT. Returns [true] on commit.
+   Deadlock victims lose their server-side transaction (the Err frame
+   carries [txn_open = false]) and retry from BEGIN with capped backoff;
+   a died-and-reconnected session likewise restarts from scratch. *)
+let writer_txn cl spec rng zipf next_id my_rows =
+  let max_tries = 10 in
+  let rec attempt tries delay =
+    let rolled_back = ref [] in
+    match
+      ignore (Client.exec cl "BEGIN");
+      for _ = 1 to spec.Workload.ops_per_txn do
+        let do_delete =
+          Rng.float rng < spec.Workload.delete_fraction && !my_rows <> []
+        in
+        if do_delete then begin
+          match !my_rows with
+          | id :: rest ->
+              my_rows := rest;
+              rolled_back := id :: !rolled_back;
+              ignore
+                (Client.exec cl
+                   (Printf.sprintf "DELETE FROM sales WHERE id = %d" id))
+          | [] -> ()
+        end
+        else begin
+          incr next_id;
+          let id = !next_id in
+          ignore
+            (Client.exec cl
+               (insert_sql ~id ~product:(Zipf.draw zipf rng)
+                  ~qty:(1 + Rng.int rng 10)
+                  ~amount:(Rng.float rng *. 100.)));
+          my_rows := id :: !my_rows
+        end
+      done;
+      ignore (Client.exec cl "COMMIT")
+    with
+    | () -> true
+    | exception Client.Server_error { code = Wire.E_deadlock; _ } ->
+        (* rows deleted inside the lost transaction are back *)
+        my_rows := !rolled_back @ !my_rows;
+        if tries >= max_tries then false
+        else begin
+          for _ = 1 to delay do
+            Sched.yield ()
+          done;
+          attempt (tries + 1) (min (2 * delay) 32)
+        end
+    | exception Client.Server_error { txn_open; _ } ->
+        my_rows := !rolled_back @ !my_rows;
+        if txn_open then ignore (Client.exec cl "ROLLBACK");
+        false
+    | exception Client.Disconnected _ ->
+        (* reconnected on a fresh session: the open transaction is gone *)
+        my_rows := !rolled_back @ !my_rows;
+        if tries >= max_tries then false else attempt (tries + 1) delay
+  in
+  attempt 0 1
+
+let reader_txn cl _spec =
+  match ignore (Client.exec cl "SELECT * FROM sales_by_product_0") with
+  | () -> true
+  | exception Client.Server_error _ -> false
+  | exception Client.Disconnected _ -> false
+
+let run_net ?(transport = Loopback) ?(server_config = Server.default_config)
+    spec =
+  let db, _sales, _views = Workload.setup spec in
+  let phase = Workload.phase_start db in
+  let start_ticks = ref 0 and end_ticks = ref 0 in
+  Sched.run ~seed:spec.Workload.seed (fun () ->
+      start_ticks := Sched.now ();
+      let listener, dial =
+        match transport with
+        | Loopback ->
+            (* backlog well above mpl so the admission-control cap in
+               [server_config], not the transport queue, is the limiter *)
+            let net =
+              Transport.Loopback.create
+                ~backlog:(max 64 (2 * spec.Workload.mpl))
+                ()
+            in
+            ( Transport.Loopback.listener net,
+              fun () -> Transport.Loopback.connect net )
+        | Tcp ->
+            let listener, port = Unix_transport.listen ~port:0 () in
+            (listener, fun () -> Unix_transport.dial ~port ())
+      in
+      let srv = Server.create ~config:server_config db listener in
+      Server.serve srv;
+      let next_id = ref 0 in
+      let client_fiber widx =
+        let rng = Rng.create ((spec.Workload.seed * 7919) + widx) in
+        let zipf =
+          Zipf.create ~n:spec.Workload.n_groups ~theta:spec.Workload.theta
+        in
+        let my_rows = ref [] in
+        match
+          Client.connect ~client:(Printf.sprintf "wl-%d" widx) ~attempts:64
+            dial
+        with
+        | cl ->
+            for _ = 1 to spec.Workload.txns_per_worker do
+              let is_reader =
+                Rng.float rng < spec.Workload.read_fraction
+                && spec.Workload.n_views > 0
+              in
+              let t_begin = Sched.now () in
+              let ok =
+                if is_reader then reader_txn cl spec
+                else writer_txn cl spec rng zipf next_id my_rows
+              in
+              if ok then
+                Workload.phase_commit phase ~reader:is_reader
+                  ~latency:(float_of_int (Sched.now () - t_begin))
+                  ()
+              else Workload.phase_give_up phase;
+              Sched.yield ()
+            done;
+            Client.close cl
+        | exception (Client.Server_busy _ | Client.Disconnected _) ->
+            (* admission never let this client in: all its transactions
+               count as abandoned *)
+            for _ = 1 to spec.Workload.txns_per_worker do
+              Workload.phase_give_up phase
+            done
+      in
+      let remaining = ref spec.Workload.mpl in
+      let wake_main = ref (fun () -> ()) in
+      for w = 1 to spec.Workload.mpl do
+        ignore
+          (Sched.spawn (fun () ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   decr remaining;
+                   if !remaining = 0 then !wake_main ())
+                 (fun () -> client_fiber w)))
+      done;
+      if !remaining > 0 then
+        Sched.suspend (fun wake _cancel -> wake_main := wake);
+      Server.drain srv;
+      end_ticks := Sched.now ());
+  (Workload.phase_finish phase ~ticks:(!end_ticks - !start_ticks) (), db)

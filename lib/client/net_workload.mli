@@ -1,0 +1,30 @@
+(** Closed-loop network workload: the {!Ivdb.Workload} order-entry mix
+    driven through the wire protocol instead of in-process calls.
+
+    One scheduler run hosts everything: the server's accept fiber, a
+    session fiber per admitted connection, and [spec.mpl] client fibers
+    each owning one {!Client.t}. Writers wrap [ops_per_txn] INSERT/DELETE
+    statements in [BEGIN]/[COMMIT] (retrying deadlock victims client-side
+    with capped backoff); readers issue autocommitted view SELECTs. The
+    measured phase is bracketed with {!Ivdb.Workload.phase_start} /
+    [phase_finish], so the returned {!Ivdb.Workload.result} is directly
+    comparable with in-process runs — server counters ([server.accepted],
+    [server.shed], …) ride along in [result.metrics].
+
+    Over [Loopback] the run is fully deterministic in [spec.seed]; over
+    [Tcp] byte timing comes from the kernel and only aggregate invariants
+    hold. *)
+
+type transport = Loopback | Tcp
+
+val run_net :
+  ?transport:transport ->
+  ?server_config:Ivdb_server.Server.config ->
+  Ivdb.Workload.spec ->
+  Ivdb.Workload.result * Ivdb.Database.t
+(** [spec.mpl] is the client-connection count. The server drains after
+    the last client closes, so the run exits with zero live fibers.
+    Deliberately under-provisioned [server_config.max_inflight] turns
+    this into the overload/shed experiment: refused clients back off and
+    retry, and the shed count lands in [result.metrics]. The database is
+    returned so callers can check view consistency after the run. *)

@@ -113,15 +113,83 @@ let setup spec =
   done;
   (db, sales, views)
 
-let run_on db sales views spec =
+(* A measured phase: the metrics bracketing and result assembly shared by
+   [run_on] (in-process fibers) and the network closed-loop driver (client
+   fibers talking to a server over a transport). The driver owns the fibers;
+   the phase owns the bookkeeping. *)
+type phase = {
+  p_db : Database.t;
+  p_before : (string * int) list;
+  p_hist_before : (int * int) list;
+  p_t0 : float;
+  p_lat : Ivdb_util.Stats.t;
+  mutable p_committed : int;
+  mutable p_readers : int;
+  mutable p_given_up : int;
+}
+
+let phase_start db =
   let metrics = Database.metrics db in
-  let before = Metrics.snapshot metrics in
-  let hist_before = Metrics.hist_snapshot metrics "commit.batch" in
-  let committed = ref 0 and given_up = ref 0 in
-  let committed_readers = ref 0 in
-  let latencies = Ivdb_util.Stats.create () in
+  {
+    p_db = db;
+    p_before = Metrics.snapshot metrics;
+    p_hist_before = Metrics.hist_snapshot metrics "commit.batch";
+    p_t0 = Unix.gettimeofday ();
+    p_lat = Ivdb_util.Stats.create ();
+    p_committed = 0;
+    p_readers = 0;
+    p_given_up = 0;
+  }
+
+let phase_commit p ?(reader = false) ~latency () =
+  p.p_committed <- p.p_committed + 1;
+  if reader then p.p_readers <- p.p_readers + 1;
+  Ivdb_util.Stats.add p.p_lat latency
+
+let phase_give_up p = p.p_given_up <- p.p_given_up + 1
+let phase_committed p = p.p_committed
+
+let phase_finish p ?(crashed = false) ~ticks () =
+  let wall_s = Unix.gettimeofday () -. p.p_t0 in
+  let metrics = Database.metrics p.p_db in
+  let after = Metrics.snapshot metrics in
+  let diff = Metrics.diff ~before:p.p_before ~after in
+  let get name = match List.assoc_opt name diff with Some v -> v | None -> 0 in
+  let ticks = max 1 ticks in
+  let batch_hist =
+    Metrics.hist_diff ~before:p.p_hist_before
+      ~after:(Metrics.hist_snapshot metrics "commit.batch")
+  in
+  let batch_count = List.fold_left (fun acc (_, c) -> acc + c) 0 batch_hist in
+  let batch_total =
+    List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 batch_hist
+  in
+  {
+    committed = p.p_committed;
+    crashed;
+    committed_readers = p.p_readers;
+    given_up = p.p_given_up;
+    retries = get "txn.retry";
+    deadlocks = get "lock.deadlock";
+    lock_waits = get "lock.wait";
+    ticks;
+    wall_s;
+    throughput = float_of_int p.p_committed *. 1000. /. float_of_int ticks;
+    mean_latency = Ivdb_util.Stats.mean p.p_lat;
+    p95_latency =
+      (if Ivdb_util.Stats.count p.p_lat = 0 then 0.
+       else Ivdb_util.Stats.percentile p.p_lat 95.);
+    forces = get "log.force";
+    mean_batch =
+      (if batch_count = 0 then 0.
+       else float_of_int batch_total /. float_of_int batch_count);
+    batch_hist;
+    metrics = diff;
+  }
+
+let run_on db sales views spec =
+  let phase = phase_start db in
   let next_id = ref 0 in
-  let t0 = Unix.gettimeofday () in
   let start_ticks = ref 0 in
   let end_ticks = ref 0 in
   let crashed = ref false in
@@ -198,16 +266,17 @@ let run_on db sales views spec =
                         under preemptive threads *)
                      Sched.yield ()
                    done);
-             incr committed;
-             if is_reader then incr committed_readers;
-             Ivdb_util.Stats.add latencies (float_of_int (Sched.now () - t_begin));
+             phase_commit phase ~reader:is_reader
+               ~latency:(float_of_int (Sched.now () - t_begin))
+               ();
              (match spec.gc_every with
-             | Some n when !committed mod n = 0 -> ignore (Database.gc db)
+             | Some n when phase.p_committed mod n = 0 ->
+                 ignore (Database.gc db)
              | Some _ | None -> ());
              (match spec.checkpoint_every with
-             | Some n when !committed mod n = 0 -> Database.checkpoint db
+             | Some n when phase.p_committed mod n = 0 -> Database.checkpoint db
              | Some _ | None -> ())
-           with Txn.Conflict _ -> incr given_up);
+           with Txn.Conflict _ -> phase_give_up phase);
           Sched.yield ()
         done
       in
@@ -232,40 +301,7 @@ let run_on db sales views spec =
     (* an injected crash point fired: the whole run stopped mid-step, as a
        power loss would. The caller recovers with [Database.crash]. *)
     crashed := true);
-  let wall_s = Unix.gettimeofday () -. t0 in
-  let after = Metrics.snapshot metrics in
-  let diff = Metrics.diff ~before ~after in
-  let get name = match List.assoc_opt name diff with Some v -> v | None -> 0 in
-  let ticks = max 1 (!end_ticks - !start_ticks) in
-  (* batch-size histogram of the measured phase only *)
-  let batch_hist =
-    Metrics.hist_diff ~before:hist_before
-      ~after:(Metrics.hist_snapshot metrics "commit.batch")
-  in
-  let batch_count = List.fold_left (fun acc (_, c) -> acc + c) 0 batch_hist in
-  let batch_total = List.fold_left (fun acc (v, c) -> acc + (v * c)) 0 batch_hist in
-  {
-    committed = !committed;
-    crashed = !crashed;
-    committed_readers = !committed_readers;
-    given_up = !given_up;
-    retries = get "txn.retry";
-    deadlocks = get "lock.deadlock";
-    lock_waits = get "lock.wait";
-    ticks;
-    wall_s;
-    throughput = float_of_int !committed *. 1000. /. float_of_int ticks;
-    mean_latency = Ivdb_util.Stats.mean latencies;
-    p95_latency =
-      (if Ivdb_util.Stats.count latencies = 0 then 0.
-       else Ivdb_util.Stats.percentile latencies 95.);
-    forces = get "log.force";
-    mean_batch =
-      (if batch_count = 0 then 0.
-       else float_of_int batch_total /. float_of_int batch_count);
-    batch_hist;
-    metrics = diff;
-  }
+  phase_finish phase ~crashed:!crashed ~ticks:(!end_ticks - !start_ticks) ()
 
 let run spec =
   let db, sales, views = setup spec in

@@ -62,6 +62,30 @@ type result = {
 val setup : spec -> Database.t * Database.table * Database.view list
 (** Create the schema and preload [initial_rows] (not measured). *)
 
+(** {1 Phase bracketing}
+
+    The measurement machinery of {!run_on}, reusable by drivers that own
+    their own fibers (the network closed-loop driver): snapshot metrics
+    and the commit-batch histogram at the start, accumulate per-transaction
+    outcomes during the run, assemble a full {!result} at the end.
+    Counter diffing is robust to counters first registered mid-phase
+    (e.g. [server.*], created when the first server starts). *)
+
+type phase
+
+val phase_start : Database.t -> phase
+
+val phase_commit : phase -> ?reader:bool -> latency:float -> unit -> unit
+(** One committed transaction; [latency] in ticks. *)
+
+val phase_give_up : phase -> unit
+(** One transaction abandoned after exhausting its retries. *)
+
+val phase_committed : phase -> int
+
+val phase_finish : phase -> ?crashed:bool -> ticks:int -> unit -> result
+(** [ticks] is the simulated span of the measured window (clamped to 1). *)
+
 val run_on : Database.t -> Database.table -> Database.view list -> spec -> result
 (** Execute the measured phase under {!Ivdb_sched.Sched.run}. *)
 

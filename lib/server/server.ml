@@ -1,0 +1,222 @@
+module Sched = Ivdb_sched.Sched
+module Wire = Ivdb_wire.Wire
+module Sql = Ivdb_sql.Sql
+module Database = Ivdb.Database
+module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
+
+type config = { max_inflight : int; busy_retry_ticks : int; name : string }
+
+let default_config = { max_inflight = 32; busy_retry_ticks = 100; name = "ivdb" }
+
+type t = {
+  db : Database.t;
+  listener : Transport.listener;
+  config : config;
+  mutable inflight : int;
+  mutable started : int;
+  mutable next_session : int;
+  (* metric handles resolved once at create *)
+  m_accepted : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_requests : Metrics.counter;
+  m_closed : Metrics.counter;
+  h_inflight : Metrics.hist;
+  h_latency : Metrics.hist;
+}
+
+let create ?(config = default_config) db listener =
+  let m = Database.metrics db in
+  {
+    db;
+    listener;
+    config;
+    inflight = 0;
+    started = 0;
+    next_session = 1;
+    m_accepted = Metrics.counter m "server.accepted";
+    m_shed = Metrics.counter m "server.shed";
+    m_requests = Metrics.counter m "server.requests";
+    m_closed = Metrics.counter m "server.sessions_closed";
+    h_inflight = Metrics.hist m "server.inflight";
+    h_latency = Metrics.hist m "server.request.ticks";
+  }
+
+let drain t = t.listener.stop ()
+let draining t = t.listener.stopped ()
+let inflight t = t.inflight
+let sessions_started t = t.started
+
+let trace_emit t ev =
+  let tr = Database.trace t.db in
+  if Trace.enabled tr then Trace.emit tr ev
+
+(* Map one statement's execution to its response frame. Exceptions here
+   are user errors: the connection survives them all. A deadlock victim
+   has already lost its transaction inside the engine, so the session's
+   continuation is discarded via ROLLBACK before answering. *)
+let exec_frame session ~seq sql =
+  match Sql.exec session sql with
+  | Sql.Rows { header; rows } -> Wire.Rows { seq; header; rows }
+  | Sql.Affected n -> Wire.Affected { seq; n }
+  | Sql.Message text -> Wire.Msg { seq; text }
+  | exception Sql.Sql_error text ->
+      Wire.Err
+        { seq; code = E_sql; text; txn_open = Sql.in_transaction session }
+  | exception Ivdb_sql.Sql_parser.Parse_error text ->
+      Wire.Err
+        { seq; code = E_parse; text; txn_open = Sql.in_transaction session }
+  | exception Ivdb_sql.Sql_lexer.Lex_error text ->
+      Wire.Err
+        { seq; code = E_parse; text; txn_open = Sql.in_transaction session }
+  | exception Database.Constraint_violation text ->
+      Wire.Err
+        {
+          seq;
+          code = E_constraint;
+          text;
+          txn_open = Sql.in_transaction session;
+        }
+  | exception Ivdb_txn.Txn.Conflict { reason; _ } ->
+      if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK");
+      Wire.Err { seq; code = E_deadlock; text = reason; txn_open = false }
+
+let close_session t conn =
+  t.inflight <- t.inflight - 1;
+  Metrics.inc t.m_closed;
+  trace_emit t (Trace.Net_close { conn = conn.Transport.id });
+  conn.Transport.close ()
+
+(* Request/response loop after a successful handshake. Returns on Bye,
+   EOF, protocol violation, or drain-with-no-open-txn. *)
+let rec session_loop t io session =
+  let conn = Transport.Frame_io.conn io in
+  match Transport.Frame_io.recv io with
+  | None | Some Wire.Bye | (exception Transport.Corrupt _) ->
+      if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK")
+  | Some (Wire.Exec { seq; sql }) ->
+      if draining t && not (Sql.in_transaction session) then begin
+        Transport.Frame_io.send io
+          (Wire.Err
+             {
+               seq;
+               code = E_draining;
+               text = "server is draining";
+               txn_open = false;
+             });
+        Transport.Frame_io.send io Wire.Bye
+      end
+      else begin
+        Metrics.inc t.m_requests;
+        trace_emit t
+          (Trace.Net_request { conn = conn.id; seq; bytes = String.length sql });
+        let t0 = Sched.now () in
+        let reply = exec_frame session ~seq sql in
+        let ticks = Sched.now () - t0 in
+        Metrics.record t.h_latency ticks;
+        Transport.Frame_io.send io reply;
+        trace_emit t
+          (Trace.Net_response
+             { conn = conn.id; seq; frame = Wire.frame_name reply; ticks });
+        session_loop t io session
+      end
+  | Some _ ->
+      (* a server-to-client frame from a client: protocol violation *)
+      Transport.Frame_io.send io
+        (Wire.Err
+           {
+             seq = 0;
+             code = E_protocol;
+             text = "unexpected frame";
+             txn_open = Sql.in_transaction session;
+           });
+      if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK")
+
+let handshake t io =
+  match Transport.Frame_io.recv io with
+  | Some (Wire.Hello { version; _ }) when version = Wire.version ->
+      if draining t then begin
+        Transport.Frame_io.send io
+          (Wire.Err
+             {
+               seq = 0;
+               code = E_draining;
+               text = "server is draining";
+               txn_open = false;
+             });
+        Transport.Frame_io.send io Wire.Bye;
+        None
+      end
+      else begin
+        (* resume is honoured as protocol only: disconnect rolled the old
+           transaction back, so a fresh session id is always returned *)
+        let session = t.next_session in
+        t.next_session <- session + 1;
+        Transport.Frame_io.send io
+          (Wire.Welcome
+             { version = Wire.version; server = t.config.name; session });
+        Some (Sql.session t.db)
+      end
+  | Some (Wire.Hello { version; _ }) ->
+      Transport.Frame_io.send io
+        (Wire.Err
+           {
+             seq = 0;
+             code = E_protocol;
+             text = Printf.sprintf "unsupported protocol version %d" version;
+             txn_open = false;
+           });
+      None
+  | None -> None
+  | Some _ | (exception Transport.Corrupt _) ->
+      Transport.Frame_io.send io
+        (Wire.Err
+           {
+             seq = 0;
+             code = E_protocol;
+             text = "expected Hello";
+             txn_open = false;
+           });
+      None
+
+let session_fiber t conn =
+  let io = Transport.Frame_io.create conn in
+  (match handshake t io with
+  | Some session -> session_loop t io session
+  | None -> ()
+  | exception Transport.Corrupt _ -> ());
+  close_session t conn
+
+let admit t conn =
+  if t.inflight >= t.config.max_inflight then begin
+    Metrics.inc t.m_shed;
+    trace_emit t (Trace.Net_shed { conn = conn.Transport.id });
+    let io = Transport.Frame_io.create conn in
+    Transport.Frame_io.send io
+      (Wire.Busy { retry_ticks = t.config.busy_retry_ticks });
+    conn.Transport.close ()
+  end
+  else begin
+    t.inflight <- t.inflight + 1;
+    t.started <- t.started + 1;
+    Metrics.inc t.m_accepted;
+    Metrics.record t.h_inflight t.inflight;
+    trace_emit t (Trace.Net_accept { conn = conn.Transport.id });
+    ignore (Sched.spawn (fun () -> session_fiber t conn))
+  end
+
+let serve t =
+  ignore
+    (Sched.spawn (fun () ->
+         let rec loop () =
+           match t.listener.accept () with
+           | Some conn ->
+               admit t conn;
+               loop ()
+           | None ->
+               if not (t.listener.stopped ()) then begin
+                 Sched.yield ();
+                 loop ()
+               end
+         in
+         loop ()))

@@ -1,0 +1,46 @@
+(** The ivdb network server: one {!Ivdb_sql.Sql.session} fiber per
+    connection on the cooperative scheduler.
+
+    [serve] spawns an accept fiber that polls the listener and spawns a
+    session fiber per admitted connection. Admission control is a hard
+    in-flight cap: a connection arriving above [max_inflight] is shed
+    with a {!Ivdb_wire.Wire.Busy} frame and closed before any SQL runs.
+    [drain] stops the listener and lets open sessions finish: a session
+    holding an open transaction may still run statements through its
+    [COMMIT]/[ROLLBACK]; one without gets [Err E_draining] + [Bye] on its
+    next request. Once every session exits the scheduler run completes —
+    a clean drain leaks no fibers.
+
+    Per-request instrumentation lands in the database's {!Ivdb_util.Metrics}
+    ([server.accepted], [server.shed], [server.requests],
+    [server.sessions_closed], [server.inflight] and [server.request.ticks]
+    histograms) and {!Ivdb_util.Trace} ([net.accept], [net.shed],
+    [net.request], [net.response], [net.close]). *)
+
+type config = {
+  max_inflight : int;  (** sessions served concurrently (default 32) *)
+  busy_retry_ticks : int;
+      (** backoff hint carried in the [Busy] shed frame (default 100) *)
+  name : string;  (** server identity sent in [Welcome] (default "ivdb") *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Ivdb.Database.t -> Transport.listener -> t
+
+val serve : t -> unit
+(** Spawn the accept fiber. Must be called inside a scheduler run; the
+    fiber exits once the listener is stopped (see {!drain}). *)
+
+val drain : t -> unit
+(** Stop accepting, begin refusing new transactions. Idempotent. *)
+
+val draining : t -> bool
+
+val inflight : t -> int
+(** Sessions currently admitted and not yet closed. *)
+
+val sessions_started : t -> int
+(** Total sessions ever admitted (shed connections excluded). *)

@@ -1,0 +1,74 @@
+(** Byte transports under the ivdb wire protocol.
+
+    A {!conn} is a bidirectional byte stream with blocking reads:
+    "blocking" means suspending the calling fiber under
+    {!Ivdb_sched.Sched} (cooperative, deterministic) or blocking the
+    calling thread outside a scheduler run, depending on the transport.
+    A {!listener} hands out server-side connections; [accept] is a
+    non-blocking poll so the server's accept fiber stays runnable and a
+    quiet server never wedges the scheduler.
+
+    Two implementations exist: the in-memory {!Loopback} (fully
+    deterministic under a seeded scheduler run — the transport the test
+    suite and crash/fault property tests use) and
+    {!Unix_transport} (real sockets behind a cooperative poll loop). *)
+
+exception Refused
+(** Raised by a connect when the accept queue (listen backlog) is full
+    or the listener has stopped — the transport-level load shed. *)
+
+exception Corrupt of string
+(** Raised by {!Frame_io.recv} when the stream violates the framing
+    (bad checksum, impossible length, EOF inside a frame). The
+    connection is unusable afterwards. *)
+
+type conn = {
+  id : int;  (** unique per transport instance; used in trace events *)
+  read : bytes -> int -> int -> int;
+      (** [read buf off len] blocks until at least one byte is
+          available, returns the count copied, or 0 at EOF. *)
+  write : string -> unit;
+      (** Writes the whole string. Writing to a peer-closed connection
+          is a silent no-op (the subsequent read observes EOF). *)
+  close : unit -> unit;  (** idempotent *)
+}
+
+type listener = {
+  accept : unit -> conn option;  (** non-blocking; [None] = nothing pending *)
+  pending : unit -> int;  (** connections queued but not yet accepted *)
+  stop : unit -> unit;
+      (** refuse future connects; already-queued ones still accept *)
+  stopped : unit -> bool;
+}
+
+(** Frame-granular I/O over a {!conn}: buffers the byte stream and
+    yields only complete, checksum-verified {!Ivdb_wire.Wire} frames. *)
+module Frame_io : sig
+  type t
+
+  val create : conn -> t
+  val conn : t -> conn
+  val send : t -> Ivdb_wire.Wire.frame -> unit
+
+  val recv : t -> Ivdb_wire.Wire.frame option
+  (** Blocks for a whole frame; [None] on clean EOF (no partial bytes
+      buffered). Raises {!Corrupt} on a damaged stream. *)
+end
+
+(** Deterministic in-memory transport: connects and byte flow happen
+    entirely inside one scheduler run, so a seed fully determines every
+    interleaving — including server-side batching and shedding. *)
+module Loopback : sig
+  type net
+
+  val create : ?backlog:int -> unit -> net
+  (** [backlog] bounds the accept queue (default 16); a connect beyond
+      it raises {!Refused}, like a kernel refusing a SYN. *)
+
+  val listener : net -> listener
+
+  val connect : net -> conn
+  (** Client-side endpoint; the matching server-side conn is queued for
+      [accept]. Raises {!Refused} when the backlog is full or the
+      listener stopped. *)
+end

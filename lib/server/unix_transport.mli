@@ -1,0 +1,19 @@
+(** Real-socket transport: TCP behind a cooperative poll loop.
+
+    Inside a {!Ivdb_sched.Sched.run}, sockets are non-blocking and a
+    read that would block yields to the scheduler and retries, backing
+    off to a sub-millisecond sleep after a burst of fruitless polls so
+    an idle server does not spin a core. Outside a run (a standalone
+    client such as the REPL), sockets block the calling thread
+    directly. Unlike {!Transport.Loopback}, socket readiness comes from
+    the kernel, so runs over this transport are not seed-deterministic. *)
+
+val listen :
+  ?backlog:int -> port:int -> unit -> Transport.listener * int
+(** Bind and listen on [127.0.0.1:port] ([port] = 0 lets the kernel pick);
+    returns the listener and the actual port. [backlog] is the kernel
+    accept queue (default 64). *)
+
+val dial : ?host:string -> port:int -> unit -> Transport.conn
+(** Connect to [host] (default 127.0.0.1). Raises {!Transport.Refused}
+    when the peer refuses. *)

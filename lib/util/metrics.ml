@@ -44,12 +44,26 @@ let snapshot t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Sorted merge over the two snapshots. Counters registered after the
+   [before] snapshot was taken (a --net run creates the first server
+   counters mid-run) appear only on the [after] side and must still
+   report their full value; symmetrically a counter absent from [after]
+   (instance swapped out) counts down to zero. Inputs from [snapshot]
+   are name-sorted; sort defensively in case a caller hand-builds one. *)
 let diff ~before ~after =
-  let names =
-    List.sort_uniq String.compare (List.map fst before @ List.map fst after)
+  let sorted l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let rec merge acc before after =
+    match (before, after) with
+    | [], [] -> List.rev acc
+    | (n, v) :: rest, [] -> merge ((n, -v) :: acc) rest []
+    | [], (n, v) :: rest -> merge ((n, v) :: acc) [] rest
+    | (nb, vb) :: rb, (na, va) :: ra -> (
+        match String.compare nb na with
+        | 0 -> merge ((nb, va - vb) :: acc) rb ra
+        | c when c < 0 -> merge ((nb, -vb) :: acc) rb after
+        | _ -> merge ((na, va) :: acc) before ra)
   in
-  let find l n = match List.assoc_opt n l with Some v -> v | None -> 0 in
-  List.map (fun n -> (n, find after n - find before n)) names
+  merge [] (sorted before) (sorted after)
 
 (* --- histograms ---------------------------------------------------------- *)
 

@@ -27,6 +27,11 @@ type event =
   | Batch_flush of { batch : int; hi_lsn : int }
   | Fault_inject of { kind : string; arg : int }
   | Io_retry of { page : int; attempt : int }
+  | Net_accept of { conn : int }
+  | Net_shed of { conn : int }
+  | Net_request of { conn : int; seq : int; bytes : int }
+  | Net_response of { conn : int; seq : int; frame : string; ticks : int }
+  | Net_close of { conn : int }
 
 type record = { seq : int; tick : int; fiber : int; event : event }
 
@@ -75,6 +80,11 @@ let event_name = function
   | Batch_flush _ -> "commit.batch_flush"
   | Fault_inject _ -> "fault.inject"
   | Io_retry _ -> "buf.io_retry"
+  | Net_accept _ -> "net.accept"
+  | Net_shed _ -> "net.shed"
+  | Net_request _ -> "net.request"
+  | Net_response _ -> "net.response"
+  | Net_close _ -> "net.close"
 
 (* Keys are binary (order-preserving codec output); escape everything
    outside printable ASCII so the JSONL stream is valid, deterministic
@@ -121,6 +131,13 @@ let event_fields = function
       Printf.sprintf {|"kind": "%s", "arg": %d|} (json_escape kind) arg
   | Io_retry { page; attempt } ->
       Printf.sprintf {|"page": %d, "attempt": %d|} page attempt
+  | Net_accept { conn } | Net_close { conn } | Net_shed { conn } ->
+      Printf.sprintf {|"conn": %d|} conn
+  | Net_request { conn; seq; bytes } ->
+      Printf.sprintf {|"conn": %d, "req": %d, "bytes": %d|} conn seq bytes
+  | Net_response { conn; seq; frame; ticks } ->
+      Printf.sprintf {|"conn": %d, "req": %d, "frame": "%s", "ticks": %d|} conn
+        seq (json_escape frame) ticks
 
 let to_json r =
   Printf.sprintf {|{"seq": %d, "tick": %d, "fiber": %d, "ev": "%s", %s}|} r.seq

@@ -34,6 +34,15 @@ type event =
           ordinal, or torn byte count as appropriate *)
   | Io_retry of { page : int; attempt : int }
       (** buffer pool retrying an I/O after a transient injected error *)
+  | Net_accept of { conn : int }  (** server admitted a connection *)
+  | Net_shed of { conn : int }
+      (** admission control refused a connection with a [Busy] frame *)
+  | Net_request of { conn : int; seq : int; bytes : int }
+      (** one wire request frame arrived ([bytes] = payload size) *)
+  | Net_response of { conn : int; seq : int; frame : string; ticks : int }
+      (** response sent; [frame] names the frame type, [ticks] the
+          request's servicing time on the logical clock *)
+  | Net_close of { conn : int }  (** connection finished (either side) *)
 
 type record = {
   seq : int;  (** emission order, dense from 0 *)

@@ -1,0 +1,99 @@
+(** The ivdb client/server wire protocol: a versioned, length-prefixed
+    binary frame codec.
+
+    Every frame on the wire is [u32 length | u32 checksum | payload]
+    (big-endian, like the WAL's {!Ivdb_wal.Log_record} framing); the
+    checksum is FNV-1a over the payload bytes, so a torn or corrupted
+    frame is detected before it is interpreted. The incremental decoder
+    {!decode_frame} never yields a frame from a partial or damaged
+    buffer — a property the truncation-sweep tests enforce at byte
+    granularity.
+
+    The protocol is a strict request/response alternation after a
+    handshake:
+    {v
+      client                         server
+      Hello {version; client; resume} ->
+                                     <- Welcome {version; server; session}
+                                        (or Err, or Busy on load shed)
+      Exec {seq; sql}                ->
+                                     <- Rows | Affected | Msg | Err  (same seq)
+      ...
+      Bye                            ->   (connection closes)
+    v}
+
+    An open transaction is per-connection state on the server (the
+    [BEGIN]/[COMMIT] of the SQL dialect); [Hello.resume] optionally names
+    a previous session id so a reconnecting client can ask for its
+    transactional continuation — a server that no longer holds that
+    session simply hands out a fresh one. *)
+
+val version : int
+(** Current protocol version, negotiated in the handshake. *)
+
+val max_frame_bytes : int
+(** Upper bound on a payload length the decoder will accept; a larger
+    length prefix is treated as corruption, not as an allocation
+    request. *)
+
+type error_code =
+  | E_sql  (** {!Ivdb_sql.Sql.Sql_error}: semantic error, txn kept open *)
+  | E_parse  (** lexer/parser rejection *)
+  | E_constraint  (** uniqueness violation *)
+  | E_deadlock  (** deadlock victim; an open transaction was rolled back *)
+  | E_draining  (** server is draining: no new transactions *)
+  | E_protocol  (** handshake/framing violation; connection closes *)
+
+type frame =
+  | Hello of { version : int; client : string; resume : int option }
+  | Welcome of { version : int; server : string; session : int }
+  | Exec of { seq : int; sql : string }
+  | Rows of {
+      seq : int;
+      header : string list;
+      rows : Ivdb_relation.Row.t list;
+    }
+  | Affected of { seq : int; n : int }
+  | Msg of { seq : int; text : string }
+  | Err of { seq : int; code : error_code; text : string; txn_open : bool }
+      (** [txn_open] tells the client whether its server-side transaction
+          survived the error (true for SQL errors, false after a
+          deadlock rollback) *)
+  | Busy of { retry_ticks : int }
+      (** load shed: admission control refused the connection or request;
+          retry after a backoff *)
+  | Bye
+
+val frame_name : frame -> string
+(** Stable dotted identifier (["hello"], ["rows"], …) for metrics and
+    trace labels. *)
+
+val error_code_name : error_code -> string
+
+val pp : Format.formatter -> frame -> unit
+
+(** {1 Payload codec} *)
+
+val encode : frame -> string
+(** Payload bytes only (no length/checksum framing). *)
+
+val decode : string -> frame
+(** Inverse of {!encode}. Raises [Invalid_argument] on malformed input,
+    including trailing bytes. *)
+
+(** {1 Framing} *)
+
+val write_framed : Buffer.t -> frame -> unit
+(** Append [u32 length | u32 checksum | payload]. *)
+
+val to_framed : frame -> string
+
+type decode_result =
+  | Frame of frame * int
+      (** a complete, checksum-valid frame and the offset just past it *)
+  | Partial  (** not enough bytes yet: read more and retry *)
+  | Corrupt of string  (** framing violation; the connection is unusable *)
+
+val decode_framed : string -> pos:int -> decode_result
+(** Try to decode one framed frame starting at [pos]. Never raises; never
+    returns [Frame] unless length, checksum and payload all verify. *)

@@ -146,6 +146,33 @@ let test_metrics_diff () =
   check Alcotest.int "x delta" 2 (List.assoc "x" d);
   check Alcotest.int "y delta" 1 (List.assoc "y" d)
 
+(* counters first registered between the two snapshots (a server started
+   mid-run) must report their full value; counters only on the before
+   side count down to zero *)
+let test_metrics_diff_mid_run_registration () =
+  let m = Metrics.create () in
+  Metrics.add m "pre" 3;
+  let before = Metrics.snapshot m in
+  Metrics.add m "pre" 1;
+  Metrics.add m "server.accepted" 7;
+  let after = Metrics.snapshot m in
+  let d = Metrics.diff ~before ~after in
+  check Alcotest.int "pre delta" 1 (List.assoc "pre" d);
+  check Alcotest.int "late counter reports full value" 7
+    (List.assoc "server.accepted" d);
+  let d2 = Metrics.diff ~before:[ ("gone", 5) ] ~after:[] in
+  check Alcotest.int "before-only counts down" (-5) (List.assoc "gone" d2);
+  (* unsorted hand-built snapshots work too *)
+  let d3 =
+    Metrics.diff
+      ~before:[ ("b", 1); ("a", 2) ]
+      ~after:[ ("a", 5); ("c", 1); ("b", 1) ]
+  in
+  check
+    Alcotest.(list (pair string int))
+    "sorted union" [ ("a", 3); ("c", 1) ]
+    (List.filter (fun (_, v) -> v <> 0) d3)
+
 let test_metrics_typed_handles () =
   let m = Metrics.create () in
   let c = Metrics.counter m "hot" in
@@ -254,6 +281,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "diff" `Quick test_metrics_diff;
+          Alcotest.test_case "diff mid-run registration" `Quick
+            test_metrics_diff_mid_run_registration;
           Alcotest.test_case "typed handles" `Quick test_metrics_typed_handles;
           Alcotest.test_case "reset keeps handles" `Quick
             test_metrics_reset_keeps_handles;

@@ -1,0 +1,235 @@
+module Wire = Ivdb_wire.Wire
+module Row = Ivdb_relation.Row
+module Value = Ivdb_relation.Value
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let frame_eq a b =
+  (* Rows carries float cells: compare via the codec, which is exact
+     (bit-pattern), so ordinary structural equality suffices *)
+  a = b
+
+let frame_testable =
+  Alcotest.testable (fun ppf f -> Wire.pp ppf f) frame_eq
+
+(* --- generators ---------------------------------------------------------- *)
+
+let str_gen = QCheck.Gen.(string_size (int_bound 48))
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun i -> Value.Float (float_of_int i /. 16.)) small_signed_int;
+        map (fun s -> Value.Str s) str_gen;
+        map (fun b -> Value.Bool b) bool;
+        return Value.Null;
+      ])
+
+let row_gen =
+  QCheck.Gen.(map Array.of_list (list_size (int_range 1 6) value_gen))
+
+let error_code_gen =
+  QCheck.Gen.oneofl
+    [
+      Wire.E_sql;
+      Wire.E_parse;
+      Wire.E_constraint;
+      Wire.E_deadlock;
+      Wire.E_draining;
+      Wire.E_protocol;
+    ]
+
+let frame_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun version client resume -> Wire.Hello { version; client; resume })
+          (int_bound 255) str_gen
+          (opt (int_bound 10000));
+        map3
+          (fun version server session ->
+            Wire.Welcome { version; server; session })
+          (int_bound 255) str_gen (int_bound 100000);
+        map2 (fun seq sql -> Wire.Exec { seq; sql }) (int_bound 100000) str_gen;
+        map3
+          (fun seq header rows -> Wire.Rows { seq; header; rows })
+          (int_bound 100000)
+          (list_size (int_bound 5) str_gen)
+          (list_size (int_bound 5) row_gen);
+        map2 (fun seq n -> Wire.Affected { seq; n }) (int_bound 100000)
+          small_nat;
+        map2 (fun seq text -> Wire.Msg { seq; text }) (int_bound 100000)
+          str_gen;
+        map3
+          (fun seq (code, text) txn_open ->
+            Wire.Err { seq; code; text; txn_open })
+          (int_bound 100000)
+          (pair error_code_gen str_gen)
+          bool;
+        map (fun retry_ticks -> Wire.Busy { retry_ticks }) small_nat;
+        return Wire.Bye;
+      ])
+
+let frame_arb =
+  QCheck.make ~print:(fun f -> Format.asprintf "%a" Wire.pp f) frame_gen
+
+(* --- deterministic round-trips ------------------------------------------- *)
+
+let sample_frames =
+  [
+    Wire.Hello { version = Wire.version; client = "repl"; resume = None };
+    Wire.Hello { version = Wire.version; client = ""; resume = Some 7 };
+    Wire.Welcome { version = Wire.version; server = "ivdb"; session = 1 };
+    Wire.Exec { seq = 3; sql = "SELECT * FROM t WHERE s = 'a''b\x00c'" };
+    Wire.Rows
+      {
+        seq = 4;
+        header = [ "product"; "count"; "sum" ];
+        rows =
+          [
+            [| Value.Int 1; Value.Int 2; Value.Float 3.5 |];
+            [| Value.Null; Value.Str "x\xffy"; Value.Bool true |];
+          ];
+      };
+    Wire.Rows { seq = 5; header = []; rows = [] };
+    Wire.Affected { seq = 6; n = 0 };
+    Wire.Msg { seq = 7; text = "ok" };
+    Wire.Err
+      { seq = 8; code = Wire.E_deadlock; text = "victim"; txn_open = false };
+    Wire.Err { seq = 9; code = Wire.E_sql; text = ""; txn_open = true };
+    Wire.Busy { retry_ticks = 100 };
+    Wire.Bye;
+  ]
+
+let test_samples_roundtrip () =
+  List.iter
+    (fun f ->
+      check frame_testable (Wire.frame_name f) f (Wire.decode (Wire.encode f));
+      match Wire.decode_framed (Wire.to_framed f) ~pos:0 with
+      | Wire.Frame (f', next) ->
+          check frame_testable ("framed " ^ Wire.frame_name f) f f';
+          check Alcotest.int "next = length" (String.length (Wire.to_framed f))
+            next
+      | Wire.Partial | Wire.Corrupt _ ->
+          Alcotest.failf "framed %s did not decode" (Wire.frame_name f))
+    sample_frames
+
+let test_trailing_bytes_rejected () =
+  let payload = Wire.encode Wire.Bye ^ "x" in
+  Alcotest.check_raises "trailing byte"
+    (Invalid_argument "Wire.decode: malformed frame") (fun () ->
+      ignore (Wire.decode payload))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire frame encode/decode roundtrip" ~count:1000
+    frame_arb (fun f -> frame_eq f (Wire.decode (Wire.encode f)))
+
+let prop_framed_roundtrip =
+  QCheck.Test.make ~name:"wire framed roundtrip at offset" ~count:500 frame_arb
+    (fun f ->
+      let framed = Wire.to_framed f in
+      (* decode from a non-zero offset inside a larger buffer *)
+      let buf = "junk" ^ framed ^ "tail" in
+      match Wire.decode_framed buf ~pos:4 with
+      | Wire.Frame (f', next) -> frame_eq f f' && next = 4 + String.length framed
+      | Wire.Partial | Wire.Corrupt _ -> false)
+
+(* --- truncation sweep ----------------------------------------------------- *)
+
+(* Mirror of the WAL torn-tail sweep at byte granularity: concatenate a
+   stream of framed frames, cut it at every byte offset, and decode
+   sequentially. Exactly the frames that fit entirely before the cut come
+   back; the cut point itself never yields a frame, garbage, or an
+   exception. *)
+let test_truncation_sweep () =
+  let frames = sample_frames in
+  let stream = String.concat "" (List.map Wire.to_framed frames) in
+  let bounds =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (off, acc) f ->
+              let e = off + String.length (Wire.to_framed f) in
+              (e, e :: acc))
+            (0, []) frames))
+  in
+  for cut = 0 to String.length stream do
+    let prefix = String.sub stream 0 cut in
+    let rec drain pos acc =
+      match Wire.decode_framed prefix ~pos with
+      | Wire.Frame (f, next) -> drain next (f :: acc)
+      | Wire.Partial -> (List.rev acc, `Partial)
+      | Wire.Corrupt m -> (List.rev acc, `Corrupt m)
+    in
+    let got, stop = drain 0 [] in
+    (match stop with
+    | `Partial -> ()
+    | `Corrupt m -> Alcotest.failf "cut %d: corrupt (%s)" cut m);
+    let expected =
+      List.filteri (fun i _ -> List.nth bounds i <= cut) frames
+    in
+    check
+      Alcotest.(list frame_testable)
+      (Printf.sprintf "frames intact at cut %d" cut)
+      expected got
+  done
+
+(* --- corruption ----------------------------------------------------------- *)
+
+let test_checksum_detects_flip () =
+  let framed = Wire.to_framed (Wire.Exec { seq = 1; sql = "SELECT 1" }) in
+  (* flip one bit in every payload byte position in turn *)
+  for i = 8 to String.length framed - 1 do
+    let b = Bytes.of_string framed in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    match Wire.decode_framed (Bytes.to_string b) ~pos:0 with
+    | Wire.Corrupt _ -> ()
+    | Wire.Frame _ -> Alcotest.failf "flip at %d decoded" i
+    | Wire.Partial -> Alcotest.failf "flip at %d read as partial" i
+  done
+
+let test_absurd_length_is_corrupt () =
+  let b = Buffer.create 8 in
+  (* length prefix far beyond max_frame_bytes, then a plausible-looking
+     header: must be corruption, not an allocation attempt *)
+  Buffer.add_string b "\xff\xff\xff\xff";
+  Buffer.add_string b "\x00\x00\x00\x00";
+  match Wire.decode_framed (Buffer.contents b) ~pos:0 with
+  | Wire.Corrupt _ -> ()
+  | Wire.Frame _ | Wire.Partial ->
+      Alcotest.fail "oversized length accepted"
+
+let test_empty_and_tiny_are_partial () =
+  for n = 0 to 7 do
+    match Wire.decode_framed (String.make n '\x00') ~pos:0 with
+    | Wire.Partial -> ()
+    | Wire.Frame _ -> Alcotest.failf "tiny buffer %d decoded" n
+    | Wire.Corrupt _ -> Alcotest.failf "tiny buffer %d corrupt" n
+  done
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "sample roundtrips" `Quick test_samples_roundtrip;
+          Alcotest.test_case "trailing bytes rejected" `Quick
+            test_trailing_bytes_rejected;
+          qtest prop_roundtrip;
+          qtest prop_framed_roundtrip;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "truncation sweep" `Quick test_truncation_sweep;
+          Alcotest.test_case "checksum detects bit flips" `Quick
+            test_checksum_detects_flip;
+          Alcotest.test_case "absurd length is corrupt" `Quick
+            test_absurd_length_is_corrupt;
+          Alcotest.test_case "tiny buffers are partial" `Quick
+            test_empty_and_tiny_are_partial;
+        ] );
+    ]

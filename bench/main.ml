@@ -716,6 +716,78 @@ let e13 () =
   let cells = e13_cells ~quick:false in
   print_table ~title:e13_title ~header:e13_header (List.map fst cells)
 
+(* --- E14: introspection overhead --------------------------------------------------------- *)
+
+(* Cost of the live-introspection plumbing on the E13 closed loop: the rid
+   correlation ids ride in every Exec frame unconditionally (wire v2), so
+   the measurable knob is the slow-query log. threshold = None turns it
+   off entirely; Some 0 is the worst case (every request is "slow": a
+   bounded-queue push + a Slow_query trace event per statement). The
+   interesting result is the ticks column: the log does no yields, so the
+   simulated schedule is identical and the overhead is wall-clock only. *)
+let e14_title =
+  "E14  Introspection overhead: slow-query log on the E13 closed loop (loopback, group commit, escrow)"
+
+let e14_header =
+  [ "slow log"; "threshold"; "clients"; "commits"; "ticks"; "tput/1k ticks";
+    "slow entries"; "wall_s" ]
+
+let e14_cells ~quick =
+  let module Server = Ivdb_server.Server in
+  let module Net_workload = Ivdb_client.Net_workload in
+  let budget = if quick then 64 else 256 in
+  let cell name threshold ~mpl =
+    let spec =
+      {
+        Workload.default with
+        seed = 11;
+        strategy = Maintain.Escrow;
+        mpl;
+        txns_per_worker = max 1 (budget / mpl);
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+        config =
+          {
+            Workload.default.Workload.config with
+            commit_mode = Txn.Group { max_batch = 32; max_wait_ticks = 50 };
+          };
+      }
+    in
+    let server_config =
+      { Server.default_config with slow_query_ticks = threshold }
+    in
+    let r, db = Net_workload.run_net ~server_config spec in
+    let slow = Metrics.get (Database.metrics db) "server.slow_queries" in
+    let row =
+      [
+        name;
+        (match threshold with None -> "-" | Some t -> string_of_int t);
+        i mpl; i r.Workload.committed; i r.Workload.ticks;
+        f2 r.Workload.throughput; i slow; Printf.sprintf "%.4f" r.Workload.wall_s;
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"slow_log": "%s", "threshold": %s, "clients": %d, "committed": %d, "ticks": %d, "throughput_per_1k_ticks": %.3f, "slow_entries": %d, "wall_s": %.4f}|}
+        name
+        (match threshold with None -> "null" | Some t -> string_of_int t)
+        mpl r.Workload.committed r.Workload.ticks r.Workload.throughput slow
+        r.Workload.wall_s
+    in
+    (row, json)
+  in
+  let mpl = if quick then 4 else 8 in
+  [
+    cell "off" None ~mpl;
+    cell "on (idle)" (Some 1_000_000) ~mpl;
+    cell "on (worst)" (Some 0) ~mpl;
+  ]
+
+let e14 () =
+  let cells = e14_cells ~quick:false in
+  print_table ~title:e14_title ~header:e14_header (List.map fst cells)
+
 let commit_bench ~quick () =
   let modes =
     [
@@ -836,17 +908,22 @@ let commit_bench ~quick () =
      loopback+tcp server smoke run invoked from the dune test runner *)
   let e13_cells = e13_cells ~quick in
   print_table ~title:e13_title ~header:e13_header (List.map fst e13_cells);
+  (* and the introspection-overhead cells: slow-query log off/idle/worst
+     over the same loopback closed loop *)
+  let e14_cells = e14_cells ~quick in
+  print_table ~title:e14_title ~header:e14_header (List.map fst e14_cells);
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
-    (String.concat ",\n" (List.map snd e13_cells));
+    (String.concat ",\n" (List.map snd e13_cells))
+    (String.concat ",\n" (List.map snd e14_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
-   + List.length e13_cells)
+   + List.length e13_cells + List.length e14_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -981,7 +1058,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13);
+    ("e12", e12); ("e13", e13); ("e14", e14);
     ("micro", micro);
   ]
 

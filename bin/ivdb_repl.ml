@@ -6,6 +6,9 @@
      .crash            simulate a crash and recover        (local only)
      .gc               run garbage collection              (local only)
      .trace on|off|show engine trace ring                  (local only)
+     .stats            engine counters (sys.metrics)
+     .locks            lock table and wait queue (sys.locks, sys.lock_waits)
+     .sessions         server sessions (sys.server_sessions)
      .connect H:P      switch to a remote server
      .local            switch back to a fresh local instance
      .help             this text
@@ -23,9 +26,11 @@ module Client = Ivdb_client.Client
 let help =
   {|statements: CREATE TABLE/INDEX/VIEW, INSERT, DELETE, UPDATE, SELECT,
             EXPLAIN [ANALYZE] SELECT, BEGIN, COMMIT, ROLLBACK, CHECKPOINT,
-            SHOW TABLES/VIEWS/METRICS
-dot commands: .crash .gc .trace on|off|show .connect HOST:PORT .local
-              .help .quit|}
+            SHOW TABLES/VIEWS/METRICS,
+            SELECT * FROM sys.transactions|locks|lock_waits|views|bufpool|
+                          wal|metrics|metrics_hist|server_sessions|slow_queries
+dot commands: .crash .gc .trace on|off|show .stats .locks .sessions
+              .connect HOST:PORT .local .help .quit|}
 
 (* the trace ring survives statements but not .crash (new instance, new trace) *)
 let ring_capacity = 4096
@@ -204,6 +209,16 @@ let () =
          end
          else if String.length line >= 6 && String.sub line 0 6 = ".trace" then
            trace_cmd (String.trim (String.sub line 6 (String.length line - 6)))
+         (* introspection shortcuts: plain sys.* queries, so they work
+            identically on a local instance and over .connect *)
+         else if line = ".stats" then
+           exec_line "SELECT * FROM sys.metrics"
+         else if line = ".locks" then begin
+           exec_line "SELECT * FROM sys.locks";
+           exec_line "SELECT * FROM sys.lock_waits"
+         end
+         else if line = ".sessions" then
+           exec_line "SELECT * FROM sys.server_sessions"
          else if Ivdb_sql.Sql_lexer.tokenize line = [ Ivdb_sql.Sql_lexer.Eof ] then
            () (* comment-only line *)
          else exec_line line);

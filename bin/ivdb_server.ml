@@ -30,7 +30,8 @@ let commit_mode_conv =
   in
   Arg.conv (parse, print)
 
-let run port max_inflight busy_retry commit_mode init =
+let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
+    init =
   let db =
     Database.create
       ~config:{ Database.default_config with commit_mode }
@@ -57,12 +58,20 @@ let run port max_inflight busy_retry commit_mode init =
               Server.default_config with
               max_inflight;
               busy_retry_ticks = busy_retry;
+              slow_query_ticks;
             }
           db listener
       in
       Server.serve srv;
       Printf.printf "ivdb_server listening on 127.0.0.1:%d (max %d sessions)\n"
         actual_port max_inflight;
+      (match metrics_port with
+      | None -> ()
+      | Some p ->
+          let mlistener, mport = Unix_transport.listen ~port:p () in
+          Ivdb_server.Metrics_http.serve (Database.metrics db) mlistener;
+          Printf.printf "metrics exposition on http://127.0.0.1:%d/metrics\n"
+            mport);
       flush stdout;
       (* supervise: sleep only when idle so an unloaded server does not
          spin, pure yields when sessions are active *)
@@ -103,6 +112,23 @@ let cmd =
       & opt commit_mode_conv Txn.Sync
       & info [ "commit-mode" ] ~doc:"Commit durability: sync | group | async.")
   in
+  let slow_query_ticks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-query-ticks" ]
+          ~doc:"Record statements taking at least N simulated ticks in \
+                sys.slow_queries (and as net.slow_query trace events).")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ]
+          ~doc:"Also serve the Prometheus text exposition of the metrics \
+                registry over HTTP on this 127.0.0.1 port (0 = \
+                kernel-assigned).")
+  in
   let init =
     Arg.(
       value
@@ -112,6 +138,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ivdb_server" ~doc:"Serve ivdb over the wire protocol")
-    (const run $ port $ max_inflight $ busy_retry $ commit_mode $ init)
+    (const run $ port $ max_inflight $ busy_retry $ commit_mode
+   $ slow_query_ticks $ metrics_port $ init)
 
 let () = exit (Cmd.eval cmd)

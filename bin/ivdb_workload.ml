@@ -137,9 +137,10 @@ let run_net net max_inflight spec strategy create_mode verbose check =
       (Database.list_views db)
 
 let run seed groups theta mpl txns ops deletes reads scan coarse strategy
-    create_mode commit_mode views initial gc_every checkpoint_every trace_out
-    verbose check net max_inflight fault_seed fault_read_p fault_write_p
-    fault_crash_write fault_crash_force fault_torn_writes fault_torn_tail =
+    create_mode commit_mode views initial gc_every checkpoint_every
+    stats_interval trace_out verbose check net max_inflight fault_seed
+    fault_read_p fault_write_p fault_crash_write fault_crash_force
+    fault_torn_writes fault_torn_tail =
   let spec =
     {
       Workload.config = { Workload.default.Workload.config with Database.commit_mode };
@@ -159,6 +160,7 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
       initial_rows = initial;
       gc_every;
       checkpoint_every;
+      stats_interval;
     }
   in
   match net with
@@ -287,6 +289,15 @@ let cmd =
       & opt (some int) None
       & info [ "checkpoint-every" ] ~doc:"Sharp checkpoint every N commits.")
   in
+  let stats_interval =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats-interval" ]
+          ~doc:"Print a one-line throughput / commit-p95 / lock-wait-p95 \
+                summary every N simulated ticks during the measured phase \
+                (works with and without --net).")
+  in
   let trace_out =
     Arg.(
       value
@@ -366,8 +377,8 @@ let cmd =
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
    $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
-   $ gc_every $ checkpoint_every $ trace_out $ verbose $ check $ net
-   $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
+   $ gc_every $ checkpoint_every $ stats_interval $ trace_out $ verbose
+   $ check $ net $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
    $ fault_crash_write $ fault_crash_force $ fault_torn_writes
    $ fault_torn_tail)
 

@@ -23,9 +23,16 @@ type t = {
   mutable session : int;
   mutable server : string;
   mutable seq : int;
+  mutable last_rid : int;
   mutable reconnects : int;
   mutable closed : bool;
 }
+
+(* Correlation id for one statement: session id in the high half, request
+   seq in the low 16 bits — unique across a run's sessions, stable across
+   the wire (u32), and greppable in both client-side logs and the
+   server's trace / slow-query log. *)
+let rid_of ~session ~seq = (session * 65536) + (seq land 0xffff)
 
 (* Doubling backoff, capped: yields under the scheduler (each yield is a
    logical tick and lets the server run), a short sleep outside it. *)
@@ -90,6 +97,7 @@ let connect ?(client = "ivdb-client") ?(attempts = 8) dial =
       session = 0;
       server = "";
       seq = 0;
+      last_rid = 0;
       reconnects = 0;
       closed = false;
     }
@@ -100,6 +108,7 @@ let connect ?(client = "ivdb-client") ?(attempts = 8) dial =
 let session_id t = t.session
 let server_name t = t.server
 let reconnects t = t.reconnects
+let last_rid t = t.last_rid
 
 let drop t =
   (match t.io with
@@ -124,7 +133,9 @@ let exec t sql =
   | Some io -> (
       t.seq <- t.seq + 1;
       let seq = t.seq in
-      Frame_io.send io (Wire.Exec { seq; sql });
+      let rid = rid_of ~session:t.session ~seq in
+      t.last_rid <- rid;
+      Frame_io.send io (Wire.Exec { seq; rid; sql });
       match Frame_io.recv io with
       | Some (Wire.Rows { header; rows; _ }) -> Sql.Rows { header; rows }
       | Some (Wire.Affected { n; _ }) -> Sql.Affected n
@@ -132,6 +143,23 @@ let exec t sql =
       | Some (Wire.Err { code; text; txn_open; _ }) ->
           raise (Server_error { code; text; txn_open })
       | Some (Wire.Busy { retry_ticks }) -> raise (Server_busy { retry_ticks })
+      | Some Wire.Bye -> broken t "server closed the session"
+      | Some _ -> broken t "protocol violation from server"
+      | None -> broken t "connection closed"
+      | exception Transport.Corrupt m -> broken t m)
+
+let metrics t =
+  if t.closed then raise (Disconnected "client closed");
+  match t.io with
+  | None -> broken t "not connected"
+  | Some io -> (
+      t.seq <- t.seq + 1;
+      let seq = t.seq in
+      Frame_io.send io (Wire.Metrics_req { seq });
+      match Frame_io.recv io with
+      | Some (Wire.Msg { text; _ }) -> text
+      | Some (Wire.Err { code; text; txn_open; _ }) ->
+          raise (Server_error { code; text; txn_open })
       | Some Wire.Bye -> broken t "server closed the session"
       | Some _ -> broken t "protocol violation from server"
       | None -> broken t "connection closed"

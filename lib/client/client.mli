@@ -52,7 +52,19 @@ val reconnects : t -> int
 val exec : t -> string -> Ivdb_sql.Sql.result
 (** Ship one statement, wait for its response frame. Raises
     {!Server_error} on [Err], {!Server_busy} on [Busy],
-    {!Disconnected} on a dead connection (after attempting reconnect). *)
+    {!Disconnected} on a dead connection (after attempting reconnect).
+    Every statement carries a correlation id
+    ([session * 65536 + (seq land 0xffff)]) echoed into the server's
+    trace events and slow-query log; see {!last_rid}. *)
+
+val last_rid : t -> int
+(** Correlation id of the most recent {!exec} — join it against
+    [sys.slow_queries.rid] or the [rid] field of [net.request] /
+    [net.response] / [net.slow_query] trace events. *)
+
+val metrics : t -> string
+(** Fetch the server's metrics registry as Prometheus text exposition
+    (a [Metrics_req] frame answered with [Msg]). *)
 
 val close : t -> unit
 (** Send [Bye] and close; idempotent. *)

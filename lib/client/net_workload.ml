@@ -152,6 +152,11 @@ let run_net ?(transport = Loopback) ?(server_config = Server.default_config)
                    if !remaining = 0 then !wake_main ())
                  (fun () -> client_fiber w)))
       done;
+      (match spec.Workload.stats_interval with
+      | Some n when n > 0 ->
+          Workload.spawn_reporter db ~interval:n
+            ~running:(fun () -> !remaining > 0)
+      | Some _ | None -> ());
       if !remaining > 0 then
         Sched.suspend (fun wake _cancel -> wake_main := wake);
       Server.drain srv;

@@ -26,6 +26,10 @@ let run mgr rt =
             Btree.delete stx rt.Maintain.tree ~key;
             Txn.commit mgr stx;
             incr removed;
+            rt.Maintain.vstats.Maintain.v_gc_zero <-
+              rt.Maintain.vstats.Maintain.v_gc_zero + 1;
+            rt.Maintain.vstats.Maintain.v_system_txns <-
+              rt.Maintain.vstats.Maintain.v_system_txns + 1;
             Ivdb_util.Metrics.incr (Txn.metrics mgr) "view.gc_removed";
             let tr = Txn.trace mgr in
             if Ivdb_util.Trace.enabled tr then

@@ -42,6 +42,34 @@ let make_stats m =
     s_deferred_append = Metrics.counter m "view.deferred_append";
   }
 
+(* Per-view plain counters for sys.views: the typed handles above all land
+   in engine-global cells, so each view additionally keeps its own tallies
+   (one int bump on paths that already bump a global counter). *)
+type vstats = {
+  mutable v_deltas : int;
+  mutable v_exclusive : int;
+  mutable v_escrow : int;
+  mutable v_deferred : int;
+  mutable v_recomputes : int;
+  mutable v_group_creates : int;
+  mutable v_group_deletes : int;
+  mutable v_gc_zero : int;
+  mutable v_system_txns : int;
+}
+
+let make_vstats () =
+  {
+    v_deltas = 0;
+    v_exclusive = 0;
+    v_escrow = 0;
+    v_deferred = 0;
+    v_recomputes = 0;
+    v_group_creates = 0;
+    v_group_deletes = 0;
+    v_gc_zero = 0;
+    v_system_txns = 0;
+  }
+
 type runtime = {
   vid : int;
   def : View_def.t;
@@ -52,6 +80,7 @@ type runtime = {
   deferred : Deferred.t option;
   recompute_group : Txn.t -> string -> Row.t;
   stats : stats;
+  vstats : vstats;
 }
 
 let key_name rt key = Lock_name.Key (rt.vid, key)
@@ -78,6 +107,8 @@ let create_zero_group mgr txn rt ~key =
       (* another transaction created it first: fine, it exists *)
       Txn.commit mgr stx);
   Metrics.inc rt.stats.s_group_create;
+  rt.vstats.v_group_creates <- rt.vstats.v_group_creates + 1;
+  rt.vstats.v_system_txns <- rt.vstats.v_system_txns + 1;
   let tr = Txn.trace mgr in
   if Trace.enabled tr then
     Trace.emit tr (Trace.Group_create { view = rt.vid; key; system = true })
@@ -94,6 +125,7 @@ let create_group_user mgr txn rt ~key =
      Btree.insert txn rt.tree ~key ~value:(Row.encode (Aggregate.zero_row rt.def))
    with Btree.Duplicate_key _ -> ());
   Metrics.inc rt.stats.s_group_create_user;
+  rt.vstats.v_group_creates <- rt.vstats.v_group_creates + 1;
   let tr = Txn.trace mgr in
   if Trace.enabled tr then
     Trace.emit tr (Trace.Group_create { view = rt.vid; key; system = false })
@@ -118,12 +150,14 @@ let rec exclusive mgr txn rt ~key delta =
       exclusive mgr txn rt ~key delta
   | Some stored ->
       Metrics.inc rt.stats.s_exclusive;
+      rt.vstats.v_exclusive <- rt.vstats.v_exclusive + 1;
       let row = Row.decode stored in
       let row' =
         match Aggregate.apply rt.def row delta with
         | `Ok r -> r
         | `Recompute ->
             Metrics.inc rt.stats.s_recompute;
+            rt.vstats.v_recomputes <- rt.vstats.v_recomputes + 1;
             (* the retiring row is already gone from the base, so a fresh
                fold gives the post-delete aggregates *)
             rt.recompute_group txn key
@@ -132,7 +166,8 @@ let rec exclusive mgr txn rt ~key delta =
         (* physically remove, keeping the gap protected until commit *)
         Txn.lock mgr txn (gap_name rt key) Lock_mode.RangeX_X;
         Btree.delete txn rt.tree ~key;
-        Metrics.inc rt.stats.s_group_delete
+        Metrics.inc rt.stats.s_group_delete;
+        rt.vstats.v_group_deletes <- rt.vstats.v_group_deletes + 1
       end
       else update_row mgr txn rt ~key ~undo:None row'
 
@@ -148,6 +183,7 @@ let rec escrow mgr txn rt ~key delta =
       escrow mgr txn rt ~key delta
   | Some stored ->
       Metrics.inc rt.stats.s_escrow;
+      rt.vstats.v_escrow <- rt.vstats.v_escrow + 1;
       let row = Row.decode stored in
       let row' =
         match Aggregate.apply rt.def row delta with
@@ -168,6 +204,8 @@ let apply_delta_exclusive mgr txn rt ~key delta = exclusive mgr txn rt ~key delt
 
 let apply_delta mgr txn rt ~key delta =
   Metrics.inc rt.stats.s_delta;
+  rt.vstats.v_deltas <- rt.vstats.v_deltas + 1;
+  Txn.note_delta txn;
   let tr = Txn.trace mgr in
   if Trace.enabled tr then
     Trace.emit tr
@@ -183,6 +221,7 @@ let apply_delta mgr txn rt ~key delta =
       | None -> invalid_arg "Maintain: deferred strategy without a queue"
       | Some q ->
           Metrics.inc rt.stats.s_deferred_append;
+          rt.vstats.v_deferred <- rt.vstats.v_deferred + 1;
           Deferred.append txn q ~key delta)
 
 (* --- reads ------------------------------------------------------------------ *)

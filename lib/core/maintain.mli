@@ -43,6 +43,24 @@ type stats
 
 val make_stats : Ivdb_util.Metrics.t -> stats
 
+type vstats = {
+  mutable v_deltas : int;
+  mutable v_exclusive : int;
+  mutable v_escrow : int;
+  mutable v_deferred : int;
+  mutable v_recomputes : int;
+  mutable v_group_creates : int;
+  mutable v_group_deletes : int;
+  mutable v_gc_zero : int;  (** zero-count rows reclaimed by {!Group_gc} *)
+  mutable v_system_txns : int;
+      (** system transactions run for this view (group creates + GC) *)
+}
+(** Per-view maintenance tallies behind [sys.views]. The typed {!stats}
+    handles all land in engine-global counters; these are the same bumps
+    kept per view. *)
+
+val make_vstats : unit -> vstats
+
 type runtime = {
   vid : int;  (** catalog id: lock namespace and undo-log view id *)
   def : View_def.t;
@@ -57,6 +75,7 @@ type runtime = {
       (** recompute a group's aggregate row from base data (MIN/MAX
           retirement); supplied by the database layer *)
   stats : stats;  (** from {!make_stats} on the owning database's metrics *)
+  vstats : vstats;  (** per-view tallies, from {!make_vstats} *)
 }
 
 val apply_delta :

@@ -399,6 +399,7 @@ let register_view t (meta : Catalog.view_meta) ~tree ~queue =
                (fun row -> View_def.group_key def row = key)
                (source_rows t (Some txn) def)));
       stats = Maintain.make_stats t.dmetrics;
+      vstats = Maintain.make_vstats ();
     }
   in
   Hashtbl.replace t.views_rt meta.Catalog.vw_id rt;

@@ -28,6 +28,7 @@ type spec = {
   initial_rows : int;
   gc_every : int option;
   checkpoint_every : int option;
+  stats_interval : int option;
   config : Database.config;
 }
 
@@ -49,6 +50,7 @@ let default =
     initial_rows = 200;
     gc_every = None;
     checkpoint_every = None;
+    stats_interval = None;
     config = { Database.default_config with read_cost = 0; write_cost = 0 };
   }
 
@@ -123,6 +125,7 @@ type phase = {
   p_hist_before : (int * int) list;
   p_t0 : float;
   p_lat : Ivdb_util.Stats.t;
+  p_commit_hist : Metrics.hist;
   mutable p_committed : int;
   mutable p_readers : int;
   mutable p_given_up : int;
@@ -136,6 +139,7 @@ let phase_start db =
     p_hist_before = Metrics.hist_snapshot metrics "commit.batch";
     p_t0 = Unix.gettimeofday ();
     p_lat = Ivdb_util.Stats.create ();
+    p_commit_hist = Metrics.hist metrics "txn.commit_ticks";
     p_committed = 0;
     p_readers = 0;
     p_given_up = 0;
@@ -144,6 +148,9 @@ let phase_start db =
 let phase_commit p ?(reader = false) ~latency () =
   p.p_committed <- p.p_committed + 1;
   if reader then p.p_readers <- p.p_readers + 1;
+  (* the histogram feeds the live stats reporter and sys.metrics_hist;
+     the Stats accumulator stays the source of the end-of-run figures *)
+  Metrics.record p.p_commit_hist (int_of_float latency);
   Ivdb_util.Stats.add p.p_lat latency
 
 let phase_give_up p = p.p_given_up <- p.p_given_up + 1
@@ -186,6 +193,77 @@ let phase_finish p ?(crashed = false) ~ticks () =
     batch_hist;
     metrics = diff;
   }
+
+(* --- live stats reporting ---------------------------------------------------
+
+   A periodic one-line summary of the last interval, computed purely from
+   Metrics.diff between registry snapshots — the same data sys.metrics
+   exposes — so the reporter works identically for in-process fibers and
+   network clients. *)
+
+type stats_probe = {
+  sp_db : Database.t;
+  mutable sp_counters : (string * int) list;
+  mutable sp_commit : (int * int) list;
+  mutable sp_wait : (int * int) list;
+  mutable sp_tick : int;
+}
+
+let probe_start db =
+  let m = Database.metrics db in
+  {
+    sp_db = db;
+    sp_counters = Metrics.snapshot m;
+    sp_commit = Metrics.hist_snapshot m "txn.commit_ticks";
+    sp_wait = Metrics.hist_snapshot m "lock.wait_ticks";
+    sp_tick = Sched.now ();
+  }
+
+let probe_line p =
+  let m = Database.metrics p.sp_db in
+  let now = Sched.now () in
+  let counters = Metrics.snapshot m in
+  let commit = Metrics.hist_snapshot m "txn.commit_ticks" in
+  let wait = Metrics.hist_snapshot m "lock.wait_ticks" in
+  let dc = Metrics.diff ~before:p.sp_counters ~after:counters in
+  let dcommit = Metrics.hist_diff ~before:p.sp_commit ~after:commit in
+  let dwait = Metrics.hist_diff ~before:p.sp_wait ~after:wait in
+  let dticks = max 1 (now - p.sp_tick) in
+  let get name =
+    match List.assoc_opt name dc with Some v -> v | None -> 0
+  in
+  let commits = get "txn.commit" in
+  p.sp_counters <- counters;
+  p.sp_commit <- commit;
+  p.sp_wait <- wait;
+  p.sp_tick <- now;
+  Printf.sprintf
+    "[stats] tick=%d commits=%d txn/ktick=%.1f commit_p95=%d lock_waits=%d \
+     wait_p95=%d deadlocks=%d"
+    now commits
+    (float_of_int commits *. 1000. /. float_of_int dticks)
+    (Metrics.percentile_cells dcommit 95.)
+    (get "lock.wait")
+    (Metrics.percentile_cells dwait 95.)
+    (get "lock.deadlock")
+
+(* Spawn the reporter fiber: prints a line every [interval] ticks while
+   [running ()] holds, and a final line for any partial last interval. *)
+let spawn_reporter db ~interval ~running =
+  ignore
+    (Sched.spawn (fun () ->
+         let probe = probe_start db in
+         let rec loop () =
+           if running () then begin
+             Sched.yield ();
+             if Sched.now () - probe.sp_tick >= interval then
+               print_endline (probe_line probe);
+             loop ()
+           end
+           else if Sched.now () > probe.sp_tick then
+             print_endline (probe_line probe)
+         in
+         loop ()))
 
 let run_on db sales views spec =
   let phase = phase_start db in
@@ -291,6 +369,10 @@ let run_on db sales views spec =
                    if !remaining = 0 then !wake_main ())
                  (fun () -> worker w)))
       done;
+      (match spec.stats_interval with
+      | Some n when n > 0 ->
+          spawn_reporter db ~interval:n ~running:(fun () -> !remaining > 0)
+      | Some _ | None -> ());
       (* block until the last worker finishes: if the workers deadlock in a
          way the lock manager missed, the run fails with Sched.Stuck rather
          than spinning silently *)

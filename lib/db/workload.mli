@@ -28,6 +28,9 @@ type spec = {
   gc_every : int option;  (** run Database.gc every n committed txns *)
   checkpoint_every : int option;
       (** sharp checkpoint (and log truncation) every n committed txns *)
+  stats_interval : int option;
+      (** print a one-line throughput/latency summary every n simulated
+          ticks (see {!probe_line}); [None] = silent *)
   config : Database.config;
 }
 
@@ -85,6 +88,30 @@ val phase_committed : phase -> int
 
 val phase_finish : phase -> ?crashed:bool -> ticks:int -> unit -> result
 (** [ticks] is the simulated span of the measured window (clamped to 1). *)
+
+(** {1 Live stats reporting}
+
+    Interval summaries computed from {!Ivdb_util.Metrics.diff} between
+    registry snapshots — the same counters and histograms [sys.metrics]
+    and [sys.metrics_hist] expose — so the reporter is driver-agnostic:
+    {!run_on} and the network closed loop both use it via
+    [stats_interval]. *)
+
+type stats_probe
+
+val probe_start : Database.t -> stats_probe
+(** Snapshot the registry (counters, [txn.commit_ticks] and
+    [lock.wait_ticks] histograms) and the clock. *)
+
+val probe_line : stats_probe -> string
+(** One-line summary of the interval since the last call (or
+    {!probe_start}): commits, throughput per 1000 ticks, commit p95,
+    lock waits and wait p95, deadlocks. Advances the probe. *)
+
+val spawn_reporter : Database.t -> interval:int -> running:(unit -> bool) -> unit
+(** Spawn a fiber printing {!probe_line} every [interval] ticks while
+    [running ()] holds, plus a final partial-interval line. Must be
+    called inside a scheduler run. *)
 
 val run_on : Database.t -> Database.table -> Database.view list -> spec -> result
 (** Execute the measured phase under {!Ivdb_sched.Sched.run}. *)

@@ -12,6 +12,7 @@ type req = {
   grant_mode : Lock_mode.t; (* mode whose compatibility gates the grant *)
   convert : bool;
   instant : bool;
+  mutable since : int; (* tick the request started waiting, for sys.lock_waits *)
   mutable wake : (unit -> unit) option;
   mutable cancel : (exn -> unit) option;
 }
@@ -30,6 +31,7 @@ type t = {
   m_wait : Metrics.counter;
   m_deadlock : Metrics.counter;
   m_instant : Metrics.counter;
+  h_wait_ticks : Metrics.hist;
   mutable locks : lock Name_map.t;
   txn_locks : (int, (Lock_name.t, unit) Hashtbl.t) Hashtbl.t;
   blocked : (int, lock * req) Hashtbl.t; (* txn -> what it waits on *)
@@ -43,6 +45,7 @@ let create ?trace metrics =
     m_wait = Metrics.counter metrics "lock.wait";
     m_deadlock = Metrics.counter metrics "lock.deadlock";
     m_instant = Metrics.counter metrics "lock.instant";
+    h_wait_ticks = Metrics.hist metrics "lock.wait_ticks";
     locks = Name_map.empty;
     txn_locks = Hashtbl.create 64;
     blocked = Hashtbl.create 16;
@@ -244,6 +247,7 @@ let resolve_deadlocks t txn my_lk my_req =
 let wait t lk req =
   Metrics.inc t.m_wait;
   trace_lock t ev_wait req.rtxn lk req;
+  req.since <- Sched.now ();
   if req.convert then lk.queue <- req :: lk.queue
   else lk.queue <- lk.queue @ [ req ];
   Hashtbl.replace t.blocked req.rtxn (lk, req);
@@ -256,7 +260,8 @@ let wait t lk req =
            suspension; in the cooperative scheduler this cannot happen
            because no yield occurs, so registering here is safe *)
         req.wake <- Some wake;
-        req.cancel <- Some cancel)
+        req.cancel <- Some cancel);
+  Metrics.record t.h_wait_ticks (Sched.now () - req.since)
 
 let request t ~txn name mode ~instant ~block =
   Metrics.inc t.m_acquire;
@@ -283,6 +288,7 @@ let request t ~txn name mode ~instant ~block =
           grant_mode = target;
           convert;
           instant;
+          since = 0;
           wake = None;
           cancel = None;
         }
@@ -367,6 +373,34 @@ let lock_count t ~txn =
   match Hashtbl.find_opt t.txn_locks txn with
   | None -> 0
   | Some tbl -> Hashtbl.length tbl
+
+(* Live wait-queue snapshot for sys.lock_waits: one entry per blocked
+   request, with the transactions it is blocked by (owners plus
+   conflicting earlier waiters — the same edge set deadlock detection
+   walks). Pure read: takes no locks and wakes nobody. *)
+type wait_info = {
+  w_name : Lock_name.t;
+  w_txn : int;
+  w_mode : Lock_mode.t;
+  w_convert : bool;
+  w_blockers : int list;
+  w_since : int;
+}
+
+let waits t =
+  Hashtbl.fold
+    (fun txn (lk, req) acc ->
+      {
+        w_name = lk.lname;
+        w_txn = txn;
+        w_mode = req.target;
+        w_convert = req.convert;
+        w_blockers = blockers lk req;
+        w_since = req.since;
+      }
+      :: acc)
+    t.blocked []
+  |> List.sort (fun a b -> compare a.w_txn b.w_txn)
 
 let dump t =
   Name_map.fold

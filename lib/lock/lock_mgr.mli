@@ -50,6 +50,21 @@ val holders : t -> Lock_name.t -> (int * Lock_mode.t) list
 val waiters : t -> Lock_name.t -> int list
 val lock_count : t -> txn:int -> int
 
+type wait_info = {
+  w_name : Lock_name.t;  (** resource being waited on *)
+  w_txn : int;  (** waiting transaction *)
+  w_mode : Lock_mode.t;  (** mode it wants to hold once granted *)
+  w_convert : bool;  (** conversion of an already-held lock *)
+  w_blockers : int list;  (** transactions it is blocked by, sorted *)
+  w_since : int;  (** tick the wait started *)
+}
+
+val waits : t -> wait_info list
+(** Snapshot of every blocked request, sorted by waiter txn id — the
+    blocked/blocker join behind [sys.lock_waits]. Pure read: acquires
+    nothing, wakes nobody. Blocked-request wait times also land in the
+    ["lock.wait_ticks"] histogram when the wait resolves. *)
+
 val dump :
   t ->
   (Lock_name.t * (int * Lock_mode.t) list * (int * Lock_mode.t * bool * bool) list) list

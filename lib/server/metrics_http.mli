@@ -1,0 +1,16 @@
+(** A scrape endpoint: one-shot HTTP/1.0 responses carrying the
+    Prometheus text exposition of a {!Ivdb_util.Metrics} registry
+    ({!Ivdb_util.Metrics.to_prometheus}).
+
+    Any request — path and method are ignored — is answered with
+    [200 OK] and [Content-Type: text/plain]; the connection is closed
+    after one response. This is deliberately not a web server: just
+    enough HTTP for [curl] or a Prometheus scraper against the
+    [--metrics-port] listener of [ivdb_server]. *)
+
+val serve : Ivdb_util.Metrics.t -> Transport.listener -> unit
+(** Spawn the accept fiber. Must be called inside a scheduler run; the
+    fiber exits once the listener is stopped. *)
+
+val handle : Ivdb_util.Metrics.t -> Transport.conn -> unit
+(** Serve a single already-accepted connection and close it. *)

@@ -1,13 +1,48 @@
 module Sched = Ivdb_sched.Sched
 module Wire = Ivdb_wire.Wire
 module Sql = Ivdb_sql.Sql
+module Sys_tables = Ivdb_sql.Sys_tables
 module Database = Ivdb.Database
 module Metrics = Ivdb_util.Metrics
 module Trace = Ivdb_util.Trace
+module Value = Ivdb_relation.Value
 
-type config = { max_inflight : int; busy_retry_ticks : int; name : string }
+type config = {
+  max_inflight : int;
+  busy_retry_ticks : int;
+  name : string;
+  slow_query_ticks : int option;
+}
 
-let default_config = { max_inflight = 32; busy_retry_ticks = 100; name = "ivdb" }
+let default_config =
+  {
+    max_inflight = 32;
+    busy_retry_ticks = 100;
+    name = "ivdb";
+    slow_query_ticks = None;
+  }
+
+(* One row of sys.server_sessions: live per-connection accounting. *)
+type sess = {
+  se_id : int;
+  se_conn : int;
+  mutable se_state : string; (* "idle" | "exec" *)
+  mutable se_statements : int;
+  mutable se_last_rid : int;
+  se_sql : Sql.session;
+}
+
+(* One row of sys.slow_queries. *)
+type slow = {
+  sq_rid : int;
+  sq_session : int;
+  sq_seq : int;
+  sq_ticks : int;
+  sq_tick : int; (* completion tick *)
+  sq_sql : string;
+}
+
+let slow_cap = 128
 
 type t = {
   db : Database.t;
@@ -16,11 +51,14 @@ type t = {
   mutable inflight : int;
   mutable started : int;
   mutable next_session : int;
+  sessions : (int, sess) Hashtbl.t;
+  slow : slow Queue.t; (* bounded ring, oldest first *)
   (* metric handles resolved once at create *)
   m_accepted : Metrics.counter;
   m_shed : Metrics.counter;
   m_requests : Metrics.counter;
   m_closed : Metrics.counter;
+  m_slow : Metrics.counter;
   h_inflight : Metrics.hist;
   h_latency : Metrics.hist;
 }
@@ -34,10 +72,13 @@ let create ?(config = default_config) db listener =
     inflight = 0;
     started = 0;
     next_session = 1;
+    sessions = Hashtbl.create 16;
+    slow = Queue.create ();
     m_accepted = Metrics.counter m "server.accepted";
     m_shed = Metrics.counter m "server.shed";
     m_requests = Metrics.counter m "server.requests";
     m_closed = Metrics.counter m "server.sessions_closed";
+    m_slow = Metrics.counter m "server.slow_queries";
     h_inflight = Metrics.hist m "server.inflight";
     h_latency = Metrics.hist m "server.request.ticks";
   }
@@ -47,9 +88,58 @@ let draining t = t.listener.stopped ()
 let inflight t = t.inflight
 let sessions_started t = t.started
 
+let slow_queries t = List.of_seq (Queue.to_seq t.slow)
+
+let note_slow t entry =
+  Metrics.inc t.m_slow;
+  Queue.push entry t.slow;
+  if Queue.length t.slow > slow_cap then ignore (Queue.pop t.slow)
+
 let trace_emit t ev =
   let tr = Database.trace t.db in
   if Trace.enabled tr then Trace.emit tr ev
+
+(* Live providers for the serving-layer sys.* tables, registered on every
+   session's SQL state at handshake so SELECT over the wire (or a local
+   admin session pointed at the same server) sees the whole registry. *)
+
+let sessions_rows t () =
+  let rows =
+    Hashtbl.fold
+      (fun _ se acc ->
+        [|
+          Value.Int se.se_id;
+          Value.Int se.se_conn;
+          Value.Str se.se_state;
+          Value.Bool (Sql.in_transaction se.se_sql);
+          Value.Int se.se_statements;
+          Value.Int se.se_last_rid;
+        |]
+        :: acc)
+      t.sessions []
+    |> List.sort compare
+  in
+  (Sys_tables.server_sessions_header, rows)
+
+let slow_rows t () =
+  let rows =
+    List.map
+      (fun sq ->
+        [|
+          Value.Int sq.sq_rid;
+          Value.Int sq.sq_session;
+          Value.Int sq.sq_seq;
+          Value.Int sq.sq_ticks;
+          Value.Int sq.sq_tick;
+          Value.Str sq.sq_sql;
+        |])
+      (slow_queries t)
+  in
+  (Sys_tables.slow_queries_header, rows)
+
+let register_sys t session =
+  Sql.add_sys_provider session "sys.server_sessions" (sessions_rows t);
+  Sql.add_sys_provider session "sys.slow_queries" (slow_rows t)
 
 (* Map one statement's execution to its response frame. Exceptions here
    are user errors: the connection survives them all. A deadlock victim
@@ -81,20 +171,27 @@ let exec_frame session ~seq sql =
       if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK");
       Wire.Err { seq; code = E_deadlock; text = reason; txn_open = false }
 
-let close_session t conn =
+let close_session t se conn =
   t.inflight <- t.inflight - 1;
+  Hashtbl.remove t.sessions se.se_id;
   Metrics.inc t.m_closed;
   trace_emit t (Trace.Net_close { conn = conn.Transport.id });
   conn.Transport.close ()
 
 (* Request/response loop after a successful handshake. Returns on Bye,
    EOF, protocol violation, or drain-with-no-open-txn. *)
-let rec session_loop t io session =
+let rec session_loop t io se =
+  let session = se.se_sql in
   let conn = Transport.Frame_io.conn io in
   match Transport.Frame_io.recv io with
   | None | Some Wire.Bye | (exception Transport.Corrupt _) ->
       if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK")
-  | Some (Wire.Exec { seq; sql }) ->
+  | Some (Wire.Metrics_req { seq }) ->
+      Metrics.inc t.m_requests;
+      Transport.Frame_io.send io
+        (Wire.Msg { seq; text = Metrics.to_prometheus (Database.metrics t.db) });
+      session_loop t io se
+  | Some (Wire.Exec { seq; rid; sql }) ->
       if draining t && not (Sql.in_transaction session) then begin
         Transport.Frame_io.send io
           (Wire.Err
@@ -108,17 +205,36 @@ let rec session_loop t io session =
       end
       else begin
         Metrics.inc t.m_requests;
+        se.se_state <- "exec";
+        se.se_statements <- se.se_statements + 1;
+        se.se_last_rid <- rid;
         trace_emit t
-          (Trace.Net_request { conn = conn.id; seq; bytes = String.length sql });
+          (Trace.Net_request
+             { conn = conn.id; seq; rid; bytes = String.length sql });
         let t0 = Sched.now () in
         let reply = exec_frame session ~seq sql in
         let ticks = Sched.now () - t0 in
         Metrics.record t.h_latency ticks;
+        (match t.config.slow_query_ticks with
+        | Some threshold when ticks >= threshold ->
+            note_slow t
+              {
+                sq_rid = rid;
+                sq_session = se.se_id;
+                sq_seq = seq;
+                sq_ticks = ticks;
+                sq_tick = Sched.now ();
+                sq_sql = sql;
+              };
+            trace_emit t
+              (Trace.Slow_query { conn = conn.id; seq; rid; ticks; sql })
+        | _ -> ());
+        se.se_state <- "idle";
         Transport.Frame_io.send io reply;
         trace_emit t
           (Trace.Net_response
-             { conn = conn.id; seq; frame = Wire.frame_name reply; ticks });
-        session_loop t io session
+             { conn = conn.id; seq; rid; frame = Wire.frame_name reply; ticks });
+        session_loop t io se
       end
   | Some _ ->
       (* a server-to-client frame from a client: protocol violation *)
@@ -133,6 +249,7 @@ let rec session_loop t io session =
       if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK")
 
 let handshake t io =
+  let conn = Transport.Frame_io.conn io in
   match Transport.Frame_io.recv io with
   | Some (Wire.Hello { version; _ }) when version = Wire.version ->
       if draining t then begin
@@ -155,7 +272,20 @@ let handshake t io =
         Transport.Frame_io.send io
           (Wire.Welcome
              { version = Wire.version; server = t.config.name; session });
-        Some (Sql.session t.db)
+        let sql = Sql.session t.db in
+        register_sys t sql;
+        let se =
+          {
+            se_id = session;
+            se_conn = conn.Transport.id;
+            se_state = "idle";
+            se_statements = 0;
+            se_last_rid = 0;
+            se_sql = sql;
+          }
+        in
+        Hashtbl.replace t.sessions session se;
+        Some se
       end
   | Some (Wire.Hello { version; _ }) ->
       Transport.Frame_io.send io
@@ -181,11 +311,16 @@ let handshake t io =
 
 let session_fiber t conn =
   let io = Transport.Frame_io.create conn in
-  (match handshake t io with
-  | Some session -> session_loop t io session
-  | None -> ()
-  | exception Transport.Corrupt _ -> ());
-  close_session t conn
+  match handshake t io with
+  | Some se ->
+      (try session_loop t io se
+       with Transport.Corrupt _ -> ());
+      close_session t se conn
+  | None | (exception Transport.Corrupt _) ->
+      t.inflight <- t.inflight - 1;
+      Metrics.inc t.m_closed;
+      trace_emit t (Trace.Net_close { conn = conn.Transport.id });
+      conn.Transport.close ()
 
 let admit t conn =
   if t.inflight >= t.config.max_inflight then begin

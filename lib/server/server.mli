@@ -13,15 +13,29 @@
 
     Per-request instrumentation lands in the database's {!Ivdb_util.Metrics}
     ([server.accepted], [server.shed], [server.requests],
-    [server.sessions_closed], [server.inflight] and [server.request.ticks]
-    histograms) and {!Ivdb_util.Trace} ([net.accept], [net.shed],
-    [net.request], [net.response], [net.close]). *)
+    [server.sessions_closed], [server.slow_queries], [server.inflight] and
+    [server.request.ticks] histograms) and {!Ivdb_util.Trace} ([net.accept],
+    [net.shed], [net.request], [net.response], [net.slow_query],
+    [net.close]). The client-assigned correlation id ([rid]) of each [Exec]
+    frame is echoed into the request, response and slow-query events, so a
+    statement can be joined across client logs, server trace, and
+    [sys.slow_queries].
+
+    Every session's SQL state is given live [sys.server_sessions] and
+    [sys.slow_queries] providers (via {!Ivdb_sql.Sql.add_sys_provider}),
+    so introspection queries over the wire see the whole registry. A
+    [Metrics_req] frame is answered with a [Msg] carrying the Prometheus
+    text exposition of the database's metrics. *)
 
 type config = {
   max_inflight : int;  (** sessions served concurrently (default 32) *)
   busy_retry_ticks : int;
       (** backoff hint carried in the [Busy] shed frame (default 100) *)
   name : string;  (** server identity sent in [Welcome] (default "ivdb") *)
+  slow_query_ticks : int option;
+      (** statements taking at least this many simulated ticks are recorded
+          in [sys.slow_queries] and emit a [net.slow_query] trace event
+          (default [None]: disabled) *)
 }
 
 val default_config : config
@@ -44,3 +58,9 @@ val inflight : t -> int
 
 val sessions_started : t -> int
 (** Total sessions ever admitted (shed connections excluded). *)
+
+val register_sys : t -> Ivdb_sql.Sql.session -> unit
+(** Attach this server's live [sys.server_sessions] / [sys.slow_queries]
+    providers to an arbitrary SQL session — e.g. a local admin REPL
+    sharing the server's database in-process. Wire sessions get this
+    automatically at handshake. *)

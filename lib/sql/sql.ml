@@ -15,15 +15,24 @@ exception Sql_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
 
+type sys_provider = unit -> string list * Row.t list
+
 type session = {
   sdb : Database.t;
   mutable txn : Txn.t option;
   mutable savepoints : (string * Txn.savepoint) list;
+  mutable sys_ext : (string * sys_provider) list;
+      (* environment-supplied sys.* tables (the server registers
+         sys.server_sessions / sys.slow_queries here), shadowing the
+         built-in resolution *)
 }
 
-let session sdb = { sdb; txn = None; savepoints = [] }
+let session sdb = { sdb; txn = None; savepoints = []; sys_ext = [] }
 let db s = s.sdb
 let in_transaction s = s.txn <> None
+
+let add_sys_provider s name f =
+  s.sys_ext <- (name, f) :: List.remove_assoc name s.sys_ext
 
 type result =
   | Rows of { header : string list; rows : Row.t list }
@@ -264,6 +273,39 @@ let apply_order_limit ?(already_ordered_by = None) (q : A.select) header rows =
   match q.A.limit with
   | None -> rows
   | Some n -> List.filteri (fun i _ -> i < n) rows
+
+(* Bind a WHERE expression against a materialized row set whose columns
+   are identified only by header name (view output, sys.* tables). *)
+let bind_by_header ~what header (w : A.expr) : Expr.t =
+  let positions = List.mapi (fun i n -> (n, i)) header in
+  let rec rewrite (e : A.expr) : Expr.t =
+    match e with
+    | A.Lit l -> Expr.Const (value_of_lit l)
+    | A.Column c -> (
+        match List.assoc_opt c positions with
+        | Some i -> Expr.Col i
+        | None -> fail "unknown %s column %s" what c)
+    | A.Agg_ref _ -> fail "aggregates are not allowed in a %s WHERE" what
+    | A.Binop (op, a, b) -> (
+        let a = rewrite a and b = rewrite b in
+        match op with
+        | A.Add -> Expr.Add (a, b)
+        | A.Sub -> Expr.Sub (a, b)
+        | A.Mul -> Expr.Mul (a, b)
+        | A.Div -> Expr.Div (a, b)
+        | A.Eq -> Expr.Cmp (Expr.Eq, a, b)
+        | A.Ne -> Expr.Cmp (Expr.Ne, a, b)
+        | A.Lt -> Expr.Cmp (Expr.Lt, a, b)
+        | A.Le -> Expr.Cmp (Expr.Le, a, b)
+        | A.Gt -> Expr.Cmp (Expr.Gt, a, b)
+        | A.Ge -> Expr.Cmp (Expr.Ge, a, b)
+        | A.And -> Expr.And (a, b)
+        | A.Or -> Expr.Or (a, b))
+    | A.Unop (A.Neg, a) -> Expr.Neg (rewrite a)
+    | A.Unop (A.Not, a) -> Expr.Not (rewrite a)
+    | A.Is_null a -> Expr.Is_null (rewrite a)
+  in
+  rewrite w
 
 (* plain row select over a table (or join), no grouping *)
 let select_rows ?stats s txn (q : A.select) src =
@@ -594,9 +636,29 @@ let select_grouped ?stats s txn (q : A.select) src =
   op_note stats "rows returned" (List.length rows);
   Rows { header; rows }
 
+let is_sys_name from =
+  String.length from > 4 && String.sub from 0 4 = "sys."
+
 let describe_plan s (q : A.select) =
   let b = Buffer.create 128 in
   let line fmt = Format.kasprintf (fun str -> Buffer.add_string b (str ^ "\n")) fmt in
+  if is_sys_name q.A.from then begin
+    let line_sys =
+      Printf.sprintf "system table scan on %s (engine state snapshot, no locks)"
+        q.A.from
+    in
+    Buffer.add_string b (line_sys ^ "\n");
+    (match q.A.order with
+    | Some o ->
+        Buffer.add_string b
+          (Printf.sprintf "sort by %s%s\n" o.A.ob_col
+             (if o.A.ob_desc then " desc" else ""))
+    | None -> ());
+    (match q.A.limit with
+    | Some n -> Buffer.add_string b (Printf.sprintf "limit %d\n" n)
+    | None -> ())
+  end
+  else begin
   (match resolve_source s q with
   | Src_view _ -> line "view scan on %s (stored groups, no recomputation)" q.A.from
   | Src_join (_, _, lcol, rcol, _) ->
@@ -659,7 +721,8 @@ let describe_plan s (q : A.select) =
       if preserved then line "order by %s satisfied by index order" o.A.ob_col
       else line "sort by %s%s" o.A.ob_col (if o.A.ob_desc then " desc" else "")
   | None -> ());
-  (match q.A.limit with Some n -> line "limit %d" n | None -> ());
+  (match q.A.limit with Some n -> line "limit %d" n | None -> ())
+  end;
   String.trim (Buffer.contents b)
 
 (* select over an indexed view: the stored groups and aggregates *)
@@ -715,52 +778,81 @@ let select_view ?stats s txn (q : A.select) v =
     match q.A.where with
     | None -> rows
     | Some w ->
-        (* bind WHERE by header position (the view's output row) *)
-        let positions = List.mapi (fun i n -> (n, i)) header in
-        let rec rewrite (e : A.expr) : Expr.t =
-          match e with
-          | A.Lit l -> Expr.Const (value_of_lit l)
-          | A.Column c -> (
-              match List.assoc_opt c positions with
-              | Some i -> Expr.Col i
-              | None -> fail "unknown view column %s" c)
-          | A.Agg_ref _ -> fail "aggregates are not allowed in a view WHERE"
-          | A.Binop (op, a, b) -> (
-              let a = rewrite a and b = rewrite b in
-              match op with
-              | A.Add -> Expr.Add (a, b)
-              | A.Sub -> Expr.Sub (a, b)
-              | A.Mul -> Expr.Mul (a, b)
-              | A.Div -> Expr.Div (a, b)
-              | A.Eq -> Expr.Cmp (Expr.Eq, a, b)
-              | A.Ne -> Expr.Cmp (Expr.Ne, a, b)
-              | A.Lt -> Expr.Cmp (Expr.Lt, a, b)
-              | A.Le -> Expr.Cmp (Expr.Le, a, b)
-              | A.Gt -> Expr.Cmp (Expr.Gt, a, b)
-              | A.Ge -> Expr.Cmp (Expr.Ge, a, b)
-              | A.And -> Expr.And (a, b)
-              | A.Or -> Expr.Or (a, b))
-          | A.Unop (A.Neg, a) -> Expr.Neg (rewrite a)
-          | A.Unop (A.Not, a) -> Expr.Not (rewrite a)
-          | A.Is_null a -> Expr.Is_null (rewrite a)
-        in
-        let pred = rewrite w in
+        let pred = bind_by_header ~what:"view" header w in
         List.filter (Expr.eval_bool pred) rows
   in
   let rows = apply_order_limit q header rows in
   op_note stats "rows returned" (List.length rows);
   Rows { header; rows }
 
-let run_select ?stats s txn q =
-  let src = resolve_source s q in
-  match src with
-  | Src_view v -> select_view ?stats s txn q v
-  | Src_table _ | Src_join _ ->
-      let has_aggs =
-        List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
+(* --- sys.* virtual tables ----------------------------------------------------- *)
+
+(* Resolve a sys.* name to its header and (already materialized) rows:
+   session-registered providers first (the server injects live
+   sys.server_sessions / sys.slow_queries per connection), then the
+   built-ins over the session's database. *)
+let resolve_sys s name =
+  match List.assoc_opt name s.sys_ext with
+  | Some f -> Some (f ())
+  | None ->
+      Sys_tables.builtin s.sdb ~self_txn:(Option.map Txn.id s.txn) name
+
+let select_sys ?stats s (q : A.select) =
+  if q.A.join <> None then fail "joins over sys.* tables are not supported";
+  if q.A.group_by <> [] then fail "GROUP BY over sys.* tables is not supported";
+  if List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items then
+    fail "aggregates over sys.* tables are not supported";
+  match resolve_sys s q.A.from with
+  | None ->
+      fail "unknown system table %s (available: %s)" q.A.from
+        (String.concat ", " Sys_tables.names)
+  | Some (header, rows) ->
+      op_note stats "sys rows materialized" (List.length rows);
+      let rows =
+        match q.A.where with
+        | None -> rows
+        | Some w ->
+            let pred = bind_by_header ~what:"system table" header w in
+            List.filter (Expr.eval_bool pred) rows
       in
-      if q.A.group_by <> [] || has_aggs then select_grouped ?stats s txn q src
-      else select_rows ?stats s txn q src
+      (* project by column name *)
+      let header, rows =
+        match q.A.items with
+        | [ A.Star ] -> (header, rows)
+        | items ->
+            let positions = List.mapi (fun i n -> (n, i)) header in
+            let cols =
+              List.map
+                (function
+                  | A.Star -> fail "SELECT * mixed with other items is not supported"
+                  | A.Agg_item _ -> assert false
+                  | A.Col_item c -> (
+                      match List.assoc_opt c positions with
+                      | Some i -> (c, i)
+                      | None -> fail "unknown system table column %s" c))
+                items
+            in
+            ( List.map fst cols,
+              List.map
+                (fun r -> Array.of_list (List.map (fun (_, i) -> r.(i)) cols))
+                rows )
+      in
+      let rows = apply_order_limit q header rows in
+      op_note stats "rows returned" (List.length rows);
+      Rows { header; rows }
+
+let run_select ?stats s txn q =
+  if is_sys_name q.A.from then select_sys ?stats s q
+  else
+    let src = resolve_source s q in
+    match src with
+    | Src_view v -> select_view ?stats s txn q v
+    | Src_table _ | Src_join _ ->
+        let has_aggs =
+          List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items
+        in
+        if q.A.group_by <> [] || has_aggs then select_grouped ?stats s txn q src
+        else select_rows ?stats s txn q src
 
 (* EXPLAIN ANALYZE: the plan describe_plan would print, then actually run
    the query, reporting per-operator row counts plus the engine-level costs

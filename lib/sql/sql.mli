@@ -30,6 +30,10 @@
       BEGIN / COMMIT / ROLLBACK
       SAVEPOINT name / ROLLBACK TO name
       CHECKPOINT / SHOW TABLES / SHOW VIEWS / SHOW METRICS
+      SELECT * FROM sys.transactions          -- live engine introspection:
+                                              -- sys.locks, sys.lock_waits,
+                                              -- sys.views, sys.bufpool,
+                                              -- sys.wal, sys.metrics, ...
     v} *)
 
 exception Sql_error of string
@@ -39,6 +43,14 @@ type session
 val session : Ivdb.Database.t -> session
 val db : session -> Ivdb.Database.t
 val in_transaction : session -> bool
+
+val add_sys_provider :
+  session -> string -> (unit -> string list * Ivdb_relation.Row.t list) -> unit
+(** [add_sys_provider s name f] registers (or replaces) an
+    environment-supplied [sys.*] table on this session: [f ()] returns the
+    header and rows, materialized fresh per query. Registered providers
+    shadow the built-ins of {!Sys_tables}; the serving layer uses this to
+    inject live [sys.server_sessions] and [sys.slow_queries]. *)
 
 type result =
   | Rows of { header : string list; rows : Ivdb_relation.Row.t list }

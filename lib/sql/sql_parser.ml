@@ -238,6 +238,24 @@ let select_body st =
   let items = comma_sep st select_item in
   eat_kw st "FROM";
   let from = ident st in
+  (* dotted source names (sys.transactions, ...) fold into one string; the
+     tail may collide with a keyword (sys.views, sys.metrics), which the
+     lexer uppercased — fold it back *)
+  let from =
+    if accept st (L.Sym ".") then
+      let tail =
+        match peek st with
+        | L.Ident i ->
+            advance st;
+            i
+        | L.Kw k ->
+            advance st;
+            String.lowercase_ascii k
+        | t -> fail "expected identifier, found %a" L.pp_token t
+      in
+      from ^ "." ^ tail
+    else from
+  in
   let join =
     if accept st (L.Kw "JOIN") then begin
       let t2 = ident st in

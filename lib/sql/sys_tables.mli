@@ -1,0 +1,29 @@
+(** Built-in [sys.*] virtual tables: read-only, eagerly-materialized
+    projections of live engine state (transactions, locks and waits,
+    per-view maintenance counters, buffer pool, WAL, metrics registry).
+
+    Every provider is a pure read with snapshot-at-a-tick semantics: rows
+    are built in one step of the cooperative scheduler, no locks are
+    taken, and no maintenance (e.g. deferred-view refresh) is triggered. *)
+
+val names : string list
+(** Every built-in table name, sorted — for error messages. *)
+
+val server_sessions_header : string list
+(** Column names of [sys.server_sessions]; the built-in resolution returns
+    this schema with zero rows (a local session has no server), and the
+    serving layer overrides the table per session via
+    {!Sql.add_sys_provider}. *)
+
+val slow_queries_header : string list
+(** Likewise for [sys.slow_queries]. *)
+
+val builtin :
+  Ivdb.Database.t ->
+  self_txn:int option ->
+  string ->
+  (string list * Ivdb_relation.Row.t list) option
+(** [builtin db ~self_txn name] resolves a built-in table to its header
+    and rows, or [None] for unknown names. [self_txn] is the calling
+    session's open transaction id, surfaced as the [self] column of
+    [sys.transactions]. *)

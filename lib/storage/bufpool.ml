@@ -54,6 +54,7 @@ let create disk ~capacity ?trace metrics =
 
 let set_wal_force t f = t.wal_force <- f
 let capacity t = t.cap
+let resident t = Hashtbl.length t.frames
 let disk t = t.disk
 
 let ring_add t fr =

@@ -46,4 +46,8 @@ val drop_all : t -> unit
 (** Simulated crash: discard every frame, clean or dirty. *)
 
 val capacity : t -> int
+
+val resident : t -> int
+(** Pages currently held in frames (clean or dirty). *)
+
 val disk : t -> Disk.t

@@ -17,10 +17,29 @@ exception Conflict of { txn : int; reason : string }
 type t = {
   tid : int;
   system : bool;
+  tbegin_tick : int;
   mutable tstatus : status;
   mutable tfirst_lsn : Log_record.lsn;
   mutable tlast_lsn : Log_record.lsn;
+  mutable tdeltas : int; (* view maintenance deltas applied on its behalf *)
+  mutable tabort_reason : string option;
 }
+
+(* Point-in-time description of a transaction, for sys.transactions. *)
+type info = {
+  i_txn : int;
+  i_system : bool;
+  i_status : status;
+  i_begin_tick : int;
+  i_end_tick : int option; (* None while active *)
+  i_deltas : int;
+  i_locks : int; (* locks held now; 0 once finished *)
+  i_abort_reason : string option;
+}
+
+(* Finished transactions are remembered in a small ring so an operator can
+   still see a recent abort (and its reason) after the fact. *)
+let recent_cap = 64
 
 type mgr = {
   mwal : Wal.t;
@@ -36,6 +55,7 @@ type mgr = {
   m_ro_commit : Metrics.counter;
   m_abort : Metrics.counter;
   active : (int, t) Hashtbl.t;
+  recent : info Queue.t; (* finished txns, oldest first, <= recent_cap *)
   mutable next_id : int;
   mutable undo_exec : t -> Log_record.logical_undo -> Log_record.page_diffs;
   mutable end_hooks : (t -> status -> unit) list;
@@ -57,6 +77,7 @@ let create_mgr ?(commit_mode = Sync) ?trace ~wal ~locks ~pool metrics =
     m_ro_commit = Metrics.counter metrics "txn.read_only_commit";
     m_abort = Metrics.counter metrics "txn.abort";
     active = Hashtbl.create 32;
+    recent = Queue.create ();
     next_id = 1;
     undo_exec = (fun _ _ -> failwith "Txn: undo executor not installed");
     end_hooks = [];
@@ -81,9 +102,12 @@ let fresh mgr ~system =
     {
       tid;
       system;
+      tbegin_tick = Ivdb_sched.Sched.now ();
       tstatus = Active;
       tfirst_lsn = Log_record.nil_lsn;
       tlast_lsn = Log_record.nil_lsn;
+      tdeltas = 0;
+      tabort_reason = None;
     }
   in
   Hashtbl.replace mgr.active tid t;
@@ -111,13 +135,18 @@ let lock mgr t name mode =
   check_active t;
   try Lock_mgr.acquire mgr.mlocks ~txn:t.tid name mode
   with Lock_mgr.Deadlock victim ->
+    if victim = t.tid then t.tabort_reason <- Some "deadlock victim";
     raise (Conflict { txn = victim; reason = "deadlock victim" })
 
 let lock_instant mgr t name mode =
   check_active t;
   try Lock_mgr.acquire_instant mgr.mlocks ~txn:t.tid name mode
   with Lock_mgr.Deadlock victim ->
+    if victim = t.tid then t.tabort_reason <- Some "deadlock victim";
     raise (Conflict { txn = victim; reason = "deadlock victim" })
+
+let note_delta t = t.tdeltas <- t.tdeltas + 1
+let set_abort_reason t reason = t.tabort_reason <- Some reason
 
 let stamp_pages mgr lsn diffs =
   List.iter (fun (pid, _) -> Bufpool.stamp mgr.mpool pid (Int64.of_int lsn)) diffs
@@ -151,9 +180,23 @@ let log_ddl mgr t payload =
   check_active t;
   t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn (Log_record.Ddl payload)
 
+let info_of ?(locks = 0) ~end_tick t =
+  {
+    i_txn = t.tid;
+    i_system = t.system;
+    i_status = t.tstatus;
+    i_begin_tick = t.tbegin_tick;
+    i_end_tick = end_tick;
+    i_deltas = t.tdeltas;
+    i_locks = locks;
+    i_abort_reason = t.tabort_reason;
+  }
+
 let finish mgr t status =
   t.tstatus <- status;
   Hashtbl.remove mgr.active t.tid;
+  if Queue.length mgr.recent >= recent_cap then ignore (Queue.pop mgr.recent);
+  Queue.push (info_of ~end_tick:(Some (Ivdb_sched.Sched.now ())) t) mgr.recent;
   List.iter (fun f -> f t status) mgr.end_hooks;
   Lock_mgr.release_all mgr.mlocks ~txn:t.tid
 
@@ -255,9 +298,12 @@ let resurrect mgr ~id ~last_lsn =
     {
       tid = id;
       system = false;
+      tbegin_tick = Ivdb_sched.Sched.now ();
       tstatus = Active;
       tfirst_lsn = Log_record.nil_lsn;
       tlast_lsn = last_lsn;
+      tdeltas = 0;
+      tabort_reason = None;
     }
   in
   Hashtbl.replace mgr.active id t;
@@ -270,6 +316,16 @@ let active_first_lsns mgr =
 let active_txns mgr =
   Hashtbl.fold (fun tid t acc -> (tid, t.tlast_lsn) :: acc) mgr.active []
   |> List.sort compare
+
+let active_info mgr =
+  Hashtbl.fold
+    (fun _ t acc ->
+      info_of ~locks:(Lock_mgr.lock_count mgr.mlocks ~txn:t.tid) ~end_tick:None t
+      :: acc)
+    mgr.active []
+  |> List.sort (fun a b -> compare a.i_txn b.i_txn)
+
+let recent_info mgr = List.of_seq (Queue.to_seq mgr.recent)
 
 let checkpoint mgr ~catalog =
   let body =

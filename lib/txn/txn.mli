@@ -119,6 +119,37 @@ val checkpoint : mgr -> catalog:string -> unit
 
 val active_txns : mgr -> (int * Ivdb_wal.Log_record.lsn) list
 
+(** {1 Introspection}
+
+    Point-in-time transaction descriptions for [sys.transactions]. Active
+    transactions are listed live; finished ones are remembered in a small
+    bounded ring so a recent abort (and its reason) stays visible. *)
+
+type info = {
+  i_txn : int;
+  i_system : bool;
+  i_status : status;
+  i_begin_tick : int;  (** scheduler tick at begin *)
+  i_end_tick : int option;  (** [None] while active *)
+  i_deltas : int;  (** view-maintenance deltas applied on its behalf *)
+  i_locks : int;  (** locks held at snapshot time; 0 once finished *)
+  i_abort_reason : string option;
+}
+
+val active_info : mgr -> info list
+(** Sorted by txn id. Pure read — takes no locks. *)
+
+val recent_info : mgr -> info list
+(** Recently finished transactions, oldest first (bounded ring). *)
+
+val note_delta : t -> unit
+(** Count one view-maintenance delta against the transaction (called by
+    the maintenance layer). *)
+
+val set_abort_reason : t -> string -> unit
+(** Record why the transaction is being aborted, surfaced in
+    [sys.transactions]. Deadlock victims get this set automatically. *)
+
 (** First LSN of every active transaction — a lower bound on how far undo
     may have to walk, hence on log truncation. *)
 val active_first_lsns : mgr -> Ivdb_wal.Log_record.lsn list

@@ -117,6 +117,64 @@ let hist_mean t name =
 let hist_max t name =
   List.fold_left (fun acc (v, _) -> max acc v) 0 (hist_snapshot t name)
 
+let percentile_cells cells p =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 cells in
+  if total = 0 then 0
+  else
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int total)) in
+      max 1 (min total r)
+    in
+    let rec go seen = function
+      | [] -> 0
+      | (v, c) :: rest -> if seen + c >= rank then v else go (seen + c) rest
+    in
+    go 0 (List.sort (fun (a, _) (b, _) -> compare a b) cells)
+
+(* Prometheus text exposition (version 0.0.4). Exact-value histograms
+   render as cumulative buckets: one le="v" bucket per distinct observed
+   value plus the mandatory le="+Inf", then _sum and _count. Counter and
+   histogram names are sanitized to [a-zA-Z0-9_] and namespaced, so
+   "txn.commit" becomes e.g. ivdb_txn_commit. *)
+let prom_name ~namespace name =
+  let b = Buffer.create (String.length namespace + String.length name + 1) in
+  Buffer.add_string b namespace;
+  Buffer.add_char b '_';
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let to_prometheus ?(namespace = "ivdb") t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name ~namespace name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (snapshot t);
+  List.iter
+    (fun (name, cells) ->
+      let n = prom_name ~namespace name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      let sum = ref 0 in
+      List.iter
+        (fun (v, c) ->
+          cum := !cum + c;
+          sum := !sum + (v * c);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n v !cum))
+        cells;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n !cum);
+      Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n !sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n !cum))
+    (hists t);
+  Buffer.contents b
+
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (snapshot t);
   List.iter

@@ -84,5 +84,19 @@ val hist_mean : t -> string -> float
 val hist_max : t -> string -> int
 (** Largest observed value; 0 when empty. *)
 
+val percentile_cells : (int * int) list -> float -> int
+(** Nearest-rank percentile over (value, count) cells, e.g. from
+    {!hist_snapshot} or {!hist_diff}. [percentile_cells cells 95.] is the
+    smallest value whose cumulative count covers 95% of observations;
+    0 when the cells are empty. Cells need not be sorted. *)
+
+val to_prometheus : ?namespace:string -> t -> string
+(** Prometheus text exposition (format 0.0.4). Counters render as
+    [# TYPE ns_name counter] plus a value line; histograms render with
+    cumulative [_bucket{le="v"}] lines (one per distinct observed value,
+    plus [le="+Inf"]), [_sum], and [_count]. Metric names are sanitized
+    to [A-Za-z0-9_] and prefixed with [namespace] (default ["ivdb"]).
+    Deterministic: families and buckets are sorted. *)
+
 val pp : Format.formatter -> t -> unit
 (** Counters then histograms, each sorted by name — deterministic output. *)

@@ -29,8 +29,9 @@ type event =
   | Io_retry of { page : int; attempt : int }
   | Net_accept of { conn : int }
   | Net_shed of { conn : int }
-  | Net_request of { conn : int; seq : int; bytes : int }
-  | Net_response of { conn : int; seq : int; frame : string; ticks : int }
+  | Net_request of { conn : int; seq : int; rid : int; bytes : int }
+  | Net_response of { conn : int; seq : int; rid : int; frame : string; ticks : int }
+  | Slow_query of { conn : int; seq : int; rid : int; ticks : int; sql : string }
   | Net_close of { conn : int }
 
 type record = { seq : int; tick : int; fiber : int; event : event }
@@ -84,6 +85,7 @@ let event_name = function
   | Net_shed _ -> "net.shed"
   | Net_request _ -> "net.request"
   | Net_response _ -> "net.response"
+  | Slow_query _ -> "net.slow_query"
   | Net_close _ -> "net.close"
 
 (* Keys are binary (order-preserving codec output); escape everything
@@ -133,11 +135,17 @@ let event_fields = function
       Printf.sprintf {|"page": %d, "attempt": %d|} page attempt
   | Net_accept { conn } | Net_close { conn } | Net_shed { conn } ->
       Printf.sprintf {|"conn": %d|} conn
-  | Net_request { conn; seq; bytes } ->
-      Printf.sprintf {|"conn": %d, "req": %d, "bytes": %d|} conn seq bytes
-  | Net_response { conn; seq; frame; ticks } ->
-      Printf.sprintf {|"conn": %d, "req": %d, "frame": "%s", "ticks": %d|} conn
-        seq (json_escape frame) ticks
+  | Net_request { conn; seq; rid; bytes } ->
+      Printf.sprintf {|"conn": %d, "req": %d, "rid": %d, "bytes": %d|} conn seq
+        rid bytes
+  | Net_response { conn; seq; rid; frame; ticks } ->
+      Printf.sprintf
+        {|"conn": %d, "req": %d, "rid": %d, "frame": "%s", "ticks": %d|} conn
+        seq rid (json_escape frame) ticks
+  | Slow_query { conn; seq; rid; ticks; sql } ->
+      Printf.sprintf
+        {|"conn": %d, "req": %d, "rid": %d, "ticks": %d, "sql": "%s"|} conn seq
+        rid ticks (json_escape sql)
 
 let to_json r =
   Printf.sprintf {|{"seq": %d, "tick": %d, "fiber": %d, "ev": "%s", %s}|} r.seq

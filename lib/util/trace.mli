@@ -37,11 +37,16 @@ type event =
   | Net_accept of { conn : int }  (** server admitted a connection *)
   | Net_shed of { conn : int }
       (** admission control refused a connection with a [Busy] frame *)
-  | Net_request of { conn : int; seq : int; bytes : int }
-      (** one wire request frame arrived ([bytes] = payload size) *)
-  | Net_response of { conn : int; seq : int; frame : string; ticks : int }
+  | Net_request of { conn : int; seq : int; rid : int; bytes : int }
+      (** one wire request frame arrived ([bytes] = payload size; [rid] is
+          the client-assigned correlation id carried in the Exec frame) *)
+  | Net_response of { conn : int; seq : int; rid : int; frame : string; ticks : int }
       (** response sent; [frame] names the frame type, [ticks] the
-          request's servicing time on the logical clock *)
+          request's servicing time on the logical clock; [rid] matches the
+          request's correlation id *)
+  | Slow_query of { conn : int; seq : int; rid : int; ticks : int; sql : string }
+      (** a statement exceeded the server's slow-query tick threshold;
+          joins to the client call via [rid] *)
   | Net_close of { conn : int }  (** connection finished (either side) *)
 
 type record = {

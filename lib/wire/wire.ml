@@ -11,7 +11,7 @@
 module B = Ivdb_util.Bytes_util
 module Row = Ivdb_relation.Row
 
-let version = 1
+let version = 2
 
 (* A length prefix beyond this is corruption, not a real frame: it caps
    the allocation a hostile or damaged stream can request. *)
@@ -28,12 +28,13 @@ type error_code =
 type frame =
   | Hello of { version : int; client : string; resume : int option }
   | Welcome of { version : int; server : string; session : int }
-  | Exec of { seq : int; sql : string }
+  | Exec of { seq : int; rid : int; sql : string }
   | Rows of { seq : int; header : string list; rows : Row.t list }
   | Affected of { seq : int; n : int }
   | Msg of { seq : int; text : string }
   | Err of { seq : int; code : error_code; text : string; txn_open : bool }
   | Busy of { retry_ticks : int }
+  | Metrics_req of { seq : int }
   | Bye
 
 let frame_name = function
@@ -45,6 +46,7 @@ let frame_name = function
   | Msg _ -> "msg"
   | Err _ -> "err"
   | Busy _ -> "busy"
+  | Metrics_req _ -> "metrics_req"
   | Bye -> "bye"
 
 let error_code_name = function
@@ -62,7 +64,7 @@ let pp ppf f =
         (match resume with None -> "-" | Some s -> string_of_int s)
   | Welcome { version; server; session } ->
       Format.fprintf ppf "Welcome{v%d %S session=%d}" version server session
-  | Exec { seq; sql } -> Format.fprintf ppf "Exec{#%d %S}" seq sql
+  | Exec { seq; rid; sql } -> Format.fprintf ppf "Exec{#%d r%d %S}" seq rid sql
   | Rows { seq; header; rows } ->
       Format.fprintf ppf "Rows{#%d cols=%d rows=%d}" seq (List.length header)
         (List.length rows)
@@ -72,6 +74,7 @@ let pp ppf f =
       Format.fprintf ppf "Err{#%d %s %S txn_open=%b}" seq
         (error_code_name code) text txn_open
   | Busy { retry_ticks } -> Format.fprintf ppf "Busy{retry=%d}" retry_ticks
+  | Metrics_req { seq } -> Format.fprintf ppf "Metrics_req{#%d}" seq
   | Bye -> Format.fprintf ppf "Bye"
 
 (* --- payload writer -------------------------------------------------------- *)
@@ -114,9 +117,10 @@ let encode f =
       add_u32 buf version;
       add_str buf server;
       add_u32 buf session
-  | Exec { seq; sql } ->
+  | Exec { seq; rid; sql } ->
       Buffer.add_char buf 'Q';
       add_u32 buf seq;
+      add_u32 buf rid;
       add_str buf sql
   | Rows { seq; header; rows } ->
       Buffer.add_char buf 'R';
@@ -141,6 +145,9 @@ let encode f =
   | Busy { retry_ticks } ->
       Buffer.add_char buf 'B';
       add_u32 buf retry_ticks
+  | Metrics_req { seq } ->
+      Buffer.add_char buf 'X';
+      add_u32 buf seq
   | Bye -> Buffer.add_char buf 'Z');
   Buffer.contents buf
 
@@ -205,7 +212,8 @@ let decode s =
         Welcome { version; server; session = rd_u32 r }
     | 'Q' ->
         let seq = rd_u32 r in
-        Exec { seq; sql = rd_str r }
+        let rid = rd_u32 r in
+        Exec { seq; rid; sql = rd_str r }
     | 'R' ->
         let seq = rd_u32 r in
         let header = rd_str_list r in
@@ -228,6 +236,7 @@ let decode s =
         let text = rd_str r in
         Err { seq; code; text; txn_open = rd_bool r }
     | 'B' -> Busy { retry_ticks = rd_u32 r }
+    | 'X' -> Metrics_req { seq = rd_u32 r }
     | 'Z' -> Bye
     | _ -> fail ()
   in

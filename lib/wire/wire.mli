@@ -47,7 +47,10 @@ type error_code =
 type frame =
   | Hello of { version : int; client : string; resume : int option }
   | Welcome of { version : int; server : string; session : int }
-  | Exec of { seq : int; sql : string }
+  | Exec of { seq : int; rid : int; sql : string }
+      (** [rid] is an opaque client-assigned correlation id (u32) echoed
+          into server trace events and the slow-query log, so a server-side
+          record can be joined back to the client call that caused it *)
   | Rows of {
       seq : int;
       header : string list;
@@ -62,6 +65,9 @@ type frame =
   | Busy of { retry_ticks : int }
       (** load shed: admission control refused the connection or request;
           retry after a backoff *)
+  | Metrics_req of { seq : int }
+      (** ask the server for a Prometheus text rendering of its metrics
+          registry; answered with a [Msg] carrying the exposition body *)
   | Bye
 
 val frame_name : frame -> string

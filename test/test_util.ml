@@ -227,6 +227,64 @@ let test_metrics_hists_and_pp_deterministic () =
     (Format.asprintf "%a" Metrics.pp m)
     (Format.asprintf "%a" Metrics.pp m2)
 
+let test_metrics_hist_mean_empty () =
+  let m = Metrics.create () in
+  let h = Metrics.hist m "empty" in
+  (* the guard: a histogram nobody recorded into means 0., not NaN *)
+  check (Alcotest.float 1e-9) "empty mean" 0. (Metrics.hist_mean m "empty");
+  check (Alcotest.float 1e-9) "absent mean" 0. (Metrics.hist_mean m "nope");
+  Metrics.record h 4;
+  Metrics.record h 8;
+  check (Alcotest.float 1e-9) "mean" 6. (Metrics.hist_mean m "empty")
+
+let test_metrics_percentile_cells () =
+  check Alcotest.int "empty" 0 (Metrics.percentile_cells [] 95.);
+  let cells = [ (1, 50); (10, 45); (100, 5) ] in
+  check Alcotest.int "p50" 1 (Metrics.percentile_cells cells 50.);
+  check Alcotest.int "p95" 10 (Metrics.percentile_cells cells 95.);
+  check Alcotest.int "p99" 100 (Metrics.percentile_cells cells 99.);
+  check Alcotest.int "p0 clamps to first" 1 (Metrics.percentile_cells cells 0.);
+  check Alcotest.int "p100" 100 (Metrics.percentile_cells cells 100.);
+  check Alcotest.int "single" 7 (Metrics.percentile_cells [ (7, 1) ] 95.)
+
+let test_metrics_to_prometheus () =
+  let m = Metrics.create () in
+  Metrics.add m "txn.commit" 3;
+  Metrics.incr m "lock.wait";
+  let h = Metrics.hist m "server.request.ticks" in
+  Metrics.record h 1;
+  Metrics.record h 1;
+  Metrics.record h 5;
+  let text = Metrics.to_prometheus m in
+  let has sub =
+    let n = String.length sub and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter family" true
+    (has "# TYPE ivdb_txn_commit counter");
+  Alcotest.(check bool) "counter value" true (has "ivdb_txn_commit 3");
+  Alcotest.(check bool) "hist family" true
+    (has "# TYPE ivdb_server_request_ticks histogram");
+  (* buckets are cumulative, capped with +Inf, and sum/count close out *)
+  Alcotest.(check bool) "bucket le=1" true
+    (has "ivdb_server_request_ticks_bucket{le=\"1\"} 2");
+  Alcotest.(check bool) "bucket le=5" true
+    (has "ivdb_server_request_ticks_bucket{le=\"5\"} 3");
+  Alcotest.(check bool) "bucket +Inf" true
+    (has "ivdb_server_request_ticks_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum" true (has "ivdb_server_request_ticks_sum 7");
+  Alcotest.(check bool) "count" true (has "ivdb_server_request_ticks_count 3");
+  (* deterministic: same registry contents in another order, same text *)
+  let m2 = Metrics.create () in
+  let h2 = Metrics.hist m2 "server.request.ticks" in
+  Metrics.record h2 5;
+  Metrics.incr m2 "lock.wait";
+  Metrics.record h2 1;
+  Metrics.record h2 1;
+  Metrics.add m2 "txn.commit" 3;
+  check Alcotest.string "exposition deterministic" text (Metrics.to_prometheus m2)
+
 (* --- Bytes_util ---------------------------------------------------------- *)
 
 let test_bytes_roundtrip () =
@@ -288,6 +346,12 @@ let () =
             test_metrics_reset_keeps_handles;
           Alcotest.test_case "hists + deterministic pp" `Quick
             test_metrics_hists_and_pp_deterministic;
+          Alcotest.test_case "hist mean guards empty" `Quick
+            test_metrics_hist_mean_empty;
+          Alcotest.test_case "percentile over cells" `Quick
+            test_metrics_percentile_cells;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_to_prometheus;
         ] );
       ( "bytes",
         [

@@ -54,7 +54,10 @@ let frame_gen =
           (fun version server session ->
             Wire.Welcome { version; server; session })
           (int_bound 255) str_gen (int_bound 100000);
-        map2 (fun seq sql -> Wire.Exec { seq; sql }) (int_bound 100000) str_gen;
+        map3
+          (fun seq rid sql -> Wire.Exec { seq; rid; sql })
+          (int_bound 100000) (int_bound 0xffffffff) str_gen;
+        map (fun seq -> Wire.Metrics_req { seq }) (int_bound 100000);
         map3
           (fun seq header rows -> Wire.Rows { seq; header; rows })
           (int_bound 100000)
@@ -84,7 +87,8 @@ let sample_frames =
     Wire.Hello { version = Wire.version; client = "repl"; resume = None };
     Wire.Hello { version = Wire.version; client = ""; resume = Some 7 };
     Wire.Welcome { version = Wire.version; server = "ivdb"; session = 1 };
-    Wire.Exec { seq = 3; sql = "SELECT * FROM t WHERE s = 'a''b\x00c'" };
+    Wire.Exec { seq = 3; rid = 65539; sql = "SELECT * FROM t WHERE s = 'a''b\x00c'" };
+    Wire.Metrics_req { seq = 12 };
     Wire.Rows
       {
         seq = 4;
@@ -181,7 +185,7 @@ let test_truncation_sweep () =
 (* --- corruption ----------------------------------------------------------- *)
 
 let test_checksum_detects_flip () =
-  let framed = Wire.to_framed (Wire.Exec { seq = 1; sql = "SELECT 1" }) in
+  let framed = Wire.to_framed (Wire.Exec { seq = 1; rid = 65537; sql = "SELECT 1" }) in
   (* flip one bit in every payload byte position in turn *)
   for i = 8 to String.length framed - 1 do
     let b = Bytes.of_string framed in

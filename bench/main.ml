@@ -346,7 +346,8 @@ let e7 () =
     [
       (match locking with
       | Workload.Key_range -> "key-range"
-      | Workload.Coarse_table -> "table S lock");
+      | Workload.Coarse_table -> "table S lock"
+      | Workload.Snapshot -> "mvcc snapshot");
       i r.Workload.committed;
       i r.Workload.committed_readers;
       i writers;
@@ -788,6 +789,125 @@ let e14 () =
   let cells = e14_cells ~quick:false in
   print_table ~title:e14_title ~header:e14_header (List.map fst cells)
 
+(* --- E15: MVCC snapshot readers vs S-lock readers ---------------------------------------- *)
+
+(* The D14 payoff: at high MPL a read-heavy mix over a hot escrow view,
+   with readers either taking the paper's per-key RangeS_S locks or running
+   as lock-free MVCC snapshots. Snapshot readers never enter the lock
+   manager, so reader throughput climbs with MPL instead of queueing
+   behind writers' E locks, while writer commit throughput stays within
+   noise of the locked baseline. *)
+let e15_title =
+  "E15  Snapshot readers vs key-range S-lock readers (escrow writers, zipf 0.99, 60% reads)"
+
+let e15_header =
+  [ "reader mode"; "mpl"; "commits"; "readers"; "writers"; "reader tput";
+    "writer tput"; "lock waits"; "lat mean"; "lat p95" ]
+
+let e15_cells ~quick =
+  let budget = if quick then 128 else 768 in
+  let cell locking mpl =
+    let spec =
+      {
+        Workload.default with
+        seed = 15;
+        strategy = Maintain.Escrow;
+        mpl;
+        txns_per_worker = max 1 (budget / mpl);
+        read_fraction = 0.6;
+        reader_scan = false;
+        reader_locking = locking;
+        n_groups = 20;
+        theta = 0.99;
+        delete_fraction = 0.1;
+      }
+    in
+    let r = Workload.run spec in
+    let writers = r.Workload.committed - r.Workload.committed_readers in
+    let per_1k x = 1000. *. float_of_int x /. float_of_int (max 1 r.Workload.ticks) in
+    let name =
+      match locking with
+      | Workload.Key_range -> "s-lock key-range"
+      | Workload.Coarse_table -> "table S lock"
+      | Workload.Snapshot -> "mvcc snapshot"
+    in
+    let get n = match List.assoc_opt n r.Workload.metrics with Some v -> v | None -> 0 in
+    let row =
+      [
+        name; i mpl; i r.Workload.committed; i r.Workload.committed_readers;
+        i writers;
+        f2 (per_1k r.Workload.committed_readers);
+        f2 (per_1k writers);
+        i r.Workload.lock_waits;
+        f1 r.Workload.mean_latency;
+        f1 r.Workload.p95_latency;
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"reader_mode": "%s", "mpl": %d, "committed": %d, "readers": %d, "writers": %d, "reader_tput_per_1k_ticks": %.3f, "writer_tput_per_1k_ticks": %.3f, "lock_waits": %d, "snapshot_begins": %d, "versions_pruned": %d, "mean_latency_ticks": %.1f, "p95_latency_ticks": %.1f}|}
+        name mpl r.Workload.committed r.Workload.committed_readers writers
+        (per_1k r.Workload.committed_readers)
+        (per_1k writers) r.Workload.lock_waits
+        (get "txn.snapshot_begin")
+        (get "mvcc.versions_pruned")
+        r.Workload.mean_latency r.Workload.p95_latency
+    in
+    (row, json)
+  in
+  let mpls = if quick then [ 8; 16 ] else [ 8; 16; 32 ] in
+  List.concat_map
+    (fun mpl -> [ cell Workload.Key_range mpl; cell Workload.Snapshot mpl ])
+    mpls
+
+let e15 () =
+  let cells = e15_cells ~quick:false in
+  print_table ~title:e15_title ~header:e15_header (List.map fst cells)
+
+(* Build-breaking guard for the dune-runtest smoke: a read-only transaction
+   must never enter the lock manager or the WAL. Asserted on metric deltas
+   across a snapshot that exercises every read path. *)
+let assert_snapshot_lock_free () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let t =
+    Database.create_table db ~name:"sales"
+      ~cols:
+        [
+          { Schema.name = "id"; ty = Value.TInt; nullable = false };
+          { Schema.name = "product"; ty = Value.TInt; nullable = false };
+          { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+        ]
+  in
+  let v =
+    Database.create_view db ~name:"by_product" ~group_by:[ "product" ]
+      ~aggs:[ View_def.Sum (Expr.col (Database.schema db t) "qty") ]
+      ~source:(Database.From (t, None))
+      ~strategy:Maintain.Escrow ()
+  in
+  Database.transact db (fun tx ->
+      for k = 1 to 20 do
+        ignore
+          (Table.insert db tx t
+             [| Value.Int k; Value.Int (k mod 5); Value.Int k |])
+      done);
+  let m = Database.metrics db in
+  let locks0 = Metrics.get m "lock.acquire" in
+  let wal0 = Metrics.get m "log.append" in
+  Database.transact db ~read_only:true (fun tx ->
+      ignore (Query.view_lookup db (Some tx) v [| Value.Int 1 |]);
+      Seq.iter (fun _ -> ()) (Query.table_scan db (Some tx) t Query.Serializable);
+      Seq.iter (fun _ -> ()) (Query.view_scan db (Some tx) v Query.Serializable));
+  let locks = Metrics.get m "lock.acquire" - locks0 in
+  let wal = Metrics.get m "log.append" - wal0 in
+  if locks <> 0 || wal <> 0 then begin
+    Printf.eprintf
+      "FATAL: read-only transaction touched the lock manager or WAL (lock.acquire +%d, log.append +%d)\n"
+      locks wal;
+    exit 1
+  end;
+  Printf.printf "snapshot lock-free guard: ok (0 lock acquisitions, 0 WAL appends)\n%!"
+
 let commit_bench ~quick () =
   let modes =
     [
@@ -912,18 +1032,24 @@ let commit_bench ~quick () =
      over the same loopback closed loop *)
   let e14_cells = e14_cells ~quick in
   print_table ~title:e14_title ~header:e14_header (List.map fst e14_cells);
+  (* and the MVCC snapshot-reader cells, preceded by the build-breaking
+     zero-lock guard for read-only transactions *)
+  assert_snapshot_lock_free ();
+  let e15_cells = e15_cells ~quick in
+  print_table ~title:e15_title ~header:e15_header (List.map fst e15_cells);
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
     (String.concat ",\n" (List.map snd e13_cells))
-    (String.concat ",\n" (List.map snd e14_cells));
+    (String.concat ",\n" (List.map snd e14_cells))
+    (String.concat ",\n" (List.map snd e15_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
-   + List.length e13_cells + List.length e14_cells)
+   + List.length e13_cells + List.length e14_cells + List.length e15_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -1058,7 +1184,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("micro", micro);
   ]
 

@@ -136,11 +136,18 @@ let run_net net max_inflight spec strategy create_mode verbose check =
           (Workload.check_consistency db v))
       (Database.list_views db)
 
-let run seed groups theta mpl txns ops deletes reads scan coarse strategy
-    create_mode commit_mode views initial gc_every checkpoint_every
-    stats_interval trace_out verbose check net max_inflight fault_seed
-    fault_read_p fault_write_p fault_crash_write fault_crash_force
+let run seed groups theta mpl txns ops deletes reads read_pct scan coarse
+    snapshot strategy create_mode commit_mode views initial gc_every
+    checkpoint_every stats_interval trace_out verbose check net max_inflight
+    fault_seed fault_read_p fault_write_p fault_crash_write fault_crash_force
     fault_torn_writes fault_torn_tail =
+  (* --read-pct is the integer-percent spelling of --reads; it wins when
+     both are given *)
+  let read_fraction =
+    match read_pct with
+    | Some p -> float_of_int p /. 100.
+    | None -> reads
+  in
   let spec =
     {
       Workload.config = { Workload.default.Workload.config with Database.commit_mode };
@@ -151,9 +158,12 @@ let run seed groups theta mpl txns ops deletes reads scan coarse strategy
       txns_per_worker = txns;
       ops_per_txn = ops;
       delete_fraction = deletes;
-      read_fraction = reads;
+      read_fraction;
       reader_scan = scan;
-      reader_locking = (if coarse then Workload.Coarse_table else Workload.Key_range);
+      reader_locking =
+        (if snapshot then Workload.Snapshot
+         else if coarse then Workload.Coarse_table
+         else Workload.Key_range);
       strategy;
       create_mode;
       n_views = views;
@@ -255,9 +265,22 @@ let cmd =
   let reads =
     Arg.(value & opt float 0. & info [ "reads" ] ~doc:"Per-txn reader probability.")
   in
+  let read_pct =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "read-pct" ]
+          ~doc:"Percent of transactions that are readers (overrides --reads).")
+  in
   let scan = Arg.(value & flag & info [ "scan" ] ~doc:"Readers scan the view.") in
   let coarse =
     Arg.(value & flag & info [ "coarse" ] ~doc:"Readers use a table S lock (D4 ablation).")
+  in
+  let snapshot =
+    Arg.(
+      value & flag
+      & info [ "snapshot" ]
+          ~doc:"Readers use lock-free MVCC snapshot transactions.")
   in
   let strategy =
     Arg.(
@@ -376,7 +399,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ivdb_workload" ~doc:"Drive the ivdb order-entry workload")
     (const run $ seed $ groups $ theta $ mpl $ txns $ ops $ deletes $ reads
-   $ scan $ coarse $ strategy $ create_mode $ commit_mode $ views $ initial
+   $ read_pct $ scan $ coarse $ snapshot $ strategy $ create_mode
+   $ commit_mode $ views $ initial
    $ gc_every $ checkpoint_every $ stats_interval $ trace_out $ verbose
    $ check $ net $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
    $ fault_crash_write $ fault_crash_force $ fault_torn_writes

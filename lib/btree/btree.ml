@@ -211,9 +211,19 @@ let rec insert_apply t ~key ~value =
       make_room t ~key ~need:(entry_size key value);
       insert_apply t ~key ~value
 
+(* MVCC: every logged (transactional) entry mutation records the key's
+   before-image against the transaction, so snapshot readers can resolve
+   the key to its value as of their begin stamp. The _raw variants (undo
+   execution, structure modifications) deliberately do not — undo restores
+   storage to exactly the before-image already recorded. *)
+let record_version txn t ~key before =
+  Ivdb_txn.Mvcc.record_write (Txn.mvcc t.mgr) ~txn:(Txn.id txn) ~obj:t.idx ~key
+    ~before
+
 let insert txn t ~key ~value =
   check_entry key value;
   let diffs = insert_apply t ~key ~value in
+  record_version txn t ~key None;
   Txn.log_update t.mgr txn
     ~undo:(Log_record.Undo_bt_insert { index = t.idx; key })
     diffs
@@ -239,6 +249,7 @@ let delete_apply t ~key =
 
 let delete txn t ~key =
   let value, diffs = delete_apply t ~key in
+  record_version txn t ~key (Some value);
   Txn.log_update t.mgr txn
     ~undo:(Log_record.Undo_bt_delete { index = t.idx; key; value })
     diffs
@@ -265,6 +276,14 @@ let rec update_apply t ~key ~value =
 let update ?undo txn t ~key ~value =
   check_entry key value;
   let before, diffs = update_apply t ~key ~value in
+  (* An escrow increment's stored before-image includes *other* in-flight
+     transactions' uncommitted deltas, so it is not a committed value and
+     must not enter a version chain; the committed pre-image is instead
+     reconstructed from the in-flight registry when the increment commits
+     (Database's end hook). *)
+  (match undo with
+  | Some (Log_record.Undo_escrow _) -> ()
+  | Some _ | None -> record_version txn t ~key (Some before));
   let undo =
     match undo with
     | Some u -> u

@@ -33,6 +33,16 @@ let drop_txn t ~txn =
               if !kl = [] then Hashtbl.remove t.by_key (e.e_vid, e.e_key))
         !l
 
+let keys_of_txn t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some l ->
+      List.fold_left
+        (fun acc e ->
+          if List.mem (e.e_vid, e.e_key) acc then acc
+          else (e.e_vid, e.e_key) :: acc)
+        [] !l
+
 let pending t ~vid ~key =
   match Hashtbl.find_opt t.by_key (vid, key) with
   | None -> []

@@ -20,6 +20,10 @@ val drop_txn : t -> txn:int -> unit
 val pending : t -> vid:int -> key:string -> Aggregate.delta list
 (** Deltas of still-active transactions on this group. *)
 
+val keys_of_txn : t -> txn:int -> (int * string) list
+(** Distinct (view id, key) pairs the transaction has escrow deltas on —
+    the MVCC commit hook pushes a committed version per pair. *)
+
 val pending_count : t -> int
 (** Total registered deltas (diagnostics). *)
 

@@ -176,10 +176,51 @@ let lock_row t tx tid rid mode =
 
 (* --- row sources ---------------------------------------------------------- *)
 
+let mvcc t = Txn.mvcc t.tmgr
+
+let is_snapshot = function
+  | Some tx -> Txn.snapshot_of tx <> None
+  | None -> false
+
+let snap_of tx =
+  match Txn.snapshot_of tx with
+  | Some s -> s
+  | None -> invalid_arg "Database: not a snapshot transaction"
+
+(* Snapshot heap scan: no locks at all. Every slot — live and ghost — is
+   resolved through the version chains; chain-only rids (rows whose ghost
+   slot was physically reclaimed after the snapshot began) are unioned in.
+   A ghost with no visible version was deleted before the snapshot; a live
+   slot whose chain says [None] was inserted after it. *)
+let snapshot_heap_rows t ~snap tid =
+  let rt = table_rt t tid in
+  let mv = mvcc t in
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  let emit rid bytes = out := (rid, Row.decode bytes) :: !out in
+  Heap_file.iter_all rt.heap (fun rid payload ~ghost ->
+      let key = encode_rid_payload rid in
+      Hashtbl.replace seen key ();
+      match Ivdb_txn.Mvcc.resolve mv ~obj:tid ~key ~snap with
+      | Ivdb_txn.Mvcc.Committed v | Ivdb_txn.Mvcc.Pending v -> (
+          match v with Some bytes -> emit rid bytes | None -> ())
+      | Ivdb_txn.Mvcc.Current -> if not ghost then emit rid payload);
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem seen key) then
+        match Ivdb_txn.Mvcc.resolve mv ~obj:tid ~key ~snap with
+        | Ivdb_txn.Mvcc.Committed (Some bytes) | Ivdb_txn.Mvcc.Pending (Some bytes)
+          ->
+            emit (decode_rid_payload key) bytes
+        | _ -> ())
+    (Ivdb_txn.Mvcc.keys_of_obj mv ~obj:tid);
+  List.sort (fun (a, _) (b, _) -> Heap_file.rid_compare a b) !out
+
 (* Snapshot the rid list, then (re)read each record lazily; with a
    transaction each row is S-locked before it is read, so in-flight writers
-   block the scan as serializability requires. *)
-let heap_scan_rows t txn tid =
+   block the scan as serializability requires. Snapshot transactions take
+   the lock-free MVCC path instead. *)
+let heap_scan_rows_locked t txn tid =
   let rt = table_rt t tid in
   let rids = ref [] in
   (* transactional scans visit ghosts too: an uncommitted delete must block
@@ -197,6 +238,12 @@ let heap_scan_rows t txn tid =
          | Some tx -> lock_row t tx tid rid Lock_mode.S
          | None -> ());
          Option.map (fun r -> (rid, Row.decode r)) (Heap_file.get rt.heap rid))
+
+let heap_scan_rows t txn tid =
+  match txn with
+  | Some tx when Txn.snapshot_of tx <> None ->
+      List.to_seq (snapshot_heap_rows t ~snap:(snap_of tx) tid)
+  | _ -> heap_scan_rows_locked t txn tid
 
 let heap_scan_seq t txn tid = Seq.map snd (heap_scan_rows t txn tid)
 
@@ -277,8 +324,11 @@ let find_index_on t tid col =
     (fun ix -> ix.imeta.Catalog.ix_col = col)
     (table_rt t tid).indexes
 
+(* Index entries are not versioned (ghost reclaim is not horizon-gated), so
+   snapshot transactions answer probes and range scans from filtered
+   snapshot heap scans instead of the index. *)
 let index_probe_rids t txn ~table:tid ~col v =
-  match find_index_on t tid col with
+  match (if is_snapshot txn then None else find_index_on t tid col) with
   | None ->
       Metrics.incr t.dmetrics "view.join_scan_fallback";
       heap_scan_rows t txn tid
@@ -304,7 +354,7 @@ let index_range_rids t txn ~table:tid ~col ~lo ~hi =
            let c = Value.compare v h in
            if incl then c <= 0 else c < 0)
   in
-  match find_index_on t tid col with
+  match (if is_snapshot txn then None else find_index_on t tid col) with
   | None ->
       Metrics.incr t.dmetrics "view.join_scan_fallback";
       heap_scan_rows t txn tid |> Seq.filter (fun (_, row) -> in_range row)
@@ -336,6 +386,11 @@ let source_rows t txn (def : View_def.t) =
           Ivdb_exec.Iter.hash_join ~left_key:[| left_col |]
             ~right_key:[| right_col |] (heap_scan_seq t None left)
             (heap_scan_seq t None right)
+      | Some tx when Txn.snapshot_of tx <> None ->
+          (* both sides read lock-free at the snapshot; no index probing *)
+          Ivdb_exec.Iter.hash_join ~left_key:[| left_col |]
+            ~right_key:[| right_col |] (heap_scan_seq t txn left)
+            (heap_scan_seq t txn right)
       | Some _ ->
           heap_scan_seq t txn left
           |> Seq.concat_map (fun lrow ->
@@ -473,7 +528,39 @@ let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
     }
   in
   install_undo t;
-  Txn.add_end_hook tmgr (fun txn _status ->
+  Txn.add_end_hook tmgr (fun txn status ->
+      (* Escrow increments never record MVCC before-images (their stored
+         before includes other transactions' uncommitted deltas), so a
+         committing escrow writer pushes its versions here instead — the
+         in-flight registry still holds every pending delta, this
+         transaction's included, making [stored ⊖ Σ pending] the last
+         fully-committed value: exactly the before-image of this commit's
+         stamp. Runs before [drop_txn] and before lock release. *)
+      (match (status, Txn.commit_stamp txn) with
+      | Txn.Committed, Some stamp
+        when Ivdb_txn.Mvcc.snapshot_count (Txn.mvcc tmgr) > 0 ->
+          List.iter
+            (fun (vid, key) ->
+              let rt = view_rt t vid in
+              match Btree.search rt.Maintain.tree key with
+              | None -> ()
+              | Some stored ->
+                  let before =
+                    List.fold_left
+                      (fun r d ->
+                        match
+                          Aggregate.apply rt.Maintain.def r (Aggregate.negate d)
+                        with
+                        | `Ok r' -> r'
+                        | `Recompute -> r)
+                      (Row.decode stored)
+                      (Ivdb_core.Inflight.pending t.inflight ~vid ~key)
+                  in
+                  Ivdb_txn.Mvcc.push_committed (Txn.mvcc tmgr) ~obj:vid ~key
+                    ~stamp
+                    (Some (Row.encode before)))
+            (Ivdb_core.Inflight.keys_of_txn t.inflight ~txn:(Txn.id txn))
+      | _ -> ());
       Ivdb_core.Inflight.drop_txn t.inflight ~txn:(Txn.id txn);
       Hashtbl.filter_map_inplace
         (fun (tid, _) v -> if tid = Txn.id txn then None else Some v)
@@ -783,8 +870,21 @@ let transact_exn t ?retries f =
   in
   go retries
 
-let transact t ?retries f =
-  match transact_exn t ?retries f with Ok v -> v | Error e -> raise e
+(* A snapshot transaction can neither conflict nor deadlock, so there is no
+   retry loop: begin, run, commit (abort on exception just unregisters). *)
+let transact_snapshot t f =
+  let tx = Txn.begin_snapshot t.tmgr in
+  match f tx with
+  | v ->
+      Txn.commit t.tmgr tx;
+      v
+  | exception e ->
+      Txn.abort t.tmgr tx;
+      raise e
+
+let transact t ?retries ?(read_only = false) f =
+  if read_only then transact_snapshot t f
+  else match transact_exn t ?retries f with Ok v -> v | Error e -> raise e
 
 (* No lock acquisition in the engine times out today (deadlocks are
    detected, not waited out), so [Lock_timeout] never currently arises; it
@@ -866,6 +966,8 @@ let crash old =
 
 let gc t =
   let reclaimed = ref 0 in
+  (* MVCC version chains whose entries no live snapshot can still see *)
+  reclaimed := !reclaimed + Ivdb_txn.Mvcc.gc (Txn.mvcc t.tmgr);
   Hashtbl.iter
     (fun _ rt ->
       reclaimed := !reclaimed + Group_gc.run t.tmgr rt;

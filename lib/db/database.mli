@@ -152,14 +152,20 @@ type abort_reason =
 (** Why a {!transact_result} transaction ultimately failed (after all
     automatic retries). *)
 
-val transact : t -> ?retries:int -> (Ivdb_txn.Txn.t -> 'a) -> 'a
+val transact : t -> ?retries:int -> ?read_only:bool -> (Ivdb_txn.Txn.t -> 'a) -> 'a
 (** Begin / run / commit, aborting on exception. A deadlock-victim
     {!Ivdb_txn.Txn.Conflict} aborts, yields, and retries (up to
     [config.txn_retries]); other exceptions abort and re-raise. After a
     commit that deleted rows, ghost slots are reclaimed by a system
     transaction. Counts [txn.retry]; exhausted retries count
     [txn.give_up]. Implemented on {!transact_result}'s retry loop — the
-    terminal exception is re-raised unchanged. *)
+    terminal exception is re-raised unchanged.
+
+    With [~read_only:true] the body runs in a lock-free snapshot
+    transaction ({!Ivdb_txn.Txn.begin_snapshot}): every read resolves
+    against MVCC version chains as of the begin stamp, no lock-manager or
+    WAL traffic occurs, and any write attempt raises [Invalid_argument].
+    Snapshot transactions never deadlock, so there is no retry loop. *)
 
 val transact_result :
   t -> ?retries:int -> (Ivdb_txn.Txn.t -> 'a) -> ('a, abort_reason) result
@@ -183,7 +189,8 @@ val crash : t -> t
 
 val gc : t -> int
 (** Run the garbage-collection system transactions: zero-count view rows,
-    deferred-queue ghosts, base-table ghosts. Returns items reclaimed. *)
+    deferred-queue ghosts, base-table ghosts; also prunes MVCC version
+    chains no live snapshot can still see. Returns items reclaimed. *)
 
 val metrics : t -> Ivdb_util.Metrics.t
 

@@ -9,6 +9,7 @@ module View_def = Ivdb_core.View_def
 module Aggregate = Ivdb_core.Aggregate
 module Maintain = Ivdb_core.Maintain
 module Deferred = Ivdb_core.Deferred
+module Mvcc = Ivdb_txn.Mvcc
 module I = Database.Internal
 
 type locking = Serializable | Read_committed | Dirty
@@ -16,6 +17,10 @@ type locking = Serializable | Read_committed | Dirty
 let table_scan db txn tbl ?where locking =
   let rows =
     match (locking, txn) with
+    (* snapshot readers resolve against version chains regardless of the
+       requested locking level — heap_scan_rows dispatches on the txn *)
+    | _, Some tx when Txn.snapshot_of tx <> None ->
+        Seq.map snd (I.heap_scan_rows db txn tbl)
     | Serializable, Some _ -> Seq.map snd (I.heap_scan_rows db txn tbl)
     | Read_committed, Some tx ->
         (* block behind uncommitted writers, retain nothing: instant S per
@@ -47,7 +52,9 @@ let lock_view_key db txn vid key locking =
    later readers get it for free) *)
 let maybe_auto_refresh db txn v rt =
   match (txn, rt.Maintain.deferred) with
-  | Some tx, Some q -> (
+  (* snapshot readers must not mutate the view (and could not: draining
+     takes locks) — they read the stored state as of their stamp *)
+  | Some tx, Some q when Txn.snapshot_of tx = None -> (
       match Database.view_refresh_threshold db v with
       | Some threshold when Deferred.pending q > threshold ->
           Ivdb_util.Metrics.incr (Database.metrics db) "view.auto_refresh";
@@ -59,26 +66,83 @@ let maybe_auto_refresh db txn v rt =
       | Some _ | None -> ())
   | _ -> ()
 
+(* The view row for [key] as of snapshot stamp [snap], or [None] if the
+   group did not exist then. A committed version entry (the value current
+   until the first commit after the snapshot) is the answer outright; a
+   pending before-image likewise — it was captured under the writer's X
+   lock, before any in-flight escrow delta could touch the key. [Current]
+   means no commit after the snapshot touched the key, so the stored row
+   minus every in-flight escrow delta (escrow applies uncommitted
+   increments in place) is the committed — hence at-snapshot — value. *)
+let snapshot_view_row db rt vid key snap =
+  match Mvcc.resolve (Txn.mvcc (Database.mgr db)) ~obj:vid ~key ~snap with
+  | Mvcc.Committed v | Mvcc.Pending v -> Option.map Row.decode v
+  | Mvcc.Current -> (
+      match Btree.search rt.Maintain.tree key with
+      | None -> None
+      | Some stored ->
+          Some
+            (List.fold_left
+               (fun r d ->
+                 match Aggregate.apply rt.Maintain.def r (Aggregate.negate d) with
+                 | `Ok r' -> r'
+                 | `Recompute -> r)
+               (Row.decode stored)
+               (Ivdb_core.Inflight.pending (I.inflight db) ~vid ~key)))
+
+(* Group keys visible to a snapshot scan: the tree's current keys plus any
+   chain-only keys (rows physically reclaimed after the snapshot began). *)
+let snapshot_view_keys db rt vid =
+  let tree = rt.Maintain.tree in
+  let rec collect acc = function
+    | None -> acc
+    | Some (key, _, c) -> collect (key :: acc) (Btree.cursor_next tree c)
+  in
+  List.sort_uniq String.compare
+    (collect
+       (Mvcc.keys_of_obj (Txn.mvcc (Database.mgr db)) ~obj:vid)
+       (Btree.seek tree ""))
+
+let snapshot_view_scan db tx rt vid ?lo ?hi () =
+  let snap = Option.get (Txn.snapshot_of tx) in
+  snapshot_view_keys db rt vid
+  |> List.filter (fun k ->
+         (match lo with None -> true | Some l -> String.compare k l >= 0)
+         && match hi with None -> true | Some h -> String.compare k h < 0)
+  |> List.filter_map (fun key ->
+         match snapshot_view_row db rt vid key snap with
+         | Some row when Aggregate.count_of row > 0 ->
+             Some (Key_codec.decode key, row)
+         | _ -> None)
+  |> List.to_seq
+
 let view_lookup db txn v group =
   let vid = I.view_id v in
   let rt = I.view_rt db vid in
   maybe_auto_refresh db txn v rt;
   let key = Key_codec.encode group in
-  (match txn with
-  | Some tx ->
-      Txn.lock (Database.mgr db) tx (Lock_name.Table vid) Lock_mode.IS;
-      Txn.lock (Database.mgr db) tx (Lock_name.Key (vid, key)) Lock_mode.S
-  | None -> ());
-  match Btree.search rt.Maintain.tree key with
-  | None -> None
-  | Some stored ->
-      let row = Row.decode stored in
-      if Aggregate.count_of row = 0 then None else Some row
+  match txn with
+  | Some tx when Txn.snapshot_of tx <> None -> (
+      match
+        snapshot_view_row db rt vid key (Option.get (Txn.snapshot_of tx))
+      with
+      | Some row when Aggregate.count_of row > 0 -> Some row
+      | _ -> None)
+  | _ -> (
+      (match txn with
+      | Some tx ->
+          Txn.lock (Database.mgr db) tx (Lock_name.Table vid) Lock_mode.IS;
+          Txn.lock (Database.mgr db) tx (Lock_name.Key (vid, key)) Lock_mode.S
+      | None -> ());
+      match Btree.search rt.Maintain.tree key with
+      | None -> None
+      | Some stored ->
+          let row = Row.decode stored in
+          if Aggregate.count_of row = 0 then None else Some row)
 
-let view_scan db txn v locking =
+let view_scan_locked db txn v locking =
   let vid = I.view_id v in
   let rt = I.view_rt db vid in
-  maybe_auto_refresh db txn v rt;
   let tree = rt.Maintain.tree in
   let lock_eof () =
     match (txn, locking) with
@@ -105,10 +169,17 @@ let view_scan db txn v locking =
   in
   fun () -> step (Btree.seek tree "") ()
 
-let view_scan_range db txn v ~lo ~hi locking =
+let view_scan db txn v locking =
   let vid = I.view_id v in
   let rt = I.view_rt db vid in
   maybe_auto_refresh db txn v rt;
+  match txn with
+  | Some tx when Txn.snapshot_of tx <> None -> snapshot_view_scan db tx rt vid ()
+  | _ -> view_scan_locked db txn v locking
+
+let view_scan_range_locked db txn v ~lo ~hi locking =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
   let tree = rt.Maintain.tree in
   let lo_key = Key_codec.encode lo and hi_key = Key_codec.encode hi in
   let seal key =
@@ -145,6 +216,16 @@ let view_scan_range db txn v ~lo ~hi locking =
         end
   in
   fun () -> step (Btree.seek tree lo_key) ()
+
+let view_scan_range db txn v ~lo ~hi locking =
+  let vid = I.view_id v in
+  let rt = I.view_rt db vid in
+  maybe_auto_refresh db txn v rt;
+  match txn with
+  | Some tx when Txn.snapshot_of tx <> None ->
+      snapshot_view_scan db tx rt vid ~lo:(Key_codec.encode lo)
+        ~hi:(Key_codec.encode hi) ()
+  | _ -> view_scan_range_locked db txn v ~lo ~hi locking
 
 let view_count db v =
   let n = ref 0 in

@@ -11,7 +11,16 @@ module Expr = Ivdb_relation.Expr
 module View_def = Ivdb_core.View_def
 module Aggregate = Ivdb_core.Aggregate
 module Maintain = Ivdb_core.Maintain
+module Mvcc = Ivdb_txn.Mvcc
 module I = Database.Internal
+
+(* Record the heap row's before-image on the writer's first touch so a
+   concurrent snapshot reader can resolve the rid to its pre-transaction
+   value (chains are keyed by (table id, encoded rid)). *)
+let record_heap_version db tx tid rid before =
+  Mvcc.record_write
+    (Txn.mvcc (Database.mgr db))
+    ~txn:(Txn.id tx) ~obj:tid ~key:(I.encode_rid_payload rid) ~before
 
 (* Index maintenance. Ordinary indexes key on (value, rid): inserts guard
    the gap with an instant RangeI_N, then hold X on the new key; deletes
@@ -114,6 +123,7 @@ let insert db tx tbl row =
   let rid, diffs = Heap_file.insert (I.rt_heap rt) (Row.encode row) in
   I.lock_row db tx tid rid Lock_mode.X;
   Txn.log_update mgr tx ~undo:(Log_record.Undo_heap_insert { table = tid; rid }) diffs;
+  record_heap_version db tx tid rid None;
   List.iter (fun ix -> index_insert db tx ix row.(I.ix_col ix) rid) (I.rt_indexes rt);
   propagate db tx tid 1 row;
   Ivdb_util.Metrics.incr (Database.metrics db) "table.insert";
@@ -125,13 +135,15 @@ let delete db tx tbl rid =
   let rt = I.table_rt db tid in
   Txn.lock mgr tx (Lock_name.Table tid) Lock_mode.IX;
   I.lock_row db tx tid rid Lock_mode.X;
-  let row =
+  let encoded =
     match Heap_file.get (I.rt_heap rt) rid with
-    | Some r -> Row.decode r
+    | Some r -> r
     | None -> raise Not_found
   in
+  let row = Row.decode encoded in
   let diffs = Heap_file.delete (I.rt_heap rt) rid in
   Txn.log_update mgr tx ~undo:(Log_record.Undo_heap_delete { table = tid; rid }) diffs;
+  record_heap_version db tx tid rid (Some encoded);
   I.note_ghost db tx tid rid;
   List.iter (fun ix -> index_delete db tx ix row.(I.ix_col ix) rid) (I.rt_indexes rt);
   propagate db tx tid (-1) row;
@@ -144,12 +156,23 @@ let update db tx tbl rid row' =
 let get db txn tbl rid =
   let tid = I.table_id tbl in
   let mgr = Database.mgr db in
-  (match txn with
+  let stored () =
+    Option.map Row.decode (Heap_file.get (I.rt_heap (I.table_rt db tid)) rid)
+  in
+  match txn with
+  | Some tx when Txn.snapshot_of tx <> None ->
+      let snap = Option.get (Txn.snapshot_of tx) in
+      (match
+         Mvcc.resolve (Txn.mvcc mgr) ~obj:tid
+           ~key:(I.encode_rid_payload rid) ~snap
+       with
+      | Mvcc.Committed v | Mvcc.Pending v -> Option.map Row.decode v
+      | Mvcc.Current -> stored ())
   | Some tx ->
       Txn.lock mgr tx (Lock_name.Table tid) Lock_mode.IS;
-      Txn.lock mgr tx (Lock_name.Row (tid, rid)) Lock_mode.S
-  | None -> ());
-  Option.map Row.decode (Heap_file.get (I.rt_heap (I.table_rt db tid)) rid)
+      Txn.lock mgr tx (Lock_name.Row (tid, rid)) Lock_mode.S;
+      stored ()
+  | None -> stored ()
 
 let delete_where db tx tbl pred =
   let victims =

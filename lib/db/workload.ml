@@ -9,7 +9,7 @@ module View_def = Ivdb_core.View_def
 module Maintain = Ivdb_core.Maintain
 module Txn = Ivdb_txn.Txn
 
-type reader_locking = Key_range | Coarse_table
+type reader_locking = Key_range | Coarse_table | Snapshot
 
 type spec = {
   seed : int;
@@ -281,11 +281,33 @@ let run_on db sales views spec =
         for _ = 1 to spec.txns_per_worker do
           let is_reader = Rng.float rng < spec.read_fraction && views <> [] in
           let t_begin = Sched.now () in
+          let read_view tx v =
+            if spec.reader_scan then begin
+              Seq.iter
+                (fun _ -> ())
+                (Query.view_scan db (Some tx) v Query.Serializable);
+              Sched.yield ()
+            end
+            else
+              for _ = 1 to 3 do
+                ignore
+                  (Query.view_lookup db (Some tx) v
+                     [| Value.Int (Zipf.draw zipf rng) |]);
+                Sched.yield ()
+              done
+          in
           (try
+             (if is_reader && spec.reader_locking = Snapshot then
+                (* lock-free MVCC reader: same statements, no Lock_mgr or
+                   WAL traffic at all *)
+                Database.transact db ~read_only:true (fun tx ->
+                    read_view tx (List.hd views))
+              else
              Database.transact db (fun tx ->
                  if is_reader then begin
                    let v = List.hd views in
                    match spec.reader_locking with
+                   | Snapshot -> assert false (* handled above *)
                    | Coarse_table ->
                        Txn.lock (Database.mgr db) tx
                          (Ivdb_lock.Lock_name.Table
@@ -302,20 +324,7 @@ let run_on db sales views spec =
                                 [| Value.Int (Zipf.draw zipf rng) |]);
                            Sched.yield ()
                          done
-                   | Key_range ->
-                       if spec.reader_scan then begin
-                         Seq.iter
-                           (fun _ -> ())
-                           (Query.view_scan db (Some tx) v Query.Serializable);
-                         Sched.yield ()
-                       end
-                       else
-                         for _ = 1 to 3 do
-                           ignore
-                             (Query.view_lookup db (Some tx) v
-                                [| Value.Int (Zipf.draw zipf rng) |]);
-                           Sched.yield ()
-                         done
+                   | Key_range -> read_view tx v
                  end
                  else
                    for _ = 1 to spec.ops_per_txn do
@@ -343,7 +352,7 @@ let run_on db sales views spec =
                         of concurrent transactions overlap, as they would
                         under preemptive threads *)
                      Sched.yield ()
-                   done);
+                   done));
              phase_commit phase ~reader:is_reader
                ~latency:(float_of_int (Sched.now () - t_begin))
                ();

@@ -6,9 +6,11 @@
     under skew, most transactions update the aggregates of a few hot
     product groups. *)
 
-type reader_locking = Key_range | Coarse_table
-(** How reader transactions lock a view scan: per-key RangeS_S (the
-    paper's protocol) or one S lock on the whole view (the D4 ablation). *)
+type reader_locking = Key_range | Coarse_table | Snapshot
+(** How reader transactions read a view: per-key RangeS_S (the paper's
+    protocol), one S lock on the whole view (the D4 ablation), or a
+    lock-free MVCC snapshot transaction ([Database.transact
+    ~read_only:true]) resolving against version chains. *)
 
 type spec = {
   seed : int;

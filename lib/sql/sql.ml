@@ -854,6 +854,20 @@ let run_select ?stats s txn q =
         if q.A.group_by <> [] || has_aggs then select_grouped ?stats s txn q src
         else select_rows ?stats s txn q src
 
+(* A bare SELECT outside a transaction runs as an auto-snapshot: a
+   lock-free read-only transaction resolving against version chains, so it
+   sees a commit-consistent state at zero locking cost (it used to read
+   dirty). Results are materialized lists, safe to return after the
+   snapshot is released. sys.* tables read engine state directly. *)
+let run_select_auto ?stats s q =
+  if is_sys_name q.A.from then select_sys ?stats s q
+  else
+    match s.txn with
+    | Some _ as txn -> run_select ?stats s txn q
+    | None ->
+        Database.transact s.sdb ~read_only:true (fun tx ->
+            run_select ?stats s (Some tx) q)
+
 (* EXPLAIN ANALYZE: the plan describe_plan would print, then actually run
    the query, reporting per-operator row counts plus the engine-level costs
    (index probes, lock waits, buffer traffic, simulated ticks) the execution
@@ -865,7 +879,7 @@ let explain_analyze s (q : A.select) =
   let before = Ivdb_util.Metrics.snapshot metrics in
   let t0 = Sched.now () in
   let stats : op_stats = ref [] in
-  ignore (run_select ~stats s s.txn q);
+  ignore (run_select_auto ~stats s q);
   let ticks = Sched.now () - t0 in
   let diff = Ivdb_util.Metrics.diff ~before ~after:(Ivdb_util.Metrics.snapshot metrics) in
   let get n = match List.assoc_opt n diff with Some v -> v | None -> 0 in
@@ -885,6 +899,8 @@ let explain_analyze s (q : A.select) =
 
 let with_txn s f =
   match s.txn with
+  | Some tx when Txn.snapshot_of tx <> None ->
+      fail "cannot write in a READ ONLY transaction"
   | Some tx -> f (Some tx)
   | None -> Database.transact s.sdb (fun tx -> f (Some tx))
 
@@ -1041,13 +1057,19 @@ let exec s input =
   | A.Insert { into; rows } -> run_insert s ~into ~rows
   | A.Delete { from_t; where } -> run_delete s ~from_t ~where
   | A.Update { table; sets; where } -> run_update s ~table ~sets ~where
-  | A.Select q -> run_select s s.txn q
+  | A.Select q -> run_select_auto s q
   | A.Explain q -> Message (describe_plan s q)
   | A.Explain_analyze q -> explain_analyze s q
-  | A.Begin ->
+  | A.Begin { read_only } ->
       if s.txn <> None then fail "transaction already open";
-      s.txn <- Some (Txn.begin_txn (Database.mgr s.sdb));
-      Message "transaction started"
+      if read_only then begin
+        s.txn <- Some (Txn.begin_snapshot (Database.mgr s.sdb));
+        Message "read-only transaction started (snapshot)"
+      end
+      else begin
+        s.txn <- Some (Txn.begin_txn (Database.mgr s.sdb));
+        Message "transaction started"
+      end
   | A.Commit -> (
       match s.txn with
       | None -> fail "no open transaction"
@@ -1067,6 +1089,8 @@ let exec s input =
   | A.Savepoint name -> (
       match s.txn with
       | None -> fail "SAVEPOINT requires an open transaction"
+      | Some tx when Txn.snapshot_of tx <> None ->
+          fail "SAVEPOINT is meaningless in a READ ONLY transaction"
       | Some tx ->
           s.savepoints <- (name, Txn.savepoint tx) :: s.savepoints;
           Message (Printf.sprintf "savepoint %s" name))

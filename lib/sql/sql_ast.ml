@@ -55,7 +55,7 @@ type stmt =
   | Select of select
   | Explain of select
   | Explain_analyze of select
-  | Begin
+  | Begin of { read_only : bool }
   | Commit
   | Rollback
   | Savepoint of string
@@ -109,7 +109,8 @@ let pp_stmt ppf = function
   | Explain s -> Format.fprintf ppf "EXPLAIN SELECT ... FROM %s" s.from
   | Explain_analyze s ->
       Format.fprintf ppf "EXPLAIN ANALYZE SELECT ... FROM %s" s.from
-  | Begin -> Format.fprintf ppf "BEGIN"
+  | Begin { read_only } ->
+      Format.fprintf ppf "BEGIN%s" (if read_only then " READ ONLY" else "")
   | Commit -> Format.fprintf ppf "COMMIT"
   | Rollback -> Format.fprintf ppf "ROLLBACK"
   | Savepoint n -> Format.fprintf ppf "SAVEPOINT %s" n

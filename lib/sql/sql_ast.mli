@@ -64,7 +64,7 @@ type stmt =
   | Select of select
   | Explain of select
   | Explain_analyze of select
-  | Begin
+  | Begin of { read_only : bool }
   | Commit
   | Rollback
   | Savepoint of string

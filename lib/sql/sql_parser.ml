@@ -415,7 +415,11 @@ let statement st =
       end
   | L.Kw "BEGIN" ->
       advance st;
-      Begin
+      if accept st (L.Kw "READ") then begin
+        eat_kw st "ONLY";
+        Begin { read_only = true }
+      end
+      else Begin { read_only = false }
   | L.Kw "COMMIT" ->
       advance st;
       Commit

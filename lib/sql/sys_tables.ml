@@ -47,22 +47,29 @@ let transactions db ~self_txn =
       | Some e -> e - i.Txn.i_begin_tick
       | None -> now - i.Txn.i_begin_tick
     in
+    let mode =
+      if i.Txn.i_snapshot <> None then "snapshot"
+      else if i.Txn.i_system then "system"
+      else "rw"
+    in
     [|
       vint i.Txn.i_txn;
       vbool i.Txn.i_system;
+      vstr mode;
       vstr (status_str i.Txn.i_status);
       vbool (self_txn = Some i.Txn.i_txn);
       vint i.Txn.i_begin_tick;
       vint ticks;
       vint i.Txn.i_locks;
       vint i.Txn.i_deltas;
+      (match i.Txn.i_snapshot with Some s -> vint s | None -> Value.Null);
       vopt_str i.Txn.i_abort_reason;
     |]
   in
   let mgr = Database.mgr db in
   ( [
-      "txn"; "system"; "state"; "self"; "begin_tick"; "ticks"; "locks";
-      "deltas"; "abort_reason";
+      "txn"; "system"; "mode"; "state"; "self"; "begin_tick"; "ticks"; "locks";
+      "deltas"; "snapshot_tick"; "abort_reason";
     ],
     List.map row (Txn.active_info mgr) @ List.map row (Txn.recent_info mgr) )
 

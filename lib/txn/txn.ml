@@ -18,11 +18,13 @@ type t = {
   tid : int;
   system : bool;
   tbegin_tick : int;
+  tsnapshot : int option; (* Some stamp = lock-free read-only snapshot *)
   mutable tstatus : status;
   mutable tfirst_lsn : Log_record.lsn;
   mutable tlast_lsn : Log_record.lsn;
   mutable tdeltas : int; (* view maintenance deltas applied on its behalf *)
   mutable tabort_reason : string option;
+  mutable tcommit_stamp : int option; (* MVCC stamp, set at commit *)
 }
 
 (* Point-in-time description of a transaction, for sys.transactions. *)
@@ -34,6 +36,7 @@ type info = {
   i_end_tick : int option; (* None while active *)
   i_deltas : int;
   i_locks : int; (* locks held now; 0 once finished *)
+  i_snapshot : int option; (* Some stamp for snapshot transactions *)
   i_abort_reason : string option;
 }
 
@@ -54,6 +57,9 @@ type mgr = {
   m_system_commit : Metrics.counter;
   m_ro_commit : Metrics.counter;
   m_abort : Metrics.counter;
+  m_snap_begin : Metrics.counter;
+  m_snap_commit : Metrics.counter;
+  mmvcc : Mvcc.t;
   active : (int, t) Hashtbl.t;
   recent : info Queue.t; (* finished txns, oldest first, <= recent_cap *)
   mutable next_id : int;
@@ -76,6 +82,9 @@ let create_mgr ?(commit_mode = Sync) ?trace ~wal ~locks ~pool metrics =
     m_system_commit = Metrics.counter metrics "txn.system_commit";
     m_ro_commit = Metrics.counter metrics "txn.read_only_commit";
     m_abort = Metrics.counter metrics "txn.abort";
+    m_snap_begin = Metrics.counter metrics "txn.snapshot_begin";
+    m_snap_commit = Metrics.counter metrics "txn.snapshot_commit";
+    mmvcc = Mvcc.create metrics;
     active = Hashtbl.create 32;
     recent = Queue.create ();
     next_id = 1;
@@ -94,6 +103,7 @@ let pool mgr = mgr.mpool
 let disk mgr = Bufpool.disk mgr.mpool
 let metrics mgr = mgr.mmetrics
 let trace mgr = mgr.mtrace
+let mvcc mgr = mgr.mmvcc
 
 let fresh mgr ~system =
   let tid = mgr.next_id in
@@ -103,11 +113,13 @@ let fresh mgr ~system =
       tid;
       system;
       tbegin_tick = Ivdb_sched.Sched.now ();
+      tsnapshot = None;
       tstatus = Active;
       tfirst_lsn = Log_record.nil_lsn;
       tlast_lsn = Log_record.nil_lsn;
       tdeltas = 0;
       tabort_reason = None;
+      tcommit_stamp = None;
     }
   in
   Hashtbl.replace mgr.active tid t;
@@ -121,18 +133,55 @@ let fresh mgr ~system =
 let begin_txn mgr = fresh mgr ~system:false
 let begin_system mgr = fresh mgr ~system:true
 
+(* A snapshot transaction touches neither the WAL (it can have no effects
+   to log or undo) nor the lock manager — it is registered in the active
+   table purely for introspection, and in the MVCC registry for its
+   visibility cut and the version-GC horizon. *)
+let begin_snapshot mgr =
+  let tid = mgr.next_id in
+  mgr.next_id <- tid + 1;
+  let t =
+    {
+      tid;
+      system = false;
+      tbegin_tick = Ivdb_sched.Sched.now ();
+      tsnapshot = Some (Mvcc.begin_snapshot mgr.mmvcc);
+      tstatus = Active;
+      tfirst_lsn = Log_record.nil_lsn;
+      tlast_lsn = Log_record.nil_lsn;
+      tdeltas = 0;
+      tabort_reason = None;
+      tcommit_stamp = None;
+    }
+  in
+  Hashtbl.replace mgr.active tid t;
+  Metrics.inc mgr.m_snap_begin;
+  if Trace.enabled mgr.mtrace then
+    Trace.emit mgr.mtrace (Trace.Txn_begin { txn = tid; system = false });
+  t
+
 let id t = t.tid
 let status t = t.tstatus
 let is_system t = t.system
 let last_lsn t = t.tlast_lsn
 let first_lsn t = t.tfirst_lsn
+let snapshot_of t = t.tsnapshot
+let commit_stamp t = t.tcommit_stamp
 
 let check_active t =
   if t.tstatus <> Active then
     invalid_arg (Printf.sprintf "Txn: transaction %d is not active" t.tid)
 
+(* Snapshot purity: a read-only snapshot transaction must generate zero
+   lock-manager and zero WAL traffic; any attempt is a caller bug. *)
+let check_not_snapshot t what =
+  if t.tsnapshot <> None then
+    invalid_arg
+      (Printf.sprintf "Txn: snapshot transaction %d cannot %s" t.tid what)
+
 let lock mgr t name mode =
   check_active t;
+  check_not_snapshot t "lock";
   try Lock_mgr.acquire mgr.mlocks ~txn:t.tid name mode
   with Lock_mgr.Deadlock victim ->
     if victim = t.tid then t.tabort_reason <- Some "deadlock victim";
@@ -140,6 +189,7 @@ let lock mgr t name mode =
 
 let lock_instant mgr t name mode =
   check_active t;
+  check_not_snapshot t "lock";
   try Lock_mgr.acquire_instant mgr.mlocks ~txn:t.tid name mode
   with Lock_mgr.Deadlock victim ->
     if victim = t.tid then t.tabort_reason <- Some "deadlock victim";
@@ -153,6 +203,7 @@ let stamp_pages mgr lsn diffs =
 
 let log_update mgr t ~undo diffs =
   check_active t;
+  check_not_snapshot t "log updates";
   let diffs =
     List.filter (fun (_, d) -> not (Ivdb_storage.Page_diff.is_empty d)) diffs
   in
@@ -178,6 +229,7 @@ let log_clr mgr t ~undo_next diffs =
 
 let log_ddl mgr t payload =
   check_active t;
+  check_not_snapshot t "log DDL";
   t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn (Log_record.Ddl payload)
 
 let info_of ?(locks = 0) ~end_tick t =
@@ -189,19 +241,37 @@ let info_of ?(locks = 0) ~end_tick t =
     i_end_tick = end_tick;
     i_deltas = t.tdeltas;
     i_locks = locks;
+    i_snapshot = t.tsnapshot;
     i_abort_reason = t.tabort_reason;
   }
 
+(* Commit stamping and pending-version promotion happen here — before the
+   end hooks (which push escrow versions while the in-flight registry still
+   holds the transaction's deltas) and before lock release. [finish] never
+   yields, so the stamp order is the commit order other fibers observe. *)
 let finish mgr t status =
   t.tstatus <- status;
+  (match t.tsnapshot with
+  | Some s -> Mvcc.release_snapshot mgr.mmvcc s
+  | None -> (
+      match status with
+      | Committed -> t.tcommit_stamp <- Some (Mvcc.commit_txn mgr.mmvcc ~txn:t.tid)
+      | Aborted -> Mvcc.abort_txn mgr.mmvcc ~txn:t.tid
+      | Active -> ()));
   Hashtbl.remove mgr.active t.tid;
   if Queue.length mgr.recent >= recent_cap then ignore (Queue.pop mgr.recent);
   Queue.push (info_of ~end_tick:(Some (Ivdb_sched.Sched.now ())) t) mgr.recent;
   List.iter (fun f -> f t status) mgr.end_hooks;
-  Lock_mgr.release_all mgr.mlocks ~txn:t.tid
+  if t.tsnapshot = None then Lock_mgr.release_all mgr.mlocks ~txn:t.tid
 
-let commit mgr t =
-  check_active t;
+let commit_snapshot mgr t =
+  (* no WAL records, no force, no locks to release *)
+  finish mgr t Committed;
+  Metrics.inc mgr.m_snap_commit;
+  if Trace.enabled mgr.mtrace then
+    Trace.emit mgr.mtrace (Trace.Txn_commit { txn = t.tid; system = false })
+
+let commit_rw mgr t =
   (* a transaction that logged nothing beyond its Begin record has no
      effects to make durable: skip the commit force *)
   let read_only = t.tlast_lsn = t.tfirst_lsn in
@@ -220,6 +290,10 @@ let commit mgr t =
   if read_only && not t.system then Metrics.inc mgr.m_ro_commit;
   if Trace.enabled mgr.mtrace then
     Trace.emit mgr.mtrace (Trace.Txn_commit { txn = t.tid; system = t.system })
+
+let commit mgr t =
+  check_active t;
+  if t.tsnapshot <> None then commit_snapshot mgr t else commit_rw mgr t
 
 
 (* Walk the undo chain from [cursor], executing logical undo and logging a
@@ -274,16 +348,23 @@ let rollback_to mgr t sp =
   go t.tlast_lsn;
   Metrics.incr mgr.mmetrics "txn.partial_rollback"
 
+let abort_rw mgr t =
+  t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.Abort;
+  undo_chain mgr t ~cursor:t.tlast_lsn;
+  ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.End);
+  finish mgr t Aborted;
+  Metrics.inc mgr.m_abort;
+  if Trace.enabled mgr.mtrace then
+    Trace.emit mgr.mtrace (Trace.Txn_abort { txn = t.tid })
+
 let abort mgr t =
-  if t.tstatus = Active then begin
-    t.tlast_lsn <- Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.Abort;
-    undo_chain mgr t ~cursor:t.tlast_lsn;
-    ignore (Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn Log_record.End);
-    finish mgr t Aborted;
-    Metrics.inc mgr.m_abort;
-    if Trace.enabled mgr.mtrace then
-      Trace.emit mgr.mtrace (Trace.Txn_abort { txn = t.tid })
-  end
+  if t.tstatus = Active then
+    if t.tsnapshot <> None then begin
+      finish mgr t Aborted;
+      if Trace.enabled mgr.mtrace then
+        Trace.emit mgr.mtrace (Trace.Txn_abort { txn = t.tid })
+    end
+    else abort_rw mgr t
 
 let rollback_tail mgr t ~from =
   check_active t;
@@ -299,22 +380,32 @@ let resurrect mgr ~id ~last_lsn =
       tid = id;
       system = false;
       tbegin_tick = Ivdb_sched.Sched.now ();
+      tsnapshot = None;
       tstatus = Active;
       tfirst_lsn = Log_record.nil_lsn;
       tlast_lsn = last_lsn;
       tdeltas = 0;
       tabort_reason = None;
+      tcommit_stamp = None;
     }
   in
   Hashtbl.replace mgr.active id t;
   if id >= mgr.next_id then mgr.next_id <- id + 1;
   t
 
+(* Snapshot transactions have no WAL presence: they are excluded from the
+   checkpoint's transaction table (recovery would treat a nil-LSN entry as
+   a loser) and from the log-truncation bound. *)
 let active_first_lsns mgr =
-  Hashtbl.fold (fun _ t acc -> t.tfirst_lsn :: acc) mgr.active []
+  Hashtbl.fold
+    (fun _ t acc -> if t.tsnapshot = None then t.tfirst_lsn :: acc else acc)
+    mgr.active []
 
 let active_txns mgr =
-  Hashtbl.fold (fun tid t acc -> (tid, t.tlast_lsn) :: acc) mgr.active []
+  Hashtbl.fold
+    (fun tid t acc ->
+      if t.tsnapshot = None then (tid, t.tlast_lsn) :: acc else acc)
+    mgr.active []
   |> List.sort compare
 
 let active_info mgr =

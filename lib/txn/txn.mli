@@ -62,11 +62,29 @@ val trace : mgr -> Ivdb_util.Trace.t
 val begin_txn : mgr -> t
 val begin_system : mgr -> t
 
+val begin_snapshot : mgr -> t
+(** A lock-free read-only transaction: records the current MVCC commit
+    stamp as its visibility cut and resolves every read against version
+    chains (see {!Mvcc}) — it never touches the lock manager or the WAL.
+    {!lock}, {!lock_instant} and {!log_update} raise [Invalid_argument] on
+    it; {!commit} / {!abort} just unregister it (releasing its GC
+    horizon). *)
+
+val mvcc : mgr -> Mvcc.t
+(** The manager's version-chain registry. *)
+
 val id : t -> int
 val status : t -> status
 val is_system : t -> bool
 val last_lsn : t -> Ivdb_wal.Log_record.lsn
 val first_lsn : t -> Ivdb_wal.Log_record.lsn
+
+val snapshot_of : t -> int option
+(** [Some stamp] iff the transaction is a {!begin_snapshot} reader. *)
+
+val commit_stamp : t -> int option
+(** The MVCC commit stamp, set during commit before the end hooks run —
+    the escrow version-push hook reads it. [None] while active. *)
 
 val lock : mgr -> t -> Ivdb_lock.Lock_name.t -> Ivdb_lock.Lock_mode.t -> unit
 (** Blocking acquisition; converts a deadlock-victim verdict into
@@ -133,6 +151,9 @@ type info = {
   i_end_tick : int option;  (** [None] while active *)
   i_deltas : int;  (** view-maintenance deltas applied on its behalf *)
   i_locks : int;  (** locks held at snapshot time; 0 once finished *)
+  i_snapshot : int option;
+      (** the visibility stamp of a snapshot reader; [None] for
+          read-write and system transactions *)
   i_abort_reason : string option;
 }
 

@@ -864,6 +864,93 @@ let e15 () =
   let cells = e15_cells ~quick:false in
   print_table ~title:e15_title ~header:e15_header (List.map fst cells)
 
+(* --- E16: read replicas via WAL shipping ------------------------------------------------ *)
+
+(* A follower attached over a second loopback connection streams the
+   primary's WAL while the closed-loop workload runs. The interesting
+   numbers: how far the replica trails the primary under write pressure
+   (lag, in log records), what the attached follower costs the primary
+   (commit throughput with vs without it), and how long after the last
+   commit the replica takes to drain the residual lag. Every replicated
+   cell ends with a bit-identical state-digest comparison against the
+   primary — divergence is a correctness bug and kills the run. *)
+let e16_title =
+  "E16  Read replica via WAL shipping: lag and primary overhead (escrow, group commit, zipf 0.99)"
+
+let e16_header =
+  [ "follower"; "mpl"; "commits"; "tput/1k ticks"; "lag max"; "lag mean";
+    "batches"; "reconnects"; "catchup"; "digest" ]
+
+let e16_cells ~quick =
+  let module Net_workload = Ivdb_client.Net_workload in
+  let budget = if quick then 64 else 256 in
+  let spec_for mpl =
+    {
+      Workload.default with
+      seed = 16;
+      strategy = Maintain.Escrow;
+      mpl;
+      txns_per_worker = max 1 (budget / mpl);
+      n_groups = 20;
+      theta = 0.99;
+      delete_fraction = 0.1;
+      config =
+        {
+          Workload.default.Workload.config with
+          commit_mode = Txn.Group { max_batch = 32; max_wait_ticks = 50 };
+        };
+    }
+  in
+  let solo mpl =
+    let r, _db =
+      Net_workload.run_net ~transport:Net_workload.Loopback (spec_for mpl)
+    in
+    let row =
+      [ "no"; i mpl; i r.Workload.committed; f2 r.Workload.throughput;
+        "-"; "-"; "-"; "-"; "-"; "-" ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"follower": false, "mpl": %d, "committed": %d, "throughput_per_1k_ticks": %.3f}|}
+        mpl r.Workload.committed r.Workload.throughput
+    in
+    (row, json)
+  in
+  let replicated mpl =
+    let r, db, fdb, rep = Net_workload.run_replicated (spec_for mpl) in
+    if
+      Database.state_digest db <> Database.state_digest fdb
+      || Database.replicated_lsn db <> Database.replicated_lsn fdb
+    then begin
+      Printf.eprintf
+        "FATAL: replica diverged from primary (mpl %d): lsn %d vs %d, digest %s vs %s\n"
+        mpl (Database.replicated_lsn db) (Database.replicated_lsn fdb)
+        (Database.state_digest db) (Database.state_digest fdb);
+      exit 1
+    end;
+    let row =
+      [ "yes"; i mpl; i r.Workload.committed; f2 r.Workload.throughput;
+        i rep.Net_workload.lag_max; f2 rep.Net_workload.lag_mean;
+        i rep.Net_workload.ship_batches; i rep.Net_workload.reconnects;
+        i rep.Net_workload.catchup_ticks; "match" ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"follower": true, "mpl": %d, "committed": %d, "throughput_per_1k_ticks": %.3f, "lag_max_records": %d, "lag_mean_records": %.2f, "ship_batches": %d, "reconnects": %d, "catchup_ticks": %d, "digest_match": true}|}
+        mpl r.Workload.committed r.Workload.throughput
+        rep.Net_workload.lag_max rep.Net_workload.lag_mean
+        rep.Net_workload.ship_batches rep.Net_workload.reconnects
+        rep.Net_workload.catchup_ticks
+    in
+    (row, json)
+  in
+  let mpls = if quick then [ 8 ] else [ 8; 16 ] in
+  List.concat_map (fun mpl -> [ solo mpl; replicated mpl ]) mpls
+
+let e16 () =
+  let cells = e16_cells ~quick:false in
+  print_table ~title:e16_title ~header:e16_header (List.map fst cells)
+
 (* Build-breaking guard for the dune-runtest smoke: a read-only transaction
    must never enter the lock manager or the WAL. Asserted on metric deltas
    across a snapshot that exercises every read path. *)
@@ -1037,19 +1124,25 @@ let commit_bench ~quick () =
   assert_snapshot_lock_free ();
   let e15_cells = e15_cells ~quick in
   print_table ~title:e15_title ~header:e15_header (List.map fst e15_cells);
+  (* and the replication cells: quick mode doubles as the zero-divergence
+     WAL-shipping smoke run (any digest mismatch exits non-zero) *)
+  let e16_cells = e16_cells ~quick in
+  print_table ~title:e16_title ~header:e16_header (List.map fst e16_cells);
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
     (String.concat ",\n" (List.map snd e13_cells))
     (String.concat ",\n" (List.map snd e14_cells))
-    (String.concat ",\n" (List.map snd e15_cells));
+    (String.concat ",\n" (List.map snd e15_cells))
+    (String.concat ",\n" (List.map snd e16_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
-   + List.length e13_cells + List.length e14_cells + List.length e15_cells)
+   + List.length e13_cells + List.length e14_cells + List.length e15_cells
+   + List.length e16_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -1184,7 +1277,7 @@ let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("micro", micro);
   ]
 

@@ -9,6 +9,7 @@
      .stats            engine counters (sys.metrics)
      .locks            lock table and wait queue (sys.locks, sys.lock_waits)
      .sessions         server sessions (sys.server_sessions)
+     .replicas         replication slots / follower link (sys.replication)
      .connect H:P      switch to a remote server
      .local            switch back to a fresh local instance
      .help             this text
@@ -28,8 +29,9 @@ let help =
             EXPLAIN [ANALYZE] SELECT, BEGIN, COMMIT, ROLLBACK, CHECKPOINT,
             SHOW TABLES/VIEWS/METRICS,
             SELECT * FROM sys.transactions|locks|lock_waits|views|bufpool|
-                          wal|metrics|metrics_hist|server_sessions|slow_queries
-dot commands: .crash .gc .trace on|off|show .stats .locks .sessions
+                          wal|metrics|metrics_hist|server_sessions|
+                          slow_queries|replication
+dot commands: .crash .gc .trace on|off|show .stats .locks .sessions .replicas
               .connect HOST:PORT .local .help .quit|}
 
 (* the trace ring survives statements but not .crash (new instance, new trace) *)
@@ -54,14 +56,14 @@ let connect_remote addr =
       None
   | Some (host, port) -> (
       match
-        Client.connect ~client:"ivdb_repl" (fun () ->
-            Ivdb_server.Unix_transport.dial ~host ~port ())
+        Client.connect ~client:"ivdb_repl"
+          (Ivdb_transport.Unix_transport.dialer ~host ~port ())
       with
       | cl ->
           Printf.printf "connected to %s (session %d)\n"
             (Client.server_name cl) (Client.session_id cl);
           Some (Remote (addr, cl))
-      | exception Ivdb_server.Transport.Refused ->
+      | exception Ivdb_transport.Transport.Refused ->
           Printf.printf "connection refused by %s\n" addr;
           None
       | exception Client.Server_busy _ ->
@@ -219,6 +221,8 @@ let () =
          end
          else if line = ".sessions" then
            exec_line "SELECT * FROM sys.server_sessions"
+         else if line = ".replicas" then
+           exec_line "SELECT * FROM sys.replication"
          else if Ivdb_sql.Sql_lexer.tokenize line = [ Ivdb_sql.Sql_lexer.Eof ] then
            () (* comment-only line *)
          else exec_line line);

@@ -4,13 +4,19 @@
    Examples:
      ivdb_server --port 5433
      ivdb_server --port 0 --max-inflight 16 --commit-mode group
-   Stop with Ctrl-C (SIGINT): the server drains — open transactions may
-   finish, new work is refused — then exits once every session closes. *)
+     ivdb_server --port 5434 --follow 127.0.0.1:5433
+   With --follow the engine starts as a read-only follower: a replica
+   driver subscribes to the primary at HOST:PORT and applies its WAL
+   continuously, while this server answers snapshot SELECTs (writes get
+   E_read_only). Stop with Ctrl-C (SIGINT): the server drains — open
+   transactions may finish, new work is refused — then exits once every
+   session closes. *)
 
 module Sched = Ivdb_sched.Sched
 module Database = Ivdb.Database
 module Server = Ivdb_server.Server
-module Unix_transport = Ivdb_server.Unix_transport
+module Replica = Ivdb_server.Replica
+module Unix_transport = Ivdb_transport.Unix_transport
 module Txn = Ivdb_txn.Txn
 module Metrics = Ivdb_util.Metrics
 
@@ -30,16 +36,42 @@ let commit_mode_conv =
   in
   Arg.conv (parse, print)
 
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+      with
+      | Some port when port >= 0 -> Some (host, port)
+      | _ -> None)
+
 let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
-    init =
+    init follow follow_name =
+  let upstream =
+    match follow with
+    | None -> None
+    | Some addr -> (
+        match parse_host_port addr with
+        | Some hp -> Some hp
+        | None ->
+            prerr_endline
+              (Printf.sprintf "bad --follow address %S (want HOST:PORT)" addr);
+            exit 2)
+  in
   let db =
-    Database.create
-      ~config:{ Database.default_config with commit_mode }
-      ()
+    match upstream with
+    | None -> Database.create ~config:{ Database.default_config with commit_mode } ()
+    | Some _ -> Database.create_follower ()
   in
   (* optional schema/preload script, executed before the port opens *)
   (match init with
   | None -> ()
+  | Some _ when upstream <> None ->
+      prerr_endline "--init is meaningless on a follower (schema replicates)";
+      exit 2
   | Some path ->
       let session = Ivdb_sql.Sql.session db in
       In_channel.with_open_text path (fun ic ->
@@ -62,6 +94,21 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
             }
           db listener
       in
+      let repl =
+        match upstream with
+        | None -> None
+        | Some (host, uport) ->
+            let r =
+              Replica.create ~name:follow_name db
+                (Unix_transport.dialer ~host ~port:uport ())
+            in
+            (* the follower's own row replaces the primary-shaped default *)
+            Server.add_sys srv (Replica.register_sys r);
+            Replica.spawn r;
+            Printf.printf "following %s:%d as %S (read-only)\n" host uport
+              follow_name;
+            Some r
+      in
       Server.serve srv;
       Printf.printf "ivdb_server listening on 127.0.0.1:%d (max %d sessions)\n"
         actual_port max_inflight;
@@ -81,12 +128,18 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
       done;
       print_endline "draining...";
       flush stdout;
+      (match repl with Some r -> Replica.stop r | None -> ());
       Server.drain srv);
   let m = Database.metrics db in
   Printf.printf "served %d session(s), %d request(s), shed %d\n"
     (Metrics.get m "server.accepted")
     (Metrics.get m "server.requests")
-    (Metrics.get m "server.shed")
+    (Metrics.get m "server.shed");
+  if upstream <> None then
+    Printf.printf "replicated to LSN %d (%d batch(es), %d reconnect(s))\n"
+      (Database.replicated_lsn db)
+      (Metrics.get m "replica.batches")
+      (Metrics.get m "replica.reconnects")
 
 let cmd =
   let open Term in
@@ -136,9 +189,30 @@ let cmd =
       & info [ "init" ] ~docv:"FILE"
           ~doc:"SQL script (one statement per line) run before serving.")
   in
+  let follow =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "follow" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Start as a read-only follower of the ivdb_server at \
+             $(docv): subscribe to its WAL stream and apply it \
+             continuously. Writes to this server are refused with \
+             E_read_only; SELECTs run as snapshots at the replicated \
+             horizon.")
+  in
+  let follow_name =
+    Arg.(
+      value & opt string "replica"
+      & info [ "follow-name" ] ~docv:"NAME"
+          ~doc:
+            "Replication slot name on the primary. Keep it stable across \
+             restarts so the primary retains exactly the log this \
+             follower still needs.")
+  in
   Cmd.v
     (Cmd.info "ivdb_server" ~doc:"Serve ivdb over the wire protocol")
     (const run $ port $ max_inflight $ busy_retry $ commit_mode
-   $ slow_query_ticks $ metrics_port $ init)
+   $ slow_query_ticks $ metrics_port $ init $ follow $ follow_name)
 
 let () = exit (Cmd.eval cmd)

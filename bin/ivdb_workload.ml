@@ -136,11 +136,43 @@ let run_net net max_inflight spec strategy create_mode verbose check =
           (Workload.check_consistency db v))
       (Database.list_views db)
 
+(* The replicated network path: loopback clients against a primary with a
+   follower applying the shipped WAL for the whole run. *)
+let run_replicated max_inflight spec strategy create_mode verbose =
+  let server_config = { Ivdb_server.Server.default_config with max_inflight } in
+  let r, db, fdb, rr =
+    Ivdb_client.Net_workload.run_replicated ~server_config spec
+  in
+  let get name =
+    match List.assoc_opt name r.Workload.metrics with Some v -> v | None -> 0
+  in
+  Printf.printf "transport         loopback + follower (%d client connections)\n"
+    spec.Workload.mpl;
+  print_result strategy create_mode r;
+  Printf.printf "server            accepted %d, shed %d, requests %d\n"
+    (get "server.accepted") (get "server.shed") (get "server.requests");
+  Printf.printf "replication       %d batch(es), %d record(s) shipped, %d reconnect(s)\n"
+    (get "server.repl.batches") (get "server.repl.records") rr.Ivdb_client.Net_workload.reconnects;
+  Printf.printf "replica lag       max %d, mean %.1f records; catch-up %d ticks\n"
+    rr.Ivdb_client.Net_workload.lag_max rr.Ivdb_client.Net_workload.lag_mean
+    rr.Ivdb_client.Net_workload.catchup_ticks;
+  let dp = Database.state_digest db and df = Database.state_digest fdb in
+  Printf.printf "follower          lsn %d, state digest %s\n"
+    (Database.replicated_lsn fdb)
+    (if dp = df then "MATCHES primary" else "DIVERGED from primary");
+  if verbose then begin
+    Printf.printf "\ncounters:\n";
+    List.iter
+      (fun (k, v) -> if v <> 0 then Printf.printf "  %-28s %d\n" k v)
+      r.Workload.metrics
+  end;
+  if dp <> df then exit 1
+
 let run seed groups theta mpl txns ops deletes reads read_pct scan coarse
     snapshot strategy create_mode commit_mode views initial gc_every
-    checkpoint_every stats_interval trace_out verbose check net max_inflight
-    fault_seed fault_read_p fault_write_p fault_crash_write fault_crash_force
-    fault_torn_writes fault_torn_tail =
+    checkpoint_every stats_interval trace_out verbose check net replica
+    max_inflight fault_seed fault_read_p fault_write_p fault_crash_write
+    fault_crash_force fault_torn_writes fault_torn_tail =
   (* --read-pct is the integer-percent spelling of --reads; it wins when
      both are given *)
   let read_fraction =
@@ -173,6 +205,8 @@ let run seed groups theta mpl txns ops deletes reads read_pct scan coarse
       stats_interval;
     }
   in
+  if replica then run_replicated max_inflight spec strategy create_mode verbose
+  else
   match net with
   | Some n -> run_net n max_inflight spec strategy create_mode verbose check
   | None ->
@@ -345,6 +379,16 @@ let cmd =
                 connection count; fault injection and --trace-out are \
                 in-process features and do not apply.")
   in
+  let replica =
+    Arg.(
+      value & flag
+      & info [ "replica" ]
+          ~doc:"Run the loopback network workload with a read replica \
+                attached: a follower instance subscribes to the primary's \
+                WAL stream and applies it while the clients run. Reports \
+                replication lag and checks the follower's state digest \
+                against the primary (non-zero exit on divergence).")
+  in
   let max_inflight =
     Arg.(
       value & opt int 32
@@ -402,7 +446,7 @@ let cmd =
    $ read_pct $ scan $ coarse $ snapshot $ strategy $ create_mode
    $ commit_mode $ views $ initial
    $ gc_every $ checkpoint_every $ stats_interval $ trace_out $ verbose
-   $ check $ net $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
+   $ check $ net $ replica $ max_inflight $ fault_seed $ fault_read_p $ fault_write_p
    $ fault_crash_write $ fault_crash_force $ fault_torn_writes
    $ fault_torn_tail)
 

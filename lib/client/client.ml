@@ -1,7 +1,7 @@
 module Sched = Ivdb_sched.Sched
 module Wire = Ivdb_wire.Wire
-module Transport = Ivdb_server.Transport
-module Frame_io = Ivdb_server.Transport.Frame_io
+module Transport = Ivdb_transport.Transport
+module Frame_io = Ivdb_transport.Transport.Frame_io
 module Sql = Ivdb_sql.Sql
 
 exception Server_busy of { retry_ticks : int }
@@ -16,7 +16,7 @@ exception
 exception Disconnected of string
 
 type t = {
-  dial : unit -> Transport.conn;
+  dialer : Transport.dialer;
   client : string;
   attempts : int;
   mutable io : Frame_io.t option;
@@ -48,7 +48,7 @@ let next_delay n = min (2 * n) 64
 (* One dial + handshake. Raises on every failure mode; [connect] and the
    reconnect path wrap it with retries. *)
 let dial_once t =
-  let conn = t.dial () in
+  let conn = t.dialer.Transport.dial () in
   let io = Frame_io.create conn in
   Frame_io.send io
     (Wire.Hello
@@ -87,10 +87,10 @@ let establish t =
   in
   go 1 1
 
-let connect ?(client = "ivdb-client") ?(attempts = 8) dial =
+let connect ?(client = "ivdb-client") ?(attempts = 8) dialer =
   let t =
     {
-      dial;
+      dialer;
       client;
       attempts;
       io = None;
@@ -105,6 +105,7 @@ let connect ?(client = "ivdb-client") ?(attempts = 8) dial =
   establish t;
   t
 
+let peer_addr t = t.dialer.Transport.addr
 let session_id t = t.session
 let server_name t = t.server
 let reconnects t = t.reconnects

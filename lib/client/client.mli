@@ -1,14 +1,14 @@
 (** Blocking ivdb client: connect / exec / close over any
-    {!Ivdb_server.Transport.conn} factory.
+    {!Ivdb_transport.Transport.dialer}.
 
-    The client is transport-agnostic: [connect dial] takes a function
-    producing a fresh connection, so the same code drives the
-    deterministic loopback (from inside a scheduler run) and real TCP
-    (from a standalone process such as the REPL). "Blocking" follows the
-    transport's discipline — fiber-suspending under the scheduler,
-    thread-blocking outside.
+    The client is transport-agnostic: [connect dialer] takes a named
+    connection factory ({!Ivdb_transport.Transport.dialer}), so the same
+    code drives the deterministic loopback (from inside a scheduler run)
+    and real TCP (from a standalone process such as the REPL).
+    "Blocking" follows the transport's discipline — fiber-suspending
+    under the scheduler, thread-blocking outside.
 
-    Connection failures ({!Ivdb_server.Transport.Refused}, a [Busy] shed
+    Connection failures ({!Ivdb_transport.Transport.Refused}, a [Busy] shed
     frame) are retried with doubling, capped backoff up to [attempts]
     times. A connection that dies mid-use is re-dialed automatically on
     the failing {!exec}, which then raises {!Disconnected} so the caller
@@ -36,11 +36,14 @@ exception Disconnected of string
 type t
 
 val connect :
-  ?client:string -> ?attempts:int -> (unit -> Ivdb_server.Transport.conn) -> t
+  ?client:string -> ?attempts:int -> Ivdb_transport.Transport.dialer -> t
 (** Dial and handshake. [client] is the identity sent in [Hello]
     (default ["ivdb-client"]); [attempts] bounds dial/handshake retries
     (default 8). Raises {!Server_busy}, {!Disconnected}, or
     {!Server_error} when the handshake itself is refused. *)
+
+val peer_addr : t -> string
+(** The dialer's [addr] — the peer this client targets. *)
 
 val session_id : t -> int
 (** Server-assigned session id from the latest [Welcome]. *)

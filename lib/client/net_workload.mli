@@ -17,6 +17,16 @@
 
 type transport = Loopback | Tcp
 
+type repl_report = {
+  lag_max : int;  (** worst sampled records-behind during the run *)
+  lag_mean : float;  (** mean of the periodic lag samples *)
+  ship_batches : int;  (** ReplRecords batches the follower applied *)
+  reconnects : int;  (** times the replica driver redialed *)
+  catchup_ticks : int;
+      (** ticks from the last client commit until the follower reached the
+          primary's flushed horizon *)
+}
+
 val run_net :
   ?transport:transport ->
   ?server_config:Ivdb_server.Server.config ->
@@ -28,3 +38,15 @@ val run_net :
     this into the overload/shed experiment: refused clients back off and
     retry, and the shed count lands in [result.metrics]. The database is
     returned so callers can check view consistency after the run. *)
+
+val run_replicated :
+  ?server_config:Ivdb_server.Server.config ->
+  Ivdb.Workload.spec ->
+  Ivdb.Workload.result * Ivdb.Database.t * Ivdb.Database.t * repl_report
+(** [run_net] over loopback with a follower attached: a fresh
+    {!Ivdb.Database.create_follower} instance driven by a
+    {!Ivdb_server.Replica} connection to the same server, applying the
+    primary's WAL while the clients run. Returns
+    [(result, primary, follower, report)]; the follower has fully caught
+    up to the primary's flushed horizon by the time the call returns, so
+    callers can compare {!Ivdb.Database.state_digest} directly. *)

@@ -48,6 +48,10 @@ let default_config =
     fault = Fault.no_faults;
   }
 
+type role = Primary | Follower
+
+exception Read_only_replica
+
 type table = int
 type view = int
 
@@ -63,6 +67,8 @@ and index_rt = { imeta : Catalog.index_meta; itree : Btree.t }
 
 type t = {
   cfg : config;
+  role : role;
+  mutable redo_state : Recovery.Redo.t option; (* Some iff role = Follower *)
   mutable fplan : Fault.t;
   dmetrics : Metrics.t;
   dtrace : Trace.t;
@@ -486,7 +492,7 @@ let install_undo t =
    so under Sched.run the same seed yields a byte-identical event stream. *)
 let make_trace () = Trace.create ~clock:Sched.now ~fiber:Sched.self ()
 
-let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
+let bare ?(config = default_config) ?(role = Primary) ?trace ~metrics ~disk ~wal () =
   let trace = match trace with Some tr -> tr | None -> make_trace () in
   let fplan =
     if Fault.enabled_in config.fault then Fault.create ~trace metrics config.fault
@@ -506,6 +512,15 @@ let bare ?(config = default_config) ?trace ~metrics ~disk ~wal () =
   let t =
     {
       cfg = config;
+      role;
+      (* a follower's replay position: the next LSN after whatever the log
+         already holds (1 for a fresh follower; after a restart, recovery
+         redo re-applies the retained prefix and streaming resumes here) *)
+      redo_state =
+        (match role with
+        | Primary -> None
+        | Follower ->
+            Some (Recovery.Redo.create dpool ~next:(Wal.flushed_lsn wal + 1)));
       fplan;
       dmetrics = metrics;
       dtrace = trace;
@@ -577,6 +592,20 @@ let create ?(config = default_config) () =
   let wal = Wal.create ~trace metrics in
   bare ~config ~trace ~metrics ~disk ~wal ()
 
+let create_follower ?(config = default_config) () =
+  let metrics = Metrics.create () in
+  let trace = make_trace () in
+  let disk =
+    Disk.create ~read_cost:config.read_cost ~write_cost:config.write_cost
+      ~trace metrics
+  in
+  let wal = Wal.create ~trace metrics in
+  bare ~config ~role:Follower ~trace ~metrics ~disk ~wal ()
+
+let role t = t.role
+let is_follower t = t.role = Follower
+let reject_writes t = if t.role = Follower then raise Read_only_replica
+
 (* Arm (or replace) the fault plan mid-life — the crash-point sweep tests
    set up the schema fault-free, then install the trigger before the
    measured workload so every injection ordinal lands inside it. *)
@@ -593,6 +622,7 @@ let fault_plan t = t.fplan
 let log_ddl_op t stx op = Txn.log_ddl t.tmgr stx (Catalog.encode_op op)
 
 let create_table t ~name ~cols =
+  reject_writes t;
   (match Catalog.table_named t.catalog name with
   | Some _ -> invalid_arg ("Database.create_table: duplicate table " ^ name)
   | None -> ());
@@ -624,6 +654,7 @@ let index_key ~unique v (rid : Heap_file.rid) =
 exception Constraint_violation of string
 
 let create_index t ?(unique = false) tid ~col ~name =
+  reject_writes t;
   let rt = table_rt t tid in
   let col_pos = Schema.index_of rt.tschema col in
   let id = Catalog.fresh_id t.catalog in
@@ -673,6 +704,7 @@ let join_schema t left right =
 
 let create_view t ?(create_mode = Maintain.System_txn) ?refresh_threshold ~name
     ~group_by ~aggs ~source ~strategy () =
+  reject_writes t;
   (match Catalog.view_named t.catalog name with
   | Some _ -> invalid_arg ("Database.create_view: duplicate view " ^ name)
   | None -> ());
@@ -837,6 +869,7 @@ type abort_reason =
    [transact] can re-raise the original and [transact_result] can classify
    it without losing the payload. *)
 let transact_exn t ?retries f =
+  reject_writes t;
   let retries = match retries with Some r -> r | None -> t.cfg.txn_retries in
   let rec go attempts_left =
     let tx = Txn.begin_txn t.tmgr in
@@ -900,6 +933,9 @@ let transact_result t ?retries f =
    checkpoint, and undo of any active transaction reaches back at most to
    its first record. *)
 let checkpoint t =
+  (* a follower must never append its own records: its log is a verbatim
+     copy of the primary's LSN space *)
+  reject_writes t;
   Bufpool.flush_all t.dpool;
   Txn.checkpoint t.tmgr ~catalog:(Catalog.encode_snapshot t.catalog);
   let ckpt = Wal.last_checkpoint_lsn t.dwal in
@@ -931,13 +967,28 @@ let crash old =
   let metrics = Metrics.create () in
   let trace = make_trace () in
   let wal = Wal.crash old.dwal ~trace metrics in
+  (* replication slots are durable state (as in any real system): carry
+     the retain floor across the restart so a subscribed replica can still
+     resume below the recovery checkpoint's truncation point — the CLRs
+     recovery is about to append are records the replica has yet to see *)
+  Wal.set_retain_floor wal (Wal.retain_floor old.dwal);
   Bufpool.drop_all old.dpool;
   (* the new incarnation boots on healthy hardware: the old plan (frozen
      or not) must not fire again during or after recovery *)
   Disk.set_fault old.disk Fault.none;
   let config = { old.cfg with fault = Fault.no_faults } in
-  let t = bare ~config ~trace ~metrics ~disk:old.disk ~wal () in
+  let t = bare ~config ~role:old.role ~trace ~metrics ~disk:old.disk ~wal () in
   let analysis = Recovery.analyze wal in
+  let analysis =
+    (* A restarting follower redoes its whole retained log: the governing
+       checkpoint is the *primary's*, so its dirty-page recLSNs describe
+       the primary's disk at checkpoint time, not this replica's (whose
+       pool was never flushed at that point). The pageLSN gate makes the
+       wider replay cheap and idempotent. *)
+    if t.role = Follower then
+      { analysis with Recovery.redo_start = Wal.first_lsn wal }
+    else analysis
+  in
   let redo = Recovery.redo wal t.dpool analysis in
   Metrics.add metrics "recovery.redo_applied" redo.Recovery.applied;
   Metrics.add metrics "recovery.torn_pages" (List.length redo.Recovery.torn_pages);
@@ -954,17 +1005,105 @@ let crash old =
   List.iter (fun payload -> Catalog.apply_op t.catalog (Catalog.decode_op payload))
     analysis.Recovery.ddl;
   rebuild_runtime t;
-  List.iter
-    (fun (tid, last) ->
-      let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
-      Txn.rollback_tail t.tmgr loser ~from:last)
-    analysis.Recovery.losers;
-  checkpoint t;
+  (match t.role with
+  | Primary ->
+      List.iter
+        (fun (tid, last) ->
+          let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
+          Txn.rollback_tail t.tmgr loser ~from:last)
+        analysis.Recovery.losers;
+      checkpoint t
+  | Follower ->
+      (* "losers" here are the primary's transactions still in flight at
+         the end of the shipped prefix — their CLRs (or commits) arrive
+         later in the stream, so rolling them back locally would diverge.
+         No checkpoint either: a follower appends nothing. *)
+      ());
   t
+
+(* --- replication (follower side) --------------------------------------------------- *)
+
+let register_op t = function
+  | Catalog.Add_table m -> register_table t m ~heap:None
+  | Catalog.Add_index m -> register_index t m ~tree:None
+  | Catalog.Add_view m -> register_view t m ~tree:None ~queue:None
+
+(* Install one shipped batch: each record is ingested into the local log
+   (keeping the primary's LSN), its page diffs are replayed through the
+   persistent redo state, and DDL payloads are folded into the catalog so
+   the runtime (heaps, trees, view machinery) grows in step with the
+   stream. Checkpoint records flow through untouched — their catalog
+   snapshot and dirty-page table describe the primary, and the follower
+   only ever consults them during its own restart recovery. The records
+   the system transaction logged *before* its Ddl record (page formats,
+   backfills) are replayed first because LSN order says so, which is what
+   makes the attach-from-meta in [register_op] always find formatted
+   pages. *)
+let apply_replicated t records =
+  let redo =
+    match t.redo_state with
+    | Some s -> s
+    | None -> invalid_arg "Database.apply_replicated: not a follower"
+  in
+  List.iter
+    (fun (r : Log_record.t) ->
+      Wal.ingest t.dwal r;
+      Recovery.Redo.apply redo r;
+      match r.Log_record.body with
+      | Log_record.Ddl payload ->
+          let op = Catalog.decode_op payload in
+          Catalog.apply_op t.catalog op;
+          register_op t op
+      | _ -> ())
+    records;
+  (* physical redo grows heap chains on disk without going through the
+     Heap_file handle: adopt any pages appended behind the caches so
+     scans and digests see the full chain *)
+  Hashtbl.iter (fun _ heap -> Heap_file.refresh heap) t.heaps;
+  Metrics.add t.dmetrics "repl.applied_records" (List.length records)
+
+(* On a follower every retained record is stable (ingest forces nothing
+   but marks immediately), so the flushed horizon *is* the replication
+   position; on a primary the same expression is simply its durable
+   horizon. *)
+let replicated_lsn t = Wal.flushed_lsn t.dwal
+
+(* Logical content digest: live rows of every table (sorted, so heap
+   placement is irrelevant) and every view's b-tree entries in key order,
+   all length-prefixed to keep the concatenation unambiguous. Two engines
+   that applied the same log prefix digest identically — the divergence
+   check the replication tests and the runtest smoke lean on. *)
+let state_digest t =
+  let buf = Buffer.create 4096 in
+  let add_str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let sorted_ids tbl = Hashtbl.fold (fun id _ acc -> id :: acc) tbl [] |> List.sort compare in
+  List.iter
+    (fun tid ->
+      let rt = table_rt t tid in
+      Buffer.add_string buf (Printf.sprintf "T%d|" tid);
+      let rows = ref [] in
+      Heap_file.iter rt.heap (fun _ payload -> rows := payload :: !rows);
+      List.iter add_str (List.sort compare !rows))
+    (sorted_ids t.dtables);
+  List.iter
+    (fun vid ->
+      let rt = view_rt t vid in
+      Buffer.add_string buf (Printf.sprintf "V%d|" vid);
+      Btree.iter rt.Maintain.tree (fun k v ->
+          add_str k;
+          add_str v))
+    (sorted_ids t.views_rt);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* --- maintenance -------------------------------------------------------------------- *)
 
 let gc t =
+  if t.role = Follower then 0
+  else begin
   let reclaimed = ref 0 in
   (* MVCC version chains whose entries no live snapshot can still see *)
   reclaimed := !reclaimed + Ivdb_txn.Mvcc.gc (Txn.mvcc t.tmgr);
@@ -1034,6 +1173,7 @@ let gc t =
       end)
     t.dtables;
   !reclaimed
+  end
 
 module Internal = struct
   type nonrec table_rt = table_rt

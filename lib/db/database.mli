@@ -52,6 +52,51 @@ type view
 
 val create : ?config:config -> unit -> t
 
+(** {1 Replication roles}
+
+    An engine is either a [Primary] — the ordinary read-write database —
+    or a [Follower]: a read replica whose entire state is built by
+    replaying the primary's stable log, shipped to it in batches. A
+    follower appends nothing to its own log (its LSN space is a verbatim
+    copy of the primary's), so every local write path is closed off. *)
+
+type role = Primary | Follower
+
+exception Read_only_replica
+(** Raised by the write paths — read-write {!transact} /
+    {!transact_result}, DDL, {!checkpoint} — when the engine is a
+    [Follower]. Snapshot reads ({!transact} with [~read_only:true]) are
+    always allowed. *)
+
+val create_follower : ?config:config -> unit -> t
+(** An empty engine in [Follower] role. It catches up by
+    {!apply_replicated}-ing the primary's records from LSN 1 and serves
+    lock-free snapshot reads at its applied horizon. *)
+
+val role : t -> role
+val is_follower : t -> bool
+
+val apply_replicated : t -> Ivdb_wal.Log_record.t list -> unit
+(** Install one shipped batch on a follower: each record is ingested into
+    the local log under the primary's LSN, its page diffs replayed
+    through the persistent {!Ivdb_recovery.Recovery.Redo} state, and DDL
+    folded into the catalog and runtime. Records apply strictly in LSN
+    order, so a concurrent snapshot reader on this follower always sees a
+    dense log prefix — never a hole. Records must chain densely from
+    [{!replicated_lsn} + 1] — [Invalid_argument] otherwise, and on a
+    [Primary]. *)
+
+val replicated_lsn : t -> Ivdb_wal.Log_record.lsn
+(** The follower's applied (and durable) horizon: the LSN of the last
+    record it ingested; 0 when empty. On a primary, its flushed LSN. *)
+
+val state_digest : t -> string
+(** Hex digest of the logical engine content: every table's live rows
+    (order-independent) and every view's b-tree entries. A primary and a
+    follower that have applied the same log prefix — equal
+    {!replicated_lsn}, all records forced — digest identically; the
+    replication property suite asserts exactly that. *)
+
 val install_fault : t -> Ivdb_storage.Fault.config -> unit
 (** Arm (or replace) the fault plan mid-life — lets tests set up the
     schema fault-free and inject only into the measured workload. A plan
@@ -183,14 +228,29 @@ val crash : t -> t
     unforced log tail) is lost; the returned instance is rebuilt from the
     stable log and disk — catalog restored, history repeated, losers rolled
     back — and ends with a checkpoint. The old handle must not be used
-    again. *)
+    again.
+
+    On a [Follower] the recovery differs in three role-specific ways: redo
+    restarts from the replica's own first retained LSN (the governing
+    checkpoint's dirty-page table describes the {e primary's} disk, not
+    this one's), in-flight primary transactions are {e not} rolled back
+    (their CLRs or commits arrive later in the stream), and no final
+    checkpoint is taken (a follower appends nothing). The recovered
+    follower resumes streaming at [{!replicated_lsn} + 1].
+
+    On either role the WAL's replication retain floor
+    ({!Ivdb_wal.Wal.set_retain_floor}) survives the restart — slots are
+    durable state, so a primary's recovery checkpoint never truncates
+    records a subscribed replica still needs. *)
 
 (** {1 Maintenance} *)
 
 val gc : t -> int
 (** Run the garbage-collection system transactions: zero-count view rows,
     deferred-queue ghosts, base-table ghosts; also prunes MVCC version
-    chains no live snapshot can still see. Returns items reclaimed. *)
+    chains no live snapshot can still see. Returns items reclaimed.
+    On a [Follower] this is a no-op returning 0 — gc runs system
+    transactions, and reclamation replicates from the primary instead. *)
 
 val metrics : t -> Ivdb_util.Metrics.t
 

@@ -87,6 +87,70 @@ let analyze wal =
 
 type redo_result = { applied : int; torn_pages : int list }
 
+(* Resumable redo: the page-diff replay loop factored out of the one-shot
+   startup path so a replication follower can hold one [Redo.t] for its
+   whole life and feed it each shipped batch as it arrives. The state is
+   just a resume position and a counter — all real idempotence comes from
+   the pageLSN gate, so re-creating the state after a follower restart
+   (with [next] = end of its own redo pass) is always safe. *)
+module Redo = struct
+  type t = {
+    pool : Bufpool.t;
+    mutable next : Log_record.lsn; (* the LSN [apply] expects next *)
+    mutable applied : int; (* page diffs applied since [create] *)
+  }
+
+  let create pool ~next = { pool; next; applied = 0 }
+  let next_lsn t = t.next
+  let applied t = t.applied
+
+  let apply t r =
+    let lsn = r.Log_record.lsn in
+    if lsn <> t.next then
+      invalid_arg
+        (Printf.sprintf "Recovery.Redo.apply: LSN %d breaks the chain (expected %d)"
+           lsn t.next);
+    t.next <- lsn + 1;
+    match r.Log_record.body with
+    | Log_record.Update { redo = diffs; _ } | Log_record.Clr { redo = diffs; _ }
+      ->
+        (* a streamed record may touch pages this engine has never
+           allocated (the primary formatted them after our bootstrap) *)
+        let disk = Bufpool.disk t.pool in
+        List.iter
+          (fun pid ->
+            if pid > Ivdb_storage.Disk.max_page_id disk then
+              Ivdb_storage.Disk.bump_alloc disk pid)
+          (Log_record.pages_touched r);
+        (* One record may carry several diffs for the same page (e.g. a
+           heap page formatted and then filled). The LSN test gates the
+           page once per record; subsequent diffs of the same record
+           must still be applied. *)
+        let applied_here = Hashtbl.create 4 in
+        List.iter
+          (fun (pid, diff) ->
+            let did_apply, _ =
+              Bufpool.update t.pool pid (fun p ->
+                  if
+                    Hashtbl.mem applied_here pid
+                    || Int64.to_int (Page.get_lsn p) < lsn
+                  then begin
+                    Ivdb_storage.Page_diff.apply p diff;
+                    true
+                  end
+                  else false)
+            in
+            if did_apply then begin
+              Hashtbl.replace applied_here pid ();
+              Bufpool.stamp t.pool pid (Int64.of_int lsn);
+              t.applied <- t.applied + 1
+            end)
+          diffs
+    | Log_record.Begin _ | Log_record.Commit | Log_record.Abort
+    | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+        ()
+end
+
 (* Torn-page policy: a stored image that fails checksum verification is
    reset to a fresh zeroed page (LSN 0) *before* any buffer-pool fetch can
    trip over it, and redo then replays from the start of the retained log
@@ -106,7 +170,6 @@ let repair_torn disk =
   !torn
 
 let redo wal pool analysis =
-  let applied = ref 0 in
   let disk = Bufpool.disk pool in
   Ivdb_storage.Disk.bump_alloc disk analysis.max_page_id;
   let torn_pages = repair_torn disk in
@@ -114,36 +177,9 @@ let redo wal pool analysis =
     if torn_pages = [] then analysis.redo_start
     else min analysis.redo_start (Wal.first_lsn wal)
   in
-  Wal.iter_stable wal (fun r ->
-      let lsn = r.Log_record.lsn in
-      if lsn >= redo_start then
-        match r.Log_record.body with
-        | Log_record.Update { redo = diffs; _ } | Log_record.Clr { redo = diffs; _ } ->
-            (* One record may carry several diffs for the same page (e.g. a
-               heap page formatted and then filled). The LSN test gates the
-               page once per record; subsequent diffs of the same record
-               must still be applied. *)
-            let applied_here = Hashtbl.create 4 in
-            List.iter
-              (fun (pid, diff) ->
-                let did_apply, _ =
-                  Bufpool.update pool pid (fun p ->
-                      if
-                        Hashtbl.mem applied_here pid
-                        || Int64.to_int (Page.get_lsn p) < lsn
-                      then begin
-                        Ivdb_storage.Page_diff.apply p diff;
-                        true
-                      end
-                      else false)
-                in
-                if did_apply then begin
-                  Hashtbl.replace applied_here pid ();
-                  Bufpool.stamp pool pid (Int64.of_int lsn);
-                  incr applied
-                end)
-              diffs
-        | Log_record.Begin _ | Log_record.Commit | Log_record.Abort
-        | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _ ->
-            ());
-  { applied = !applied; torn_pages }
+  (* iter_stable starts at first_lsn, so the effective start is never
+     below the retained log *)
+  let redo_start = max redo_start (Wal.first_lsn wal) in
+  let state = Redo.create pool ~next:redo_start in
+  Wal.iter_from wal ~from:redo_start (Redo.apply state);
+  { applied = Redo.applied state; torn_pages }

@@ -13,7 +13,12 @@
       between redo and undo.
 
     The caller orchestrates: [analyze] → [redo] → rebuild catalog → install
-    undo executor → [undo each loser] → checkpoint. *)
+    undo executor → [undo each loser] → checkpoint.
+
+    Redo itself is resumable: the one-shot {!redo} is a thin driver over
+    {!Redo}, a persistent replay state a replication follower keeps for
+    its whole life, feeding it each shipped batch as it arrives instead
+    of re-running analysis+redo per batch. *)
 
 type analysis = {
   losers : (int * Ivdb_wal.Log_record.lsn) list;
@@ -33,6 +38,33 @@ type redo_result = {
   applied : int;  (** page diffs applied *)
   torn_pages : int list;  (** pages found torn, reset to fresh and replayed *)
 }
+
+(** Resumable redo state: repeat history one record at a time, in LSN
+    order, across any number of batches. Holds only a resume position
+    and a counter — idempotence comes from the pageLSN gate, so a
+    follower that restarts simply re-creates the state at the end of its
+    own recovery redo pass and continues. *)
+module Redo : sig
+  type t
+
+  val create : Ivdb_storage.Bufpool.t -> next:Ivdb_wal.Log_record.lsn -> t
+  (** [next] is the first LSN {!apply} will accept — for a fresh
+      follower 1 ([Wal.first_lsn] of an empty log), after a restart
+      [last_lsn + 1] of the recovered log. *)
+
+  val apply : t -> Ivdb_wal.Log_record.t -> unit
+  (** Apply one record: page diffs of [Update]/[Clr] records whose LSN
+      exceeds the page's LSN are applied and stamped; other bodies only
+      advance the position. Allocates pages the local disk has never
+      seen. Raises [Invalid_argument] if the record's LSN is not exactly
+      {!next_lsn} — shipped batches must be dense and in order. *)
+
+  val next_lsn : t -> Ivdb_wal.Log_record.lsn
+  (** The LSN {!apply} expects next (= 1 + the last applied LSN). *)
+
+  val applied : t -> int
+  (** Page diffs applied through this state since [create]. *)
+end
 
 val redo : Ivdb_wal.Wal.t -> Ivdb_storage.Bufpool.t -> analysis -> redo_result
 (** Repeat history. First sweeps the disk for torn pages (checksum

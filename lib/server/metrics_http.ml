@@ -5,6 +5,7 @@
    is written. Malformed or oversized request heads get a 400. *)
 
 module Sched = Ivdb_sched.Sched
+module Transport = Ivdb_transport.Transport
 module Metrics = Ivdb_util.Metrics
 
 let max_head = 8192

@@ -8,9 +8,9 @@
     enough HTTP for [curl] or a Prometheus scraper against the
     [--metrics-port] listener of [ivdb_server]. *)
 
-val serve : Ivdb_util.Metrics.t -> Transport.listener -> unit
+val serve : Ivdb_util.Metrics.t -> Ivdb_transport.Transport.listener -> unit
 (** Spawn the accept fiber. Must be called inside a scheduler run; the
     fiber exits once the listener is stopped. *)
 
-val handle : Ivdb_util.Metrics.t -> Transport.conn -> unit
+val handle : Ivdb_util.Metrics.t -> Ivdb_transport.Transport.conn -> unit
 (** Serve a single already-accepted connection and close it. *)

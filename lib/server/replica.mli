@@ -1,0 +1,59 @@
+(** Follower-side replication driver.
+
+    Connects a follower database ({!Ivdb.Database.create_follower}) to a
+    primary's server over the wire protocol: dial, [Hello]/[Welcome],
+    [ReplSubscribe] from the follower's durable horizon
+    ([replicated_lsn + 1]), then a pump loop — receive [ReplRecords],
+    decode ({!Ivdb_wal.Wal.decode_frames}), apply
+    ({!Ivdb.Database.apply_replicated}), answer [ReplAck].
+
+    Any stream break (EOF, corrupt frame, torn batch, protocol
+    violation) drops the connection and redials with exponential
+    backoff, resubscribing from whatever was durably applied — the
+    primary's slot rewinds to the acked horizon, so no record is lost or
+    applied twice. An [Err] frame from the primary (refused subscribe,
+    draining) stops the driver for good.
+
+    Progress lands in the follower's metrics: [replica.batches],
+    [replica.records], [replica.reconnects] (alongside the engine's
+    [repl.applied_records]). *)
+
+type t
+
+type status = Connecting | Streaming | Stopped
+
+val create : ?name:string -> Ivdb.Database.t -> Ivdb_transport.Transport.dialer -> t
+(** [create ?name db dialer] — [db] must be a follower
+    ([Invalid_argument] otherwise). [name] (default ["replica"])
+    identifies this replica's durable slot on the primary: keep it
+    stable across restarts so the slot — and the WAL retention it pins —
+    is reused rather than duplicated. *)
+
+val spawn : t -> unit
+(** Spawn the driver fiber. Must be called inside a scheduler run; the
+    fiber exits only via {!stop} or a fatal [Err] from the primary. *)
+
+val run : t -> unit
+(** The driver loop itself, for callers managing their own fiber. *)
+
+val stop : t -> unit
+(** Request shutdown and close the live connection, waking the fiber if
+    it is blocked in a read. Idempotent. *)
+
+val status : t -> status
+
+val lag : t -> int
+(** Records between the primary's last advertised flushed horizon and
+    what this follower has applied. Zero when caught up (or never
+    connected). *)
+
+val primary_flushed : t -> int
+val batches : t -> int
+val reconnects : t -> int
+val last_error : t -> string option
+
+val register_sys : t -> Ivdb_sql.Sql.session -> unit
+(** Install this driver's live one-row [sys.replication] provider
+    (role [follower], peer, state, horizons, lag) on a SQL session.
+    Pass to {!Server.add_sys} on a follower's read-only server so wire
+    clients can observe replication state. *)

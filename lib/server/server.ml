@@ -1,8 +1,10 @@
 module Sched = Ivdb_sched.Sched
 module Wire = Ivdb_wire.Wire
+module Transport = Ivdb_transport.Transport
 module Sql = Ivdb_sql.Sql
 module Sys_tables = Ivdb_sql.Sys_tables
 module Database = Ivdb.Database
+module Wal = Ivdb_wal.Wal
 module Metrics = Ivdb_util.Metrics
 module Trace = Ivdb_util.Trace
 module Value = Ivdb_relation.Value
@@ -44,6 +46,23 @@ type slow = {
 
 let slow_cap = 128
 
+(* One replication slot: the durable record of how far a named replica
+   has applied our log. The slot outlives its connection — a detached
+   replica still pins the WAL retain floor at its acked horizon, so the
+   records it has yet to ship survive checkpoint truncation until it
+   resubscribes. *)
+type replica_state = {
+  rp_name : string;
+  mutable rp_connected : bool;
+  mutable rp_acked : int; (* highest LSN the replica has applied *)
+  mutable rp_tick : int; (* tick of the last subscribe or ack *)
+}
+
+(* Records shipped per ReplRecords frame. Small enough that a slow
+   replica never holds a multi-megabyte payload in flight; large enough
+   to amortize framing over a busy primary's append rate. *)
+let repl_batch_limit = 128
+
 type t = {
   db : Database.t;
   listener : Transport.listener;
@@ -53,12 +72,16 @@ type t = {
   mutable next_session : int;
   sessions : (int, sess) Hashtbl.t;
   slow : slow Queue.t; (* bounded ring, oldest first *)
+  replicas : (string, replica_state) Hashtbl.t; (* slots by replica name *)
+  mutable sys_ext : (Sql.session -> unit) list; (* extra sys.* installers *)
   (* metric handles resolved once at create *)
   m_accepted : Metrics.counter;
   m_shed : Metrics.counter;
   m_requests : Metrics.counter;
   m_closed : Metrics.counter;
   m_slow : Metrics.counter;
+  m_repl_batches : Metrics.counter;
+  m_repl_records : Metrics.counter;
   h_inflight : Metrics.hist;
   h_latency : Metrics.hist;
 }
@@ -74,11 +97,15 @@ let create ?(config = default_config) db listener =
     next_session = 1;
     sessions = Hashtbl.create 16;
     slow = Queue.create ();
+    replicas = Hashtbl.create 4;
+    sys_ext = [];
     m_accepted = Metrics.counter m "server.accepted";
     m_shed = Metrics.counter m "server.shed";
     m_requests = Metrics.counter m "server.requests";
     m_closed = Metrics.counter m "server.sessions_closed";
     m_slow = Metrics.counter m "server.slow_queries";
+    m_repl_batches = Metrics.counter m "server.repl.batches";
+    m_repl_records = Metrics.counter m "server.repl.records";
     h_inflight = Metrics.hist m "server.inflight";
     h_latency = Metrics.hist m "server.request.ticks";
   }
@@ -137,9 +164,54 @@ let slow_rows t () =
   in
   (Sys_tables.slow_queries_header, rows)
 
+let replication_rows t () =
+  let flushed = Wal.flushed_lsn (Database.wal t.db) in
+  let rows =
+    Hashtbl.fold
+      (fun _ rp acc ->
+        [|
+          Value.Str "primary";
+          Value.Str rp.rp_name;
+          Value.Str (if rp.rp_connected then "streaming" else "detached");
+          Value.Int rp.rp_acked;
+          Value.Int flushed;
+          Value.Int (flushed - rp.rp_acked);
+          Value.Int rp.rp_tick;
+        |]
+        :: acc)
+      t.replicas []
+    |> List.sort compare
+  in
+  (Sys_tables.replication_header, rows)
+
 let register_sys t session =
   Sql.add_sys_provider session "sys.server_sessions" (sessions_rows t);
-  Sql.add_sys_provider session "sys.slow_queries" (slow_rows t)
+  Sql.add_sys_provider session "sys.slow_queries" (slow_rows t);
+  Sql.add_sys_provider session "sys.replication" (replication_rows t);
+  List.iter (fun install -> install session) (List.rev t.sys_ext)
+
+let add_sys t install = t.sys_ext <- install :: t.sys_ext
+
+let replicas t =
+  Hashtbl.fold
+    (fun _ rp acc -> (rp.rp_name, rp.rp_acked, rp.rp_connected) :: acc)
+    t.replicas []
+  |> List.sort compare
+
+(* The WAL must retain every record some slot has yet to acknowledge:
+   the floor is the minimum unacked LSN across all slots, detached ones
+   included. With no slots the floor lifts and checkpoints truncate
+   freely again. *)
+let update_retain_floor t =
+  let floor =
+    Hashtbl.fold
+      (fun _ rp acc ->
+        match acc with
+        | None -> Some (rp.rp_acked + 1)
+        | Some f -> Some (min f (rp.rp_acked + 1)))
+      t.replicas None
+  in
+  Wal.set_retain_floor (Database.wal t.db) floor
 
 (* Map one statement's execution to its response frame. Exceptions here
    are user errors: the connection survives them all. A deadlock victim
@@ -170,6 +242,112 @@ let exec_frame session ~seq sql =
   | exception Ivdb_txn.Txn.Conflict { reason; _ } ->
       if Sql.in_transaction session then ignore (Sql.exec session "ROLLBACK");
       Wire.Err { seq; code = E_deadlock; text = reason; txn_open = false }
+  | exception Database.Read_only_replica ->
+      Wire.Err
+        {
+          seq;
+          code = E_read_only;
+          text = "read-only replica: writes are not accepted";
+          txn_open = Sql.in_transaction session;
+        }
+
+(* After ReplSubscribe the connection leaves request/response mode for
+   good: the server pushes ReplRecords batches and blocks for a ReplAck
+   after each one (stop-and-wait flow control), yielding while caught
+   up. Returning closes the session; the slot — and with it the retain
+   floor — survives for the replica's next connection. *)
+let repl_stream t io ~from ~replica =
+  let wal = Database.wal t.db in
+  if from < Wal.first_lsn wal || from > Wal.flushed_lsn wal + 1 then begin
+    Transport.Frame_io.send io
+      (Wire.Err
+         {
+           seq = 0;
+           code = E_repl;
+           text =
+             Printf.sprintf
+               "cannot stream from LSN %d: retained log spans [%d, %d]" from
+               (Wal.first_lsn wal) (Wal.flushed_lsn wal);
+           txn_open = false;
+         });
+    Transport.Frame_io.send io Wire.Bye
+  end
+  else begin
+    let rp =
+      match Hashtbl.find_opt t.replicas replica with
+      | Some rp -> rp
+      | None ->
+          let rp =
+            {
+              rp_name = replica;
+              rp_connected = false;
+              rp_acked = from - 1;
+              rp_tick = Sched.now ();
+            }
+          in
+          Hashtbl.replace t.replicas replica rp;
+          rp
+    in
+    (* the replica is authoritative about what it has durably applied *)
+    rp.rp_connected <- true;
+    rp.rp_acked <- from - 1;
+    rp.rp_tick <- Sched.now ();
+    update_retain_floor t;
+    (* the ship position is per-connection, not per-slot: a stale pump
+       fiber on a dead connection must not advance the position a fresh
+       subscription streams from *)
+    let sent = ref (from - 1) in
+    trace_emit t
+      (Trace.Net_request
+         {
+           conn = (Transport.Frame_io.conn io).Transport.id;
+           seq = 0;
+           rid = 0;
+           bytes = String.length replica;
+         });
+    let rec pump () =
+      if draining t then Transport.Frame_io.send io Wire.Bye
+      else begin
+        let flushed = Wal.flushed_lsn wal in
+        if flushed > !sent then begin
+          let first = !sent + 1 in
+          let upto = min flushed (!sent + repl_batch_limit) in
+          let payload = Wal.serialize_range wal ~from:first ~upto in
+          Transport.Frame_io.send io
+            (Wire.ReplRecords { first; upto; flushed; payload });
+          sent := upto;
+          Metrics.inc t.m_repl_batches;
+          Metrics.inc_by t.m_repl_records (upto - first + 1);
+          match Transport.Frame_io.recv io with
+          | Some (Wire.ReplAck { upto = acked }) ->
+              rp.rp_acked <- max rp.rp_acked acked;
+              (* an ack short of [upto] means the replica dropped the
+                 batch's tail: rewind and resend from its horizon *)
+              sent := rp.rp_acked;
+              rp.rp_tick <- Sched.now ();
+              update_retain_floor t;
+              pump ()
+          | Some Wire.Bye | None -> ()
+          | Some _ ->
+              Transport.Frame_io.send io
+                (Wire.Err
+                   {
+                     seq = 0;
+                     code = E_protocol;
+                     text = "expected ReplAck";
+                     txn_open = false;
+                   })
+          | exception Transport.Corrupt _ -> ()
+        end
+        else begin
+          Sched.yield ();
+          pump ()
+        end
+      end
+    in
+    (try pump () with Transport.Corrupt _ -> ());
+    rp.rp_connected <- false
+  end
 
 let close_session t se conn =
   t.inflight <- t.inflight - 1;
@@ -191,6 +369,10 @@ let rec session_loop t io se =
       Transport.Frame_io.send io
         (Wire.Msg { seq; text = Metrics.to_prometheus (Database.metrics t.db) });
       session_loop t io se
+  | Some (Wire.ReplSubscribe { from; replica }) ->
+      Metrics.inc t.m_requests;
+      se.se_state <- "repl";
+      repl_stream t io ~from ~replica
   | Some (Wire.Exec { seq; rid; sql }) ->
       if draining t && not (Sql.in_transaction session) then begin
         Transport.Frame_io.send io

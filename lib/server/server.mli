@@ -21,11 +21,26 @@
     statement can be joined across client logs, server trace, and
     [sys.slow_queries].
 
-    Every session's SQL state is given live [sys.server_sessions] and
-    [sys.slow_queries] providers (via {!Ivdb_sql.Sql.add_sys_provider}),
-    so introspection queries over the wire see the whole registry. A
-    [Metrics_req] frame is answered with a [Msg] carrying the Prometheus
-    text exposition of the database's metrics. *)
+    Every session's SQL state is given live [sys.server_sessions],
+    [sys.slow_queries] and [sys.replication] providers (via
+    {!Ivdb_sql.Sql.add_sys_provider}), so introspection queries over the
+    wire see the whole registry. A [Metrics_req] frame is answered with a
+    [Msg] carrying the Prometheus text exposition of the database's
+    metrics.
+
+    {b Replication.} A session that sends [ReplSubscribe] leaves
+    request/response mode permanently: the server streams the stable WAL
+    tail to it in [ReplRecords] batches (at most 128 records each) under
+    stop-and-wait flow control — one batch in flight, the next sent only
+    after the replica's [ReplAck]. Subscribing registers a durable
+    {e slot} under the replica's name; the slot's acknowledged horizon
+    pins the WAL retain floor ({!Ivdb_wal.Wal.set_retain_floor}) so
+    checkpoint truncation never discards records a known replica — even
+    a disconnected one — has yet to apply. A subscribe below
+    [first_lsn] (no slot pinned the log, e.g. a brand-new replica
+    joining after heavy truncation with no prior slot) is refused with
+    [Err E_repl]: that replica must be re-seeded. Shipping cost lands in
+    [server.repl.batches] / [server.repl.records]. *)
 
 type config = {
   max_inflight : int;  (** sessions served concurrently (default 32) *)
@@ -42,7 +57,8 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Ivdb.Database.t -> Transport.listener -> t
+val create :
+  ?config:config -> Ivdb.Database.t -> Ivdb_transport.Transport.listener -> t
 
 val serve : t -> unit
 (** Spawn the accept fiber. Must be called inside a scheduler run; the
@@ -60,7 +76,18 @@ val sessions_started : t -> int
 (** Total sessions ever admitted (shed connections excluded). *)
 
 val register_sys : t -> Ivdb_sql.Sql.session -> unit
-(** Attach this server's live [sys.server_sessions] / [sys.slow_queries]
-    providers to an arbitrary SQL session — e.g. a local admin REPL
-    sharing the server's database in-process. Wire sessions get this
-    automatically at handshake. *)
+(** Attach this server's live [sys.server_sessions] / [sys.slow_queries] /
+    [sys.replication] providers — plus any {!add_sys} extensions — to an
+    arbitrary SQL session, e.g. a local admin REPL sharing the server's
+    database in-process. Wire sessions get this automatically at
+    handshake. *)
+
+val add_sys : t -> (Ivdb_sql.Sql.session -> unit) -> unit
+(** [add_sys t install] registers an extra per-session installer run on
+    every subsequent handshake (and by {!register_sys}). Lets a binary
+    override or extend the sys.* catalog — e.g. a follower process
+    replacing [sys.replication] with its replica driver's live row. *)
+
+val replicas : t -> (string * int * bool) list
+(** Known replication slots as [(name, acked_lsn, connected)], sorted by
+    name. Empty when nothing ever subscribed. *)

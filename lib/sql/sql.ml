@@ -1067,6 +1067,10 @@ let exec s input =
         Message "read-only transaction started (snapshot)"
       end
       else begin
+        (* a read-write BEGIN allocates a txn directly from the manager,
+           bypassing Database.transact — re-assert the replica guard here
+           so a follower never opens a transaction that could write *)
+        if Database.is_follower s.sdb then raise Database.Read_only_replica;
         s.txn <- Some (Txn.begin_txn (Database.mgr s.sdb));
         Message "transaction started"
       end

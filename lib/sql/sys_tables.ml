@@ -222,6 +222,9 @@ let server_sessions_header =
 
 let slow_queries_header = [ "rid"; "session"; "seq"; "ticks"; "tick"; "sql" ]
 
+let replication_header =
+  [ "role"; "peer"; "state"; "replicated_lsn"; "flushed_lsn"; "lag_records"; "tick" ]
+
 let names =
   [
     "sys.bufpool";
@@ -229,6 +232,7 @@ let names =
     "sys.locks";
     "sys.metrics";
     "sys.metrics_hist";
+    "sys.replication";
     "sys.server_sessions";
     "sys.slow_queries";
     "sys.transactions";
@@ -248,4 +252,5 @@ let builtin db ~self_txn name =
   | "sys.metrics_hist" -> Some (metrics_hist db)
   | "sys.server_sessions" -> Some (server_sessions_header, [])
   | "sys.slow_queries" -> Some (slow_queries_header, [])
+  | "sys.replication" -> Some (replication_header, [])
   | _ -> None

@@ -18,6 +18,13 @@ val server_sessions_header : string list
 val slow_queries_header : string list
 (** Likewise for [sys.slow_queries]. *)
 
+val replication_header : string list
+(** Column names of [sys.replication]. A standalone database is not
+    replicating, so the built-in resolution returns zero rows; the
+    serving layer (primary: one row per known replica slot) and the
+    replica driver (follower: one row for its upstream link) override
+    the table per session. *)
+
 val builtin :
   Ivdb.Database.t ->
   self_txn:int option ->

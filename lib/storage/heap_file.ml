@@ -138,3 +138,18 @@ let iter_all t f =
     t.pages
 
 let page_ids t = t.pages
+
+(* Adopt pages that appeared past the cached tail. Physical redo (a
+   follower applying replicated diffs) grows the on-disk chain without
+   going through [grow], so the in-memory pages/tail cache goes stale;
+   re-walking the next pointers from the old tail repairs it. *)
+let refresh t =
+  let rec adopt pid =
+    let next = Bufpool.read t.pool pid (fun p -> Heap_page.get_next p) in
+    if next <> 0 then begin
+      t.pages <- t.pages @ [ next ];
+      t.tail <- next;
+      adopt next
+    end
+  in
+  adopt t.tail

@@ -50,3 +50,10 @@ val iter_all : t -> (rid -> string -> ghost:bool -> unit) -> unit
     reader (via the row lock) instead of being silently invisible. *)
 
 val page_ids : t -> int list
+
+val refresh : t -> unit
+(** Re-walk the next-pointer chain from the cached tail and adopt any
+    pages appended to the on-disk chain behind this handle's back — as
+    physical redo does on a replication follower, where page diffs grow
+    the heap without calling {!grow}. A no-op (one page read) when
+    nothing grew. *)

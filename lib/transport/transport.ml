@@ -28,6 +28,8 @@ type listener = {
   stopped : unit -> bool;
 }
 
+type dialer = { addr : string; dial : unit -> conn }
+
 (* --- frame-granular I/O ---------------------------------------------------- *)
 
 module Frame_io = struct
@@ -165,6 +167,8 @@ module Loopback = struct
     let client, server = endpoints net in
     net.queue <- net.queue @ [ server ];
     client
+
+  let dialer net = { addr = "loopback"; dial = (fun () -> connect net) }
 
   let listener net =
     {

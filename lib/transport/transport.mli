@@ -41,6 +41,18 @@ type listener = {
   stopped : unit -> bool;
 }
 
+type dialer = {
+  addr : string;  (** human-readable peer address, for status/sys rows *)
+  dial : unit -> conn;
+      (** one connection attempt; raises {!Refused} when the peer
+          refuses or the listener has stopped *)
+}
+(** A named connection factory — the single client-side interface: the
+    SQL client, the REPL, and the replication stream all dial through
+    one of these instead of each carrying an ad-hoc [unit -> conn]
+    function. Build one with {!Loopback.dialer} or
+    {!Unix_transport.dialer}. *)
+
 (** Frame-granular I/O over a {!conn}: buffers the byte stream and
     yields only complete, checksum-verified {!Ivdb_wire.Wire} frames. *)
 module Frame_io : sig
@@ -71,4 +83,7 @@ module Loopback : sig
   (** Client-side endpoint; the matching server-side conn is queued for
       [accept]. Raises {!Refused} when the backlog is full or the
       listener stopped. *)
+
+  val dialer : net -> dialer
+  (** [connect] packaged as a {!dialer} (addr ["loopback"]). *)
 end

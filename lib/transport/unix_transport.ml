@@ -109,3 +109,9 @@ let dial ?(host = "127.0.0.1") ~port () =
   | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise Transport.Refused
+
+let dialer ?(host = "127.0.0.1") ~port () =
+  {
+    Transport.addr = Printf.sprintf "%s:%d" host port;
+    dial = (fun () -> dial ~host ~port ());
+  }

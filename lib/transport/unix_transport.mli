@@ -17,3 +17,6 @@ val listen :
 val dial : ?host:string -> port:int -> unit -> Transport.conn
 (** Connect to [host] (default 127.0.0.1). Raises {!Transport.Refused}
     when the peer refuses. *)
+
+val dialer : ?host:string -> port:int -> unit -> Transport.dialer
+(** {!dial} packaged as a named {!Transport.dialer} ("host:port"). *)

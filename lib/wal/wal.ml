@@ -14,6 +14,10 @@ type t = {
   mutable pending_tear : int option;
       (* byte offset into the serialized stable stream at which the device
          stopped mid-force; consumed by [crash] *)
+  mutable retain_floor : Log_record.lsn option;
+      (* replication slot: truncate_before never discards records with
+         LSN >= the floor, so a subscribed (or disconnected-but-known)
+         replica can always resume from its acked position *)
   metrics : Metrics.t;
   trace : Trace.t;
   m_append : Metrics.counter;
@@ -35,6 +39,7 @@ let create ?trace metrics =
     bytes_flushed = 0;
     fault = Fault.none;
     pending_tear = None;
+    retain_floor = None;
     metrics;
     trace;
     m_append = Metrics.counter metrics "log.append";
@@ -122,10 +127,19 @@ let force t lsn =
     end
   end
 
-let iter_stable t f =
-  for i = t.base + 1 to t.flushed do
+(* Incremental tail reads: the cursor surface replication is built on.
+   All positions are absolute LSNs; the valid window is
+   [first_lsn t, flushed_lsn t] — below it the history has been
+   truncated away, above it the records are not yet stable. *)
+
+let iter_from t ~from f =
+  if from < t.base + 1 then
+    invalid_arg "Wal.iter_from: LSN below first_lsn (truncated)";
+  for i = from to t.flushed do
     f t.records.(i - t.base - 1)
   done
+
+let iter_stable t f = iter_from t ~from:(t.base + 1) f
 
 let last_checkpoint_lsn t = t.last_ckpt
 
@@ -139,21 +153,29 @@ let last_checkpoint_lsn t = t.last_ckpt
    frame and discards everything from there on — a partial record is never
    resurrected. *)
 
-let serialize_stable t =
-  let buf = Buffer.create (t.bytes_flushed + 64) in
-  iter_stable t (fun r ->
-      let payload = Log_record.encode r in
-      let hdr = Bytes.create 8 in
-      B.set_u32 hdr 0 (String.length payload);
-      B.set_u32 hdr 4 (B.fnv1a32_string payload 0 (String.length payload));
-      Buffer.add_bytes buf hdr;
-      Buffer.add_string buf payload);
+let serialize_range t ~from ~upto =
+  if from < t.base + 1 then
+    invalid_arg "Wal.serialize_range: LSN below first_lsn (truncated)";
+  if upto > t.flushed then
+    invalid_arg "Wal.serialize_range: LSN above flushed_lsn (not stable)";
+  let buf = Buffer.create 256 in
+  for i = from to upto do
+    let r = t.records.(i - t.base - 1) in
+    let payload = Log_record.encode r in
+    let hdr = Bytes.create 8 in
+    B.set_u32 hdr 0 (String.length payload);
+    B.set_u32 hdr 4 (B.fnv1a32_string payload 0 (String.length payload));
+    Buffer.add_bytes buf hdr;
+    Buffer.add_string buf payload
+  done;
   Buffer.contents buf
+
+let serialize_stable t = serialize_range t ~from:(t.base + 1) ~upto:t.flushed
 
 (* decode frames until the stream runs dry or a frame fails (short header,
    short payload, checksum mismatch, malformed record, or an LSN that
    breaks the dense chain) *)
-let deserialize_stream ~first_lsn s =
+let decode_frames ~first_lsn s =
   let n = String.length s in
   let b = Bytes.unsafe_of_string s in
   let out = ref [] in
@@ -188,7 +210,7 @@ let crash t ?trace metrics =
     | Some cut when cut < String.length stream -> String.sub stream 0 cut
     | Some _ | None -> stream
   in
-  let recs = deserialize_stream ~first_lsn:(t.base + 1) stream in
+  let recs = decode_frames ~first_lsn:(t.base + 1) stream in
   let copy = create ?trace metrics in
   copy.records <- Array.of_list recs;
   copy.base <- t.base;
@@ -205,8 +227,35 @@ let crash t ?trace metrics =
   if dropped > 0 then Metrics.add metrics "wal.torn_tail_dropped" dropped;
   copy
 
+(* Replica ingestion: install an already-sequenced record shipped from a
+   primary. The follower's log is a byte-for-byte replay of the
+   primary's, so the record must extend the dense chain, and it is
+   immediately stable — the follower only acknowledges applied batches,
+   and what it acked must survive its own crashes. *)
+let ingest t r =
+  let expect = t.base + t.len + 1 in
+  if r.Log_record.lsn <> expect then
+    invalid_arg
+      (Printf.sprintf "Wal.ingest: LSN %d breaks the chain (expected %d)"
+         r.Log_record.lsn expect);
+  if t.len = Array.length t.records then begin
+    let cap = max 64 (2 * Array.length t.records) in
+    let bigger = Array.make cap r in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end;
+  t.records.(t.len) <- r;
+  t.len <- t.len + 1;
+  Metrics.add t.metrics "log.ingested" 1;
+  Metrics.inc_by t.m_bytes (Log_record.byte_size r);
+  flush_range t r.Log_record.lsn
+
+let set_retain_floor t floor = t.retain_floor <- floor
+let retain_floor t = t.retain_floor
+
 let truncate_before t lsn =
   let lsn = min lsn (t.flushed + 1) in
+  let lsn = match t.retain_floor with Some f -> min lsn f | None -> lsn in
   let drop = lsn - 1 - t.base in
   if drop > 0 then begin
     t.records <- Array.sub t.records drop (t.len - drop);

@@ -35,7 +35,61 @@ val set_fault : t -> Ivdb_storage.Fault.t -> unit
 (** Install a fault plan consulted on every force. *)
 
 val iter_stable : t -> (Log_record.t -> unit) -> unit
-(** The records a post-crash recovery can see, in LSN order. *)
+(** The records a post-crash recovery can see, in LSN order.
+    Equivalent to [iter_from t ~from:(first_lsn t)]. *)
+
+(** {2 Incremental tail reads}
+
+    The cursor surface WAL shipping is built on. Every position below is
+    an absolute {!Log_record.lsn}; the valid window is
+    [[first_lsn t, flushed_lsn t]] — LSNs below [first_lsn] have been
+    truncated away ({!truncate_before}), LSNs above [flushed_lsn] are
+    appended but not yet stable and must never leave this process. A
+    caller streaming the log holds its own resume position (the next LSN
+    it wants) and re-reads from there after any interruption; the log
+    itself keeps no cursor state. *)
+
+val iter_from : t -> from:Log_record.lsn -> (Log_record.t -> unit) -> unit
+(** Stable records with [from <= lsn <= flushed_lsn t], in LSN order; an
+    empty iteration when [from > flushed_lsn t]. Raises
+    [Invalid_argument] when [from < first_lsn t]: that history is gone,
+    and the caller (e.g. a replica resuming below the primary's
+    retention) must bootstrap some other way. *)
+
+val serialize_range : t -> from:Log_record.lsn -> upto:Log_record.lsn -> string
+(** The stable records in [[from, upto]] as a framed byte stream — each
+    record [u32 length | u32 FNV-1a checksum | payload]
+    (payload = {!Log_record.encode}), exactly the on-device format of
+    {!serialize_stable}. Empty when [from > upto]. Raises
+    [Invalid_argument] when [from < first_lsn t] or
+    [upto > flushed_lsn t]. *)
+
+val decode_frames : first_lsn:Log_record.lsn -> string -> Log_record.t list
+(** Decode a framed stream produced by {!serialize_range}, expecting the
+    first record at [first_lsn]. Never raises: returns the longest
+    prefix of complete, checksum-valid frames whose LSNs chain densely
+    from [first_lsn] — a torn or corrupt tail (and everything after it)
+    is silently dropped, mirroring what {!crash} tolerates. Receivers
+    detect a short batch by comparing [List.length] against the range
+    the sender advertised. *)
+
+val ingest : t -> Log_record.t -> unit
+(** Replica-side append: install a record shipped from a primary,
+    keeping its LSN. The record must extend the dense chain
+    ([lsn = last_lsn t + 1]; raises [Invalid_argument] otherwise) and
+    becomes stable immediately — a follower only acknowledges what it
+    has applied, so its acked prefix must survive its own crashes
+    without a force. Counts [log.ingested] and [log.bytes]; updates
+    {!last_checkpoint_lsn} when a checkpoint record flows through. *)
+
+val set_retain_floor : t -> Log_record.lsn option -> unit
+(** Replication slot: with [Some lsn], {!truncate_before} keeps every
+    record with LSN >= [lsn] regardless of the requested cut, so a
+    replica acked up to [lsn - 1] can always resume. [None] (the
+    default, and the state after {!crash}) restores unrestricted
+    truncation. *)
+
+val retain_floor : t -> Log_record.lsn option
 
 val last_checkpoint_lsn : t -> Log_record.lsn
 (** LSN of the most recent *stable* checkpoint record; 0 if none. *)
@@ -65,8 +119,9 @@ val truncate_before : t -> Log_record.lsn -> unit
 (** Discard records with LSN < the argument. The caller guarantees they
     will never be needed again: nothing earlier than the safe point
     min(checkpoint LSN, min DPT recLSN, min first-LSN of active
-    transactions). Reading a truncated LSN raises [Invalid_argument].
-    Counts [log.truncated_records]. *)
+    transactions) — further clamped by {!set_retain_floor}. Reading a
+    truncated LSN raises [Invalid_argument]. Counts
+    [log.truncated_records]. *)
 
 val first_lsn : t -> Log_record.lsn
 (** Smallest retained LSN ([last_lsn t + 1] when empty or fully

@@ -10,8 +10,9 @@
 
 module B = Ivdb_util.Bytes_util
 module Row = Ivdb_relation.Row
+module Log_record = Ivdb_wal.Log_record
 
-let version = 2
+let version = 3
 
 (* A length prefix beyond this is corruption, not a real frame: it caps
    the allocation a hostile or damaged stream can request. *)
@@ -24,6 +25,8 @@ type error_code =
   | E_deadlock
   | E_draining
   | E_protocol
+  | E_read_only
+  | E_repl
 
 type frame =
   | Hello of { version : int; client : string; resume : int option }
@@ -35,6 +38,14 @@ type frame =
   | Err of { seq : int; code : error_code; text : string; txn_open : bool }
   | Busy of { retry_ticks : int }
   | Metrics_req of { seq : int }
+  | ReplSubscribe of { from : Log_record.lsn; replica : string }
+  | ReplRecords of {
+      first : Log_record.lsn;
+      upto : Log_record.lsn;
+      flushed : Log_record.lsn;
+      payload : string;
+    }
+  | ReplAck of { upto : Log_record.lsn }
   | Bye
 
 let frame_name = function
@@ -47,6 +58,9 @@ let frame_name = function
   | Err _ -> "err"
   | Busy _ -> "busy"
   | Metrics_req _ -> "metrics_req"
+  | ReplSubscribe _ -> "repl_subscribe"
+  | ReplRecords _ -> "repl_records"
+  | ReplAck _ -> "repl_ack"
   | Bye -> "bye"
 
 let error_code_name = function
@@ -56,6 +70,8 @@ let error_code_name = function
   | E_deadlock -> "deadlock"
   | E_draining -> "draining"
   | E_protocol -> "protocol"
+  | E_read_only -> "read_only"
+  | E_repl -> "repl"
 
 let pp ppf f =
   match f with
@@ -75,6 +91,12 @@ let pp ppf f =
         (error_code_name code) text txn_open
   | Busy { retry_ticks } -> Format.fprintf ppf "Busy{retry=%d}" retry_ticks
   | Metrics_req { seq } -> Format.fprintf ppf "Metrics_req{#%d}" seq
+  | ReplSubscribe { from; replica } ->
+      Format.fprintf ppf "ReplSubscribe{from=%d %S}" from replica
+  | ReplRecords { first; upto; flushed; payload } ->
+      Format.fprintf ppf "ReplRecords{[%d,%d] flushed=%d bytes=%d}" first upto
+        flushed (String.length payload)
+  | ReplAck { upto } -> Format.fprintf ppf "ReplAck{upto=%d}" upto
   | Bye -> Format.fprintf ppf "Bye"
 
 (* --- payload writer -------------------------------------------------------- *)
@@ -99,6 +121,8 @@ let code_byte = function
   | E_deadlock -> '\004'
   | E_draining -> '\005'
   | E_protocol -> '\006'
+  | E_read_only -> '\007'
+  | E_repl -> '\008'
 
 let encode f =
   let buf = Buffer.create 64 in
@@ -148,6 +172,19 @@ let encode f =
   | Metrics_req { seq } ->
       Buffer.add_char buf 'X';
       add_u32 buf seq
+  | ReplSubscribe { from; replica } ->
+      Buffer.add_char buf 'S';
+      add_u32 buf from;
+      add_str buf replica
+  | ReplRecords { first; upto; flushed; payload } ->
+      Buffer.add_char buf 'L';
+      add_u32 buf first;
+      add_u32 buf upto;
+      add_u32 buf flushed;
+      add_str buf payload
+  | ReplAck { upto } ->
+      Buffer.add_char buf 'K';
+      add_u32 buf upto
   | Bye -> Buffer.add_char buf 'Z');
   Buffer.contents buf
 
@@ -193,6 +230,8 @@ let rd_code r =
   | 4 -> E_deadlock
   | 5 -> E_draining
   | 6 -> E_protocol
+  | 7 -> E_read_only
+  | 8 -> E_repl
   | _ -> fail ()
 
 let rd_bool r = match rd_u8 r with 0 -> false | 1 -> true | _ -> fail ()
@@ -237,6 +276,15 @@ let decode s =
         Err { seq; code; text; txn_open = rd_bool r }
     | 'B' -> Busy { retry_ticks = rd_u32 r }
     | 'X' -> Metrics_req { seq = rd_u32 r }
+    | 'S' ->
+        let from = rd_u32 r in
+        ReplSubscribe { from; replica = rd_str r }
+    | 'L' ->
+        let first = rd_u32 r in
+        let upto = rd_u32 r in
+        let flushed = rd_u32 r in
+        ReplRecords { first; upto; flushed; payload = rd_str r }
+    | 'K' -> ReplAck { upto = rd_u32 r }
     | 'Z' -> Bye
     | _ -> fail ()
   in

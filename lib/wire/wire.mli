@@ -43,6 +43,10 @@ type error_code =
   | E_deadlock  (** deadlock victim; an open transaction was rolled back *)
   | E_draining  (** server is draining: no new transactions *)
   | E_protocol  (** handshake/framing violation; connection closes *)
+  | E_read_only  (** the engine is a replication follower; writes rejected *)
+  | E_repl
+      (** replication request the primary cannot serve (e.g. subscribe
+          below its retained log) *)
 
 type frame =
   | Hello of { version : int; client : string; resume : int option }
@@ -68,6 +72,30 @@ type frame =
   | Metrics_req of { seq : int }
       (** ask the server for a Prometheus text rendering of its metrics
           registry; answered with a [Msg] carrying the exposition body *)
+  | ReplSubscribe of { from : Ivdb_wal.Log_record.lsn; replica : string }
+      (** switch this session into a replication stream: the follower
+          named [replica] wants stable WAL records starting at [from]
+          (its next unapplied LSN; 1 for an empty follower). The session
+          leaves request/response mode — the primary answers with a
+          [ReplRecords] per available batch, each acknowledged by a
+          [ReplAck], until either side closes. Subscribing below the
+          primary's retained log gets [Err E_repl]. *)
+  | ReplRecords of {
+      first : Ivdb_wal.Log_record.lsn;  (** LSN of the first record *)
+      upto : Ivdb_wal.Log_record.lsn;  (** LSN of the last record *)
+      flushed : Ivdb_wal.Log_record.lsn;
+          (** primary's stable horizon when the batch was cut — lets the
+              follower compute its lag without another round trip *)
+      payload : string;
+          (** records [first..upto] as {!Ivdb_wal.Wal.serialize_range}
+              framed bytes: each [u32 len | u32 fnv1a32 | record], the
+              same length+checksum framing the WAL itself persists, so
+              the follower validates with {!Ivdb_wal.Wal.decode_frames} *)
+    }
+  | ReplAck of { upto : Ivdb_wal.Log_record.lsn }
+      (** follower → primary: everything up to [upto] is ingested and
+          applied; the primary may advance its retention floor past it
+          and send the next batch (a one-batch flow-control window) *)
   | Bye
 
 val frame_name : frame -> string

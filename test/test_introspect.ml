@@ -12,8 +12,8 @@ module Trace = Ivdb_util.Trace
 module Value = Ivdb_relation.Value
 module Sql = Ivdb_sql.Sql
 module Sys_tables = Ivdb_sql.Sys_tables
-module Transport = Ivdb_server.Transport
-module Unix_transport = Ivdb_server.Unix_transport
+module Transport = Ivdb_transport.Transport
+module Unix_transport = Ivdb_transport.Unix_transport
 module Server = Ivdb_server.Server
 module Metrics_http = Ivdb_server.Metrics_http
 module Client = Ivdb_client.Client
@@ -304,7 +304,7 @@ let test_tcp_lock_waits_and_correlation () =
       in
       let srv = Server.create ~config db listener in
       Server.serve srv;
-      let dial () = Unix_transport.dial ~port () in
+      let dial = Unix_transport.dialer ~port () in
       let writer = Client.connect dial in
       ignore
         (Client.exec writer
@@ -435,7 +435,7 @@ let test_loopback_sys_smoke_and_scrape () =
       let net = Transport.Loopback.create ~backlog:16 () in
       let srv = Server.create db (Transport.Loopback.listener net) in
       Server.serve srv;
-      let cl = Client.connect (fun () -> Transport.Loopback.connect net) in
+      let cl = Client.connect (Transport.Loopback.dialer net) in
       ignore
         (Client.exec cl
            "CREATE TABLE sales (id INT NOT NULL, product INT NOT NULL, qty \

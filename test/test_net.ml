@@ -10,7 +10,7 @@ module Workload = Ivdb.Workload
 module Metrics = Ivdb_util.Metrics
 module Sql = Ivdb_sql.Sql
 module Wire = Ivdb_wire.Wire
-module Transport = Ivdb_server.Transport
+module Transport = Ivdb_transport.Transport
 module Server = Ivdb_server.Server
 module Client = Ivdb_client.Client
 module Net_workload = Ivdb_client.Net_workload
@@ -24,7 +24,7 @@ let with_loopback_server ?config ?(seed = 11) db f =
       let net = Transport.Loopback.create ~backlog:64 () in
       let srv = Server.create ?config db (Transport.Loopback.listener net) in
       Server.serve srv;
-      let r = f srv (fun () -> Transport.Loopback.connect net) in
+      let r = f srv (Transport.Loopback.dialer net) in
       Server.drain srv;
       r)
 

@@ -1,0 +1,588 @@
+(* Replication by WAL shipping, exercised at the engine level.
+
+   Properties:
+   - a follower fed the primary's stable log — in any batch size, across
+     seeds — converges to an identical logical state (tables AND views)
+     at the same replicated LSN;
+   - follower reads are lock-free snapshot reads (no lock-manager or WAL
+     traffic), and the replica's views satisfy V1;
+   - every local write path on a follower is rejected;
+   - a torn shipped batch truncates to its longest dense prefix and
+     re-shipping the remainder converges, at every byte cut;
+   - a follower crash mid-stream recovers (no undo, no checkpoint) and
+     resumes at its applied horizon;
+   - the primary may crash at ANY force point (clean or torn tail) while
+     a subscribed follower streams continuously; after recovery the
+     follower resubscribes and converges to the recovered state.
+
+   The shipping harness uses the same serialize_range / decode_frames
+   framing the wire protocol carries, so the byte-level fault behavior
+   here is exactly what a network follower sees. *)
+
+module Database = Ivdb.Database
+module Table = Ivdb.Table
+module Query = Ivdb.Query
+module Workload = Ivdb.Workload
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Fault = Ivdb_storage.Fault
+module Txn = Ivdb_txn.Txn
+module Sched = Ivdb_sched.Sched
+module Rng = Ivdb_util.Rng
+module Metrics = Ivdb_util.Metrics
+module Value = Ivdb_relation.Value
+module Schema = Ivdb_relation.Schema
+module Expr = Ivdb_relation.Expr
+module View_def = Ivdb_core.View_def
+module Maintain = Ivdb_core.Maintain
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- shipping harness ----------------------------------------------------- *)
+
+(* Stream stable records [replicated_lsn f + 1 .. upto] to the follower in
+   batches of [batch] records, through the wire's framing (serialize,
+   decode, apply). Returns the number of records shipped. *)
+let ship ?(batch = 64) ?upto primary follower =
+  let wal = Database.wal primary in
+  let upto = match upto with Some u -> u | None -> Wal.flushed_lsn wal in
+  let shipped = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let from = Database.replicated_lsn follower + 1 in
+    let hi = min upto (from + batch - 1) in
+    if hi < from then continue_ := false
+    else begin
+      let bytes = Wal.serialize_range wal ~from ~upto:hi in
+      let records = Wal.decode_frames ~first_lsn:from bytes in
+      if List.length records <> hi - from + 1 then
+        Alcotest.failf "ship: batch [%d,%d] decoded short" from hi;
+      Database.apply_replicated follower records;
+      shipped := !shipped + List.length records
+    end
+  done;
+  !shipped
+
+(* Force the primary's tail stable, ship everything, and require equal
+   horizons and equal logical state digests. *)
+let converged ctx primary follower =
+  Wal.force (Database.wal primary) (Wal.last_lsn (Database.wal primary));
+  ignore (ship primary follower);
+  Alcotest.(check int)
+    (ctx ^ ": equal replicated LSN")
+    (Database.replicated_lsn primary)
+    (Database.replicated_lsn follower);
+  Alcotest.(check string)
+    (ctx ^ ": equal state digest")
+    (Database.state_digest primary)
+    (Database.state_digest follower)
+
+(* --- smoke: workload, ship, read on the replica --------------------------- *)
+
+let smoke_spec =
+  {
+    Workload.default with
+    seed = 11;
+    mpl = 4;
+    txns_per_worker = 8;
+    ops_per_txn = 3;
+    delete_fraction = 0.15;
+    n_groups = 6;
+    theta = 0.8;
+    initial_rows = 30;
+    n_views = 1;
+    strategy = Maintain.Escrow;
+    config =
+      { Workload.default.Workload.config with Database.pool_capacity = 16 };
+  }
+
+let test_ship_smoke () =
+  let spec = smoke_spec in
+  let db, sales, views = Workload.setup spec in
+  ignore (Workload.run_on db sales views spec);
+  let f = Database.create_follower ~config:spec.Workload.config () in
+  converged "smoke" db f;
+  Alcotest.(check bool) "follower view satisfies V1" true
+    (Workload.check_consistency f (Database.view f "sales_by_product_0"));
+  (* replica reads: lock-free snapshot at the applied horizon *)
+  let m = Database.metrics f in
+  let locks0 = Metrics.get m "lock.acquire" in
+  let appends0 = Metrics.get m "log.append" in
+  let vf = Database.view f "sales_by_product_0" in
+  let sf = Database.table f "sales" in
+  let n_rows, n_groups =
+    Database.transact f ~read_only:true (fun tx ->
+        ( Seq.length (Query.table_scan f (Some tx) sf Query.Serializable),
+          Seq.length (Query.view_scan f (Some tx) vf Query.Serializable) ))
+  in
+  Alcotest.(check bool) "replica serves rows" true (n_rows > 0);
+  Alcotest.(check bool) "replica serves view groups" true (n_groups > 0);
+  Alcotest.(check int) "zero lock traffic for follower reads" 0
+    (Metrics.get m "lock.acquire" - locks0);
+  Alcotest.(check int) "zero WAL appends for follower reads" 0
+    (Metrics.get m "log.append" - appends0)
+
+let prop_converges_across_seeds =
+  QCheck.Test.make ~name:"replica converges across seeds and batch sizes"
+    ~count:6
+    QCheck.(pair (int_bound 999) (int_range 1 64))
+    (fun (s, batch) ->
+      let spec = { smoke_spec with Workload.seed = s; txns_per_worker = 4 } in
+      let db, sales, views = Workload.setup spec in
+      ignore (Workload.run_on db sales views spec);
+      let f = Database.create_follower ~config:spec.Workload.config () in
+      Wal.force (Database.wal db) (Wal.last_lsn (Database.wal db));
+      ignore (ship ~batch db f);
+      Database.replicated_lsn db = Database.replicated_lsn f
+      && Database.state_digest db = Database.state_digest f)
+
+(* --- role enforcement ------------------------------------------------------ *)
+
+let test_write_rejection () =
+  let f = Database.create_follower () in
+  Alcotest.(check bool) "is_follower" true (Database.is_follower f);
+  let rejected g = try g () ; false with Database.Read_only_replica -> true in
+  Alcotest.(check bool) "transact rejected" true
+    (rejected (fun () -> Database.transact f (fun _ -> ())));
+  Alcotest.(check bool) "transact_result rejected" true
+    (rejected (fun () -> ignore (Database.transact_result f (fun _ -> ()))));
+  Alcotest.(check bool) "create_table rejected" true
+    (rejected (fun () ->
+         ignore
+           (Database.create_table f ~name:"t"
+              ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ])));
+  Alcotest.(check bool) "checkpoint rejected" true
+    (rejected (fun () -> Database.checkpoint f));
+  Alcotest.(check int) "gc is a no-op" 0 (Database.gc f);
+  (* snapshot reads stay open *)
+  Alcotest.(check int) "read-only transact allowed" 42
+    (Database.transact f ~read_only:true (fun _ -> 42))
+
+let test_resume_below_retention () =
+  let config =
+    { Database.default_config with read_cost = 0; write_cost = 0 }
+  in
+  let db = Database.create ~config () in
+  let sales =
+    Database.create_table db ~name:"t"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  for i = 1 to 5 do
+    Database.transact db (fun tx ->
+        ignore (Table.insert db tx sales [| Value.Int i |]))
+  done;
+  (* no replication slot: the checkpoint truncates freely *)
+  Database.checkpoint db;
+  Alcotest.(check bool) "log was truncated" true
+    (Wal.first_lsn (Database.wal db) > 1);
+  let f = Database.create_follower ~config () in
+  let refused = try ignore (ship db f); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "subscribing below retention is refused" true refused
+
+(* --- torn shipped batches -------------------------------------------------- *)
+
+(* Cut a serialized batch at EVERY byte offset: decode_frames must yield
+   exactly a dense prefix (never garbage, never an exception), and a
+   follower that applied the prefix must converge once the remainder is
+   re-shipped — the reconnect path after a torn ReplRecords payload. *)
+let test_torn_batch () =
+  let config =
+    { Database.default_config with read_cost = 0; write_cost = 0 }
+  in
+  let db = Database.create ~config () in
+  let sales =
+    Database.create_table db ~name:"sales"
+      ~cols:
+        [
+          { Schema.name = "id"; ty = Value.TInt; nullable = false };
+          { Schema.name = "product"; ty = Value.TInt; nullable = false };
+          { Schema.name = "qty"; ty = Value.TInt; nullable = false };
+        ]
+  in
+  let schema = Database.schema db sales in
+  ignore
+    (Database.create_view db ~name:"by_product" ~group_by:[ "product" ]
+       ~aggs:[ View_def.Count_star; View_def.Sum (Expr.col schema "qty") ]
+       ~source:(Database.From (sales, None))
+       ~strategy:Maintain.Escrow ());
+  for i = 1 to 8 do
+    Database.transact db (fun tx ->
+        ignore
+          (Table.insert db tx sales
+             [| Value.Int i; Value.Int (i mod 3); Value.Int i |]))
+  done;
+  let wal = Database.wal db in
+  Wal.force wal (Wal.last_lsn wal);
+  let n = Wal.flushed_lsn wal in
+  let bytes = Wal.serialize_range wal ~from:1 ~upto:n in
+  let len = String.length bytes in
+  for cut = 0 to len do
+    let records = Wal.decode_frames ~first_lsn:1 (String.sub bytes 0 cut) in
+    let k = List.length records in
+    if k > n then Alcotest.failf "cut %d: decoded beyond the stream" cut;
+    List.iteri
+      (fun i (r : Log_record.t) ->
+        if r.Log_record.lsn <> i + 1 then
+          Alcotest.failf "cut %d: LSN chain broken at %d" cut i)
+      records;
+    if cut = len && k <> n then
+      Alcotest.failf "full stream decoded %d of %d records" k n;
+    if cut mod 13 = 0 || cut = len then begin
+      let f = Database.create_follower ~config () in
+      Database.apply_replicated f records;
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d: applied = decoded" cut)
+        k (Database.replicated_lsn f);
+      converged (Printf.sprintf "cut %d" cut) db f
+    end
+  done
+
+(* --- follower crash mid-stream --------------------------------------------- *)
+
+let test_follower_restart () =
+  let spec = smoke_spec in
+  let db, sales, views = Workload.setup spec in
+  ignore (Workload.run_on db sales views spec);
+  Wal.force (Database.wal db) (Wal.last_lsn (Database.wal db));
+  let total = Wal.flushed_lsn (Database.wal db) in
+  List.iter
+    (fun k ->
+      let cut = total * k / 5 in
+      let f = Database.create_follower ~config:spec.Workload.config () in
+      ignore (ship ~upto:cut db f);
+      let f = Database.crash f in
+      Alcotest.(check bool) "restart keeps the role" true (Database.is_follower f);
+      Alcotest.(check int)
+        (Printf.sprintf "restart at %d/%d keeps the applied horizon" cut total)
+        cut (Database.replicated_lsn f);
+      converged (Printf.sprintf "after restart at %d/%d" cut total) db f;
+      Alcotest.(check bool) "restarted replica satisfies V1" true
+        (Workload.check_consistency f (Database.view f "sales_by_product_0")))
+    [ 1; 2; 3; 4 ]
+
+(* --- crash-the-primary sweep ----------------------------------------------- *)
+
+(* A workload with a continuously-streaming follower fiber: the shipper
+   observes the stable horizon between other fibers' steps, ships it, and
+   advances the slot's retention floor to its ack — exactly the server's
+   subscription lifecycle. Determinism makes the force sweep exhaustive:
+   the counting run and every armed run interleave identically up to the
+   trigger. *)
+let sweep_spec =
+  {
+    Workload.default with
+    seed = 7;
+    mpl = 3;
+    txns_per_worker = 3;
+    ops_per_txn = 3;
+    delete_fraction = 0.;
+    n_groups = 5;
+    theta = 0.8;
+    initial_rows = 20;
+    n_views = 1;
+    strategy = Maintain.Escrow;
+    config =
+      { Workload.default.Workload.config with Database.pool_capacity = 8 };
+  }
+
+let ckpt_every = 3
+
+let run_replicated_until_crash spec fcfg =
+  let db, sales, _views = Workload.setup spec in
+  let f = Database.create_follower ~config:spec.Workload.config () in
+  Wal.set_retain_floor (Database.wal db) (Some 1);
+  Database.install_fault db fcfg;
+  let seed = spec.Workload.seed in
+  let committed = ref 0 in
+  let crashed = ref false in
+  (try
+     Sched.run ~seed (fun () ->
+         let remaining = ref spec.Workload.mpl in
+         let running = ref true in
+         let wake_main = ref (fun () -> ()) in
+         ignore
+           (Sched.spawn (fun () ->
+                while !running do
+                  ignore (ship ~batch:16 db f);
+                  Wal.set_retain_floor (Database.wal db)
+                    (Some (Database.replicated_lsn f + 1));
+                  Sched.yield ()
+                done));
+         for w = 1 to spec.Workload.mpl do
+           ignore
+             (Sched.spawn (fun () ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      decr remaining;
+                      if !remaining = 0 then begin
+                        running := false;
+                        !wake_main ()
+                      end)
+                    (fun () ->
+                      let rng = Rng.create ((seed * 131) + w) in
+                      let next = ref (1000 * w) in
+                      for _ = 1 to spec.Workload.txns_per_worker do
+                        (try
+                           Database.transact db (fun tx ->
+                               for _ = 1 to spec.Workload.ops_per_txn do
+                                 incr next;
+                                 ignore
+                                   (Table.insert db tx sales
+                                      [|
+                                        Value.Int !next;
+                                        Value.Int (1 + Rng.int rng 5);
+                                        Value.Int (1 + Rng.int rng 10);
+                                        Value.Float 1.;
+                                      |]);
+                                 Sched.yield ()
+                               done);
+                           incr committed;
+                           if !committed mod ckpt_every = 0 then
+                             Database.checkpoint db
+                         with Txn.Conflict _ -> ());
+                        Sched.yield ()
+                      done)))
+         done;
+         if !remaining > 0 then
+           Sched.suspend (fun wake _cancel -> wake_main := wake))
+   with Fault.Crash_point _ -> crashed := true);
+  (db, f, !committed, !crashed)
+
+let count_forces spec =
+  let db, _f, committed, crashed =
+    run_replicated_until_crash spec Fault.no_faults
+  in
+  Alcotest.(check bool) "counting run crashed" false crashed;
+  Alcotest.(check bool) "counting run committed" true (committed > 0);
+  Fault.forces_seen (Database.fault_plan db)
+
+let run_sweep_point spec fcfg desc =
+  let db, f, _committed, crashed = run_replicated_until_crash spec fcfg in
+  if not crashed then
+    Alcotest.failf "%s: armed trigger did not fire (sweep out of sync)" desc;
+  (* the slot is durable state: pin it to the follower's ack so recovery's
+     checkpoint cannot truncate records the replica still needs (the CLRs
+     it is about to append among them) *)
+  Wal.set_retain_floor (Database.wal db)
+    (Some (Database.replicated_lsn f + 1));
+  let db' = Database.crash db in
+  converged desc db' f;
+  Alcotest.(check bool) (desc ^ ": replica view satisfies V1") true
+    (Workload.check_consistency f (Database.view f "sales_by_product_0"))
+
+(* --- heap growth under physical redo --------------------------------------- *)
+
+(* Enough preloaded rows to span several heap pages: physical redo on the
+   follower must adopt pages appended past each handle's cached tail
+   (Heap_file.refresh), or the replica digest silently misses the chain's
+   suffix. Regression test for exactly that bug. *)
+let test_heap_growth () =
+  let spec =
+    { smoke_spec with Workload.seed = 5; initial_rows = 400; txns_per_worker = 2 }
+  in
+  let db, sales, views = Workload.setup spec in
+  ignore (Workload.run_on db sales views spec);
+  let f = Database.create_follower ~config:spec.Workload.config () in
+  converged "heap growth" db f;
+  let count d =
+    Database.transact d ~read_only:true (fun tx ->
+        Seq.length
+          (Query.table_scan d (Some tx) (Database.table d "sales")
+             Query.Serializable))
+  in
+  (* ~195 sales rows fit a page: 400 preloaded rows guarantee the chain
+     grew past the follower handles' attach-time tails *)
+  Alcotest.(check bool) "rows span multiple pages" true (count db >= 300);
+  Alcotest.(check int) "equal row counts" (count db) (count f)
+
+(* --- wire-level: server, replica driver, clients ---------------------------- *)
+
+module Server = Ivdb_server.Server
+module Replica = Ivdb_server.Replica
+module Client = Ivdb_client.Client
+module Transport = Ivdb_transport.Transport
+module Wire = Ivdb_wire.Wire
+module Sql = Ivdb_sql.Sql
+
+let rows = function
+  | Sql.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected Rows"
+
+let cell_str (r : Ivdb_relation.Row.t) i =
+  match r.(i) with Value.Str s -> s | _ -> Alcotest.fail "expected Str cell"
+
+let server_error code f =
+  try
+    ignore (f ());
+    false
+  with Client.Server_error { code = c; _ } -> c = code
+
+(* Full deployment over loopback transports: a primary server with SQL
+   clients, a follower database fed by the Replica driver, and a SECOND
+   server fronting the follower for read-only SQL. Asserts the redesigned
+   surfaces end to end: streaming catch-up, E_read_only over the wire,
+   snapshot SELECTs on the follower, sys.replication on both roles, and
+   slot reuse when a replica reconnects under the same name. *)
+let test_wire_replication () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let fdb = Database.create_follower ~config () in
+  let caught_up () =
+    while Database.replicated_lsn fdb < Wal.flushed_lsn (Database.wal db) do
+      Sched.yield ()
+    done
+  in
+  Sched.run ~seed:7 (fun () ->
+      let pnet = Transport.Loopback.create ~backlog:16 () in
+      let fnet = Transport.Loopback.create ~backlog:16 () in
+      let psrv = Server.create db (Transport.Loopback.listener pnet) in
+      Server.serve psrv;
+      let r1 = Replica.create ~name:"netfollower" fdb (Transport.Loopback.dialer pnet) in
+      let fsrv = Server.create fdb (Transport.Loopback.listener fnet) in
+      Server.add_sys fsrv (Replica.register_sys r1);
+      Server.serve fsrv;
+      Replica.spawn r1;
+      (* primary takes writes while the follower streams *)
+      let pcl = Client.connect ~client:"writer" (Transport.Loopback.dialer pnet) in
+      ignore (Client.exec pcl "CREATE TABLE t (a INT NOT NULL, b TEXT)");
+      ignore (Client.exec pcl "INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+      caught_up ();
+      Alcotest.(check bool) "driver is streaming" true
+        (Replica.status r1 = Replica.Streaming);
+      (* follower serves snapshot reads over the wire, rejects writes *)
+      let fcl = Client.connect ~client:"reader" (Transport.Loopback.dialer fnet) in
+      Alcotest.(check int) "follower serves the replicated rows" 2
+        (List.length (rows (Client.exec fcl "SELECT a, b FROM t ORDER BY a")));
+      Alcotest.(check bool) "INSERT on follower is E_read_only" true
+        (server_error Wire.E_read_only (fun () ->
+             Client.exec fcl "INSERT INTO t VALUES (3, 'z')"));
+      Alcotest.(check bool) "BEGIN on follower is E_read_only" true
+        (server_error Wire.E_read_only (fun () -> Client.exec fcl "BEGIN"));
+      ignore (Client.exec fcl "BEGIN READ ONLY");
+      Alcotest.(check int) "snapshot SELECT inside BEGIN READ ONLY" 2
+        (List.length (rows (Client.exec fcl "SELECT a FROM t")));
+      ignore (Client.exec fcl "COMMIT");
+      (* sys.replication reflects the role on each side *)
+      let prow =
+        match rows (Client.exec pcl "SELECT * FROM sys.replication") with
+        | [ r ] -> r
+        | rs -> Alcotest.failf "primary: %d replication rows" (List.length rs)
+      in
+      Alcotest.(check string) "primary role" "primary" (cell_str prow 0);
+      Alcotest.(check string) "primary peer is the slot name" "netfollower"
+        (cell_str prow 1);
+      Alcotest.(check string) "slot is streaming" "streaming" (cell_str prow 2);
+      let frow =
+        match rows (Client.exec fcl "SELECT * FROM sys.replication") with
+        | [ r ] -> r
+        | rs -> Alcotest.failf "follower: %d replication rows" (List.length rs)
+      in
+      Alcotest.(check string) "follower role" "follower" (cell_str frow 0);
+      Alcotest.(check string) "follower streaming" "streaming" (cell_str frow 2);
+      (* reconnect under the same name: the durable slot is reused, the
+         new driver resumes from the follower's applied horizon *)
+      Replica.stop r1;
+      while Replica.status r1 <> Replica.Stopped do
+        Sched.yield ()
+      done;
+      ignore (Client.exec pcl "INSERT INTO t VALUES (3, 'z')");
+      let r2 = Replica.create ~name:"netfollower" fdb (Transport.Loopback.dialer pnet) in
+      Replica.spawn r2;
+      caught_up ();
+      Alcotest.(check int) "rows after resubscribe" 3
+        (List.length (rows (Client.exec fcl "SELECT a FROM t")));
+      (match Server.replicas psrv with
+      | [ (name, acked, connected) ] ->
+          Alcotest.(check string) "one durable slot" "netfollower" name;
+          Alcotest.(check bool) "slot reconnected" true connected;
+          Alcotest.(check int) "slot acked the full log" acked
+            (Wal.flushed_lsn (Database.wal db))
+      | rs -> Alcotest.failf "%d replication slots" (List.length rs));
+      Client.close pcl;
+      Client.close fcl;
+      (* drivers must stop BEFORE the listener: a dialing replica retries
+         against a drained loopback forever and the run never terminates *)
+      Replica.stop r2;
+      Server.drain fsrv;
+      Server.drain psrv);
+  Alcotest.(check string) "wire-replicated digest matches"
+    (Database.state_digest db) (Database.state_digest fdb)
+
+(* A fresh follower whose subscribe position predates the primary's
+   retained log is refused with [Err E_repl]: the driver must treat that
+   as fatal (stop, surface the error) rather than redialling forever. *)
+let test_wire_subscribe_refused () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let t =
+    Database.create_table db ~name:"t"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  for i = 1 to 5 do
+    Database.transact db (fun tx -> ignore (Table.insert db tx t [| Value.Int i |]))
+  done;
+  (* no slots yet: the checkpoint truncates the log freely *)
+  Database.checkpoint db;
+  Alcotest.(check bool) "log truncated" true (Wal.first_lsn (Database.wal db) > 1);
+  let fdb = Database.create_follower ~config () in
+  Sched.run ~seed:3 (fun () ->
+      let net = Transport.Loopback.create ~backlog:4 () in
+      let srv = Server.create db (Transport.Loopback.listener net) in
+      Server.serve srv;
+      let r = Replica.create ~name:"late" fdb (Transport.Loopback.dialer net) in
+      Replica.spawn r;
+      while Replica.status r <> Replica.Stopped do
+        Sched.yield ()
+      done;
+      Alcotest.(check bool) "driver surfaced the refusal" true
+        (Replica.last_error r <> None);
+      Alcotest.(check int) "nothing was applied" 0 (Database.replicated_lsn fdb);
+      Server.drain srv)
+
+let sweep_crash_primary () =
+  let spec = sweep_spec in
+  let n_forces = count_forces spec in
+  Alcotest.(check bool) "workload has force points" true (n_forces > 0);
+  for k = 1 to n_forces do
+    run_sweep_point spec
+      { Fault.no_faults with crash_at_force = Some k }
+      (Printf.sprintf "clean primary crash at force %d" k);
+    run_sweep_point spec
+      { Fault.no_faults with crash_at_force = Some k; torn_tail = true }
+      (Printf.sprintf "torn primary crash at force %d" k)
+  done
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "shipping",
+        [
+          Alcotest.test_case "workload ships and replica serves reads" `Quick
+            test_ship_smoke;
+          Alcotest.test_case "resume below retention is refused" `Quick
+            test_resume_below_retention;
+          qtest prop_converges_across_seeds;
+        ] );
+      ( "roles",
+        [ Alcotest.test_case "follower rejects writes" `Quick test_write_rejection ] );
+      ( "redo",
+        [
+          Alcotest.test_case "heap chain growth under physical redo" `Quick
+            test_heap_growth;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "end-to-end replication over loopback" `Quick
+            test_wire_replication;
+          Alcotest.test_case "subscribe below retention is fatal" `Quick
+            test_wire_subscribe_refused;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "torn batch byte sweep" `Quick test_torn_batch;
+          Alcotest.test_case "follower restart mid-stream" `Quick
+            test_follower_restart;
+          Alcotest.test_case "primary crash-at-force sweep" `Quick
+            sweep_crash_primary;
+        ] );
+    ]

@@ -40,6 +40,8 @@ let error_code_gen =
       Wire.E_deadlock;
       Wire.E_draining;
       Wire.E_protocol;
+      Wire.E_read_only;
+      Wire.E_repl;
     ]
 
 let frame_gen =
@@ -74,6 +76,15 @@ let frame_gen =
           (pair error_code_gen str_gen)
           bool;
         map (fun retry_ticks -> Wire.Busy { retry_ticks }) small_nat;
+        map2
+          (fun from replica -> Wire.ReplSubscribe { from; replica })
+          (int_bound 100000) str_gen;
+        map3
+          (fun first n payload ->
+            Wire.ReplRecords
+              { first; upto = first + n; flushed = first + n; payload })
+          (int_bound 100000) (int_bound 100) str_gen;
+        map (fun upto -> Wire.ReplAck { upto }) (int_bound 100000);
         return Wire.Bye;
       ])
 
@@ -106,6 +117,12 @@ let sample_frames =
       { seq = 8; code = Wire.E_deadlock; text = "victim"; txn_open = false };
     Wire.Err { seq = 9; code = Wire.E_sql; text = ""; txn_open = true };
     Wire.Busy { retry_ticks = 100 };
+    Wire.ReplSubscribe { from = 1; replica = "follower-1" };
+    Wire.ReplRecords
+      { first = 42; upto = 44; flushed = 99; payload = "\x00\x01framed\xff" };
+    Wire.ReplAck { upto = 44 };
+    Wire.Err { seq = 1; code = Wire.E_read_only; text = "replica"; txn_open = false };
+    Wire.Err { seq = 2; code = Wire.E_repl; text = "truncated"; txn_open = false };
     Wire.Bye;
   ]
 

@@ -21,6 +21,7 @@ module Metrics = Ivdb_util.Metrics
 module Rng = Ivdb_util.Rng
 module Zipf = Ivdb_util.Zipf
 module Fault = Ivdb_storage.Fault
+module Sched = Ivdb_sched.Sched
 
 (* --- table printing -------------------------------------------------------- *)
 
@@ -951,6 +952,191 @@ let e16 () =
   let cells = e16_cells ~quick:false in
   print_table ~title:e16_title ~header:e16_header (List.map fst cells)
 
+(* --- E17: failover — follower promotion under a primary crash --------------------------- *)
+
+(* The replicated workload crashed at a chosen force point: the follower
+   final-ships the dead primary's SURVIVING log image (Wal.crash applies
+   any pending tear first), then promotes. Reported per crash point: the
+   log suffix past the follower's commit horizon, the buffered in-flight
+   tail the promotion drained, losers rolled back, undo records appended,
+   and the promotion latency in simulated ticks. Every cell ends with the
+   zero-loss check — the promoted digest must equal single-node recovery
+   of the same log — and a mismatch kills the run. *)
+let e17_title =
+  "E17  Failover: follower promotion under primary crash (escrow, mpl 3, zipf 0.8)"
+
+let e17_header =
+  [ "crash"; "commits"; "suffix"; "tail"; "losers"; "undo"; "promote ticks";
+    "digest" ]
+
+let e17_ship ?(batch = 64) wal follower =
+  let upto = Wal.flushed_lsn wal in
+  let shipped = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let from = Database.received_lsn follower + 1 in
+    let hi = min upto (from + batch - 1) in
+    if hi < from then continue_ := false
+    else begin
+      let records =
+        Wal.decode_frames ~first_lsn:from (Wal.serialize_range wal ~from ~upto:hi)
+      in
+      Database.apply_replicated follower records;
+      shipped := !shipped + List.length records
+    end
+  done;
+  !shipped
+
+(* The streaming-follower deployment from the crash sweep: a shipper
+   fiber pumps the stable tail and advances the slot's retention floor
+   while MPL workers commit, until the armed force point fires. *)
+let e17_run_until_crash spec fcfg =
+  let db, sales, _views = Workload.setup spec in
+  let f = Database.create_follower ~config:spec.Workload.config () in
+  Wal.set_retain_floor (Database.wal db) (Some 1);
+  (* installed even for no_faults: the counting run needs forces_seen *)
+  Database.install_fault db fcfg;
+  let seed = spec.Workload.seed in
+  let committed = ref 0 in
+  let crashed = ref false in
+  (try
+     Sched.run ~seed (fun () ->
+         let remaining = ref spec.Workload.mpl in
+         let running = ref true in
+         let wake_main = ref (fun () -> ()) in
+         ignore
+           (Sched.spawn (fun () ->
+                while !running do
+                  ignore (e17_ship ~batch:16 (Database.wal db) f);
+                  Wal.set_retain_floor (Database.wal db)
+                    (Some (Database.replicated_lsn f + 1));
+                  Sched.yield ()
+                done));
+         for w = 1 to spec.Workload.mpl do
+           ignore
+             (Sched.spawn (fun () ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      decr remaining;
+                      if !remaining = 0 then begin
+                        running := false;
+                        !wake_main ()
+                      end)
+                    (fun () ->
+                      let rng = Rng.create ((seed * 131) + w) in
+                      let next = ref (1000 * w) in
+                      for _ = 1 to spec.Workload.txns_per_worker do
+                        (try
+                           Database.transact db (fun tx ->
+                               for _ = 1 to spec.Workload.ops_per_txn do
+                                 incr next;
+                                 ignore
+                                   (Table.insert db tx sales
+                                      [|
+                                        Value.Int !next;
+                                        Value.Int (1 + Rng.int rng 5);
+                                        Value.Int (1 + Rng.int rng 10);
+                                        Value.Float 1.;
+                                      |]);
+                                 Sched.yield ()
+                               done);
+                           incr committed;
+                           if !committed mod 3 = 0 then Database.checkpoint db
+                         with Txn.Conflict _ -> ());
+                        Sched.yield ()
+                      done)))
+         done;
+         if !remaining > 0 then
+           Sched.suspend (fun wake _cancel -> wake_main := wake))
+   with Fault.Crash_point _ -> crashed := true);
+  (db, f, !committed, !crashed)
+
+let e17_cells ~quick =
+  let spec =
+    {
+      Workload.default with
+      seed = 7;
+      strategy = Maintain.Escrow;
+      mpl = 3;
+      txns_per_worker = (if quick then 3 else 6);
+      ops_per_txn = 3;
+      delete_fraction = 0.;
+      n_groups = 5;
+      theta = 0.8;
+      initial_rows = 20;
+      n_views = 1;
+      config =
+        { Workload.default.Workload.config with Database.pool_capacity = 8 };
+    }
+  in
+  let n_forces =
+    let db, _f, _committed, crashed = e17_run_until_crash spec Fault.no_faults in
+    if crashed then begin
+      Printf.eprintf "FATAL: e17 counting run crashed\n";
+      exit 1
+    end;
+    Fault.forces_seen (Database.fault_plan db)
+  in
+  let cell (name, fcfg) =
+    let db, f, committed, crashed = e17_run_until_crash spec fcfg in
+    if not crashed then begin
+      Printf.eprintf "FATAL: e17 %s: armed crash trigger did not fire\n" name;
+      exit 1
+    end;
+    let dead = Wal.crash (Database.wal db) (Metrics.create ()) in
+    let suffix = Wal.flushed_lsn dead - Database.replicated_lsn f in
+    let ticks = ref 0 in
+    let promo = ref None in
+    Sched.run ~seed:1 (fun () ->
+        ignore (e17_ship dead f);
+        let t0 = Sched.now () in
+        let p = Database.promote f in
+        ticks := Sched.now () - t0;
+        promo := Some p);
+    let p = Option.get !promo in
+    (* zero-loss: the promoted follower must equal single-node recovery
+       over the same surviving log *)
+    let db' = Database.crash db in
+    if Database.state_digest db' <> Database.state_digest f then begin
+      Printf.eprintf
+        "FATAL: e17 %s: promoted follower diverged from single-node recovery\n"
+        name;
+      exit 1
+    end;
+    let row =
+      [
+        name; i committed; i suffix; i p.Database.tail_records;
+        i p.Database.losers_undone; i p.Database.undo_records; i !ticks;
+        "match";
+      ]
+    in
+    let json =
+      Printf.sprintf
+        {|    {"crash": "%s", "committed": %d, "suffix_records": %d, "tail_records": %d, "losers_undone": %d, "undo_records": %d, "promote_ticks": %d, "digest_match": true}|}
+        name committed suffix p.Database.tail_records p.Database.losers_undone
+        p.Database.undo_records !ticks
+    in
+    (row, json)
+  in
+  let n = Fault.no_faults in
+  let mid = max 1 (n_forces / 2) in
+  let points =
+    if quick then [ ("clean-mid", { n with crash_at_force = Some mid }) ]
+    else
+      [
+        ("clean-early", { n with crash_at_force = Some 1 });
+        ("clean-mid", { n with crash_at_force = Some mid });
+        ("clean-late", { n with crash_at_force = Some n_forces });
+        ("torn-mid",
+         { n with crash_at_force = Some mid; torn_tail = true });
+      ]
+  in
+  List.map cell points
+
+let e17 () =
+  let cells = e17_cells ~quick:false in
+  print_table ~title:e17_title ~header:e17_header (List.map fst cells)
+
 (* Build-breaking guard for the dune-runtest smoke: a read-only transaction
    must never enter the lock manager or the WAL. Asserted on metric deltas
    across a snapshot that exercises every read path. *)
@@ -1128,21 +1314,26 @@ let commit_bench ~quick () =
      WAL-shipping smoke run (any digest mismatch exits non-zero) *)
   let e16_cells = e16_cells ~quick in
   print_table ~title:e16_title ~header:e16_header (List.map fst e16_cells);
+  (* and the failover cells: quick mode doubles as the promote-under-crash
+     zero-loss smoke run (digest divergence exits non-zero) *)
+  let e17_cells = e17_cells ~quick in
+  print_table ~title:e17_title ~header:e17_header (List.map fst e17_cells);
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ],\n  \"e17_failover\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
     (String.concat ",\n" (List.map snd e13_cells))
     (String.concat ",\n" (List.map snd e14_cells))
     (String.concat ",\n" (List.map snd e15_cells))
-    (String.concat ",\n" (List.map snd e16_cells));
+    (String.concat ",\n" (List.map snd e16_cells))
+    (String.concat ",\n" (List.map snd e17_cells));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
    + List.length e13_cells + List.length e14_cells + List.length e15_cells
-   + List.length e16_cells)
+   + List.length e16_cells + List.length e17_cells)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -1278,7 +1469,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("micro", micro);
+    ("e17", e17); ("micro", micro);
   ]
 
 (* "commit-quick" is a cheap smoke variant of e11 invoked from the dune

@@ -10,6 +10,8 @@
      .locks            lock table and wait queue (sys.locks, sys.lock_waits)
      .sessions         server sessions (sys.server_sessions)
      .replicas         replication slots / follower link (sys.replication)
+     .promote          promote a follower server to primary (remote only)
+     .drop-replica N   forget a detached replication slot  (remote only)
      .connect H:P      switch to a remote server
      .local            switch back to a fresh local instance
      .help             this text
@@ -32,7 +34,7 @@ let help =
                           wal|metrics|metrics_hist|server_sessions|
                           slow_queries|replication
 dot commands: .crash .gc .trace on|off|show .stats .locks .sessions .replicas
-              .connect HOST:PORT .local .help .quit|}
+              .promote .drop-replica NAME .connect HOST:PORT .local .help .quit|}
 
 (* the trace ring survives statements but not .crash (new instance, new trace) *)
 let ring_capacity = 4096
@@ -223,6 +225,38 @@ let () =
            exec_line "SELECT * FROM sys.server_sessions"
          else if line = ".replicas" then
            exec_line "SELECT * FROM sys.replication"
+         else if line = ".promote" then begin
+           match !backend with
+           | Local _ ->
+               print_endline
+                 ".promote works only over .connect (a local instance is \
+                  already a primary)"
+           | Remote (_, cl) -> (
+               try print_endline (Client.promote cl) with
+               | Client.Server_error { code; text; _ } ->
+                   Printf.printf "server error (%s): %s\n"
+                     (Wire.error_code_name code) text
+               | Client.Disconnected m -> Printf.printf "disconnected: %s\n" m)
+         end
+         else if String.length line >= 13 && String.sub line 0 13 = ".drop-replica"
+         then begin
+           let name =
+             String.trim (String.sub line 13 (String.length line - 13))
+           in
+           if name = "" then print_endline "usage: .drop-replica NAME"
+           else
+             match !backend with
+             | Local _ ->
+                 print_endline
+                   ".drop-replica works only over .connect (.local instances \
+                    have no slots)"
+             | Remote (_, cl) -> (
+                 try print_endline (Client.drop_slot cl name) with
+                 | Client.Server_error { code; text; _ } ->
+                     Printf.printf "server error (%s): %s\n"
+                       (Wire.error_code_name code) text
+                 | Client.Disconnected m -> Printf.printf "disconnected: %s\n" m)
+         end
          else if Ivdb_sql.Sql_lexer.tokenize line = [ Ivdb_sql.Sql_lexer.Eof ] then
            () (* comment-only line *)
          else exec_line line);

@@ -8,9 +8,12 @@
    With --follow the engine starts as a read-only follower: a replica
    driver subscribes to the primary at HOST:PORT and applies its WAL
    continuously, while this server answers snapshot SELECTs (writes get
-   E_read_only). Stop with Ctrl-C (SIGINT): the server drains — open
-   transactions may finish, new work is refused — then exits once every
-   session closes. *)
+   E_read_only) at the commit horizon. A follower is promoted to primary
+   either by SIGUSR1 or by a Promote admin frame over the wire (the REPL
+   .promote command): the driver stops, the replayed in-flight suffix is
+   rolled back, and writes open. Stop with Ctrl-C (SIGINT): the server
+   drains — open transactions may finish, new work is refused — then
+   exits once every session closes. *)
 
 module Sched = Ivdb_sched.Sched
 module Database = Ivdb.Database
@@ -80,7 +83,9 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
                  let line = String.trim line in
                  if line <> "" then ignore (Ivdb_sql.Sql.exec session line))));
   let stop = ref false in
+  let promote_req = ref false in
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> promote_req := true));
   Sched.run (fun () ->
       let listener, actual_port = Unix_transport.listen ~port () in
       let srv =
@@ -102,8 +107,10 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
               Replica.create ~name:follow_name db
                 (Unix_transport.dialer ~host ~port:uport ())
             in
-            (* the follower's own row replaces the primary-shaped default *)
-            Server.add_sys srv (Replica.register_sys r);
+            (* sys.replication serves the driver's follower row until
+               promotion, the primary-shaped slot rows after; attaching
+               also lets the Promote wire frame stop the driver *)
+            Server.attach_replica srv r;
             Replica.spawn r;
             Printf.printf "following %s:%d as %S (read-only)\n" host uport
               follow_name;
@@ -123,6 +130,25 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
       (* supervise: sleep only when idle so an unloaded server does not
          spin, pure yields when sessions are active *)
       while not !stop do
+        if !promote_req then begin
+          promote_req := false;
+          match repl with
+          | Some r when Database.is_follower db ->
+              Replica.stop r;
+              while Replica.status r <> Replica.Stopped do
+                Sched.yield ()
+              done;
+              let p = Database.promote db in
+              Printf.printf
+                "promoted to primary: %d in-flight transaction(s) rolled \
+                 back (%d undo record(s)), %d buffered record(s) applied\n"
+                p.Database.losers_undone p.Database.undo_records
+                p.Database.tail_records;
+              flush stdout
+          | _ ->
+              prerr_endline "SIGUSR1 ignored: not a follower";
+              flush stderr
+        end;
         if Server.inflight srv = 0 then Unix.sleepf 0.001;
         Sched.yield ()
       done;
@@ -135,11 +161,14 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
     (Metrics.get m "server.accepted")
     (Metrics.get m "server.requests")
     (Metrics.get m "server.shed");
-  if upstream <> None then
+  if upstream <> None then begin
     Printf.printf "replicated to LSN %d (%d batch(es), %d reconnect(s))\n"
       (Database.replicated_lsn db)
       (Metrics.get m "replica.batches")
-      (Metrics.get m "replica.reconnects")
+      (Metrics.get m "replica.reconnects");
+    if not (Database.is_follower db) then
+      print_endline "exited as promoted primary"
+  end
 
 let cmd =
   let open Term in

@@ -16,7 +16,7 @@ exception
 exception Disconnected of string
 
 type t = {
-  dialer : Transport.dialer;
+  mutable dialer : Transport.dialer; (* swapped by repoint on failover *)
   client : string;
   attempts : int;
   mutable io : Frame_io.t option;
@@ -149,14 +149,16 @@ let exec t sql =
       | None -> broken t "connection closed"
       | exception Transport.Corrupt m -> broken t m)
 
-let metrics t =
+(* Admin round trips answered with a Msg frame (metrics, promote,
+   drop_slot) share one request shape. *)
+let msg_request t mk =
   if t.closed then raise (Disconnected "client closed");
   match t.io with
   | None -> broken t "not connected"
   | Some io -> (
       t.seq <- t.seq + 1;
       let seq = t.seq in
-      Frame_io.send io (Wire.Metrics_req { seq });
+      Frame_io.send io (mk seq);
       match Frame_io.recv io with
       | Some (Wire.Msg { text; _ }) -> text
       | Some (Wire.Err { code; text; txn_open; _ }) ->
@@ -165,6 +167,19 @@ let metrics t =
       | Some _ -> broken t "protocol violation from server"
       | None -> broken t "connection closed"
       | exception Transport.Corrupt m -> broken t m)
+
+let metrics t = msg_request t (fun seq -> Wire.Metrics_req { seq })
+let promote t = msg_request t (fun seq -> Wire.Promote { seq })
+let drop_slot t name = msg_request t (fun seq -> Wire.DropSlot { seq; name })
+
+(* Failover: aim this client at a different server (e.g. a freshly
+   promoted primary). Any server-side transaction died with the old
+   primary anyway, so the session is simply re-established. *)
+let repoint t dialer =
+  drop t;
+  t.dialer <- dialer;
+  t.session <- 0;
+  establish t
 
 let close t =
   if not t.closed then begin

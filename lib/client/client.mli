@@ -69,5 +69,25 @@ val metrics : t -> string
 (** Fetch the server's metrics registry as Prometheus text exposition
     (a [Metrics_req] frame answered with [Msg]). *)
 
+val promote : t -> string
+(** Admin: ask a follower server to promote itself to primary (a
+    [Promote] frame). Returns the server's [Msg] text describing the
+    promotion (losers rolled back, undo records, buffered tail applied).
+    Raises {!Server_error} with [E_repl] if the server is not a
+    follower. *)
+
+val drop_slot : t -> string -> string
+(** Admin: [drop_slot t name] asks the server to forget the detached
+    replication slot [name] so its acked horizon stops pinning WAL
+    retention (a [DropSlot] frame). Raises {!Server_error} with [E_repl]
+    if the slot is unknown or still has a live subscription. *)
+
+val repoint : t -> Ivdb_transport.Transport.dialer -> unit
+(** Failover: drop the current connection and re-establish against a
+    different server — typically a promoted primary. Any server-side
+    transaction was already lost with the old server; a fresh session is
+    negotiated. Raises like {!connect} if the new server is
+    unreachable. *)
+
 val close : t -> unit
 (** Send [Bye] and close; idempotent. *)

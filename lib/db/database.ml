@@ -67,8 +67,18 @@ and index_rt = { imeta : Catalog.index_meta; itree : Btree.t }
 
 type t = {
   cfg : config;
-  role : role;
+  mutable role : role; (* flips Follower -> Primary on [promote] *)
   mutable redo_state : Recovery.Redo.t option; (* Some iff role = Follower *)
+  (* Commit-horizon gating (follower only): shipped records past the last
+     commit boundary sit in [pending_tail] — received but not ingested —
+     until the records that close every open transaction arrive, so the
+     applied log prefix is always transaction-consistent and snapshot
+     reads never observe a split transaction. [pending_open] tracks the
+     transactions left open by the buffered suffix; [received] is the
+     LSN of the last record accepted (applied or buffered). *)
+  pending_tail : Log_record.t Queue.t;
+  pending_open : (int, unit) Hashtbl.t;
+  mutable received : Log_record.lsn;
   mutable fplan : Fault.t;
   dmetrics : Metrics.t;
   dtrace : Trace.t;
@@ -521,6 +531,9 @@ let bare ?(config = default_config) ?(role = Primary) ?trace ~metrics ~disk ~wal
         | Primary -> None
         | Follower ->
             Some (Recovery.Redo.create dpool ~next:(Wal.flushed_lsn wal + 1)));
+      pending_tail = Queue.create ();
+      pending_open = Hashtbl.create 16;
+      received = Wal.flushed_lsn wal;
       fplan;
       dmetrics = metrics;
       dtrace = trace;
@@ -932,14 +945,14 @@ let transact_result t ?retries f =
    discard the log prefix nothing can need anymore — redo starts at the
    checkpoint, and undo of any active transaction reaches back at most to
    its first record. *)
-let checkpoint t =
+let checkpoint_gen t ~truncate =
   (* a follower must never append its own records: its log is a verbatim
      copy of the primary's LSN space *)
   reject_writes t;
   Bufpool.flush_all t.dpool;
   Txn.checkpoint t.tmgr ~catalog:(Catalog.encode_snapshot t.catalog);
   let ckpt = Wal.last_checkpoint_lsn t.dwal in
-  if ckpt > 0 then begin
+  if ckpt > 0 && truncate then begin
     if Fault.tears_writes t.fplan then
       (* torn-write injection is armed: retain the full log so a torn page
          can be reset to fresh and rebuilt from its complete diff history
@@ -955,6 +968,8 @@ let checkpoint t =
       Wal.truncate_before t.dwal safe
     end
   end
+
+let checkpoint t = checkpoint_gen t ~truncate:true
 
 (* --- crash / recovery ------------------------------------------------------------- *)
 
@@ -1039,34 +1054,133 @@ let register_op t = function
    backfills) are replayed first because LSN order says so, which is what
    makes the attach-from-meta in [register_op] always find formatted
    pages. *)
+let apply_one t redo (r : Log_record.t) =
+  Wal.ingest t.dwal r;
+  Recovery.Redo.apply redo r;
+  match r.Log_record.body with
+  | Log_record.Ddl payload ->
+      let op = Catalog.decode_op payload in
+      Catalog.apply_op t.catalog op;
+      register_op t op
+  | _ -> ()
+
+let drain_pending t redo =
+  let n = Queue.length t.pending_tail in
+  while not (Queue.is_empty t.pending_tail) do
+    apply_one t redo (Queue.pop t.pending_tail)
+  done;
+  n
+
 let apply_replicated t records =
   let redo =
     match t.redo_state with
     | Some s -> s
     | None -> invalid_arg "Database.apply_replicated: not a follower"
   in
+  let applied = ref 0 in
   List.iter
     (fun (r : Log_record.t) ->
-      Wal.ingest t.dwal r;
-      Recovery.Redo.apply redo r;
-      match r.Log_record.body with
-      | Log_record.Ddl payload ->
-          let op = Catalog.decode_op payload in
-          Catalog.apply_op t.catalog op;
-          register_op t op
-      | _ -> ())
+      if r.Log_record.lsn <> t.received + 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Database.apply_replicated: LSN %d breaks the chain (expected %d)"
+             r.Log_record.lsn (t.received + 1));
+      t.received <- r.Log_record.lsn;
+      Queue.push r t.pending_tail;
+      (* the same boundary rule as Wal.commit_horizon: Commit/End retire a
+         transaction, checkpoints are transparent, anything else stamped
+         with a transaction opens one *)
+      (match r.Log_record.body with
+      | Log_record.Commit | Log_record.End ->
+          Hashtbl.remove t.pending_open r.Log_record.txn
+      | Log_record.Checkpoint _ -> ()
+      | _ ->
+          if r.Log_record.txn <> 0 then
+            Hashtbl.replace t.pending_open r.Log_record.txn ());
+      (* a commit boundary: everything buffered forms a transaction-
+         consistent extension of the applied prefix — install it *)
+      if Hashtbl.length t.pending_open = 0 then
+        applied := !applied + drain_pending t redo)
     records;
-  (* physical redo grows heap chains on disk without going through the
-     Heap_file handle: adopt any pages appended behind the caches so
-     scans and digests see the full chain *)
-  Hashtbl.iter (fun _ heap -> Heap_file.refresh heap) t.heaps;
-  Metrics.add t.dmetrics "repl.applied_records" (List.length records)
+  if !applied > 0 then begin
+    (* physical redo grows heap chains on disk without going through the
+       Heap_file handle: adopt any pages appended behind the caches so
+       scans and digests see the full chain *)
+    Hashtbl.iter (fun _ heap -> Heap_file.refresh heap) t.heaps;
+    Metrics.add t.dmetrics "repl.applied_records" !applied
+  end
 
-(* On a follower every retained record is stable (ingest forces nothing
+(* On a follower every *applied* record is stable (ingest forces nothing
    but marks immediately), so the flushed horizon *is* the replication
-   position; on a primary the same expression is simply its durable
-   horizon. *)
+   position — and with commit-horizon gating it is always a commit
+   boundary of the primary's log; on a primary the same expression is
+   simply its durable horizon. *)
 let replicated_lsn t = Wal.flushed_lsn t.dwal
+
+let received_lsn t = if t.role = Follower then t.received else Wal.flushed_lsn t.dwal
+
+let discard_pending_tail t =
+  let n = Queue.length t.pending_tail in
+  Queue.clear t.pending_tail;
+  Hashtbl.reset t.pending_open;
+  t.received <- Wal.flushed_lsn t.dwal;
+  n
+
+(* --- promotion (follower -> primary) ----------------------------------------------- *)
+
+type promotion = {
+  tail_records : int;
+  losers_undone : int;
+  undo_records : int;
+}
+
+(* Failover: turn this follower into a primary. The caller has stopped the
+   replication driver (the old primary is dead or demoted), so nothing
+   else touches the engine concurrently.
+
+   1. Install the buffered tail unconditionally: a transaction whose
+      Commit record sits past the last commit boundary IS committed on
+      the primary's durable log, and losing it would violate zero-loss.
+      The in-flight suffix this exposes is cleaned up by undo below —
+      exactly what single-node recovery does with its own stable tail.
+   2. Reconstruct the in-flight transaction table by running recovery
+      analysis over the retained log (a follower never truncates, so the
+      governing checkpoint — the primary's — is always present if one was
+      ever shipped).
+   3. Open the write paths (the undo pass appends CLRs to our own log,
+      which Read_only_replica would otherwise veto) and roll back every
+      loser through the logical-undo executor, oldest first, mirroring
+      the crash path.
+   4. Checkpoint — without truncating: existing replicas of the old
+      primary repoint here and resume from their applied horizon, so the
+      full log must stay until they resubscribe and pin slots of their
+      own. The next ordinary checkpoint resumes truncation. *)
+let promote t =
+  (match t.role with
+  | Follower -> ()
+  | Primary -> invalid_arg "Database.promote: already a primary");
+  let redo = match t.redo_state with Some s -> s | None -> assert false in
+  let tail = drain_pending t redo in
+  Hashtbl.reset t.pending_open;
+  if tail > 0 then Hashtbl.iter (fun _ heap -> Heap_file.refresh heap) t.heaps;
+  let analysis = Recovery.analyze t.dwal in
+  t.role <- Primary;
+  t.redo_state <- None;
+  t.received <- Wal.flushed_lsn t.dwal;
+  Txn.bump_txn_id t.tmgr analysis.Recovery.max_txn_id;
+  let undo_before = Metrics.get t.dmetrics "txn.recovery_undo" in
+  List.iter
+    (fun (tid, last) ->
+      let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
+      Txn.rollback_tail t.tmgr loser ~from:last)
+    analysis.Recovery.losers;
+  checkpoint_gen t ~truncate:false;
+  Metrics.incr t.dmetrics "repl.promotions";
+  {
+    tail_records = tail;
+    losers_undone = List.length analysis.Recovery.losers;
+    undo_records = Metrics.get t.dmetrics "txn.recovery_undo" - undo_before;
+  }
 
 (* Logical content digest: live rows of every table (sorted, so heap
    placement is irrelevant) and every view's b-tree entries in key order,

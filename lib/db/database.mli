@@ -77,18 +77,60 @@ val role : t -> role
 val is_follower : t -> bool
 
 val apply_replicated : t -> Ivdb_wal.Log_record.t list -> unit
-(** Install one shipped batch on a follower: each record is ingested into
-    the local log under the primary's LSN, its page diffs replayed
-    through the persistent {!Ivdb_recovery.Recovery.Redo} state, and DDL
-    folded into the catalog and runtime. Records apply strictly in LSN
-    order, so a concurrent snapshot reader on this follower always sees a
-    dense log prefix — never a hole. Records must chain densely from
-    [{!replicated_lsn} + 1] — [Invalid_argument] otherwise, and on a
+(** Accept one shipped batch on a follower. Records are *applied* —
+    ingested into the local log under the primary's LSN, page diffs
+    replayed through the persistent {!Ivdb_recovery.Recovery.Redo} state,
+    DDL folded into the catalog and runtime — only up to the last commit
+    boundary in the accepted stream; records past it are buffered in
+    memory until the boundary-closing records arrive. The applied prefix
+    is therefore always transaction-consistent: a concurrent snapshot
+    reader on this follower never observes a split primary transaction
+    (commit-horizon reads). Records must chain densely from
+    [{!received_lsn} + 1] — [Invalid_argument] otherwise, and on a
     [Primary]. *)
 
 val replicated_lsn : t -> Ivdb_wal.Log_record.lsn
 (** The follower's applied (and durable) horizon: the LSN of the last
-    record it ingested; 0 when empty. On a primary, its flushed LSN. *)
+    record it ingested, always a commit boundary of the primary's log;
+    0 when empty. On a primary, its flushed LSN. *)
+
+val received_lsn : t -> Ivdb_wal.Log_record.lsn
+(** The follower's receive horizon: the last record accepted by
+    {!apply_replicated}, applied or still buffered
+    ([received_lsn >= replicated_lsn]; the gap is the buffered tail of
+    in-flight primary transactions). The resume position for the next
+    batch. Equals {!replicated_lsn} on a primary. *)
+
+val discard_pending_tail : t -> int
+(** Drop the buffered (received-but-unapplied) tail and rewind
+    {!received_lsn} to the applied horizon, returning the number of
+    records discarded. Called when a replication session breaks: the
+    driver renegotiates from the applied horizon, so the primary re-ships
+    what the buffer held. The buffer is volatile anyway — a follower
+    restart loses it harmlessly for the same reason. *)
+
+type promotion = {
+  tail_records : int;  (** buffered records installed before undo *)
+  losers_undone : int;  (** in-flight primary transactions rolled back *)
+  undo_records : int;  (** undo operations (CLRs) the rollbacks executed *)
+}
+
+val promote : t -> promotion
+(** Failover: turn this follower into a primary, in place. Installs the
+    buffered tail (a Commit past the horizon is durable on the dead
+    primary and must not be lost), reconstructs the in-flight transaction
+    table by recovery analysis over the retained log, flips the role so
+    write paths open, rolls every loser back through the logical-undo
+    executor (appending CLRs to what is now this engine's own log), and
+    takes a checkpoint — deliberately without truncating, so surviving
+    replicas of the old primary can repoint here and resume from their
+    applied horizons; the next ordinary {!checkpoint} resumes truncation.
+    After return the engine is an ordinary [Primary]: {!transact} writes,
+    DDL and {!checkpoint} all work, and new transaction ids are bumped
+    past everything in the log. Raises [Invalid_argument] on a primary.
+    The caller must have stopped the replication driver first. Counts
+    [repl.promotions]; the undo work rides the usual [txn.recovery_undo]
+    metric. *)
 
 val state_digest : t -> string
 (** Hex digest of the logical engine content: every table's live rows

@@ -1,15 +1,17 @@
 (* Follower-side replication driver: dials the primary, subscribes from
-   the follower's replicated horizon, and pumps ReplRecords batches into
-   Database.apply_replicated, acking each one.
+   the follower's receive horizon, and pumps ReplRecords batches into
+   Database.apply_replicated, acking each one at the applied (commit)
+   horizon.
 
    Failure handling is uniform: anything that breaks the stream — EOF,
    corrupt frame, a torn batch (decode_frames returned a short dense
-   prefix), a protocol violation — drops the connection and redials,
-   resubscribing from whatever the follower has durably applied. The
-   primary's slot rewinds to the acked horizon on resubscribe, so the
-   stream always restarts exactly where the follower left off. An Err
-   frame from the primary is fatal (refused subscribe, draining): the
-   driver stops rather than spin against a server that said no. *)
+   prefix), a protocol violation — drops the connection, discards the
+   buffered in-flight tail, and redials, resubscribing from whatever the
+   follower has durably applied. The primary re-ships from the subscribe
+   position, so the stream always restarts exactly where the follower
+   left off. An Err frame from the primary is fatal (refused subscribe,
+   draining): the driver stops rather than spin against a server that
+   said no. *)
 
 module Sched = Ivdb_sched.Sched
 module Wire = Ivdb_wire.Wire
@@ -25,16 +27,19 @@ type status = Connecting | Streaming | Stopped
 
 type t = {
   db : Database.t;
-  dialer : Transport.dialer;
+  mutable dialer : Transport.dialer; (* swapped by repoint on failover *)
   name : string;
   mutable status : status;
   mutable stop_requested : bool;
   mutable conn : Transport.conn option; (* live connection, closed by stop *)
-  mutable primary_flushed : int; (* primary's last advertised horizon *)
+  mutable primary_flushed : int; (* primary's last advertised stable horizon *)
+  mutable primary_committed : int; (* primary's last advertised commit horizon *)
   mutable batches : int;
   mutable reconnects : int;
   mutable last_error : string option;
   mutable tick : int; (* tick of the last applied batch *)
+  mutable delivered : bool; (* current session delivered >= 1 batch *)
+  mutable backoff : int; (* ticks to wait before the next redial *)
   m_batches : Metrics.counter;
   m_records : Metrics.counter;
   m_reconnects : Metrics.counter;
@@ -52,10 +57,13 @@ let create ?(name = "replica") db dialer =
     stop_requested = false;
     conn = None;
     primary_flushed = Database.replicated_lsn db;
+    primary_committed = Database.replicated_lsn db;
     batches = 0;
     reconnects = 0;
     last_error = None;
     tick = 0;
+    delivered = false;
+    backoff = 1;
     m_batches = Metrics.counter m "replica.batches";
     m_records = Metrics.counter m "replica.records";
     m_reconnects = Metrics.counter m "replica.reconnects";
@@ -66,29 +74,47 @@ let batches t = t.batches
 let reconnects t = t.reconnects
 let last_error t = t.last_error
 let primary_flushed t = t.primary_flushed
-let lag t = max 0 (t.primary_flushed - Database.replicated_lsn t.db)
+let primary_committed t = t.primary_committed
+let backoff t = t.backoff
+
+(* Lag is measured against the primary's *commit* horizon, not its raw
+   flushed horizon: the gated applied position can never pass the last
+   shipped commit boundary while a primary transaction is in flight, and
+   a caught-up follower should read as lag 0, not as perpetually behind
+   by the open transaction's tail. *)
+let lag t = max 0 (t.primary_committed - Database.replicated_lsn t.db)
 
 let stop t =
   t.stop_requested <- true;
   (* wake a fiber blocked in recv: close turns the pending read into EOF *)
   match t.conn with Some c -> c.Transport.close () | None -> ()
 
+let repoint t dialer =
+  t.dialer <- dialer;
+  t.backoff <- 1;
+  t.last_error <- None;
+  (* drop the live session (if any): the redial loop picks up the new
+     dialer and resubscribes from the applied horizon *)
+  match t.conn with Some c -> c.Transport.close () | None -> ()
+
 (* Apply one ReplRecords batch. decode_frames never raises: a torn or
    corrupt payload tail yields a short dense prefix, which is still
    safe to apply — the follower simply acks less than [upto] and the
    caller drops the connection to force a clean restart. *)
-let apply_batch t ~first ~upto ~flushed payload =
-  let expect = Database.replicated_lsn t.db + 1 in
+let apply_batch t ~first ~upto ~committed ~flushed payload =
+  let expect = Database.received_lsn t.db + 1 in
   if first <> expect then
     `Protocol (Printf.sprintf "batch starts at LSN %d, expected %d" first expect)
   else begin
     let records = Wal.decode_frames ~first_lsn:first payload in
     (match records with [] -> () | _ -> Database.apply_replicated t.db records);
     t.primary_flushed <- max t.primary_flushed flushed;
+    t.primary_committed <- max t.primary_committed committed;
     let n = List.length records in
     Metrics.inc t.m_batches;
     Metrics.inc_by t.m_records n;
     t.batches <- t.batches + 1;
+    t.delivered <- true;
     t.tick <- Sched.now ();
     if first + n - 1 < upto then `Torn else `Ok
   end
@@ -102,7 +128,10 @@ let session t =
   Fun.protect
     ~finally:(fun () ->
       t.conn <- None;
-      conn.Transport.close ())
+      conn.Transport.close ();
+      (* anything buffered past the commit horizon belongs to the broken
+         session: the resubscribe below re-ships it *)
+      ignore (Database.discard_pending_tail t.db))
     (fun () ->
       Transport.Frame_io.send io
         (Wire.Hello { version = Wire.version; client = t.name; resume = None });
@@ -110,13 +139,14 @@ let session t =
       | Some (Wire.Welcome _) ->
           Transport.Frame_io.send io
             (Wire.ReplSubscribe
-               { from = Database.replicated_lsn t.db + 1; replica = t.name });
+               { from = Database.received_lsn t.db + 1; replica = t.name });
           t.status <- Streaming;
           let rec pump () =
             if not t.stop_requested then
               match Transport.Frame_io.recv io with
-              | Some (Wire.ReplRecords { first; upto; flushed; payload }) -> (
-                  match apply_batch t ~first ~upto ~flushed payload with
+              | Some (Wire.ReplRecords { first; upto; committed; flushed; payload })
+                -> (
+                  match apply_batch t ~first ~upto ~committed ~flushed payload with
                   | `Ok ->
                       Transport.Frame_io.send io
                         (Wire.ReplAck { upto = Database.replicated_lsn t.db });
@@ -139,8 +169,10 @@ let session t =
       | Some _ | None -> t.last_error <- Some "handshake failed")
 
 let run t =
-  let rec go backoff =
+  t.backoff <- 1;
+  let rec go () =
     if not t.stop_requested then begin
+      t.delivered <- false;
       (match session t with
       | () -> ()
       | exception Transport.Refused -> t.last_error <- Some "connection refused"
@@ -149,14 +181,20 @@ let run t =
         t.reconnects <- t.reconnects + 1;
         Metrics.inc t.m_reconnects;
         t.status <- Connecting;
-        for _ = 1 to backoff do
+        (* a session that streamed real batches was healthy: restart the
+           backoff clock instead of compounding every delay since boot
+           (a replica that ran for a week and hiccuped once should redial
+           in 1 tick, not 64) *)
+        if t.delivered then t.backoff <- 1;
+        for _ = 1 to t.backoff do
           Sched.yield ()
         done;
-        go (min (2 * backoff) 64)
+        t.backoff <- min (2 * t.backoff) 64;
+        go ()
       end
     end
   in
-  go 1;
+  go ();
   t.status <- Stopped
 
 let spawn t = ignore (Sched.spawn (fun () -> run t))
@@ -173,6 +211,7 @@ let replication_rows t () =
         | Stopped -> "stopped");
       Value.Int (Database.replicated_lsn t.db);
       Value.Int t.primary_flushed;
+      Value.Int t.primary_committed;
       Value.Int (lag t);
       Value.Int t.tick;
     |]

@@ -8,11 +8,12 @@
     ({!Ivdb.Database.apply_replicated}), answer [ReplAck].
 
     Any stream break (EOF, corrupt frame, torn batch, protocol
-    violation) drops the connection and redials with exponential
-    backoff, resubscribing from whatever was durably applied — the
-    primary's slot rewinds to the acked horizon, so no record is lost or
-    applied twice. An [Err] frame from the primary (refused subscribe,
-    draining) stops the driver for good.
+    violation) drops the connection, discards the follower's buffered
+    in-flight tail, and redials with exponential backoff (reset to 1
+    after any session that delivered a batch), resubscribing from
+    whatever was durably applied — so no record is lost or applied
+    twice. An [Err] frame from the primary (refused subscribe, draining)
+    stops the driver for good.
 
     Progress lands in the follower's metrics: [replica.batches],
     [replica.records], [replica.reconnects] (alongside the engine's
@@ -42,18 +43,39 @@ val stop : t -> unit
 
 val status : t -> status
 
+val repoint : t -> Ivdb_transport.Transport.dialer -> unit
+(** Failover: aim the driver at a different primary (one promoted from a
+    fellow follower of the old one). Swaps the dialer, resets the redial
+    backoff, and drops the live session so the loop reconnects and
+    resubscribes from this follower's applied horizon — which the
+    promoted primary retains, since its promotion checkpoint does not
+    truncate. Only meaningful on a driver that has not stopped. *)
+
 val lag : t -> int
-(** Records between the primary's last advertised flushed horizon and
+(** Records between the primary's last advertised *commit* horizon and
     what this follower has applied. Zero when caught up (or never
-    connected). *)
+    connected) — an open transaction on the primary does not count as
+    lag, since its records are not readable anywhere yet. *)
 
 val primary_flushed : t -> int
+val primary_committed : t -> int
+
+val backoff : t -> int
+(** Current redial delay in scheduler ticks: doubles (capped at 64) after
+    each session that delivered nothing, resets to 1 after a healthy
+    session. Exposed for the reconnect regression test. *)
+
 val batches : t -> int
 val reconnects : t -> int
 val last_error : t -> string option
 
+val replication_rows :
+  t -> unit -> string list * Ivdb_relation.Value.t array list
+(** The driver's live one-row [sys.replication] content (role
+    [follower], peer, state, horizons, lag). {!Server.attach_replica}
+    serves this while the database is still a follower. *)
+
 val register_sys : t -> Ivdb_sql.Sql.session -> unit
-(** Install this driver's live one-row [sys.replication] provider
-    (role [follower], peer, state, horizons, lag) on a SQL session.
-    Pass to {!Server.add_sys} on a follower's read-only server so wire
-    clients can observe replication state. *)
+(** Install {!replication_rows} as a [sys.replication] provider on a SQL
+    session — for local admin sessions on a follower; wire sessions get
+    it via {!Server.attach_replica}. *)

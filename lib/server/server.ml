@@ -73,6 +73,10 @@ type t = {
   sessions : (int, sess) Hashtbl.t;
   slow : slow Queue.t; (* bounded ring, oldest first *)
   replicas : (string, replica_state) Hashtbl.t; (* slots by replica name *)
+  mutable attached : Replica.t option;
+      (* on a follower's server: the local replication driver, so
+         sys.replication shows the follower row before promotion and the
+         Promote frame can stop the driver first *)
   mutable sys_ext : (Sql.session -> unit) list; (* extra sys.* installers *)
   (* metric handles resolved once at create *)
   m_accepted : Metrics.counter;
@@ -98,6 +102,7 @@ let create ?(config = default_config) db listener =
     sessions = Hashtbl.create 16;
     slow = Queue.create ();
     replicas = Hashtbl.create 4;
+    attached = None;
     sys_ext = [];
     m_accepted = Metrics.counter m "server.accepted";
     m_shed = Metrics.counter m "server.shed";
@@ -165,24 +170,34 @@ let slow_rows t () =
   (Sys_tables.slow_queries_header, rows)
 
 let replication_rows t () =
-  let flushed = Wal.flushed_lsn (Database.wal t.db) in
-  let rows =
-    Hashtbl.fold
-      (fun _ rp acc ->
-        [|
-          Value.Str "primary";
-          Value.Str rp.rp_name;
-          Value.Str (if rp.rp_connected then "streaming" else "detached");
-          Value.Int rp.rp_acked;
-          Value.Int flushed;
-          Value.Int (flushed - rp.rp_acked);
-          Value.Int rp.rp_tick;
-        |]
-        :: acc)
-      t.replicas []
-    |> List.sort compare
-  in
-  (Sys_tables.replication_header, rows)
+  match t.attached with
+  | Some r when Database.is_follower t.db ->
+      (* still a follower: show the driver's row; after promote the slot
+         rows below take over, making the role transition visible in
+         sys.replication *)
+      Replica.replication_rows r ()
+  | _ ->
+      let wal = Database.wal t.db in
+      let flushed = Wal.flushed_lsn wal in
+      let committed = Wal.commit_horizon wal in
+      let rows =
+        Hashtbl.fold
+          (fun _ rp acc ->
+            [|
+              Value.Str "primary";
+              Value.Str rp.rp_name;
+              Value.Str (if rp.rp_connected then "streaming" else "detached");
+              Value.Int rp.rp_acked;
+              Value.Int flushed;
+              Value.Int committed;
+              Value.Int (flushed - rp.rp_acked);
+              Value.Int rp.rp_tick;
+            |]
+            :: acc)
+          t.replicas []
+        |> List.sort compare
+      in
+      (Sys_tables.replication_header, rows)
 
 let register_sys t session =
   Sql.add_sys_provider session "sys.server_sessions" (sessions_rows t);
@@ -191,6 +206,7 @@ let register_sys t session =
   List.iter (fun install -> install session) (List.rev t.sys_ext)
 
 let add_sys t install = t.sys_ext <- install :: t.sys_ext
+let attach_replica t r = t.attached <- Some r
 
 let replicas t =
   Hashtbl.fold
@@ -313,17 +329,21 @@ let repl_stream t io ~from ~replica =
           let first = !sent + 1 in
           let upto = min flushed (!sent + repl_batch_limit) in
           let payload = Wal.serialize_range wal ~from:first ~upto in
+          let committed = Wal.commit_horizon_upto wal ~upto in
           Transport.Frame_io.send io
-            (Wire.ReplRecords { first; upto; flushed; payload });
+            (Wire.ReplRecords { first; upto; committed; flushed; payload });
           sent := upto;
           Metrics.inc t.m_repl_batches;
           Metrics.inc_by t.m_repl_records (upto - first + 1);
           match Transport.Frame_io.recv io with
           | Some (Wire.ReplAck { upto = acked }) ->
+              (* the ack is slot/retention progress only — with
+                 commit-horizon gating the replica routinely acks below
+                 [upto] (it buffers the tail of an in-flight transaction),
+                 so the ship position keeps advancing; a replica that
+                 actually dropped records closes the connection, and the
+                 resubscribe renegotiates the position *)
               rp.rp_acked <- max rp.rp_acked acked;
-              (* an ack short of [upto] means the replica dropped the
-                 batch's tail: rewind and resend from its horizon *)
-              sent := rp.rp_acked;
               rp.rp_tick <- Sched.now ();
               update_retain_floor t;
               pump ()
@@ -373,6 +393,83 @@ let rec session_loop t io se =
       Metrics.inc t.m_requests;
       se.se_state <- "repl";
       repl_stream t io ~from ~replica
+  | Some (Wire.Promote { seq }) ->
+      Metrics.inc t.m_requests;
+      let reply =
+        if not (Database.is_follower t.db) then
+          Wire.Err
+            {
+              seq;
+              code = E_repl;
+              text = "not a follower: nothing to promote";
+              txn_open = false;
+            }
+        else begin
+          (* promotion needs the engine quiescent: stop the replication
+             driver and wait for its fiber to unwind before touching the
+             transaction table *)
+          (match t.attached with
+          | Some r ->
+              Replica.stop r;
+              let rec wait () =
+                if Replica.status r <> Replica.Stopped then begin
+                  Sched.yield ();
+                  wait ()
+                end
+              in
+              wait ()
+          | None -> ());
+          match Database.promote t.db with
+          | p ->
+              Wire.Msg
+                {
+                  seq;
+                  text =
+                    Printf.sprintf
+                      "promoted to primary: %d in-flight transaction(s) \
+                       rolled back (%d undo record(s)), %d buffered \
+                       record(s) applied"
+                      p.Database.losers_undone p.Database.undo_records
+                      p.Database.tail_records;
+                }
+          | exception e ->
+              Wire.Err
+                { seq; code = E_repl; text = Printexc.to_string e; txn_open = false }
+        end
+      in
+      Transport.Frame_io.send io reply;
+      session_loop t io se
+  | Some (Wire.DropSlot { seq; name }) ->
+      Metrics.inc t.m_requests;
+      let reply =
+        match Hashtbl.find_opt t.replicas name with
+        | None ->
+            Wire.Err
+              {
+                seq;
+                code = E_repl;
+                text = Printf.sprintf "no replication slot %S" name;
+                txn_open = false;
+              }
+        | Some rp when rp.rp_connected ->
+            Wire.Err
+              {
+                seq;
+                code = E_repl;
+                text =
+                  Printf.sprintf "slot %S has a live subscription; stop the replica first"
+                    name;
+                txn_open = false;
+              }
+        | Some _ ->
+            Hashtbl.remove t.replicas name;
+            (* the dropped slot may have been the retention floor: recompute
+               so the next checkpoint truncates again *)
+            update_retain_floor t;
+            Wire.Msg { seq; text = Printf.sprintf "dropped replication slot %S" name }
+      in
+      Transport.Frame_io.send io reply;
+      session_loop t io se
   | Some (Wire.Exec { seq; rid; sql }) ->
       if draining t && not (Sql.in_transaction session) then begin
         Transport.Frame_io.send io

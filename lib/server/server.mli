@@ -40,7 +40,17 @@
     [first_lsn] (no slot pinned the log, e.g. a brand-new replica
     joining after heavy truncation with no prior slot) is refused with
     [Err E_repl]: that replica must be re-seeded. Shipping cost lands in
-    [server.repl.batches] / [server.repl.records]. *)
+    [server.repl.batches] / [server.repl.records].
+
+    Each [ReplRecords] batch carries the commit horizon
+    ({!Ivdb_wal.Wal.commit_horizon_upto}) so the replica applies only
+    transaction-consistent prefixes; its [ReplAck] may therefore trail
+    the shipped position and is treated purely as slot/retention
+    progress. Two admin frames complete the failover story: [Promote]
+    (follower server only — stops the attached driver, calls
+    {!Ivdb.Database.promote}, answers [Msg]) and [DropSlot] (forget a
+    detached slot so it stops pinning WAL retention; refused with
+    [Err E_repl] for an unknown or still-connected slot). *)
 
 type config = {
   max_inflight : int;  (** sessions served concurrently (default 32) *)
@@ -85,8 +95,15 @@ val register_sys : t -> Ivdb_sql.Sql.session -> unit
 val add_sys : t -> (Ivdb_sql.Sql.session -> unit) -> unit
 (** [add_sys t install] registers an extra per-session installer run on
     every subsequent handshake (and by {!register_sys}). Lets a binary
-    override or extend the sys.* catalog — e.g. a follower process
-    replacing [sys.replication] with its replica driver's live row. *)
+    override or extend the sys.* catalog. *)
+
+val attach_replica : t -> Replica.t -> unit
+(** On a follower's server: register the local replication driver. While
+    the database is still a follower, [sys.replication] serves the
+    driver's one follower row; after promotion it switches to the
+    primary-shaped slot rows — the role transition is visible in the
+    catalog. Attaching also lets the [Promote] wire frame stop the driver
+    before calling {!Ivdb.Database.promote}. *)
 
 val replicas : t -> (string * int * bool) list
 (** Known replication slots as [(name, acked_lsn, connected)], sorted by

@@ -223,7 +223,16 @@ let server_sessions_header =
 let slow_queries_header = [ "rid"; "session"; "seq"; "ticks"; "tick"; "sql" ]
 
 let replication_header =
-  [ "role"; "peer"; "state"; "replicated_lsn"; "flushed_lsn"; "lag_records"; "tick" ]
+  [
+    "role";
+    "peer";
+    "state";
+    "replicated_lsn";
+    "flushed_lsn";
+    "committed_lsn";
+    "lag_records";
+    "tick";
+  ]
 
 let names =
   [

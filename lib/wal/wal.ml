@@ -18,6 +18,12 @@ type t = {
       (* replication slot: truncate_before never discards records with
          LSN >= the floor, so a subscribed (or disconnected-but-known)
          replica can always resume from its acked position *)
+  open_txns : (int, unit) Hashtbl.t;
+      (* transactions with a record in the log but no Commit/End yet *)
+  mutable boundaries : Log_record.lsn list;
+      (* commit boundaries, newest first: LSNs after whose record no
+         transaction is in flight — the prefix up to one is
+         transaction-consistent *)
   metrics : Metrics.t;
   trace : Trace.t;
   m_append : Metrics.counter;
@@ -40,6 +46,8 @@ let create ?trace metrics =
     fault = Fault.none;
     pending_tear = None;
     retain_floor = None;
+    open_txns = Hashtbl.create 16;
+    boundaries = [];
     metrics;
     trace;
     m_append = Metrics.counter metrics "log.append";
@@ -47,6 +55,32 @@ let create ?trace metrics =
     m_force = Metrics.counter metrics "log.force";
     force_cost = 100;
   }
+
+(* Commit-boundary tracking: an LSN is a boundary when no transaction is
+   in flight once its record is applied. A Commit or End retires its
+   transaction (a committed transaction is complete at its Commit record;
+   an aborted one only once its compensation finishes at End), any other
+   transaction-stamped record opens one, and checkpoints are transparent.
+   The prefix up to a boundary is transaction-consistent — the property a
+   replica needs to serve reads at the commit horizon. *)
+let track_boundary t (r : Log_record.t) =
+  (match r.Log_record.body with
+  | Log_record.Commit | Log_record.End ->
+      Hashtbl.remove t.open_txns r.Log_record.txn
+  | Log_record.Checkpoint _ -> ()
+  | _ ->
+      if r.Log_record.txn <> 0 then Hashtbl.replace t.open_txns r.Log_record.txn ());
+  if Hashtbl.length t.open_txns = 0 then
+    t.boundaries <- r.Log_record.lsn :: t.boundaries
+
+let commit_horizon_upto t ~upto =
+  let rec find = function
+    | [] -> 0
+    | b :: rest -> if b <= upto then b else find rest
+  in
+  find t.boundaries
+
+let commit_horizon t = commit_horizon_upto t ~upto:t.flushed
 
 let append t ~txn ~prev body =
   let lsn = t.base + t.len + 1 in
@@ -59,6 +93,7 @@ let append t ~txn ~prev body =
   end;
   t.records.(t.len) <- r;
   t.len <- t.len + 1;
+  track_boundary t r;
   Metrics.inc t.m_append;
   Metrics.inc_by t.m_bytes (Log_record.byte_size r);
   if Trace.enabled t.trace then
@@ -219,6 +254,7 @@ let crash t ?trace metrics =
   Array.iter
     (fun r ->
       copy.bytes_flushed <- copy.bytes_flushed + Log_record.byte_size r;
+      track_boundary copy r;
       match r.Log_record.body with
       | Log_record.Checkpoint _ -> copy.last_ckpt <- r.Log_record.lsn
       | _ -> ())
@@ -246,6 +282,7 @@ let ingest t r =
   end;
   t.records.(t.len) <- r;
   t.len <- t.len + 1;
+  track_boundary t r;
   Metrics.add t.metrics "log.ingested" 1;
   Metrics.inc_by t.m_bytes (Log_record.byte_size r);
   flush_range t r.Log_record.lsn
@@ -261,6 +298,7 @@ let truncate_before t lsn =
     t.records <- Array.sub t.records drop (t.len - drop);
     t.base <- t.base + drop;
     t.len <- t.len - drop;
+    t.boundaries <- List.filter (fun b -> b > t.base) t.boundaries;
     Metrics.add t.metrics "log.truncated_records" drop
   end
 

@@ -94,6 +94,21 @@ val retain_floor : t -> Log_record.lsn option
 val last_checkpoint_lsn : t -> Log_record.lsn
 (** LSN of the most recent *stable* checkpoint record; 0 if none. *)
 
+val commit_horizon_upto : t -> upto:Log_record.lsn -> Log_record.lsn
+(** Greatest commit boundary <= [upto]: the largest LSN [b <= upto] such
+    that applying the log prefix [[.., b]] leaves no transaction in
+    flight — a Commit retires its transaction, an aborted transaction
+    stays open until the End record that closes its compensation, and
+    checkpoint records are transparent. The prefix up to a boundary is
+    transaction-consistent, which is what lets a replica apply shipped
+    records only up to the horizon and never expose a split transaction.
+    Returns 0 when no boundary lies in the retained window. *)
+
+val commit_horizon : t -> Log_record.lsn
+(** [commit_horizon_upto t ~upto:(flushed_lsn t)]: the newest stable
+    transaction-consistent prefix end — what a primary advertises to
+    followers as the last-committed LSN. *)
+
 val crash : t -> ?trace:Ivdb_util.Trace.t -> Ivdb_util.Metrics.t -> t
 (** The log as found after a crash: the stable prefix, round-tripped
     through the binary codec. The stable records are serialized with

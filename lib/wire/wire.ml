@@ -12,7 +12,7 @@ module B = Ivdb_util.Bytes_util
 module Row = Ivdb_relation.Row
 module Log_record = Ivdb_wal.Log_record
 
-let version = 3
+let version = 4
 
 (* A length prefix beyond this is corruption, not a real frame: it caps
    the allocation a hostile or damaged stream can request. *)
@@ -42,10 +42,15 @@ type frame =
   | ReplRecords of {
       first : Log_record.lsn;
       upto : Log_record.lsn;
+      committed : Log_record.lsn;
+          (* greatest commit boundary <= upto: the follower may expose
+             reads at this horizon even though it buffers up to [upto] *)
       flushed : Log_record.lsn;
       payload : string;
     }
   | ReplAck of { upto : Log_record.lsn }
+  | Promote of { seq : int }
+  | DropSlot of { seq : int; name : string }
   | Bye
 
 let frame_name = function
@@ -61,6 +66,8 @@ let frame_name = function
   | ReplSubscribe _ -> "repl_subscribe"
   | ReplRecords _ -> "repl_records"
   | ReplAck _ -> "repl_ack"
+  | Promote _ -> "promote"
+  | DropSlot _ -> "drop_slot"
   | Bye -> "bye"
 
 let error_code_name = function
@@ -93,10 +100,12 @@ let pp ppf f =
   | Metrics_req { seq } -> Format.fprintf ppf "Metrics_req{#%d}" seq
   | ReplSubscribe { from; replica } ->
       Format.fprintf ppf "ReplSubscribe{from=%d %S}" from replica
-  | ReplRecords { first; upto; flushed; payload } ->
-      Format.fprintf ppf "ReplRecords{[%d,%d] flushed=%d bytes=%d}" first upto
-        flushed (String.length payload)
+  | ReplRecords { first; upto; committed; flushed; payload } ->
+      Format.fprintf ppf "ReplRecords{[%d,%d] committed=%d flushed=%d bytes=%d}"
+        first upto committed flushed (String.length payload)
   | ReplAck { upto } -> Format.fprintf ppf "ReplAck{upto=%d}" upto
+  | Promote { seq } -> Format.fprintf ppf "Promote{#%d}" seq
+  | DropSlot { seq; name } -> Format.fprintf ppf "DropSlot{#%d %S}" seq name
   | Bye -> Format.fprintf ppf "Bye"
 
 (* --- payload writer -------------------------------------------------------- *)
@@ -176,15 +185,23 @@ let encode f =
       Buffer.add_char buf 'S';
       add_u32 buf from;
       add_str buf replica
-  | ReplRecords { first; upto; flushed; payload } ->
+  | ReplRecords { first; upto; committed; flushed; payload } ->
       Buffer.add_char buf 'L';
       add_u32 buf first;
       add_u32 buf upto;
+      add_u32 buf committed;
       add_u32 buf flushed;
       add_str buf payload
   | ReplAck { upto } ->
       Buffer.add_char buf 'K';
       add_u32 buf upto
+  | Promote { seq } ->
+      Buffer.add_char buf 'P';
+      add_u32 buf seq
+  | DropSlot { seq; name } ->
+      Buffer.add_char buf 'D';
+      add_u32 buf seq;
+      add_str buf name
   | Bye -> Buffer.add_char buf 'Z');
   Buffer.contents buf
 
@@ -282,9 +299,14 @@ let decode s =
     | 'L' ->
         let first = rd_u32 r in
         let upto = rd_u32 r in
+        let committed = rd_u32 r in
         let flushed = rd_u32 r in
-        ReplRecords { first; upto; flushed; payload = rd_str r }
+        ReplRecords { first; upto; committed; flushed; payload = rd_str r }
     | 'K' -> ReplAck { upto = rd_u32 r }
+    | 'P' -> Promote { seq = rd_u32 r }
+    | 'D' ->
+        let seq = rd_u32 r in
+        DropSlot { seq; name = rd_str r }
     | 'Z' -> Bye
     | _ -> fail ()
   in

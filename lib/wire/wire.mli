@@ -83,6 +83,12 @@ type frame =
   | ReplRecords of {
       first : Ivdb_wal.Log_record.lsn;  (** LSN of the first record *)
       upto : Ivdb_wal.Log_record.lsn;  (** LSN of the last record *)
+      committed : Ivdb_wal.Log_record.lsn;
+          (** greatest commit boundary <= [upto]
+              ({!Ivdb_wal.Wal.commit_horizon_upto}): the prefix through
+              this LSN is transaction-consistent, so the follower applies
+              records up to it and buffers the rest — reads at the commit
+              horizon never observe a split transaction *)
       flushed : Ivdb_wal.Log_record.lsn;
           (** primary's stable horizon when the batch was cut — lets the
               follower compute its lag without another round trip *)
@@ -94,8 +100,21 @@ type frame =
     }
   | ReplAck of { upto : Ivdb_wal.Log_record.lsn }
       (** follower → primary: everything up to [upto] is ingested and
-          applied; the primary may advance its retention floor past it
-          and send the next batch (a one-batch flow-control window) *)
+          applied. With commit-horizon gating [upto] routinely trails the
+          last shipped record (the tail of an in-flight transaction stays
+          buffered), so the primary treats the ack as slot/retention
+          progress only — it never rewinds its ship position, which is
+          renegotiated at subscribe time. *)
+  | Promote of { seq : int }
+      (** admin request: promote a follower to primary — stop ingesting,
+          roll back the replayed in-flight suffix, open writes. Answered
+          with a [Msg] describing the promotion, or [Err E_repl] if the
+          server is not a follower. *)
+  | DropSlot of { seq : int; name : string }
+      (** admin request: forget a detached replication slot so its acked
+          horizon stops pinning the WAL retention floor. Answered with a
+          [Msg], or [Err E_repl] if the slot is unknown or still
+          connected. *)
   | Bye
 
 val frame_name : frame -> string

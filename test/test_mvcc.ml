@@ -271,6 +271,62 @@ let test_version_gc () =
   Alcotest.(check bool) "prunes counted" true
     (Metrics.get m "mvcc.versions_pruned" >= live_during)
 
+(* Regression for the install-time race documented at [Mvcc.install]: on
+   a mixed escrow-then-exclusive key, commit delivers TWO entries at the
+   same stamp — the escrow maintenance path pushes the pre-commit value
+   ([push_committed]) and the transaction's recorded before-image is
+   promoted by [commit_txn] — and either can arrive first. The first
+   writer must win and the second must be dropped: exactly one entry
+   joins the chain per key, and a snapshot reader resolves to the
+   first-installed value in both arrival orders. Before the dedup, the
+   chain head was duplicated and the reader's answer depended on which
+   path ran last. *)
+let test_mixed_install_race () =
+  let mvcc = Mvcc.create (Metrics.create ()) in
+  let snap = Mvcc.begin_snapshot mvcc in
+  let committed = function
+    | Mvcc.Committed v -> v
+    | Mvcc.Pending _ -> Alcotest.fail "resolved to Pending"
+    | Mvcc.Current -> Alcotest.fail "resolved to Current"
+  in
+  (* key "a": the escrow push lands first, the promoted before-image
+     second (same stamp) *)
+  Mvcc.record_write mvcc ~txn:7 ~obj:1 ~key:"a" ~before:(Some "before-a");
+  let stamp_a = Mvcc.last_stamp mvcc + 1 in
+  Mvcc.push_committed mvcc ~obj:1 ~key:"a" ~stamp:stamp_a (Some "escrow-a");
+  Alcotest.(check int) "one entry after the escrow push" 1
+    (Mvcc.live_versions mvcc);
+  let s = Mvcc.commit_txn mvcc ~txn:7 in
+  Alcotest.(check int) "commit stamps the racing pair equally" stamp_a s;
+  Alcotest.(check int) "the promoted before-image was dropped" 1
+    (Mvcc.live_versions mvcc);
+  Alcotest.(check (option string)) "reader sees the first-installed value"
+    (Some "escrow-a")
+    (committed (Mvcc.resolve mvcc ~obj:1 ~key:"a" ~snap));
+  (* key "b": reverse order — the before-image promotion lands first,
+     the escrow push second *)
+  Mvcc.record_write mvcc ~txn:8 ~obj:1 ~key:"b" ~before:(Some "before-b");
+  let stamp_b = Mvcc.commit_txn mvcc ~txn:8 in
+  Alcotest.(check int) "one entry after the promotion" 2
+    (Mvcc.live_versions mvcc);
+  Mvcc.push_committed mvcc ~obj:1 ~key:"b" ~stamp:stamp_b (Some "escrow-b");
+  Alcotest.(check int) "the late escrow push was dropped" 2
+    (Mvcc.live_versions mvcc);
+  Alcotest.(check (option string)) "reader sees the first-installed value"
+    (Some "before-b")
+    (committed (Mvcc.resolve mvcc ~obj:1 ~key:"b" ~snap));
+  (* distinct stamps never dedup: a later commit chains normally *)
+  Mvcc.record_write mvcc ~txn:9 ~obj:1 ~key:"a" ~before:(Some "second-a");
+  ignore (Mvcc.commit_txn mvcc ~txn:9);
+  Alcotest.(check int) "a distinct stamp chains a new entry" 3
+    (Mvcc.live_versions mvcc);
+  Alcotest.(check (option string)) "the old snapshot still reads the oldest"
+    (Some "escrow-a")
+    (committed (Mvcc.resolve mvcc ~obj:1 ~key:"a" ~snap));
+  Mvcc.release_snapshot mvcc snap;
+  Alcotest.(check int) "chains drain with the snapshot" 0
+    (Mvcc.live_versions mvcc)
+
 let () =
   Alcotest.run "mvcc"
     [
@@ -283,5 +339,7 @@ let () =
           Alcotest.test_case "writes rejected" `Quick
             test_snapshot_rejects_writes;
           Alcotest.test_case "version chains drain" `Quick test_version_gc;
+          Alcotest.test_case "mixed-key install race dedups at the head"
+            `Quick test_mixed_install_race;
         ] );
     ]

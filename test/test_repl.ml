@@ -13,7 +13,15 @@
      resumes at its applied horizon;
    - the primary may crash at ANY force point (clean or torn tail) while
      a subscribed follower streams continuously; after recovery the
-     follower resubscribes and converges to the recovered state.
+     follower resubscribes and converges to the recovered state;
+   - follower reads never observe a split transaction: the applied
+     horizon is gated to the last shipped commit boundary;
+   - at any of those crash points the follower can instead PROMOTE,
+     rolling back the in-flight transactions itself, and lands on exactly
+     the state single-node recovery reaches — then serves writes;
+   - the wire-level failover story holds end to end: the Promote admin
+     frame, client repoint, replica-driver repoint, DropSlot retention
+     release, and the redial backoff reset after a healthy session.
 
    The shipping harness uses the same serialize_range / decode_frames
    framing the wire protocol carries, so the byte-level fault behavior
@@ -40,16 +48,19 @@ let qtest = QCheck_alcotest.to_alcotest
 
 (* --- shipping harness ----------------------------------------------------- *)
 
-(* Stream stable records [replicated_lsn f + 1 .. upto] to the follower in
+(* Stream stable records [received_lsn f + 1 .. upto] to the follower in
    batches of [batch] records, through the wire's framing (serialize,
-   decode, apply). Returns the number of records shipped. *)
-let ship ?(batch = 64) ?upto primary follower =
-  let wal = Database.wal primary in
+   decode, apply). The follower applies only up to the last commit
+   boundary in what it received and buffers the rest, so the resume
+   position is its receive horizon, not its applied one. Takes a bare
+   [Wal.t] so a sweep can ship from a crashed primary's surviving log
+   image. Returns the number of records shipped. *)
+let ship_wal ?(batch = 64) ?upto wal follower =
   let upto = match upto with Some u -> u | None -> Wal.flushed_lsn wal in
   let shipped = ref 0 in
   let continue_ = ref true in
   while !continue_ do
-    let from = Database.replicated_lsn follower + 1 in
+    let from = Database.received_lsn follower + 1 in
     let hi = min upto (from + batch - 1) in
     if hi < from then continue_ := false
     else begin
@@ -62,6 +73,9 @@ let ship ?(batch = 64) ?upto primary follower =
     end
   done;
   !shipped
+
+let ship ?batch ?upto primary follower =
+  ship_wal ?batch ?upto (Database.wal primary) follower
 
 (* Force the primary's tail stable, ship everything, and require equal
    horizons and equal logical state digests. *)
@@ -231,8 +245,12 @@ let test_torn_batch () =
       let f = Database.create_follower ~config () in
       Database.apply_replicated f records;
       Alcotest.(check int)
-        (Printf.sprintf "cut %d: applied = decoded" cut)
-        k (Database.replicated_lsn f);
+        (Printf.sprintf "cut %d: received = decoded" cut)
+        k (Database.received_lsn f);
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d: applied = commit horizon of the prefix" cut)
+        (Wal.commit_horizon_upto wal ~upto:k)
+        (Database.replicated_lsn f);
       converged (Printf.sprintf "cut %d" cut) db f
     end
   done
@@ -248,17 +266,83 @@ let test_follower_restart () =
   List.iter
     (fun k ->
       let cut = total * k / 5 in
+      let horizon = Wal.commit_horizon_upto (Database.wal db) ~upto:cut in
       let f = Database.create_follower ~config:spec.Workload.config () in
       ignore (ship ~upto:cut db f);
+      Alcotest.(check int)
+        (Printf.sprintf "cut %d/%d applies up to its commit horizon" cut total)
+        horizon (Database.replicated_lsn f);
       let f = Database.crash f in
       Alcotest.(check bool) "restart keeps the role" true (Database.is_follower f);
+      (* the buffered post-horizon tail is volatile: restart resumes at the
+         durably applied commit horizon, never past it *)
       Alcotest.(check int)
         (Printf.sprintf "restart at %d/%d keeps the applied horizon" cut total)
-        cut (Database.replicated_lsn f);
+        horizon (Database.replicated_lsn f);
       converged (Printf.sprintf "after restart at %d/%d" cut total) db f;
       Alcotest.(check bool) "restarted replica satisfies V1" true
         (Workload.check_consistency f (Database.view f "sales_by_product_0")))
     [ 1; 2; 3; 4 ]
+
+(* --- commit horizon: no split transactions on the replica ------------------- *)
+
+(* Two interleaved writers each insert a matched pair of rows (one in [a],
+   one in [b]) per transaction, so commit records regularly land while the
+   other transaction is still open — raw log prefixes are NOT
+   transaction-consistent there. Shipping record by record, a snapshot
+   read on the follower must never see a pair split: the gate pins the
+   applied horizon to the last commit boundary of whatever arrived, and
+   the boundary the follower computes must equal the primary's
+   [commit_horizon_upto] over the same prefix. *)
+let test_no_split_transactions () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let ta =
+    Database.create_table db ~name:"a"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  let tb =
+    Database.create_table db ~name:"b"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  Sched.run ~seed:13 (fun () ->
+      for w = 0 to 1 do
+        ignore
+          (Sched.spawn (fun () ->
+               for i = 1 to 6 do
+                 Database.transact db (fun tx ->
+                     ignore
+                       (Table.insert db tx ta [| Value.Int ((100 * w) + i) |]);
+                     Sched.yield ();
+                     ignore
+                       (Table.insert db tx tb [| Value.Int ((100 * w) + i) |]);
+                     Sched.yield ())
+               done))
+      done);
+  let wal = Database.wal db in
+  Wal.force wal (Wal.last_lsn wal);
+  let f = Database.create_follower ~config () in
+  let count d name =
+    match Database.table d name with
+    | tbl ->
+        Database.transact d ~read_only:true (fun tx ->
+            Seq.length (Query.table_scan d (Some tx) tbl Query.Serializable))
+    | exception _ -> 0
+  in
+  let split = ref 0 and gated = ref 0 in
+  for lsn = 1 to Wal.flushed_lsn wal do
+    ignore (ship ~batch:1 ~upto:lsn db f);
+    Alcotest.(check int)
+      (Printf.sprintf "lsn %d: applied = commit horizon of the prefix" lsn)
+      (Wal.commit_horizon_upto wal ~upto:lsn)
+      (Database.replicated_lsn f);
+    if Database.replicated_lsn f < lsn then incr gated;
+    if count f "a" <> count f "b" then incr split
+  done;
+  Alcotest.(check int) "no prefix ever shows a split transaction" 0 !split;
+  Alcotest.(check bool) "the gate actually engaged mid-transaction" true
+    (!gated > 0);
+  converged "record-by-record shipping" db f
 
 (* --- crash-the-primary sweep ----------------------------------------------- *)
 
@@ -439,7 +523,7 @@ let test_wire_replication () =
       Server.serve psrv;
       let r1 = Replica.create ~name:"netfollower" fdb (Transport.Loopback.dialer pnet) in
       let fsrv = Server.create fdb (Transport.Loopback.listener fnet) in
-      Server.add_sys fsrv (Replica.register_sys r1);
+      Server.attach_replica fsrv r1;
       Server.serve fsrv;
       Replica.spawn r1;
       (* primary takes writes while the follower streams *)
@@ -487,6 +571,7 @@ let test_wire_replication () =
       done;
       ignore (Client.exec pcl "INSERT INTO t VALUES (3, 'z')");
       let r2 = Replica.create ~name:"netfollower" fdb (Transport.Loopback.dialer pnet) in
+      Server.attach_replica fsrv r2;
       Replica.spawn r2;
       caught_up ();
       Alcotest.(check int) "rows after resubscribe" 3
@@ -539,6 +624,261 @@ let test_wire_subscribe_refused () =
       Alcotest.(check int) "nothing was applied" 0 (Database.replicated_lsn fdb);
       Server.drain srv)
 
+(* Full failover over loopback: the primary dies mid-deployment, an admin
+   [Promote] frame turns the follower's server into the new primary, the
+   SQL client repoints, a second replica repoints its driver at the
+   promoted node, and sys.replication shows the role transition. *)
+let test_wire_failover () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let fdb = Database.create_follower ~config () in
+  Sched.run ~seed:21 (fun () ->
+      let pnet = Transport.Loopback.create ~backlog:16 () in
+      let fnet = Transport.Loopback.create ~backlog:16 () in
+      let psrv = Server.create db (Transport.Loopback.listener pnet) in
+      Server.serve psrv;
+      let r = Replica.create ~name:"standby" fdb (Transport.Loopback.dialer pnet) in
+      let fsrv = Server.create fdb (Transport.Loopback.listener fnet) in
+      Server.attach_replica fsrv r;
+      Server.serve fsrv;
+      Replica.spawn r;
+      let pcl = Client.connect ~client:"app" (Transport.Loopback.dialer pnet) in
+      ignore (Client.exec pcl "CREATE TABLE t (a INT NOT NULL)");
+      ignore (Client.exec pcl "INSERT INTO t VALUES (1), (2)");
+      while Database.replicated_lsn fdb < Wal.flushed_lsn (Database.wal db) do
+        Sched.yield ()
+      done;
+      let fcl = Client.connect ~client:"admin" (Transport.Loopback.dialer fnet) in
+      Alcotest.(check bool) "Promote on the primary is E_repl" true
+        (server_error Wire.E_repl (fun () -> Client.promote pcl));
+      (* the primary dies *)
+      Server.drain psrv;
+      (* an admin promotes the follower over the wire *)
+      let msg = Client.promote fcl in
+      Alcotest.(check bool) "promotion reported" true (String.length msg > 0);
+      Alcotest.(check bool) "promotion stopped the driver" true
+        (Replica.status r = Replica.Stopped);
+      Alcotest.(check bool) "follower became primary" false
+        (Database.is_follower fdb);
+      (* sys.replication flipped from the follower row to the primary's
+         slot rows (none yet: nothing has subscribed to the new primary) *)
+      List.iter
+        (fun row ->
+          Alcotest.(check string) "post-promotion role" "primary"
+            (cell_str row 0))
+        (rows (Client.exec fcl "SELECT * FROM sys.replication"));
+      (* the application client repoints and writes to the new primary *)
+      Client.repoint pcl (Transport.Loopback.dialer fnet);
+      ignore (Client.exec pcl "INSERT INTO t VALUES (3)");
+      Alcotest.(check int) "promoted primary serves the write" 3
+        (List.length (rows (Client.exec pcl "SELECT a FROM t ORDER BY a")));
+      (* a second replica still dialling the dead primary repoints its
+         driver and converges against the promoted node — whose promotion
+         checkpoint kept the log it needs *)
+      let fdb2 = Database.create_follower ~config () in
+      let r2 =
+        Replica.create ~name:"standby2" fdb2 (Transport.Loopback.dialer pnet)
+      in
+      Replica.spawn r2;
+      for _ = 1 to 5 do
+        Sched.yield ()
+      done;
+      Replica.repoint r2 (Transport.Loopback.dialer fnet);
+      while Database.replicated_lsn fdb2 < Wal.flushed_lsn (Database.wal fdb) do
+        Sched.yield ()
+      done;
+      Alcotest.(check string) "repointed replica converges"
+        (Database.state_digest fdb) (Database.state_digest fdb2);
+      Alcotest.(check bool) "second Promote is E_repl" true
+        (server_error Wire.E_repl (fun () -> Client.promote fcl));
+      Client.close pcl;
+      Client.close fcl;
+      Replica.stop r2;
+      Server.drain fsrv)
+
+(* A detached replica's durable slot pins WAL retention forever unless an
+   operator drops it: [DropSlot] forgets the slot and recomputes the
+   retain floor so checkpoint truncation resumes. Unknown and
+   still-connected slots are refused. *)
+let test_wire_drop_slot () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let t =
+    Database.create_table db ~name:"t"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  let fdb = Database.create_follower ~config () in
+  Sched.run ~seed:5 (fun () ->
+      let net = Transport.Loopback.create ~backlog:8 () in
+      let srv = Server.create db (Transport.Loopback.listener net) in
+      Server.serve srv;
+      let cl = Client.connect ~client:"admin" (Transport.Loopback.dialer net) in
+      let r = Replica.create ~name:"gone" fdb (Transport.Loopback.dialer net) in
+      Replica.spawn r;
+      let insert i =
+        Database.transact db (fun tx ->
+            ignore (Table.insert db tx t [| Value.Int i |]))
+      in
+      insert 1;
+      while Database.replicated_lsn fdb < Wal.flushed_lsn (Database.wal db) do
+        Sched.yield ()
+      done;
+      Alcotest.(check bool) "dropping a live slot is refused" true
+        (server_error Wire.E_repl (fun () -> Client.drop_slot cl "gone"));
+      Alcotest.(check bool) "dropping an unknown slot is refused" true
+        (server_error Wire.E_repl (fun () -> Client.drop_slot cl "nope"));
+      (* the replica detaches for good; its slot keeps pinning the log *)
+      Replica.stop r;
+      while Replica.status r <> Replica.Stopped do
+        Sched.yield ()
+      done;
+      let acked = Database.replicated_lsn fdb in
+      for i = 2 to 9 do
+        insert i
+      done;
+      (* the new records kick the caught-up stream fiber: it ships to the
+         dead connection, observes the EOF, and marks the slot detached —
+         until then a drop racing the disconnect is (correctly) refused *)
+      let rec wait_detached () =
+        match Server.replicas srv with
+        | [ (_, _, false) ] -> ()
+        | _ ->
+            Sched.yield ();
+            wait_detached ()
+      in
+      wait_detached ();
+      Database.checkpoint db;
+      Alcotest.(check bool) "detached slot pins retention" true
+        (Wal.first_lsn (Database.wal db) <= acked + 1);
+      let msg = Client.drop_slot cl "gone" in
+      Alcotest.(check bool) "drop acknowledged" true (String.length msg > 0);
+      Alcotest.(check (list (triple string int bool))) "no slots survive" []
+        (Server.replicas srv);
+      for i = 10 to 12 do
+        insert i
+      done;
+      Database.checkpoint db;
+      Alcotest.(check bool) "truncation resumed past the dropped slot" true
+        (Wal.first_lsn (Database.wal db) > acked + 1);
+      Client.close cl;
+      Server.drain srv)
+
+(* Regression: the redial backoff must reset once a session delivers a
+   batch. Before the fix it compounded across the driver's whole
+   lifetime, so a replica that streamed healthily for a long uptime and
+   then hiccuped once redialled at the 64-tick cap instead of instantly.
+   A scripted primary fails a burst of sessions (backoff climbs), serves
+   one delivering session, then fails again — the next redial must be
+   prompt. *)
+let test_backoff_reset () =
+  let config = { Database.default_config with read_cost = 0; write_cost = 0 } in
+  let db = Database.create ~config () in
+  let t =
+    Database.create_table db ~name:"t"
+      ~cols:[ { Schema.name = "id"; ty = Value.TInt; nullable = false } ]
+  in
+  for i = 1 to 3 do
+    Database.transact db (fun tx -> ignore (Table.insert db tx t [| Value.Int i |]))
+  done;
+  let wal = Database.wal db in
+  Wal.force wal (Wal.last_lsn wal);
+  let n = Wal.flushed_lsn wal in
+  let fdb = Database.create_follower ~config () in
+  Sched.run ~seed:9 (fun () ->
+      let net = Transport.Loopback.create ~backlog:16 () in
+      let lst = Transport.Loopback.listener net in
+      let failures = ref 0 in
+      let healthy_done = ref false in
+      let healthy_close_tick = ref 0 in
+      let first_fail_tick = ref (-1) in
+      let mode = ref `Fail in
+      let serve_one conn =
+        match !mode with
+        | `Fail ->
+            incr failures;
+            if !healthy_done && !first_fail_tick < 0 then
+              first_fail_tick := Sched.now ();
+            conn.Transport.close ()
+        | `Healthy ->
+            let io = Transport.Frame_io.create conn in
+            (match Transport.Frame_io.recv io with
+            | Some (Wire.Hello _) -> (
+                Transport.Frame_io.send io
+                  (Wire.Welcome
+                     { version = Wire.version; server = "fake"; session = 1 });
+                match Transport.Frame_io.recv io with
+                | Some (Wire.ReplSubscribe { from; _ }) when from <= n ->
+                    let payload = Wal.serialize_range wal ~from ~upto:n in
+                    Transport.Frame_io.send io
+                      (Wire.ReplRecords
+                         {
+                           first = from;
+                           upto = n;
+                           committed = Wal.commit_horizon wal;
+                           flushed = n;
+                           payload;
+                         });
+                    ignore (Transport.Frame_io.recv io);
+                    (* one-shot: flip back to failing before the replica
+                       can redial, so exactly one session delivers *)
+                    mode := `Fail;
+                    healthy_close_tick := Sched.now ();
+                    healthy_done := true;
+                    conn.Transport.close ()
+                | _ ->
+                    mode := `Fail;
+                    healthy_close_tick := Sched.now ();
+                    healthy_done := true;
+                    conn.Transport.close ())
+            | _ -> conn.Transport.close ())
+      in
+      let stop_accept = ref false in
+      ignore
+        (Sched.spawn (fun () ->
+             while not !stop_accept do
+               (match lst.Transport.accept () with
+               | Some conn -> serve_one conn
+               | None -> ());
+               Sched.yield ()
+             done));
+      let r = Replica.create ~name:"flaky" fdb (Transport.Loopback.dialer net) in
+      Replica.spawn r;
+      (* a burst of dead sessions: the backoff climbs toward the cap *)
+      while !failures < 6 do
+        Sched.yield ()
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "backoff climbed after %d failed sessions (got %d)"
+           !failures (Replica.backoff r))
+        true
+        (Replica.backoff r >= 16);
+      (* one healthy session delivers a batch... *)
+      mode := `Healthy;
+      while not !healthy_done do
+        Sched.yield ()
+      done;
+      Alcotest.(check int) "the batch was applied" n
+        (Database.replicated_lsn fdb);
+      (* ...and the next hiccup redials promptly: the gap between the
+         healthy session's close and the next (failing) dial is a couple
+         of scheduler cycles, not the compounded 64-tick cap the driver
+         had accumulated before the reset *)
+      while !first_fail_tick < 0 do
+        Sched.yield ()
+      done;
+      let gap = !first_fail_tick - !healthy_close_tick in
+      Alcotest.(check bool)
+        (Printf.sprintf "prompt redial after a delivering session (%d ticks)"
+           gap)
+        true
+        (gap >= 0 && gap < 32);
+      Replica.stop r;
+      while Replica.status r <> Replica.Stopped do
+        Sched.yield ()
+      done;
+      stop_accept := true;
+      lst.Transport.stop ())
+
 let sweep_crash_primary () =
   let spec = sweep_spec in
   let n_forces = count_forces spec in
@@ -551,6 +891,64 @@ let sweep_crash_primary () =
       { Fault.no_faults with crash_at_force = Some k; torn_tail = true }
       (Printf.sprintf "torn primary crash at force %d" k)
   done
+
+(* --- failover: promote the follower at every primary crash point ------------ *)
+
+(* At every force point of the replicated workload, clean and torn: the
+   primary dies, the follower final-ships the remainder of the dead log's
+   SURVIVING image (Wal.crash applies the pending tear, so a torn force's
+   lost bytes never reach the follower), promotes, and must land on
+   exactly the state single-node crash recovery reaches over the same
+   prefix — no committed transaction lost, every in-flight one rolled
+   back by the promotion's undo pass. The promoted database must then
+   serve writes and checkpoints. *)
+let run_promote_point spec fcfg desc =
+  let db, f, _committed, crashed = run_replicated_until_crash spec fcfg in
+  if not crashed then
+    Alcotest.failf "%s: armed trigger did not fire (sweep out of sync)" desc;
+  let dead = Wal.crash (Database.wal db) (Metrics.create ()) in
+  ignore (ship_wal dead f);
+  let promo = Database.promote f in
+  Alcotest.(check bool) (desc ^ ": promoted out of the follower role") false
+    (Database.is_follower f);
+  (* reference: single-node crash recovery over the same surviving log *)
+  let db' = Database.crash db in
+  Alcotest.(check string)
+    (desc ^ ": promotion = single-node recovery of the same log")
+    (Database.state_digest db')
+    (Database.state_digest f);
+  Alcotest.(check bool) (desc ^ ": promoted view satisfies V1") true
+    (Workload.check_consistency f (Database.view f "sales_by_product_0"));
+  (* the promoted primary is open for business *)
+  let sales = Database.table f "sales" in
+  Database.transact f (fun tx ->
+      ignore
+        (Table.insert f tx sales
+           [| Value.Int 999_999; Value.Int 1; Value.Int 1; Value.Float 1. |]));
+  Database.checkpoint f;
+  promo
+
+let sweep_promote_follower () =
+  let spec = sweep_spec in
+  let n_forces = count_forces spec in
+  Alcotest.(check bool) "workload has force points" true (n_forces > 0);
+  let undone = ref 0 in
+  for k = 1 to n_forces do
+    let p =
+      run_promote_point spec
+        { Fault.no_faults with crash_at_force = Some k }
+        (Printf.sprintf "promote after clean crash at force %d" k)
+    in
+    undone := !undone + p.Database.losers_undone;
+    let p =
+      run_promote_point spec
+        { Fault.no_faults with crash_at_force = Some k; torn_tail = true }
+        (Printf.sprintf "promote after torn crash at force %d" k)
+    in
+    undone := !undone + p.Database.losers_undone
+  done;
+  Alcotest.(check bool) "some crash points left losers to roll back" true
+    (!undone > 0)
 
 let () =
   Alcotest.run "repl"
@@ -570,12 +968,23 @@ let () =
           Alcotest.test_case "heap chain growth under physical redo" `Quick
             test_heap_growth;
         ] );
+      ( "horizon",
+        [
+          Alcotest.test_case "no split transactions on the replica" `Quick
+            test_no_split_transactions;
+        ] );
       ( "wire",
         [
           Alcotest.test_case "end-to-end replication over loopback" `Quick
             test_wire_replication;
           Alcotest.test_case "subscribe below retention is fatal" `Quick
             test_wire_subscribe_refused;
+          Alcotest.test_case "failover: promote, repoint, converge" `Quick
+            test_wire_failover;
+          Alcotest.test_case "drop a detached slot, truncation resumes" `Quick
+            test_wire_drop_slot;
+          Alcotest.test_case "redial backoff resets after delivery" `Quick
+            test_backoff_reset;
         ] );
       ( "faults",
         [
@@ -584,5 +993,7 @@ let () =
             test_follower_restart;
           Alcotest.test_case "primary crash-at-force sweep" `Quick
             sweep_crash_primary;
+          Alcotest.test_case "promote the follower at every crash point" `Quick
+            sweep_promote_follower;
         ] );
     ]

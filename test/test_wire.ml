@@ -82,9 +82,19 @@ let frame_gen =
         map3
           (fun first n payload ->
             Wire.ReplRecords
-              { first; upto = first + n; flushed = first + n; payload })
+              {
+                first;
+                upto = first + n;
+                committed = first + (n / 2);
+                flushed = first + n;
+                payload;
+              })
           (int_bound 100000) (int_bound 100) str_gen;
         map (fun upto -> Wire.ReplAck { upto }) (int_bound 100000);
+        map (fun seq -> Wire.Promote { seq }) (int_bound 100000);
+        map2
+          (fun seq name -> Wire.DropSlot { seq; name })
+          (int_bound 100000) str_gen;
         return Wire.Bye;
       ])
 
@@ -119,8 +129,16 @@ let sample_frames =
     Wire.Busy { retry_ticks = 100 };
     Wire.ReplSubscribe { from = 1; replica = "follower-1" };
     Wire.ReplRecords
-      { first = 42; upto = 44; flushed = 99; payload = "\x00\x01framed\xff" };
+      {
+        first = 42;
+        upto = 44;
+        committed = 43;
+        flushed = 99;
+        payload = "\x00\x01framed\xff";
+      };
     Wire.ReplAck { upto = 44 };
+    Wire.Promote { seq = 10 };
+    Wire.DropSlot { seq = 11; name = "follower-1" };
     Wire.Err { seq = 1; code = Wire.E_read_only; text = "replica"; txn_open = false };
     Wire.Err { seq = 2; code = Wire.E_repl; text = "truncated"; txn_open = false };
     Wire.Bye;

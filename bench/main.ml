@@ -1137,6 +1137,243 @@ let e17 () =
   let cells = e17_cells ~quick:false in
   print_table ~title:e17_title ~header:e17_header (List.map fst cells)
 
+(* --- E18: hash-partitioned shards, 2PC cross-shard commit ------------------- *)
+
+(* Closed-loop scripted transactions through one coordinator over N
+   loopback engine shards: per cell, throughput, prepare round-trips and
+   the 2PC/local commit split; plus the commit-quick crash smoke — crash
+   the coordinator mid-protocol, power-cycle the cluster, recover, and
+   fail the build if any transaction is left in doubt or any decision is
+   lost or applied twice. *)
+
+let e18_title =
+  "E18  Sharding: 2PC cross-shard commit over hash partitions (escrow view, loopback)"
+
+let e18_header =
+  [ "shards"; "mix"; "commits"; "tput/1k ticks"; "prepares"; "2pc"; "local";
+    "in-doubt" ]
+
+module Coord = Ivdb_coord.Coord
+
+let e18_mk_cluster shards =
+  Array.init shards (fun i ->
+      let db = Database.create () in
+      Coord.configure_shard db ~shard:i ~shards;
+      db)
+
+let e18_keys ~shards shard n =
+  let rec go k acc remaining =
+    if remaining = 0 then Array.of_list (List.rev acc)
+    else if Coord.route_value ~shards (Value.Int k) = shard then
+      go (k + 1) (k :: acc) (remaining - 1)
+    else go (k + 1) acc remaining
+  in
+  go 0 [] n
+
+(* [cross i] decides whether scripted transaction [i] spans two shards
+   (an insert on each) or stays a single pinned insert. Every
+   transaction that reaches COMMIT gets global id [i+1], and the keys it
+   inserts are recorded so the crash smoke can audit decisions. *)
+let e18_script ~shards ~txns cross =
+  let per_shard = Array.init shards (fun s -> e18_keys ~shards s (2 * txns)) in
+  List.init txns (fun i ->
+      let a = i mod shards in
+      let stmt s slot qty =
+        let k = per_shard.(s).((2 * i) + slot) in
+        ( k,
+          Printf.sprintf "INSERT INTO t VALUES (%d, 'g%d', %d)" k (i mod 5) qty
+        )
+      in
+      if cross i && shards > 1 then
+        [ stmt a 0 (i + 1); stmt ((a + 1) mod shards) 1 (10 * (i + 1)) ]
+      else [ stmt a 0 (i + 1) ])
+
+let e18_setup c =
+  List.iter
+    (fun s -> ignore (Coord.exec c s))
+    [
+      "CREATE TABLE t (k INT NOT NULL, grp TEXT NOT NULL, qty INT NOT NULL)";
+      "CREATE VIEW v AS SELECT grp, COUNT(*), SUM(qty) FROM t GROUP BY grp \
+       USING ESCROW";
+      (* DDL doesn't force the log on its own; make the schema durable
+         before any armed crash point *)
+      "CHECKPOINT";
+    ]
+
+(* One cluster phase: loopback nets and servers over [dbs], a coordinator
+   over [cwal], run [f]. Fault.Crash_point escaping [f] models the whole
+   machine dying mid-run. *)
+let e18_phase ?(seed = 11) ?(crash_at = None) dbs cwal f =
+  Sched.run ~seed (fun () ->
+      let module Server = Ivdb_server.Server in
+      let module Transport = Ivdb_transport.Transport in
+      let nets =
+        Array.map (fun _ -> Transport.Loopback.create ~backlog:64 ()) dbs
+      in
+      let servers =
+        Array.mapi
+          (fun i net ->
+            let s = Server.create dbs.(i) (Transport.Loopback.listener net) in
+            Server.serve s;
+            s)
+          nets
+      in
+      let c = Coord.create ~wal:cwal (Array.map Transport.Loopback.dialer nets) in
+      Coord.set_crash_at_action c crash_at;
+      let r = f c in
+      Coord.close c;
+      Array.iter Server.drain servers;
+      r)
+
+let e18_cell ~quick shards mix =
+  let txns = if quick then 12 else 60 in
+  let cross = match mix with "cross" -> fun _ -> true | _ -> fun _ -> false in
+  let script = e18_script ~shards ~txns cross in
+  let dbs = e18_mk_cluster shards in
+  let cwal = Wal.create (Metrics.create ()) in
+  let committed, ticks, stats =
+    e18_phase dbs cwal (fun c ->
+        e18_setup c;
+        let t0 = Sched.now () in
+        let committed = ref 0 in
+        List.iter
+          (fun stmts ->
+            ignore (Coord.exec c "BEGIN");
+            List.iter (fun (_, s) -> ignore (Coord.exec c s)) stmts;
+            ignore (Coord.exec c "COMMIT");
+            incr committed)
+          script;
+        (!committed, Sched.now () - t0, Coord.stats c))
+  in
+  let indoubt =
+    Array.fold_left (fun acc db -> acc + Database.indoubt_count db) 0 dbs
+  in
+  let tput = 1000. *. float_of_int committed /. float_of_int (max 1 ticks) in
+  let row =
+    [
+      i shards; mix; i committed; f2 tput; i stats.Coord.prepares_sent;
+      i stats.Coord.cross_shard_commits; i stats.Coord.single_shard_commits;
+      i indoubt;
+    ]
+  in
+  let json =
+    Printf.sprintf
+      {|    {"shards": %d, "mix": "%s", "committed": %d, "throughput_per_1k_ticks": %.3f, "prepares_sent": %d, "cross_shard_commits": %d, "single_shard_commits": %d, "indoubt": %d}|}
+      shards mix committed tput stats.Coord.prepares_sent
+      stats.Coord.cross_shard_commits stats.Coord.single_shard_commits indoubt
+  in
+  (row, json)
+
+(* The commit-quick decision audit: arm a coordinator crash mid-2PC on a
+   2-shard cluster, power-cycle, recover, then check every scripted
+   transaction against the coordinator's logged decisions — a committed
+   transaction's keys must each exist exactly once, an aborted or
+   undecided one's not at all. Any in-doubt leftover, lost decision or
+   double apply kills the run. *)
+let e18_crash_smoke () =
+  let shards = 2 in
+  let txns = 6 in
+  let script = e18_script ~shards ~txns (fun _ -> true) in
+  let run_workload ?(crash_at = None) dbs cwal =
+    e18_phase ~crash_at dbs cwal (fun c ->
+        e18_setup c;
+        List.iter
+          (fun stmts ->
+            ignore (Coord.exec c "BEGIN");
+            List.iter (fun (_, s) -> ignore (Coord.exec c s)) stmts;
+            ignore (Coord.exec c "COMMIT"))
+          script;
+        Coord.actions c)
+  in
+  let total =
+    run_workload (e18_mk_cluster shards) (Wal.create (Metrics.create ()))
+  in
+  let crash_action = max 1 (total / 2) in
+  let dbs = e18_mk_cluster shards in
+  let cwal = Wal.create (Metrics.create ()) in
+  let crashed =
+    try
+      ignore (run_workload ~crash_at:(Some crash_action) dbs cwal);
+      false
+    with Fault.Crash_point _ -> true
+  in
+  if not crashed then begin
+    Printf.eprintf "FATAL: e18 smoke: armed coordinator crash did not fire\n";
+    exit 1
+  end;
+  (* power loss: every shard recovers from its WAL, the coordinator from
+     its decision log *)
+  let dbs = Array.map Database.crash dbs in
+  Array.iteri (fun s db -> Coord.configure_shard db ~shard:s ~shards) dbs;
+  let cwal = Wal.crash cwal (Metrics.create ()) in
+  let indoubt_at_crash =
+    Array.fold_left (fun acc db -> acc + Database.indoubt_count db) 0 dbs
+  in
+  e18_phase dbs cwal (fun c -> ignore (Coord.recover c));
+  let indoubt_after =
+    Array.fold_left (fun acc db -> acc + Database.indoubt_count db) 0 dbs
+  in
+  if indoubt_after <> 0 then begin
+    Printf.eprintf "FATAL: e18 smoke: %d transaction(s) left in doubt\n"
+      indoubt_after;
+    exit 1
+  end;
+  let decided = Hashtbl.create 8 in
+  Wal.iter_stable cwal (fun r ->
+      match r.Ivdb_wal.Log_record.body with
+      | Ivdb_wal.Log_record.Decision { gtxn; committed } ->
+          Hashtbl.replace decided gtxn committed
+      | _ -> ());
+  (* one multiset of surviving keys across the cluster *)
+  let count k =
+    Array.fold_left
+      (fun acc db ->
+        let s = Ivdb_sql.Sql.session db in
+        match Ivdb_sql.Sql.exec s (Printf.sprintf "SELECT k FROM t WHERE k = %d" k) with
+        | Ivdb_sql.Sql.Rows { rows; _ } -> acc + List.length rows
+        | _ -> acc)
+      0 dbs
+  in
+  let lost = ref 0 and duplicated = ref 0 and committed_txns = ref 0 in
+  List.iteri
+    (fun idx stmts ->
+      let gtxn = Printf.sprintf "coord:%d" (idx + 1) in
+      let want =
+        match Hashtbl.find_opt decided gtxn with Some true -> 1 | _ -> 0
+      in
+      if want = 1 then incr committed_txns;
+      List.iter
+        (fun (k, _) ->
+          let n = count k in
+          if n > want then incr duplicated else if n < want then incr lost)
+        stmts)
+    script;
+  if !lost > 0 || !duplicated > 0 then begin
+    Printf.eprintf "FATAL: e18 smoke: %d lost, %d duplicated decision(s)\n"
+      !lost !duplicated;
+    exit 1
+  end;
+  Printf.printf
+    "e18 coordinator-crash smoke: crash at action %d/%d, %d committed, %d \
+     in-doubt at crash, all resolved, 0 lost / 0 duplicated\n"
+    crash_action total !committed_txns indoubt_at_crash;
+  Printf.sprintf
+    {|    {"smoke": "coord-crash", "crash_action": %d, "actions": %d, "txns": %d, "committed": %d, "indoubt_at_crash": %d, "indoubt_after_recovery": 0, "lost": 0, "duplicated": 0}|}
+    crash_action total txns !committed_txns indoubt_at_crash
+
+let e18_cells ~quick =
+  let shard_counts = [ 1; 2; 4 ] in
+  List.concat_map
+    (fun s ->
+      if s = 1 then [ e18_cell ~quick s "single" ]
+      else [ e18_cell ~quick s "single"; e18_cell ~quick s "cross" ])
+    shard_counts
+
+let e18 () =
+  let cells = e18_cells ~quick:false in
+  print_table ~title:e18_title ~header:e18_header (List.map fst cells);
+  ignore (e18_crash_smoke ())
+
 (* Build-breaking guard for the dune-runtest smoke: a read-only transaction
    must never enter the lock manager or the WAL. Asserted on metric deltas
    across a snapshot that exercises every read path. *)
@@ -1318,9 +1555,14 @@ let commit_bench ~quick () =
      zero-loss smoke run (digest divergence exits non-zero) *)
   let e17_cells = e17_cells ~quick in
   print_table ~title:e17_title ~header:e17_header (List.map fst e17_cells);
+  (* and the sharding cells: quick mode doubles as the coordinator-crash
+     decision-audit smoke run (lost/duplicated decisions exit non-zero) *)
+  let e18_cells = e18_cells ~quick in
+  print_table ~title:e18_title ~header:e18_header (List.map fst e18_cells);
+  let e18_smoke_json = e18_crash_smoke () in
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ],\n  \"e17_failover\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ],\n  \"e17_failover\": [\n%s\n  ],\n  \"e18_sharding\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
@@ -1328,12 +1570,14 @@ let commit_bench ~quick () =
     (String.concat ",\n" (List.map snd e14_cells))
     (String.concat ",\n" (List.map snd e15_cells))
     (String.concat ",\n" (List.map snd e16_cells))
-    (String.concat ",\n" (List.map snd e17_cells));
+    (String.concat ",\n" (List.map snd e17_cells))
+    (String.concat ",\n" (List.map snd e18_cells @ [ e18_smoke_json ]));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
    + List.length e13_cells + List.length e14_cells + List.length e15_cells
-   + List.length e16_cells + List.length e17_cells)
+   + List.length e16_cells + List.length e17_cells + List.length e18_cells
+   + 1)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -1469,7 +1713,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("micro", micro);
+    ("e17", e17); ("e18", e18); ("micro", micro);
   ]
 
 (* "commit-quick" is a cheap smoke variant of e11 invoked from the dune

@@ -9,6 +9,7 @@
      .stats            engine counters (sys.metrics)
      .locks            lock table and wait queue (sys.locks, sys.lock_waits)
      .sessions         server sessions (sys.server_sessions)
+     .shards           shard identity and 2PC state (sys.shards)
      .replicas         replication slots / follower link (sys.replication)
      .promote          promote a follower server to primary (remote only)
      .drop-replica N   forget a detached replication slot  (remote only)
@@ -32,9 +33,10 @@ let help =
             SHOW TABLES/VIEWS/METRICS,
             SELECT * FROM sys.transactions|locks|lock_waits|views|bufpool|
                           wal|metrics|metrics_hist|server_sessions|
-                          slow_queries|replication
-dot commands: .crash .gc .trace on|off|show .stats .locks .sessions .replicas
-              .promote .drop-replica NAME .connect HOST:PORT .local .help .quit|}
+                          slow_queries|replication|shards
+dot commands: .crash .gc .trace on|off|show .stats .locks .sessions .shards
+              .replicas .promote .drop-replica NAME .connect HOST:PORT .local
+              .help .quit|}
 
 (* the trace ring survives statements but not .crash (new instance, new trace) *)
 let ring_capacity = 4096
@@ -223,6 +225,8 @@ let () =
          end
          else if line = ".sessions" then
            exec_line "SELECT * FROM sys.server_sessions"
+         else if line = ".shards" then
+           exec_line "SELECT * FROM sys.shards"
          else if line = ".replicas" then
            exec_line "SELECT * FROM sys.replication"
          else if line = ".promote" then begin

@@ -5,6 +5,12 @@
      ivdb_server --port 5433
      ivdb_server --port 0 --max-inflight 16 --commit-mode group
      ivdb_server --port 5434 --follow 127.0.0.1:5433
+     ivdb_server --port 5433 --shard 0/2
+   With --shard i/N the engine serves as shard i of an N-way
+   hash-partitioned cluster: escrow view deltas for remote groups are
+   diverted to the transaction's outbound buffer, and the 2PC
+   Prepare/Decide frames a sharding coordinator sends are honoured
+   (sys.shards / the REPL .shards command show the identity).
    With --follow the engine starts as a read-only follower: a replica
    driver subscribes to the primary at HOST:PORT and applies its WAL
    continuously, while this server answers snapshot SELECTs (writes get
@@ -51,8 +57,22 @@ let parse_host_port s =
       | Some port when port >= 0 -> Some (host, port)
       | _ -> None)
 
+let parse_shard_spec s =
+  (* "i/N": this server is shard i of an N-shard cluster *)
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      match
+        ( int_of_string_opt (String.sub s 0 i),
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+      with
+      | Some shard, Some shards when shards > 0 && shard >= 0 && shard < shards
+        ->
+          Some (shard, shards)
+      | _ -> None)
+
 let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
-    init follow follow_name =
+    init follow follow_name shard_spec =
   let upstream =
     match follow with
     | None -> None
@@ -64,11 +84,31 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
               (Printf.sprintf "bad --follow address %S (want HOST:PORT)" addr);
             exit 2)
   in
+  let shard =
+    match shard_spec with
+    | None -> None
+    | Some spec -> (
+        match parse_shard_spec spec with
+        | Some _ when upstream <> None ->
+            prerr_endline "--shard and --follow are mutually exclusive";
+            exit 2
+        | Some sp -> Some sp
+        | None ->
+            prerr_endline
+              (Printf.sprintf "bad --shard spec %S (want I/N with 0 <= I < N)"
+                 spec);
+            exit 2)
+  in
   let db =
     match upstream with
     | None -> Database.create ~config:{ Database.default_config with commit_mode } ()
     | Some _ -> Database.create_follower ()
   in
+  (match shard with
+  | None -> ()
+  | Some (i, n) ->
+      Ivdb_coord.Coord.configure_shard db ~shard:i ~shards:n;
+      Printf.printf "serving as shard %d/%d (hash-partitioned cluster)\n" i n);
   (* optional schema/preload script, executed before the port opens *)
   (match init with
   | None -> ()
@@ -239,9 +279,21 @@ let cmd =
              restarts so the primary retains exactly the log this \
              follower still needs.")
   in
+  let shard_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Serve as shard $(docv) of an N-way hash-partitioned cluster: \
+             install the shared partition maps so escrow view deltas owned \
+             by remote shards are diverted to the coordinator, and accept \
+             2PC Prepare/Decide frames. All N servers must use the same N.")
+  in
   Cmd.v
     (Cmd.info "ivdb_server" ~doc:"Serve ivdb over the wire protocol")
     (const run $ port $ max_inflight $ busy_retry $ commit_mode
-   $ slow_query_ticks $ metrics_port $ init $ follow $ follow_name)
+   $ slow_query_ticks $ metrics_port $ init $ follow $ follow_name
+   $ shard_spec)
 
 let () = exit (Cmd.eval cmd)

@@ -168,6 +168,48 @@ let msg_request t mk =
       | None -> broken t "connection closed"
       | exception Transport.Corrupt m -> broken t m)
 
+(* 2PC round trips for the coordinator. Deliberately no transparent
+   retry: after a Disconnected the coordinator itself re-sends, and the
+   server answers retransmits idempotently from its dedupe tables — a
+   blind client-side resend could otherwise re-prepare a transaction the
+   coordinator has already decided. *)
+let prepare_2pc t ~gtxn ~deltas =
+  if t.closed then raise (Disconnected "client closed");
+  match t.io with
+  | None -> broken t "not connected"
+  | Some io -> (
+      t.seq <- t.seq + 1;
+      let seq = t.seq in
+      Frame_io.send io (Wire.Prepare { seq; gtxn; deltas });
+      match Frame_io.recv io with
+      | Some (Wire.Prepared _) -> `Prepared
+      | Some (Wire.Decided { committed; _ }) -> `Already_decided committed
+      | Some (Wire.Err { code; text; txn_open; _ }) ->
+          raise (Server_error { code; text; txn_open })
+      | Some (Wire.Busy { retry_ticks }) -> raise (Server_busy { retry_ticks })
+      | Some Wire.Bye -> broken t "server closed the session"
+      | Some _ -> broken t "protocol violation from server"
+      | None -> broken t "connection closed"
+      | exception Transport.Corrupt m -> broken t m)
+
+let decide_2pc t ~gtxn ~committed =
+  if t.closed then raise (Disconnected "client closed");
+  match t.io with
+  | None -> broken t "not connected"
+  | Some io -> (
+      t.seq <- t.seq + 1;
+      let seq = t.seq in
+      Frame_io.send io (Wire.Decide { seq; gtxn; committed });
+      match Frame_io.recv io with
+      | Some (Wire.Decided _) -> ()
+      | Some (Wire.Err { code; text; txn_open; _ }) ->
+          raise (Server_error { code; text; txn_open })
+      | Some (Wire.Busy { retry_ticks }) -> raise (Server_busy { retry_ticks })
+      | Some Wire.Bye -> broken t "server closed the session"
+      | Some _ -> broken t "protocol violation from server"
+      | None -> broken t "connection closed"
+      | exception Transport.Corrupt m -> broken t m)
+
 let metrics t = msg_request t (fun seq -> Wire.Metrics_req { seq })
 let promote t = msg_request t (fun seq -> Wire.Promote { seq })
 let drop_slot t name = msg_request t (fun seq -> Wire.DropSlot { seq; name })

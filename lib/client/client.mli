@@ -65,6 +65,23 @@ val last_rid : t -> int
     [sys.slow_queries.rid] or the [rid] field of [net.request] /
     [net.response] / [net.slow_query] trace events. *)
 
+val prepare_2pc :
+  t -> gtxn:string -> deltas:string -> [ `Prepared | `Already_decided of bool ]
+(** 2PC phase 1: ask the server to prepare its session's open transaction
+    under global id [gtxn], carrying [deltas]
+    ({!Ivdb.Database.Deltas}-encoded escrow deltas owned by that shard).
+    [`Already_decided c] means the shard had already decided this gtxn —
+    the coordinator's retransmit after a reconnect was answered from the
+    dedupe tables, not re-executed. Raises {!Server_error} on a no vote
+    (the participant rolled back) and {!Disconnected} on a dead
+    connection; there is no transparent retry — re-sending is the
+    coordinator's call, and is safe because the server dedupes by
+    gtxn. *)
+
+val decide_2pc : t -> gtxn:string -> committed:bool -> unit
+(** 2PC phase 2: deliver the coordinator's logged decision. Idempotent on
+    the server (retransmits re-ack; unknown abort is presumed-abort). *)
+
 val metrics : t -> string
 (** Fetch the server's metrics registry as Prometheus text exposition
     (a [Metrics_req] frame answered with [Msg]). *)

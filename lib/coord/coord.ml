@@ -1,0 +1,551 @@
+(* The sharding coordinator: hash-partitions base tables by their first
+   column ("the primary key") over N engine instances and drives
+   two-phase commit for transactions that touch more than one of them.
+
+   The coordinator owns no data. It parses each statement just far
+   enough to route it: DDL broadcasts, an INSERT splits its VALUES rows
+   by partition, a WHERE pk = lit pins DML/SELECT to the owning shard,
+   everything else fans out. Escrow view deltas whose group lives on a
+   different shard than the base row are diverted by the owning engine
+   into a per-transaction outbound buffer (Database.route_remote); at
+   commit the coordinator collects them over sys.outbound and ships each
+   batch inside the Prepare of the shard that owns the group, so the
+   remote delta commits or dies atomically with the global decision.
+
+   Durability follows presumed abort with a forced begin record: before
+   the first Prepare message the participant set is forced to the
+   coordinator's own WAL (a Log_record.Prepare with the ids in the
+   payload), and the decision is forced before the first Decide message.
+   Recovery therefore re-delivers the logged decision for every started
+   transaction and presumed-aborts the rest; participants answer
+   retransmits idempotently from their dedupe tables, which is also what
+   makes the coordinator's reconnect-and-resend retry safe. *)
+
+module A = Ivdb_sql.Sql_ast
+module Sql = Ivdb_sql.Sql
+module Sql_parser = Ivdb_sql.Sql_parser
+module Client = Ivdb_client.Client
+module Database = Ivdb.Database
+module Transport = Ivdb_transport.Transport
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Fault = Ivdb_storage.Fault
+module Metrics = Ivdb_util.Metrics
+module Value = Ivdb_relation.Value
+module Row = Ivdb_relation.Row
+module B = Ivdb_util.Bytes_util
+
+exception Coord_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Coord_error s)) fmt
+
+(* --- routing ---------------------------------------------------------- *)
+
+let hash_string s = B.fnv1a32_string s 0 (String.length s)
+let route_key ~shards key = hash_string key mod shards
+let route_value ~shards v = route_key ~shards (Value.to_string v)
+
+(* View groups route by their encoded group key — a different key space
+   than base-row primary keys, but all that matters is that every engine
+   and the coordinator agree on the owner of a group. *)
+let route_group ~shards ~view:_ ~key = route_key ~shards key
+
+let configure_shard db ~shard ~shards =
+  Database.set_shard db ~shard ~shards;
+  Database.set_delta_router db (fun ~view ~key -> route_group ~shards ~view ~key)
+
+(* --- coordinator state ------------------------------------------------ *)
+
+type stats = {
+  single_shard_commits : int;
+  cross_shard_commits : int;
+  aborts : int;
+  prepares_sent : int;
+  decides_sent : int;
+}
+
+type t = {
+  cname : string;
+  clients : Client.t array;
+  cwal : Wal.t;
+  mutable next_gid : int;
+  started : (string, int list) Hashtbl.t; (* gtxn -> participant shards *)
+  decided : (string, bool) Hashtbl.t;
+  pk_cols : (string, string) Hashtbl.t; (* table -> partition column *)
+  views : (string, unit) Hashtbl.t; (* view names seen in DDL *)
+  mutable in_txn : bool;
+  mutable open_on : int list; (* shards holding this txn's server session txn *)
+  (* deterministic crash injection: every 2PC protocol action (log force,
+     Prepare send, Decide send) bumps the counter; reaching the armed
+     value raises Fault.Crash_point before the action happens *)
+  mutable actions : int;
+  mutable crash_at : int option;
+  mutable s_single : int;
+  mutable s_cross : int;
+  mutable s_aborts : int;
+  mutable s_prepares : int;
+  mutable s_decides : int;
+}
+
+let parse_gid cname gtxn =
+  let p = cname ^ ":" in
+  let pl = String.length p in
+  if String.length gtxn > pl && String.sub gtxn 0 pl = p then
+    int_of_string_opt (String.sub gtxn pl (String.length gtxn - pl))
+  else None
+
+let scan_wal c =
+  Wal.iter_stable c.cwal (fun r ->
+      match r.Log_record.body with
+      | Log_record.Prepare { gtxn; deltas } ->
+          let participants =
+            try List.map int_of_string (String.split_on_char ',' deltas)
+            with Failure _ -> fail "corrupt participant list for %s" gtxn
+          in
+          Hashtbl.replace c.started gtxn participants;
+          (match parse_gid c.cname gtxn with
+          | Some n -> c.next_gid <- max c.next_gid (n + 1)
+          | None -> ())
+      | Log_record.Decision { gtxn; committed } ->
+          Hashtbl.replace c.decided gtxn committed
+      | _ -> ())
+
+let create ?(name = "coord") ?wal dialers =
+  if Array.length dialers = 0 then invalid_arg "Coord.create: no shards";
+  let cwal =
+    match wal with Some w -> w | None -> Wal.create (Metrics.create ())
+  in
+  let c =
+    {
+      cname = name;
+      clients =
+        Array.map (fun d -> Client.connect ~client:("coord:" ^ name) d) dialers;
+      cwal;
+      next_gid = 1;
+      started = Hashtbl.create 32;
+      decided = Hashtbl.create 32;
+      pk_cols = Hashtbl.create 8;
+      views = Hashtbl.create 8;
+      in_txn = false;
+      open_on = [];
+      actions = 0;
+      crash_at = None;
+      s_single = 0;
+      s_cross = 0;
+      s_aborts = 0;
+      s_prepares = 0;
+      s_decides = 0;
+    }
+  in
+  scan_wal c;
+  c
+
+let wal c = c.cwal
+let shard_count c = Array.length c.clients
+let in_transaction c = c.in_txn
+
+let stats c =
+  {
+    single_shard_commits = c.s_single;
+    cross_shard_commits = c.s_cross;
+    aborts = c.s_aborts;
+    prepares_sent = c.s_prepares;
+    decides_sent = c.s_decides;
+  }
+
+let set_crash_at_action c n = c.crash_at <- n
+let actions c = c.actions
+
+let gate c site =
+  c.actions <- c.actions + 1;
+  match c.crash_at with
+  | Some n when c.actions >= n ->
+      raise (Fault.Crash_point (Printf.sprintf "coord.%s.%d" site c.actions))
+  | _ -> ()
+
+let close c =
+  Array.iter (fun cl -> try Client.close cl with _ -> ()) c.clients
+
+(* --- 2PC message plumbing --------------------------------------------- *)
+
+(* A dead connection is retried exactly once after the client's automatic
+   re-dial; safe only for prepare/decide, which the participant dedupes
+   by gtxn — never used for statement execution. *)
+let retrying f = try f () with Client.Disconnected _ -> f ()
+
+let log_force c body =
+  let lsn = Wal.append c.cwal ~txn:0 ~prev:Log_record.nil_lsn body in
+  Wal.force c.cwal lsn
+
+let unhex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then fail "odd hex payload";
+  String.init (n / 2) (fun i ->
+      let d k =
+        match s.[(2 * i) + k] with
+        | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+        | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+        | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+        | ch -> fail "bad hex digit %C" ch
+      in
+      Char.chr ((d 0 * 16) + d 1))
+
+(* The shard session's diverted deltas, read back over the wire. *)
+let outbound_of c i =
+  match Client.exec c.clients.(i) "SELECT * FROM sys.outbound" with
+  | Sql.Rows { rows; _ } ->
+      List.map
+        (fun r ->
+          match r with
+          | [| Value.Int dest; Value.Int vid; Value.Str key; Value.Str hx |] ->
+              (dest, (vid, key, unhex hx))
+          | _ -> fail "malformed sys.outbound row")
+        rows
+  | _ -> fail "unexpected reply to sys.outbound"
+
+let deltas_for outbound i =
+  Database.Deltas.encode
+    (List.filter_map (fun (d, entry) -> if d = i then Some entry else None) outbound)
+
+let deliver_decision c ~gtxn ~committed ~participants =
+  List.iter
+    (fun i ->
+      gate c "decide";
+      (try retrying (fun () -> Client.decide_2pc c.clients.(i) ~gtxn ~committed)
+       with Client.Disconnected _ | Client.Server_error _ ->
+         (* the decision is durable in our log; an unreachable shard stays
+            in-doubt until the next recovery re-delivers it *)
+         ());
+      c.s_decides <- c.s_decides + 1)
+    participants
+
+let two_phase c ~gtxn ~participants ~outbound ~ops =
+  gate c "log_start";
+  log_force c
+    (Log_record.Prepare
+       { gtxn; deltas = String.concat "," (List.map string_of_int participants) });
+  Hashtbl.replace c.started gtxn participants;
+  let prepared = ref [] in
+  let rec prep = function
+    | [] -> None
+    | i :: rest -> (
+        gate c "prepare";
+        match
+          (try
+             `Vote
+               (retrying (fun () ->
+                    Client.prepare_2pc c.clients.(i) ~gtxn
+                      ~deltas:(deltas_for outbound i)))
+           with
+          | Client.Server_error { text; _ } -> `No text
+          | Client.Disconnected m -> `No m)
+        with
+        | `Vote (`Prepared | `Already_decided _) ->
+            c.s_prepares <- c.s_prepares + 1;
+            prepared := i :: !prepared;
+            prep rest
+        | `No reason -> Some reason)
+  in
+  match prep participants with
+  | None ->
+      gate c "log_decision";
+      log_force c (Log_record.Decision { gtxn; committed = true });
+      Hashtbl.replace c.decided gtxn true;
+      deliver_decision c ~gtxn ~committed:true ~participants;
+      c.s_cross <- c.s_cross + 1;
+      Sql.Message
+        (Printf.sprintf "committed (%s, %d participants)" gtxn
+           (List.length participants))
+  | Some reason ->
+      gate c "log_decision";
+      log_force c (Log_record.Decision { gtxn; committed = false });
+      Hashtbl.replace c.decided gtxn false;
+      (* prepared shards get the abort decision; an op shard that never
+         prepared still holds an ordinary session transaction *)
+      deliver_decision c ~gtxn ~committed:false ~participants:!prepared;
+      List.iter
+        (fun i ->
+          if not (List.mem i !prepared) then
+            try ignore (Client.exec c.clients.(i) "ROLLBACK")
+            with Client.Disconnected _ | Client.Server_error _ -> ())
+        ops;
+      c.s_aborts <- c.s_aborts + 1;
+      fail "transaction %s aborted: %s" gtxn reason
+
+let commit_txn c =
+  if not c.in_txn then fail "no open transaction";
+  let ops = c.open_on in
+  c.in_txn <- false;
+  c.open_on <- [];
+  match ops with
+  | [] -> Sql.Message "committed"
+  | _ -> (
+      let outbound = List.concat_map (fun i -> outbound_of c i) ops in
+      let dests = List.sort_uniq compare (List.map fst outbound) in
+      let participants = List.sort_uniq compare (ops @ dests) in
+      match (participants, outbound) with
+      | [ i ], [] ->
+          (* single shard, no remote deltas: plain local commit *)
+          (match Client.exec c.clients.(i) "COMMIT" with
+          | Sql.Message _ -> ()
+          | _ -> fail "unexpected reply to COMMIT");
+          c.s_single <- c.s_single + 1;
+          Sql.Message "committed"
+      | _ ->
+          let gtxn = Printf.sprintf "%s:%d" c.cname c.next_gid in
+          c.next_gid <- c.next_gid + 1;
+          two_phase c ~gtxn ~participants ~outbound ~ops)
+
+let abort_txn c =
+  if not c.in_txn then fail "no open transaction";
+  let ops = c.open_on in
+  c.in_txn <- false;
+  c.open_on <- [];
+  List.iter
+    (fun i ->
+      try ignore (Client.exec c.clients.(i) "ROLLBACK")
+      with Client.Disconnected _ | Client.Server_error _ -> ())
+    ops;
+  Sql.Message "rolled back"
+
+(* --- recovery --------------------------------------------------------- *)
+
+let recover c =
+  let entries =
+    Hashtbl.fold (fun g ps acc -> (g, ps) :: acc) c.started [] |> List.sort compare
+  in
+  List.iter
+    (fun (gtxn, participants) ->
+      let committed =
+        match Hashtbl.find_opt c.decided gtxn with
+        | Some d -> d
+        | None ->
+            (* started but never decided: presumed abort, made explicit
+               so the next recovery needn't re-derive it *)
+            log_force c (Log_record.Decision { gtxn; committed = false });
+            Hashtbl.replace c.decided gtxn false;
+            false
+      in
+      deliver_decision c ~gtxn ~committed ~participants)
+    entries;
+  List.length entries
+
+(* --- statement routing ------------------------------------------------ *)
+
+let render_lit = function
+  | A.L_int i -> string_of_int i
+  | A.L_float f ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s 'e' || String.contains s 'n' then
+        Printf.sprintf "%f" f
+      else if String.contains s '.' then s
+      else s ^ ".0"
+  | A.L_string s ->
+      let b = Buffer.create (String.length s + 2) in
+      Buffer.add_char b '\'';
+      String.iter
+        (fun ch ->
+          if ch = '\'' then Buffer.add_string b "''" else Buffer.add_char b ch)
+        s;
+      Buffer.add_char b '\'';
+      Buffer.contents b
+  | A.L_bool b -> if b then "TRUE" else "FALSE"
+  | A.L_null -> "NULL"
+
+let render_row lits = "(" ^ String.concat ", " (List.map render_lit lits) ^ ")"
+
+let value_of_lit = function
+  | A.L_int i -> Value.Int i
+  | A.L_float f -> Value.Float f
+  | A.L_string s -> Value.Str s
+  | A.L_bool b -> Value.Bool b
+  | A.L_null -> Value.Null
+
+let route_lit c l = route_value ~shards:(shard_count c) (value_of_lit l)
+
+let ensure_open c i =
+  if not (List.mem i c.open_on) then begin
+    ignore (Client.exec c.clients.(i) "BEGIN");
+    c.open_on <- c.open_on @ [ i ]
+  end
+
+let exec_shard c i sql =
+  if c.in_txn then ensure_open c i;
+  Client.exec c.clients.(i) sql
+
+let all_shards c = List.init (shard_count c) Fun.id
+
+let affected = function
+  | Sql.Affected n -> n
+  | Sql.Rows { rows; _ } -> List.length rows
+  | Sql.Message _ -> 0
+
+let rec conjuncts = function
+  | A.Binop (A.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* WHERE pins the statement to one shard iff it has a top-level
+   pk = literal conjunct for the table's partition column. *)
+let pk_eq c table where =
+  match (Hashtbl.find_opt c.pk_cols table, where) with
+  | Some pk, Some w ->
+      List.find_map
+        (function
+          | A.Binop (A.Eq, A.Column col, A.Lit l)
+          | A.Binop (A.Eq, A.Lit l, A.Column col)
+            when col = pk ->
+              Some l
+          | _ -> None)
+        (conjuncts w)
+  | _ -> None
+
+let merge_rows (q : A.select) replies =
+  let header = match replies with (h, _) :: _ -> h | [] -> [] in
+  let rows = List.concat_map snd replies in
+  let rows =
+    match q.A.order with
+    | Some { A.ob_col; ob_desc } -> (
+        match List.find_index (fun h -> h = ob_col) header with
+        | Some idx ->
+            List.stable_sort
+              (fun (a : Row.t) (b : Row.t) ->
+                let cmp = Value.compare a.(idx) b.(idx) in
+                if ob_desc then -cmp else cmp)
+              rows
+        | None -> rows)
+    | None -> rows
+  in
+  let rows =
+    match q.A.limit with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  Sql.Rows { header; rows }
+
+let rows_of = function
+  | Sql.Rows { header; rows } -> (header, rows)
+  | _ -> fail "expected rows"
+
+let broadcast_rows c q sql targets =
+  merge_rows q (List.map (fun i -> rows_of (exec_shard c i sql)) targets)
+
+let is_sys_name from =
+  String.length from > 4 && String.sub from 0 4 = "sys."
+
+let route_select c (q : A.select) sql =
+  if is_sys_name q.A.from then
+    if q.A.from = "sys.shards" then broadcast_rows c q sql (all_shards c)
+    else exec_shard c 0 sql
+  else if Hashtbl.mem c.views q.A.from then
+    (* view groups are partitioned by group-key hash: every group lives
+       wholly on its owner, so concatenation is the full view *)
+    broadcast_rows c q sql (all_shards c)
+  else
+    match pk_eq c q.A.from q.A.where with
+    | Some l -> exec_shard c (route_lit c l) sql
+    | None ->
+        let grouped =
+          q.A.group_by <> []
+          || List.exists
+               (function A.Agg_item _ -> true | A.Star | A.Col_item _ -> false)
+               q.A.items
+        in
+        if grouped then
+          fail
+            "cross-shard aggregation over %s is not supported: create an \
+             indexed view (its groups are partitioned) or pin the query \
+             with %s = <literal>"
+            q.A.from
+            (match Hashtbl.find_opt c.pk_cols q.A.from with
+            | Some pk -> pk
+            | None -> "<pk>")
+        else broadcast_rows c q sql (all_shards c)
+
+let route_insert c into rows =
+  let n = shard_count c in
+  let buckets = Array.make n [] in
+  List.iter
+    (fun lits ->
+      match lits with
+      | [] -> fail "empty VALUES row"
+      | first :: _ ->
+          let i = route_lit c first in
+          buckets.(i) <- lits :: buckets.(i))
+    rows;
+  let total = ref 0 in
+  Array.iteri
+    (fun i bucket ->
+      if bucket <> [] then
+        let sql =
+          Printf.sprintf "INSERT INTO %s VALUES %s" into
+            (String.concat ", " (List.rev_map render_row bucket))
+        in
+        total := !total + affected (exec_shard c i sql))
+    buckets;
+  Sql.Affected !total
+
+let route_modify c table where sql =
+  match pk_eq c table where with
+  | Some l -> exec_shard c (route_lit c l) sql
+  | None ->
+      Sql.Affected
+        (List.fold_left
+           (fun acc i -> acc + affected (exec_shard c i sql))
+           0 (all_shards c))
+
+(* A write outside an open transaction still runs under the coordinator's
+   transaction machinery: its escrow deltas may belong to another shard,
+   and only the commit path ships them. *)
+let with_write c f =
+  if c.in_txn then f ()
+  else begin
+    c.in_txn <- true;
+    match f () with
+    | r ->
+        ignore (commit_txn c);
+        r
+    | exception e ->
+        (if c.in_txn then try ignore (abort_txn c) with _ -> ());
+        raise e
+  end
+
+let broadcast_ddl c sql =
+  let last = ref (Sql.Message "ok") in
+  List.iter (fun i -> last := Client.exec c.clients.(i) sql) (all_shards c);
+  !last
+
+let exec c sql =
+  match Sql_parser.parse sql with
+  | A.Begin _ ->
+      if c.in_txn then fail "transaction already open";
+      c.in_txn <- true;
+      Sql.Message "distributed transaction started"
+  | A.Commit -> commit_txn c
+  | A.Rollback -> abort_txn c
+  | A.Savepoint _ | A.Rollback_to _ ->
+      fail "savepoints are not supported through the coordinator"
+  | A.Create_table { t_name; cols } ->
+      (match cols with
+      | first :: _ -> Hashtbl.replace c.pk_cols t_name first.A.cd_name
+      | [] -> ());
+      broadcast_ddl c sql
+  | A.Create_view { v_name; _ } ->
+      Hashtbl.replace c.views v_name ();
+      broadcast_ddl c sql
+  | A.Create_index _ | A.Checkpoint -> broadcast_ddl c sql
+  | A.Show _ -> exec_shard c 0 sql
+  | A.Insert { into; rows } -> with_write c (fun () -> route_insert c into rows)
+  | A.Delete { from_t; where } ->
+      with_write c (fun () -> route_modify c from_t where sql)
+  | A.Update { table; sets; where } ->
+      (match Hashtbl.find_opt c.pk_cols table with
+      | Some pk when List.mem_assoc pk sets ->
+          fail "cannot UPDATE partition column %s through the coordinator" pk
+      | _ -> ());
+      with_write c (fun () -> route_modify c table where sql)
+  | A.Select q -> route_select c q sql
+  | A.Explain q | A.Explain_analyze q -> (
+      (* a plan is per-shard: pin it when the query pins, else shard 0 *)
+      match pk_eq c q.A.from q.A.where with
+      | Some l -> exec_shard c (route_lit c l) sql
+      | None -> exec_shard c 0 sql)

@@ -1,0 +1,114 @@
+(** The sharding coordinator: hash-partitioned base tables over N engine
+    instances with two-phase commit for cross-shard transactions.
+
+    Base rows are partitioned by the hash of their first column (the
+    table's "primary key"); escrow view groups by the hash of their
+    encoded group key. The partition maps are pure functions shared by
+    the coordinator and every shard ({!configure_shard} installs them
+    into an engine), so any party can compute an owner without a
+    directory service. Shards are reached through
+    {!Ivdb_client.Client} over any transport — deterministic loopback
+    fibers in one scheduler run, or TCP to [ivdb_server --shard i/N]
+    processes.
+
+    A coordinator transaction opens an ordinary server-side transaction
+    on each shard a statement lands on. At [COMMIT], deltas the shards
+    diverted toward remote view groups are collected over
+    [sys.outbound]; a transaction with one participant and no remote
+    deltas commits locally (no 2PC), anything else runs presumed-abort
+    two-phase commit: participant set forced to the coordinator's WAL,
+    Prepare (carrying each shard's inbound deltas) to every participant,
+    decision forced, Decide fanned out. {!recover} re-delivers logged
+    decisions after a coordinator crash and presumed-aborts every
+    started-but-undecided transaction; participants dedupe retransmits
+    by global transaction id, which also makes the coordinator's
+    reconnect-and-resend retries safe. *)
+
+exception Coord_error of string
+(** Statement-level failure: routing restriction, a shard voting no (the
+    global transaction was aborted), malformed replies. The coordinator
+    session survives it. *)
+
+(** {1 Partition maps} *)
+
+val route_key : shards:int -> string -> int
+(** Owner shard of an opaque key string (FNV-1a mod [shards]). *)
+
+val route_value : shards:int -> Ivdb_relation.Value.t -> int
+(** Owner shard of a base row, from its first-column value. *)
+
+val route_group : shards:int -> view:int -> key:string -> int
+(** Owner shard of a view group, from its encoded group key. *)
+
+val configure_shard : Ivdb.Database.t -> shard:int -> shards:int -> unit
+(** Make an engine shard [shard] of [shards]: sets its identity
+    ({!Ivdb.Database.set_shard}) and installs {!route_group} as its
+    delta router, so view maintenance diverts remote groups' deltas into
+    the transaction's outbound buffer. *)
+
+(** {1 Coordinator} *)
+
+type t
+
+val create :
+  ?name:string -> ?wal:Ivdb_wal.Wal.t -> Ivdb_transport.Transport.dialer array -> t
+(** Connect one client per shard (the array index is the shard id — it
+    must match each engine's {!configure_shard} slot). [name] prefixes
+    global transaction ids ([name:n]). [wal] is the coordinator's
+    decision log; pass the previous incarnation's log (round-tripped
+    through {!Ivdb_wal.Wal.crash}) to restart after a crash — the
+    started/decided tables and the gtxn counter are rebuilt by scanning
+    it; follow with {!recover} to re-deliver outcomes. *)
+
+val exec : t -> string -> Ivdb_sql.Sql.result
+(** Route one SQL statement: DDL broadcasts (recording partition
+    columns), INSERT splits its rows by partition, DML/SELECT with a
+    top-level [pk = literal] conjunct pins to the owner, other DML and
+    plain SELECTs fan out (rows concatenated, ORDER BY/LIMIT re-applied),
+    SELECT over a view fans out (each group lives wholly on its owner).
+    [BEGIN]/[COMMIT]/[ROLLBACK] drive the distributed transaction; a
+    write outside a transaction autocommits through the same machinery
+    so its remote deltas still ship. Raises {!Coord_error} (and
+    {!Ivdb_client.Client} exceptions for dead shards). *)
+
+val recover : t -> int
+(** Resolve every started transaction found in the WAL: re-deliver the
+    logged decision, or log-and-deliver an abort for the undecided
+    (presumed abort). Returns the number of transactions resolved.
+    Idempotent — participants answer retransmits from their dedupe
+    tables. *)
+
+val in_transaction : t -> bool
+
+val shard_count : t -> int
+
+val wal : t -> Ivdb_wal.Wal.t
+(** The coordinator's decision log (for crash simulation:
+    [Wal.crash (Coord.wal c) metrics] is the log a restarted coordinator
+    sees). *)
+
+type stats = {
+  single_shard_commits : int;  (** commits that skipped 2PC *)
+  cross_shard_commits : int;
+  aborts : int;
+  prepares_sent : int;  (** prepare round-trips, retransmits included *)
+  decides_sent : int;
+}
+
+val stats : t -> stats
+
+val close : t -> unit
+
+(** {1 Deterministic crash injection}
+
+    Every 2PC protocol action — the begin-record force, each Prepare
+    send, the decision force, each Decide send — bumps a counter. Arming
+    {!set_crash_at_action} [n] makes the [n]-th action raise
+    {!Ivdb_storage.Fault.Crash_point} instead of happening, so a sweep
+    over [n] crashes the coordinator at every message boundary of a
+    workload. *)
+
+val set_crash_at_action : t -> int option -> unit
+
+val actions : t -> int
+(** Actions performed so far (run once unarmed to size a sweep). *)

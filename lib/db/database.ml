@@ -98,6 +98,20 @@ type t = {
   ghosts : (int, ghost_entry list ref) Hashtbl.t; (* per txn *)
   inflight : Ivdb_core.Inflight.t;
   row_lock_counts : (int * int, int ref) Hashtbl.t; (* (txn, table) -> rows *)
+  (* --- sharding / 2PC participant state ---
+     [shard] identifies this engine inside a hash-partitioned cluster;
+     [delta_router] maps a view group to its owning shard so escrow deltas
+     for remote groups are diverted into [outbound] (per txn) instead of
+     applied locally. [indoubt_2pc] holds prepared transactions (still
+     owning their locks) keyed by the coordinator's global id until a
+     decision arrives; [decided_2pc] dedupes decision/prepare retransmits. *)
+  mutable shard : (int * int) option; (* (shard id, shard count) *)
+  mutable delta_router : (view:int -> key:string -> int) option;
+  outbound : (int, (int * int * string * string) list ref) Hashtbl.t;
+      (* txn -> (dest shard, view, group key, encoded delta), newest first *)
+  indoubt_2pc : (string, Txn.t) Hashtbl.t;
+  decided_2pc : (string, bool) Hashtbl.t;
+  mutable last_decided : string option;
 }
 
 and ghost_entry =
@@ -553,6 +567,12 @@ let bare ?(config = default_config) ?(role = Primary) ?trace ~metrics ~disk ~wal
       ghosts = Hashtbl.create 16;
       inflight = Ivdb_core.Inflight.create ();
       row_lock_counts = Hashtbl.create 32;
+      shard = None;
+      delta_router = None;
+      outbound = Hashtbl.create 8;
+      indoubt_2pc = Hashtbl.create 8;
+      decided_2pc = Hashtbl.create 32;
+      last_decided = None;
     }
   in
   install_undo t;
@@ -590,6 +610,7 @@ let bare ?(config = default_config) ?(role = Primary) ?trace ~metrics ~disk ~wal
             (Ivdb_core.Inflight.keys_of_txn t.inflight ~txn:(Txn.id txn))
       | _ -> ());
       Ivdb_core.Inflight.drop_txn t.inflight ~txn:(Txn.id txn);
+      Hashtbl.remove t.outbound (Txn.id txn);
       Hashtbl.filter_map_inplace
         (fun (tid, _) v -> if tid = Txn.id txn then None else Some v)
         t.row_lock_counts);
@@ -971,6 +992,215 @@ let checkpoint_gen t ~truncate =
 
 let checkpoint t = checkpoint_gen t ~truncate:true
 
+(* --- sharding / two-phase commit (participant side) -------------------------------- *)
+
+(* Remote escrow deltas ride the prepare payload as an opaque byte string;
+   this codec is shared by the coordinator (packing per-shard payloads),
+   the wire (which treats it as bytes), and recovery (the payload is
+   logged verbatim inside the Prepare record). Layout: u32 count, then per
+   entry u32 view id | u32-framed group key | u32-framed encoded delta. *)
+module Deltas = struct
+  let encode entries =
+    let buf = Buffer.create 64 in
+    let add_u32 v =
+      let b = Bytes.create 4 in
+      Ivdb_util.Bytes_util.set_u32 b 0 v;
+      Buffer.add_bytes buf b
+    in
+    let add_str s =
+      add_u32 (String.length s);
+      Buffer.add_string buf s
+    in
+    add_u32 (List.length entries);
+    List.iter
+      (fun (vid, key, delta) ->
+        add_u32 vid;
+        add_str key;
+        add_str delta)
+      entries;
+    Buffer.contents buf
+
+  let decode s =
+    let pos = ref 0 in
+    let fail () = invalid_arg "Database.Deltas.decode: malformed payload" in
+    let rd_u32 () =
+      if !pos + 4 > String.length s then fail ();
+      let v =
+        (Char.code s.[!pos] lsl 24)
+        lor (Char.code s.[!pos + 1] lsl 16)
+        lor (Char.code s.[!pos + 2] lsl 8)
+        lor Char.code s.[!pos + 3]
+      in
+      pos := !pos + 4;
+      v
+    in
+    let rd_str () =
+      let len = rd_u32 () in
+      if !pos + len > String.length s then fail ();
+      let v = String.sub s !pos len in
+      pos := !pos + len;
+      v
+    in
+    let n = rd_u32 () in
+    let entries =
+      List.init n (fun _ ->
+          let vid = rd_u32 () in
+          let key = rd_str () in
+          (vid, key, rd_str ()))
+    in
+    if !pos <> String.length s then fail ();
+    entries
+end
+
+let set_shard t ~shard ~shards =
+  if shard < 0 || shard >= shards then
+    invalid_arg "Database.set_shard: shard id out of range";
+  t.shard <- Some (shard, shards)
+
+let shard_info t = t.shard
+let set_delta_router t f = t.delta_router <- Some f
+
+(* Called from [Table.propagate] per produced view delta: [true] means the
+   delta's group lives on another shard — it has been stashed in the
+   transaction's outbound buffer (to ride a Prepare over there) and must
+   NOT be applied locally. Only additive (escrow) deltas can travel;
+   anything else landing on a remote group is a partitioning error. *)
+let route_remote t tx ~vid ~key delta =
+  match (t.delta_router, t.shard) with
+  | Some f, Some (self, _) ->
+      let dest = f ~view:vid ~key in
+      if dest = self then false
+      else begin
+        let bytes =
+          try Aggregate.encode delta
+          with Invalid_argument _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Database: non-additive delta for view %d cannot be routed \
+                  to remote shard %d"
+                 vid dest)
+        in
+        let txid = Txn.id tx in
+        let l =
+          match Hashtbl.find_opt t.outbound txid with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace t.outbound txid l;
+              l
+        in
+        l := (dest, vid, key, bytes) :: !l;
+        Txn.note_delta tx;
+        Metrics.incr t.dmetrics "shard.outbound_delta";
+        true
+      end
+  | _ -> false
+
+let outbound_deltas t tx =
+  match Hashtbl.find_opt t.outbound (Txn.id tx) with
+  | Some l -> List.rev !l
+  | None -> []
+
+let gtxn_status t gtxn =
+  if Hashtbl.mem t.indoubt_2pc gtxn then `Prepared
+  else
+    match Hashtbl.find_opt t.decided_2pc gtxn with
+    | Some c -> `Decided c
+    | None -> `Unknown
+
+(* 2PC phase 1 on a participant: apply the inbound remote deltas through
+   the ordinary escrow path *inside* the preparing transaction — they are
+   logged with escrow undo and covered by E locks, so they commit or die
+   atomically with the decision — then force a Prepare record carrying
+   the payload. The transaction keeps all its locks; its handle moves
+   from the session into the in-doubt table, where it survives until a
+   decision arrives (possibly after a crash, via recovery's in-doubt
+   resurrection). *)
+let prepare_2pc t tx ~gtxn ~deltas =
+  reject_writes t;
+  (match gtxn_status t gtxn with
+  | `Unknown -> ()
+  | `Prepared | `Decided _ ->
+      invalid_arg ("Database.prepare_2pc: duplicate gtxn " ^ gtxn));
+  List.iter
+    (fun (vid, key, bytes) ->
+      let rt = view_rt t vid in
+      Maintain.apply_delta t.tmgr tx rt ~key (Aggregate.decode bytes))
+    (Deltas.decode deltas);
+  Txn.prepare t.tmgr tx ~gtxn ~deltas;
+  Hashtbl.replace t.indoubt_2pc gtxn tx;
+  Metrics.incr t.dmetrics "shard.prepared"
+
+(* 2PC phase 2: idempotent against retransmits. An unknown gtxn with an
+   abort decision is presumed-abort (this shard never prepared it, or its
+   dedupe memory outlived the decision); an unknown commit is a protocol
+   violation — a coordinator never decides commit without every vote. *)
+let decide_2pc t ~gtxn ~committed =
+  match Hashtbl.find_opt t.indoubt_2pc gtxn with
+  | Some tx ->
+      Hashtbl.remove t.indoubt_2pc gtxn;
+      Txn.log_decision t.tmgr tx ~gtxn ~committed;
+      if committed then Txn.commit t.tmgr tx else Txn.abort t.tmgr tx;
+      Hashtbl.replace t.decided_2pc gtxn committed;
+      t.last_decided <- Some gtxn;
+      Metrics.incr t.dmetrics "shard.decided";
+      `Applied
+  | None -> (
+      match Hashtbl.find_opt t.decided_2pc gtxn with
+      | Some _ -> `Duplicate
+      | None ->
+          if committed then
+            invalid_arg
+              ("Database.decide_2pc: commit decision for unknown gtxn " ^ gtxn)
+          else `Presumed_abort)
+
+let indoubt_gtxns t =
+  Hashtbl.fold (fun g tx acc -> (g, Txn.id tx) :: acc) t.indoubt_2pc []
+  |> List.sort compare
+
+let indoubt_count t = Hashtbl.length t.indoubt_2pc
+let last_decided t = t.last_decided
+
+(* Re-acquire an in-doubt transaction's write locks from its log chain —
+   the logical-undo information in each Update record names every object
+   it touched — and re-record its escrow deltas in the in-flight registry
+   so escrow bounds checks and the commit-time MVCC push see them again.
+   CLR sections are skipped via undo_next: their work is already undone,
+   so nothing conflicts on it. *)
+let relock_indoubt t tx =
+  let lock name mode = Txn.lock t.tmgr tx name mode in
+  let rec go lsn =
+    if lsn <> Log_record.nil_lsn then begin
+      let r = Wal.get t.dwal lsn in
+      match r.Log_record.body with
+      | Log_record.Update { undo; _ } ->
+          (match undo with
+          | Log_record.No_undo -> ()
+          | Log_record.Undo_heap_insert { table; rid }
+          | Log_record.Undo_heap_delete { table; rid }
+          | Log_record.Undo_heap_update { table; rid; _ } ->
+              lock (Lock_name.Table table) Lock_mode.IX;
+              lock (Lock_name.Row (table, rid)) Lock_mode.X
+          | Log_record.Undo_bt_insert { index; key }
+          | Log_record.Undo_bt_delete { index; key; _ }
+          | Log_record.Undo_bt_update { index; key; _ } ->
+              lock (Lock_name.Key (index, key)) Lock_mode.X
+          | Log_record.Undo_escrow { view; key; inverse } ->
+              lock (Lock_name.Table view) Lock_mode.IX;
+              lock (Lock_name.Key (view, key)) Lock_mode.E;
+              let delta = Aggregate.negate (Aggregate.decode inverse) in
+              Ivdb_core.Inflight.record t.inflight ~txn:(Txn.id tx) ~vid:view
+                ~key delta);
+          go r.Log_record.prev
+      | Log_record.Clr { undo_next; _ } -> go undo_next
+      | Log_record.Begin _ | Log_record.Commit | Log_record.End -> ()
+      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _
+      | Log_record.Prepare _ | Log_record.Decision _ ->
+          go r.Log_record.prev
+    end
+  in
+  go (Txn.last_lsn tx)
+
 (* --- crash / recovery ------------------------------------------------------------- *)
 
 let rebuild_runtime t =
@@ -1024,9 +1254,38 @@ let crash old =
   | Primary ->
       List.iter
         (fun (tid, last) ->
-          let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
+          let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last () in
           Txn.rollback_tail t.tmgr loser ~from:last)
         analysis.Recovery.losers;
+      (* Resurrect in-doubt (prepared) transactions with their locks and
+         in-flight escrow state: they block conflicting access until the
+         coordinator re-delivers its decision. [first_lsn] pins the log-
+         truncation bound so their undo chains survive checkpoints. *)
+      List.iter
+        (fun (d : Recovery.indoubt_txn) ->
+          let tx =
+            Txn.resurrect t.tmgr ~first_lsn:d.Recovery.id_first_lsn
+              ~id:d.Recovery.id_txn ~last_lsn:d.Recovery.id_last_lsn ()
+          in
+          relock_indoubt t tx;
+          Hashtbl.replace t.indoubt_2pc d.Recovery.id_gtxn tx)
+        analysis.Recovery.indoubt;
+      Metrics.add metrics "recovery.indoubt"
+        (List.length analysis.Recovery.indoubt);
+      (* Stable Decision records rebuild the retransmit-dedupe memory, and
+         settle right away any in-doubt transaction whose decision was
+         logged but whose Commit/End never went stable. Commit mode is
+         pinned to Sync for the replay: recovery runs outside the
+         scheduler, so a batched group-commit force has no fiber to ride. *)
+      let saved_mode = Txn.commit_mode t.tmgr in
+      Txn.set_commit_mode t.tmgr Txn.Sync;
+      List.iter
+        (fun (gtxn, committed) ->
+          if Hashtbl.mem t.indoubt_2pc gtxn then
+            ignore (decide_2pc t ~gtxn ~committed)
+          else Hashtbl.replace t.decided_2pc gtxn committed)
+        analysis.Recovery.decisions;
+      Txn.set_commit_mode t.tmgr saved_mode;
       checkpoint t
   | Follower ->
       (* "losers" here are the primary's transactions still in flight at
@@ -1171,7 +1430,7 @@ let promote t =
   let undo_before = Metrics.get t.dmetrics "txn.recovery_undo" in
   List.iter
     (fun (tid, last) ->
-      let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last in
+      let loser = Txn.resurrect t.tmgr ~id:tid ~last_lsn:last () in
       Txn.rollback_tail t.tmgr loser ~from:last)
     analysis.Recovery.losers;
   checkpoint_gen t ~truncate:false;
@@ -1317,6 +1576,7 @@ module Internal = struct
   let index_key = index_key
   let inflight t = t.inflight
   let lock_row = lock_row
+  let route_remote = route_remote
   let heap_scan_rows = heap_scan_rows
   let index_probe = index_probe
   let index_probe_rids = index_probe_rids

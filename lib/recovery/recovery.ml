@@ -3,6 +3,14 @@ module Log_record = Ivdb_wal.Log_record
 module Bufpool = Ivdb_storage.Bufpool
 module Page = Ivdb_storage.Page
 
+type indoubt_txn = {
+  id_txn : int;
+  id_gtxn : string;
+  id_first_lsn : Log_record.lsn;
+  id_last_lsn : Log_record.lsn;
+  id_deltas : string;
+}
+
 type analysis = {
   losers : (int * Log_record.lsn) list;
   dirty_pages : (int * Log_record.lsn) list;
@@ -12,6 +20,8 @@ type analysis = {
   max_page_id : int;
   max_txn_id : int;
   stable_records : int;
+  indoubt : indoubt_txn list;
+  decisions : (string * bool) list;
 }
 
 let analyze wal =
@@ -29,6 +39,16 @@ let analyze wal =
      a checkpoint records it as active, and the checkpoint-seeded ATT entry
      would otherwise turn it into a loser. *)
   let committed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* 2PC bookkeeping, tracked over the full scan like [committed]: a
+     stable Prepare means the transaction's fate belongs to the
+     coordinator — it is in-doubt (locks held across restart) rather
+     than a loser, unless a stable local Commit/End or a stable
+     Decision already settles it. *)
+  let prepared : (int, string * string * Log_record.lsn) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let first_lsn : (int, Log_record.lsn) Hashtbl.t = Hashtbl.create 16 in
+  let decisions = ref [] in
   (* seed from the governing checkpoint *)
   if ckpt_lsn <> Log_record.nil_lsn then begin
     match (Wal.get wal ckpt_lsn).Log_record.body with
@@ -45,6 +65,12 @@ let analyze wal =
       if txn > !max_txn then max_txn := txn;
       (match r.Log_record.body with
       | Log_record.Commit -> Hashtbl.replace committed txn ()
+      | Log_record.Begin _ ->
+          if not (Hashtbl.mem first_lsn txn) then
+            Hashtbl.replace first_lsn txn lsn
+      | Log_record.Prepare p ->
+          Hashtbl.replace prepared txn (p.gtxn, p.deltas, lsn)
+      | Log_record.Decision d -> decisions := (d.gtxn, d.committed) :: !decisions
       | _ -> ());
       List.iter
         (fun pid -> if pid > !max_page then max_page := pid)
@@ -52,7 +78,7 @@ let analyze wal =
       if lsn > ckpt_lsn then begin
         (match r.Log_record.body with
         | Log_record.Begin _ | Log_record.Update _ | Log_record.Clr _
-        | Log_record.Abort ->
+        | Log_record.Abort | Log_record.Prepare _ | Log_record.Decision _ ->
             Hashtbl.replace att txn lsn
         | Log_record.Commit | Log_record.End -> Hashtbl.remove att txn
         | Log_record.Ddl payload -> ddl := payload :: !ddl
@@ -67,7 +93,30 @@ let analyze wal =
   let losers =
     Hashtbl.fold
       (fun txn lsn acc ->
-        if Hashtbl.mem committed txn then acc else (txn, lsn) :: acc)
+        if Hashtbl.mem committed txn || Hashtbl.mem prepared txn then acc
+        else (txn, lsn) :: acc)
+      att []
+    |> List.sort compare
+  in
+  let indoubt =
+    Hashtbl.fold
+      (fun txn last acc ->
+        if Hashtbl.mem committed txn then acc
+        else
+          match Hashtbl.find_opt prepared txn with
+          | None -> acc
+          | Some (gtxn, deltas, plsn) ->
+              {
+                id_txn = txn;
+                id_gtxn = gtxn;
+                id_first_lsn =
+                  (match Hashtbl.find_opt first_lsn txn with
+                  | Some l -> l
+                  | None -> plsn);
+                id_last_lsn = last;
+                id_deltas = deltas;
+              }
+              :: acc)
       att []
     |> List.sort compare
   in
@@ -83,6 +132,8 @@ let analyze wal =
     max_page_id = !max_page;
     max_txn_id = !max_txn;
     stable_records = !nrec;
+    indoubt;
+    decisions = List.rev !decisions;
   }
 
 type redo_result = { applied : int; torn_pages : int list }
@@ -147,7 +198,8 @@ module Redo = struct
             end)
           diffs
     | Log_record.Begin _ | Log_record.Commit | Log_record.Abort
-    | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+    | Log_record.End | Log_record.Checkpoint _ | Log_record.Ddl _
+    | Log_record.Prepare _ | Log_record.Decision _ ->
         ()
 end
 

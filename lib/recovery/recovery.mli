@@ -20,9 +20,17 @@
     its whole life, feeding it each shipped batch as it arrives instead
     of re-running analysis+redo per batch. *)
 
+type indoubt_txn = {
+  id_txn : int;  (** local transaction id *)
+  id_gtxn : string;  (** coordinator's global transaction id *)
+  id_first_lsn : Ivdb_wal.Log_record.lsn;  (** Begin LSN (truncation bound) *)
+  id_last_lsn : Ivdb_wal.Log_record.lsn;
+  id_deltas : string;  (** remote escrow deltas carried by the Prepare *)
+}
+
 type analysis = {
   losers : (int * Ivdb_wal.Log_record.lsn) list;
-      (** active, uncommitted transactions: (txn id, last LSN) *)
+      (** active, uncommitted, unprepared transactions: (txn id, last LSN) *)
   dirty_pages : (int * Ivdb_wal.Log_record.lsn) list;  (** (page, recLSN) *)
   redo_start : Ivdb_wal.Log_record.lsn;
   catalog : string option;  (** snapshot from the governing checkpoint *)
@@ -30,6 +38,13 @@ type analysis = {
   max_page_id : int;
   max_txn_id : int;
   stable_records : int;
+  indoubt : indoubt_txn list;
+      (** stable Prepare, no stable local Commit: these hold their locks
+          across restart until a coordinator decision is (re-)delivered.
+          A stable [Decision] for the same gtxn may already settle one —
+          see [decisions]. *)
+  decisions : (string * bool) list;
+      (** stable Decision records, in log order: (gtxn, committed) *)
 }
 
 val analyze : Ivdb_wal.Wal.t -> analysis

@@ -470,6 +470,57 @@ let rec session_loop t io se =
       in
       Transport.Frame_io.send io reply;
       session_loop t io se
+  | Some (Wire.Prepare { seq; gtxn; deltas }) ->
+      Metrics.inc t.m_requests;
+      let reply =
+        (* idempotence first: a coordinator retransmit after reconnect must
+           be answered from the dedupe tables, never re-executed *)
+        match Database.gtxn_status t.db gtxn with
+        | `Prepared -> Wire.Prepared { seq; gtxn }
+        | `Decided committed -> Wire.Decided { seq; gtxn; committed }
+        | `Unknown -> (
+            try
+              (* a delta-only participant has no statements of its own: open
+                 the transaction the inbound deltas will be applied in *)
+              if not (Sql.in_transaction session) then
+                ignore (Sql.exec session "BEGIN");
+              Sql.prepare_2pc session ~gtxn ~deltas;
+              Wire.Prepared { seq; gtxn }
+            with
+            | Sql.Sql_error text ->
+                if Sql.in_transaction session then
+                  ignore (Sql.exec session "ROLLBACK");
+                Wire.Err { seq; code = E_sql; text; txn_open = false }
+            | Ivdb_txn.Txn.Conflict { reason; _ } ->
+                if Sql.in_transaction session then
+                  ignore (Sql.exec session "ROLLBACK");
+                Wire.Err { seq; code = E_deadlock; text = reason; txn_open = false }
+            | Invalid_argument text ->
+                if Sql.in_transaction session then
+                  ignore (Sql.exec session "ROLLBACK");
+                Wire.Err { seq; code = E_sql; text; txn_open = false }
+            | Database.Read_only_replica ->
+                Wire.Err
+                  {
+                    seq;
+                    code = E_read_only;
+                    text = "read-only replica: cannot prepare";
+                    txn_open = false;
+                  })
+      in
+      Transport.Frame_io.send io reply;
+      session_loop t io se
+  | Some (Wire.Decide { seq; gtxn; committed }) ->
+      Metrics.inc t.m_requests;
+      let reply =
+        match Database.decide_2pc t.db ~gtxn ~committed with
+        | `Applied | `Duplicate | `Presumed_abort ->
+            Wire.Decided { seq; gtxn; committed }
+        | exception Invalid_argument text ->
+            Wire.Err { seq; code = E_protocol; text; txn_open = false }
+      in
+      Transport.Frame_io.send io reply;
+      session_loop t io se
   | Some (Wire.Exec { seq; rid; sql }) ->
       if draining t && not (Sql.in_transaction session) then begin
         Transport.Frame_io.send io

@@ -34,6 +34,26 @@ let in_transaction s = s.txn <> None
 let add_sys_provider s name f =
   s.sys_ext <- (name, f) :: List.remove_assoc name s.sys_ext
 
+let current_txn s = s.txn
+
+(* 2PC participant hooks, driven by the server's Prepare/Decide frame
+   handlers (and the coordinator's loopback shards). Preparing detaches
+   the transaction handle from the session: it now belongs to the
+   engine's in-doubt table, so a session death's rollback must not touch
+   it — only the coordinator's decision (possibly after a crash and
+   recovery) finishes it. *)
+let prepare_2pc s ~gtxn ~deltas =
+  match s.txn with
+  | None -> fail "prepare: no open transaction"
+  | Some tx when Txn.snapshot_of tx <> None ->
+      fail "prepare: cannot prepare a READ ONLY transaction"
+  | Some tx ->
+      Database.prepare_2pc s.sdb tx ~gtxn ~deltas;
+      s.txn <- None;
+      s.savepoints <- []
+
+let decide_2pc s ~gtxn ~committed = Database.decide_2pc s.sdb ~gtxn ~committed
+
 type result =
   | Rows of { header : string list; rows : Row.t list }
   | Affected of int
@@ -791,9 +811,27 @@ let select_view ?stats s txn (q : A.select) v =
    session-registered providers first (the server injects live
    sys.server_sessions / sys.slow_queries per connection), then the
    built-ins over the session's database. *)
+let hex bytes =
+  let b = Buffer.create (2 * String.length bytes) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) bytes;
+  Buffer.contents b
+
+(* sys.outbound needs the session's open transaction, so it cannot live in
+   Sys_tables: the open txn's diverted escrow deltas, in routing order. *)
+let outbound_rows s =
+  match s.txn with
+  | None -> []
+  | Some tx ->
+      List.map
+        (fun (dest, vid, key, bytes) ->
+          [| Value.Int dest; Value.Int vid; Value.Str key; Value.Str (hex bytes) |])
+        (Database.outbound_deltas s.sdb tx)
+
 let resolve_sys s name =
   match List.assoc_opt name s.sys_ext with
   | Some f -> Some (f ())
+  | None when name = "sys.outbound" ->
+      Some (Sys_tables.outbound_header, outbound_rows s)
   | None ->
       Sys_tables.builtin s.sdb ~self_txn:(Option.map Txn.id s.txn) name
 

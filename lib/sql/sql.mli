@@ -44,6 +44,23 @@ val session : Ivdb.Database.t -> session
 val db : session -> Ivdb.Database.t
 val in_transaction : session -> bool
 
+val current_txn : session -> Ivdb_txn.Txn.t option
+(** The session's open transaction, if any (for coordinator-side
+    inspection of its outbound delta buffer). *)
+
+val prepare_2pc : session -> gtxn:string -> deltas:string -> unit
+(** 2PC phase 1 on the session's open transaction (see
+    {!Ivdb.Database.prepare_2pc}): applies the inbound delta payload,
+    force-writes the Prepare record, and detaches the transaction from
+    the session — after this the handle lives in the engine's in-doubt
+    table and only a decision (possibly after crash recovery) finishes
+    it; a session disconnect no longer rolls it back. Raises {!Sql_error}
+    if no read-write transaction is open. *)
+
+val decide_2pc :
+  session -> gtxn:string -> committed:bool -> [ `Applied | `Duplicate | `Presumed_abort ]
+(** 2PC phase 2, idempotent ({!Ivdb.Database.decide_2pc}). *)
+
 val add_sys_provider :
   session -> string -> (unit -> string list * Ivdb_relation.Row.t list) -> unit
 (** [add_sys_provider s name f] registers (or replaces) an

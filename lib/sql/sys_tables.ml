@@ -214,6 +214,35 @@ let metrics_hist db =
         |])
       (Metrics.hists (Database.metrics db)) )
 
+(* One row describing this engine's slot in a hash-partitioned cluster;
+   empty on an unsharded engine. The coordinator overrides the table per
+   session with a cluster-wide view (one row per shard). *)
+let shards_header =
+  [ "shard"; "shards"; "role"; "partition"; "indoubt"; "last_decided" ]
+
+let shards db =
+  let rows =
+    match Database.shard_info db with
+    | None -> []
+    | Some (self, n) ->
+        [
+          [|
+            vint self;
+            vint n;
+            vstr "participant";
+            vstr (Printf.sprintf "hash(pk) mod %d = %d" n self);
+            vint (Database.indoubt_count db);
+            vopt_str (Database.last_decided db);
+          |];
+        ]
+  in
+  (shards_header, rows)
+
+(* The session's diverted escrow deltas waiting to ride a 2PC prepare to
+   their owning shard; resolved in the SQL layer (it needs the session's
+   open transaction), this is just the schema for the zero-row default. *)
+let outbound_header = [ "dest_shard"; "view"; "key"; "delta_hex" ]
+
 (* Placeholders for the serving layer's tables: a local (non-networked)
    session has no server, so these resolve to their schema with zero rows;
    the server overrides them per session with live providers. *)
@@ -241,8 +270,10 @@ let names =
     "sys.locks";
     "sys.metrics";
     "sys.metrics_hist";
+    "sys.outbound";
     "sys.replication";
     "sys.server_sessions";
+    "sys.shards";
     "sys.slow_queries";
     "sys.transactions";
     "sys.views";
@@ -262,4 +293,6 @@ let builtin db ~self_txn name =
   | "sys.server_sessions" -> Some (server_sessions_header, [])
   | "sys.slow_queries" -> Some (slow_queries_header, [])
   | "sys.replication" -> Some (replication_header, [])
+  | "sys.shards" -> Some (shards db)
+  | "sys.outbound" -> Some (outbound_header, [])
   | _ -> None

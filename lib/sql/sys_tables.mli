@@ -18,6 +18,17 @@ val server_sessions_header : string list
 val slow_queries_header : string list
 (** Likewise for [sys.slow_queries]. *)
 
+val shards_header : string list
+(** Column names of [sys.shards]. An unsharded engine resolves to zero
+    rows; a participant shard reports its own slot, in-doubt count and
+    last decided gtxn; the coordinator overrides the table per session
+    with one row per shard of the cluster. *)
+
+val outbound_header : string list
+(** Column names of [sys.outbound] — the open transaction's escrow deltas
+    diverted toward other shards. The built-in resolution is always zero
+    rows; {!Sql} resolves it against the session's transaction. *)
+
 val replication_header : string list
 (** Column names of [sys.replication]. A standalone database is not
     replicating, so the built-in resolution returns zero rows; the

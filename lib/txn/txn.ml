@@ -312,7 +312,8 @@ let undo_chain mgr t ~cursor =
       | Log_record.Begin _ -> ()
       | Log_record.Commit | Log_record.End ->
           invalid_arg "Txn: undo reached a commit record"
-      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _
+      | Log_record.Prepare _ | Log_record.Decision _ ->
           go r.Log_record.prev
     end
   in
@@ -341,7 +342,8 @@ let rollback_to mgr t sp =
       | Log_record.Begin _ -> ()
       | Log_record.Commit | Log_record.End ->
           invalid_arg "Txn: rollback_to reached a commit record"
-      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _ ->
+      | Log_record.Abort | Log_record.Checkpoint _ | Log_record.Ddl _
+      | Log_record.Prepare _ | Log_record.Decision _ ->
           go r.Log_record.prev
     end
   in
@@ -356,6 +358,27 @@ let abort_rw mgr t =
   Metrics.inc mgr.m_abort;
   if Trace.enabled mgr.mtrace then
     Trace.emit mgr.mtrace (Trace.Txn_abort { txn = t.tid })
+
+(* 2PC phase 1: append a Prepare record and force it stable. The
+   transaction stays Active and keeps every lock — its fate now belongs to
+   the coordinator, and recovery classifies it as in-doubt rather than a
+   loser until a Decision record settles it. *)
+let prepare mgr t ~gtxn ~deltas =
+  check_active t;
+  check_not_snapshot t "prepare";
+  let lsn =
+    Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn
+      (Log_record.Prepare { gtxn; deltas })
+  in
+  t.tlast_lsn <- lsn;
+  Group_commit.commit_durable mgr.mgc ~lsn;
+  Metrics.incr mgr.mmetrics "txn.prepare"
+
+let log_decision mgr t ~gtxn ~committed =
+  check_active t;
+  t.tlast_lsn <-
+    Wal.append mgr.mwal ~txn:t.tid ~prev:t.tlast_lsn
+      (Log_record.Decision { gtxn; committed })
 
 let abort mgr t =
   if t.tstatus = Active then
@@ -374,7 +397,7 @@ let rollback_tail mgr t ~from =
   finish mgr t Aborted;
   Metrics.incr mgr.mmetrics "txn.recovery_undo"
 
-let resurrect mgr ~id ~last_lsn =
+let resurrect mgr ?(first_lsn = Log_record.nil_lsn) ~id ~last_lsn () =
   let t =
     {
       tid = id;
@@ -382,7 +405,7 @@ let resurrect mgr ~id ~last_lsn =
       tbegin_tick = Ivdb_sched.Sched.now ();
       tsnapshot = None;
       tstatus = Active;
-      tfirst_lsn = Log_record.nil_lsn;
+      tfirst_lsn = first_lsn;
       tlast_lsn = last_lsn;
       tdeltas = 0;
       tabort_reason = None;

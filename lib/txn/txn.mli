@@ -112,6 +112,19 @@ val abort : mgr -> t -> unit
 (** Roll back by walking the undo chain, logging compensation records;
     idempotent on already-finished transactions. *)
 
+val prepare : mgr -> t -> gtxn:string -> deltas:string -> unit
+(** 2PC phase 1: append a [Prepare] record (carrying the coordinator's
+    global id and the opaque remote-delta payload applied on this shard)
+    and force the log through it. The transaction stays active and keeps
+    all its locks; recovery classifies it as in-doubt, not a loser, until
+    a decision settles it. *)
+
+val log_decision : mgr -> t -> gtxn:string -> committed:bool -> unit
+(** Append a [Decision] record into the transaction's chain. The caller
+    then runs {!commit} (committed) or {!abort} (rolled back); the
+    decision record makes the outcome recoverable even if the crash lands
+    between it and the Commit/End records. *)
+
 type savepoint
 
 val savepoint : t -> savepoint
@@ -128,8 +141,16 @@ val rollback_tail : mgr -> t -> from:Ivdb_wal.Log_record.lsn -> unit
     (its last known LSN), writing CLRs, then log End. Used for loser
     transactions whose in-memory handle was rebuilt from the log. *)
 
-val resurrect : mgr -> id:int -> last_lsn:Ivdb_wal.Log_record.lsn -> t
-(** Rebuild a transaction handle from the analysis pass. *)
+val resurrect :
+  mgr ->
+  ?first_lsn:Ivdb_wal.Log_record.lsn ->
+  id:int ->
+  last_lsn:Ivdb_wal.Log_record.lsn ->
+  unit ->
+  t
+(** Rebuild a transaction handle from the analysis pass. [first_lsn]
+    (default [nil_lsn]) pins the log-truncation bound for a resurrected
+    in-doubt transaction that may survive across checkpoints. *)
 
 val checkpoint : mgr -> catalog:string -> unit
 (** Fuzzy checkpoint: logs the transaction table, the dirty-page table, and

@@ -29,6 +29,8 @@ type body =
       catalog : string;
     }
   | Ddl of string
+  | Prepare of { gtxn : string; deltas : string }
+  | Decision of { gtxn : string; committed : bool }
 
 type t = { lsn : lsn; txn : int; prev : lsn; body : body }
 
@@ -126,6 +128,14 @@ let add_body buf = function
   | Ddl s ->
       Buffer.add_char buf 'D';
       add_str buf s
+  | Prepare p ->
+      Buffer.add_char buf 'P';
+      add_str buf p.gtxn;
+      add_str buf p.deltas
+  | Decision d ->
+      Buffer.add_char buf 'V';
+      add_str buf d.gtxn;
+      Buffer.add_char buf (if d.committed then '\001' else '\000')
 
 let encode t =
   let buf = Buffer.create 64 in
@@ -232,6 +242,12 @@ let rd_body r =
       let dpt = rd_pairs r in
       Checkpoint { active; dpt; catalog = rd_str r }
   | 'D' -> Ddl (rd_str r)
+  | 'P' ->
+      let gtxn = rd_str r in
+      Prepare { gtxn; deltas = rd_str r }
+  | 'V' ->
+      let gtxn = rd_str r in
+      Decision { gtxn; committed = rd_u8 r = 1 }
   | _ -> fail ()
 
 let decode s =
@@ -246,7 +262,9 @@ let decode s =
 let pages_touched t =
   match t.body with
   | Update { redo; _ } | Clr { redo; _ } -> List.map fst redo
-  | Begin _ | Commit | Abort | End | Checkpoint _ | Ddl _ -> []
+  | Begin _ | Commit | Abort | End | Checkpoint _ | Ddl _ | Prepare _
+  | Decision _ ->
+      []
 
 let pp_undo ppf = function
   | No_undo -> Format.fprintf ppf "none"
@@ -277,5 +295,9 @@ let pp ppf t =
         Format.fprintf ppf "CHECKPOINT att=%d dpt=%d" (List.length c.active)
           (List.length c.dpt)
     | Ddl _ -> Format.fprintf ppf "DDL"
+    | Prepare p -> Format.fprintf ppf "PREPARE %s" p.gtxn
+    | Decision d ->
+        Format.fprintf ppf "DECISION %s %s" d.gtxn
+          (if d.committed then "commit" else "abort")
   in
   Format.fprintf ppf "[%d] txn=%d prev=%d %a" t.lsn t.txn t.prev body t.body

@@ -45,6 +45,13 @@ type body =
       catalog : string;  (** opaque catalog snapshot, restored by the owner *)
     }
   | Ddl of string  (** opaque catalog delta, replayed by the owner in order *)
+  | Prepare of { gtxn : string; deltas : string }
+      (** 2PC phase 1: the transaction is fully forced and holds its locks
+          until a [Decision] arrives. [gtxn] is the coordinator's global id;
+          [deltas] is an opaque payload of remote escrow view deltas applied
+          on this shard as part of the prepared work. *)
+  | Decision of { gtxn : string; committed : bool }
+      (** 2PC phase 2 outcome for a previously prepared transaction. *)
 
 type t = { lsn : lsn; txn : int; prev : lsn; body : body }
 

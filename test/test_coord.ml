@@ -1,0 +1,510 @@
+(* The sharding coordinator end to end on the deterministic loopback
+   transport: statement routing and view fan-out, cross-shard 2PC with
+   escrow delta shipping, sys.shards through both paths, the
+   coordinator-crash-at-every-action sweep, the participant-crash-at-
+   every-force-point sweep (clean and torn tail), and the
+   prepare/decide retransmit dedupe regression.
+
+   The crash sweeps follow the repo's standard shape: run a scripted
+   workload once unarmed to size the sweep, then re-run it once per
+   injection point, power-cycle the whole cluster (Database.crash per
+   shard, Wal.crash for the coordinator's decision log), run
+   coordinator recovery, and require that (a) no shard keeps an
+   in-doubt transaction and (b) the gc'd union of shard digests is
+   bit-identical to a serial re-execution of exactly the
+   decided-committed transactions on a fresh cluster. *)
+
+module Sched = Ivdb_sched.Sched
+module Database = Ivdb.Database
+module Metrics = Ivdb_util.Metrics
+module Sql = Ivdb_sql.Sql
+module Transport = Ivdb_transport.Transport
+module Server = Ivdb_server.Server
+module Client = Ivdb_client.Client
+module Coord = Ivdb_coord.Coord
+module Wal = Ivdb_wal.Wal
+module Log_record = Ivdb_wal.Log_record
+module Fault = Ivdb_storage.Fault
+module Value = Ivdb_relation.Value
+
+let check = Alcotest.check
+
+let rows = function
+  | Sql.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected Rows"
+
+let affected = function
+  | Sql.Affected n -> n
+  | _ -> Alcotest.fail "expected Affected"
+
+let sort_rows rs =
+  List.sort (fun (a : Value.t array) b -> Value.compare a.(0) b.(0)) rs
+
+(* --- cluster harness --------------------------------------------------- *)
+
+(* The durable half of a cluster: the shard engines and the
+   coordinator's decision log. Transports, servers and the coordinator
+   itself are volatile — rebuilt by every [phase]. *)
+type cluster = { mutable dbs : Database.t array; mutable cwal : Wal.t }
+
+let fresh_cluster shards =
+  {
+    dbs =
+      Array.init shards (fun i ->
+          let db = Database.create () in
+          Coord.configure_shard db ~shard:i ~shards;
+          db);
+    cwal = Wal.create (Metrics.create ());
+  }
+
+(* One power cycle: each phase is one scheduler run with fresh loopback
+   nets, servers over the surviving engines, and a coordinator rebuilt
+   over the surviving decision log. An escaping Fault.Crash_point
+   models the whole machine dying mid-run. *)
+let phase ?(seed = 11) cl f =
+  Sched.run ~seed (fun () ->
+      let nets =
+        Array.map (fun _ -> Transport.Loopback.create ~backlog:64 ()) cl.dbs
+      in
+      let servers =
+        Array.mapi
+          (fun i net ->
+            let s = Server.create cl.dbs.(i) (Transport.Loopback.listener net) in
+            Server.serve s;
+            s)
+          nets
+      in
+      let dialers = Array.map Transport.Loopback.dialer nets in
+      let c = Coord.create ~wal:cl.cwal dialers in
+      let r = f c dialers in
+      Coord.close c;
+      Array.iter Server.drain servers;
+      r)
+
+(* Power loss: volatile state (open sessions, unforced tails) is gone;
+   shards recover from their WALs — resurrecting in-doubt transactions
+   with their locks — and the coordinator log drops its torn tail. *)
+let crash_cluster cl =
+  let shards = Array.length cl.dbs in
+  cl.dbs <- Array.map Database.crash cl.dbs;
+  Array.iteri (fun i db -> Coord.configure_shard db ~shard:i ~shards) cl.dbs;
+  cl.cwal <- Wal.crash cl.cwal (Metrics.create ())
+
+let digest_union cl =
+  Array.iter (fun db -> ignore (Database.gc db)) cl.dbs;
+  String.concat "|" (Array.to_list (Array.map Database.state_digest cl.dbs))
+
+(* --- scripted workload ------------------------------------------------- *)
+
+let setup_stmts =
+  [
+    "CREATE TABLE t (k INT NOT NULL, grp TEXT NOT NULL, qty INT NOT NULL)";
+    "CREATE VIEW v AS SELECT grp, COUNT(*), SUM(qty) FROM t GROUP BY grp \
+     USING ESCROW";
+    (* DDL system transactions don't force the log on their own; the
+       checkpoint makes the schema durable before any crash point *)
+    "CHECKPOINT";
+  ]
+
+let run_setup c = List.iter (fun s -> ignore (Coord.exec c s)) setup_stmts
+
+let keys_owned_by ~shards shard n =
+  let rec go k acc remaining =
+    if remaining = 0 then Array.of_list (List.rev acc)
+    else if Coord.route_value ~shards (Value.Int k) = shard then
+      go (k + 1) (k :: acc) (remaining - 1)
+    else go (k + 1) acc remaining
+  in
+  go 0 [] n
+
+(* [n] transactions, every one spanning both shards of a 2-shard
+   cluster (one insert owned by each), so each COMMIT is a full 2PC
+   round and global transaction [i+1] is script transaction [i]. *)
+let script ~shards n =
+  let a = keys_owned_by ~shards 0 n and b = keys_owned_by ~shards 1 n in
+  List.init n (fun i ->
+      [
+        Printf.sprintf "INSERT INTO t VALUES (%d, 'g%d', %d)" a.(i) (i mod 3)
+          (i + 1);
+        Printf.sprintf "INSERT INTO t VALUES (%d, 'g%d', %d)" b.(i)
+          ((i + 1) mod 3)
+          (10 * (i + 1));
+      ])
+
+let run_txn c stmts =
+  ignore (Coord.exec c "BEGIN");
+  List.iter (fun s -> ignore (Coord.exec c s)) stmts;
+  ignore (Coord.exec c "COMMIT")
+
+let run_script c txns = List.iter (run_txn c) txns
+
+(* Global transaction ids decided committed in the coordinator's log
+   ("coord:N" -> N), i.e. the transactions recovery is bound to
+   preserve. Read after recovery — the presumed-abort decisions it
+   appends are committed=false and don't affect the set. *)
+let committed_gids cwal =
+  let h = Hashtbl.create 8 in
+  Wal.iter_stable cwal (fun r ->
+      match r.Log_record.body with
+      | Log_record.Decision { gtxn; committed } ->
+          Hashtbl.replace h gtxn committed
+      | _ -> ());
+  Hashtbl.fold
+    (fun g c acc ->
+      match String.rindex_opt g ':' with
+      | Some i when c -> (
+          match
+            int_of_string_opt (String.sub g (i + 1) (String.length g - i - 1))
+          with
+          | Some n -> n :: acc
+          | None -> acc)
+      | _ -> acc)
+    h []
+  |> List.sort compare
+
+(* Serial reference: execute exactly [gids] of [txns], in order, on a
+   fresh cluster — the state every recovery must land on. Memoised per
+   committed set (sweeps revisit the same prefixes). *)
+let reference cache ~shards txns gids =
+  let key = String.concat "," (List.map string_of_int gids) in
+  match Hashtbl.find_opt cache key with
+  | Some d -> d
+  | None ->
+      let cl = fresh_cluster shards in
+      phase cl (fun c _ ->
+          run_setup c;
+          List.iteri
+            (fun i txn -> if List.mem (i + 1) gids then run_txn c txn)
+            txns);
+      let d = digest_union cl in
+      Hashtbl.add cache key d;
+      d
+
+(* --- routing / escrow smoke -------------------------------------------- *)
+
+let test_cluster_smoke () =
+  let shards = 2 in
+  let cl = fresh_cluster shards in
+  phase cl (fun c dialers ->
+      run_setup c;
+      check Alcotest.int "shard count" 2 (Coord.shard_count c);
+      (* a multi-row INSERT splits by partition yet reports one count *)
+      check Alcotest.int "all rows inserted" 5
+        (affected
+           (Coord.exec c
+              "INSERT INTO t VALUES (0,'a',1),(1,'a',2),(2,'b',3),(3,'b',4),(4,'a',5)"));
+      (* full scans fan out; ORDER BY/LIMIT re-applied after the merge *)
+      check Alcotest.int "fan-out scan" 5
+        (List.length (rows (Coord.exec c "SELECT k, grp, qty FROM t ORDER BY k")));
+      (match rows (Coord.exec c "SELECT k, grp, qty FROM t ORDER BY k DESC LIMIT 2") with
+      | [ [| Value.Int 4; _; _ |]; [| Value.Int 3; _; _ |] ] -> ()
+      | _ -> Alcotest.fail "merged ORDER BY DESC LIMIT");
+      (* pk = literal pins to the owning shard *)
+      (match rows (Coord.exec c "SELECT qty FROM t WHERE k = 4") with
+      | [ [| Value.Int 5 |] ] -> ()
+      | _ -> Alcotest.fail "pinned point read");
+      (* the escrow view is partitioned by group: fan-out is the full view *)
+      (match sort_rows (rows (Coord.exec c "SELECT * FROM v")) with
+      | [
+          [| Value.Str "a"; Value.Int 3; Value.Int 8 |];
+          [| Value.Str "b"; Value.Int 2; Value.Int 7 |];
+        ] -> ()
+      | v ->
+          Alcotest.failf "view contents after inserts: %d rows" (List.length v));
+      (* pinned autocommit write: deltas for a remote group still ship *)
+      check Alcotest.int "pinned update" 1
+        (affected (Coord.exec c "UPDATE t SET qty = 14 WHERE k = 3"));
+      check Alcotest.int "pinned delete" 1
+        (affected (Coord.exec c "DELETE FROM t WHERE k = 2"));
+      (match sort_rows (rows (Coord.exec c "SELECT * FROM v")) with
+      | [
+          [| Value.Str "a"; Value.Int 3; Value.Int 8 |];
+          [| Value.Str "b"; Value.Int 1; Value.Int 14 |];
+        ] -> ()
+      | _ -> Alcotest.fail "view contents after update+delete");
+      (* a table with no views commits on the single-shard fast path *)
+      ignore (Coord.exec c "CREATE TABLE u (k INT NOT NULL, x INT)");
+      ignore (Coord.exec c "INSERT INTO u VALUES (0, 1)");
+      let s = Coord.stats c in
+      check Alcotest.int "every write committed" 4
+        (s.Coord.single_shard_commits + s.Coord.cross_shard_commits);
+      Alcotest.(check bool) "the split insert ran 2PC" true
+        (s.Coord.cross_shard_commits >= 1);
+      Alcotest.(check bool) "the view-less insert skipped 2PC" true
+        (s.Coord.single_shard_commits >= 1);
+      (* sys.shards: the coordinator concatenates every shard's row ... *)
+      (match rows (Coord.exec c "SELECT * FROM sys.shards") with
+      | [ [| Value.Int 0; Value.Int 2; Value.Str "participant"; _; _; _ |];
+          [| Value.Int 1; Value.Int 2; Value.Str "participant"; _; _; _ |] ] ->
+          ()
+      | _ -> Alcotest.fail "sys.shards through the coordinator");
+      (* ... and a direct connection to one shard shows just its own *)
+      let cl0 = Client.connect dialers.(0) in
+      (match rows (Client.exec cl0 "SELECT * FROM sys.shards") with
+      | [ [| Value.Int 0; Value.Int 2; _; _; _; _ |] ] -> ()
+      | _ -> Alcotest.fail "sys.shards on a shard connection");
+      Client.close cl0)
+
+let test_txn_semantics () =
+  let shards = 2 in
+  let cl = fresh_cluster shards in
+  phase cl (fun c _ ->
+      run_setup c;
+      (* a cross-shard transaction is atomic across both shards *)
+      run_txn c (List.hd (script ~shards 1));
+      check Alcotest.int "both legs landed" 2
+        (List.length (rows (Coord.exec c "SELECT k FROM t")));
+      let s = Coord.stats c in
+      check Alcotest.int "one 2PC commit" 1 s.Coord.cross_shard_commits;
+      check Alcotest.int "prepare per participant" 2 s.Coord.prepares_sent;
+      check Alcotest.int "decide per participant" 2 s.Coord.decides_sent;
+      (* ROLLBACK undoes every shard's leg *)
+      ignore (Coord.exec c "BEGIN");
+      List.iter
+        (fun s -> ignore (Coord.exec c s))
+        (List.hd (script ~shards 2 |> List.tl));
+      ignore (Coord.exec c "ROLLBACK");
+      check Alcotest.int "rollback left no rows behind" 2
+        (List.length (rows (Coord.exec c "SELECT k FROM t")));
+      (* cross-shard aggregation over a base table is refused with a hint *)
+      (try
+         ignore (Coord.exec c "SELECT grp, SUM(qty) FROM t GROUP BY grp");
+         Alcotest.fail "expected Coord_error"
+       with Coord.Coord_error m ->
+         Alcotest.(check bool) "hint names indexed views" true
+           (String.length m > 0)))
+
+(* --- coordinator crash at every protocol action ------------------------ *)
+
+let test_coordinator_crash_sweep () =
+  let shards = 2 in
+  let txns = script ~shards 4 in
+  let total =
+    let cl = fresh_cluster shards in
+    phase cl (fun c _ ->
+        run_setup c;
+        run_script c txns;
+        Coord.actions c)
+  in
+  Alcotest.(check bool) "sweep has points" true (total > 0);
+  let cache = Hashtbl.create 8 in
+  let saw_indoubt = ref false in
+  for n = 1 to total do
+    let cl = fresh_cluster shards in
+    let crashed =
+      try
+        phase cl (fun c _ ->
+            Coord.set_crash_at_action c (Some n);
+            run_setup c;
+            run_script c txns;
+            false)
+      with Fault.Crash_point _ -> true
+    in
+    if not crashed then
+      Alcotest.failf "action %d: armed trigger did not fire" n;
+    crash_cluster cl;
+    if Array.exists (fun db -> Database.indoubt_count db > 0) cl.dbs then
+      saw_indoubt := true;
+    phase cl (fun c _ -> ignore (Coord.recover c));
+    Array.iteri
+      (fun i db ->
+        check Alcotest.int
+          (Printf.sprintf "action %d: shard %d fully resolved" n i)
+          0
+          (Database.indoubt_count db))
+      cl.dbs;
+    let gids = committed_gids cl.cwal in
+    check Alcotest.string
+      (Printf.sprintf "action %d: digest union = serial prefix %s" n
+         (String.concat "," (List.map string_of_int gids)))
+      (reference cache ~shards txns gids)
+      (digest_union cl)
+  done;
+  Alcotest.(check bool) "some crash left a shard in doubt" true !saw_indoubt
+
+(* --- participant crash at every WAL force ------------------------------ *)
+
+let participant_run ~txns fcfg =
+  let shards = 2 in
+  let cl = fresh_cluster shards in
+  (* setup is not part of the sweep: its DDL forces are counted first
+     and the armed trigger aimed past them, so every point lands inside
+     the 2PC protocol *)
+  Database.install_fault cl.dbs.(0) fcfg;
+  let crashed =
+    try
+      phase cl (fun c _ ->
+          run_setup c;
+          run_script c txns;
+          false)
+    with Fault.Crash_point _ -> true
+  in
+  (cl, crashed)
+
+let test_participant_crash_sweep () =
+  let shards = 2 in
+  let txns = script ~shards 3 in
+  (* unarmed counting runs: forces during setup alone, then in total *)
+  let setup_forces =
+    let cl = fresh_cluster shards in
+    Database.install_fault cl.dbs.(0) Fault.no_faults;
+    phase cl (fun c _ -> run_setup c);
+    Fault.forces_seen (Database.fault_plan cl.dbs.(0))
+  in
+  let total_forces =
+    let cl, crashed = participant_run ~txns Fault.no_faults in
+    Alcotest.(check bool) "counting run survived" false crashed;
+    Fault.forces_seen (Database.fault_plan cl.dbs.(0))
+  in
+  Alcotest.(check bool) "workload forces past setup" true
+    (total_forces > setup_forces);
+  let cache = Hashtbl.create 8 in
+  let sweep_point fcfg desc =
+    let cl, crashed = participant_run ~txns fcfg in
+    if not crashed then Alcotest.failf "%s: armed trigger did not fire" desc;
+    crash_cluster cl;
+    phase cl (fun c _ -> ignore (Coord.recover c));
+    Array.iteri
+      (fun i db ->
+        check Alcotest.int
+          (Printf.sprintf "%s: shard %d fully resolved" desc i)
+          0
+          (Database.indoubt_count db))
+      cl.dbs;
+    let gids = committed_gids cl.cwal in
+    check Alcotest.string
+      (Printf.sprintf "%s: digest union = serial prefix" desc)
+      (reference cache ~shards txns gids)
+      (digest_union cl)
+  in
+  for k = setup_forces + 1 to total_forces do
+    sweep_point
+      { Fault.no_faults with crash_at_force = Some k }
+      (Printf.sprintf "clean participant crash at force %d" k);
+    sweep_point
+      {
+        Fault.no_faults with
+        fault_seed = k;
+        crash_at_force = Some k;
+        torn_tail = true;
+      }
+      (Printf.sprintf "torn participant crash at force %d" k)
+  done
+
+(* --- retransmit dedupe -------------------------------------------------- *)
+
+(* A dialer whose connections can be told to die right before
+   delivering the next reply: the request reaches the server, the
+   response is lost — exactly the window where a blind resend could
+   double-prepare. The yields let the server consume and process the
+   in-flight request before the line is cut. *)
+let flaky_dialer (inner : Transport.dialer) drop_next =
+  {
+    Transport.addr = inner.Transport.addr ^ "+flaky";
+    dial =
+      (fun () ->
+        let c = inner.Transport.dial () in
+        {
+          c with
+          Transport.read =
+            (fun buf off len ->
+              if !drop_next then begin
+                drop_next := false;
+                for _ = 1 to 200 do
+                  Sched.yield ()
+                done;
+                c.Transport.close ();
+                0
+              end
+              else c.Transport.read buf off len);
+        });
+  }
+
+let test_retransmit_dedupe () =
+  let db = Database.create () in
+  Coord.configure_shard db ~shard:0 ~shards:1;
+  Sched.run ~seed:5 (fun () ->
+      let net = Transport.Loopback.create ~backlog:64 () in
+      let srv = Server.create db (Transport.Loopback.listener net) in
+      Server.serve srv;
+      let drop = ref false in
+      let cl = Client.connect (flaky_dialer (Transport.Loopback.dialer net) drop) in
+      ignore (Client.exec cl "CREATE TABLE t (k INT NOT NULL, x INT)");
+      ignore (Client.exec cl "BEGIN");
+      ignore (Client.exec cl "INSERT INTO t VALUES (1, 10)");
+      let deltas = Database.Deltas.encode [] in
+      (* the Prepare lands, the Prepared ack dies with the connection *)
+      drop := true;
+      (try
+         ignore (Client.prepare_2pc cl ~gtxn:"g:1" ~deltas);
+         Alcotest.fail "expected Disconnected"
+       with Client.Disconnected _ -> ());
+      (* the coordinator-style resend is answered from the dedupe
+         table on a fresh session — not re-executed *)
+      (match Client.prepare_2pc cl ~gtxn:"g:1" ~deltas with
+      | `Prepared -> ()
+      | `Already_decided _ -> Alcotest.fail "not decided yet");
+      check Alcotest.int "prepared exactly once" 1
+        (Metrics.get (Database.metrics db) "shard.prepared");
+      (* same for the decision: the ack dies, the resend is a no-op *)
+      drop := true;
+      (try
+         Client.decide_2pc cl ~gtxn:"g:1" ~committed:true;
+         Alcotest.fail "expected Disconnected"
+       with Client.Disconnected _ -> ());
+      Client.decide_2pc cl ~gtxn:"g:1" ~committed:true;
+      check Alcotest.int "committed exactly once" 1
+        (List.length (rows (Client.exec cl "SELECT k FROM t")));
+      check Alcotest.int "nothing left in doubt" 0 (Database.indoubt_count db);
+      Alcotest.(check bool) "decision remembered" true
+        (Database.gtxn_status db "g:1" = `Decided true);
+      Alcotest.(check bool) "two reconnects behind the retries" true
+        (Client.reconnects cl = 2);
+      Client.close cl;
+      Server.drain srv)
+
+(* --- coordinator restart without crash --------------------------------- *)
+
+let test_recover_is_idempotent () =
+  let shards = 2 in
+  let txns = script ~shards 2 in
+  let cl = fresh_cluster shards in
+  phase cl (fun c _ ->
+      run_setup c;
+      run_script c txns);
+  let before = digest_union cl in
+  (* a clean restart re-delivers every decision; participants answer
+     from their dedupe tables and nothing changes *)
+  crash_cluster cl;
+  let resolved = phase cl (fun c _ -> Coord.recover c) in
+  check Alcotest.int "every started txn resolved" 2 resolved;
+  check Alcotest.string "re-delivery changed nothing" before (digest_union cl);
+  let resolved = phase cl (fun c _ -> Coord.recover c) in
+  check Alcotest.int "second recovery is a no-op too" 2 resolved;
+  check Alcotest.string "still unchanged" before (digest_union cl)
+
+let () =
+  Alcotest.run "coord"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "cluster smoke: routing, views, sys.shards"
+            `Quick test_cluster_smoke;
+          Alcotest.test_case "cross-shard transactions and aborts" `Quick
+            test_txn_semantics;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "coordinator crash at every protocol action"
+            `Slow test_coordinator_crash_sweep;
+          Alcotest.test_case "participant crash at every force point" `Slow
+            test_participant_crash_sweep;
+          Alcotest.test_case "recovery is idempotent" `Quick
+            test_recover_is_idempotent;
+        ] );
+      ( "dedupe",
+        [
+          Alcotest.test_case "prepare/decide retransmits are deduped" `Quick
+            test_retransmit_dedupe;
+        ] );
+    ]

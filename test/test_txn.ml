@@ -59,7 +59,7 @@ let reopen env =
   install_undo h' ~heap ~tree;
   List.iter
     (fun (tid, last) ->
-      let t = Txn.resurrect h'.Harness.mgr ~id:tid ~last_lsn:last in
+      let t = Txn.resurrect h'.Harness.mgr ~id:tid ~last_lsn:last () in
       Txn.rollback_tail h'.Harness.mgr t ~from:last)
     analysis.Recovery.losers;
   (env', analysis, applied)

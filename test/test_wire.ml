@@ -95,6 +95,18 @@ let frame_gen =
         map2
           (fun seq name -> Wire.DropSlot { seq; name })
           (int_bound 100000) str_gen;
+        map3
+          (fun seq gtxn deltas -> Wire.Prepare { seq; gtxn; deltas })
+          (int_bound 100000) str_gen str_gen;
+        map2
+          (fun seq gtxn -> Wire.Prepared { seq; gtxn })
+          (int_bound 100000) str_gen;
+        map3
+          (fun seq gtxn committed -> Wire.Decide { seq; gtxn; committed })
+          (int_bound 100000) str_gen bool;
+        map3
+          (fun seq gtxn committed -> Wire.Decided { seq; gtxn; committed })
+          (int_bound 100000) str_gen bool;
         return Wire.Bye;
       ])
 
@@ -139,6 +151,12 @@ let sample_frames =
     Wire.ReplAck { upto = 44 };
     Wire.Promote { seq = 10 };
     Wire.DropSlot { seq = 11; name = "follower-1" };
+    Wire.Prepare { seq = 13; gtxn = "coord:7"; deltas = "\x00\x02bin\xff" };
+    Wire.Prepare { seq = 14; gtxn = ""; deltas = "" };
+    Wire.Prepared { seq = 15; gtxn = "coord:7" };
+    Wire.Decide { seq = 16; gtxn = "coord:7"; committed = true };
+    Wire.Decide { seq = 17; gtxn = "c:1"; committed = false };
+    Wire.Decided { seq = 18; gtxn = "coord:7"; committed = true };
     Wire.Err { seq = 1; code = Wire.E_read_only; text = "replica"; txn_open = false };
     Wire.Err { seq = 2; code = Wire.E_repl; text = "truncated"; txn_open = false };
     Wire.Bye;

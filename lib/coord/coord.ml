@@ -71,10 +71,15 @@ type t = {
   mutable next_gid : int;
   started : (string, int list) Hashtbl.t; (* gtxn -> participant shards *)
   decided : (string, bool) Hashtbl.t;
+  pending : (string, int list) Hashtbl.t; (* decided, but shards still owed it *)
   pk_cols : (string, string) Hashtbl.t; (* table -> partition column *)
   views : (string, unit) Hashtbl.t; (* view names seen in DDL *)
   mutable in_txn : bool;
   mutable open_on : int list; (* shards holding this txn's server session txn *)
+  (* a shard connection died mid-statement inside this transaction: the
+     shard's session transaction was rolled back by the disconnect, so
+     the global transaction can only abort *)
+  mutable poisoned : bool;
   (* deterministic crash injection: every 2PC protocol action (log force,
      Prepare send, Decide send) bumps the counter; reaching the armed
      value raises Fault.Crash_point before the action happens *)
@@ -94,9 +99,24 @@ let parse_gid cname gtxn =
     int_of_string_opt (String.sub gtxn pl (String.length gtxn - pl))
   else None
 
+(* Routing metadata is derived from DDL; the statements themselves are
+   logged to the coordinator's WAL so a restarted coordinator re-derives
+   it (the pk-column guard and pinning must survive a crash, see
+   [scan_wal]). Anything unparseable is ignored — the log is ours. *)
+let register_ddl c sql =
+  match Sql_parser.parse sql with
+  | A.Create_table { t_name; cols } -> (
+      match cols with
+      | first :: _ -> Hashtbl.replace c.pk_cols t_name first.A.cd_name
+      | [] -> ())
+  | A.Create_view { v_name; _ } -> Hashtbl.replace c.views v_name ()
+  | _ -> ()
+  | exception _ -> ()
+
 let scan_wal c =
   Wal.iter_stable c.cwal (fun r ->
       match r.Log_record.body with
+      | Log_record.Ddl sql -> register_ddl c sql
       | Log_record.Prepare { gtxn; deltas } ->
           let participants =
             try List.map int_of_string (String.split_on_char ',' deltas)
@@ -124,10 +144,12 @@ let create ?(name = "coord") ?wal dialers =
       next_gid = 1;
       started = Hashtbl.create 32;
       decided = Hashtbl.create 32;
+      pending = Hashtbl.create 8;
       pk_cols = Hashtbl.create 8;
       views = Hashtbl.create 8;
       in_txn = false;
       open_on = [];
+      poisoned = false;
       actions = 0;
       crash_at = None;
       s_single = 0;
@@ -207,17 +229,37 @@ let deltas_for outbound i =
   Database.Deltas.encode
     (List.filter_map (fun (d, entry) -> if d = i then Some entry else None) outbound)
 
-let deliver_decision c ~gtxn ~committed ~participants =
+let deliver_decision ?(gated = true) c ~gtxn ~committed ~participants =
+  let failed = ref [] in
   List.iter
     (fun i ->
-      gate c "decide";
-      (try retrying (fun () -> Client.decide_2pc c.clients.(i) ~gtxn ~committed)
-       with Client.Disconnected _ | Client.Server_error _ ->
-         (* the decision is durable in our log; an unreachable shard stays
-            in-doubt until the next recovery re-delivers it *)
-         ());
-      c.s_decides <- c.s_decides + 1)
-    participants
+      if gated then gate c "decide";
+      try
+        retrying (fun () -> Client.decide_2pc c.clients.(i) ~gtxn ~committed);
+        c.s_decides <- c.s_decides + 1
+      with Client.Disconnected _ | Client.Server_error _ ->
+        (* the decision is durable in our log; an unreachable shard stays
+           in-doubt (locks held) until a re-delivery reaches it *)
+        failed := i :: !failed)
+    participants;
+  match !failed with
+  | [] -> Hashtbl.remove c.pending gtxn
+  | fs -> Hashtbl.replace c.pending gtxn (List.rev fs)
+
+(* A shard that missed its decision keeps the in-doubt transaction's
+   locks, blocking conflicting work there; rather than waiting for an
+   operator's [recover], retry the logged outcome before the next commit.
+   Ungated: re-delivery is not a protocol action of the current
+   transaction, so it must not shift the crash-sweep numbering. *)
+let redeliver_pending c =
+  if Hashtbl.length c.pending > 0 then
+    Hashtbl.fold (fun g ps acc -> (g, ps) :: acc) c.pending []
+    |> List.sort compare
+    |> List.iter (fun (gtxn, participants) ->
+           match Hashtbl.find_opt c.decided gtxn with
+           | Some committed ->
+               deliver_decision ~gated:false c ~gtxn ~committed ~participants
+           | None -> Hashtbl.remove c.pending gtxn)
 
 let two_phase c ~gtxn ~participants ~outbound ~ops =
   gate c "log_start";
@@ -226,19 +268,34 @@ let two_phase c ~gtxn ~participants ~outbound ~ops =
        { gtxn; deltas = String.concat "," (List.map string_of_int participants) });
   Hashtbl.replace c.started gtxn participants;
   let prepared = ref [] in
+  (* shards whose line died around a Prepare: their vote is unknown — the
+     frame (or only its ack) may have been lost, so they may hold a
+     prepared transaction we never heard about *)
+  let suspects = ref [] in
   let rec prep = function
     | [] -> None
     | i :: rest -> (
         gate c "prepare";
+        (* An op shard's vote rides the session that ran its statements:
+           if that connection dies, the server rolls the session
+           transaction back on disconnect, and a blind resend on a fresh
+           session would prepare a brand-new EMPTY transaction — voting
+           yes while the shard's DML is gone. So an op shard's Prepare is
+           never retried; a dead line is a No vote (presumed abort keeps
+           an actually-prepared shard safe: it stays in-doubt and the
+           abort reaches it below, or via re-delivery). A delta-only
+           destination has no session state — its whole transaction is
+           the delta batch inside the frame — so the dedupe-backed
+           reconnect-and-resend is safe there. *)
+        let send () =
+          Client.prepare_2pc c.clients.(i) ~gtxn ~deltas:(deltas_for outbound i)
+        in
         match
-          (try
-             `Vote
-               (retrying (fun () ->
-                    Client.prepare_2pc c.clients.(i) ~gtxn
-                      ~deltas:(deltas_for outbound i)))
-           with
+          (try `Vote (if List.mem i ops then send () else retrying send) with
           | Client.Server_error { text; _ } -> `No text
-          | Client.Disconnected m -> `No m)
+          | Client.Disconnected m ->
+              suspects := i :: !suspects;
+              `No m)
         with
         | `Vote (`Prepared | `Already_decided _) ->
             c.s_prepares <- c.s_prepares + 1;
@@ -260,33 +317,65 @@ let two_phase c ~gtxn ~participants ~outbound ~ops =
       gate c "log_decision";
       log_force c (Log_record.Decision { gtxn; committed = false });
       Hashtbl.replace c.decided gtxn false;
-      (* prepared shards get the abort decision; an op shard that never
-         prepared still holds an ordinary session transaction *)
-      deliver_decision c ~gtxn ~committed:false ~participants:!prepared;
+      (* prepared shards get the abort decision now, and so does every
+         suspect — it may have prepared without us seeing the ack, and a
+         shard that never saw the Prepare answers presumed-abort; an op
+         shard that never prepared still holds an ordinary session
+         transaction, rolled back explicitly *)
+      let informed = List.sort_uniq compare (!prepared @ !suspects) in
+      deliver_decision c ~gtxn ~committed:false ~participants:informed;
       List.iter
         (fun i ->
-          if not (List.mem i !prepared) then
+          if not (List.mem i informed) then
             try ignore (Client.exec c.clients.(i) "ROLLBACK")
             with Client.Disconnected _ | Client.Server_error _ -> ())
         ops;
       c.s_aborts <- c.s_aborts + 1;
       fail "transaction %s aborted: %s" gtxn reason
 
+let rollback_ops c ops =
+  List.iter
+    (fun i ->
+      try ignore (Client.exec c.clients.(i) "ROLLBACK")
+      with Client.Disconnected _ | Client.Server_error _ -> ())
+    ops
+
 let commit_txn c =
   if not c.in_txn then fail "no open transaction";
+  redeliver_pending c;
   let ops = c.open_on in
+  let poisoned = c.poisoned in
   c.in_txn <- false;
   c.open_on <- [];
+  c.poisoned <- false;
+  if poisoned then begin
+    rollback_ops c ops;
+    c.s_aborts <- c.s_aborts + 1;
+    fail "transaction aborted: a shard connection died mid-statement"
+  end;
   match ops with
   | [] -> Sql.Message "committed"
   | _ -> (
-      let outbound = List.concat_map (fun i -> outbound_of c i) ops in
+      (* Failing before any Prepare is sent leaves plain session
+         transactions holding locks on the op shards: roll them back
+         best-effort before re-raising. A simulated coordinator crash is
+         exempt — a dead process sends nothing. *)
+      let guarded f =
+        try f () with
+        | Fault.Crash_point _ as e -> raise e
+        | e ->
+            rollback_ops c ops;
+            raise e
+      in
+      let outbound =
+        guarded (fun () -> List.concat_map (fun i -> outbound_of c i) ops)
+      in
       let dests = List.sort_uniq compare (List.map fst outbound) in
       let participants = List.sort_uniq compare (ops @ dests) in
       match (participants, outbound) with
       | [ i ], [] ->
           (* single shard, no remote deltas: plain local commit *)
-          (match Client.exec c.clients.(i) "COMMIT" with
+          (match guarded (fun () -> Client.exec c.clients.(i) "COMMIT") with
           | Sql.Message _ -> ()
           | _ -> fail "unexpected reply to COMMIT");
           c.s_single <- c.s_single + 1;
@@ -301,11 +390,8 @@ let abort_txn c =
   let ops = c.open_on in
   c.in_txn <- false;
   c.open_on <- [];
-  List.iter
-    (fun i ->
-      try ignore (Client.exec c.clients.(i) "ROLLBACK")
-      with Client.Disconnected _ | Client.Server_error _ -> ())
-    ops;
+  c.poisoned <- false;
+  rollback_ops c ops;
   Sql.Message "rolled back"
 
 (* --- recovery --------------------------------------------------------- *)
@@ -370,8 +456,17 @@ let ensure_open c i =
   end
 
 let exec_shard c i sql =
-  if c.in_txn then ensure_open c i;
-  Client.exec c.clients.(i) sql
+  if c.in_txn then (
+    try
+      ensure_open c i;
+      Client.exec c.clients.(i) sql
+    with Client.Disconnected _ as e ->
+      (* the disconnect rolled that shard's session transaction back on
+         the server: whatever this transaction already did there is gone,
+         so it is marked abort-only — COMMIT will refuse *)
+      c.poisoned <- true;
+      raise e)
+  else Client.exec c.clients.(i) sql
 
 let all_shards c = List.init (shard_count c) Fun.id
 
@@ -519,18 +614,19 @@ let exec c sql =
   | A.Begin _ ->
       if c.in_txn then fail "transaction already open";
       c.in_txn <- true;
+      c.poisoned <- false;
       Sql.Message "distributed transaction started"
   | A.Commit -> commit_txn c
   | A.Rollback -> abort_txn c
   | A.Savepoint _ | A.Rollback_to _ ->
       fail "savepoints are not supported through the coordinator"
-  | A.Create_table { t_name; cols } ->
-      (match cols with
-      | first :: _ -> Hashtbl.replace c.pk_cols t_name first.A.cd_name
-      | [] -> ());
-      broadcast_ddl c sql
-  | A.Create_view { v_name; _ } ->
-      Hashtbl.replace c.views v_name ();
+  | A.Create_table _ | A.Create_view _ ->
+      (* routing metadata (partition column, view names) must survive a
+         coordinator restart: force the DDL to our log before acting on
+         it, and re-derive the tables from the statement text — the same
+         path scan_wal replays *)
+      log_force c (Log_record.Ddl sql);
+      register_ddl c sql;
       broadcast_ddl c sql
   | A.Create_index _ | A.Checkpoint -> broadcast_ddl c sql
   | A.Show _ -> exec_shard c 0 sql

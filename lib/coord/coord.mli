@@ -21,8 +21,12 @@
     decision forced, Decide fanned out. {!recover} re-delivers logged
     decisions after a coordinator crash and presumed-aborts every
     started-but-undecided transaction; participants dedupe retransmits
-    by global transaction id, which also makes the coordinator's
-    reconnect-and-resend retries safe. *)
+    by global transaction id, which makes Decide (and delta-only
+    Prepare) reconnect-and-resend retries safe. A Prepare to a shard
+    whose session ran this transaction's statements is never retried —
+    the disconnect rolled that session's transaction back, so a dead
+    line is a No vote and the transaction aborts everywhere.
+    Undeliverable decisions are re-delivered before the next commit. *)
 
 exception Coord_error of string
 (** Statement-level failure: routing restriction, a shard voting no (the
@@ -57,8 +61,10 @@ val create :
     global transaction ids ([name:n]). [wal] is the coordinator's
     decision log; pass the previous incarnation's log (round-tripped
     through {!Ivdb_wal.Wal.crash}) to restart after a crash — the
-    started/decided tables and the gtxn counter are rebuilt by scanning
-    it; follow with {!recover} to re-deliver outcomes. *)
+    started/decided tables, the gtxn counter and the routing metadata
+    (partition columns and view names, logged as DDL records) are
+    rebuilt by scanning it; follow with {!recover} to re-deliver
+    outcomes. *)
 
 val exec : t -> string -> Ivdb_sql.Sql.result
 (** Route one SQL statement: DDL broadcasts (recording partition

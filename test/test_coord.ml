@@ -463,6 +463,151 @@ let test_retransmit_dedupe () =
       Client.close cl;
       Server.drain srv)
 
+(* --- prepare lost before the shard sees it ------------------------------ *)
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* A dialer whose connections silently drop selected outbound frames:
+   the [k]-th write containing [needle] never reaches the server and the
+   line dies — a connection failure BEFORE the shard processes the frame
+   (the flaky dialer above covers failure after). *)
+let black_hole_dialer (inner : Transport.dialer) needle drops =
+  let seen = ref 0 in
+  {
+    inner with
+    Transport.dial =
+      (fun () ->
+        let c = inner.Transport.dial () in
+        {
+          c with
+          Transport.write =
+            (fun s ->
+              if contains s needle then begin
+                incr seen;
+                if List.mem !seen !drops then c.Transport.close ()
+                else c.Transport.write s
+              end
+              else c.Transport.write s);
+        });
+  }
+
+(* The regression the review found: when an op shard's connection dies
+   before the server processes the Prepare, the disconnect rolls the
+   shard's session transaction back — a blind resend would prepare a
+   brand-new empty transaction and vote yes, silently committing a
+   partial transaction. The coordinator must treat the dead line as a No
+   vote and abort everywhere. *)
+let cross_shard_cluster seed f =
+  let shards = 2 in
+  let dbs =
+    Array.init shards (fun i ->
+        let db = Database.create () in
+        Coord.configure_shard db ~shard:i ~shards;
+        db)
+  in
+  Sched.run ~seed (fun () ->
+      let nets =
+        Array.map (fun _ -> Transport.Loopback.create ~backlog:64 ()) dbs
+      in
+      let servers =
+        Array.mapi
+          (fun i net ->
+            let s = Server.create dbs.(i) (Transport.Loopback.listener net) in
+            Server.serve s;
+            s)
+          nets
+      in
+      let r = f dbs nets in
+      Array.iter Server.drain servers;
+      r)
+
+let test_prepare_loss_aborts () =
+  let shards = 2 in
+  cross_shard_cluster 13 (fun dbs nets ->
+      let drops = ref [] in
+      let dialers =
+        Array.mapi
+          (fun i net ->
+            let d = Transport.Loopback.dialer net in
+            if i = 0 then black_hole_dialer d "coord:1" drops else d)
+          nets
+      in
+      let c = Coord.create dialers in
+      ignore (Coord.exec c "CREATE TABLE t (k INT NOT NULL, x INT)");
+      let k0 = (keys_owned_by ~shards 0 1).(0)
+      and k1 = (keys_owned_by ~shards 1 1).(0) in
+      let legs =
+        [
+          Printf.sprintf "INSERT INTO t VALUES (%d, 1)" k0;
+          Printf.sprintf "INSERT INTO t VALUES (%d, 2)" k1;
+        ]
+      in
+      ignore (Coord.exec c "BEGIN");
+      List.iter (fun s -> ignore (Coord.exec c s)) legs;
+      (* the first 2PC frame carrying this gtxn — shard 0's Prepare, the
+         one whose session transaction holds the shard's DML — vanishes *)
+      drops := [ 1 ];
+      (try
+         ignore (Coord.exec c "COMMIT");
+         Alcotest.fail "expected the transaction to abort"
+       with Coord.Coord_error _ -> ());
+      (* atomicity: no leg survived anywhere, nothing left in doubt *)
+      check Alcotest.int "no partial commit" 0
+        (List.length (rows (Coord.exec c "SELECT k FROM t")));
+      Array.iteri
+        (fun i db ->
+          check Alcotest.int
+            (Printf.sprintf "shard %d not in doubt" i)
+            0
+            (Database.indoubt_count db))
+        dbs;
+      check Alcotest.int "the abort was counted" 1 (Coord.stats c).Coord.aborts;
+      (* the coordinator session survives: the same work then commits *)
+      run_txn c legs;
+      check Alcotest.int "retried transaction landed both legs" 2
+        (List.length (rows (Coord.exec c "SELECT k FROM t")));
+      Coord.close c)
+
+(* --- decision re-delivery without an explicit recover ------------------- *)
+
+let test_decision_redelivery () =
+  let shards = 2 in
+  cross_shard_cluster 17 (fun dbs nets ->
+      let drops = ref [] in
+      let dialers =
+        Array.mapi
+          (fun i net ->
+            let d = Transport.Loopback.dialer net in
+            if i = 1 then black_hole_dialer d "coord:1" drops else d)
+          nets
+      in
+      let c = Coord.create dialers in
+      ignore (Coord.exec c "CREATE TABLE t (k INT NOT NULL, x INT)");
+      let k0 = keys_owned_by ~shards 0 2 and k1 = keys_owned_by ~shards 1 1 in
+      (* shard 1's frames with this gtxn: Prepare (#1, delivered), then
+         the Decide and its one retry (#2, #3) both vanish — the commit
+         succeeds but shard 1 is left in doubt, holding its locks *)
+      drops := [ 2; 3 ];
+      run_txn c
+        [
+          Printf.sprintf "INSERT INTO t VALUES (%d, 1)" k0.(0);
+          Printf.sprintf "INSERT INTO t VALUES (%d, 2)" k1.(0);
+        ];
+      check Alcotest.int "undelivered decision leaves shard 1 in doubt" 1
+        (Database.indoubt_count dbs.(1));
+      (* the next commit re-delivers the logged decision first — no
+         operator recover() needed *)
+      ignore
+        (Coord.exec c (Printf.sprintf "INSERT INTO t VALUES (%d, 3)" k0.(1)));
+      check Alcotest.int "re-delivery resolved the in-doubt txn" 0
+        (Database.indoubt_count dbs.(1));
+      check Alcotest.int "all three rows visible" 3
+        (List.length (rows (Coord.exec c "SELECT k FROM t")));
+      Coord.close c)
+
 (* --- coordinator restart without crash --------------------------------- *)
 
 let test_recover_is_idempotent () =
@@ -483,6 +628,40 @@ let test_recover_is_idempotent () =
   check Alcotest.int "second recovery is a no-op too" 2 resolved;
   check Alcotest.string "still unchanged" before (digest_union cl)
 
+(* Routing metadata is re-derived from the DDL in the coordinator's log:
+   a restarted coordinator must keep refusing partition-column updates
+   (silently broadcasting one would strand rows on the wrong shard) and
+   keep knowing each table's partition column. *)
+let test_routing_metadata_survives_restart () =
+  let shards = 2 in
+  let cl = fresh_cluster shards in
+  phase cl (fun c _ ->
+      run_setup c;
+      run_script c (script ~shards 1));
+  crash_cluster cl;
+  phase cl (fun c _ ->
+      ignore (Coord.recover c);
+      (try
+         ignore (Coord.exec c "UPDATE t SET k = 99 WHERE qty = 1");
+         Alcotest.fail "expected partition-column refusal"
+       with Coord.Coord_error m ->
+         Alcotest.(check bool) "guard still fires after restart" true
+           (contains m "partition column"));
+      (* the aggregation-refusal hint still names the partition column *)
+      (try
+         ignore (Coord.exec c "SELECT grp, SUM(qty) FROM t GROUP BY grp");
+         Alcotest.fail "expected aggregation refusal"
+       with Coord.Coord_error m ->
+         Alcotest.(check bool) "hint still names the pk" true
+           (contains m "k = <literal>"));
+      (* pinned point reads and view fan-out still answer correctly *)
+      let k = (keys_owned_by ~shards 0 1).(0) in
+      check Alcotest.int "pinned point read" 1
+        (List.length
+           (rows (Coord.exec c (Printf.sprintf "SELECT qty FROM t WHERE k = %d" k))));
+      check Alcotest.int "view fan-out" 2
+        (List.length (rows (Coord.exec c "SELECT * FROM v"))))
+
 let () =
   Alcotest.run "coord"
     [
@@ -501,10 +680,16 @@ let () =
             test_participant_crash_sweep;
           Alcotest.test_case "recovery is idempotent" `Quick
             test_recover_is_idempotent;
+          Alcotest.test_case "routing metadata survives a restart" `Quick
+            test_routing_metadata_survives_restart;
         ] );
       ( "dedupe",
         [
           Alcotest.test_case "prepare/decide retransmits are deduped" `Quick
             test_retransmit_dedupe;
+          Alcotest.test_case "a lost Prepare aborts instead of part-committing"
+            `Quick test_prepare_loss_aborts;
+          Alcotest.test_case "undelivered decisions re-deliver at next commit"
+            `Quick test_decision_redelivery;
         ] );
     ]

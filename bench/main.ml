@@ -1203,7 +1203,7 @@ let e18_setup c =
 (* One cluster phase: loopback nets and servers over [dbs], a coordinator
    over [cwal], run [f]. Fault.Crash_point escaping [f] models the whole
    machine dying mid-run. *)
-let e18_phase ?(seed = 11) ?(crash_at = None) dbs cwal f =
+let e18_phase ?(seed = 11) ?(crash_at = None) ?metrics ?trace dbs cwal f =
   Sched.run ~seed (fun () ->
       let module Server = Ivdb_server.Server in
       let module Transport = Ivdb_transport.Transport in
@@ -1218,7 +1218,10 @@ let e18_phase ?(seed = 11) ?(crash_at = None) dbs cwal f =
             s)
           nets
       in
-      let c = Coord.create ~wal:cwal (Array.map Transport.Loopback.dialer nets) in
+      let c =
+        Coord.create ?metrics ?trace ~wal:cwal
+          (Array.map Transport.Loopback.dialer nets)
+      in
       Coord.set_crash_at_action c crash_at;
       let r = f c in
       Coord.close c;
@@ -1373,6 +1376,161 @@ let e18 () =
   let cells = e18_cells ~quick:false in
   print_table ~title:e18_title ~header:e18_header (List.map fst cells);
   ignore (e18_crash_smoke ())
+
+(* --- E19: cluster observability ----------------------------------------------------------- *)
+
+(* The e18 cross-shard closed loop again, now with the coordinator's
+   typed 2PC registry attached and — in the "on" cells — the
+   gtxn-correlated trace streams (coordinator + every shard engine)
+   enabled into a counting sink. Simulated-tick throughput must be
+   identical off/on (tracing never touches the virtual clock), so the
+   interesting columns are event volume, wall-time delta, and the
+   per-phase tick histograms the registry collected. *)
+
+let e19_title =
+  "E19  Cluster observability: per-phase 2PC metrics, trace on/off (loopback)"
+
+let e19_header =
+  [ "shards"; "trace"; "commits"; "tput/1k ticks"; "events";
+    "prepare p50/p95"; "decide p50/p95"; "wall s" ]
+
+let e19_cell ~quick shards traced =
+  let txns = if quick then 12 else 60 in
+  let cross = if shards > 1 then fun _ -> true else fun _ -> false in
+  let script = e18_script ~shards ~txns cross in
+  let dbs = e18_mk_cluster shards in
+  let metrics = Metrics.create () in
+  let cwal = Wal.create metrics in
+  let events = ref 0 in
+  let trace = Ivdb_util.Trace.create ~clock:Sched.now ~fiber:Sched.self () in
+  if traced then begin
+    Ivdb_util.Trace.add_sink trace (fun _ -> incr events);
+    Ivdb_util.Trace.set_enabled trace true;
+    Array.iter
+      (fun db ->
+        let tr = Database.trace db in
+        Ivdb_util.Trace.add_sink tr (fun _ -> incr events);
+        Ivdb_util.Trace.set_enabled tr true)
+      dbs
+  end;
+  let wall0 = Unix.gettimeofday () in
+  let committed, ticks =
+    e18_phase ~metrics ~trace dbs cwal (fun c ->
+        e18_setup c;
+        let t0 = Sched.now () in
+        let n = ref 0 in
+        List.iter
+          (fun stmts ->
+            ignore (Coord.exec c "BEGIN");
+            List.iter (fun (_, s) -> ignore (Coord.exec c s)) stmts;
+            ignore (Coord.exec c "COMMIT");
+            incr n)
+          script;
+        (!n, Sched.now () - t0))
+  in
+  let wall = Unix.gettimeofday () -. wall0 in
+  let pcts name =
+    let cells = Metrics.hist_snapshot metrics name in
+    (Metrics.percentile_cells cells 50., Metrics.percentile_cells cells 95.)
+  in
+  let prep50, prep95 = pcts "coord.prepare.ticks" in
+  let dec50, dec95 = pcts "coord.decide.ticks" in
+  let tput = 1000. *. float_of_int committed /. float_of_int (max 1 ticks) in
+  let onoff = if traced then "on" else "off" in
+  let row =
+    [
+      i shards; onoff; i committed; f2 tput; i !events;
+      Printf.sprintf "%d/%d" prep50 prep95;
+      Printf.sprintf "%d/%d" dec50 dec95; Printf.sprintf "%.4f" wall;
+    ]
+  in
+  let json =
+    Printf.sprintf
+      {|    {"shards": %d, "trace": "%s", "committed": %d, "throughput_per_1k_ticks": %.3f, "events": %d, "prepare_ticks_p50": %d, "prepare_ticks_p95": %d, "decide_ticks_p50": %d, "decide_ticks_p95": %d, "wall_s": %.4f}|}
+      shards onoff committed tput !events prep50 prep95 dec50 dec95 wall
+  in
+  (row, json)
+
+let e19_cells ~quick =
+  List.concat_map
+    (fun s -> [ e19_cell ~quick s false; e19_cell ~quick s true ])
+    [ 1; 2; 4 ]
+
+let e19_contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* Build-breaking exporter smoke for the dune-runtest run: drive a small
+   cross-shard workload, scrape the coordinator's Metrics_http endpoint
+   over a loopback HTTP round trip, and fail the build if any of the 2PC
+   metric families is missing from the exposition. *)
+let e19_exporter_smoke () =
+  let shards = 2 in
+  let txns = 4 in
+  let script = e18_script ~shards ~txns (fun _ -> true) in
+  let dbs = e18_mk_cluster shards in
+  let metrics = Metrics.create () in
+  let cwal = Wal.create metrics in
+  let body =
+    e18_phase ~metrics dbs cwal (fun c ->
+        e18_setup c;
+        List.iter
+          (fun stmts ->
+            ignore (Coord.exec c "BEGIN");
+            List.iter (fun (_, s) -> ignore (Coord.exec c s)) stmts;
+            ignore (Coord.exec c "COMMIT"))
+          script;
+        let module Transport = Ivdb_transport.Transport in
+        let net = Transport.Loopback.create () in
+        let mlistener = Transport.Loopback.listener net in
+        Ivdb_server.Metrics_http.serve metrics mlistener;
+        let conn = Transport.Loopback.connect net in
+        conn.Transport.write "GET /metrics HTTP/1.0\r\n\r\n";
+        let chunk = Bytes.create 4096 in
+        let acc = Buffer.create 4096 in
+        let rec drain () =
+          let n = conn.Transport.read chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            Buffer.add_subbytes acc chunk 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        conn.Transport.close ();
+        mlistener.Transport.stop ();
+        Buffer.contents acc)
+  in
+  let required =
+    [
+      "ivdb_coord_votes_yes"; "ivdb_coord_commit_2pc";
+      "ivdb_coord_commit_fast_path"; "ivdb_coord_prepare_ticks";
+      "ivdb_coord_decision_force_ticks"; "ivdb_coord_decide_ticks";
+      "ivdb_coord_indoubt"; "ivdb_log_force";
+    ]
+  in
+  let missing = List.filter (fun f -> not (e19_contains body f)) required in
+  if missing <> [] then begin
+    Printf.eprintf "FATAL: e19 smoke: exporter is missing %s\n"
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if not (e19_contains body "200 OK") then begin
+    Printf.eprintf "FATAL: e19 smoke: exporter did not answer 200\n";
+    exit 1
+  end;
+  Printf.printf
+    "e19 exporter smoke: scraped %d bytes, all %d 2PC metric families \
+     present\n"
+    (String.length body) (List.length required);
+  Printf.sprintf
+    {|    {"smoke": "metrics-exporter", "txns": %d, "scraped_bytes": %d, "families_checked": %d, "missing": 0}|}
+    txns (String.length body) (List.length required)
+
+let e19 () =
+  let cells = e19_cells ~quick:false in
+  print_table ~title:e19_title ~header:e19_header (List.map fst cells);
+  ignore (e19_exporter_smoke ())
 
 (* Build-breaking guard for the dune-runtest smoke: a read-only transaction
    must never enter the lock manager or the WAL. Asserted on metric deltas
@@ -1560,9 +1718,15 @@ let commit_bench ~quick () =
   let e18_cells = e18_cells ~quick in
   print_table ~title:e18_title ~header:e18_header (List.map fst e18_cells);
   let e18_smoke_json = e18_crash_smoke () in
+  (* and the cluster-observability cells: quick mode doubles as the
+     coordinator-exporter smoke run (a missing 2PC metric family exits
+     non-zero) *)
+  let e19_cells = e19_cells ~quick in
+  print_table ~title:e19_title ~header:e19_header (List.map fst e19_cells);
+  let e19_smoke_json = e19_exporter_smoke () in
   let oc = open_out "BENCH_commit.json" in
   Printf.fprintf oc
-    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ],\n  \"e17_failover\": [\n%s\n  ],\n  \"e18_sharding\": [\n%s\n  ]\n}\n"
+    "{\n  \"experiment\": \"commit\",\n  \"quick\": %b,\n  \"cells\": [\n%s\n  ],\n  \"e12_fault_recovery\": [\n%s\n  ],\n  \"e13_network\": [\n%s\n  ],\n  \"e14_introspection\": [\n%s\n  ],\n  \"e15_mvcc\": [\n%s\n  ],\n  \"e16_replication\": [\n%s\n  ],\n  \"e17_failover\": [\n%s\n  ],\n  \"e18_sharding\": [\n%s\n  ],\n  \"e19_cluster_observability\": [\n%s\n  ]\n}\n"
     quick
     (String.concat ",\n" (List.map snd cells @ trace_json))
     (String.concat ",\n" (List.map snd e12_cells))
@@ -1571,13 +1735,14 @@ let commit_bench ~quick () =
     (String.concat ",\n" (List.map snd e15_cells))
     (String.concat ",\n" (List.map snd e16_cells))
     (String.concat ",\n" (List.map snd e17_cells))
-    (String.concat ",\n" (List.map snd e18_cells @ [ e18_smoke_json ]));
+    (String.concat ",\n" (List.map snd e18_cells @ [ e18_smoke_json ]))
+    (String.concat ",\n" (List.map snd e19_cells @ [ e19_smoke_json ]));
   close_out oc;
   Printf.printf "wrote BENCH_commit.json (%d cells)\n%!"
     (List.length cells + List.length trace_json + List.length e12_cells
    + List.length e13_cells + List.length e14_cells + List.length e15_cells
    + List.length e16_cells + List.length e17_cells + List.length e18_cells
-   + 1)
+   + List.length e19_cells + 2)
 
 let e11 () = commit_bench ~quick:false ()
 
@@ -1713,7 +1878,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("micro", micro);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("micro", micro);
   ]
 
 (* "commit-quick" is a cheap smoke variant of e11 invoked from the dune

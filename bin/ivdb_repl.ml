@@ -10,6 +10,9 @@
      .locks            lock table and wait queue (sys.locks, sys.lock_waits)
      .sessions         server sessions (sys.server_sessions)
      .shards           shard identity and 2PC state (sys.shards)
+     .gtxns            live/recent global transactions (sys.gtxns)
+     .cluster          coordinator cluster view (sys.coord_shards,
+                       sys.cluster_metrics) — needs a coordinator backend
      .replicas         replication slots / follower link (sys.replication)
      .promote          promote a follower server to primary (remote only)
      .drop-replica N   forget a detached replication slot  (remote only)
@@ -35,8 +38,8 @@ let help =
                           wal|metrics|metrics_hist|server_sessions|
                           slow_queries|replication|shards
 dot commands: .crash .gc .trace on|off|show .stats .locks .sessions .shards
-              .replicas .promote .drop-replica NAME .connect HOST:PORT .local
-              .help .quit|}
+              .gtxns .cluster .replicas .promote .drop-replica NAME
+              .connect HOST:PORT .local .help .quit|}
 
 (* the trace ring survives statements but not .crash (new instance, new trace) *)
 let ring_capacity = 4096
@@ -227,6 +230,12 @@ let () =
            exec_line "SELECT * FROM sys.server_sessions"
          else if line = ".shards" then
            exec_line "SELECT * FROM sys.shards"
+         else if line = ".gtxns" then
+           exec_line "SELECT * FROM sys.gtxns"
+         else if line = ".cluster" then begin
+           exec_line "SELECT * FROM sys.coord_shards";
+           exec_line "SELECT * FROM sys.cluster_metrics"
+         end
          else if line = ".replicas" then
            exec_line "SELECT * FROM sys.replication"
          else if line = ".promote" then begin

@@ -159,13 +159,16 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
       Server.serve srv;
       Printf.printf "ivdb_server listening on 127.0.0.1:%d (max %d sessions)\n"
         actual_port max_inflight;
-      (match metrics_port with
-      | None -> ()
-      | Some p ->
-          let mlistener, mport = Unix_transport.listen ~port:p () in
-          Ivdb_server.Metrics_http.serve (Database.metrics db) mlistener;
-          Printf.printf "metrics exposition on http://127.0.0.1:%d/metrics\n"
-            mport);
+      let stop_metrics =
+        match metrics_port with
+        | None -> fun () -> ()
+        | Some p ->
+            let mlistener, mport = Unix_transport.listen ~port:p () in
+            Ivdb_server.Metrics_http.serve (Database.metrics db) mlistener;
+            Printf.printf "metrics exposition on http://127.0.0.1:%d/metrics\n"
+              mport;
+            mlistener.Ivdb_transport.Transport.stop
+      in
       flush stdout;
       (* supervise: sleep only when idle so an unloaded server does not
          spin, pure yields when sessions are active *)
@@ -194,6 +197,9 @@ let run port max_inflight busy_retry commit_mode slow_query_ticks metrics_port
       done;
       print_endline "draining...";
       flush stdout;
+      (* the exporter's accept fiber would otherwise outlive the drain
+         and keep the scheduler running forever *)
+      stop_metrics ();
       (match repl with Some r -> Replica.stop r | None -> ());
       Server.drain srv);
   let m = Database.metrics db in

@@ -127,14 +127,18 @@ let broken t msg =
    with _ -> ());
   raise (Disconnected msg)
 
-let exec t sql =
+let exec ?rid t sql =
   if t.closed then raise (Disconnected "client closed");
   match t.io with
   | None -> broken t "not connected"
   | Some io -> (
       t.seq <- t.seq + 1;
       let seq = t.seq in
-      let rid = rid_of ~session:t.session ~seq in
+      let rid =
+        match rid with
+        | Some r -> r
+        | None -> rid_of ~session:t.session ~seq
+      in
       t.last_rid <- rid;
       Frame_io.send io (Wire.Exec { seq; rid; sql });
       match Frame_io.recv io with
@@ -173,14 +177,14 @@ let msg_request t mk =
    server answers retransmits idempotently from its dedupe tables — a
    blind client-side resend could otherwise re-prepare a transaction the
    coordinator has already decided. *)
-let prepare_2pc t ~gtxn ~deltas =
+let prepare_2pc ?(rid = 0) t ~gtxn ~deltas =
   if t.closed then raise (Disconnected "client closed");
   match t.io with
   | None -> broken t "not connected"
   | Some io -> (
       t.seq <- t.seq + 1;
       let seq = t.seq in
-      Frame_io.send io (Wire.Prepare { seq; gtxn; deltas });
+      Frame_io.send io (Wire.Prepare { seq; rid; gtxn; deltas });
       match Frame_io.recv io with
       | Some (Wire.Prepared _) -> `Prepared
       | Some (Wire.Decided { committed; _ }) -> `Already_decided committed
@@ -192,14 +196,14 @@ let prepare_2pc t ~gtxn ~deltas =
       | None -> broken t "connection closed"
       | exception Transport.Corrupt m -> broken t m)
 
-let decide_2pc t ~gtxn ~committed =
+let decide_2pc ?(rid = 0) t ~gtxn ~committed =
   if t.closed then raise (Disconnected "client closed");
   match t.io with
   | None -> broken t "not connected"
   | Some io -> (
       t.seq <- t.seq + 1;
       let seq = t.seq in
-      Frame_io.send io (Wire.Decide { seq; gtxn; committed });
+      Frame_io.send io (Wire.Decide { seq; rid; gtxn; committed });
       match Frame_io.recv io with
       | Some (Wire.Decided _) -> ()
       | Some (Wire.Err { code; text; txn_open; _ }) ->

@@ -52,13 +52,16 @@ val server_name : t -> string
 val reconnects : t -> int
 (** Successful re-dials performed since [connect]. *)
 
-val exec : t -> string -> Ivdb_sql.Sql.result
+val exec : ?rid:int -> t -> string -> Ivdb_sql.Sql.result
 (** Ship one statement, wait for its response frame. Raises
     {!Server_error} on [Err], {!Server_busy} on [Busy],
     {!Disconnected} on a dead connection (after attempting reconnect).
     Every statement carries a correlation id
-    ([session * 65536 + (seq land 0xffff)]) echoed into the server's
-    trace events and slow-query log; see {!last_rid}. *)
+    ([session * 65536 + (seq land 0xffff)] by default) echoed into the
+    server's trace events and slow-query log; see {!last_rid}. [?rid]
+    overrides it — the shard coordinator stamps its own per-statement id
+    on fanned-out statements so every shard-side record of one
+    distributed statement shares a single correlation id. *)
 
 val last_rid : t -> int
 (** Correlation id of the most recent {!exec} — join it against
@@ -66,7 +69,11 @@ val last_rid : t -> int
     [net.response] / [net.slow_query] trace events. *)
 
 val prepare_2pc :
-  t -> gtxn:string -> deltas:string -> [ `Prepared | `Already_decided of bool ]
+  ?rid:int ->
+  t ->
+  gtxn:string ->
+  deltas:string ->
+  [ `Prepared | `Already_decided of bool ]
 (** 2PC phase 1: ask the server to prepare its session's open transaction
     under global id [gtxn], carrying [deltas]
     ({!Ivdb.Database.Deltas}-encoded escrow deltas owned by that shard).
@@ -78,9 +85,11 @@ val prepare_2pc :
     coordinator's call, and is safe because the server dedupes by
     gtxn. *)
 
-val decide_2pc : t -> gtxn:string -> committed:bool -> unit
+val decide_2pc : ?rid:int -> t -> gtxn:string -> committed:bool -> unit
 (** 2PC phase 2: deliver the coordinator's logged decision. Idempotent on
-    the server (retransmits re-ack; unknown abort is presumed-abort). *)
+    the server (retransmits re-ack; unknown abort is presumed-abort).
+    [?rid] (default 0) correlates the participant's [Twopc_decide] trace
+    event back to the coordinator statement. *)
 
 val metrics : t -> string
 (** Fetch the server's metrics registry as Prometheus text exposition

@@ -24,6 +24,7 @@
 module A = Ivdb_sql.Sql_ast
 module Sql = Ivdb_sql.Sql
 module Sql_parser = Ivdb_sql.Sql_parser
+module Sys_tables = Ivdb_sql.Sys_tables
 module Client = Ivdb_client.Client
 module Database = Ivdb.Database
 module Transport = Ivdb_transport.Transport
@@ -31,6 +32,8 @@ module Wal = Ivdb_wal.Wal
 module Log_record = Ivdb_wal.Log_record
 module Fault = Ivdb_storage.Fault
 module Metrics = Ivdb_util.Metrics
+module Trace = Ivdb_util.Trace
+module Sched = Ivdb_sched.Sched
 module Value = Ivdb_relation.Value
 module Row = Ivdb_relation.Row
 module B = Ivdb_util.Bytes_util
@@ -64,14 +67,45 @@ type stats = {
   decides_sent : int;
 }
 
+(* One global transaction as sys.gtxns sees it: live entries sit in a
+   table keyed by gtxn, terminal ones move to a bounded recent list.
+   Pure bookkeeping — never gated, so it cannot shift the crash-sweep
+   action numbering. *)
+type ginfo = {
+  gi_gtxn : string;
+  gi_participants : int list;
+  mutable gi_phase : string; (* preparing | deciding | committed | aborted *)
+  mutable gi_votes : (int * string) list; (* shard -> yes / no / dead *)
+  mutable gi_phase_tick : int; (* tick the current phase was entered *)
+}
+
+let recent_cap = 32
+
+(* Per-shard health as seen from the coordinator (sys.coord_shards). *)
+type shard_health = {
+  mutable sh_last_contact : int; (* tick of the last successful round trip *)
+  mutable sh_prepares : int;
+  mutable sh_decides : int;
+  mutable sh_dedupe_hits : int; (* Prepare answered from the dedupe tables *)
+}
+
 type t = {
   cname : string;
   clients : Client.t array;
   cwal : Wal.t;
+  metrics : Metrics.t;
+  ctrace : Trace.t;
   mutable next_gid : int;
+  (* coordinator-assigned correlation id: one per routed statement,
+     stamped on every shard-bound frame that statement causes *)
+  mutable next_rid : int;
+  mutable cur_rid : int;
   started : (string, int list) Hashtbl.t; (* gtxn -> participant shards *)
   decided : (string, bool) Hashtbl.t;
   pending : (string, int list) Hashtbl.t; (* decided, but shards still owed it *)
+  live : (string, ginfo) Hashtbl.t; (* in-flight gtxns, for sys.gtxns *)
+  mutable recent : ginfo list; (* newest first, capped at recent_cap *)
+  health : shard_health array;
   pk_cols : (string, string) Hashtbl.t; (* table -> partition column *)
   views : (string, unit) Hashtbl.t; (* view names seen in DDL *)
   mutable in_txn : bool;
@@ -90,6 +124,20 @@ type t = {
   mutable s_aborts : int;
   mutable s_prepares : int;
   mutable s_decides : int;
+  (* typed per-phase 2PC metric handles, resolved once at create *)
+  m_votes_yes : Metrics.counter;
+  m_votes_no : Metrics.counter;
+  m_votes_dead : Metrics.counter;
+  m_fast : Metrics.counter;
+  m_2pc : Metrics.counter;
+  m_abort_vote : Metrics.counter;
+  m_abort_dead : Metrics.counter;
+  m_abort_poisoned : Metrics.counter;
+  m_redeliver : Metrics.counter;
+  m_indoubt : Metrics.counter; (* gauge: gtxns with undelivered decisions *)
+  h_prepare : Metrics.hist; (* prepare fan-out ticks per 2PC round *)
+  h_force : Metrics.hist; (* decision WAL-force ticks *)
+  h_decide : Metrics.hist; (* decide fan-out ticks per 2PC round *)
 }
 
 let parse_gid cname gtxn =
@@ -113,6 +161,38 @@ let register_ddl c sql =
   | _ -> ()
   | exception _ -> ()
 
+(* --- sys.gtxns bookkeeping -------------------------------------------- *)
+
+let gtxn_begin c ~gtxn ~participants =
+  let gi =
+    {
+      gi_gtxn = gtxn;
+      gi_participants = participants;
+      gi_phase = "preparing";
+      gi_votes = [];
+      gi_phase_tick = Sched.now ();
+    }
+  in
+  Hashtbl.replace c.live gtxn gi;
+  gi
+
+let gtxn_phase gi phase =
+  gi.gi_phase <- phase;
+  gi.gi_phase_tick <- Sched.now ()
+
+let gtxn_vote gi shard vote = gi.gi_votes <- gi.gi_votes @ [ (shard, vote) ]
+
+let gtxn_done c gtxn committed =
+  match Hashtbl.find_opt c.live gtxn with
+  | None -> ()
+  | Some gi ->
+      gtxn_phase gi (if committed then "committed" else "aborted");
+      Hashtbl.remove c.live gtxn;
+      c.recent <-
+        gi :: (if List.length c.recent >= recent_cap then
+                 List.filteri (fun i _ -> i < recent_cap - 1) c.recent
+               else c.recent)
+
 let scan_wal c =
   Wal.iter_stable c.cwal (fun r ->
       match r.Log_record.body with
@@ -123,17 +203,30 @@ let scan_wal c =
             with Failure _ -> fail "corrupt participant list for %s" gtxn
           in
           Hashtbl.replace c.started gtxn participants;
+          (* rebuild the sys.gtxns view of the log: started and (until a
+             Decision record follows) in-doubt *)
+          ignore (gtxn_begin c ~gtxn ~participants);
           (match parse_gid c.cname gtxn with
           | Some n -> c.next_gid <- max c.next_gid (n + 1)
           | None -> ())
       | Log_record.Decision { gtxn; committed } ->
-          Hashtbl.replace c.decided gtxn committed
+          Hashtbl.replace c.decided gtxn committed;
+          gtxn_done c gtxn committed
       | _ -> ())
 
-let create ?(name = "coord") ?wal dialers =
+let create ?(name = "coord") ?wal ?metrics ?trace dialers =
   if Array.length dialers = 0 then invalid_arg "Coord.create: no shards";
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let ctrace =
+    match trace with
+    | Some tr -> tr
+    | None -> Trace.create ~clock:Sched.now ~fiber:Sched.self ()
+  in
+  (* the decision log shares the coordinator's registry (and trace), so
+     its force/append counters are visible instead of vanishing into a
+     private throwaway registry *)
   let cwal =
-    match wal with Some w -> w | None -> Wal.create (Metrics.create ())
+    match wal with Some w -> w | None -> Wal.create ~trace:ctrace metrics
   in
   let c =
     {
@@ -141,10 +234,22 @@ let create ?(name = "coord") ?wal dialers =
       clients =
         Array.map (fun d -> Client.connect ~client:("coord:" ^ name) d) dialers;
       cwal;
+      metrics;
+      ctrace;
       next_gid = 1;
+      next_rid = 1;
+      cur_rid = 0;
       started = Hashtbl.create 32;
       decided = Hashtbl.create 32;
       pending = Hashtbl.create 8;
+      live = Hashtbl.create 8;
+      recent = [];
+      health =
+        Array.map
+          (fun _ ->
+            { sh_last_contact = 0; sh_prepares = 0; sh_decides = 0;
+              sh_dedupe_hits = 0 })
+          dialers;
       pk_cols = Hashtbl.create 8;
       views = Hashtbl.create 8;
       in_txn = false;
@@ -157,14 +262,37 @@ let create ?(name = "coord") ?wal dialers =
       s_aborts = 0;
       s_prepares = 0;
       s_decides = 0;
+      m_votes_yes = Metrics.counter metrics "coord.votes.yes";
+      m_votes_no = Metrics.counter metrics "coord.votes.no";
+      m_votes_dead = Metrics.counter metrics "coord.votes.dead_line";
+      m_fast = Metrics.counter metrics "coord.commit.fast_path";
+      m_2pc = Metrics.counter metrics "coord.commit.2pc";
+      m_abort_vote = Metrics.counter metrics "coord.abort.vote_no";
+      m_abort_dead = Metrics.counter metrics "coord.abort.dead_line";
+      m_abort_poisoned = Metrics.counter metrics "coord.abort.poisoned";
+      m_redeliver = Metrics.counter metrics "coord.redeliver.attempts";
+      m_indoubt = Metrics.counter metrics "coord.indoubt";
+      h_prepare = Metrics.hist metrics "coord.prepare.ticks";
+      h_force = Metrics.hist metrics "coord.decision_force.ticks";
+      h_decide = Metrics.hist metrics "coord.decide.ticks";
     }
   in
   scan_wal c;
   c
 
 let wal c = c.cwal
+let metrics c = c.metrics
+let trace c = c.ctrace
+let last_rid c = c.cur_rid
 let shard_count c = Array.length c.clients
 let in_transaction c = c.in_txn
+
+let temit c ev = if Trace.enabled c.ctrace then Trace.emit c.ctrace ev
+let touch c i = c.health.(i).sh_last_contact <- Sched.now ()
+
+(* the in-doubt gauge tracks |pending| through a counter handle *)
+let sync_indoubt c =
+  Metrics.inc_by c.m_indoubt (Hashtbl.length c.pending - Metrics.value c.m_indoubt)
 
 let stats c =
   {
@@ -212,9 +340,17 @@ let unhex s =
       in
       Char.chr ((d 0 * 16) + d 1))
 
+(* One statement to one shard, stamped with the coordinator's current
+   correlation id; a successful round trip refreshes the shard's
+   last-contact tick. Every shard-bound statement goes through here. *)
+let shard_exec c i sql =
+  let r = Client.exec ~rid:c.cur_rid c.clients.(i) sql in
+  touch c i;
+  r
+
 (* The shard session's diverted deltas, read back over the wire. *)
 let outbound_of c i =
-  match Client.exec c.clients.(i) "SELECT * FROM sys.outbound" with
+  match shard_exec c i "SELECT * FROM sys.outbound" with
   | Sql.Rows { rows; _ } ->
       List.map
         (fun r ->
@@ -234,17 +370,23 @@ let deliver_decision ?(gated = true) c ~gtxn ~committed ~participants =
   List.iter
     (fun i ->
       if gated then gate c "decide";
+      temit c
+        (Trace.Coord_decide { gtxn; rid = c.cur_rid; shard = i; committed });
       try
-        retrying (fun () -> Client.decide_2pc c.clients.(i) ~gtxn ~committed);
-        c.s_decides <- c.s_decides + 1
+        retrying (fun () ->
+            Client.decide_2pc ~rid:c.cur_rid c.clients.(i) ~gtxn ~committed);
+        c.s_decides <- c.s_decides + 1;
+        c.health.(i).sh_decides <- c.health.(i).sh_decides + 1;
+        touch c i
       with Client.Disconnected _ | Client.Server_error _ ->
         (* the decision is durable in our log; an unreachable shard stays
            in-doubt (locks held) until a re-delivery reaches it *)
         failed := i :: !failed)
     participants;
-  match !failed with
+  (match !failed with
   | [] -> Hashtbl.remove c.pending gtxn
-  | fs -> Hashtbl.replace c.pending gtxn (List.rev fs)
+  | fs -> Hashtbl.replace c.pending gtxn (List.rev fs));
+  sync_indoubt c
 
 (* A shard that missed its decision keeps the in-doubt transaction's
    locks, blocking conflicting work there; rather than waiting for an
@@ -258,10 +400,12 @@ let redeliver_pending c =
     |> List.iter (fun (gtxn, participants) ->
            match Hashtbl.find_opt c.decided gtxn with
            | Some committed ->
+               Metrics.inc c.m_redeliver;
                deliver_decision ~gated:false c ~gtxn ~committed ~participants
            | None -> Hashtbl.remove c.pending gtxn)
 
 let two_phase c ~gtxn ~participants ~outbound ~ops =
+  let gi = gtxn_begin c ~gtxn ~participants in
   gate c "log_start";
   log_force c
     (Log_record.Prepare
@@ -276,6 +420,7 @@ let two_phase c ~gtxn ~participants ~outbound ~ops =
     | [] -> None
     | i :: rest -> (
         gate c "prepare";
+        temit c (Trace.Coord_prepare { gtxn; rid = c.cur_rid; shard = i });
         (* An op shard's vote rides the session that ran its statements:
            if that connection dies, the server rolls the session
            transaction back on disconnect, and a blind resend on a fresh
@@ -288,34 +433,68 @@ let two_phase c ~gtxn ~participants ~outbound ~ops =
            the delta batch inside the frame — so the dedupe-backed
            reconnect-and-resend is safe there. *)
         let send () =
-          Client.prepare_2pc c.clients.(i) ~gtxn ~deltas:(deltas_for outbound i)
+          Client.prepare_2pc ~rid:c.cur_rid c.clients.(i) ~gtxn
+            ~deltas:(deltas_for outbound i)
         in
         match
           (try `Vote (if List.mem i ops then send () else retrying send) with
           | Client.Server_error { text; _ } -> `No text
           | Client.Disconnected m ->
               suspects := i :: !suspects;
-              `No m)
+              `Dead m)
         with
-        | `Vote (`Prepared | `Already_decided _) ->
+        | `Vote v ->
+            (match v with
+            | `Already_decided _ ->
+                c.health.(i).sh_dedupe_hits <- c.health.(i).sh_dedupe_hits + 1
+            | `Prepared -> ());
             c.s_prepares <- c.s_prepares + 1;
+            c.health.(i).sh_prepares <- c.health.(i).sh_prepares + 1;
+            touch c i;
+            Metrics.inc c.m_votes_yes;
+            gtxn_vote gi i "yes";
+            temit c (Trace.Coord_vote { gtxn; shard = i; vote = "yes" });
             prepared := i :: !prepared;
             prep rest
-        | `No reason -> Some reason)
+        | `No reason ->
+            Metrics.inc c.m_votes_no;
+            gtxn_vote gi i "no";
+            temit c (Trace.Coord_vote { gtxn; shard = i; vote = "no" });
+            Some (reason, c.m_abort_vote)
+        | `Dead reason ->
+            Metrics.inc c.m_votes_dead;
+            gtxn_vote gi i "dead";
+            temit c (Trace.Coord_vote { gtxn; shard = i; vote = "dead" });
+            Some (reason, c.m_abort_dead))
   in
-  match prep participants with
+  let t_prep = Sched.now () in
+  let outcome = prep participants in
+  Metrics.record c.h_prepare (Sched.now () - t_prep);
+  match outcome with
   | None ->
+      gtxn_phase gi "deciding";
       gate c "log_decision";
+      let t_force = Sched.now () in
       log_force c (Log_record.Decision { gtxn; committed = true });
+      Metrics.record c.h_force (Sched.now () - t_force);
+      temit c (Trace.Coord_decision { gtxn; committed = true });
       Hashtbl.replace c.decided gtxn true;
+      let t_dec = Sched.now () in
       deliver_decision c ~gtxn ~committed:true ~participants;
+      Metrics.record c.h_decide (Sched.now () - t_dec);
+      gtxn_done c gtxn true;
       c.s_cross <- c.s_cross + 1;
+      Metrics.inc c.m_2pc;
       Sql.Message
         (Printf.sprintf "committed (%s, %d participants)" gtxn
            (List.length participants))
-  | Some reason ->
+  | Some (reason, abort_cause) ->
+      gtxn_phase gi "deciding";
       gate c "log_decision";
+      let t_force = Sched.now () in
       log_force c (Log_record.Decision { gtxn; committed = false });
+      Metrics.record c.h_force (Sched.now () - t_force);
+      temit c (Trace.Coord_decision { gtxn; committed = false });
       Hashtbl.replace c.decided gtxn false;
       (* prepared shards get the abort decision now, and so does every
          suspect — it may have prepared without us seeing the ack, and a
@@ -323,20 +502,24 @@ let two_phase c ~gtxn ~participants ~outbound ~ops =
          shard that never prepared still holds an ordinary session
          transaction, rolled back explicitly *)
       let informed = List.sort_uniq compare (!prepared @ !suspects) in
+      let t_dec = Sched.now () in
       deliver_decision c ~gtxn ~committed:false ~participants:informed;
+      Metrics.record c.h_decide (Sched.now () - t_dec);
       List.iter
         (fun i ->
           if not (List.mem i informed) then
-            try ignore (Client.exec c.clients.(i) "ROLLBACK")
+            try ignore (shard_exec c i "ROLLBACK")
             with Client.Disconnected _ | Client.Server_error _ -> ())
         ops;
+      gtxn_done c gtxn false;
       c.s_aborts <- c.s_aborts + 1;
+      Metrics.inc abort_cause;
       fail "transaction %s aborted: %s" gtxn reason
 
 let rollback_ops c ops =
   List.iter
     (fun i ->
-      try ignore (Client.exec c.clients.(i) "ROLLBACK")
+      try ignore (shard_exec c i "ROLLBACK")
       with Client.Disconnected _ | Client.Server_error _ -> ())
     ops
 
@@ -351,6 +534,7 @@ let commit_txn c =
   if poisoned then begin
     rollback_ops c ops;
     c.s_aborts <- c.s_aborts + 1;
+    Metrics.inc c.m_abort_poisoned;
     fail "transaction aborted: a shard connection died mid-statement"
   end;
   match ops with
@@ -375,10 +559,12 @@ let commit_txn c =
       match (participants, outbound) with
       | [ i ], [] ->
           (* single shard, no remote deltas: plain local commit *)
-          (match guarded (fun () -> Client.exec c.clients.(i) "COMMIT") with
+          (match guarded (fun () -> shard_exec c i "COMMIT") with
           | Sql.Message _ -> ()
           | _ -> fail "unexpected reply to COMMIT");
           c.s_single <- c.s_single + 1;
+          Metrics.inc c.m_fast;
+          temit c (Trace.Coord_fast_path { rid = c.cur_rid; shard = i });
           Sql.Message "committed"
       | _ ->
           let gtxn = Printf.sprintf "%s:%d" c.cname c.next_gid in
@@ -412,8 +598,16 @@ let recover c =
             Hashtbl.replace c.decided gtxn false;
             false
       in
-      deliver_decision c ~gtxn ~committed ~participants)
+      deliver_decision c ~gtxn ~committed ~participants;
+      gtxn_done c gtxn committed)
     entries;
+  (* live entries never logged (crashed before the begin-record force):
+     no shard ever heard of them, so they abort locally *)
+  Hashtbl.fold
+    (fun g _ acc -> if not (Hashtbl.mem c.started g) then g :: acc else acc)
+    c.live []
+  |> List.sort compare
+  |> List.iter (fun g -> gtxn_done c g false);
   List.length entries
 
 (* --- statement routing ------------------------------------------------ *)
@@ -451,22 +645,23 @@ let route_lit c l = route_value ~shards:(shard_count c) (value_of_lit l)
 
 let ensure_open c i =
   if not (List.mem i c.open_on) then begin
-    ignore (Client.exec c.clients.(i) "BEGIN");
+    ignore (shard_exec c i "BEGIN");
     c.open_on <- c.open_on @ [ i ]
   end
 
-let exec_shard c i sql =
+let exec_shard ?(kind = "pin") c i sql =
+  temit c (Trace.Coord_route { rid = c.cur_rid; shard = i; kind });
   if c.in_txn then (
     try
       ensure_open c i;
-      Client.exec c.clients.(i) sql
+      shard_exec c i sql
     with Client.Disconnected _ as e ->
       (* the disconnect rolled that shard's session transaction back on
          the server: whatever this transaction already did there is gone,
          so it is marked abort-only — COMMIT will refuse *)
       c.poisoned <- true;
       raise e)
-  else Client.exec c.clients.(i) sql
+  else shard_exec c i sql
 
 let all_shards c = List.init (shard_count c) Fun.id
 
@@ -522,15 +717,97 @@ let rows_of = function
   | _ -> fail "expected rows"
 
 let broadcast_rows c q sql targets =
-  merge_rows q (List.map (fun i -> rows_of (exec_shard c i sql)) targets)
+  merge_rows q
+    (List.map (fun i -> rows_of (exec_shard ~kind:"broadcast" c i sql)) targets)
 
 let is_sys_name from =
   String.length from > 4 && String.sub from 0 4 = "sys."
 
+(* --- coordinator-resident sys.* catalogs ------------------------------ *)
+
+let gtxns_rows c =
+  let now = Sched.now () in
+  let row gi =
+    let undelivered =
+      match Hashtbl.find_opt c.pending gi.gi_gtxn with
+      | Some shards -> List.length shards
+      | None -> 0
+    in
+    [|
+      Value.Str gi.gi_gtxn;
+      Value.Str gi.gi_phase;
+      Value.Str
+        (String.concat "," (List.map string_of_int gi.gi_participants));
+      Value.Str
+        (String.concat ","
+           (List.map
+              (fun (s, v) -> Printf.sprintf "%d:%s" s v)
+              (List.sort compare gi.gi_votes)));
+      Value.Int (now - gi.gi_phase_tick);
+      Value.Int undelivered;
+    |]
+  in
+  let live =
+    Hashtbl.fold (fun _ gi acc -> gi :: acc) c.live []
+    |> List.sort (fun a b -> compare a.gi_gtxn b.gi_gtxn)
+  in
+  (Sys_tables.gtxns_header, List.map row live @ List.map row c.recent)
+
+let coord_shards_rows c =
+  let outstanding i =
+    Hashtbl.fold
+      (fun _ shards acc -> if List.mem i shards then acc + 1 else acc)
+      c.pending 0
+  in
+  let row i h =
+    [|
+      Value.Int i;
+      Value.Str (Client.peer_addr c.clients.(i));
+      Value.Int h.sh_last_contact;
+      Value.Int h.sh_prepares;
+      Value.Int h.sh_decides;
+      Value.Int (outstanding i);
+      Value.Int h.sh_dedupe_hits;
+      Value.Int (Client.reconnects c.clients.(i));
+    |]
+  in
+  (Sys_tables.coord_shards_header, Array.to_list (Array.mapi row c.health))
+
+(* The cluster rollup: this registry's counters tagged "coord", then each
+   reachable shard's sys.metrics tagged "shard<i>". A dead shard is
+   skipped rather than failing the whole query — sys.coord_shards is the
+   place that reports it. *)
+let cluster_metrics_rows c =
+  let own =
+    List.map
+      (fun (k, v) -> [| Value.Str "coord"; Value.Str k; Value.Int v |])
+      (Metrics.snapshot c.metrics)
+  in
+  let shard i =
+    let node = Printf.sprintf "shard%d" i in
+    match exec_shard ~kind:"sys" c i "SELECT * FROM sys.metrics" with
+    | Sql.Rows { rows; _ } ->
+        List.map (fun r -> Array.append [| Value.Str node |] r) rows
+    | _ -> []
+    | exception (Client.Disconnected _ | Client.Server_error _) -> []
+  in
+  ( Sys_tables.cluster_metrics_header,
+    own @ List.concat_map shard (all_shards c) )
+
+let coord_sys c name =
+  match name with
+  | "sys.gtxns" -> Some (fun () -> gtxns_rows c)
+  | "sys.coord_shards" -> Some (fun () -> coord_shards_rows c)
+  | "sys.cluster_metrics" -> Some (fun () -> cluster_metrics_rows c)
+  | _ -> None
+
 let route_select c (q : A.select) sql =
-  if is_sys_name q.A.from then
-    if q.A.from = "sys.shards" then broadcast_rows c q sql (all_shards c)
-    else exec_shard c 0 sql
+  if is_sys_name q.A.from then (
+    match coord_sys c q.A.from with
+    | Some rows -> Sql.select_over q (rows ())
+    | None ->
+        if q.A.from = "sys.shards" then broadcast_rows c q sql (all_shards c)
+        else exec_shard ~kind:"sys" c 0 sql)
   else if Hashtbl.mem c.views q.A.from then
     (* view groups are partitioned by group-key hash: every group lives
        wholly on its owner, so concatenation is the full view *)
@@ -575,7 +852,7 @@ let route_insert c into rows =
           Printf.sprintf "INSERT INTO %s VALUES %s" into
             (String.concat ", " (List.rev_map render_row bucket))
         in
-        total := !total + affected (exec_shard c i sql))
+        total := !total + affected (exec_shard ~kind:"split" c i sql))
     buckets;
   Sql.Affected !total
 
@@ -585,7 +862,7 @@ let route_modify c table where sql =
   | None ->
       Sql.Affected
         (List.fold_left
-           (fun acc i -> acc + affected (exec_shard c i sql))
+           (fun acc i -> acc + affected (exec_shard ~kind:"broadcast" c i sql))
            0 (all_shards c))
 
 (* A write outside an open transaction still runs under the coordinator's
@@ -606,11 +883,20 @@ let with_write c f =
 
 let broadcast_ddl c sql =
   let last = ref (Sql.Message "ok") in
-  List.iter (fun i -> last := Client.exec c.clients.(i) sql) (all_shards c);
+  List.iter
+    (fun i ->
+      temit c (Trace.Coord_route { rid = c.cur_rid; shard = i; kind = "ddl" });
+      last := shard_exec c i sql)
+    (all_shards c);
   !last
 
 let exec c sql =
-  match Sql_parser.parse sql with
+  let stmt = Sql_parser.parse sql in
+  (* one correlation id per routed statement: every shard-bound frame this
+     statement causes (Exec, Prepare, Decide) carries it *)
+  c.cur_rid <- c.next_rid;
+  c.next_rid <- c.next_rid + 1;
+  match stmt with
   | A.Begin _ ->
       if c.in_txn then fail "transaction already open";
       c.in_txn <- true;

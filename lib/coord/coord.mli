@@ -55,7 +55,12 @@ val configure_shard : Ivdb.Database.t -> shard:int -> shards:int -> unit
 type t
 
 val create :
-  ?name:string -> ?wal:Ivdb_wal.Wal.t -> Ivdb_transport.Transport.dialer array -> t
+  ?name:string ->
+  ?wal:Ivdb_wal.Wal.t ->
+  ?metrics:Ivdb_util.Metrics.t ->
+  ?trace:Ivdb_util.Trace.t ->
+  Ivdb_transport.Transport.dialer array ->
+  t
 (** Connect one client per shard (the array index is the shard id — it
     must match each engine's {!configure_shard} slot). [name] prefixes
     global transaction ids ([name:n]). [wal] is the coordinator's
@@ -64,7 +69,15 @@ val create :
     started/decided tables, the gtxn counter and the routing metadata
     (partition columns and view names, logged as DDL records) are
     rebuilt by scanning it; follow with {!recover} to re-deliver
-    outcomes. *)
+    outcomes. [metrics] is the coordinator's registry (fresh by
+    default): the typed per-phase 2PC counters and histograms live
+    there, and — when no [wal] is passed — so do the decision log's
+    own append/force counters instead of a private throwaway registry.
+    [trace] receives the coordinator-side trace events
+    ([coord.route] / [coord.fast_path] / [coord.prepare] /
+    [coord.vote] / [coord.decision] / [coord.decide]); defaults to a
+    fresh disabled trace wired to the deterministic scheduler's clock
+    and fiber id, so an enabled stream is byte-identical per seed. *)
 
 val exec : t -> string -> Ivdb_sql.Sql.result
 (** Route one SQL statement: DDL broadcasts (recording partition
@@ -75,7 +88,41 @@ val exec : t -> string -> Ivdb_sql.Sql.result
     [BEGIN]/[COMMIT]/[ROLLBACK] drive the distributed transaction; a
     write outside a transaction autocommits through the same machinery
     so its remote deltas still ship. Raises {!Coord_error} (and
-    {!Ivdb_client.Client} exceptions for dead shards). *)
+    {!Ivdb_client.Client} exceptions for dead shards).
+
+    Coordinator-resident catalogs are answered locally, with full
+    [sys.*] query semantics (WHERE / projection / ORDER BY / LIMIT):
+    - [sys.gtxns] — live and recent global transactions: phase
+      ([preparing] / [deciding] / [committed] / [aborted]), participant
+      set, per-shard votes ([yes] / [no] / [dead]), ticks in the current
+      phase, undelivered-decision count;
+    - [sys.coord_shards] — per-shard health: address, last-contact tick,
+      prepare/decide traffic, outstanding decisions, dedupe hits,
+      reconnects;
+    - [sys.cluster_metrics] — the coordinator registry's counters tagged
+      [coord] plus every reachable shard's [sys.metrics] rows tagged
+      [shard<i>] (unreachable shards are skipped, not errors).
+
+    Every routed statement is stamped with a coordinator-assigned
+    correlation id (see {!last_rid}) carried on the Exec, Prepare and
+    Decide frames it causes, so shard-side trace events and
+    [sys.slow_queries] rows join back to the coordinator statement. *)
+
+val last_rid : t -> int
+(** Correlation id assigned to the most recent {!exec} statement. *)
+
+val metrics : t -> Ivdb_util.Metrics.t
+(** The coordinator's metrics registry (2PC phase histograms
+    [coord.prepare.ticks] / [coord.decision_force.ticks] /
+    [coord.decide.ticks], vote and abort-cause counters, fast-path vs
+    2PC commits, in-doubt gauge, re-delivery attempts — plus the
+    decision log's counters when the WAL was created here). Feed it to
+    {!Ivdb_util.Metrics.to_prometheus} or serve it with
+    [Ivdb_server.Metrics_http]. *)
+
+val trace : t -> Ivdb_util.Trace.t
+(** The coordinator's trace (enable + attach sinks to observe the 2PC
+    event stream). *)
 
 val recover : t -> int
 (** Resolve every started transaction found in the WAL: re-deliver the

@@ -1,0 +1,159 @@
+(* Wire front-end for the shard coordinator: the same handshake and
+   request/response protocol as Ivdb_server.Server, but every Exec is
+   answered by routing the statement through Coord.exec instead of a
+   local engine. This is what puts the coordinator-resident catalogs
+   (sys.gtxns, sys.coord_shards, sys.cluster_metrics) and the
+   cluster-wide fan-out behind an ordinary client connection.
+
+   One deliberate simplification: the coordinator owns a single
+   distributed-transaction session (one BEGIN/COMMIT state spanning the
+   shards), and every wire session shares it. Concurrent clients are
+   accepted, but their transactions interleave on that shared state —
+   the front-end is an operator console and test surface, not a
+   multi-tenant endpoint. *)
+
+module Wire = Ivdb_wire.Wire
+module Transport = Ivdb_transport.Transport
+module Client = Ivdb_client.Client
+module Sql = Ivdb_sql.Sql
+module Metrics = Ivdb_util.Metrics
+module Sched = Ivdb_sched.Sched
+
+type t = {
+  name : string;
+  coord : Coord.t;
+  listener : Transport.listener;
+  mutable next_session : int;
+}
+
+let create ?(name = "ivdb-coord") coord listener =
+  { name; coord; listener; next_session = 1 }
+
+let drain t = t.listener.Transport.stop ()
+let draining t = t.listener.Transport.stopped ()
+
+(* Map one routed statement to its response frame. The incoming Exec's
+   client rid is ignored: the coordinator assigns its own correlation id
+   per statement (Coord.last_rid) and stamps it onto every frame it
+   fans out, so the shard-side records join to the coordinator
+   statement, not to the console client's numbering. *)
+let exec_frame coord ~seq sql =
+  let txn_open () = Coord.in_transaction coord in
+  match Coord.exec coord sql with
+  | Sql.Rows { header; rows } -> Wire.Rows { seq; header; rows }
+  | Sql.Affected n -> Wire.Affected { seq; n }
+  | Sql.Message text -> Wire.Msg { seq; text }
+  | exception Coord.Coord_error text ->
+      Wire.Err { seq; code = E_sql; text; txn_open = txn_open () }
+  | exception Sql.Sql_error text ->
+      Wire.Err { seq; code = E_sql; text; txn_open = txn_open () }
+  | exception Ivdb_sql.Sql_parser.Parse_error text ->
+      Wire.Err { seq; code = E_parse; text; txn_open = txn_open () }
+  | exception Ivdb_sql.Sql_lexer.Lex_error text ->
+      Wire.Err { seq; code = E_parse; text; txn_open = txn_open () }
+  | exception Client.Server_error { code; text; _ } ->
+      (* a shard refused the routed statement: relay its code verbatim,
+         but report the coordinator's transaction state, not the
+         shard's *)
+      Wire.Err { seq; code; text; txn_open = txn_open () }
+  | exception Client.Disconnected text ->
+      Wire.Err
+        {
+          seq;
+          code = E_sql;
+          text = "shard unreachable: " ^ text;
+          txn_open = txn_open ();
+        }
+  | exception Client.Server_busy { retry_ticks } ->
+      Wire.Busy { retry_ticks }
+
+let session_loop t io =
+  let rec loop () =
+    match Transport.Frame_io.recv io with
+    | None | Some Wire.Bye -> ()
+    | Some (Wire.Exec { seq; rid = _; sql }) ->
+        Transport.Frame_io.send io (exec_frame t.coord ~seq sql);
+        loop ()
+    | Some (Wire.Metrics_req { seq }) ->
+        Transport.Frame_io.send io
+          (Wire.Msg { seq; text = Metrics.to_prometheus (Coord.metrics t.coord) });
+        loop ()
+    | Some _ ->
+        Transport.Frame_io.send io
+          (Wire.Err
+             {
+               seq = 0;
+               code = E_protocol;
+               text = "unexpected frame";
+               txn_open = Coord.in_transaction t.coord;
+             });
+        loop ()
+  in
+  loop ()
+
+let handshake t io =
+  match Transport.Frame_io.recv io with
+  | Some (Wire.Hello { version; _ }) when version = Wire.version ->
+      if draining t then begin
+        Transport.Frame_io.send io
+          (Wire.Err
+             {
+               seq = 0;
+               code = E_draining;
+               text = "coordinator is draining";
+               txn_open = false;
+             });
+        Transport.Frame_io.send io Wire.Bye;
+        false
+      end
+      else begin
+        let session = t.next_session in
+        t.next_session <- session + 1;
+        Transport.Frame_io.send io
+          (Wire.Welcome { version = Wire.version; server = t.name; session });
+        true
+      end
+  | Some (Wire.Hello { version; _ }) ->
+      Transport.Frame_io.send io
+        (Wire.Err
+           {
+             seq = 0;
+             code = E_protocol;
+             text = Printf.sprintf "unsupported protocol version %d" version;
+             txn_open = false;
+           });
+      false
+  | None -> false
+  | Some _ | (exception Transport.Corrupt _) ->
+      Transport.Frame_io.send io
+        (Wire.Err
+           {
+             seq = 0;
+             code = E_protocol;
+             text = "expected Hello";
+             txn_open = false;
+           });
+      false
+
+let session_fiber t conn =
+  let io = Transport.Frame_io.create conn in
+  (match handshake t io with
+  | true -> ( try session_loop t io with Transport.Corrupt _ -> ())
+  | false | (exception Transport.Corrupt _) -> ());
+  conn.Transport.close ()
+
+let serve t =
+  ignore
+    (Sched.spawn (fun () ->
+         let rec loop () =
+           match t.listener.Transport.accept () with
+           | Some conn ->
+               ignore (Sched.spawn (fun () -> session_fiber t conn));
+               loop ()
+           | None ->
+               if not (t.listener.Transport.stopped ()) then begin
+                 Sched.yield ();
+                 loop ()
+               end
+         in
+         loop ()))

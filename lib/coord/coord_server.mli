@@ -1,0 +1,34 @@
+(** Wire front-end for the shard {!Coord}inator: serves the
+    {!Ivdb_wire.Wire} request/response protocol over any
+    {!Ivdb_transport.Transport.listener}, answering every [Exec] by
+    routing the statement through {!Coord.exec}. An ordinary
+    {!Ivdb_client.Client} connected here sees the whole cluster —
+    including the coordinator-resident catalogs [sys.gtxns],
+    [sys.coord_shards] and [sys.cluster_metrics] — and a [Metrics_req]
+    returns the coordinator registry's Prometheus exposition (the 2PC
+    phase histograms and vote/abort counters).
+
+    The coordinator owns a single distributed-transaction session;
+    every wire session shares it. Concurrent clients are accepted but
+    their [BEGIN]/[COMMIT] interleave on that shared state — this is an
+    operator console and test surface, not a multi-tenant endpoint.
+
+    Errors map like the engine server's: {!Coord.Coord_error} and
+    {!Ivdb_sql.Sql.Sql_error} → [E_sql] (transaction kept open),
+    parse/lex rejections → [E_parse], a shard's own [Err] is relayed
+    with its original code, and a dead shard line surfaces as [E_sql]
+    ["shard unreachable: …"] rather than killing the console
+    connection. *)
+
+type t
+
+val create : ?name:string -> Coord.t -> Ivdb_transport.Transport.listener -> t
+(** [name] is the server string sent in [Welcome] (default
+    ["ivdb-coord"]). *)
+
+val serve : t -> unit
+(** Spawn the accept fiber; must be called inside a scheduler run. The
+    fiber exits once the listener is stopped and drained. *)
+
+val drain : t -> unit
+(** Stop accepting new connections (existing sessions finish). *)

@@ -470,7 +470,7 @@ let rec session_loop t io se =
       in
       Transport.Frame_io.send io reply;
       session_loop t io se
-  | Some (Wire.Prepare { seq; gtxn; deltas }) ->
+  | Some (Wire.Prepare { seq; rid; gtxn; deltas }) ->
       Metrics.inc t.m_requests;
       let reply =
         (* idempotence first: a coordinator retransmit after reconnect must
@@ -508,13 +508,30 @@ let rec session_loop t io se =
                     txn_open = false;
                   })
       in
+      (* gtxn-correlated participant event: the coordinator's rid joins
+         this to its Coord_prepare on the other side of the wire *)
+      (let outcome =
+         match reply with
+         | Wire.Prepared _ -> "prepared"
+         | Wire.Decided _ -> "decided"
+         | _ -> "no"
+       in
+       trace_emit t (Trace.Twopc_prepare { conn = conn.id; gtxn; rid; outcome }));
       Transport.Frame_io.send io reply;
       session_loop t io se
-  | Some (Wire.Decide { seq; gtxn; committed }) ->
+  | Some (Wire.Decide { seq; rid; gtxn; committed }) ->
       Metrics.inc t.m_requests;
       let reply =
         match Database.decide_2pc t.db ~gtxn ~committed with
-        | `Applied | `Duplicate | `Presumed_abort ->
+        | (`Applied | `Duplicate | `Presumed_abort) as o ->
+            let outcome =
+              match o with
+              | `Applied -> "applied"
+              | `Duplicate -> "duplicate"
+              | `Presumed_abort -> "presumed_abort"
+            in
+            trace_emit t
+              (Trace.Twopc_decide { conn = conn.id; gtxn; rid; committed; outcome });
             Wire.Decided { seq; gtxn; committed }
         | exception Invalid_argument text ->
             Wire.Err { seq; code = E_protocol; text; txn_open = false }

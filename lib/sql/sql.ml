@@ -835,49 +835,64 @@ let resolve_sys s name =
   | None ->
       Sys_tables.builtin s.sdb ~self_txn:(Option.map Txn.id s.txn) name
 
-let select_sys ?stats s (q : A.select) =
+let sys_restrictions (q : A.select) =
   if q.A.join <> None then fail "joins over sys.* tables are not supported";
   if q.A.group_by <> [] then fail "GROUP BY over sys.* tables is not supported";
   if List.exists (function A.Agg_item _ -> true | _ -> false) q.A.items then
-    fail "aggregates over sys.* tables are not supported";
+    fail "aggregates over sys.* tables are not supported"
+
+(* Evaluate a SELECT over an already-materialized (header, rows) relation:
+   WHERE, projection by column name, ORDER BY / LIMIT. This is the whole
+   post-resolution half of select_sys, exported so the shard coordinator
+   can answer its own sys.* catalogs (sys.gtxns, sys.coord_shards,
+   sys.cluster_metrics) with the exact same query semantics. *)
+let select_over (q : A.select) (header, rows) =
+  sys_restrictions q;
+  let rows =
+    match q.A.where with
+    | None -> rows
+    | Some w ->
+        let pred = bind_by_header ~what:"system table" header w in
+        List.filter (Expr.eval_bool pred) rows
+  in
+  (* project by column name *)
+  let header, rows =
+    match q.A.items with
+    | [ A.Star ] -> (header, rows)
+    | items ->
+        let positions = List.mapi (fun i n -> (n, i)) header in
+        let cols =
+          List.map
+            (function
+              | A.Star -> fail "SELECT * mixed with other items is not supported"
+              | A.Agg_item _ -> assert false
+              | A.Col_item c -> (
+                  match List.assoc_opt c positions with
+                  | Some i -> (c, i)
+                  | None -> fail "unknown system table column %s" c))
+            items
+        in
+        ( List.map fst cols,
+          List.map
+            (fun r -> Array.of_list (List.map (fun (_, i) -> r.(i)) cols))
+            rows )
+  in
+  let rows = apply_order_limit q header rows in
+  Rows { header; rows }
+
+let select_sys ?stats s (q : A.select) =
+  sys_restrictions q;
   match resolve_sys s q.A.from with
   | None ->
       fail "unknown system table %s (available: %s)" q.A.from
         (String.concat ", " Sys_tables.names)
   | Some (header, rows) ->
       op_note stats "sys rows materialized" (List.length rows);
-      let rows =
-        match q.A.where with
-        | None -> rows
-        | Some w ->
-            let pred = bind_by_header ~what:"system table" header w in
-            List.filter (Expr.eval_bool pred) rows
-      in
-      (* project by column name *)
-      let header, rows =
-        match q.A.items with
-        | [ A.Star ] -> (header, rows)
-        | items ->
-            let positions = List.mapi (fun i n -> (n, i)) header in
-            let cols =
-              List.map
-                (function
-                  | A.Star -> fail "SELECT * mixed with other items is not supported"
-                  | A.Agg_item _ -> assert false
-                  | A.Col_item c -> (
-                      match List.assoc_opt c positions with
-                      | Some i -> (c, i)
-                      | None -> fail "unknown system table column %s" c))
-                items
-            in
-            ( List.map fst cols,
-              List.map
-                (fun r -> Array.of_list (List.map (fun (_, i) -> r.(i)) cols))
-                rows )
-      in
-      let rows = apply_order_limit q header rows in
-      op_note stats "rows returned" (List.length rows);
-      Rows { header; rows }
+      let r = select_over q (header, rows) in
+      (match r with
+      | Rows { rows; _ } -> op_note stats "rows returned" (List.length rows)
+      | _ -> ());
+      r
 
 let run_select ?stats s txn q =
   if is_sys_name q.A.from then select_sys ?stats s q

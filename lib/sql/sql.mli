@@ -74,6 +74,16 @@ type result =
   | Affected of int
   | Message of string
 
+val select_over :
+  Sql_ast.select -> string list * Ivdb_relation.Row.t list -> result
+(** [select_over q (header, rows)] evaluates a parsed SELECT against an
+    already-materialized relation with [sys.*] semantics: WHERE filtering
+    bound by column name, projection by name, ORDER BY / LIMIT; joins,
+    GROUP BY and aggregates are refused with {!Sql_error}. This is the
+    evaluation half of the [sys.*] path, exported so the shard
+    coordinator can answer coordinator-resident catalogs ([sys.gtxns],
+    [sys.coord_shards], [sys.cluster_metrics]) without a database. *)
+
 val exec : session -> string -> result
 (** Parse and execute one statement. Raises {!Sql_error} (or
     {!Sql_parser.Parse_error} / {!Sql_lexer.Lex_error}) on bad input; an

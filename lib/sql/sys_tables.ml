@@ -263,9 +263,33 @@ let replication_header =
     "tick";
   ]
 
+(* Coordinator-resident catalogs: a plain engine answers them with zero
+   rows (it runs no global transactions of its own); the shard
+   coordinator answers them locally from its 2PC state and fans
+   sys.cluster_metrics out to every shard. *)
+let gtxns_header =
+  [ "gtxn"; "phase"; "participants"; "votes"; "ticks_in_phase"; "undelivered" ]
+
+let coord_shards_header =
+  [
+    "shard";
+    "addr";
+    "last_contact";
+    "prepares";
+    "decides";
+    "outstanding";
+    "dedupe_hits";
+    "reconnects";
+  ]
+
+let cluster_metrics_header = [ "node"; "counter"; "value" ]
+
 let names =
   [
     "sys.bufpool";
+    "sys.cluster_metrics";
+    "sys.coord_shards";
+    "sys.gtxns";
     "sys.lock_waits";
     "sys.locks";
     "sys.metrics";
@@ -295,4 +319,7 @@ let builtin db ~self_txn name =
   | "sys.replication" -> Some (replication_header, [])
   | "sys.shards" -> Some (shards db)
   | "sys.outbound" -> Some (outbound_header, [])
+  | "sys.gtxns" -> Some (gtxns_header, [])
+  | "sys.coord_shards" -> Some (coord_shards_header, [])
+  | "sys.cluster_metrics" -> Some (cluster_metrics_header, [])
   | _ -> None

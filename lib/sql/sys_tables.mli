@@ -36,6 +36,24 @@ val replication_header : string list
     replica driver (follower: one row for its upstream link) override
     the table per session. *)
 
+val gtxns_header : string list
+(** Column names of [sys.gtxns] — live and recently-finished global
+    transactions. A plain engine resolves to zero rows; the shard
+    coordinator answers it from its 2PC state (phase, participant set,
+    per-shard votes, ticks in the current phase, undelivered
+    decisions). *)
+
+val coord_shards_header : string list
+(** Column names of [sys.coord_shards] — per-shard health as seen from
+    the coordinator (last contact tick, prepare/decide traffic,
+    outstanding decisions, dedupe hits, reconnects). Zero rows on a
+    plain engine. *)
+
+val cluster_metrics_header : string list
+(** Column names of [sys.cluster_metrics] — every shard's [sys.metrics]
+    rows tagged with the reporting node ("coord", "shard0", …). Zero
+    rows on a plain engine; the coordinator fans the query out. *)
+
 val builtin :
   Ivdb.Database.t ->
   self_txn:int option ->

@@ -33,6 +33,20 @@ type event =
   | Net_response of { conn : int; seq : int; rid : int; frame : string; ticks : int }
   | Slow_query of { conn : int; seq : int; rid : int; ticks : int; sql : string }
   | Net_close of { conn : int }
+  | Coord_route of { rid : int; shard : int; kind : string }
+  | Coord_fast_path of { rid : int; shard : int }
+  | Coord_prepare of { gtxn : string; rid : int; shard : int }
+  | Coord_vote of { gtxn : string; shard : int; vote : string }
+  | Coord_decision of { gtxn : string; committed : bool }
+  | Coord_decide of { gtxn : string; rid : int; shard : int; committed : bool }
+  | Twopc_prepare of { conn : int; gtxn : string; rid : int; outcome : string }
+  | Twopc_decide of {
+      conn : int;
+      gtxn : string;
+      rid : int;
+      committed : bool;
+      outcome : string;
+    }
 
 type record = { seq : int; tick : int; fiber : int; event : event }
 
@@ -87,6 +101,14 @@ let event_name = function
   | Net_response _ -> "net.response"
   | Slow_query _ -> "net.slow_query"
   | Net_close _ -> "net.close"
+  | Coord_route _ -> "coord.route"
+  | Coord_fast_path _ -> "coord.fast_path"
+  | Coord_prepare _ -> "coord.prepare"
+  | Coord_vote _ -> "coord.vote"
+  | Coord_decision _ -> "coord.decision"
+  | Coord_decide _ -> "coord.decide"
+  | Twopc_prepare _ -> "2pc.prepare"
+  | Twopc_decide _ -> "2pc.decide"
 
 (* Keys are binary (order-preserving codec output); escape everything
    outside printable ASCII so the JSONL stream is valid, deterministic
@@ -146,6 +168,30 @@ let event_fields = function
       Printf.sprintf
         {|"conn": %d, "req": %d, "rid": %d, "ticks": %d, "sql": "%s"|} conn seq
         rid ticks (json_escape sql)
+  | Coord_route { rid; shard; kind } ->
+      Printf.sprintf {|"rid": %d, "shard": %d, "kind": "%s"|} rid shard
+        (json_escape kind)
+  | Coord_fast_path { rid; shard } ->
+      Printf.sprintf {|"rid": %d, "shard": %d|} rid shard
+  | Coord_prepare { gtxn; rid; shard } ->
+      Printf.sprintf {|"gtxn": "%s", "rid": %d, "shard": %d|} (json_escape gtxn)
+        rid shard
+  | Coord_vote { gtxn; shard; vote } ->
+      Printf.sprintf {|"gtxn": "%s", "shard": %d, "vote": "%s"|}
+        (json_escape gtxn) shard (json_escape vote)
+  | Coord_decision { gtxn; committed } ->
+      Printf.sprintf {|"gtxn": "%s", "committed": %b|} (json_escape gtxn)
+        committed
+  | Coord_decide { gtxn; rid; shard; committed } ->
+      Printf.sprintf {|"gtxn": "%s", "rid": %d, "shard": %d, "committed": %b|}
+        (json_escape gtxn) rid shard committed
+  | Twopc_prepare { conn; gtxn; rid; outcome } ->
+      Printf.sprintf {|"conn": %d, "gtxn": "%s", "rid": %d, "outcome": "%s"|}
+        conn (json_escape gtxn) rid (json_escape outcome)
+  | Twopc_decide { conn; gtxn; rid; committed; outcome } ->
+      Printf.sprintf
+        {|"conn": %d, "gtxn": "%s", "rid": %d, "committed": %b, "outcome": "%s"|}
+        conn (json_escape gtxn) rid committed (json_escape outcome)
 
 let to_json r =
   Printf.sprintf {|{"seq": %d, "tick": %d, "fiber": %d, "ev": "%s", %s}|} r.seq

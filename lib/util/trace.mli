@@ -48,6 +48,37 @@ type event =
       (** a statement exceeded the server's slow-query tick threshold;
           joins to the client call via [rid] *)
   | Net_close of { conn : int }  (** connection finished (either side) *)
+  | Coord_route of { rid : int; shard : int; kind : string }
+      (** coordinator dispatched one statement to [shard]; [kind] is the
+          routing decision (["pin"], ["broadcast"], ["split"], ["sys"]);
+          [rid] is the coordinator-assigned correlation id stamped on the
+          forwarded Exec frame, so the shard-side [Net_request] /
+          [Slow_query] events join back to this dispatch *)
+  | Coord_fast_path of { rid : int; shard : int }
+      (** single-participant commit with no remote deltas: committed
+          locally on [shard], skipping 2PC *)
+  | Coord_prepare of { gtxn : string; rid : int; shard : int }
+      (** Prepare sent to [shard] for global transaction [gtxn] *)
+  | Coord_vote of { gtxn : string; shard : int; vote : string }
+      (** [shard]'s prepare outcome: ["yes"], ["no"] (shard voted to
+          abort), or ["dead"] (line down — presumed No) *)
+  | Coord_decision of { gtxn : string; committed : bool }
+      (** decision record forced to the coordinator WAL *)
+  | Coord_decide of { gtxn : string; rid : int; shard : int; committed : bool }
+      (** Decide delivered to [shard] *)
+  | Twopc_prepare of { conn : int; gtxn : string; rid : int; outcome : string }
+      (** participant side of Prepare: [outcome] is ["prepared"],
+          ["duplicate"] (dedupe hit), ["decided"] (already decided), or
+          ["no"]; [rid] is the coordinator correlation id off the frame *)
+  | Twopc_decide of {
+      conn : int;
+      gtxn : string;
+      rid : int;
+      committed : bool;
+      outcome : string;
+    }
+      (** participant side of Decide: [outcome] is ["applied"],
+          ["duplicate"], or ["presumed_abort"] (unknown gtxn) *)
 
 type record = {
   seq : int;  (** emission order, dense from 0 *)

@@ -12,7 +12,7 @@ module B = Ivdb_util.Bytes_util
 module Row = Ivdb_relation.Row
 module Log_record = Ivdb_wal.Log_record
 
-let version = 5
+let version = 6
 
 (* A length prefix beyond this is corruption, not a real frame: it caps
    the allocation a hostile or damaged stream can request. *)
@@ -51,9 +51,9 @@ type frame =
   | ReplAck of { upto : Log_record.lsn }
   | Promote of { seq : int }
   | DropSlot of { seq : int; name : string }
-  | Prepare of { seq : int; gtxn : string; deltas : string }
+  | Prepare of { seq : int; rid : int; gtxn : string; deltas : string }
   | Prepared of { seq : int; gtxn : string }
-  | Decide of { seq : int; gtxn : string; committed : bool }
+  | Decide of { seq : int; rid : int; gtxn : string; committed : bool }
   | Decided of { seq : int; gtxn : string; committed : bool }
   | Bye
 
@@ -114,12 +114,12 @@ let pp ppf f =
   | ReplAck { upto } -> Format.fprintf ppf "ReplAck{upto=%d}" upto
   | Promote { seq } -> Format.fprintf ppf "Promote{#%d}" seq
   | DropSlot { seq; name } -> Format.fprintf ppf "DropSlot{#%d %S}" seq name
-  | Prepare { seq; gtxn; deltas } ->
-      Format.fprintf ppf "Prepare{#%d %s delta_bytes=%d}" seq gtxn
+  | Prepare { seq; rid; gtxn; deltas } ->
+      Format.fprintf ppf "Prepare{#%d r%d %s delta_bytes=%d}" seq rid gtxn
         (String.length deltas)
   | Prepared { seq; gtxn } -> Format.fprintf ppf "Prepared{#%d %s}" seq gtxn
-  | Decide { seq; gtxn; committed } ->
-      Format.fprintf ppf "Decide{#%d %s %s}" seq gtxn
+  | Decide { seq; rid; gtxn; committed } ->
+      Format.fprintf ppf "Decide{#%d r%d %s %s}" seq rid gtxn
         (if committed then "commit" else "abort")
   | Decided { seq; gtxn; committed } ->
       Format.fprintf ppf "Decided{#%d %s %s}" seq gtxn
@@ -220,18 +220,20 @@ let encode f =
       Buffer.add_char buf 'D';
       add_u32 buf seq;
       add_str buf name
-  | Prepare { seq; gtxn; deltas } ->
+  | Prepare { seq; rid; gtxn; deltas } ->
       Buffer.add_char buf '1';
       add_u32 buf seq;
+      add_u32 buf rid;
       add_str buf gtxn;
       add_str buf deltas
   | Prepared { seq; gtxn } ->
       Buffer.add_char buf '2';
       add_u32 buf seq;
       add_str buf gtxn
-  | Decide { seq; gtxn; committed } ->
+  | Decide { seq; rid; gtxn; committed } ->
       Buffer.add_char buf '3';
       add_u32 buf seq;
+      add_u32 buf rid;
       add_str buf gtxn;
       Buffer.add_char buf (if committed then '\001' else '\000')
   | Decided { seq; gtxn; committed } ->
@@ -346,15 +348,17 @@ let decode s =
         DropSlot { seq; name = rd_str r }
     | '1' ->
         let seq = rd_u32 r in
+        let rid = rd_u32 r in
         let gtxn = rd_str r in
-        Prepare { seq; gtxn; deltas = rd_str r }
+        Prepare { seq; rid; gtxn; deltas = rd_str r }
     | '2' ->
         let seq = rd_u32 r in
         Prepared { seq; gtxn = rd_str r }
     | '3' ->
         let seq = rd_u32 r in
+        let rid = rd_u32 r in
         let gtxn = rd_str r in
-        Decide { seq; gtxn; committed = rd_bool r }
+        Decide { seq; rid; gtxn; committed = rd_bool r }
     | '4' ->
         let seq = rd_u32 r in
         let gtxn = rd_str r in

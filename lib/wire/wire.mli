@@ -115,22 +115,26 @@ type frame =
           horizon stops pinning the WAL retention floor. Answered with a
           [Msg], or [Err E_repl] if the slot is unknown or still
           connected. *)
-  | Prepare of { seq : int; gtxn : string; deltas : string }
+  | Prepare of { seq : int; rid : int; gtxn : string; deltas : string }
       (** 2PC phase 1, coordinator → participant: force-prepare the
-          session's open transaction under global id [gtxn]. [deltas] is
-          an opaque {!Ivdb.Database.Deltas} payload of escrow view deltas
-          whose groups live on this shard but were produced elsewhere;
-          they are applied inside the preparing transaction, so they
-          commit or die atomically with the decision. Answered with
+          session's open transaction under global id [gtxn]. [rid] is the
+          coordinator's correlation id for the commit statement driving
+          this round, echoed into the participant's [Twopc_prepare] trace
+          event so shard-side activity joins the coordinator's stream.
+          [deltas] is an opaque {!Ivdb.Database.Deltas} payload of escrow
+          view deltas whose groups live on this shard but were produced
+          elsewhere; they are applied inside the preparing transaction, so
+          they commit or die atomically with the decision. Answered with
           [Prepared] (vote yes) or [Err] (vote no — the transaction was
           rolled back). Re-sending a [Prepare] for a gtxn the shard has
           already prepared or decided is answered idempotently from the
           participant's dedupe tables, never re-executed. *)
   | Prepared of { seq : int; gtxn : string }
-  | Decide of { seq : int; gtxn : string; committed : bool }
+  | Decide of { seq : int; rid : int; gtxn : string; committed : bool }
       (** 2PC phase 2: the coordinator's logged decision. Idempotent —
           a retransmit for an already-decided gtxn just re-acks; an
-          unknown gtxn with [committed = false] is presumed-abort. *)
+          unknown gtxn with [committed = false] is presumed-abort. [rid]
+          correlates like [Prepare.rid] (0 on recovery re-delivery). *)
   | Decided of { seq : int; gtxn : string; committed : bool }
   | Bye
 

